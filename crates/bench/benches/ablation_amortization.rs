@@ -1,0 +1,49 @@
+//! Ablation: amortisation policies — the cost of the richer embodied
+//! accounting schemes relative to the paper's linear rule.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iriscast_model::embodied::AmortizationPolicy;
+use iriscast_units::{CarbonMass, SimDuration};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_amortization");
+
+    let total = CarbonMass::from_kilograms(1_100.0);
+    let life = SimDuration::from_years(5.0);
+    let day = SimDuration::DAY;
+    let age = SimDuration::from_years(2.3);
+
+    for (name, policy) in [
+        ("linear", AmortizationPolicy::Linear),
+        (
+            "usage_weighted",
+            AmortizationPolicy::UsageWeighted {
+                relative_usage: 1.2,
+            },
+        ),
+        (
+            "declining_balance",
+            AmortizationPolicy::DecliningBalance { rate: 0.35 },
+        ),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(policy.charge(total, life, age, day)))
+        });
+        // A whole-lifetime daily schedule (1,825 charges) per policy.
+        g.bench_function(format!("{name}_full_life_daily"), |b| {
+            b.iter(|| {
+                let mut sum = CarbonMass::ZERO;
+                for d in 0..(5 * 365) {
+                    sum += policy.charge(total, life, day * d, day);
+                }
+                black_box(sum)
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

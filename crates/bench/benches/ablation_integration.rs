@@ -1,0 +1,51 @@
+//! Ablation: numerical choices inside the telemetry pipeline — the
+//! integration rule (left-Riemann vs trapezoid) and the gap-fill policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iriscast_telemetry::{GapPolicy, PowerSeries};
+use iriscast_units::{SimDuration, Timestamp};
+use std::hint::black_box;
+
+fn series_with_gaps(n: usize, gap_every: usize) -> PowerSeries {
+    let watts: Vec<f64> = (0..n)
+        .map(|i| {
+            if gap_every > 0 && i % gap_every == 0 {
+                f64::NAN
+            } else {
+                400.0 + 150.0 * ((i as f64) / 50.0).sin()
+            }
+        })
+        .collect();
+    PowerSeries::from_watts(Timestamp::EPOCH, SimDuration::from_secs(30), watts)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_integration");
+
+    // A day of 30-second samples (2,880 points), 5% missing.
+    let s = series_with_gaps(2_880, 20);
+
+    g.bench_function("left_riemann_holdlast", |b| {
+        b.iter(|| black_box(s.integrate(GapPolicy::HoldLast)))
+    });
+    g.bench_function("trapezoid_holdlast", |b| {
+        b.iter(|| black_box(s.integrate_trapezoid(GapPolicy::HoldLast)))
+    });
+    g.bench_function("left_riemann_interpolate", |b| {
+        b.iter(|| black_box(s.integrate(GapPolicy::Interpolate)))
+    });
+    g.bench_function("left_riemann_zero_fill", |b| {
+        b.iter(|| black_box(s.integrate(GapPolicy::Zero)))
+    });
+
+    g.bench_function("to_energy_series_halfhourly", |b| {
+        b.iter(|| {
+            black_box(s.to_energy_series(SimDuration::SETTLEMENT_PERIOD, GapPolicy::HoldLast))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation: scheduling policies — throughput of the event-driven cluster
+//! simulation under FCFS, EASY backfill and the carbon-aware wrapper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iriscast_grid::scenario::uk_november_2022;
+use iriscast_units::Period;
+use iriscast_workload::scheduler::{CarbonAwareScheduler, EasyBackfillScheduler, FcfsScheduler};
+use iriscast_workload::{generate, ClusterSim, WorkloadConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_scheduling");
+    g.sample_size(10);
+
+    let day = Period::snapshot_24h();
+    let jobs = generate(&WorkloadConfig::batch_hpc(), day, 42);
+    let sim = ClusterSim::new(128);
+    let grid = uk_november_2022(1).simulate();
+    let series = grid.intensity().slice(day).expect("month covers day");
+
+    g.bench_function("fcfs", |b| {
+        b.iter(|| black_box(sim.run(jobs.clone(), &mut FcfsScheduler, day)))
+    });
+
+    g.bench_function("easy_backfill", |b| {
+        b.iter(|| black_box(sim.run(jobs.clone(), &mut EasyBackfillScheduler, day)))
+    });
+
+    g.bench_function("carbon_aware", |b| {
+        b.iter(|| {
+            let mut policy =
+                CarbonAwareScheduler::new(EasyBackfillScheduler, series.percentile(0.5));
+            black_box(sim.run_with_intensity(jobs.clone(), &mut policy, day, Some(&series)))
+        })
+    });
+
+    g.bench_function("workload_generation", |b| {
+        b.iter(|| black_box(generate(&WorkloadConfig::batch_hpc(), day, 7)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

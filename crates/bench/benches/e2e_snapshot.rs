@@ -1,0 +1,39 @@
+//! End-to-end bench: the full §6 pipeline — telemetry simulation, grid
+//! month, assessment — the artefact behind the paper's summary numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iriscast_bench::bench_iris_scenario;
+use iriscast_grid::scenario::uk_november_2022;
+use iriscast_model::{AssessmentParams, SnapshotAssessment};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e_snapshot");
+    g.sample_size(10);
+
+    g.bench_function("paper_exact_assessment", |b| {
+        b.iter(|| black_box(SnapshotAssessment::paper_exact()))
+    });
+
+    g.bench_function("full_pipeline", |b| {
+        b.iter(|| {
+            let telemetry = bench_iris_scenario(2022).simulate(8);
+            let _grid = uk_november_2022(2022).simulate();
+            let assessment =
+                SnapshotAssessment::run(telemetry.total(), &AssessmentParams::paper());
+            black_box(assessment)
+        })
+    });
+
+    // Monte-Carlo uncertainty propagation (the extension analysis).
+    let intensity = uk_november_2022(11).simulate().intensity().clone();
+    let mc = iriscast_model::uncertainty::McConfig::paper(intensity);
+    g.bench_function("monte_carlo_10k", |b| {
+        b.iter(|| black_box(iriscast_model::uncertainty::run(&mc, 10_000, 3)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 1 bench: simulating a month of GB grid dispatch and extracting
+//! the daily-mean series and reference percentiles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iriscast_grid::scenario::{uk_2035_decarbonised, uk_november_2022};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_grid");
+
+    g.bench_function("simulate_november_2022", |b| {
+        b.iter(|| black_box(uk_november_2022(7).simulate()))
+    });
+
+    let sim = uk_november_2022(7).simulate();
+    g.bench_function("daily_means", |b| {
+        b.iter(|| black_box(sim.intensity().daily_means()))
+    });
+
+    g.bench_function("reference_percentiles", |b| {
+        b.iter(|| black_box(sim.intensity().reference_values()))
+    });
+
+    g.bench_function("simulate_2035_decarbonised", |b| {
+        b.iter(|| black_box(uk_2035_decarbonised(7).simulate()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

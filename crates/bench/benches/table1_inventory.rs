@@ -1,0 +1,45 @@
+//! Table 1 bench: building and querying the IRIS inventory, and pricing
+//! its embodied carbon with the component model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iriscast_inventory::{iris, EmbodiedFactors, NodeRole};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_inventory");
+
+    g.bench_function("build_iris_fleet", |b| {
+        b.iter(|| black_box(iris::iris_fleet()))
+    });
+
+    let fleet = iris::iris_fleet();
+    g.bench_function("summary_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            acc += fleet.total_nodes();
+            acc += fleet.monitored_nodes();
+            acc += fleet.monitored_servers();
+            for role in NodeRole::ALL {
+                acc += fleet.nodes_with_role(role);
+            }
+            black_box(acc)
+        })
+    });
+
+    let factors = EmbodiedFactors::typical();
+    g.bench_function("fleet_embodied_component_model", |b| {
+        b.iter(|| black_box(fleet.total_embodied(&factors)))
+    });
+
+    g.bench_function("json_round_trip", |b| {
+        b.iter(|| {
+            let json = fleet.to_json().expect("serialise");
+            black_box(iriscast_inventory::Fleet::from_json(&json).expect("parse"))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

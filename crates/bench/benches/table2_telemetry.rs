@@ -1,0 +1,35 @@
+//! Table 2 bench: the telemetry collection pipeline that regenerates the
+//! measured-energy table, at single-site and full-federation scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iriscast_bench::{bench_iris_scenario, synthetic_site};
+use iriscast_telemetry::{SiteCollector, SyntheticUtilization};
+use iriscast_units::Period;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_telemetry");
+    g.sample_size(10);
+
+    // Scaling in node count (24 h window; step widens past 500 nodes —
+    // see `bench_sample_step`).
+    for nodes in [32u32, 128, 512] {
+        let cfg = synthetic_site(nodes, 42);
+        let collector = SiteCollector::new(cfg);
+        let util = SyntheticUtilization::calibrated(0.6, 7);
+        g.bench_with_input(BenchmarkId::new("site_collect", nodes), &nodes, |b, _| {
+            b.iter(|| black_box(collector.collect(Period::snapshot_24h(), &util, 8)))
+        });
+    }
+
+    // The full calibrated IRIS federation (2,462 nodes, 6 sites).
+    let scenario = bench_iris_scenario(2022);
+    g.bench_function("iris_snapshot_full", |b| {
+        b.iter(|| black_box(scenario.simulate(8)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

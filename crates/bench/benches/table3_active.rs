@@ -1,0 +1,41 @@
+//! Table 3 bench: the CI × PUE active-carbon sweep, scalar and
+//! time-aligned variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iriscast_grid::scenario::uk_november_2022;
+use iriscast_model::active::active_carbon_series;
+use iriscast_model::{paper, ActiveCarbonGrid};
+use iriscast_telemetry::EnergySeries;
+use iriscast_units::{Energy, SimDuration, Timestamp};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_active");
+
+    g.bench_function("ci_pue_grid", |b| {
+        b.iter(|| {
+            black_box(ActiveCarbonGrid::compute(
+                paper::effective_energy(),
+                paper::ci_references(),
+                paper::pue_table3(),
+            ))
+        })
+    });
+
+    // Time-aligned active carbon over a month of half-hourly slots.
+    let grid = uk_november_2022(5).simulate();
+    let slots = grid.intensity().len();
+    let energy = EnergySeries::new(
+        Timestamp::EPOCH,
+        SimDuration::SETTLEMENT_PERIOD,
+        vec![Energy::from_kilowatt_hours(390.0); slots],
+    );
+    g.bench_function("time_aligned_month", |b| {
+        b.iter(|| black_box(active_carbon_series(&energy, grid.intensity())))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

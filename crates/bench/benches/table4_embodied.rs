@@ -1,0 +1,39 @@
+//! Table 4 bench: embodied amortisation sweeps, flat and component-model
+//! based.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iriscast_inventory::{iris, EmbodiedFactors};
+use iriscast_model::{paper, EmbodiedSweep};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_embodied");
+
+    g.bench_function("lifespan_sweep", |b| {
+        b.iter(|| {
+            black_box(EmbodiedSweep::compute(
+                paper::server_embodied_bounds(),
+                &paper::LIFESPANS_YEARS,
+                paper::AMORTISATION_FLEET_SERVERS,
+            ))
+        })
+    });
+
+    // The richer version the paper calls future work: per-node-model
+    // embodied figures from the component model, across the whole fleet.
+    let fleet = iris::iris_fleet();
+    let low = EmbodiedFactors::low();
+    let high = EmbodiedFactors::high();
+    g.bench_function("component_model_fleet_bounds", |b| {
+        b.iter(|| {
+            let lo = fleet.total_embodied(&low);
+            let hi = fleet.total_embodied(&high);
+            black_box((lo, hi))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,231 @@
+//! `repro` — regenerate every table and figure of the IRISCAST paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p iriscast-bench --bin repro             # everything
+//! cargo run --release -p iriscast-bench --bin repro -- table2   # one artefact
+//! ```
+//!
+//! Artefacts: `table1`, `table2`, `fig1`, `table3`, `table4`, `summary`.
+//! Every numeric artefact is printed next to the published value so the
+//! reproduction quality is visible at a glance (EXPERIMENTS.md records a
+//! captured run).
+
+use iriscast_grid::scenario::uk_november_2022;
+use iriscast_inventory::{iris as iris_inv, NodeRole};
+use iriscast_model::iris::IrisScenario;
+use iriscast_model::report::{ascii_bar, paper_num, TextTable};
+use iriscast_model::{paper, AssessmentParams, SnapshotAssessment};
+use iriscast_units::{Energy, SimDuration};
+
+const SEED: u64 = 2022;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+
+    let mut simulated_total: Option<Energy> = None;
+    if want("table1") {
+        table1();
+    }
+    if want("table2") || want("table3") || want("summary") {
+        simulated_total = Some(table2(want("table2")));
+    }
+    if want("fig1") {
+        fig1();
+    }
+    if want("table3") {
+        table3(simulated_total.expect("table2 ran"));
+    }
+    if want("table4") {
+        table4();
+    }
+    if want("summary") {
+        summary(simulated_total.expect("table2 ran"));
+    }
+}
+
+fn table1() {
+    let fleet = iris_inv::iris_fleet();
+    let mut t = TextTable::new(vec!["Site", "Hardware", "Paper"])
+        .title("Table 1: IRIS hardware included in the project");
+    let paper_col: [&str; 6] = [
+        "118 CPU nodes",
+        "60 CPU nodes",
+        "808 CPU + 64 storage",
+        "651 CPU + 105 storage",
+        "699 CPU nodes",
+        "241 CPU nodes",
+    ];
+    for (site, paper_desc) in fleet.sites().iter().zip(paper_col) {
+        let compute: u32 = site
+            .groups
+            .iter()
+            .filter(|g| g.listed_in_summary && g.spec.role() == NodeRole::Compute)
+            .map(|g| g.count)
+            .sum();
+        let storage: u32 = site
+            .groups
+            .iter()
+            .filter(|g| g.listed_in_summary && g.spec.role() == NodeRole::Storage)
+            .map(|g| g.count)
+            .sum();
+        let desc = if storage > 0 {
+            format!("{compute} CPU + {storage} storage")
+        } else {
+            format!("{compute} CPU nodes")
+        };
+        t = t.row(vec![site.code.clone(), desc, paper_desc.to_string()]);
+    }
+    println!("{}", t.render());
+}
+
+fn table2(print: bool) -> Energy {
+    let scenario =
+        IrisScenario::paper_snapshot(SEED).with_sample_step(SimDuration::from_secs(60));
+    let result = scenario.simulate(8);
+    if print {
+        let mut t = TextTable::new(vec![
+            "Site", "Facility", "PDU", "IPMI", "Turbostat", "Nodes",
+        ])
+        .title("Table 2: active energy for the snapshot period (kWh) — simulated (paper in parens)");
+        let cell = |sim: Option<Energy>, pub_kwh: Option<f64>| match (sim, pub_kwh) {
+            (Some(s), Some(p)) => format!("{} ({})", paper_num(s.kilowatt_hours()), paper_num(p)),
+            (None, None) => "-".to_string(),
+            (s, p) => format!("{:?}/{:?} MISMATCH", s.map(|e| e.kilowatt_hours()), p),
+        };
+        for (row, published) in result.rows.iter().zip(paper::TABLE2_ROWS.iter()) {
+            t = t.row(vec![
+                row.site.clone(),
+                cell(row.energies.facility, published.facility_kwh),
+                cell(row.energies.pdu, published.pdu_kwh),
+                cell(row.energies.ipmi, published.ipmi_kwh),
+                cell(row.energies.turbostat, published.turbostat_kwh),
+                row.nodes.to_string(),
+            ]);
+        }
+        t = t.row(vec![
+            "Total".to_string(),
+            String::new(),
+            String::new(),
+            String::new(),
+            format!(
+                "{} ({})",
+                paper_num(result.total().kilowatt_hours()),
+                paper_num(paper::TABLE2_TOTAL_KWH)
+            ),
+            result.nodes().to_string(),
+        ]);
+        println!("{}", t.render());
+    }
+    result.total()
+}
+
+fn fig1() {
+    let sim = uk_november_2022(SEED).simulate();
+    let series = sim.intensity();
+    println!("Figure 1: UK electricity generation carbon intensity, simulated November 2022");
+    println!(
+        "  half-hourly mean {:.0} g/kWh, min {:.0}, max {:.0}",
+        series.mean().grams_per_kwh(),
+        series.min().grams_per_kwh(),
+        series.max().grams_per_kwh()
+    );
+    let refs = series.reference_values();
+    println!(
+        "  reference reading (p5/median/p95): {refs}   — paper adopts 50 / 175 / 300\n"
+    );
+    for (day, mean) in series.daily_means() {
+        println!(
+            "  Nov {:>2}  {:>3.0} g/kWh |{}|",
+            day + 1,
+            mean.grams_per_kwh(),
+            ascii_bar(mean.grams_per_kwh(), 0.0, 350.0, 48)
+        );
+    }
+    println!();
+}
+
+fn table3(simulated: Energy) {
+    // Paper-exact, from the published effective energy…
+    let exact = SnapshotAssessment::run(paper::effective_energy(), &AssessmentParams::paper());
+    // …and from our simulated Table 2 total.
+    let ours = SnapshotAssessment::run(simulated, &AssessmentParams::paper());
+
+    let mut t = TextTable::new(vec![
+        "Metric", "Low", "Medium", "High",
+    ])
+    .title("Table 3: active carbon estimates (kgCO2) — paper-exact inputs");
+    t = t.row(vec![
+        "Active energy carbon".to_string(),
+        paper_num(exact.active.base.low.kilograms()),
+        paper_num(exact.active.base.mid.kilograms()),
+        paper_num(exact.active.base.high.kilograms()),
+    ]);
+    for (i, label) in ["CI low (50)", "CI med (175)", "CI high (300)"].iter().enumerate() {
+        t = t.row(vec![
+            format!("{label} × PUE row"),
+            paper_num(exact.active.cells[i][0].kilograms()),
+            paper_num(exact.active.cells[i][1].kilograms()),
+            paper_num(exact.active.cells[i][2].kilograms()),
+        ]);
+        t = t.row(vec![
+            "   published".to_string(),
+            paper_num(paper::TABLE3_WITH_FACILITIES_KG[i][0]),
+            paper_num(paper::TABLE3_WITH_FACILITIES_KG[i][1]),
+            paper_num(paper::TABLE3_WITH_FACILITIES_KG[i][2]),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "From the simulated Table 2 energy ({} kWh) the central cell is {} kg vs paper 4,409 kg.\n",
+        paper_num(simulated.kilowatt_hours()),
+        paper_num(ours.active.central().kilograms()),
+    );
+}
+
+fn table4() {
+    let sweep = iriscast_model::EmbodiedSweep::compute(
+        paper::server_embodied_bounds(),
+        &paper::LIFESPANS_YEARS,
+        paper::AMORTISATION_FLEET_SERVERS,
+    );
+    let mut t = TextTable::new(vec![
+        "Lifespan (y)",
+        "kg/day/server @400",
+        "@1100",
+        "Fleet snapshot @400",
+        "@1100",
+        "Published fleet",
+    ])
+    .title("Table 4: embodied carbon (kgCO2), 2,398 servers");
+    for (row, (_, _, _, f400, f1100)) in sweep.rows.iter().zip(paper::TABLE4_ROWS) {
+        t = t.row(vec![
+            row.lifespan_years.to_string(),
+            format!("{:.2}", row.per_server_daily.lo.kilograms()),
+            format!("{:.2}", row.per_server_daily.hi.kilograms()),
+            paper_num(row.fleet_snapshot.lo.kilograms()),
+            paper_num(row.fleet_snapshot.hi.kilograms()),
+            format!("{} / {}", paper_num(f400), paper_num(f1100)),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn summary(simulated: Energy) {
+    let exact = SnapshotAssessment::paper_exact();
+    let ours = SnapshotAssessment::run(simulated, &AssessmentParams::paper());
+    println!("Summary (§6)");
+    println!("  paper-exact : {}", exact.assessment);
+    println!("  simulated   : {}", ours.assessment);
+    println!(
+        "  flight equivalence: {:.1}–{:.1} continuous 24 h flights (paper: \"1 to 4\"; 2,208 kg each)",
+        exact.equivalents.lo.flight_days, exact.equivalents.hi.flight_days
+    );
+    println!(
+        "  embodied share: {:.0}%–{:.0}% of total (active dominates, as the paper concludes)",
+        exact.assessment.embodied_share().lo * 100.0,
+        exact.assessment.embodied_share().hi * 100.0
+    );
+}

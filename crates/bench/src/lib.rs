@@ -1,0 +1,64 @@
+//! Shared scenario builders for the benchmark harness.
+//!
+//! Each Criterion bench regenerates one table or figure of the paper; the
+//! builders here keep the benches and the `repro` binary on identical
+//! configurations so a bench measures exactly the code path that printed
+//! the artefact.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use iriscast_model::iris::IrisScenario;
+use iriscast_telemetry::{NodeGroupTelemetry, NodePowerModel, SiteTelemetryConfig};
+use iriscast_units::{Power, SimDuration};
+
+/// The sampling step used by benches and the repro binary: the realistic
+/// 30-second interval for small scales, coarsened for the full fleet so a
+/// Criterion iteration stays in the tens of milliseconds.
+pub fn bench_sample_step(nodes: u32) -> SimDuration {
+    if nodes > 500 {
+        SimDuration::from_secs(300)
+    } else {
+        SimDuration::from_secs(30)
+    }
+}
+
+/// The calibrated paper scenario at a bench-friendly sampling step.
+pub fn bench_iris_scenario(seed: u64) -> IrisScenario {
+    IrisScenario::paper_snapshot(seed).with_sample_step(SimDuration::from_secs(300))
+}
+
+/// A synthetic single-site config of `nodes` homogeneous nodes, for
+/// scaling sweeps.
+pub fn synthetic_site(nodes: u32, seed: u64) -> SiteTelemetryConfig {
+    let mut cfg = SiteTelemetryConfig::new(
+        format!("SYN-{nodes}"),
+        vec![NodeGroupTelemetry {
+            label: "compute".into(),
+            count: nodes,
+            power_model: NodePowerModel::linear(
+                Power::from_watts(140.0),
+                Power::from_watts(620.0),
+            ),
+        }],
+        seed,
+    );
+    cfg.sample_step = bench_sample_step(nodes);
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_valid_configs() {
+        let cfg = synthetic_site(100, 1);
+        assert_eq!(cfg.total_nodes(), 100);
+        assert_eq!(cfg.sample_step, SimDuration::from_secs(30));
+        let big = synthetic_site(1_000, 1);
+        assert_eq!(big.sample_step, SimDuration::from_secs(300));
+        let scenario = bench_iris_scenario(3);
+        assert_eq!(scenario.sites.len(), 6);
+    }
+}

@@ -1,0 +1,201 @@
+//! Active (operational) carbon — equations (2) and (3) of the paper.
+
+use iriscast_grid::IntensitySeries;
+use iriscast_telemetry::EnergySeries;
+use iriscast_units::{CarbonIntensity, CarbonMass, Energy};
+use serde::{Deserialize, Serialize};
+
+/// Equation (3): `Ca = E × CMe` with a scalar intensity.
+pub fn active_carbon(energy: Energy, intensity: CarbonIntensity) -> CarbonMass {
+    energy * intensity
+}
+
+/// Equation (3) with a time-varying intensity: each energy slot is charged
+/// at the intensity of the grid interval containing it. Slots outside the
+/// intensity series' coverage are charged at the series mean, so no energy
+/// is silently dropped.
+///
+/// This is the formulation the paper's model implies (`CMe^p` varies with
+/// the period) but its evaluation collapses to three scalars; keeping the
+/// aligned version lets us quantify how much that collapse loses.
+pub fn active_carbon_series(energy: &EnergySeries, intensity: &IntensitySeries) -> CarbonMass {
+    let mean = intensity.mean();
+    let mut total = CarbonMass::ZERO;
+    for (slot, e) in energy.iter() {
+        // Charge at the intensity of the interval containing the slot's
+        // start; for slots wider than the intensity step this still
+        // assigns every joule exactly once.
+        let ci = intensity.at(slot.start()).unwrap_or(mean);
+        total += e * ci;
+    }
+    total
+}
+
+/// Equation (2)'s component decomposition: the active energy of the DRI
+/// split into the classes the paper identifies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ActiveEnergyBreakdown {
+    /// Compute/login/storage/service node energy.
+    pub nodes: Energy,
+    /// Standalone network equipment energy.
+    pub network: Energy,
+    /// Facility overheads (cooling, distribution, building).
+    pub facilities: Energy,
+}
+
+impl ActiveEnergyBreakdown {
+    /// IT-only energy (nodes + network).
+    pub fn it_energy(&self) -> Energy {
+        self.nodes + self.network
+    }
+
+    /// Total active energy.
+    pub fn total(&self) -> Energy {
+        self.nodes + self.network + self.facilities
+    }
+
+    /// Applies equation (3) to every class at a single intensity.
+    pub fn carbon(&self, intensity: CarbonIntensity) -> ActiveCarbonBreakdown {
+        ActiveCarbonBreakdown {
+            nodes: self.nodes * intensity,
+            network: self.network * intensity,
+            facilities: self.facilities * intensity,
+        }
+    }
+}
+
+/// Equation (2): per-class active carbon.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ActiveCarbonBreakdown {
+    /// Carbon from node energy.
+    pub nodes: CarbonMass,
+    /// Carbon from network energy.
+    pub network: CarbonMass,
+    /// Carbon from facility overheads.
+    pub facilities: CarbonMass,
+}
+
+impl ActiveCarbonBreakdown {
+    /// Total active carbon `Ca`.
+    pub fn total(&self) -> CarbonMass {
+        self.nodes + self.network + self.facilities
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iriscast_units::{Period, SimDuration, Timestamp};
+
+    #[test]
+    fn scalar_matches_paper_cells() {
+        let e = Energy::from_kilowatt_hours(19_380.0);
+        let c = active_carbon(e, CarbonIntensity::from_grams_per_kwh(175.0));
+        assert!((c.kilograms() - 3_391.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn series_alignment_charges_each_slot() {
+        // Energy: 10 kWh in each of 4 half-hour slots.
+        let energy = EnergySeries::new(
+            Timestamp::EPOCH,
+            SimDuration::SETTLEMENT_PERIOD,
+            vec![Energy::from_kilowatt_hours(10.0); 4],
+        );
+        // Intensity: 100, 200, 300, 400 g/kWh.
+        let intensity = IntensitySeries::new(
+            Timestamp::EPOCH,
+            SimDuration::SETTLEMENT_PERIOD,
+            (1..=4)
+                .map(|i| CarbonIntensity::from_grams_per_kwh(100.0 * f64::from(i)))
+                .collect(),
+        );
+        let c = active_carbon_series(&energy, &intensity);
+        // 10×(100+200+300+400) g = 10 kg.
+        assert!((c.kilograms() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_fallback_uses_mean_for_uncovered_slots() {
+        let energy = EnergySeries::new(
+            Timestamp::EPOCH,
+            SimDuration::SETTLEMENT_PERIOD,
+            vec![Energy::from_kilowatt_hours(10.0); 4],
+        );
+        // Intensity covers only the first two slots at 100/300.
+        let intensity = IntensitySeries::new(
+            Timestamp::EPOCH,
+            SimDuration::SETTLEMENT_PERIOD,
+            vec![
+                CarbonIntensity::from_grams_per_kwh(100.0),
+                CarbonIntensity::from_grams_per_kwh(300.0),
+            ],
+        );
+        let c = active_carbon_series(&energy, &intensity);
+        // Covered: 10×100 + 10×300 = 4 kg; uncovered 2 slots at mean 200:
+        // 4 kg. Total 8 kg.
+        assert!((c.kilograms() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scalar_equals_series_for_constant_intensity() {
+        let energy = EnergySeries::new(
+            Timestamp::EPOCH,
+            SimDuration::SETTLEMENT_PERIOD,
+            (0..48)
+                .map(|i| Energy::from_kilowatt_hours(5.0 + f64::from(i % 7)))
+                .collect(),
+        );
+        let ci = CarbonIntensity::from_grams_per_kwh(175.0);
+        let series = IntensitySeries::constant(
+            Period::snapshot_24h(),
+            SimDuration::SETTLEMENT_PERIOD,
+            ci,
+        );
+        let via_series = active_carbon_series(&energy, &series);
+        let via_scalar = active_carbon(energy.total(), ci);
+        assert!((via_series.grams() - via_scalar.grams()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let b = ActiveEnergyBreakdown {
+            nodes: Energy::from_kilowatt_hours(100.0),
+            network: Energy::from_kilowatt_hours(10.0),
+            facilities: Energy::from_kilowatt_hours(30.0),
+        };
+        assert_eq!(b.it_energy().kilowatt_hours(), 110.0);
+        assert_eq!(b.total().kilowatt_hours(), 140.0);
+        let c = b.carbon(CarbonIntensity::from_grams_per_kwh(100.0));
+        assert!((c.total().kilograms() - 14.0).abs() < 1e-12);
+        assert!((c.nodes.kilograms() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_matters_for_time_varying_grids() {
+        // Energy concentrated in dirty hours must cost more than the
+        // scalar-mean approximation says.
+        let mut intensities = vec![CarbonIntensity::from_grams_per_kwh(300.0); 24];
+        intensities.extend(vec![CarbonIntensity::from_grams_per_kwh(100.0); 24]);
+        let grid = IntensitySeries::new(
+            Timestamp::EPOCH,
+            SimDuration::SETTLEMENT_PERIOD,
+            intensities,
+        );
+        let mut slots = vec![Energy::from_kilowatt_hours(2.0); 24];
+        slots.extend(vec![Energy::from_kilowatt_hours(0.0); 24]);
+        let dirty_loaded = EnergySeries::new(
+            Timestamp::EPOCH,
+            SimDuration::SETTLEMENT_PERIOD,
+            slots,
+        );
+        let aligned = active_carbon_series(&dirty_loaded, &grid);
+        let scalar = active_carbon(dirty_loaded.total(), grid.mean());
+        assert!(
+            aligned.grams() > scalar.grams() * 1.4,
+            "aligned {} vs scalar {}",
+            aligned,
+            scalar
+        );
+    }
+}

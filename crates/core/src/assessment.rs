@@ -1,0 +1,156 @@
+//! The end-to-end snapshot assessment pipeline.
+
+use crate::equivalence::{equivalences, Equivalences};
+use crate::model::CarbonAssessment;
+use crate::paper;
+use crate::scenario::{ActiveCarbonGrid, EmbodiedSweep};
+use iriscast_units::{Bounds, CarbonIntensity, CarbonMass, Energy, Pue, TriEstimate};
+use serde::{Deserialize, Serialize};
+
+/// All the scenario parameters an assessment sweeps.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AssessmentParams {
+    /// Grid carbon-intensity references (low/medium/high).
+    pub ci: TriEstimate<CarbonIntensity>,
+    /// PUE sweep (low/medium/high).
+    pub pue: TriEstimate<Pue>,
+    /// Per-server embodied bounds.
+    pub embodied_per_server: Bounds<CarbonMass>,
+    /// Lifespans to sweep, years.
+    pub lifespans_years: Vec<u32>,
+    /// Servers amortised.
+    pub servers: u32,
+}
+
+impl AssessmentParams {
+    /// The paper's exact parameterisation (with Table 3's implied 1.6
+    /// high PUE).
+    pub fn paper() -> Self {
+        AssessmentParams {
+            ci: paper::ci_references(),
+            pue: paper::pue_table3(),
+            embodied_per_server: paper::server_embodied_bounds(),
+            lifespans_years: paper::LIFESPANS_YEARS.to_vec(),
+            servers: paper::AMORTISATION_FLEET_SERVERS,
+        }
+    }
+}
+
+/// A complete snapshot assessment: every table the paper reports, derived
+/// from one IT-energy figure and one parameter set.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotAssessment {
+    /// The IT energy assessed.
+    pub it_energy: Energy,
+    /// Table 3: the CI × PUE active grid.
+    pub active: ActiveCarbonGrid,
+    /// Table 4: the embodied sweep.
+    pub embodied: EmbodiedSweep,
+    /// Equation (1) over the table envelopes.
+    pub assessment: CarbonAssessment,
+    /// Flight/car/household equivalents of the total envelope.
+    pub equivalents: Bounds<Equivalences>,
+}
+
+impl SnapshotAssessment {
+    /// Runs the full pipeline.
+    pub fn run(it_energy: Energy, params: &AssessmentParams) -> Self {
+        let active = ActiveCarbonGrid::compute(it_energy, params.ci, params.pue);
+        let embodied = EmbodiedSweep::compute(
+            params.embodied_per_server,
+            &params.lifespans_years,
+            params.servers,
+        );
+        let assessment = CarbonAssessment::new(active.envelope(), embodied.envelope());
+        let total = assessment.total();
+        SnapshotAssessment {
+            it_energy,
+            active,
+            embodied,
+            assessment,
+            equivalents: Bounds::new(equivalences(total.lo), equivalences(total.hi)),
+        }
+    }
+
+    /// The paper's own assessment: published effective energy + published
+    /// parameters. Regenerates §6's summary numbers exactly.
+    pub fn paper_exact() -> Self {
+        SnapshotAssessment::run(paper::effective_energy(), &AssessmentParams::paper())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_exact_summary() {
+        let a = SnapshotAssessment::paper_exact();
+        let total = a.assessment.total();
+        assert!((total.lo.kilograms() - 1_441.0).abs() < 2.0);
+        assert!((total.hi.kilograms() - 11_711.0).abs() < 2.0);
+        // §6: "between 1 and 4 of these passenger journeys" (24 h flights);
+        // the extremes bracket that statement.
+        assert!(a.equivalents.lo.flight_days < 1.0);
+        assert!(a.equivalents.hi.flight_days > 4.0);
+    }
+
+    #[test]
+    fn pipeline_scales_with_energy() {
+        let params = AssessmentParams::paper();
+        let small = SnapshotAssessment::run(Energy::from_kilowatt_hours(1_000.0), &params);
+        let large = SnapshotAssessment::run(Energy::from_kilowatt_hours(10_000.0), &params);
+        // Active scales linearly; embodied is energy-independent.
+        let ratio = large.active.central() / small.active.central();
+        assert!((ratio - 10.0).abs() < 1e-9);
+        assert_eq!(small.embodied, large.embodied);
+    }
+
+    #[test]
+    fn embodied_share_rises_as_grid_decarbonises() {
+        let mut params = AssessmentParams::paper();
+        let baseline = SnapshotAssessment::run(paper::effective_energy(), &params);
+        // A decarbonised grid: 10/25/50 g/kWh.
+        params.ci = TriEstimate::new(
+            CarbonIntensity::from_grams_per_kwh(10.0),
+            CarbonIntensity::from_grams_per_kwh(25.0),
+            CarbonIntensity::from_grams_per_kwh(50.0),
+        );
+        let future = SnapshotAssessment::run(paper::effective_energy(), &params);
+        let share_now = baseline.assessment.embodied_share().hi;
+        let share_future = future.assessment.embodied_share().hi;
+        assert!(
+            share_future > share_now * 2.0,
+            "embodied share should jump: {share_now:.2} → {share_future:.2}"
+        );
+        // The paper's §6 prediction: embodied comes to dominate.
+        assert!(share_future > 0.5);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = SnapshotAssessment::paper_exact();
+        let json = serde_json::to_string(&a).unwrap();
+        let back: SnapshotAssessment = serde_json::from_str(&json).unwrap();
+        // JSON decimal formatting may lose the last ulp of an f64, so
+        // compare the load-bearing fields to a relative tolerance.
+        let close = |x: f64, y: f64| (x - y).abs() <= x.abs().max(y.abs()) * 1e-12 + 1e-12;
+        assert!(close(a.it_energy.joules(), back.it_energy.joules()));
+        assert!(close(
+            a.assessment.total().hi.grams(),
+            back.assessment.total().hi.grams()
+        ));
+        assert_eq!(a.embodied.rows.len(), back.embodied.rows.len());
+        for (x, y) in a.embodied.rows.iter().zip(back.embodied.rows.iter()) {
+            assert_eq!(x.lifespan_years, y.lifespan_years);
+            assert!(close(
+                x.fleet_snapshot.lo.grams(),
+                y.fleet_snapshot.lo.grams()
+            ));
+        }
+        assert!(close(
+            a.equivalents.hi.flight_days,
+            back.equivalents.hi.flight_days
+        ));
+    }
+}

@@ -1,0 +1,267 @@
+//! Embodied-carbon amortisation — equation (4) and §4.3 of the paper.
+
+use iriscast_units::{CarbonMass, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// How a fixed embodied cost is spread across a hardware lifetime.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AmortizationPolicy {
+    /// Equal charge per unit time — the paper's method (§4.3: "5kg over
+    /// 5 years … 500 grams for 6 months").
+    Linear,
+    /// Linear, scaled by how hard the hardware worked during the window
+    /// relative to its lifetime average (`relative_usage = 1` reduces to
+    /// linear). Over a full lifetime at average usage the total is
+    /// conserved.
+    UsageWeighted {
+        /// Window usage divided by lifetime-average usage.
+        relative_usage: f64,
+    },
+    /// Front-loaded declining balance at `rate` per year, normalised so
+    /// the whole lifetime still sums to the full embodied cost. Reflects
+    /// the argument that early life should carry more of the manufacturing
+    /// burden (newer hardware displaces older, dirtier kit).
+    DecliningBalance {
+        /// Fractional annual decline, in `(0, 1)`.
+        rate: f64,
+    },
+}
+
+impl AmortizationPolicy {
+    /// Carbon charged to a window of `window` length that starts `age`
+    /// into a lifetime of `lifespan`, for hardware with `total` embodied
+    /// carbon. Windows extending past end-of-life only charge the
+    /// in-life portion.
+    ///
+    /// # Panics
+    /// If `lifespan` is not positive, `age`/`window` are negative, or a
+    /// policy parameter is out of range.
+    pub fn charge(
+        &self,
+        total: CarbonMass,
+        lifespan: SimDuration,
+        age: SimDuration,
+        window: SimDuration,
+    ) -> CarbonMass {
+        assert!(lifespan.as_secs() > 0, "lifespan must be positive");
+        assert!(!age.is_negative(), "age must be non-negative");
+        assert!(!window.is_negative(), "window must be non-negative");
+        // Clip the window to the remaining life.
+        let start = age.as_secs().min(lifespan.as_secs());
+        let end = (age + window).as_secs().min(lifespan.as_secs());
+        if end <= start {
+            return CarbonMass::ZERO;
+        }
+        let clipped = SimDuration::from_secs(end - start);
+        match self {
+            AmortizationPolicy::Linear => total * clipped.ratio_of(lifespan),
+            AmortizationPolicy::UsageWeighted { relative_usage } => {
+                assert!(
+                    *relative_usage >= 0.0,
+                    "relative usage must be non-negative"
+                );
+                total * clipped.ratio_of(lifespan) * *relative_usage
+            }
+            AmortizationPolicy::DecliningBalance { rate } => {
+                assert!(
+                    (0.0..1.0).contains(rate) && *rate > 0.0,
+                    "declining-balance rate must lie in (0, 1)"
+                );
+                // Continuous declining balance: density ∝ (1−r)^t, t in
+                // years. Integral over [a, b] of λ^t dt = (λ^a − λ^b)/(−lnλ);
+                // normalise by the integral over [0, L].
+                let lambda = 1.0 - rate;
+                let a = SimDuration::from_secs(start).as_years();
+                let b = SimDuration::from_secs(end).as_years();
+                let l = lifespan.as_years();
+                let seg = lambda.powf(a) - lambda.powf(b);
+                let whole = 1.0 - lambda.powf(l);
+                total * (seg / whole)
+            }
+        }
+    }
+}
+
+/// Table 4, column "Embodied carbon per 24 hours per server": linear
+/// amortisation of one server over `lifespan_years` (365-day years, per
+/// the paper's arithmetic).
+pub fn per_server_daily(embodied: CarbonMass, lifespan_years: f64) -> CarbonMass {
+    assert!(lifespan_years > 0.0, "lifespan must be positive");
+    embodied / (lifespan_years * 365.0)
+}
+
+/// Table 4, column "Snapshot Embodied carbon": the 24-hour charge for a
+/// fleet of `servers` identical servers.
+pub fn fleet_snapshot_daily(
+    embodied_per_server: CarbonMass,
+    lifespan_years: f64,
+    servers: u32,
+) -> CarbonMass {
+    per_server_daily(embodied_per_server, lifespan_years) * f64::from(servers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kg(v: f64) -> CarbonMass {
+        CarbonMass::from_kilograms(v)
+    }
+
+    #[test]
+    fn papers_worked_example() {
+        // §4.3: 5 kg embodied, 5-year life, 6-month window → 500 g.
+        let charge = AmortizationPolicy::Linear.charge(
+            kg(5.0),
+            SimDuration::from_years(5.0),
+            SimDuration::ZERO,
+            SimDuration::from_years(0.5),
+        );
+        assert!((charge.grams() - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn table4_per_server_cells() {
+        for (years, d400, d1100, _, _) in crate::paper::TABLE4_ROWS {
+            let y = f64::from(years);
+            assert!(
+                (per_server_daily(kg(400.0), y).kilograms() - d400).abs() < 0.01,
+                "{years}y @400"
+            );
+            assert!(
+                (per_server_daily(kg(1_100.0), y).kilograms() - d1100).abs() < 0.01,
+                "{years}y @1100"
+            );
+        }
+    }
+
+    #[test]
+    fn table4_fleet_cells() {
+        for (years, _, _, f400, f1100) in crate::paper::TABLE4_ROWS {
+            let y = f64::from(years);
+            let servers = crate::paper::AMORTISATION_FLEET_SERVERS;
+            assert!(
+                (fleet_snapshot_daily(kg(400.0), y, servers).kilograms() - f400).abs() < 1.0,
+                "{years}y fleet @400"
+            );
+            assert!(
+                (fleet_snapshot_daily(kg(1_100.0), y, servers).kilograms() - f1100).abs() < 1.0,
+                "{years}y fleet @1100"
+            );
+        }
+    }
+
+    #[test]
+    fn all_policies_conserve_total_over_lifetime() {
+        let total = kg(1_100.0);
+        let life = SimDuration::from_years(5.0);
+        for policy in [
+            AmortizationPolicy::Linear,
+            AmortizationPolicy::UsageWeighted {
+                relative_usage: 1.0,
+            },
+            AmortizationPolicy::DecliningBalance { rate: 0.3 },
+        ] {
+            // Sum 60 monthly windows.
+            let month = SimDuration::from_secs(life.as_secs() / 60);
+            let mut sum = CarbonMass::ZERO;
+            for m in 0..60 {
+                sum += policy.charge(total, life, month * m, month);
+            }
+            assert!(
+                (sum.kilograms() - 1_100.0).abs() < 0.01,
+                "{policy:?} sums to {}",
+                sum.kilograms()
+            );
+        }
+    }
+
+    #[test]
+    fn declining_balance_front_loads() {
+        let policy = AmortizationPolicy::DecliningBalance { rate: 0.4 };
+        let total = kg(100.0);
+        let life = SimDuration::from_years(4.0);
+        let year = SimDuration::from_years(1.0);
+        let y0 = policy.charge(total, life, SimDuration::ZERO, year);
+        let y3 = policy.charge(total, life, year * 3, year);
+        assert!(y0.kilograms() > 2.0 * y3.kilograms());
+        // Linear charges the same each year.
+        let lin0 = AmortizationPolicy::Linear.charge(total, life, SimDuration::ZERO, year);
+        let lin3 = AmortizationPolicy::Linear.charge(total, life, year * 3, year);
+        assert!((lin0.kilograms() - lin3.kilograms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn usage_weighting_scales() {
+        let total = kg(100.0);
+        let life = SimDuration::from_years(5.0);
+        let day = SimDuration::DAY;
+        let linear = AmortizationPolicy::Linear.charge(total, life, SimDuration::ZERO, day);
+        let busy = AmortizationPolicy::UsageWeighted {
+            relative_usage: 1.5,
+        }
+        .charge(total, life, SimDuration::ZERO, day);
+        let idle = AmortizationPolicy::UsageWeighted {
+            relative_usage: 0.25,
+        }
+        .charge(total, life, SimDuration::ZERO, day);
+        assert!((busy.grams() - linear.grams() * 1.5).abs() < 1e-9);
+        assert!((idle.grams() - linear.grams() * 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_clipped_at_end_of_life() {
+        let total = kg(100.0);
+        let life = SimDuration::from_years(1.0);
+        // Window starts 6 months before EoL and runs for a year: only the
+        // first 6 months charge.
+        let charge = AmortizationPolicy::Linear.charge(
+            total,
+            life,
+            SimDuration::from_years(0.5),
+            SimDuration::from_years(1.0),
+        );
+        assert!((charge.kilograms() - 50.0).abs() < 0.01);
+        // Entirely past EoL: zero.
+        let zero = AmortizationPolicy::Linear.charge(
+            total,
+            life,
+            SimDuration::from_years(2.0),
+            SimDuration::from_years(1.0),
+        );
+        assert_eq!(zero, CarbonMass::ZERO);
+    }
+
+    #[test]
+    fn zero_window_charges_nothing() {
+        let c = AmortizationPolicy::Linear.charge(
+            kg(100.0),
+            SimDuration::from_years(5.0),
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+        );
+        assert_eq!(c, CarbonMass::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "lifespan must be positive")]
+    fn zero_lifespan_rejected() {
+        let _ = AmortizationPolicy::Linear.charge(
+            kg(1.0),
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            SimDuration::DAY,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must lie in (0, 1)")]
+    fn bad_rate_rejected() {
+        let _ = AmortizationPolicy::DecliningBalance { rate: 1.5 }.charge(
+            kg(1.0),
+            SimDuration::from_years(1.0),
+            SimDuration::ZERO,
+            SimDuration::DAY,
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Everyday equivalences for carbon quantities (paper §6).
+
+use crate::paper::FLIGHT_KG_PER_PASSENGER_HOUR;
+use iriscast_units::CarbonMass;
+use serde::{Deserialize, Serialize};
+
+/// Average petrol-car emissions, kgCO₂e per km (DEFRA-style factor).
+pub const CAR_KG_PER_KM: f64 = 0.17;
+
+/// Average UK household electricity+heating footprint, kgCO₂e per day
+/// (~2.9 t/year).
+pub const UK_HOUSEHOLD_KG_PER_DAY: f64 = 8.0;
+
+/// A carbon mass translated into everyday activities.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Equivalences {
+    /// Passenger-hours of jet flight (92 kg each).
+    pub flight_passenger_hours: f64,
+    /// Equivalent 24-hour continuous flights (the paper's benchmark).
+    pub flight_days: f64,
+    /// Petrol-car kilometres.
+    pub car_km: f64,
+    /// UK household-days of domestic emissions.
+    pub household_days: f64,
+}
+
+/// Translates a carbon mass into the paper's comparison units.
+pub fn equivalences(carbon: CarbonMass) -> Equivalences {
+    let kg = carbon.kilograms();
+    Equivalences {
+        flight_passenger_hours: kg / FLIGHT_KG_PER_PASSENGER_HOUR,
+        flight_days: kg / (FLIGHT_KG_PER_PASSENGER_HOUR * 24.0),
+        car_km: kg / CAR_KG_PER_KM,
+        household_days: kg / UK_HOUSEHOLD_KG_PER_DAY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn papers_flight_comparison() {
+        // §6: snapshot totals are "between 1 and 4" 24-hour flights
+        // (1,441–11,711 kg against 2,208 kg per flight-day).
+        let lo = equivalences(CarbonMass::from_kilograms(1_441.0));
+        let hi = equivalences(CarbonMass::from_kilograms(11_711.0));
+        assert!(lo.flight_days > 0.6 && lo.flight_days < 1.0);
+        assert!(hi.flight_days > 5.0 && hi.flight_days < 5.5);
+        // The paper's "1 to 4" counts the active+embodied table extremes
+        // (1,066+375 … 9,302+2,409 before rounding); our envelope brackets
+        // it.
+        let mid = equivalences(CarbonMass::from_kilograms(4_409.0 + 657.0));
+        assert!((mid.flight_days - 2.29).abs() < 0.05);
+    }
+
+    #[test]
+    fn one_flight_day_is_exact() {
+        let e = equivalences(CarbonMass::from_kilograms(2_208.0));
+        assert!((e.flight_days - 1.0).abs() < 1e-12);
+        assert!((e.flight_passenger_hours - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn car_and_household_scales() {
+        let e = equivalences(CarbonMass::from_kilograms(17.0));
+        assert!((e.car_km - 100.0).abs() < 1e-9);
+        let h = equivalences(CarbonMass::from_kilograms(8.0));
+        assert!((h.household_days - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        let e = equivalences(CarbonMass::ZERO);
+        assert_eq!(e.flight_days, 0.0);
+        assert_eq!(e.car_km, 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Facility overheads: measured or PUE-estimated (paper §4.1, §5).
+
+use iriscast_units::{Energy, Pue};
+use serde::{Deserialize, Serialize};
+
+/// The facility energy components of §4.1: cooling, power distribution
+/// (transformers + UPS), and the wider building.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FacilityEnergy {
+    /// Cooling-system energy.
+    pub cooling: Energy,
+    /// Transformer/UPS losses.
+    pub power_distribution: Energy,
+    /// Building overheads (lighting, security, ancillary systems).
+    pub building: Energy,
+}
+
+impl FacilityEnergy {
+    /// Total overhead energy.
+    pub fn total(&self) -> Energy {
+        self.cooling + self.power_distribution + self.building
+    }
+
+    /// The effective PUE these overheads imply for a given IT energy.
+    pub fn implied_pue(&self, it_energy: Energy) -> Option<Pue> {
+        if it_energy.joules() <= 0.0 {
+            return None;
+        }
+        Pue::new(1.0 + self.total() / it_energy).ok()
+    }
+}
+
+/// How facility overheads are obtained for a site.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FacilityModel {
+    /// Direct measurements of each overhead component (none of the
+    /// paper's sites could provide this — their stated future work).
+    Measured(FacilityEnergy),
+    /// Estimated from a PUE factor, split into components by the typical
+    /// data-centre overhead shares (cooling ≈ 70%, distribution ≈ 20%,
+    /// building ≈ 10% of the overhead).
+    PueEstimate(Pue),
+}
+
+/// Overhead share of cooling within PUE-estimated overheads.
+pub const COOLING_SHARE: f64 = 0.70;
+/// Overhead share of power distribution within PUE-estimated overheads.
+pub const POWER_SHARE: f64 = 0.20;
+/// Overhead share of the building within PUE-estimated overheads.
+pub const BUILDING_SHARE: f64 = 0.10;
+
+impl FacilityModel {
+    /// Facility overheads implied for `it_energy`.
+    pub fn overheads(&self, it_energy: Energy) -> FacilityEnergy {
+        match self {
+            FacilityModel::Measured(f) => *f,
+            FacilityModel::PueEstimate(pue) => {
+                let overhead = pue.overhead(it_energy);
+                FacilityEnergy {
+                    cooling: overhead * COOLING_SHARE,
+                    power_distribution: overhead * POWER_SHARE,
+                    building: overhead * BUILDING_SHARE,
+                }
+            }
+        }
+    }
+
+    /// Total site energy (IT + overheads).
+    pub fn total_energy(&self, it_energy: Energy) -> Energy {
+        it_energy + self.overheads(it_energy).total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        assert!((COOLING_SHARE + POWER_SHARE + BUILDING_SHARE - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pue_estimate_reproduces_pue() {
+        let model = FacilityModel::PueEstimate(Pue::new(1.3).expect("valid"));
+        let it = Energy::from_kilowatt_hours(1_000.0);
+        let f = model.overheads(it);
+        assert!((f.total().kilowatt_hours() - 300.0).abs() < 1e-9);
+        assert!((f.cooling.kilowatt_hours() - 210.0).abs() < 1e-9);
+        assert!((f.power_distribution.kilowatt_hours() - 60.0).abs() < 1e-9);
+        assert!((f.building.kilowatt_hours() - 30.0).abs() < 1e-9);
+        assert!((model.total_energy(it).kilowatt_hours() - 1_300.0).abs() < 1e-9);
+        // Round trip.
+        let implied = f.implied_pue(it).unwrap();
+        assert!((implied.value() - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_passthrough() {
+        let measured = FacilityEnergy {
+            cooling: Energy::from_kilowatt_hours(100.0),
+            power_distribution: Energy::from_kilowatt_hours(40.0),
+            building: Energy::from_kilowatt_hours(20.0),
+        };
+        let model = FacilityModel::Measured(measured);
+        let f = model.overheads(Energy::from_kilowatt_hours(999.0));
+        assert_eq!(f, measured);
+        assert_eq!(f.total().kilowatt_hours(), 160.0);
+    }
+
+    #[test]
+    fn implied_pue_degenerate() {
+        let f = FacilityEnergy::default();
+        assert!(f.implied_pue(Energy::ZERO).is_none());
+        let pue = f.implied_pue(Energy::from_kilowatt_hours(10.0)).unwrap();
+        assert_eq!(pue.value(), 1.0);
+    }
+
+    #[test]
+    fn ideal_pue_means_zero_overheads() {
+        let model = FacilityModel::PueEstimate(Pue::IDEAL);
+        let f = model.overheads(Energy::from_kilowatt_hours(500.0));
+        assert_eq!(f.total(), Energy::ZERO);
+    }
+}

@@ -1,0 +1,65 @@
+//! The IRISCAST carbon model: total climate impact of a computing
+//! infrastructure.
+//!
+//! This crate is the paper's primary contribution — the model of §4:
+//!
+//! > `Ct = Ca + Ce`  *(equation 1)*
+//!
+//! where active carbon `Ca` is measured energy × grid carbon intensity ×
+//! facility overheads (equations 2–3), and embodied carbon `Ce` is
+//! manufacturing carbon amortised over hardware lifetime (equation 4).
+//! Everything is evaluated as *ranges* (low/medium/high scenarios), the
+//! paper's way of handling the deep uncertainty in each input.
+//!
+//! Layout:
+//!
+//! * [`active`] — equations (2)–(3), scalar and time-aligned;
+//! * [`facilities`] — PUE-based and measured facility overheads;
+//! * [`embodied`] — equation (4) plus amortisation-policy extensions;
+//! * [`scenario`] — the CI×PUE grid (Table 3) and embodied sweep (Table 4);
+//! * [`model`] — equation (1) over interval estimates;
+//! * [`assessment`] — the one-call pipeline producing every table;
+//! * [`iris`] — the paper's experiment, calibrated and runnable;
+//! * [`netzero`] — decarbonisation-pathway projection and the
+//!   embodied/active crossover year (extension of §6's outlook);
+//! * [`uncertainty`] — Monte-Carlo propagation (extension);
+//! * [`equivalence`] — flight/car/household comparisons (§6);
+//! * [`report`] — text/markdown table rendering;
+//! * [`paper`] — every published constant and cell, for validation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use iriscast_model::assessment::{AssessmentParams, SnapshotAssessment};
+//! use iriscast_units::Energy;
+//!
+//! // Assess a day where the estate drew 19,380 kWh (the paper's figure).
+//! let a = SnapshotAssessment::run(
+//!     Energy::from_kilowatt_hours(19_380.0),
+//!     &AssessmentParams::paper(),
+//! );
+//! let total = a.assessment.total();
+//! assert!(total.lo.kilograms() > 1_400.0 && total.hi.kilograms() < 11_800.0);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod active;
+pub mod assessment;
+pub mod embodied;
+pub mod equivalence;
+pub mod facilities;
+pub mod iris;
+pub mod model;
+pub mod netzero;
+pub mod paper;
+pub mod regional;
+pub mod report;
+pub mod scenario;
+pub mod sensitivity;
+pub mod uncertainty;
+
+pub use assessment::{AssessmentParams, SnapshotAssessment};
+pub use model::CarbonAssessment;
+pub use scenario::{ActiveCarbonGrid, EmbodiedSweep};

@@ -1,0 +1,109 @@
+//! Equation (1): `Ct = Ca + Ce` — the top of the model.
+
+use iriscast_units::{Bounds, CarbonMass};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A completed assessment for one period: the active range, the embodied
+/// range, and their combination.
+///
+/// Active and embodied ranges are *independent* (grid intensity does not
+/// correlate with server lifespan), so the total is the interval sum —
+/// lowest active + lowest embodied up to highest active + highest
+/// embodied, exactly how §6 of the paper combines its ranges.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CarbonAssessment {
+    /// Active carbon range for the period (`Ca`).
+    pub active: Bounds<CarbonMass>,
+    /// Embodied carbon range apportioned to the period (`Ce`).
+    pub embodied: Bounds<CarbonMass>,
+}
+
+impl CarbonAssessment {
+    /// Combines active and embodied ranges.
+    pub fn new(active: Bounds<CarbonMass>, embodied: Bounds<CarbonMass>) -> Self {
+        CarbonAssessment { active, embodied }
+    }
+
+    /// Equation (1) as an interval: `Ct = Ca + Ce`.
+    pub fn total(&self) -> Bounds<CarbonMass> {
+        Bounds::new(
+            self.active.lo + self.embodied.lo,
+            self.active.hi + self.embodied.hi,
+        )
+    }
+
+    /// Embodied share of the total across the low and high scenarios,
+    /// ordered as a range. The paper's §6 observation — "embodied carbon
+    /// is generally a much smaller percentage of the overall impact" — is
+    /// this range sitting well below 0.5.
+    pub fn embodied_share(&self) -> Bounds<f64> {
+        let at_low = self.embodied.lo / (self.active.lo + self.embodied.lo);
+        let at_high = self.embodied.hi / (self.active.hi + self.embodied.hi);
+        Bounds::new(at_low.min(at_high), at_low.max(at_high))
+    }
+
+    /// Worst-case embodied share across the cross-pairings (high embodied
+    /// against *low* active): the scenario in which embodied matters most,
+    /// relevant to the paper's decarbonising-grid discussion.
+    pub fn max_embodied_share(&self) -> f64 {
+        self.embodied.hi / (self.active.lo + self.embodied.hi)
+    }
+}
+
+impl fmt::Display for CarbonAssessment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = self.total();
+        write!(
+            f,
+            "active {:.0}–{:.0} kg + embodied {:.0}–{:.0} kg = total {:.0}–{:.0} kgCO2e",
+            self.active.lo.kilograms(),
+            self.active.hi.kilograms(),
+            self.embodied.lo.kilograms(),
+            self.embodied.hi.kilograms(),
+            t.lo.kilograms(),
+            t.hi.kilograms(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    fn paper_assessment() -> CarbonAssessment {
+        CarbonAssessment::new(
+            paper::summary_active_bounds(),
+            paper::summary_embodied_bounds(),
+        )
+    }
+
+    #[test]
+    fn paper_summary_totals() {
+        let a = paper_assessment();
+        let t = a.total();
+        assert!((t.lo.kilograms() - 1_441.0).abs() < 1e-9);
+        assert!((t.hi.kilograms() - 11_711.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn embodied_is_the_smaller_component() {
+        let a = paper_assessment();
+        let share = a.embodied_share();
+        assert!(share.lo < 0.5 && share.hi < 0.5);
+        // Even the worst cross-pairing keeps embodied below parity…
+        let worst = a.max_embodied_share();
+        assert!(worst < 0.75, "worst-case embodied share {worst:.2}");
+        // …but it is no longer negligible (the paper's "will come to
+        // dominate" discussion).
+        assert!(worst > 0.5);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = paper_assessment().to_string();
+        assert!(s.contains("1066"), "{s}");
+        assert!(s.contains("11711"), "{s}");
+    }
+}

@@ -1,0 +1,226 @@
+//! Net-zero pathway analysis: when does embodied carbon take over?
+//!
+//! The paper's §6 makes a forward-looking claim: grid decarbonisation will
+//! shrink the active term, so "the embodied carbon will come to dominate
+//! the climate impact of such systems". This module makes the claim
+//! quantitative: project the grid's mean intensity along a decarbonisation
+//! pathway, hold the DRI's energy and hardware churn constant, and find
+//! the crossover year at which the embodied term exceeds the active term.
+
+use crate::embodied::fleet_snapshot_daily;
+use iriscast_units::{CarbonIntensity, CarbonMass, Energy, Pue};
+use serde::{Deserialize, Serialize};
+
+/// A grid decarbonisation trajectory: mean annual intensity declining
+/// exponentially from `start` towards an `r#final` floor.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DecarbonisationPathway {
+    /// First projected year (e.g. 2022).
+    pub start_year: u32,
+    /// Mean intensity in the first year.
+    pub start: CarbonIntensity,
+    /// Asymptotic floor (residual gas peaking, imports, biomass).
+    pub floor: CarbonIntensity,
+    /// Fractional decline per year of the above-floor component
+    /// (GB 2010–2022 averaged ≈ 9%/year).
+    pub annual_decline: f64,
+}
+
+impl DecarbonisationPathway {
+    /// The GB trajectory consistent with the paper's figures: ~180 g/kWh
+    /// in 2022 declining ~9%/year above a 20 g floor.
+    pub fn gb_default() -> Self {
+        DecarbonisationPathway {
+            start_year: 2022,
+            start: CarbonIntensity::from_grams_per_kwh(180.0),
+            floor: CarbonIntensity::from_grams_per_kwh(20.0),
+            annual_decline: 0.09,
+        }
+    }
+
+    /// Mean intensity projected for `year`.
+    ///
+    /// # Panics
+    /// If `year` precedes the pathway start.
+    pub fn intensity_in(&self, year: u32) -> CarbonIntensity {
+        assert!(
+            year >= self.start_year,
+            "year {year} precedes pathway start {}",
+            self.start_year
+        );
+        let dt = f64::from(year - self.start_year);
+        let above_floor = (self.start - self.floor).grams_per_kwh().max(0.0);
+        let decayed = above_floor * (1.0 - self.annual_decline).powf(dt);
+        self.floor + CarbonIntensity::from_grams_per_kwh(decayed)
+    }
+}
+
+/// A steady-state DRI for pathway projection: constant daily energy and a
+/// constant hardware-refresh treadmill.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SteadyStateDri {
+    /// IT energy per day.
+    pub daily_it_energy: Energy,
+    /// Facility overhead factor.
+    pub pue: Pue,
+    /// Embodied carbon per server.
+    pub embodied_per_server: CarbonMass,
+    /// Replacement cycle in years.
+    pub lifespan_years: f64,
+    /// Fleet size (servers, refreshed on the cycle).
+    pub servers: u32,
+}
+
+impl SteadyStateDri {
+    /// The IRIS estate under the paper's central parameters.
+    pub fn iris_central() -> Self {
+        SteadyStateDri {
+            daily_it_energy: crate::paper::effective_energy(),
+            pue: Pue::new(1.3).expect("valid"),
+            embodied_per_server: CarbonMass::from_kilograms(750.0), // mid of 400–1100
+            lifespan_years: 5.0,
+            servers: crate::paper::AMORTISATION_FLEET_SERVERS,
+        }
+    }
+
+    /// Daily active carbon at a given grid intensity.
+    pub fn daily_active(&self, ci: CarbonIntensity) -> CarbonMass {
+        self.pue.apply(self.daily_it_energy) * ci
+    }
+
+    /// Daily embodied charge (constant along the pathway: the treadmill
+    /// keeps amortising).
+    pub fn daily_embodied(&self) -> CarbonMass {
+        fleet_snapshot_daily(self.embodied_per_server, self.lifespan_years, self.servers)
+    }
+}
+
+/// One projected year.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PathwayYear {
+    /// Calendar year.
+    pub year: u32,
+    /// Projected mean grid intensity.
+    pub intensity: CarbonIntensity,
+    /// Daily active carbon.
+    pub active: CarbonMass,
+    /// Daily embodied carbon.
+    pub embodied: CarbonMass,
+    /// Embodied share of the daily total.
+    pub embodied_share: f64,
+}
+
+/// Projects `dri` along `pathway` for `years` years.
+pub fn project(
+    dri: &SteadyStateDri,
+    pathway: &DecarbonisationPathway,
+    years: u32,
+) -> Vec<PathwayYear> {
+    let embodied = dri.daily_embodied();
+    (pathway.start_year..pathway.start_year + years)
+        .map(|year| {
+            let intensity = pathway.intensity_in(year);
+            let active = dri.daily_active(intensity);
+            PathwayYear {
+                year,
+                intensity,
+                active,
+                embodied,
+                embodied_share: embodied / (active + embodied),
+            }
+        })
+        .collect()
+}
+
+/// The first projected year in which embodied carbon exceeds active
+/// carbon, or `None` if it never does within the projection.
+pub fn crossover_year(projection: &[PathwayYear]) -> Option<u32> {
+    projection
+        .iter()
+        .find(|y| y.embodied > y.active)
+        .map(|y| y.year)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pathway_declines_to_floor() {
+        let p = DecarbonisationPathway::gb_default();
+        let now = p.intensity_in(2022);
+        assert_eq!(now, p.start);
+        let later = p.intensity_in(2040);
+        assert!(later < now);
+        assert!(later >= p.floor);
+        let far = p.intensity_in(2100);
+        assert!((far.grams_per_kwh() - p.floor.grams_per_kwh()).abs() < 2.0);
+        // Monotone decline.
+        let series: Vec<f64> = (2022..2060)
+            .map(|y| p.intensity_in(y).grams_per_kwh())
+            .collect();
+        assert!(series.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes pathway start")]
+    fn past_years_rejected() {
+        let _ = DecarbonisationPathway::gb_default().intensity_in(2020);
+    }
+
+    #[test]
+    fn iris_crosses_over_within_two_decades() {
+        // The paper's §6 prediction, quantified: under central IRIS
+        // parameters and the GB pathway, embodied overtakes active within
+        // a plausible horizon.
+        let projection = project(
+            &SteadyStateDri::iris_central(),
+            &DecarbonisationPathway::gb_default(),
+            40,
+        );
+        let year = crossover_year(&projection).expect("crossover must occur");
+        assert!(
+            (2025..=2045).contains(&year),
+            "crossover {year} outside plausible window"
+        );
+        // Embodied share rises monotonically along the pathway.
+        for w in projection.windows(2) {
+            assert!(w[1].embodied_share >= w[0].embodied_share - 1e-12);
+        }
+        // Start: active dominates (the paper's 2022 conclusion).
+        assert!(projection[0].embodied_share < 0.5);
+        // End: embodied dominates.
+        assert!(projection.last().unwrap().embodied_share > 0.5);
+    }
+
+    #[test]
+    fn zero_carbon_grid_is_all_embodied() {
+        let dri = SteadyStateDri::iris_central();
+        let active = dri.daily_active(CarbonIntensity::ZERO);
+        assert_eq!(active, CarbonMass::ZERO);
+        let embodied = dri.daily_embodied();
+        assert!(embodied.kilograms() > 0.0);
+    }
+
+    #[test]
+    fn longer_lifespans_delay_crossover_never_prevent_it() {
+        let pathway = DecarbonisationPathway::gb_default();
+        let mut dri = SteadyStateDri::iris_central();
+        let base = crossover_year(&project(&dri, &pathway, 60)).unwrap();
+        dri.lifespan_years = 8.0;
+        let extended = crossover_year(&project(&dri, &pathway, 60)).unwrap();
+        assert!(extended >= base, "longer life should not hasten crossover");
+    }
+
+    #[test]
+    fn no_crossover_on_a_static_grid() {
+        let static_grid = DecarbonisationPathway {
+            start_year: 2022,
+            start: CarbonIntensity::from_grams_per_kwh(180.0),
+            floor: CarbonIntensity::from_grams_per_kwh(180.0),
+            annual_decline: 0.0,
+        };
+        let projection = project(&SteadyStateDri::iris_central(), &static_grid, 30);
+        assert_eq!(crossover_year(&projection), None);
+    }
+}

@@ -1,0 +1,308 @@
+//! Published constants and table cells from the IRISCAST paper.
+//!
+//! Everything the paper reports numerically lives here, so validation
+//! tests and the `repro` harness compare against a single source of truth.
+//! Three findings from reverse-engineering the published arithmetic are
+//! encoded explicitly (see DESIGN.md §3):
+//!
+//! 1. Table 3's "High" PUE column is computed with **1.6**, although the
+//!    text says 1.5 (all nine cells match 1.6 to rounding; none match 1.5).
+//! 2. The active-carbon base is **≈ 19,380 kWh**, not Table 2's 18,760
+//!    (969 kg / 50 g·kWh⁻¹ = 19,380; similarly for the other two cells).
+//! 3. Table 4's fleet is **2,398 servers** — the 2,462 monitored nodes
+//!    minus Durham's 64 storage nodes.
+
+use iriscast_telemetry::{EnergyByMethod, SiteEnergyReport};
+use iriscast_units::{Bounds, CarbonIntensity, CarbonMass, Energy, Pue, TriEstimate};
+
+/// The paper's low/medium/high grid carbon-intensity references
+/// (gCO₂/kWh), read off Figure 1.
+pub fn ci_references() -> TriEstimate<CarbonIntensity> {
+    TriEstimate::new(
+        CarbonIntensity::from_grams_per_kwh(50.0),
+        CarbonIntensity::from_grams_per_kwh(175.0),
+        CarbonIntensity::from_grams_per_kwh(300.0),
+    )
+}
+
+/// The PUE sweep as *stated in the text*: 1.1 / 1.3 / 1.5.
+pub fn pue_stated() -> TriEstimate<Pue> {
+    TriEstimate::new(
+        Pue::new(1.1).expect("valid"),
+        Pue::new(1.3).expect("valid"),
+        Pue::new(1.5).expect("valid"),
+    )
+}
+
+/// The PUE sweep *implied by Table 3's cells*: 1.1 / 1.3 / 1.6.
+pub fn pue_table3() -> TriEstimate<Pue> {
+    TriEstimate::new(
+        Pue::new(1.1).expect("valid"),
+        Pue::new(1.3).expect("valid"),
+        Pue::new(1.6).expect("valid"),
+    )
+}
+
+/// Table 2's total row: 18,760 kWh.
+pub const TABLE2_TOTAL_KWH: f64 = 18_760.0;
+
+/// The effective energy behind Table 3's active-carbon cells
+/// (969 kg ÷ 0.050 kg/kWh): ≈ 19,380 kWh.
+pub const EFFECTIVE_ENERGY_KWH: f64 = 19_380.0;
+
+/// Table 2's effective energy as a typed quantity.
+pub fn effective_energy() -> Energy {
+    Energy::from_kilowatt_hours(EFFECTIVE_ENERGY_KWH)
+}
+
+/// The paper's per-server embodied-carbon bounds: 400 and 1,100 kgCO₂.
+pub fn server_embodied_bounds() -> Bounds<CarbonMass> {
+    Bounds::new(
+        CarbonMass::from_kilograms(400.0),
+        CarbonMass::from_kilograms(1_100.0),
+    )
+}
+
+/// Hardware lifespans swept in Table 4, in years.
+pub const LIFESPANS_YEARS: [u32; 5] = [3, 4, 5, 6, 7];
+
+/// Server count behind Table 4's fleet-snapshot column.
+pub const AMORTISATION_FLEET_SERVERS: u32 = 2_398;
+
+/// Flight-equivalence factor used in the summary: 92 kgCO₂ per passenger
+/// per flight hour.
+pub const FLIGHT_KG_PER_PASSENGER_HOUR: f64 = 92.0;
+
+/// §6's 24-hour flight benchmark: 2,208 kgCO₂.
+pub const FLIGHT_24H_KG: f64 = 2_208.0;
+
+/// Published Table 3: active carbon without facilities, per CI reference.
+pub const TABLE3_ACTIVE_KG: [f64; 3] = [969.0, 3_391.0, 5_814.0];
+
+/// Published Table 3: active carbon including facilities.
+/// `TABLE3_WITH_FACILITIES_KG[ci][pue]`, CI rows Low/Med/High, PUE columns
+/// Low/Med/High.
+pub const TABLE3_WITH_FACILITIES_KG: [[f64; 3]; 3] = [
+    [1_066.0, 1_260.0, 1_550.0],
+    [3_731.0, 4_409.0, 5_426.0],
+    [6_395.0, 7_558.0, 9_302.0],
+];
+
+/// Published Table 4 rows: `(lifespan_years, per-server-per-day kg at
+/// 400 kg, per-server-per-day kg at 1,100 kg, fleet-snapshot kg at 400,
+/// fleet-snapshot kg at 1,100)`.
+pub const TABLE4_ROWS: [(u32, f64, f64, f64, f64); 5] = [
+    (3, 0.36, 1.00, 876.0, 2_409.0),
+    (4, 0.27, 0.75, 657.0, 1_806.0),
+    (5, 0.22, 0.61, 526.0, 1_445.0),
+    (6, 0.18, 0.50, 438.0, 1_204.0),
+    (7, 0.16, 0.43, 375.0, 1_032.0),
+];
+
+/// §6's summary ranges: active 1,066–9,302 kg, embodied 375–2,409 kg.
+pub fn summary_active_bounds() -> Bounds<CarbonMass> {
+    Bounds::new(
+        CarbonMass::from_kilograms(1_066.0),
+        CarbonMass::from_kilograms(9_302.0),
+    )
+}
+
+/// §6's embodied range.
+pub fn summary_embodied_bounds() -> Bounds<CarbonMass> {
+    Bounds::new(
+        CarbonMass::from_kilograms(375.0),
+        CarbonMass::from_kilograms(2_409.0),
+    )
+}
+
+/// One calibration row of the published Table 2.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table2Row {
+    /// Site code as used by `iriscast_inventory::iris`.
+    pub site: &'static str,
+    /// Facility-meter kWh, when the site had one.
+    pub facility_kwh: Option<f64>,
+    /// PDU kWh.
+    pub pdu_kwh: Option<f64>,
+    /// IPMI kWh.
+    pub ipmi_kwh: Option<f64>,
+    /// Turbostat kWh.
+    pub turbostat_kwh: Option<f64>,
+    /// Monitored node count.
+    pub nodes: u32,
+}
+
+/// The published Table 2, row by row.
+pub const TABLE2_ROWS: [Table2Row; 6] = [
+    Table2Row {
+        site: "QMUL",
+        facility_kwh: Some(1_299.0),
+        pdu_kwh: Some(1_299.0),
+        ipmi_kwh: Some(1_279.0),
+        turbostat_kwh: Some(1_214.0),
+        nodes: 118,
+    },
+    Table2Row {
+        site: "CAM",
+        facility_kwh: None,
+        pdu_kwh: None,
+        ipmi_kwh: Some(261.0),
+        turbostat_kwh: None,
+        nodes: 59,
+    },
+    Table2Row {
+        site: "DUR",
+        facility_kwh: Some(8_154.0),
+        pdu_kwh: Some(8_154.0),
+        ipmi_kwh: Some(6_267.0),
+        turbostat_kwh: None,
+        nodes: 876,
+    },
+    Table2Row {
+        site: "STFC-CLOUD",
+        facility_kwh: None,
+        pdu_kwh: None,
+        ipmi_kwh: Some(3_831.0),
+        turbostat_kwh: None,
+        nodes: 721,
+    },
+    Table2Row {
+        site: "STFC-SCARF",
+        facility_kwh: None,
+        pdu_kwh: Some(4_271.0),
+        ipmi_kwh: Some(3_292.0),
+        turbostat_kwh: None,
+        nodes: 571,
+    },
+    Table2Row {
+        site: "IMP",
+        facility_kwh: None,
+        pdu_kwh: None,
+        ipmi_kwh: Some(944.0),
+        turbostat_kwh: None,
+        nodes: 117,
+    },
+];
+
+/// The published Table 2 as telemetry report rows (for quality analysis
+/// and rendering alongside simulated rows).
+pub fn table2_reports() -> Vec<SiteEnergyReport> {
+    TABLE2_ROWS
+        .iter()
+        .map(|r| SiteEnergyReport {
+            site: r.site.to_string(),
+            energies: EnergyByMethod {
+                facility: r.facility_kwh.map(Energy::from_kilowatt_hours),
+                pdu: r.pdu_kwh.map(Energy::from_kilowatt_hours),
+                ipmi: r.ipmi_kwh.map(Energy::from_kilowatt_hours),
+                turbostat: r.turbostat_kwh.map(Energy::from_kilowatt_hours),
+            },
+            nodes: r.nodes,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iriscast_telemetry::aggregate::total_best_estimate;
+
+    #[test]
+    fn table2_rows_sum_to_published_total() {
+        let rows = table2_reports();
+        let total = total_best_estimate(&rows);
+        assert!((total.kilowatt_hours() - TABLE2_TOTAL_KWH).abs() < 1e-9);
+        let nodes: u32 = rows.iter().map(|r| r.nodes).sum();
+        assert_eq!(nodes, 2_462);
+    }
+
+    #[test]
+    fn effective_energy_reproduces_active_cells() {
+        let e = effective_energy();
+        for (ci, expect) in ci_references().into_values().zip(TABLE3_ACTIVE_KG) {
+            let kg = (e * ci).kilograms();
+            assert!(
+                (kg - expect).abs() < 1.0,
+                "CI {ci}: {kg:.1} vs published {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn table3_cells_use_pue_1_6_not_1_5() {
+        // Every High-PUE cell matches 1.6; none matches the stated 1.5.
+        for (i, &base) in TABLE3_ACTIVE_KG.iter().enumerate() {
+            let with_16 = base * 1.6;
+            let with_15 = base * 1.5;
+            let published = TABLE3_WITH_FACILITIES_KG[i][2];
+            assert!(
+                (with_16 - published).abs() < 1.0,
+                "row {i}: 1.6 gives {with_16:.0}, published {published}"
+            );
+            assert!(
+                (with_15 - published).abs() > 50.0,
+                "row {i}: 1.5 would give {with_15:.0} — too close to published"
+            );
+        }
+    }
+
+    #[test]
+    fn full_table3_consistent() {
+        let pues = pue_table3();
+        for (i, &base) in TABLE3_ACTIVE_KG.iter().enumerate() {
+            for (j, pue) in pues.iter().enumerate() {
+                let computed = base * pue.value();
+                let published = TABLE3_WITH_FACILITIES_KG[i][j];
+                assert!(
+                    (computed - published).abs() < 1.5,
+                    "cell [{i}][{j}]: {computed:.1} vs {published}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table4_implies_2398_servers() {
+        for (years, per_day_400, per_day_1100, fleet_400, fleet_1100) in TABLE4_ROWS {
+            let days = f64::from(years) * 365.0;
+            // Per-server-per-day cells (published at 2 dp).
+            assert!((400.0 / days - per_day_400).abs() < 0.01, "{years}y/400");
+            assert!(
+                (1_100.0 / days - per_day_1100).abs() < 0.01,
+                "{years}y/1100"
+            );
+            // Fleet cells: 2,398 servers × per-day, published truncated or
+            // rounded to integer kg.
+            let servers = f64::from(AMORTISATION_FLEET_SERVERS);
+            assert!(
+                (400.0 / days * servers - fleet_400).abs() < 1.0,
+                "{years}y fleet/400: {} vs {fleet_400}",
+                400.0 / days * servers
+            );
+            assert!(
+                (1_100.0 / days * servers - fleet_1100).abs() < 1.0,
+                "{years}y fleet/1100: {} vs {fleet_1100}",
+                1_100.0 / days * servers
+            );
+        }
+    }
+
+    #[test]
+    fn flight_benchmark() {
+        assert_eq!(FLIGHT_KG_PER_PASSENGER_HOUR * 24.0, FLIGHT_24H_KG);
+    }
+
+    #[test]
+    fn summary_bounds_are_table_extremes() {
+        assert_eq!(
+            summary_active_bounds().lo.kilograms(),
+            TABLE3_WITH_FACILITIES_KG[0][0]
+        );
+        assert_eq!(
+            summary_active_bounds().hi.kilograms(),
+            TABLE3_WITH_FACILITIES_KG[2][2]
+        );
+        assert_eq!(summary_embodied_bounds().lo.kilograms(), 375.0);
+        assert_eq!(summary_embodied_bounds().hi.kilograms(), 2_409.0);
+    }
+}

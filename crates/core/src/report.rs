@@ -1,0 +1,229 @@
+//! Plain-text table rendering for reports and the repro harness.
+
+use iriscast_units::format_grouped;
+
+/// Column alignment.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple monospace table builder: headers, rows, per-column alignment,
+/// automatic width. Renders in a style close to the paper's tables.
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl TextTable {
+    /// Starts a table with the given column headers; the first column is
+    /// left-aligned, the rest right-aligned (override with
+    /// [`TextTable::aligns`]).
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        let mut aligns = vec![Align::Right; headers.len()];
+        aligns[0] = Align::Left;
+        TextTable {
+            headers,
+            aligns,
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a caption printed above the table.
+    pub fn title(mut self, t: impl Into<String>) -> Self {
+        self.title = Some(t.into());
+        self
+    }
+
+    /// Overrides column alignments.
+    ///
+    /// # Panics
+    /// If the alignment count differs from the column count.
+    pub fn aligns(mut self, aligns: Vec<Align>) -> Self {
+        assert_eq!(
+            aligns.len(),
+            self.headers.len(),
+            "alignment count must match column count"
+        );
+        self.aligns = aligns;
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// If the cell count differs from the column count.
+    pub fn row<S: Into<String>>(mut self, cells: Vec<S>) -> Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match column count"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(t);
+            out.push('\n');
+        }
+        let fmt_row = |cells: &[String], widths: &[usize], aligns: &[Align]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let w = widths[i];
+                match aligns[i] {
+                    Align::Left => line.push_str(&format!("{:<w$}", cells[i])),
+                    Align::Right => line.push_str(&format!("{:>w$}", cells[i])),
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths, &self.aligns));
+        out.push('\n');
+        let rule_len = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths, &self.aligns));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(&format!("**{t}**\n\n"));
+        }
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        let seps: Vec<&str> = self
+            .aligns
+            .iter()
+            .map(|a| match a {
+                Align::Left => ":--",
+                Align::Right => "--:",
+            })
+            .collect();
+        out.push_str(&format!("| {} |\n", seps.join(" | ")));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Formats a kWh/kg number the way the paper's tables do: grouped
+/// thousands, no decimals.
+pub fn paper_num(v: f64) -> String {
+    format_grouped(v, 0)
+}
+
+/// Formats an optional value, blank-as-dash (the paper's empty cells).
+pub fn paper_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => paper_num(x),
+        None => "-".to_string(),
+    }
+}
+
+/// A one-line ASCII bar for sparkline-style figures (Figure 1 rendering):
+/// `value` scaled within `[lo, hi]` to a bar of `width` characters.
+pub fn ascii_bar(value: f64, lo: f64, hi: f64, width: usize) -> String {
+    if hi <= lo || width == 0 {
+        return String::new();
+    }
+    let frac = ((value - lo) / (hi - lo)).clamp(0.0, 1.0);
+    let filled = (frac * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { ' ' });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = TextTable::new(vec!["Site", "kWh"])
+            .row(vec!["QMUL", "1,299"])
+            .row(vec!["DUR", "8,154"])
+            .render();
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "Site    kWh");
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines[2], "QMUL  1,299");
+        assert_eq!(lines[3], "DUR   8,154");
+    }
+
+    #[test]
+    fn title_and_markdown() {
+        let t = TextTable::new(vec!["A", "B"])
+            .title("Table X")
+            .row(vec!["x", "1"]);
+        assert!(t.render().starts_with("Table X\n"));
+        let md = t.render_markdown();
+        assert!(md.contains("**Table X**"));
+        assert!(md.contains("| A | B |"));
+        assert!(md.contains("| :-- | --: |"));
+        assert!(md.contains("| x | 1 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let _ = TextTable::new(vec!["A", "B"]).row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn paper_formats() {
+        assert_eq!(paper_num(18_760.4), "18,760");
+        assert_eq!(paper_opt(None), "-");
+        assert_eq!(paper_opt(Some(944.0)), "944");
+    }
+
+    #[test]
+    fn bars() {
+        assert_eq!(ascii_bar(50.0, 0.0, 100.0, 10), "#####     ");
+        assert_eq!(ascii_bar(0.0, 0.0, 100.0, 4), "    ");
+        assert_eq!(ascii_bar(100.0, 0.0, 100.0, 4), "####");
+        assert_eq!(ascii_bar(200.0, 0.0, 100.0, 4), "####"); // clamped
+        assert_eq!(ascii_bar(1.0, 1.0, 1.0, 4), ""); // degenerate range
+    }
+
+    #[test]
+    fn custom_alignment() {
+        let t = TextTable::new(vec!["L", "R"])
+            .aligns(vec![Align::Right, Align::Left])
+            .row(vec!["a", "b"])
+            .render();
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[2], "a  b");
+    }
+}

@@ -1,0 +1,204 @@
+//! Scenario sweeps: the machinery behind Tables 3 and 4.
+
+use crate::embodied::{fleet_snapshot_daily, per_server_daily};
+use iriscast_units::{Bounds, CarbonIntensity, CarbonMass, Energy, Pue, TriEstimate};
+use serde::{Deserialize, Serialize};
+
+/// Table 3: active carbon across the CI × PUE grid.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ActiveCarbonGrid {
+    /// The IT energy the grid was computed from.
+    pub it_energy: Energy,
+    /// CI references used (rows).
+    pub ci: TriEstimate<CarbonIntensity>,
+    /// PUE sweep used (columns).
+    pub pue: TriEstimate<Pue>,
+    /// Row 1 of Table 3: active carbon without facilities, per CI.
+    pub base: TriEstimate<CarbonMass>,
+    /// `cells[ci][pue]`: active carbon including facilities.
+    pub cells: [[CarbonMass; 3]; 3],
+}
+
+impl ActiveCarbonGrid {
+    /// Sweeps `it_energy` across the CI and PUE scenarios.
+    pub fn compute(
+        it_energy: Energy,
+        ci: TriEstimate<CarbonIntensity>,
+        pue: TriEstimate<Pue>,
+    ) -> Self {
+        let base = ci.map(|c| it_energy * c);
+        let ci_list = [ci.low, ci.mid, ci.high];
+        let pue_list = [pue.low, pue.mid, pue.high];
+        let mut cells = [[CarbonMass::ZERO; 3]; 3];
+        for (i, c) in ci_list.iter().enumerate() {
+            for (j, p) in pue_list.iter().enumerate() {
+                cells[i][j] = p.apply(it_energy) * *c;
+            }
+        }
+        ActiveCarbonGrid {
+            it_energy,
+            ci,
+            pue,
+            base,
+            cells,
+        }
+    }
+
+    /// The corner-to-corner envelope (Table 3's 1,066–9,302 kg range).
+    pub fn envelope(&self) -> Bounds<CarbonMass> {
+        Bounds::new(self.cells[0][0], self.cells[2][2])
+    }
+
+    /// The central (medium/medium) scenario.
+    pub fn central(&self) -> CarbonMass {
+        self.cells[1][1]
+    }
+}
+
+/// One row of Table 4.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EmbodiedSweepRow {
+    /// Hardware lifespan in years.
+    pub lifespan_years: u32,
+    /// Per-server daily charge at the low/high embodied bounds.
+    pub per_server_daily: Bounds<CarbonMass>,
+    /// Whole-fleet 24-hour charge at the low/high embodied bounds.
+    pub fleet_snapshot: Bounds<CarbonMass>,
+}
+
+/// Table 4: embodied amortisation across lifespans and embodied bounds.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EmbodiedSweep {
+    /// Per-server embodied bounds used.
+    pub embodied: Bounds<CarbonMass>,
+    /// Fleet size amortised.
+    pub servers: u32,
+    /// One row per lifespan.
+    pub rows: Vec<EmbodiedSweepRow>,
+}
+
+impl EmbodiedSweep {
+    /// Sweeps lifespans for a per-server embodied range and fleet size.
+    pub fn compute(embodied: Bounds<CarbonMass>, lifespans_years: &[u32], servers: u32) -> Self {
+        let rows = lifespans_years
+            .iter()
+            .map(|&years| {
+                let y = f64::from(years);
+                EmbodiedSweepRow {
+                    lifespan_years: years,
+                    per_server_daily: embodied.map(|e| per_server_daily(e, y)),
+                    fleet_snapshot: embodied.map(|e| fleet_snapshot_daily(e, y, servers)),
+                }
+            })
+            .collect();
+        EmbodiedSweep {
+            embodied,
+            servers,
+            rows,
+        }
+    }
+
+    /// The full envelope across every cell (Table 4's 375–2,409 kg range:
+    /// longest life at the low bound to shortest life at the high bound).
+    pub fn envelope(&self) -> Bounds<CarbonMass> {
+        let lo = self
+            .rows
+            .iter()
+            .map(|r| r.fleet_snapshot.lo)
+            .min_by(|a, b| a.total_cmp(b))
+            .expect("sweep has rows");
+        let hi = self
+            .rows
+            .iter()
+            .map(|r| r.fleet_snapshot.hi)
+            .max_by(|a, b| a.total_cmp(b))
+            .expect("sweep has rows");
+        Bounds::new(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn table3_reproduced_exactly() {
+        let grid = ActiveCarbonGrid::compute(
+            paper::effective_energy(),
+            paper::ci_references(),
+            paper::pue_table3(),
+        );
+        for (i, base) in grid.base.iter().enumerate() {
+            assert!(
+                (base.kilograms() - paper::TABLE3_ACTIVE_KG[i]).abs() < 1.0,
+                "base[{i}]"
+            );
+        }
+        for i in 0..3 {
+            for j in 0..3 {
+                let got = grid.cells[i][j].kilograms();
+                let want = paper::TABLE3_WITH_FACILITIES_KG[i][j];
+                assert!((got - want).abs() < 1.5, "cell [{i}][{j}]: {got} vs {want}");
+            }
+        }
+        let env = grid.envelope();
+        assert!((env.lo.kilograms() - 1_066.0).abs() < 1.0);
+        assert!((env.hi.kilograms() - 9_302.0).abs() < 1.0);
+        assert!((grid.central().kilograms() - 4_409.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn table4_reproduced_exactly() {
+        let sweep = EmbodiedSweep::compute(
+            paper::server_embodied_bounds(),
+            &paper::LIFESPANS_YEARS,
+            paper::AMORTISATION_FLEET_SERVERS,
+        );
+        assert_eq!(sweep.rows.len(), 5);
+        for (row, (years, d400, d1100, f400, f1100)) in
+            sweep.rows.iter().zip(paper::TABLE4_ROWS)
+        {
+            assert_eq!(row.lifespan_years, years);
+            assert!((row.per_server_daily.lo.kilograms() - d400).abs() < 0.01);
+            assert!((row.per_server_daily.hi.kilograms() - d1100).abs() < 0.01);
+            assert!((row.fleet_snapshot.lo.kilograms() - f400).abs() < 1.0);
+            assert!((row.fleet_snapshot.hi.kilograms() - f1100).abs() < 1.0);
+        }
+        let env = sweep.envelope();
+        assert!((env.lo.kilograms() - 375.0).abs() < 1.0);
+        assert!((env.hi.kilograms() - 2_409.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn grid_monotone_in_both_axes() {
+        let grid = ActiveCarbonGrid::compute(
+            Energy::from_kilowatt_hours(1_000.0),
+            paper::ci_references(),
+            paper::pue_table3(),
+        );
+        for i in 0..3 {
+            for j in 0..2 {
+                assert!(grid.cells[i][j] < grid.cells[i][j + 1]);
+            }
+        }
+        for j in 0..3 {
+            for i in 0..2 {
+                assert!(grid.cells[i][j] < grid.cells[i + 1][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_monotone_in_lifespan() {
+        let sweep = EmbodiedSweep::compute(
+            paper::server_embodied_bounds(),
+            &paper::LIFESPANS_YEARS,
+            100,
+        );
+        for w in sweep.rows.windows(2) {
+            assert!(w[0].fleet_snapshot.lo > w[1].fleet_snapshot.lo);
+            assert!(w[0].per_server_daily.hi > w[1].per_server_daily.hi);
+        }
+    }
+}

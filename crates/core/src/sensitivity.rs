@@ -1,0 +1,208 @@
+//! One-at-a-time sensitivity (tornado) analysis of the carbon model.
+//!
+//! The paper sweeps parameters jointly (all-low vs all-high). Sweeping
+//! them one at a time around the central scenario shows *which* input
+//! buys the most accuracy — the quantitative version of the paper's
+//! closing "all these inputs are required" discussion. With the 2022
+//! parameterisation, carbon intensity dominates everything else, which is
+//! exactly why the paper prioritises measured energy and mentions cooling
+//! estimates second.
+
+use crate::embodied::fleet_snapshot_daily;
+use iriscast_units::{Bounds, CarbonIntensity, CarbonMass, Energy, Pue};
+use serde::{Deserialize, Serialize};
+
+/// The model's inputs, each with central value and plausible bounds.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityInputs {
+    /// IT energy for the window (kWh): measurement spread.
+    pub it_energy_kwh: (f64, f64, f64),
+    /// Grid carbon intensity (g/kWh).
+    pub ci_g_per_kwh: (f64, f64, f64),
+    /// PUE.
+    pub pue: (f64, f64, f64),
+    /// Embodied carbon per server (kg).
+    pub embodied_kg: (f64, f64, f64),
+    /// Hardware lifespan (years). NOTE: total carbon *decreases* in
+    /// lifespan, so the low total sits at the high lifespan.
+    pub lifespan_years: (f64, f64, f64),
+    /// Fleet size.
+    pub servers: u32,
+}
+
+impl SensitivityInputs {
+    /// The paper's parameter space around its central scenario.
+    pub fn paper() -> Self {
+        SensitivityInputs {
+            // Table 2 total … implied effective energy … adjusted total.
+            it_energy_kwh: (18_760.0, 19_380.0, 20_100.0),
+            ci_g_per_kwh: (50.0, 175.0, 300.0),
+            pue: (1.1, 1.3, 1.6),
+            embodied_kg: (400.0, 750.0, 1_100.0),
+            lifespan_years: (3.0, 5.0, 7.0),
+            servers: crate::paper::AMORTISATION_FLEET_SERVERS,
+        }
+    }
+
+    fn total(
+        &self,
+        kwh: f64,
+        ci: f64,
+        pue: f64,
+        embodied: f64,
+        lifespan: f64,
+    ) -> CarbonMass {
+        let active = Pue::new(pue).expect("valid pue in sweep")
+            .apply(Energy::from_kilowatt_hours(kwh))
+            * CarbonIntensity::from_grams_per_kwh(ci);
+        let emb = fleet_snapshot_daily(
+            CarbonMass::from_kilograms(embodied),
+            lifespan,
+            self.servers,
+        );
+        active + emb
+    }
+
+    /// Total carbon with every input at its central value.
+    pub fn central_total(&self) -> CarbonMass {
+        self.total(
+            self.it_energy_kwh.1,
+            self.ci_g_per_kwh.1,
+            self.pue.1,
+            self.embodied_kg.1,
+            self.lifespan_years.1,
+        )
+    }
+}
+
+/// One bar of the tornado: the total-carbon range produced by sweeping a
+/// single input across its bounds with everything else central.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TornadoBar {
+    /// Input name.
+    pub input: &'static str,
+    /// Total carbon at the input's bounds (ordered low ≤ high).
+    pub range: Bounds<CarbonMass>,
+    /// Width of the bar (range span).
+    pub span: CarbonMass,
+}
+
+/// Runs the one-at-a-time analysis; bars are returned widest first.
+pub fn tornado(inputs: &SensitivityInputs) -> Vec<TornadoBar> {
+    let i = inputs;
+    let mk = |name: &'static str, lo: CarbonMass, hi: CarbonMass| {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        TornadoBar {
+            input: name,
+            range: Bounds::new(lo, hi),
+            span: hi - lo,
+        }
+    };
+    let c = (
+        i.it_energy_kwh.1,
+        i.ci_g_per_kwh.1,
+        i.pue.1,
+        i.embodied_kg.1,
+        i.lifespan_years.1,
+    );
+    let mut bars = vec![
+        mk(
+            "carbon intensity",
+            i.total(c.0, i.ci_g_per_kwh.0, c.2, c.3, c.4),
+            i.total(c.0, i.ci_g_per_kwh.2, c.2, c.3, c.4),
+        ),
+        mk(
+            "pue",
+            i.total(c.0, c.1, i.pue.0, c.3, c.4),
+            i.total(c.0, c.1, i.pue.2, c.3, c.4),
+        ),
+        mk(
+            "embodied per server",
+            i.total(c.0, c.1, c.2, i.embodied_kg.0, c.4),
+            i.total(c.0, c.1, c.2, i.embodied_kg.2, c.4),
+        ),
+        mk(
+            "lifespan",
+            i.total(c.0, c.1, c.2, c.3, i.lifespan_years.0),
+            i.total(c.0, c.1, c.2, c.3, i.lifespan_years.2),
+        ),
+        mk(
+            "it energy",
+            i.total(i.it_energy_kwh.0, c.1, c.2, c.3, c.4),
+            i.total(i.it_energy_kwh.2, c.1, c.2, c.3, c.4),
+        ),
+    ];
+    bars.sort_by(|a, b| b.span.total_cmp(&a.span));
+    bars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carbon_intensity_dominates_2022() {
+        let bars = tornado(&SensitivityInputs::paper());
+        assert_eq!(bars[0].input, "carbon intensity");
+        // CI's bar dwarfs every other bar.
+        for bar in &bars[1..] {
+            assert!(
+                bars[0].span.kilograms() > 2.0 * bar.span.kilograms(),
+                "CI should dominate {}: {} vs {}",
+                bar.input,
+                bars[0].span,
+                bar.span
+            );
+        }
+    }
+
+    #[test]
+    fn bars_are_sorted_and_ordered() {
+        let bars = tornado(&SensitivityInputs::paper());
+        assert_eq!(bars.len(), 5);
+        for w in bars.windows(2) {
+            assert!(w[0].span >= w[1].span);
+        }
+        for bar in &bars {
+            assert!(bar.range.lo <= bar.range.hi, "{}", bar.input);
+            assert!(
+                (bar.span.grams() - (bar.range.hi - bar.range.lo).grams()).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn central_total_matches_paper_medium() {
+        // Central: 19,380 kWh × 1.3 × 175 g + 750 kg/5 y × 2,398
+        // ≈ 4,409 + 986 ≈ 5,395 kg.
+        let total = SensitivityInputs::paper().central_total();
+        assert!((total.kilograms() - 5_395.0).abs() < 15.0, "{total}");
+    }
+
+    #[test]
+    fn lifespan_bar_inverts_correctly() {
+        // Short lifespans mean higher totals: the bar must still come out
+        // ordered lo ≤ hi.
+        let bars = tornado(&SensitivityInputs::paper());
+        let lifespan = bars.iter().find(|b| b.input == "lifespan").unwrap();
+        assert!(lifespan.range.lo < lifespan.range.hi);
+        let central = SensitivityInputs::paper().central_total();
+        assert!(lifespan.range.lo < central && central < lifespan.range.hi);
+    }
+
+    #[test]
+    fn decarbonised_grid_flips_the_ranking() {
+        // Once CI collapses, the embodied inputs take over the tornado —
+        // the §6 prediction again, now at the sensitivity level. (At
+        // 10–50 g/kWh the CI bar still spans ~1 t because the PUE'd energy
+        // is ~25 MWh; a mid-2030s 5–30 g range is needed to dethrone it.)
+        let mut inputs = SensitivityInputs::paper();
+        inputs.ci_g_per_kwh = (5.0, 15.0, 30.0);
+        let bars = tornado(&inputs);
+        assert!(
+            bars[0].input == "embodied per server" || bars[0].input == "lifespan",
+            "expected an embodied input on top, got {}",
+            bars[0].input
+        );
+    }
+}

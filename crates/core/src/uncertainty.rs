@@ -1,0 +1,189 @@
+//! Monte-Carlo propagation of the model's parameter uncertainty.
+//!
+//! The paper propagates uncertainty by hand: three CI values × three PUEs
+//! × two embodied bounds × five lifespans. Sampling the same parameter
+//! space instead yields a *distribution* of totals — and shows that the
+//! table extremes are genuinely extreme (the corner scenarios require
+//! every parameter to be simultaneously at its bound).
+
+use crate::paper;
+use iriscast_grid::IntensitySeries;
+use iriscast_grid::stats;
+use iriscast_units::{CarbonMass, Energy, Pue};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameter distributions for the Monte-Carlo assessment.
+#[derive(Clone, Debug)]
+pub struct McConfig {
+    /// IT energy for the window (treated as exact; measurement error is
+    /// negligible next to parameter uncertainty).
+    pub it_energy: Energy,
+    /// Carbon-intensity sample source: draws a random interval from a
+    /// simulated grid month, capturing real temporal correlation.
+    pub intensity: IntensitySeries,
+    /// PUE triangular distribution `(min, mode, max)`.
+    pub pue: (f64, f64, f64),
+    /// Per-server embodied uniform bounds, kg.
+    pub embodied_kg: (f64, f64),
+    /// Lifespan uniform bounds, years.
+    pub lifespan_years: (f64, f64),
+    /// Fleet size.
+    pub servers: u32,
+}
+
+impl McConfig {
+    /// The paper's parameter space over a given intensity series.
+    pub fn paper(intensity: IntensitySeries) -> Self {
+        McConfig {
+            it_energy: paper::effective_energy(),
+            intensity,
+            pue: (1.1, 1.3, 1.6),
+            embodied_kg: (400.0, 1_100.0),
+            lifespan_years: (3.0, 7.0),
+            servers: paper::AMORTISATION_FLEET_SERVERS,
+        }
+    }
+}
+
+/// Summary of the sampled total-carbon distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct McResult {
+    /// Samples drawn.
+    pub samples: usize,
+    /// Mean total.
+    pub mean: CarbonMass,
+    /// 5th percentile.
+    pub p5: CarbonMass,
+    /// Median.
+    pub p50: CarbonMass,
+    /// 95th percentile.
+    pub p95: CarbonMass,
+    /// Mean embodied share of the total.
+    pub mean_embodied_share: f64,
+}
+
+/// Triangular sample on `(min, mode, max)` by inverse CDF.
+fn triangular(rng: &mut impl Rng, min: f64, mode: f64, max: f64) -> f64 {
+    assert!(min <= mode && mode <= max && min < max, "bad triangle");
+    let u: f64 = rng.gen();
+    let fc = (mode - min) / (max - min);
+    if u < fc {
+        min + (u * (max - min) * (mode - min)).sqrt()
+    } else {
+        max - ((1.0 - u) * (max - min) * (max - mode)).sqrt()
+    }
+}
+
+/// Runs the Monte-Carlo assessment.
+pub fn run(config: &McConfig, samples: usize, seed: u64) -> McResult {
+    assert!(samples > 0, "need at least one sample");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut totals = Vec::with_capacity(samples);
+    let mut shares = 0.0;
+    let values = config.intensity.values();
+    for _ in 0..samples {
+        // CI: a random day's mean from the series (a snapshot lands on
+        // one day, not on the monthly percentile extremes).
+        let day_slots = 48.min(values.len());
+        let start = rng.gen_range(0..=values.len() - day_slots);
+        let ci_mean: f64 = values[start..start + day_slots]
+            .iter()
+            .map(|v| v.grams_per_kwh())
+            .sum::<f64>()
+            / day_slots as f64;
+        let ci = iriscast_units::CarbonIntensity::from_grams_per_kwh(ci_mean);
+
+        let pue = Pue::new(triangular(&mut rng, config.pue.0, config.pue.1, config.pue.2))
+            .expect("triangle within valid PUE range");
+        let embodied_per_server = CarbonMass::from_kilograms(
+            rng.gen_range(config.embodied_kg.0..=config.embodied_kg.1),
+        );
+        let lifespan = rng.gen_range(config.lifespan_years.0..=config.lifespan_years.1);
+
+        let active = pue.apply(config.it_energy) * ci;
+        let embodied = crate::embodied::fleet_snapshot_daily(
+            embodied_per_server,
+            lifespan,
+            config.servers,
+        );
+        let total = active + embodied;
+        shares += embodied / total;
+        totals.push(total.kilograms());
+    }
+    let mean = stats::mean(&totals).expect("non-empty");
+    McResult {
+        samples,
+        mean: CarbonMass::from_kilograms(mean),
+        p5: CarbonMass::from_kilograms(stats::percentile(&totals, 0.05).expect("non-empty")),
+        p50: CarbonMass::from_kilograms(stats::percentile(&totals, 0.50).expect("non-empty")),
+        p95: CarbonMass::from_kilograms(stats::percentile(&totals, 0.95).expect("non-empty")),
+        mean_embodied_share: shares / samples as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iriscast_grid::scenario::uk_november_2022;
+
+    fn config() -> McConfig {
+        McConfig::paper(uk_november_2022(11).simulate().intensity().clone())
+    }
+
+    #[test]
+    fn distribution_sits_inside_paper_envelope() {
+        let r = run(&config(), 4_000, 7);
+        // §6 envelope: 1,441–11,711 kg. The MC p5/p95 must be interior.
+        assert!(r.p5.kilograms() > 1_441.0, "p5 {}", r.p5.kilograms());
+        assert!(r.p95.kilograms() < 11_711.0, "p95 {}", r.p95.kilograms());
+        assert!(r.p5 < r.p50 && r.p50 < r.p95);
+        // Central mass around the paper's medium scenario (4,409 + ~700).
+        assert!(
+            (2_500.0..=8_000.0).contains(&r.p50.kilograms()),
+            "median {}",
+            r.p50.kilograms()
+        );
+    }
+
+    #[test]
+    fn embodied_share_is_minor_today() {
+        let r = run(&config(), 2_000, 3);
+        assert!(
+            r.mean_embodied_share > 0.05 && r.mean_embodied_share < 0.5,
+            "share {}",
+            r.mean_embodied_share
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run(&config(), 500, 42);
+        let b = run(&config(), 500, 42);
+        assert_eq!(a, b);
+        let c = run(&config(), 500, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn triangular_respects_bounds_and_mode() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        let n = 50_000;
+        for _ in 0..n {
+            let x = triangular(&mut rng, 1.1, 1.3, 1.6);
+            assert!((1.1..=1.6).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        // Triangle mean = (a+b+c)/3 = 1.3333.
+        assert!((mean - 4.0 / 3.0).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        let _ = run(&config(), 0, 1);
+    }
+}

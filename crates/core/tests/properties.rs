@@ -1,0 +1,186 @@
+//! Property-based tests for the carbon model's invariants.
+
+use iriscast_model::embodied::AmortizationPolicy;
+use iriscast_model::netzero::{project, DecarbonisationPathway, SteadyStateDri};
+use iriscast_model::{ActiveCarbonGrid, EmbodiedSweep};
+use iriscast_units::{
+    Bounds, CarbonIntensity, CarbonMass, Energy, Pue, SimDuration, TriEstimate,
+};
+use proptest::prelude::*;
+
+fn ordered_triple(lo: f64, hi: f64) -> impl Strategy<Value = (f64, f64, f64)> {
+    (lo..hi, lo..hi, lo..hi).prop_map(|(a, b, c)| {
+        let mut v = [a, b, c];
+        v.sort_by(f64::total_cmp);
+        (v[0], v[1], v[2])
+    })
+}
+
+proptest! {
+    /// Every amortisation policy conserves the embodied total over the
+    /// lifetime, for arbitrary lifespans and partitions.
+    #[test]
+    fn amortisation_conserves(
+        total_kg in 1.0..5_000.0f64,
+        lifespan_years in 0.5..15.0f64,
+        parts in 1usize..40,
+        rate in 0.05..0.9f64,
+        usage in 0.1..3.0f64,
+    ) {
+        let total = CarbonMass::from_kilograms(total_kg);
+        let life = SimDuration::from_years(lifespan_years);
+        let window = SimDuration::from_secs(life.as_secs() / parts as i64);
+        prop_assume!(window.as_secs() > 0);
+        for policy in [
+            AmortizationPolicy::Linear,
+            AmortizationPolicy::DecliningBalance { rate },
+        ] {
+            let mut sum = CarbonMass::ZERO;
+            for p in 0..parts {
+                sum += policy.charge(total, life, window * p as i64, window);
+            }
+            // The final window may undershoot end-of-life by division
+            // remainder; add the tail.
+            let covered = window * parts as i64;
+            if covered < life {
+                sum += policy.charge(total, life, covered, life - covered);
+            }
+            prop_assert!(
+                (sum.kilograms() - total_kg).abs() < total_kg * 1e-9 + 1e-6,
+                "{policy:?}: {} vs {total_kg}",
+                sum.kilograms()
+            );
+        }
+        // Usage-weighted at constant relative usage u sums to u × total.
+        let policy = AmortizationPolicy::UsageWeighted { relative_usage: usage };
+        let whole = policy.charge(total, life, SimDuration::ZERO, life);
+        prop_assert!((whole.kilograms() - total_kg * usage).abs() < 1e-6);
+    }
+
+    /// Charges are additive in the window: charge(a, w1+w2) =
+    /// charge(a, w1) + charge(a+w1, w2), for every policy.
+    #[test]
+    fn amortisation_additive(
+        total_kg in 1.0..5_000.0f64,
+        lifespan_years in 1.0..15.0f64,
+        a_frac in 0.0..1.0f64,
+        w1_frac in 0.0..1.0f64,
+        w2_frac in 0.0..1.0f64,
+        rate in 0.05..0.9f64,
+    ) {
+        let total = CarbonMass::from_kilograms(total_kg);
+        let life = SimDuration::from_years(lifespan_years);
+        let age = SimDuration::from_secs((life.as_secs() as f64 * a_frac) as i64);
+        let w1 = SimDuration::from_secs((life.as_secs() as f64 * w1_frac * 0.5) as i64);
+        let w2 = SimDuration::from_secs((life.as_secs() as f64 * w2_frac * 0.5) as i64);
+        for policy in [
+            AmortizationPolicy::Linear,
+            AmortizationPolicy::DecliningBalance { rate },
+        ] {
+            let joined = policy.charge(total, life, age, w1 + w2);
+            let split = policy.charge(total, life, age, w1)
+                + policy.charge(total, life, age + w1, w2);
+            prop_assert!(
+                (joined.grams() - split.grams()).abs() < total_kg * 1e-6 + 1e-6,
+                "{policy:?}"
+            );
+        }
+    }
+
+    /// Table 3-style grids are monotone in energy, CI and PUE.
+    #[test]
+    fn active_grid_monotone(
+        kwh1 in 100.0..1e6f64,
+        kwh2 in 100.0..1e6f64,
+        (ci_lo, ci_mid, ci_hi) in ordered_triple(1.0, 900.0),
+        (pue_lo, pue_mid, pue_hi) in ordered_triple(1.0, 2.5),
+    ) {
+        let ci = TriEstimate::new(
+            CarbonIntensity::from_grams_per_kwh(ci_lo),
+            CarbonIntensity::from_grams_per_kwh(ci_mid),
+            CarbonIntensity::from_grams_per_kwh(ci_hi),
+        );
+        let pue = TriEstimate::new(
+            Pue::new(pue_lo).unwrap(),
+            Pue::new(pue_mid).unwrap(),
+            Pue::new(pue_hi).unwrap(),
+        );
+        let (e_lo, e_hi) = if kwh1 <= kwh2 { (kwh1, kwh2) } else { (kwh2, kwh1) };
+        let g_small = ActiveCarbonGrid::compute(Energy::from_kilowatt_hours(e_lo), ci, pue);
+        let g_big = ActiveCarbonGrid::compute(Energy::from_kilowatt_hours(e_hi), ci, pue);
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!(g_small.cells[i][j] <= g_big.cells[i][j]);
+                if j < 2 {
+                    prop_assert!(g_small.cells[i][j] <= g_small.cells[i][j + 1]);
+                }
+                if i < 2 {
+                    prop_assert!(g_small.cells[i][j] <= g_small.cells[i + 1][j]);
+                }
+            }
+        }
+        // Envelope really brackets all cells.
+        let env = g_big.envelope();
+        for row in &g_big.cells {
+            for c in row {
+                prop_assert!(*c >= env.lo && *c <= env.hi);
+            }
+        }
+    }
+
+    /// Embodied sweeps scale linearly in fleet size and inversely in
+    /// lifespan.
+    #[test]
+    fn embodied_sweep_scaling(
+        lo_kg in 50.0..800.0f64,
+        hi_extra in 0.0..1_000.0f64,
+        servers in 1u32..10_000,
+    ) {
+        let bounds = Bounds::new(
+            CarbonMass::from_kilograms(lo_kg),
+            CarbonMass::from_kilograms(lo_kg + hi_extra),
+        );
+        let sweep1 = EmbodiedSweep::compute(bounds, &[3, 4, 5, 6, 7], servers);
+        let sweep2 = EmbodiedSweep::compute(bounds, &[3, 4, 5, 6, 7], servers * 2);
+        for (a, b) in sweep1.rows.iter().zip(sweep2.rows.iter()) {
+            prop_assert!(
+                (b.fleet_snapshot.lo.grams() - 2.0 * a.fleet_snapshot.lo.grams()).abs()
+                    < a.fleet_snapshot.lo.grams() * 1e-12 + 1e-6
+            );
+        }
+        // Inverse in lifespan: year y row × y == year 1 charge.
+        for row in &sweep1.rows {
+            let daily_y1 = bounds.lo.grams() / 365.0;
+            let scaled = row.per_server_daily.lo.grams() * f64::from(row.lifespan_years);
+            prop_assert!((scaled - daily_y1).abs() < daily_y1 * 1e-9 + 1e-9);
+        }
+    }
+
+    /// Net-zero projections: embodied share is monotone non-decreasing
+    /// along any declining pathway, and intensity stays above the floor.
+    #[test]
+    fn netzero_share_monotone(
+        start_g in 50.0..500.0f64,
+        floor_g in 0.0..40.0f64,
+        decline in 0.01..0.5f64,
+        lifespan in 2.0..10.0f64,
+    ) {
+        let pathway = DecarbonisationPathway {
+            start_year: 2022,
+            start: CarbonIntensity::from_grams_per_kwh(start_g),
+            floor: CarbonIntensity::from_grams_per_kwh(floor_g),
+            annual_decline: decline,
+        };
+        let mut dri = SteadyStateDri::iris_central();
+        dri.lifespan_years = lifespan;
+        let projection = project(&dri, &pathway, 30);
+        for w in projection.windows(2) {
+            prop_assert!(w[1].embodied_share >= w[0].embodied_share - 1e-12);
+            prop_assert!(w[1].intensity <= w[0].intensity);
+        }
+        for y in &projection {
+            prop_assert!(y.intensity >= pathway.floor);
+            prop_assert!((0.0..=1.0).contains(&y.embodied_share));
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Record and index types mirroring the public GB Carbon Intensity API.
+//!
+//! The paper's pipeline consumed carbonintensity.org.uk exports; modelling
+//! the same record shape (half-hour window, forecast + actual, banded
+//! index) keeps our data-collection path structurally faithful and gives
+//! downstream consumers (e.g. carbon-aware schedulers acting on a
+//! *forecast*) the interface they would have in production.
+
+use crate::IntensitySeries;
+use iriscast_units::{CarbonIntensity, Period, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The API's qualitative intensity band.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum IntensityIndex {
+    /// < 50 gCO₂/kWh.
+    VeryLow,
+    /// 50–129 gCO₂/kWh.
+    Low,
+    /// 130–209 gCO₂/kWh.
+    Moderate,
+    /// 210–309 gCO₂/kWh.
+    High,
+    /// ≥ 310 gCO₂/kWh.
+    VeryHigh,
+}
+
+impl IntensityIndex {
+    /// Bands a numeric intensity following the official 2022 thresholds.
+    pub fn from_intensity(ci: CarbonIntensity) -> Self {
+        let g = ci.grams_per_kwh();
+        if g < 50.0 {
+            IntensityIndex::VeryLow
+        } else if g < 130.0 {
+            IntensityIndex::Low
+        } else if g < 210.0 {
+            IntensityIndex::Moderate
+        } else if g < 310.0 {
+            IntensityIndex::High
+        } else {
+            IntensityIndex::VeryHigh
+        }
+    }
+}
+
+impl fmt::Display for IntensityIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IntensityIndex::VeryLow => "very low",
+            IntensityIndex::Low => "low",
+            IntensityIndex::Moderate => "moderate",
+            IntensityIndex::High => "high",
+            IntensityIndex::VeryHigh => "very high",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One half-hour record as the public API returns it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IntensityRecord {
+    /// Window start.
+    pub from: Timestamp,
+    /// Window end.
+    pub to: Timestamp,
+    /// Day-ahead forecast intensity.
+    pub forecast: CarbonIntensity,
+    /// Settled actual intensity.
+    pub actual: CarbonIntensity,
+    /// Qualitative band of the actual value.
+    pub index: IntensityIndex,
+}
+
+/// Converts a simulated series into API-shaped records, synthesising a
+/// forecast by perturbing the actual with a seeded error (the public
+/// forecast's day-ahead RMSE is on the order of 10 g/kWh).
+pub fn to_records(series: &IntensitySeries, forecast_rmse: f64, seed: u64) -> Vec<IntensityRecord> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    series
+        .iter()
+        .map(|(interval, actual)| {
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let noise = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            let forecast = CarbonIntensity::from_grams_per_kwh(
+                (actual.grams_per_kwh() + forecast_rmse * noise).max(0.0),
+            );
+            IntensityRecord {
+                from: interval.start(),
+                to: interval.end(),
+                forecast,
+                actual,
+                index: IntensityIndex::from_intensity(actual),
+            }
+        })
+        .collect()
+}
+
+/// Reassembles an [`IntensitySeries`] of *actual* values from records
+/// (the inverse of [`to_records`]), validating contiguity.
+pub fn from_records(records: &[IntensityRecord]) -> Option<IntensitySeries> {
+    let first = records.first()?;
+    let step = first.to - first.from;
+    for w in records.windows(2) {
+        if w[1].from != w[0].to || (w[1].to - w[1].from) != step {
+            return None;
+        }
+    }
+    Some(IntensitySeries::new(
+        first.from,
+        step,
+        records.iter().map(|r| r.actual).collect(),
+    ))
+}
+
+/// Serialises records as JSON (the transport format of the real API).
+pub fn records_to_json(records: &[IntensityRecord]) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(records)
+}
+
+/// Parses records from JSON.
+pub fn records_from_json(json: &str) -> serde_json::Result<Vec<IntensityRecord>> {
+    serde_json::from_str(json)
+}
+
+/// Returns the sub-period of `within` (a settlement-period-aligned window
+/// of length `k` slots) with the lowest *forecast* mean — what a
+/// carbon-aware operator would book against. `None` if fewer than `k`
+/// records fall inside `within`.
+pub fn best_forecast_window(
+    records: &[IntensityRecord],
+    within: Period,
+    k: usize,
+) -> Option<(Timestamp, CarbonIntensity)> {
+    let inside: Vec<&IntensityRecord> = records
+        .iter()
+        .filter(|r| r.from >= within.start() && r.to <= within.end())
+        .collect();
+    if k == 0 || inside.len() < k {
+        return None;
+    }
+    let values: Vec<f64> = inside.iter().map(|r| r.forecast.grams_per_kwh()).collect();
+    let mut sum: f64 = values[..k].iter().sum();
+    let mut best = (0usize, sum);
+    for i in k..values.len() {
+        sum += values[i] - values[i - k];
+        if sum < best.1 {
+            best = (i - k + 1, sum);
+        }
+    }
+    Some((
+        inside[best.0].from,
+        CarbonIntensity::from_grams_per_kwh(best.1 / k as f64),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+    use iriscast_units::SimDuration;
+
+    #[test]
+    fn banding_thresholds() {
+        let b = |g: f64| IntensityIndex::from_intensity(CarbonIntensity::from_grams_per_kwh(g));
+        assert_eq!(b(10.0), IntensityIndex::VeryLow);
+        assert_eq!(b(50.0), IntensityIndex::Low);
+        assert_eq!(b(129.9), IntensityIndex::Low);
+        assert_eq!(b(130.0), IntensityIndex::Moderate);
+        assert_eq!(b(210.0), IntensityIndex::High);
+        assert_eq!(b(310.0), IntensityIndex::VeryHigh);
+        assert_eq!(b(175.0).to_string(), "moderate");
+    }
+
+    #[test]
+    fn records_round_trip_series() {
+        let sim = scenario::uk_november_2022(9).simulate();
+        let records = to_records(sim.intensity(), 10.0, 1);
+        assert_eq!(records.len(), sim.intensity().len());
+        let back = from_records(&records).unwrap();
+        assert_eq!(back.values(), sim.intensity().values());
+    }
+
+    #[test]
+    fn forecast_tracks_actual() {
+        let sim = scenario::uk_november_2022(9).simulate();
+        let records = to_records(sim.intensity(), 10.0, 1);
+        let rmse = (records
+            .iter()
+            .map(|r| {
+                let d = r.forecast.grams_per_kwh() - r.actual.grams_per_kwh();
+                d * d
+            })
+            .sum::<f64>()
+            / records.len() as f64)
+            .sqrt();
+        assert!((5.0..=15.0).contains(&rmse), "forecast RMSE {rmse:.1}");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let sim = scenario::uk_november_2022(2).simulate();
+        let records = to_records(sim.intensity(), 10.0, 3);
+        let json = records_to_json(&records[..4]).unwrap();
+        let back = records_from_json(&json).unwrap();
+        assert_eq!(back.len(), 4);
+        // JSON float formatting may lose the last ulp; compare to 1e-9.
+        for (a, b) in records[..4].iter().zip(back.iter()) {
+            assert_eq!(a.from, b.from);
+            assert_eq!(a.to, b.to);
+            assert_eq!(a.index, b.index);
+            assert!((a.actual.grams_per_kwh() - b.actual.grams_per_kwh()).abs() < 1e-9);
+            assert!((a.forecast.grams_per_kwh() - b.forecast.grams_per_kwh()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn from_records_rejects_gaps() {
+        let sim = scenario::uk_november_2022(2).simulate();
+        let mut records = to_records(sim.intensity(), 10.0, 3);
+        records.remove(5);
+        assert!(from_records(&records).is_none());
+    }
+
+    #[test]
+    fn best_forecast_window_stays_inside_period() {
+        let sim = scenario::uk_november_2022(4).simulate();
+        let records = to_records(sim.intensity(), 8.0, 5);
+        let day2 = Period::day(2);
+        let (start, mean) = best_forecast_window(&records, day2, 8).unwrap();
+        assert!(start >= day2.start());
+        assert!(start + SimDuration::SETTLEMENT_PERIOD * 8 <= day2.end() + SimDuration::ZERO);
+        assert!(mean.grams_per_kwh() > 0.0);
+        // Too-large window.
+        assert!(best_forecast_window(&records, day2, 49).is_none());
+    }
+}

@@ -1,0 +1,140 @@
+//! National electricity demand model.
+
+use iriscast_units::{Power, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Deterministic GB demand envelope with diurnal and weekly structure.
+///
+/// Demand is modelled as a base level plus two harmonics of the daily
+/// cycle (capturing the characteristic overnight trough at ~04:00, morning
+/// ramp, and early-evening peak at ~17:30 in winter), scaled down at
+/// weekends. Stochastic residuals are added by the caller so the envelope
+/// itself stays reproducible and testable.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DemandModel {
+    /// Daily mean demand.
+    pub base: Power,
+    /// Amplitude of the primary diurnal harmonic.
+    pub diurnal_amplitude: Power,
+    /// Amplitude of the secondary (12-hour) harmonic shaping the
+    /// double-shoulder profile.
+    pub secondary_amplitude: Power,
+    /// Multiplier applied on Saturdays/Sundays (≈ 0.92 for GB).
+    pub weekend_factor: f64,
+}
+
+impl DemandModel {
+    /// GB-calibrated November envelope: ~31 GW mean, ~22 GW overnight
+    /// trough, ~38 GW evening peak, 8% weekend reduction.
+    pub fn gb_november() -> Self {
+        DemandModel {
+            base: Power::from_gigawatts(31.0),
+            diurnal_amplitude: Power::from_gigawatts(6.5),
+            secondary_amplitude: Power::from_gigawatts(1.8),
+            weekend_factor: 0.92,
+        }
+    }
+
+    /// Demand at instant `t`.
+    pub fn demand_at(&self, t: Timestamp) -> Power {
+        use std::f64::consts::TAU;
+        let h = t.hour_of_day();
+        // Primary harmonic: trough at 04:00, peak at 16:00 (plus the
+        // secondary harmonic shifts the effective peak to ~17:30).
+        let primary = -((h - 4.0) / 24.0 * TAU).cos();
+        // Secondary 12-hour harmonic adds the 06:00 morning shoulder and
+        // shifts the combined peak towards 17:00–18:00.
+        let secondary = ((h - 18.0) / 12.0 * TAU).cos();
+        let mut d = self.base + self.diurnal_amplitude * primary + self.secondary_amplitude * secondary;
+        if t.is_weekend() {
+            d = d * self.weekend_factor;
+        }
+        d.max(Power::ZERO)
+    }
+
+    /// Mean demand over one full (weekday) day, evaluated on the 48
+    /// settlement periods. Useful for capacity planning in scenarios.
+    pub fn weekday_mean(&self) -> Power {
+        let day = iriscast_units::Period::snapshot_24h();
+        let step = iriscast_units::SimDuration::SETTLEMENT_PERIOD;
+        let n = day.step_count(step) as f64;
+        let sum: Power = day.iter_steps(step).map(|t| self.demand_at(t)).sum();
+        sum / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iriscast_units::{SimDuration, Timestamp};
+
+    #[test]
+    fn trough_is_overnight_and_peak_is_evening() {
+        let m = DemandModel::gb_november();
+        // Epoch is a Tuesday, so day 0 is a weekday.
+        let mut min_h = 0.0;
+        let mut max_h = 0.0;
+        let mut min_v = f64::INFINITY;
+        let mut max_v = f64::NEG_INFINITY;
+        for half_hour in 0..48 {
+            let t = Timestamp::EPOCH + SimDuration::SETTLEMENT_PERIOD * half_hour;
+            let d = m.demand_at(t).gigawatts();
+            if d < min_v {
+                min_v = d;
+                min_h = t.hour_of_day();
+            }
+            if d > max_v {
+                max_v = d;
+                max_h = t.hour_of_day();
+            }
+        }
+        assert!(
+            (2.0..=6.5).contains(&min_h),
+            "trough at {min_h}h ({min_v:.1} GW)"
+        );
+        assert!(
+            (15.0..=20.0).contains(&max_h),
+            "peak at {max_h}h ({max_v:.1} GW)"
+        );
+        // Winter GB spread.
+        assert!(min_v > 18.0 && min_v < 27.0, "trough {min_v:.1} GW");
+        assert!(max_v > 33.0 && max_v < 42.0, "peak {max_v:.1} GW");
+    }
+
+    #[test]
+    fn weekends_are_lighter() {
+        let m = DemandModel::gb_november();
+        // Day 4 of the simulation = Saturday (epoch is Tuesday).
+        let weekday_noon = Timestamp::from_days(1) + SimDuration::from_hours(12.0);
+        let weekend_noon = Timestamp::from_days(4) + SimDuration::from_hours(12.0);
+        let wd = m.demand_at(weekday_noon);
+        let we = m.demand_at(weekend_noon);
+        assert!((we / wd - m.weekend_factor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_close_to_base() {
+        let m = DemandModel::gb_november();
+        let mean = m.weekday_mean().gigawatts();
+        // Harmonics nearly cancel over a full day.
+        assert!(
+            (mean - m.base.gigawatts()).abs() < 0.5,
+            "mean {mean:.2} vs base {}",
+            m.base.gigawatts()
+        );
+    }
+
+    #[test]
+    fn demand_never_negative() {
+        let extreme = DemandModel {
+            base: Power::from_gigawatts(1.0),
+            diurnal_amplitude: Power::from_gigawatts(10.0),
+            secondary_amplitude: Power::from_gigawatts(5.0),
+            weekend_factor: 0.9,
+        };
+        for h in 0..48 {
+            let t = Timestamp::EPOCH + SimDuration::SETTLEMENT_PERIOD * h;
+            assert!(extreme.demand_at(t) >= Power::ZERO);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Merit-order dispatch: matching generation to demand.
+
+use crate::{FuelType, GenerationMix};
+use iriscast_units::Power;
+use serde::{Deserialize, Serialize};
+
+/// Installed/available capacity per technology.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GenerationCapacity {
+    /// Installed wind capacity (scaled by the weather capacity factor).
+    pub wind: Power,
+    /// Installed solar capacity (scaled by the daylight capacity factor).
+    pub solar: Power,
+    /// Available nuclear (must-run at availability).
+    pub nuclear: Power,
+    /// Run-of-river hydro (treated as must-run).
+    pub hydro: Power,
+    /// Biomass thermal (dispatched early: contracted baseload).
+    pub biomass: Power,
+    /// Gas fleet capacity (the marginal fuel).
+    pub gas: Power,
+    /// Interconnector import limit.
+    pub imports: Power,
+    /// Coal reserve capacity (last resort in 2022).
+    pub coal: Power,
+    /// Pumped storage / battery discharge limit.
+    pub storage: Power,
+    /// Gas kept running regardless of renewables, for system inertia and
+    /// voltage stability. This floor is why GB carbon intensity never
+    /// reached zero in 2022 even on the windiest nights.
+    pub min_gas: Power,
+}
+
+impl GenerationCapacity {
+    /// GB fleet as of November 2022 (approximate nameplate/availability).
+    pub fn gb_2022() -> Self {
+        GenerationCapacity {
+            wind: Power::from_gigawatts(27.0),
+            solar: Power::from_gigawatts(14.0),
+            nuclear: Power::from_gigawatts(5.5),
+            hydro: Power::from_gigawatts(1.0),
+            biomass: Power::from_gigawatts(3.0),
+            gas: Power::from_gigawatts(30.0),
+            // Net import capability was unusually tight in late 2022
+            // (French nuclear outages had GB exporting much of the year).
+            imports: Power::from_gigawatts(3.0),
+            coal: Power::from_gigawatts(2.0),
+            storage: Power::from_gigawatts(2.8),
+            min_gas: Power::from_gigawatts(1.8),
+        }
+    }
+
+    /// A decarbonised what-if fleet (illustrating the paper's observation
+    /// that grid decarbonisation will shrink active carbon over time):
+    /// tripled wind/solar, new nuclear, gas relegated to peaking.
+    pub fn gb_2035_decarbonised() -> Self {
+        GenerationCapacity {
+            wind: Power::from_gigawatts(80.0),
+            solar: Power::from_gigawatts(45.0),
+            nuclear: Power::from_gigawatts(9.0),
+            hydro: Power::from_gigawatts(1.2),
+            biomass: Power::from_gigawatts(3.0),
+            gas: Power::from_gigawatts(25.0),
+            imports: Power::from_gigawatts(10.0),
+            coal: Power::ZERO,
+            // Grid-forming inverters remove the stability floor by 2035.
+            storage: Power::from_gigawatts(12.0),
+            min_gas: Power::ZERO,
+        }
+    }
+}
+
+/// Result of dispatching one settlement period.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DispatchResult {
+    /// The generation mix serving demand.
+    pub mix: GenerationMix,
+    /// Renewable generation curtailed because supply exceeded demand.
+    pub curtailed: Power,
+    /// Demand left unserved after exhausting every technology (should be
+    /// zero in calibrated scenarios; non-zero signals a capacity shortfall).
+    pub unserved: Power,
+}
+
+/// Merit-order dispatcher.
+///
+/// Dispatch order reflects short-run marginal cost: must-run renewables and
+/// nuclear first, then contracted biomass, then the marginal stack of gas →
+/// imports → storage → coal until demand is met. Excess must-run generation
+/// is curtailed (wind first).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Dispatcher {
+    /// Available capacity per technology.
+    pub capacity: GenerationCapacity,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher over the given fleet.
+    pub fn new(capacity: GenerationCapacity) -> Self {
+        Dispatcher { capacity }
+    }
+
+    /// Dispatches one settlement period.
+    ///
+    /// * `demand` — national demand to serve;
+    /// * `wind_cf`, `solar_cf` — weather capacity factors in `[0, 1]`.
+    pub fn dispatch(&self, demand: Power, wind_cf: f64, solar_cf: f64) -> DispatchResult {
+        assert!(
+            (0.0..=1.0).contains(&wind_cf) && (0.0..=1.0).contains(&solar_cf),
+            "capacity factors must lie in [0, 1]"
+        );
+        let cap = &self.capacity;
+        let mut mix = GenerationMix::new();
+        let mut curtailed = Power::ZERO;
+
+        // Must-run block, including the gas stability floor.
+        let wind = cap.wind * wind_cf;
+        let solar = cap.solar * solar_cf;
+        let gas_floor = cap.min_gas.min(cap.gas).min(demand);
+        let must_run = wind + solar + cap.nuclear + cap.hydro + gas_floor;
+
+        if must_run >= demand {
+            // Oversupply: curtail wind (the cheapest to shed), keep the
+            // rest running.
+            let excess = must_run - demand;
+            let kept_wind = (wind - excess).max(Power::ZERO);
+            curtailed = wind - kept_wind;
+            mix.set(FuelType::Wind, kept_wind);
+            mix.set(FuelType::Solar, solar);
+            mix.set(FuelType::Nuclear, cap.nuclear);
+            mix.set(FuelType::Hydro, cap.hydro);
+            mix.set(FuelType::Gas, gas_floor);
+            // If even wind fully curtailed leaves excess, trim the rest
+            // proportionally (rare; degenerate demand).
+            let total = mix.total();
+            if total > demand {
+                let scale = demand / total;
+                let scaled = mix;
+                let mut rescaled = GenerationMix::new();
+                for (fuel, p) in scaled.iter() {
+                    rescaled.set(fuel, p * scale);
+                }
+                curtailed += total - demand;
+                mix = rescaled;
+            }
+            return DispatchResult {
+                mix,
+                curtailed,
+                unserved: Power::ZERO,
+            };
+        }
+
+        mix.set(FuelType::Wind, wind);
+        mix.set(FuelType::Solar, solar);
+        mix.set(FuelType::Nuclear, cap.nuclear);
+        mix.set(FuelType::Hydro, cap.hydro);
+        mix.set(FuelType::Gas, gas_floor);
+        let mut residual = demand - must_run;
+
+        // Merit order for the residual (gas capacity above the floor).
+        for (fuel, available) in [
+            (FuelType::Biomass, cap.biomass),
+            (FuelType::Gas, cap.gas - gas_floor),
+            (FuelType::Imports, cap.imports),
+            (FuelType::Storage, cap.storage),
+            (FuelType::Coal, cap.coal),
+        ] {
+            if residual <= Power::ZERO {
+                break;
+            }
+            let dispatched = available.min(residual);
+            if dispatched > Power::ZERO {
+                mix.add(fuel, dispatched);
+                residual -= dispatched;
+            }
+        }
+
+        DispatchResult {
+            mix,
+            curtailed,
+            unserved: residual.max(Power::ZERO),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dispatcher() -> Dispatcher {
+        Dispatcher::new(GenerationCapacity::gb_2022())
+    }
+
+    #[test]
+    fn generation_balances_demand() {
+        let d = dispatcher();
+        for (demand_gw, wind_cf, solar_cf) in
+            [(30.0, 0.4, 0.1), (38.0, 0.1, 0.0), (22.0, 0.9, 0.2)]
+        {
+            let r = d.dispatch(Power::from_gigawatts(demand_gw), wind_cf, solar_cf);
+            let supplied = r.mix.total();
+            assert!(
+                (supplied.gigawatts() + r.unserved.gigawatts() - demand_gw).abs() < 1e-9,
+                "balance violated at demand {demand_gw}"
+            );
+            assert_eq!(r.unserved, Power::ZERO, "capacity shortfall unexpected");
+        }
+    }
+
+    #[test]
+    fn low_wind_is_dirty_high_wind_is_clean() {
+        let d = dispatcher();
+        let calm = d.dispatch(Power::from_gigawatts(32.0), 0.05, 0.0);
+        let storm = d.dispatch(Power::from_gigawatts(32.0), 0.85, 0.0);
+        let ci_calm = calm.mix.intensity().grams_per_kwh();
+        let ci_storm = storm.mix.intensity().grams_per_kwh();
+        assert!(
+            ci_calm > 250.0,
+            "calm night should be gas-heavy, got {ci_calm:.0}"
+        );
+        assert!(
+            ci_storm < 110.0,
+            "stormy day should be clean, got {ci_storm:.0}"
+        );
+    }
+
+    #[test]
+    fn coal_only_comes_on_under_stress() {
+        let d = dispatcher();
+        let normal = d.dispatch(Power::from_gigawatts(33.0), 0.4, 0.1);
+        assert_eq!(normal.mix.get(FuelType::Coal), Power::ZERO);
+        // Coal sits behind biomass + gas + imports + storage in the merit
+        // order, so it only runs once those ~42 GW are exhausted.
+        let stressed = d.dispatch(Power::from_gigawatts(50.0), 0.02, 0.0);
+        assert!(stressed.mix.get(FuelType::Coal) > Power::ZERO);
+    }
+
+    #[test]
+    fn oversupply_curtails_wind_first() {
+        let d = dispatcher();
+        let r = d.dispatch(Power::from_gigawatts(15.0), 0.9, 0.3);
+        assert!(r.curtailed > Power::ZERO);
+        // Nuclear and solar keep running.
+        assert_eq!(r.mix.get(FuelType::Nuclear), d.capacity.nuclear);
+        assert_eq!(r.mix.get(FuelType::Solar), d.capacity.solar * 0.3);
+        assert!((r.mix.total().gigawatts() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extreme_oversupply_rescales_must_run() {
+        let d = dispatcher();
+        // Demand below nuclear+hydro: even zero wind cannot balance.
+        let r = d.dispatch(Power::from_gigawatts(3.0), 0.5, 0.2);
+        assert!((r.mix.total().gigawatts() - 3.0).abs() < 1e-9);
+        assert!(r.curtailed > Power::ZERO);
+    }
+
+    #[test]
+    fn unserved_demand_reported() {
+        let d = dispatcher();
+        // Far beyond total system capability.
+        let r = d.dispatch(Power::from_gigawatts(120.0), 0.0, 0.0);
+        assert!(r.unserved > Power::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity factors")]
+    fn rejects_invalid_capacity_factor() {
+        let _ = dispatcher().dispatch(Power::from_gigawatts(30.0), 1.5, 0.0);
+    }
+
+    #[test]
+    fn stability_floor_keeps_gas_on_windy_nights() {
+        let d = dispatcher();
+        // A storm at night: renewables alone could cover demand.
+        let r = d.dispatch(Power::from_gigawatts(24.0), 0.95, 0.0);
+        assert_eq!(
+            r.mix.get(FuelType::Gas),
+            d.capacity.min_gas,
+            "the inertia floor must stay on"
+        );
+        // Consequence: intensity never reaches zero in the 2022 fleet.
+        assert!(r.mix.intensity().grams_per_kwh() > 20.0);
+        // The 2035 fleet has no floor and can hit zero operational carbon.
+        let future = Dispatcher::new(GenerationCapacity::gb_2035_decarbonised());
+        let rf = future.dispatch(Power::from_gigawatts(24.0), 0.95, 0.0);
+        assert_eq!(rf.mix.get(FuelType::Gas), Power::ZERO);
+    }
+
+    #[test]
+    fn gas_floor_counts_toward_balance() {
+        let d = dispatcher();
+        // Moderate conditions: floor + merit-order gas must not double
+        // count (total still equals demand).
+        let r = d.dispatch(Power::from_gigawatts(35.0), 0.2, 0.05);
+        assert!((r.mix.total().gigawatts() - 35.0).abs() < 1e-9);
+        assert!(r.mix.get(FuelType::Gas) >= d.capacity.min_gas);
+        assert!(r.mix.get(FuelType::Gas) <= d.capacity.gas);
+    }
+
+    #[test]
+    fn decarbonised_fleet_is_cleaner() {
+        let now = Dispatcher::new(GenerationCapacity::gb_2022());
+        let future = Dispatcher::new(GenerationCapacity::gb_2035_decarbonised());
+        let demand = Power::from_gigawatts(34.0);
+        let ci_now = now.dispatch(demand, 0.4, 0.1).mix.intensity();
+        let ci_future = future.dispatch(demand, 0.4, 0.1).mix.intensity();
+        assert!(ci_future.grams_per_kwh() < ci_now.grams_per_kwh() * 0.5);
+    }
+}

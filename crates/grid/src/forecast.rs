@@ -1,0 +1,212 @@
+//! Day-ahead intensity forecasting.
+//!
+//! Carbon-aware operation acts on *forecasts*, not settled actuals (the
+//! actual for a slot is only known after it ends). This module provides a
+//! forecaster with the structure of the public service's day-ahead
+//! product — persistence anchored on the same slot yesterday, corrected
+//! towards the recent level — plus the skill metrics needed to judge
+//! whether acting on it beats doing nothing.
+
+use crate::stats;
+use crate::IntensitySeries;
+use iriscast_units::{CarbonIntensity, SimDuration, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// A short-horizon forecaster: trailing synoptic level plus yesterday's
+/// diurnal anomaly.
+///
+/// `forecast(t) = mean(last 24 h) + w · (actual(t−24 h) − mean(24 h before t−24 h))`
+///
+/// The trailing mean estimates the slow synoptic level (which in a real
+/// operation would come from a weather forecast); the anomaly term carries
+/// the repeating diurnal shape. Slots without a full day of history fall
+/// back to the running mean alone.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DayAheadForecaster {
+    /// Weight on the diurnal-anomaly term, `[0, 1]`.
+    pub persistence_weight: f64,
+}
+
+impl DayAheadForecaster {
+    /// A forecaster with the GB-calibrated default weight.
+    pub fn gb_default() -> Self {
+        DayAheadForecaster {
+            persistence_weight: 0.7,
+        }
+    }
+
+    /// Produces a forecast series aligned with `history` (one forecast per
+    /// historical slot, as if issued rolling throughout).
+    ///
+    /// # Panics
+    /// If the weight is outside `[0, 1]`.
+    pub fn forecast_series(&self, history: &IntensitySeries) -> IntensitySeries {
+        assert!(
+            (0.0..=1.0).contains(&self.persistence_weight),
+            "persistence weight must lie in [0, 1]"
+        );
+        let step = history.step();
+        let slots_per_day = (SimDuration::DAY.as_secs() / step.as_secs()).max(1) as usize;
+        let values = history.values();
+        let trailing_mean = |end: usize| -> f64 {
+            let start = end.saturating_sub(slots_per_day);
+            let window = &values[start..end];
+            if window.is_empty() {
+                values[0].grams_per_kwh()
+            } else {
+                window.iter().map(|v| v.grams_per_kwh()).sum::<f64>() / window.len() as f64
+            }
+        };
+        let mut out = Vec::with_capacity(values.len());
+        for i in 0..values.len() {
+            let level = trailing_mean(i);
+            let forecast = match i.checked_sub(slots_per_day) {
+                Some(j) => {
+                    let anomaly = values[j].grams_per_kwh() - trailing_mean(j);
+                    level + self.persistence_weight * anomaly
+                }
+                None => level,
+            };
+            out.push(CarbonIntensity::from_grams_per_kwh(forecast.max(0.0)));
+        }
+        IntensitySeries::new(history.start(), step, out)
+    }
+}
+
+/// Forecast skill metrics against the actual series.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ForecastSkill {
+    /// Mean absolute error, g/kWh.
+    pub mae: f64,
+    /// Root-mean-square error, g/kWh.
+    pub rmse: f64,
+    /// MAE of the trivial climatology forecast (the series mean) — the
+    /// baseline a useful forecaster must beat.
+    pub climatology_mae: f64,
+    /// Skill score: `1 − mae/climatology_mae` (positive = useful).
+    pub skill: f64,
+}
+
+/// Scores `forecast` against `actual` (aligned series required).
+///
+/// # Panics
+/// If the series lengths differ.
+pub fn score(forecast: &IntensitySeries, actual: &IntensitySeries) -> ForecastSkill {
+    assert_eq!(
+        forecast.len(),
+        actual.len(),
+        "forecast and actual series must align"
+    );
+    let f: Vec<f64> = forecast.values().iter().map(|v| v.grams_per_kwh()).collect();
+    let a: Vec<f64> = actual.values().iter().map(|v| v.grams_per_kwh()).collect();
+    let abs_errs: Vec<f64> = f.iter().zip(a.iter()).map(|(x, y)| (x - y).abs()).collect();
+    let mae = stats::mean(&abs_errs).expect("non-empty");
+    let rmse = (f
+        .iter()
+        .zip(a.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        / f.len() as f64)
+        .sqrt();
+    let mean_a = stats::mean(&a).expect("non-empty");
+    let clim_errs: Vec<f64> = a.iter().map(|y| (mean_a - y).abs()).collect();
+    let climatology_mae = stats::mean(&clim_errs).expect("non-empty");
+    ForecastSkill {
+        mae,
+        rmse,
+        climatology_mae,
+        skill: 1.0 - mae / climatology_mae,
+    }
+}
+
+/// Convenience: the greenest `k`-slot window inside `[from, from + horizon)`
+/// according to a forecast — what a day-ahead job placement would book.
+pub fn best_forecast_window(
+    forecast: &IntensitySeries,
+    from: Timestamp,
+    horizon: SimDuration,
+    k: usize,
+) -> Option<(Timestamp, CarbonIntensity)> {
+    let window = iriscast_units::Period::starting_at(from, horizon);
+    let sliced = forecast.slice(window)?;
+    sliced.greenest_window(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::uk_november_2022;
+
+    fn history() -> IntensitySeries {
+        uk_november_2022(13).simulate().intensity().clone()
+    }
+
+    #[test]
+    fn forecast_aligns_with_history() {
+        let h = history();
+        let f = DayAheadForecaster::gb_default().forecast_series(&h);
+        assert_eq!(f.len(), h.len());
+        assert_eq!(f.start(), h.start());
+        assert!(f.values().iter().all(|v| v.grams_per_kwh() >= 0.0));
+    }
+
+    #[test]
+    fn forecaster_beats_climatology() {
+        let h = history();
+        let f = DayAheadForecaster::gb_default().forecast_series(&h);
+        // Score from day 2 onward (day 1 has no persistence anchor).
+        let later = iriscast_units::Period::new(
+            Timestamp::from_days(2),
+            Timestamp::from_days(30),
+        );
+        let fs = f.slice(later).unwrap();
+        let hs = h.slice(later).unwrap();
+        let skill = score(&fs, &hs);
+        assert!(
+            skill.skill > 0.1,
+            "day-ahead persistence should beat climatology: {skill:?}"
+        );
+        assert!(skill.rmse >= skill.mae);
+    }
+
+    #[test]
+    fn pure_climatology_weight_zero_near_recent_mean() {
+        let h = history();
+        let f = DayAheadForecaster {
+            persistence_weight: 0.0,
+        }
+        .forecast_series(&h);
+        // With zero anomaly weight, forecasts are smoothed running means:
+        // the diurnal + noise variance is filtered out. (The synoptic
+        // component survives smoothing, so the reduction is modest.)
+        let var = |s: &IntensitySeries| {
+            let v: Vec<f64> = s.values().iter().map(|x| x.grams_per_kwh()).collect();
+            crate::stats::std_dev(&v).unwrap()
+        };
+        assert!(var(&f) < var(&h) * 0.95, "{} vs {}", var(&f), var(&h));
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn score_rejects_misaligned() {
+        let h = history();
+        let short = h.slice(iriscast_units::Period::day(1)).unwrap();
+        let _ = score(&short, &h);
+    }
+
+    #[test]
+    fn best_window_is_inside_horizon() {
+        let h = history();
+        let f = DayAheadForecaster::gb_default().forecast_series(&h);
+        let (start, mean) = best_forecast_window(
+            &f,
+            Timestamp::from_days(3),
+            SimDuration::DAY,
+            8,
+        )
+        .unwrap();
+        assert!(start >= Timestamp::from_days(3));
+        assert!(start + SimDuration::SETTLEMENT_PERIOD * 8 <= Timestamp::from_days(4));
+        assert!(mean.grams_per_kwh() > 0.0);
+    }
+}

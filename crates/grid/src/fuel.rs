@@ -1,0 +1,147 @@
+//! Generation technologies and per-fuel emission factors.
+
+use iriscast_units::CarbonIntensity;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A generation technology category, following the fuel breakdown the GB
+/// Carbon Intensity API publishes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FuelType {
+    /// Combined-cycle and open-cycle gas turbines.
+    Gas,
+    /// Coal-fired steam plant (residual capacity in 2022).
+    Coal,
+    /// Nuclear fission.
+    Nuclear,
+    /// Onshore and offshore wind.
+    Wind,
+    /// Utility and embedded solar PV.
+    Solar,
+    /// Run-of-river and reservoir hydro.
+    Hydro,
+    /// Biomass thermal plant (Drax-style).
+    Biomass,
+    /// Net interconnector imports (France, Belgium, Netherlands, Norway).
+    Imports,
+    /// Pumped storage and batteries (discharge).
+    Storage,
+    /// Miscellaneous/other recorded generation.
+    Other,
+}
+
+impl FuelType {
+    /// All fuels in display order.
+    pub const ALL: [FuelType; 10] = [
+        FuelType::Gas,
+        FuelType::Coal,
+        FuelType::Nuclear,
+        FuelType::Wind,
+        FuelType::Solar,
+        FuelType::Hydro,
+        FuelType::Biomass,
+        FuelType::Imports,
+        FuelType::Storage,
+        FuelType::Other,
+    ];
+
+    /// Operational (generation-phase) emission factor.
+    ///
+    /// Values follow the factors used by the GB Carbon Intensity
+    /// methodology: combustion fuels carry their stack emissions; nuclear
+    /// and renewables are counted as zero *operational* carbon (their
+    /// embodied emissions are out of scope here, a caveat the paper's
+    /// summary discusses explicitly); imports carry the average intensity
+    /// of the exporting mix.
+    pub const fn intensity(self) -> CarbonIntensity {
+        let g_per_kwh = match self {
+            FuelType::Gas => 394.0,
+            FuelType::Coal => 937.0,
+            FuelType::Nuclear => 0.0,
+            FuelType::Wind => 0.0,
+            FuelType::Solar => 0.0,
+            FuelType::Hydro => 0.0,
+            FuelType::Biomass => 120.0,
+            FuelType::Imports => 220.0,
+            FuelType::Storage => 75.0, // round-trip-charged mix average
+            FuelType::Other => 300.0,
+        };
+        CarbonIntensity::from_grams_per_kwh(g_per_kwh)
+    }
+
+    /// `true` for fuels dispatched regardless of price (must-run).
+    pub const fn is_must_run(self) -> bool {
+        matches!(
+            self,
+            FuelType::Nuclear | FuelType::Wind | FuelType::Solar | FuelType::Hydro
+        )
+    }
+
+    /// `true` for zero-operational-carbon fuels.
+    pub fn is_zero_carbon(self) -> bool {
+        self.intensity().grams_per_kwh() == 0.0
+    }
+}
+
+impl fmt::Display for FuelType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuelType::Gas => "gas",
+            FuelType::Coal => "coal",
+            FuelType::Nuclear => "nuclear",
+            FuelType::Wind => "wind",
+            FuelType::Solar => "solar",
+            FuelType::Hydro => "hydro",
+            FuelType::Biomass => "biomass",
+            FuelType::Imports => "imports",
+            FuelType::Storage => "storage",
+            FuelType::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_ordering_is_physical() {
+        assert!(FuelType::Coal.intensity() > FuelType::Gas.intensity());
+        assert!(FuelType::Gas.intensity() > FuelType::Biomass.intensity());
+        assert_eq!(FuelType::Wind.intensity().grams_per_kwh(), 0.0);
+        assert_eq!(FuelType::Nuclear.intensity().grams_per_kwh(), 0.0);
+    }
+
+    #[test]
+    fn must_run_set() {
+        assert!(FuelType::Nuclear.is_must_run());
+        assert!(FuelType::Wind.is_must_run());
+        assert!(!FuelType::Gas.is_must_run());
+        assert!(!FuelType::Biomass.is_must_run());
+    }
+
+    #[test]
+    fn zero_carbon_set() {
+        let zero: Vec<_> = FuelType::ALL
+            .iter()
+            .filter(|f| f.is_zero_carbon())
+            .collect();
+        assert_eq!(zero.len(), 4);
+    }
+
+    #[test]
+    fn all_is_exhaustive_and_unique() {
+        let mut set = std::collections::HashSet::new();
+        for f in FuelType::ALL {
+            assert!(set.insert(f), "duplicate fuel {f}");
+        }
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(FuelType::Gas.to_string(), "gas");
+        assert_eq!(FuelType::Imports.to_string(), "imports");
+    }
+}

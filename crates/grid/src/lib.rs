@@ -1,0 +1,58 @@
+//! Electricity-grid generation-mix and carbon-intensity simulator.
+//!
+//! The paper converts measured energy into climate impact using the carbon
+//! intensity of the GB electricity supply, reading reference values of
+//! 50 / 175 / 300 gCO₂/kWh off the national half-hourly data for November
+//! 2022 (its Figure 1). The live service behind that figure
+//! (carbonintensity.org.uk) is not available to an offline reproduction,
+//! so this crate implements the substrate:
+//!
+//! * [`FuelType`] — generation technologies with per-fuel emission factors;
+//! * [`DemandModel`] — GB national demand with diurnal/weekly structure;
+//! * [`weather`] — stochastic wind (mean-reverting, synoptic-scale) and
+//!   deterministic-envelope solar capacity-factor processes;
+//! * [`Dispatcher`] — merit-order dispatch matching generation to demand;
+//! * [`IntensitySeries`] — the resulting half-hourly gCO₂/kWh series with
+//!   the statistics the paper reads off it (daily means for Figure 1,
+//!   percentile-based low/medium/high references);
+//! * [`scenario`] — calibrated scenarios, most importantly
+//!   [`scenario::uk_november_2022`], plus decarbonisation what-ifs;
+//! * [`api`] — record/index types mirroring the shape of the public
+//!   Carbon Intensity API, for the data-collection code path.
+//!
+//! # Example
+//!
+//! ```
+//! use iriscast_grid::scenario;
+//!
+//! let sim = scenario::uk_november_2022(7).simulate();
+//! let series = sim.intensity();
+//! // November 2022 was mid-transition: swings between ~50 and ~300.
+//! let refs = series.reference_values();
+//! assert!(refs.low.grams_per_kwh() < 110.0);
+//! assert!(refs.high.grams_per_kwh() > 230.0);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod api;
+mod demand;
+mod dispatch;
+pub mod forecast;
+mod fuel;
+mod mix;
+pub mod regions;
+pub mod scenario;
+mod series;
+pub mod stats;
+pub mod weather;
+
+pub use demand::DemandModel;
+pub use dispatch::{DispatchResult, Dispatcher, GenerationCapacity};
+pub use forecast::{DayAheadForecaster, ForecastSkill};
+pub use fuel::FuelType;
+pub use mix::GenerationMix;
+pub use regions::GbRegion;
+pub use scenario::{GridScenario, GridSimulation};
+pub use series::{IntensitySeries, ReferenceValues};

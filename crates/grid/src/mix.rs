@@ -1,0 +1,165 @@
+//! A generation mix at one instant and its blended intensity.
+
+use crate::FuelType;
+use iriscast_units::{CarbonIntensity, Power};
+use serde::{Deserialize, Serialize};
+
+/// Generation by fuel at one settlement period.
+///
+/// Stored as a fixed array indexed by [`FuelType::ALL`] order — the mix is
+/// built 48 times per simulated day, so avoiding a `HashMap` keeps the
+/// dispatch loop allocation-free.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct GenerationMix {
+    generation_w: [f64; 10],
+}
+
+impl GenerationMix {
+    /// An empty (all-zero) mix.
+    pub fn new() -> Self {
+        GenerationMix::default()
+    }
+
+    fn index(fuel: FuelType) -> usize {
+        FuelType::ALL
+            .iter()
+            .position(|&f| f == fuel)
+            .expect("FuelType::ALL covers every variant")
+    }
+
+    /// Sets generation for `fuel`.
+    pub fn set(&mut self, fuel: FuelType, power: Power) {
+        self.generation_w[Self::index(fuel)] = power.watts();
+    }
+
+    /// Adds generation for `fuel`.
+    pub fn add(&mut self, fuel: FuelType, power: Power) {
+        self.generation_w[Self::index(fuel)] += power.watts();
+    }
+
+    /// Generation currently attributed to `fuel`.
+    pub fn get(&self, fuel: FuelType) -> Power {
+        Power::from_watts(self.generation_w[Self::index(fuel)])
+    }
+
+    /// Total generation across all fuels.
+    pub fn total(&self) -> Power {
+        Power::from_watts(self.generation_w.iter().sum())
+    }
+
+    /// Generation-weighted carbon intensity of the mix.
+    ///
+    /// Zero total generation yields zero intensity (an empty grid emits
+    /// nothing).
+    pub fn intensity(&self) -> CarbonIntensity {
+        let total = self.generation_w.iter().sum::<f64>();
+        if total <= 0.0 {
+            return CarbonIntensity::ZERO;
+        }
+        let weighted: f64 = FuelType::ALL
+            .iter()
+            .zip(self.generation_w.iter())
+            .map(|(fuel, w)| fuel.intensity().grams_per_kwh() * w)
+            .sum();
+        CarbonIntensity::from_grams_per_kwh(weighted / total)
+    }
+
+    /// Share of total generation from `fuel`, in `[0, 1]` (zero when the
+    /// grid is empty).
+    pub fn share(&self, fuel: FuelType) -> f64 {
+        let total = self.generation_w.iter().sum::<f64>();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.generation_w[Self::index(fuel)] / total
+    }
+
+    /// Share of total generation with zero operational carbon.
+    pub fn zero_carbon_share(&self) -> f64 {
+        FuelType::ALL
+            .iter()
+            .filter(|f| f.is_zero_carbon())
+            .map(|&f| self.share(f))
+            .sum()
+    }
+
+    /// Iterates `(fuel, generation)` pairs in [`FuelType::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (FuelType, Power)> + '_ {
+        FuelType::ALL
+            .iter()
+            .zip(self.generation_w.iter())
+            .map(|(&f, &w)| (f, Power::from_watts(w)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GenerationMix {
+        let mut m = GenerationMix::new();
+        m.set(FuelType::Gas, Power::from_gigawatts(10.0));
+        m.set(FuelType::Wind, Power::from_gigawatts(10.0));
+        m.set(FuelType::Nuclear, Power::from_gigawatts(5.0));
+        m.set(FuelType::Biomass, Power::from_gigawatts(2.0));
+        m
+    }
+
+    #[test]
+    fn totals_and_shares() {
+        let m = sample();
+        assert_eq!(m.total(), Power::from_gigawatts(27.0));
+        assert!((m.share(FuelType::Gas) - 10.0 / 27.0).abs() < 1e-12);
+        assert!((m.zero_carbon_share() - 15.0 / 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blended_intensity() {
+        let m = sample();
+        // (10·394 + 10·0 + 5·0 + 2·120) / 27 = (3940 + 240)/27 ≈ 154.8
+        let ci = m.intensity().grams_per_kwh();
+        assert!((ci - 154.81).abs() < 0.1, "got {ci}");
+    }
+
+    #[test]
+    fn empty_mix_is_zero_intensity() {
+        let m = GenerationMix::new();
+        assert_eq!(m.intensity(), CarbonIntensity::ZERO);
+        assert_eq!(m.share(FuelType::Gas), 0.0);
+        assert_eq!(m.total(), Power::ZERO);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut m = GenerationMix::new();
+        m.add(FuelType::Wind, Power::from_gigawatts(1.0));
+        m.add(FuelType::Wind, Power::from_gigawatts(2.0));
+        assert_eq!(m.get(FuelType::Wind), Power::from_gigawatts(3.0));
+    }
+
+    #[test]
+    fn coal_heavy_mix_is_dirtier_than_gas_heavy() {
+        let mut coal = GenerationMix::new();
+        coal.set(FuelType::Coal, Power::from_gigawatts(10.0));
+        let mut gas = GenerationMix::new();
+        gas.set(FuelType::Gas, Power::from_gigawatts(10.0));
+        assert!(coal.intensity() > gas.intensity());
+    }
+
+    #[test]
+    fn iter_covers_all_fuels() {
+        let m = sample();
+        let pairs: Vec<_> = m.iter().collect();
+        assert_eq!(pairs.len(), 10);
+        let total: Power = pairs.iter().map(|(_, p)| *p).sum();
+        assert_eq!(total, m.total());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = sample();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: GenerationMix = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

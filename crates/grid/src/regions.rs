@@ -1,0 +1,182 @@
+//! Regional carbon intensity: the GB distribution regions.
+//!
+//! The national series (Figure 1) hides large spatial variance: Scotland's
+//! wind-dominated grid regularly runs below 30 gCO₂/kWh while the
+//! gas-fired South East sits far above the national mean. The Carbon
+//! Intensity API publishes per-DNO-region values; the IRIS sites span four
+//! of those regions, so a per-site assessment can differ noticeably from
+//! the national one. We model each region as an affine transform of the
+//! national series — the first-order structure of the published data,
+//! where regional series track national weather but with persistent
+//! offsets from the local generation fleet.
+
+use crate::IntensitySeries;
+use iriscast_units::CarbonIntensity;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// GB distribution regions hosting IRIS sites (a subset of the API's 14).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GbRegion {
+    /// London — gas-heavy, imports-dependent.
+    London,
+    /// East England (hosts Cambridge).
+    EastEngland,
+    /// North East England (hosts Durham).
+    NorthEastEngland,
+    /// South England (hosts Harwell/RAL).
+    SouthEngland,
+    /// South Scotland — wind-rich.
+    SouthScotland,
+    /// National aggregate (what the paper used).
+    National,
+}
+
+impl GbRegion {
+    /// Multiplicative scale relative to the national intensity.
+    ///
+    /// Values follow the persistent 2022 ordering of the regional data:
+    /// Scotland far below national, London/South above.
+    pub const fn scale(self) -> f64 {
+        match self {
+            GbRegion::London => 1.25,
+            GbRegion::EastEngland => 1.10,
+            GbRegion::NorthEastEngland => 0.85,
+            GbRegion::SouthEngland => 1.15,
+            GbRegion::SouthScotland => 0.35,
+            GbRegion::National => 1.0,
+        }
+    }
+
+    /// Additive offset (g/kWh) on top of the scaled national value —
+    /// captures must-run local plant that doesn't track national weather.
+    pub const fn offset_g_per_kwh(self) -> f64 {
+        match self {
+            GbRegion::London => 15.0,
+            GbRegion::EastEngland => 5.0,
+            GbRegion::NorthEastEngland => 0.0,
+            GbRegion::SouthEngland => 8.0,
+            GbRegion::SouthScotland => 5.0,
+            GbRegion::National => 0.0,
+        }
+    }
+
+    /// The region hosting an IRIS site code, `National` for unknown codes.
+    pub fn for_iris_site(code: &str) -> GbRegion {
+        match code {
+            "QMUL" | "IMP" => GbRegion::London,
+            "CAM" => GbRegion::EastEngland,
+            "DUR" => GbRegion::NorthEastEngland,
+            "STFC-CLOUD" | "STFC-SCARF" => GbRegion::SouthEngland,
+            _ => GbRegion::National,
+        }
+    }
+
+    /// Transforms one national value into this region's value.
+    pub fn localise(self, national: CarbonIntensity) -> CarbonIntensity {
+        CarbonIntensity::from_grams_per_kwh(
+            (national.grams_per_kwh() * self.scale() + self.offset_g_per_kwh()).max(0.0),
+        )
+    }
+
+    /// Transforms a whole national series into this region's series.
+    pub fn localise_series(self, national: &IntensitySeries) -> IntensitySeries {
+        IntensitySeries::new(
+            national.start(),
+            national.step(),
+            national.values().iter().map(|&v| self.localise(v)).collect(),
+        )
+    }
+}
+
+impl fmt::Display for GbRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GbRegion::London => "London",
+            GbRegion::EastEngland => "East England",
+            GbRegion::NorthEastEngland => "North East England",
+            GbRegion::SouthEngland => "South England",
+            GbRegion::SouthScotland => "South Scotland",
+            GbRegion::National => "National",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::uk_november_2022;
+
+    #[test]
+    fn scotland_is_cleanest_london_dirtiest() {
+        let national = CarbonIntensity::from_grams_per_kwh(175.0);
+        let scot = GbRegion::SouthScotland.localise(national);
+        let london = GbRegion::London.localise(national);
+        let nat = GbRegion::National.localise(national);
+        assert!(scot < nat && nat < london);
+        assert_eq!(nat, national);
+    }
+
+    #[test]
+    fn localisation_never_negative() {
+        for region in [
+            GbRegion::London,
+            GbRegion::SouthScotland,
+            GbRegion::NorthEastEngland,
+        ] {
+            let v = region.localise(CarbonIntensity::ZERO);
+            assert!(v.grams_per_kwh() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn series_localisation_preserves_structure() {
+        let sim = uk_november_2022(5).simulate();
+        let national = sim.intensity();
+        let regional = GbRegion::NorthEastEngland.localise_series(national);
+        assert_eq!(regional.len(), national.len());
+        assert_eq!(regional.start(), national.start());
+        // Affine transform with positive scale preserves the argmin slot.
+        let nat_min_idx = national
+            .values()
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let reg_min_idx = regional
+            .values()
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(nat_min_idx, reg_min_idx);
+        // And the mean scales accordingly.
+        let expect = GbRegion::NorthEastEngland.localise(national.mean());
+        assert!((regional.mean().grams_per_kwh() - expect.grams_per_kwh()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iris_sites_map_to_regions() {
+        assert_eq!(GbRegion::for_iris_site("QMUL"), GbRegion::London);
+        assert_eq!(GbRegion::for_iris_site("DUR"), GbRegion::NorthEastEngland);
+        assert_eq!(GbRegion::for_iris_site("CAM"), GbRegion::EastEngland);
+        assert_eq!(GbRegion::for_iris_site("STFC-SCARF"), GbRegion::SouthEngland);
+        assert_eq!(GbRegion::for_iris_site("nowhere"), GbRegion::National);
+    }
+
+    #[test]
+    fn regional_spread_is_material() {
+        // The spatial variance the national figure hides: for the same
+        // weather, Scotland vs London differ by >3× — the paper's
+        // "displacing other activities" caveat in numbers.
+        let sim = uk_november_2022(9).simulate();
+        let scot = GbRegion::SouthScotland
+            .localise_series(sim.intensity())
+            .mean();
+        let london = GbRegion::London.localise_series(sim.intensity()).mean();
+        assert!(london.grams_per_kwh() > scot.grams_per_kwh() * 3.0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Half-hourly carbon-intensity series and its summaries.
+
+use crate::stats;
+use iriscast_units::{CarbonIntensity, Period, SimDuration, Timestamp, TriEstimate};
+use serde::{Deserialize, Serialize};
+
+/// A regularly sampled carbon-intensity series (one value per settlement
+/// period by convention, though any positive step is supported).
+///
+/// Each value is the intensity *for the interval* `[tᵢ, tᵢ + step)` —
+/// matching how the national data is published — so multiplying interval
+/// energy by the matching value implements equation (3) of the paper
+/// exactly, with no interpolation ambiguity.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IntensitySeries {
+    start: Timestamp,
+    step: SimDuration,
+    values: Vec<CarbonIntensity>,
+}
+
+/// The paper's three reference intensities, read off the series.
+///
+/// The paper picks 50 (low), 175 (medium) and 300 (high) gCO₂/kWh "given
+/// the significant variability" of Figure 1; we formalise the reading as
+/// the 5th percentile, median, and 95th percentile of the half-hourly
+/// values.
+pub type ReferenceValues = TriEstimate<CarbonIntensity>;
+
+impl IntensitySeries {
+    /// Builds a series starting at `start` with one value per `step`.
+    ///
+    /// # Panics
+    /// If `step` is not positive or `values` is empty.
+    pub fn new(start: Timestamp, step: SimDuration, values: Vec<CarbonIntensity>) -> Self {
+        assert!(step.as_secs() > 0, "step must be positive");
+        assert!(!values.is_empty(), "an intensity series cannot be empty");
+        IntensitySeries {
+            start,
+            step,
+            values,
+        }
+    }
+
+    /// A constant-intensity series covering `period` (used for the paper's
+    /// scalar low/medium/high evaluation).
+    pub fn constant(period: Period, step: SimDuration, value: CarbonIntensity) -> Self {
+        let n = period.step_count(step);
+        IntensitySeries::new(period.start(), step, vec![value; n.max(1)])
+    }
+
+    /// First instant covered.
+    pub fn start(&self) -> Timestamp {
+        self.start
+    }
+
+    /// Sampling step.
+    pub fn step(&self) -> SimDuration {
+        self.step
+    }
+
+    /// Number of intervals.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `false` always (construction rejects empty series); present for
+    /// clippy-idiomatic pairing with [`IntensitySeries::len`].
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The covered period `[start, start + len·step)`.
+    pub fn period(&self) -> Period {
+        Period::starting_at(self.start, self.step * self.values.len() as i64)
+    }
+
+    /// Raw interval values.
+    pub fn values(&self) -> &[CarbonIntensity] {
+        &self.values
+    }
+
+    /// Intensity of the interval containing `t`, or `None` outside the
+    /// series.
+    pub fn at(&self, t: Timestamp) -> Option<CarbonIntensity> {
+        if t < self.start {
+            return None;
+        }
+        let idx = ((t - self.start).as_secs() / self.step.as_secs()) as usize;
+        self.values.get(idx).copied()
+    }
+
+    /// Iterates `(interval, intensity)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Period, CarbonIntensity)> + '_ {
+        self.values.iter().enumerate().map(move |(i, &v)| {
+            let start = self.start + self.step * i as i64;
+            (Period::starting_at(start, self.step), v)
+        })
+    }
+
+    /// Restricts the series to the intervals fully inside `period`.
+    /// Returns `None` when no interval qualifies.
+    pub fn slice(&self, period: Period) -> Option<IntensitySeries> {
+        let mut start_idx = None;
+        let mut values = Vec::new();
+        for (i, (interval, v)) in self.iter().enumerate() {
+            if interval.start() >= period.start() && interval.end() <= period.end() {
+                if start_idx.is_none() {
+                    start_idx = Some(i);
+                }
+                values.push(v);
+            }
+        }
+        let start_idx = start_idx?;
+        Some(IntensitySeries::new(
+            self.start + self.step * start_idx as i64,
+            self.step,
+            values,
+        ))
+    }
+
+    /// Time-weighted mean intensity (all intervals are equal length, so
+    /// this is the arithmetic mean).
+    pub fn mean(&self) -> CarbonIntensity {
+        let sum: f64 = self.values.iter().map(|v| v.grams_per_kwh()).sum();
+        CarbonIntensity::from_grams_per_kwh(sum / self.values.len() as f64)
+    }
+
+    /// Minimum interval intensity.
+    pub fn min(&self) -> CarbonIntensity {
+        self.values
+            .iter()
+            .copied()
+            .min_by(|a, b| a.total_cmp(b))
+            .expect("series is never empty")
+    }
+
+    /// Maximum interval intensity.
+    pub fn max(&self) -> CarbonIntensity {
+        self.values
+            .iter()
+            .copied()
+            .max_by(|a, b| a.total_cmp(b))
+            .expect("series is never empty")
+    }
+
+    /// Linear-interpolated percentile of interval values, `q ∈ [0, 1]`.
+    pub fn percentile(&self, q: f64) -> CarbonIntensity {
+        let raw: Vec<f64> = self.values.iter().map(|v| v.grams_per_kwh()).collect();
+        CarbonIntensity::from_grams_per_kwh(
+            stats::percentile(&raw, q).expect("series is never empty"),
+        )
+    }
+
+    /// The paper's low/medium/high reference reading: p5 / median / p95.
+    pub fn reference_values(&self) -> ReferenceValues {
+        TriEstimate::new(
+            self.percentile(0.05),
+            self.percentile(0.50),
+            self.percentile(0.95),
+        )
+    }
+
+    /// Daily mean intensities — the series plotted in the paper's
+    /// Figure 1 ("average carbon intensity … over the month").
+    ///
+    /// Days are simulation days (`[d·86400, (d+1)·86400)`); partial
+    /// leading/trailing days are included with the samples they have.
+    pub fn daily_means(&self) -> Vec<(i64, CarbonIntensity)> {
+        let mut acc: Vec<(i64, f64, u32)> = Vec::new();
+        for (interval, v) in self.iter() {
+            let day = interval.start().day_index();
+            match acc.last_mut() {
+                Some((d, sum, n)) if *d == day => {
+                    *sum += v.grams_per_kwh();
+                    *n += 1;
+                }
+                _ => acc.push((day, v.grams_per_kwh(), 1)),
+            }
+        }
+        acc.into_iter()
+            .map(|(d, sum, n)| (d, CarbonIntensity::from_grams_per_kwh(sum / f64::from(n))))
+            .collect()
+    }
+
+    /// Serialises as CSV (`seconds,g_per_kwh`) for external plotting —
+    /// the format the paper's Figure 1 would be drawn from.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.values.len() * 16 + 24);
+        out.push_str("seconds,g_per_kwh\n");
+        for (i, v) in self.values.iter().enumerate() {
+            let t = self.start.as_secs() + self.step.as_secs() * i as i64;
+            out.push_str(&format!("{t},{}\n", v.grams_per_kwh()));
+        }
+        out
+    }
+
+    /// Index of the `k` consecutive-interval window with the lowest mean
+    /// intensity, as `(start_timestamp, mean)`. Used by carbon-aware
+    /// scheduling. Returns `None` if the series is shorter than `k`.
+    pub fn greenest_window(&self, k: usize) -> Option<(Timestamp, CarbonIntensity)> {
+        if k == 0 || k > self.values.len() {
+            return None;
+        }
+        let raw: Vec<f64> = self.values.iter().map(|v| v.grams_per_kwh()).collect();
+        let mut window_sum: f64 = raw[..k].iter().sum();
+        let mut best = (0usize, window_sum);
+        for i in k..raw.len() {
+            window_sum += raw[i] - raw[i - k];
+            if window_sum < best.1 {
+                best = (i - k + 1, window_sum);
+            }
+        }
+        Some((
+            self.start + self.step * best.0 as i64,
+            CarbonIntensity::from_grams_per_kwh(best.1 / k as f64),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ci(g: f64) -> CarbonIntensity {
+        CarbonIntensity::from_grams_per_kwh(g)
+    }
+
+    fn series(values: &[f64]) -> IntensitySeries {
+        IntensitySeries::new(
+            Timestamp::EPOCH,
+            SimDuration::SETTLEMENT_PERIOD,
+            values.iter().map(|&g| ci(g)).collect(),
+        )
+    }
+
+    #[test]
+    fn construction_validates() {
+        let s = series(&[100.0, 200.0]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.period().duration(), SimDuration::HOUR);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_rejected() {
+        let _ = IntensitySeries::new(Timestamp::EPOCH, SimDuration::HOUR, vec![]);
+    }
+
+    #[test]
+    fn lookup_by_time() {
+        let s = series(&[100.0, 200.0, 300.0]);
+        assert_eq!(s.at(Timestamp::from_secs(0)), Some(ci(100.0)));
+        assert_eq!(s.at(Timestamp::from_secs(1_799)), Some(ci(100.0)));
+        assert_eq!(s.at(Timestamp::from_secs(1_800)), Some(ci(200.0)));
+        assert_eq!(s.at(Timestamp::from_secs(5_400)), None);
+        assert_eq!(s.at(Timestamp::from_secs(-1)), None);
+    }
+
+    #[test]
+    fn statistics() {
+        let s = series(&[50.0, 100.0, 150.0, 300.0]);
+        assert_eq!(s.mean(), ci(150.0));
+        assert_eq!(s.min(), ci(50.0));
+        assert_eq!(s.max(), ci(300.0));
+        assert_eq!(s.percentile(0.5), ci(125.0));
+    }
+
+    #[test]
+    fn reference_values_ordered() {
+        let values: Vec<f64> = (0..480).map(|i| 50.0 + (i % 48) as f64 * 6.0).collect();
+        let s = series(&values);
+        let r = s.reference_values();
+        assert!(r.low < r.mid && r.mid < r.high);
+    }
+
+    #[test]
+    fn daily_means_group_by_day() {
+        // Two days: day 0 constant 100, day 1 constant 200.
+        let mut values = vec![100.0; 48];
+        values.extend(vec![200.0; 48]);
+        let s = series(&values);
+        let d = s.daily_means();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0], (0, ci(100.0)));
+        assert_eq!(d[1], (1, ci(200.0)));
+    }
+
+    #[test]
+    fn constant_series() {
+        let s = IntensitySeries::constant(
+            Period::snapshot_24h(),
+            SimDuration::SETTLEMENT_PERIOD,
+            ci(175.0),
+        );
+        assert_eq!(s.len(), 48);
+        assert_eq!(s.mean(), ci(175.0));
+        assert_eq!(s.min(), s.max());
+    }
+
+    #[test]
+    fn slicing() {
+        let values: Vec<f64> = (0..96).map(f64::from).collect();
+        let s = series(&values);
+        let day1 = s.slice(Period::day(1)).unwrap();
+        assert_eq!(day1.len(), 48);
+        assert_eq!(day1.values()[0], ci(48.0));
+        assert_eq!(day1.start(), Timestamp::from_days(1));
+        // Slice outside coverage.
+        assert!(s.slice(Period::day(10)).is_none());
+    }
+
+    #[test]
+    fn greenest_window_finds_minimum() {
+        let s = series(&[300.0, 250.0, 60.0, 50.0, 70.0, 280.0]);
+        let (t, mean) = s.greenest_window(2).unwrap();
+        // Windows: best is indices 2..4 (60, 50) → mean 55 at t = 2 slots.
+        assert_eq!(t, Timestamp::from_secs(2 * 1_800));
+        assert_eq!(mean, ci(55.0));
+        assert!(s.greenest_window(0).is_none());
+        assert!(s.greenest_window(7).is_none());
+        // Whole-series window.
+        let (t_all, _) = s.greenest_window(6).unwrap();
+        assert_eq!(t_all, Timestamp::EPOCH);
+    }
+
+    #[test]
+    fn csv_export() {
+        let s = series(&[100.0, 250.5]);
+        let csv = s.to_csv();
+        assert_eq!(csv, "seconds,g_per_kwh\n0,100\n1800,250.5\n");
+    }
+
+    #[test]
+    fn iter_intervals_tile() {
+        let s = series(&[1.0, 2.0, 3.0]);
+        let intervals: Vec<Period> = s.iter().map(|(p, _)| p).collect();
+        for w in intervals.windows(2) {
+            assert_eq!(w[0].end(), w[1].start());
+        }
+    }
+}

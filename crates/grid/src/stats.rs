@@ -1,0 +1,121 @@
+//! Small statistics utilities shared by series summaries.
+
+/// Linear-interpolated percentile of `values` (which need not be sorted);
+/// `q` in `[0, 1]`. Returns `None` for empty input.
+///
+/// Uses the common "linear between closest ranks" definition (NumPy's
+/// default), which is what percentile-based intensity references use.
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return Some(sorted[lo]);
+    }
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Arithmetic mean; `None` for empty input.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Population standard deviation; `None` for empty input.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Five-number-plus-mean summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+/// Computes a [`Summary`]; `None` for empty input.
+pub fn summarize(values: &[f64]) -> Option<Summary> {
+    Some(Summary {
+        min: percentile(values, 0.0)?,
+        p25: percentile(values, 0.25)?,
+        median: percentile(values, 0.5)?,
+        p75: percentile(values, 0.75)?,
+        max: percentile(values, 1.0)?,
+        mean: mean(values)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_basics() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 1.0), Some(4.0));
+        assert_eq!(percentile(&v, 0.5), Some(2.5));
+        assert_eq!(percentile(&v, 0.25), Some(1.75));
+        assert_eq!(percentile(&[], 0.5), None);
+        // Unsorted input.
+        let u = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&u, 0.5), Some(2.5));
+    }
+
+    #[test]
+    fn single_element() {
+        let v = [7.0];
+        for q in [0.0, 0.3, 0.5, 1.0] {
+            assert_eq!(percentile(&v, q), Some(7.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn percentile_rejects_out_of_range() {
+        let _ = percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&v), Some(5.0));
+        assert_eq!(std_dev(&v), Some(2.0));
+        assert_eq!(mean(&[]), None);
+        assert_eq!(std_dev(&[]), None);
+    }
+
+    #[test]
+    fn summary() {
+        let v: Vec<f64> = (1..=101).map(f64::from).collect();
+        let s = summarize(&v).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 51.0);
+        assert_eq!(s.max, 101.0);
+        assert_eq!(s.mean, 51.0);
+        assert_eq!(s.p25, 26.0);
+        assert_eq!(s.p75, 76.0);
+        assert_eq!(summarize(&[]), None);
+    }
+}

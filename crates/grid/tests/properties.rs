@@ -1,0 +1,145 @@
+//! Property-based tests for the grid substrate's invariants.
+
+use iriscast_grid::{Dispatcher, GenerationCapacity, IntensitySeries};
+use iriscast_units::{CarbonIntensity, Power, SimDuration, Timestamp};
+use proptest::prelude::*;
+
+fn intensity_values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0..600.0f64, 1..400)
+}
+
+proptest! {
+    /// Dispatch balances: generation + unserved = demand, exactly, for any
+    /// demand and weather.
+    #[test]
+    fn dispatch_conserves_energy(
+        demand_gw in 0.1..80.0f64,
+        wind_cf in 0.0..1.0f64,
+        solar_cf in 0.0..1.0f64,
+    ) {
+        let d = Dispatcher::new(GenerationCapacity::gb_2022());
+        let r = d.dispatch(Power::from_gigawatts(demand_gw), wind_cf, solar_cf);
+        let supplied = r.mix.total().gigawatts();
+        let unserved = r.unserved.gigawatts();
+        prop_assert!((supplied + unserved - demand_gw).abs() < 1e-9);
+        prop_assert!(unserved >= 0.0);
+        prop_assert!(r.curtailed.gigawatts() >= 0.0);
+        // No fuel exceeds its capacity.
+        use iriscast_grid::FuelType::*;
+        let cap = &d.capacity;
+        prop_assert!(r.mix.get(Gas) <= cap.gas + Power::from_watts(1.0));
+        prop_assert!(r.mix.get(Coal) <= cap.coal + Power::from_watts(1.0));
+        prop_assert!(r.mix.get(Wind) <= cap.wind * wind_cf + Power::from_watts(1.0));
+        prop_assert!(r.mix.get(Solar) <= cap.solar * solar_cf + Power::from_watts(1.0));
+    }
+
+    /// Blended intensity is bounded by the dirtiest fuel, and monotone
+    /// under demand growth *while gas is the marginal fuel*. (Beyond the
+    /// gas fleet the merit order reaches imports and storage, which are
+    /// cleaner than gas, so global monotonicity genuinely does not hold —
+    /// the restriction is physics, not test convenience.)
+    #[test]
+    fn intensity_bounded_and_gas_margin_dirtier(
+        demand_gw in 5.0..45.0f64,
+        extra_gw in 0.5..10.0f64,
+        wind_cf in 0.0..1.0f64,
+    ) {
+        use iriscast_grid::FuelType::{Coal, Imports, Storage};
+        let d = Dispatcher::new(GenerationCapacity::gb_2022());
+        let base = d.dispatch(Power::from_gigawatts(demand_gw), wind_cf, 0.1);
+        prop_assert!(base.mix.intensity().grams_per_kwh() <= 937.0);
+        let more = d.dispatch(Power::from_gigawatts(demand_gw + extra_gw), wind_cf, 0.1);
+        prop_assert!(more.mix.intensity().grams_per_kwh() <= 937.0);
+        // Only compare within the gas-marginal regime with no curtailment
+        // on the smaller demand.
+        let gas_marginal = |r: &iriscast_grid::DispatchResult| {
+            r.unserved == Power::ZERO
+                && r.mix.get(Imports) == Power::ZERO
+                && r.mix.get(Storage) == Power::ZERO
+                && r.mix.get(Coal) == Power::ZERO
+        };
+        if gas_marginal(&base) && gas_marginal(&more) && base.curtailed == Power::ZERO {
+            prop_assert!(
+                more.mix.intensity().grams_per_kwh()
+                    >= base.mix.intensity().grams_per_kwh() - 1e-6
+            );
+        }
+    }
+
+    /// Series statistics: min ≤ every percentile ≤ max, and percentiles
+    /// are monotone in q.
+    #[test]
+    fn percentiles_monotone(values in intensity_values(), q1 in 0.0..1.0f64, q2 in 0.0..1.0f64) {
+        let s = IntensitySeries::new(
+            Timestamp::EPOCH,
+            SimDuration::SETTLEMENT_PERIOD,
+            values.iter().map(|&g| CarbonIntensity::from_grams_per_kwh(g)).collect(),
+        );
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(s.percentile(lo_q) <= s.percentile(hi_q));
+        prop_assert!(s.min() <= s.percentile(lo_q));
+        prop_assert!(s.percentile(hi_q) <= s.max());
+        prop_assert!(s.mean() >= s.min() && s.mean() <= s.max());
+    }
+
+    /// Daily means partition the series: their sample-weighted average is
+    /// the overall mean.
+    #[test]
+    fn daily_means_consistent(values in prop::collection::vec(0.0..600.0f64, 48..480)) {
+        let s = IntensitySeries::new(
+            Timestamp::EPOCH,
+            SimDuration::SETTLEMENT_PERIOD,
+            values.iter().map(|&g| CarbonIntensity::from_grams_per_kwh(g)).collect(),
+        );
+        let daily = s.daily_means();
+        let mut weighted = 0.0;
+        let mut count = 0usize;
+        for (day, mean) in &daily {
+            let in_day = values
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (i / 48) as i64 == *day)
+                .count();
+            weighted += mean.grams_per_kwh() * in_day as f64;
+            count += in_day;
+        }
+        prop_assert_eq!(count, values.len());
+        let overall = s.mean().grams_per_kwh();
+        prop_assert!((weighted / count as f64 - overall).abs() < 1e-9);
+    }
+
+    /// The greenest window is at least as clean as every other window of
+    /// the same width (checked against a brute-force scan).
+    #[test]
+    fn greenest_window_is_optimal(
+        values in prop::collection::vec(0.0..600.0f64, 2..100),
+        k_frac in 0.01..1.0f64,
+    ) {
+        let k = ((values.len() as f64 * k_frac) as usize).clamp(1, values.len());
+        let s = IntensitySeries::new(
+            Timestamp::EPOCH,
+            SimDuration::SETTLEMENT_PERIOD,
+            values.iter().map(|&g| CarbonIntensity::from_grams_per_kwh(g)).collect(),
+        );
+        let (_, best) = s.greenest_window(k).unwrap();
+        for start in 0..=(values.len() - k) {
+            let mean: f64 = values[start..start + k].iter().sum::<f64>() / k as f64;
+            prop_assert!(best.grams_per_kwh() <= mean + 1e-9);
+        }
+    }
+
+    /// Slicing preserves values and alignment.
+    #[test]
+    fn slice_preserves_values(values in prop::collection::vec(0.0..600.0f64, 96..240)) {
+        let s = IntensitySeries::new(
+            Timestamp::EPOCH,
+            SimDuration::SETTLEMENT_PERIOD,
+            values.iter().map(|&g| CarbonIntensity::from_grams_per_kwh(g)).collect(),
+        );
+        let day1 = s.slice(iriscast_units::Period::day(1)).unwrap();
+        prop_assert_eq!(day1.len(), 48);
+        for (i, v) in day1.values().iter().enumerate() {
+            prop_assert_eq!(v.grams_per_kwh(), values[48 + i]);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Server components and their embodiment-relevant physical attributes.
+
+use iriscast_units::Power;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How finished hardware travelled from factory to data centre.
+///
+/// Transport emissions differ by roughly an order of magnitude between sea
+/// and air freight, which is why manufacturer LCA sheets (and our
+/// [`crate::EmbodiedFactors`]) treat the mode explicitly.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransportMode {
+    /// Container shipping — slow, lowest carbon per kg·km.
+    Sea,
+    /// Long-haul road freight.
+    Road,
+    /// Air freight — fastest, highest carbon.
+    Air,
+}
+
+impl TransportMode {
+    /// Representative well-to-wheel emission factor in kgCO₂e per kg of
+    /// freight for a typical factory→UK journey of each mode (distance is
+    /// folded in; values bracket DEFRA freight factors for ~10,000 km sea,
+    /// ~2,000 km road, ~9,000 km air legs).
+    pub const fn kg_co2e_per_kg(self) -> f64 {
+        match self {
+            TransportMode::Sea => 0.08,
+            TransportMode::Road => 0.25,
+            TransportMode::Air => 1.30,
+        }
+    }
+}
+
+impl fmt::Display for TransportMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TransportMode::Sea => "sea",
+            TransportMode::Road => "road",
+            TransportMode::Air => "air",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A hardware component with the attributes that drive its manufacturing
+/// carbon, following the decomposition used by process-level LCA models
+/// (die area for logic, capacity for memory/storage, mass for structure).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Component {
+    /// A CPU package.
+    Cpu {
+        /// Marketing/model name, for reports.
+        model: String,
+        /// Physical core count (drives nothing in the embodied model but is
+        /// reported in inventories and used by schedulers).
+        cores: u32,
+        /// Total die area in mm² — the dominant driver of fab emissions.
+        die_area_mm2: f64,
+        /// Thermal design power.
+        tdp: Power,
+    },
+    /// A discrete accelerator (GPU or similar).
+    Gpu {
+        /// Marketing/model name.
+        model: String,
+        /// Die area in mm².
+        die_area_mm2: f64,
+        /// On-board memory in GB (HBM/GDDR — charged at the DRAM rate).
+        memory_gb: f64,
+        /// Board thermal design power.
+        tdp: Power,
+    },
+    /// Main memory.
+    Dram {
+        /// Total capacity in GB.
+        capacity_gb: f64,
+    },
+    /// Flash storage.
+    Ssd {
+        /// Capacity in GB.
+        capacity_gb: f64,
+    },
+    /// Rotating storage.
+    Hdd {
+        /// Capacity in TB.
+        capacity_tb: f64,
+    },
+    /// System board (PCB + soldered regulators, sockets, BMC).
+    Mainboard {
+        /// Board area in cm².
+        area_cm2: f64,
+    },
+    /// A power supply unit.
+    Psu {
+        /// Nameplate output rating.
+        rated: Power,
+    },
+    /// Chassis, rails, heatsinks and fans.
+    Chassis {
+        /// Structural mass in kg.
+        mass_kg: f64,
+    },
+    /// A network interface card.
+    Nic {
+        /// Port speed in Gb/s (reported; embodied cost is per card).
+        speed_gbps: f64,
+    },
+}
+
+impl Component {
+    /// Approximate shipping mass contribution of the component in kg,
+    /// used to compute transport emissions. Values are deliberately coarse
+    /// (transport is a small slice of the total) but mass-conserving:
+    /// a populated 2U server sums to roughly 20–35 kg.
+    pub fn shipping_mass_kg(&self) -> f64 {
+        match self {
+            Component::Cpu { .. } => 0.5,
+            Component::Gpu { .. } => 2.5,
+            Component::Dram { capacity_gb } => 0.05 + capacity_gb / 64.0 * 0.04,
+            Component::Ssd { .. } => 0.15,
+            Component::Hdd { .. } => 0.7,
+            Component::Mainboard { area_cm2 } => area_cm2 / 1_000.0 * 1.2,
+            Component::Psu { .. } => 1.5,
+            Component::Chassis { mass_kg } => *mass_kg,
+            Component::Nic { .. } => 0.2,
+        }
+    }
+
+    /// Short kind label for reports ("cpu", "dram", …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Component::Cpu { .. } => "cpu",
+            Component::Gpu { .. } => "gpu",
+            Component::Dram { .. } => "dram",
+            Component::Ssd { .. } => "ssd",
+            Component::Hdd { .. } => "hdd",
+            Component::Mainboard { .. } => "mainboard",
+            Component::Psu { .. } => "psu",
+            Component::Chassis { .. } => "chassis",
+            Component::Nic { .. } => "nic",
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Component::Cpu {
+                model,
+                cores,
+                die_area_mm2,
+                ..
+            } => write!(f, "CPU {model} ({cores}c, {die_area_mm2:.0} mm²)"),
+            Component::Gpu {
+                model, memory_gb, ..
+            } => write!(f, "GPU {model} ({memory_gb:.0} GB)"),
+            Component::Dram { capacity_gb } => write!(f, "DRAM {capacity_gb:.0} GB"),
+            Component::Ssd { capacity_gb } => write!(f, "SSD {capacity_gb:.0} GB"),
+            Component::Hdd { capacity_tb } => write!(f, "HDD {capacity_tb:.0} TB"),
+            Component::Mainboard { area_cm2 } => write!(f, "Mainboard {area_cm2:.0} cm²"),
+            Component::Psu { rated } => write!(f, "PSU {rated}"),
+            Component::Chassis { mass_kg } => write!(f, "Chassis {mass_kg:.1} kg"),
+            Component::Nic { speed_gbps } => write!(f, "NIC {speed_gbps:.0} Gb/s"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_factors_ordered() {
+        assert!(TransportMode::Sea.kg_co2e_per_kg() < TransportMode::Road.kg_co2e_per_kg());
+        assert!(TransportMode::Road.kg_co2e_per_kg() < TransportMode::Air.kg_co2e_per_kg());
+        assert_eq!(TransportMode::Air.to_string(), "air");
+    }
+
+    #[test]
+    fn shipping_mass_is_plausible_for_a_2u_server() {
+        let parts: Vec<(Component, u32)> = vec![
+            (
+                Component::Cpu {
+                    model: "generic".into(),
+                    cores: 32,
+                    die_area_mm2: 600.0,
+                    tdp: Power::from_watts(205.0),
+                },
+                2,
+            ),
+            (Component::Dram { capacity_gb: 384.0 }, 1),
+            (Component::Ssd { capacity_gb: 960.0 }, 2),
+            (Component::Mainboard { area_cm2: 2_000.0 }, 1),
+            (
+                Component::Psu {
+                    rated: Power::from_watts(800.0),
+                },
+                2,
+            ),
+            (Component::Chassis { mass_kg: 18.0 }, 1),
+            (Component::Nic { speed_gbps: 25.0 }, 1),
+        ];
+        let mass: f64 = parts
+            .iter()
+            .map(|(c, n)| c.shipping_mass_kg() * *n as f64)
+            .sum();
+        assert!(
+            (20.0..=35.0).contains(&mass),
+            "server shipping mass {mass:.1} kg out of expected band"
+        );
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(Component::Dram { capacity_gb: 1.0 }.kind(), "dram");
+        assert_eq!(Component::Hdd { capacity_tb: 16.0 }.kind(), "hdd");
+    }
+
+    #[test]
+    fn display_formats() {
+        let cpu = Component::Cpu {
+            model: "EPYC 7452".into(),
+            cores: 32,
+            die_area_mm2: 600.0,
+            tdp: Power::from_watts(155.0),
+        };
+        assert_eq!(cpu.to_string(), "CPU EPYC 7452 (32c, 600 mm²)");
+        assert_eq!(
+            Component::Ssd { capacity_gb: 960.0 }.to_string(),
+            "SSD 960 GB"
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = Component::Gpu {
+            model: "A100".into(),
+            die_area_mm2: 826.0,
+            memory_gb: 40.0,
+            tdp: Power::from_watts(400.0),
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Component = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

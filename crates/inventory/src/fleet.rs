@@ -1,0 +1,205 @@
+//! The whole-federation view: every site, with cross-site queries.
+
+use crate::{EmbodiedFactors, NodeGroup, NodeRole, Site};
+use iriscast_units::CarbonMass;
+use serde::{Deserialize, Serialize};
+
+/// A federation of sites — the unit of assessment for the carbon model.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Fleet {
+    sites: Vec<Site>,
+}
+
+impl Fleet {
+    /// An empty fleet.
+    pub fn new() -> Self {
+        Fleet::default()
+    }
+
+    /// Adds a site (builder style).
+    pub fn with_site(mut self, site: Site) -> Self {
+        self.sites.push(site);
+        self
+    }
+
+    /// All sites in insertion order (the paper's table order).
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// Looks a site up by its short code.
+    pub fn site(&self, code: &str) -> Option<&Site> {
+        self.sites.iter().find(|s| s.code == code)
+    }
+
+    /// Iterates `(site, group)` pairs across the federation.
+    pub fn groups(&self) -> impl Iterator<Item = (&Site, &NodeGroup)> {
+        self.sites
+            .iter()
+            .flat_map(|s| s.groups.iter().map(move |g| (s, g)))
+    }
+
+    /// Total inventoried nodes.
+    pub fn total_nodes(&self) -> u32 {
+        self.sites.iter().map(Site::total_nodes).sum()
+    }
+
+    /// Total nodes that produced telemetry during the snapshot (the sum of
+    /// Table 2's "Nodes" column).
+    pub fn monitored_nodes(&self) -> u32 {
+        self.sites.iter().map(Site::monitored_nodes).sum()
+    }
+
+    /// Monitored non-storage nodes — the paper's Table 4 amortisation base.
+    pub fn monitored_servers(&self) -> u32 {
+        self.sites.iter().map(Site::monitored_servers).sum()
+    }
+
+    /// Inventoried nodes by role.
+    pub fn nodes_with_role(&self, role: NodeRole) -> u32 {
+        self.sites.iter().map(|s| s.nodes_with_role(role)).sum()
+    }
+
+    /// Total embodied carbon of all inventoried hardware under `factors`.
+    pub fn total_embodied(&self, factors: &EmbodiedFactors) -> CarbonMass {
+        self.sites.iter().map(|s| s.total_embodied(factors)).sum()
+    }
+
+    /// Embodied carbon of the *monitored, non-storage* subset — the base
+    /// the paper amortises in Table 4 — using a flat per-server figure.
+    pub fn monitored_server_embodied(&self, per_server: CarbonMass) -> CarbonMass {
+        per_server * f64::from(self.monitored_servers())
+    }
+
+    /// One summary row per site, in site order.
+    pub fn summary(&self) -> Vec<FleetSummary> {
+        self.sites
+            .iter()
+            .map(|s| FleetSummary {
+                code: s.code.clone(),
+                name: s.name.clone(),
+                compute: s.nodes_with_role(NodeRole::Compute),
+                storage: s.nodes_with_role(NodeRole::Storage),
+                other: s.total_nodes()
+                    - s.nodes_with_role(NodeRole::Compute)
+                    - s.nodes_with_role(NodeRole::Storage),
+                monitored: s.monitored_nodes(),
+            })
+            .collect()
+    }
+
+    /// Serialises the fleet to pretty-printed JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Loads a fleet from JSON produced by [`Fleet::to_json`].
+    pub fn from_json(json: &str) -> serde_json::Result<Fleet> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Per-site roll-up used to render the paper's Table 1.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FleetSummary {
+    /// Site short code.
+    pub code: String,
+    /// Institution name.
+    pub name: String,
+    /// Inventoried CPU/compute nodes.
+    pub compute: u32,
+    /// Inventoried storage nodes.
+    pub storage: u32,
+    /// Inventoried nodes of any other role.
+    pub other: u32,
+    /// Monitored nodes (Table 2 basis).
+    pub monitored: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeBuilder;
+    use iriscast_units::Power;
+
+    fn spec(role: NodeRole) -> crate::NodeSpec {
+        NodeBuilder::new(format!("{role}-node"))
+            .role(role)
+            .cpu("c", 8, 300.0, Power::from_watts(95.0))
+            .dram_gb(64.0)
+            .ssd_gb(240.0)
+            .mainboard_cm2(1_200.0)
+            .psus(1, Power::from_watts(550.0))
+            .chassis_kg(12.0)
+            .nic(10.0)
+            .idle_power(Power::from_watts(60.0))
+            .max_power(Power::from_watts(280.0))
+            .build()
+    }
+
+    fn fleet() -> Fleet {
+        Fleet::new()
+            .with_site(
+                Site::new("AAA", "Site A")
+                    .with_group(NodeGroup::new(spec(NodeRole::Compute), 50).with_monitored(40))
+                    .with_group(NodeGroup::new(spec(NodeRole::Storage), 10)),
+            )
+            .with_site(
+                Site::new("BBB", "Site B")
+                    .with_group(NodeGroup::new(spec(NodeRole::Compute), 30))
+                    .with_group(NodeGroup::new(spec(NodeRole::Service), 2).unlisted()),
+            )
+    }
+
+    #[test]
+    fn totals() {
+        let f = fleet();
+        assert_eq!(f.total_nodes(), 92);
+        assert_eq!(f.monitored_nodes(), 82);
+        assert_eq!(f.monitored_servers(), 72); // storage excluded
+        assert_eq!(f.nodes_with_role(NodeRole::Compute), 80);
+        assert_eq!(f.nodes_with_role(NodeRole::Storage), 10);
+        assert_eq!(f.sites().len(), 2);
+    }
+
+    #[test]
+    fn lookup_and_iteration() {
+        let f = fleet();
+        assert!(f.site("AAA").is_some());
+        assert!(f.site("ZZZ").is_none());
+        assert_eq!(f.groups().count(), 4);
+    }
+
+    #[test]
+    fn summary_rows() {
+        let f = fleet();
+        let s = f.summary();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].compute, 50);
+        assert_eq!(s[0].storage, 10);
+        assert_eq!(s[0].other, 0);
+        assert_eq!(s[1].other, 2);
+        assert_eq!(s[1].monitored, 32);
+    }
+
+    #[test]
+    fn embodied_totals() {
+        let f = fleet();
+        let factors = EmbodiedFactors::typical();
+        let total = f.total_embodied(&factors);
+        let per_node = spec(NodeRole::Compute).embodied(&factors);
+        // All nodes share the same component list here.
+        assert!((total.kilograms() - 92.0 * per_node.kilograms()).abs() < 1e-6);
+
+        let flat = f.monitored_server_embodied(CarbonMass::from_kilograms(400.0));
+        assert_eq!(flat.kilograms(), 72.0 * 400.0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let f = fleet();
+        let json = f.to_json().unwrap();
+        let back = Fleet::from_json(&json).unwrap();
+        assert_eq!(f, back);
+    }
+}

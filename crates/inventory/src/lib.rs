@@ -1,0 +1,51 @@
+//! Hardware inventory catalog and component-level embodied-carbon model.
+//!
+//! The IRISCAST paper's embodied-carbon analysis starts from *inventories*
+//! provided by each facility: what nodes exist, at which site, in what
+//! quantity — and manufacturer estimates of the carbon embodied in each
+//! server (the paper adopts 400 and 1100 kgCO₂ as bracketing values for a
+//! "notional compute node"). This crate supplies that substrate:
+//!
+//! * [`Component`] — CPUs, DRAM, SSD/HDD, mainboards, PSUs, chassis, NICs,
+//!   with the physical attributes that drive manufacturing emissions;
+//! * [`EmbodiedFactors`] — an ACT-style factor set (per-mm² logic, per-GB
+//!   memory/flash, per-kg structure, assembly and transport) with low /
+//!   typical / high presets that bracket published manufacturer LCA sheets;
+//! * [`NodeSpec`] / [`NodeBuilder`] — node definitions combining components
+//!   with nameplate power characteristics used by the telemetry simulator;
+//! * [`Site`], [`NodeGroup`] and [`Fleet`] — the federation structure, with
+//!   the distinction between *inventoried* and *monitored* hardware that
+//!   Table 1 vs Table 2 of the paper exhibits;
+//! * [`iris`] — the IRIS federation dataset encoded from the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use iriscast_inventory::{iris, EmbodiedFactors};
+//!
+//! let fleet = iris::iris_fleet();
+//! assert_eq!(fleet.monitored_nodes(), 2_462);      // Table 2 "Nodes" column
+//! assert_eq!(fleet.monitored_servers(), 2_398);    // Table 4 amortisation base
+//!
+//! let factors = EmbodiedFactors::typical();
+//! let node = iris::qmul_compute_spec();
+//! let kg = node.embodied(&factors).kilograms();
+//! assert!(kg > 300.0 && kg < 1_300.0, "within the paper's server range");
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod component;
+mod embodied;
+mod fleet;
+pub mod iris;
+mod node;
+pub mod reference;
+mod site;
+
+pub use component::{Component, TransportMode};
+pub use embodied::{EmbodiedBreakdown, EmbodiedFactors};
+pub use fleet::{Fleet, FleetSummary};
+pub use node::{NodeBuilder, NodeRole, NodeSpec};
+pub use site::{NodeGroup, Site};

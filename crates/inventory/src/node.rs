@@ -1,0 +1,408 @@
+//! Node specifications: role, component list, nameplate power.
+
+use crate::{Component, EmbodiedFactors};
+use iriscast_units::{CarbonMass, Power};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The functional role a node plays in the DRI — the paper's §4.1 taxonomy
+/// of primary active-energy components.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NodeRole {
+    /// Batch/cloud compute node (the bulk of every IRIS site).
+    Compute,
+    /// Bulk storage server.
+    Storage,
+    /// Interactive login/head node.
+    Login,
+    /// Management, monitoring and other service nodes.
+    Service,
+    /// Switches, routers and other standalone network equipment.
+    Network,
+}
+
+impl NodeRole {
+    /// All roles in declaration order.
+    pub const ALL: [NodeRole; 5] = [
+        NodeRole::Compute,
+        NodeRole::Storage,
+        NodeRole::Login,
+        NodeRole::Service,
+        NodeRole::Network,
+    ];
+
+    /// `true` for roles the paper counts as "servers" in its embodied
+    /// amortisation (Table 4 excludes storage hardware; see DESIGN.md).
+    pub const fn counts_as_server(self) -> bool {
+        !matches!(self, NodeRole::Storage)
+    }
+}
+
+impl fmt::Display for NodeRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeRole::Compute => "compute",
+            NodeRole::Storage => "storage",
+            NodeRole::Login => "login",
+            NodeRole::Service => "service",
+            NodeRole::Network => "network",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A node model: its components and its nameplate power envelope.
+///
+/// `idle_power`/`max_power` describe *wall* (AC input) power at 0% and
+/// 100% utilisation, the quantities the telemetry simulator interpolates
+/// between. An explicit `embodied_override` short-circuits the component
+/// model when a manufacturer whole-server figure is preferred (which is
+/// exactly what the paper does with its 400/1100 kg bounds).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    name: String,
+    role: NodeRole,
+    components: Vec<(Component, u32)>,
+    idle_power: Power,
+    max_power: Power,
+    embodied_override: Option<CarbonMass>,
+}
+
+impl NodeSpec {
+    /// Model name (e.g. `"qmul-compute"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Functional role.
+    pub fn role(&self) -> NodeRole {
+        self.role
+    }
+
+    /// Component list with per-component counts.
+    pub fn components(&self) -> &[(Component, u32)] {
+        &self.components
+    }
+
+    /// Wall power at idle.
+    pub fn idle_power(&self) -> Power {
+        self.idle_power
+    }
+
+    /// Wall power at full utilisation.
+    pub fn max_power(&self) -> Power {
+        self.max_power
+    }
+
+    /// Wall power at fractional utilisation `u ∈ [0, 1]` under the default
+    /// linear interpolation (the telemetry crate offers richer curves).
+    pub fn power_at(&self, utilisation: f64) -> Power {
+        let u = utilisation.clamp(0.0, 1.0);
+        self.idle_power + (self.max_power - self.idle_power) * u
+    }
+
+    /// Net embodied carbon for one node: the override if set, otherwise the
+    /// component model under `factors`.
+    pub fn embodied(&self, factors: &EmbodiedFactors) -> CarbonMass {
+        match self.embodied_override {
+            Some(c) => c,
+            None => factors.node_breakdown(self).total(),
+        }
+    }
+
+    /// Whether a manufacturer whole-server figure overrides the component
+    /// model.
+    pub fn has_embodied_override(&self) -> bool {
+        self.embodied_override.is_some()
+    }
+
+    /// Total DRAM capacity across components, in GB.
+    pub fn total_dram_gb(&self) -> f64 {
+        self.components
+            .iter()
+            .map(|(c, n)| match c {
+                Component::Dram { capacity_gb } => capacity_gb * f64::from(*n),
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Total physical CPU cores across components.
+    pub fn total_cores(&self) -> u32 {
+        self.components
+            .iter()
+            .map(|(c, n)| match c {
+                Component::Cpu { cores, .. } => cores * n,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total storage capacity (SSD + HDD), in TB.
+    pub fn total_storage_tb(&self) -> f64 {
+        self.components
+            .iter()
+            .map(|(c, n)| {
+                let per = match c {
+                    Component::Ssd { capacity_gb } => capacity_gb / 1_000.0,
+                    Component::Hdd { capacity_tb } => *capacity_tb,
+                    _ => 0.0,
+                };
+                per * f64::from(*n)
+            })
+            .sum()
+    }
+}
+
+/// Fluent builder for [`NodeSpec`].
+///
+/// ```
+/// use iriscast_inventory::NodeBuilder;
+/// use iriscast_units::Power;
+///
+/// let node = NodeBuilder::new("worker")
+///     .cpu("EPYC-7452", 32, 600.0, Power::from_watts(155.0))
+///     .dram_gb(256.0)
+///     .ssd_gb(960.0)
+///     .idle_power(Power::from_watts(120.0))
+///     .max_power(Power::from_watts(520.0))
+///     .build();
+/// assert_eq!(node.total_cores(), 32);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NodeBuilder {
+    spec: NodeSpec,
+}
+
+impl NodeBuilder {
+    /// Starts a compute-role node named `name` with no components and a
+    /// zero power envelope.
+    pub fn new(name: impl Into<String>) -> Self {
+        NodeBuilder {
+            spec: NodeSpec {
+                name: name.into(),
+                role: NodeRole::Compute,
+                components: Vec::new(),
+                idle_power: Power::ZERO,
+                max_power: Power::ZERO,
+                embodied_override: None,
+            },
+        }
+    }
+
+    /// Starts from an existing spec, for derived models.
+    pub fn from_spec(spec: NodeSpec) -> Self {
+        NodeBuilder { spec }
+    }
+
+    /// Renames the node model.
+    pub fn rename(mut self, name: impl Into<String>) -> Self {
+        self.spec.name = name.into();
+        self
+    }
+
+    /// Sets the functional role.
+    pub fn role(mut self, role: NodeRole) -> Self {
+        self.spec.role = role;
+        self
+    }
+
+    /// Adds one CPU package.
+    pub fn cpu(mut self, model: &str, cores: u32, die_area_mm2: f64, tdp: Power) -> Self {
+        self.spec.components.push((
+            Component::Cpu {
+                model: model.to_string(),
+                cores,
+                die_area_mm2,
+                tdp,
+            },
+            1,
+        ));
+        self
+    }
+
+    /// Adds one GPU.
+    pub fn gpu(mut self, model: &str, die_area_mm2: f64, memory_gb: f64, tdp: Power) -> Self {
+        self.spec.components.push((
+            Component::Gpu {
+                model: model.to_string(),
+                die_area_mm2,
+                memory_gb,
+                tdp,
+            },
+            1,
+        ));
+        self
+    }
+
+    /// Adds DRAM totalling `capacity_gb`.
+    pub fn dram_gb(mut self, capacity_gb: f64) -> Self {
+        self.spec
+            .components
+            .push((Component::Dram { capacity_gb }, 1));
+        self
+    }
+
+    /// Adds one SSD of `capacity_gb`.
+    pub fn ssd_gb(mut self, capacity_gb: f64) -> Self {
+        self.spec
+            .components
+            .push((Component::Ssd { capacity_gb }, 1));
+        self
+    }
+
+    /// Adds `count` HDDs of `capacity_tb` each.
+    pub fn hdds(mut self, count: u32, capacity_tb: f64) -> Self {
+        self.spec
+            .components
+            .push((Component::Hdd { capacity_tb }, count));
+        self
+    }
+
+    /// Adds the system board.
+    pub fn mainboard_cm2(mut self, area_cm2: f64) -> Self {
+        self.spec
+            .components
+            .push((Component::Mainboard { area_cm2 }, 1));
+        self
+    }
+
+    /// Adds `count` PSUs rated at `rated` each.
+    pub fn psus(mut self, count: u32, rated: Power) -> Self {
+        self.spec.components.push((Component::Psu { rated }, count));
+        self
+    }
+
+    /// Adds the chassis/structure.
+    pub fn chassis_kg(mut self, mass_kg: f64) -> Self {
+        self.spec
+            .components
+            .push((Component::Chassis { mass_kg }, 1));
+        self
+    }
+
+    /// Adds one NIC.
+    pub fn nic(mut self, speed_gbps: f64) -> Self {
+        self.spec.components.push((Component::Nic { speed_gbps }, 1));
+        self
+    }
+
+    /// Sets wall power at idle.
+    pub fn idle_power(mut self, p: Power) -> Self {
+        self.spec.idle_power = p;
+        self
+    }
+
+    /// Sets wall power at full load.
+    pub fn max_power(mut self, p: Power) -> Self {
+        self.spec.max_power = p;
+        self
+    }
+
+    /// Uses a manufacturer whole-server embodied figure instead of the
+    /// component model.
+    pub fn embodied_override(mut self, c: CarbonMass) -> Self {
+        self.spec.embodied_override = Some(c);
+        self
+    }
+
+    /// Finalises the spec.
+    ///
+    /// # Panics
+    /// If `max_power < idle_power`, which would make the power model
+    /// decreasing in utilisation.
+    pub fn build(self) -> NodeSpec {
+        assert!(
+            self.spec.max_power >= self.spec.idle_power,
+            "node '{}': max power {} below idle power {}",
+            self.spec.name,
+            self.spec.max_power,
+            self.spec.idle_power
+        );
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NodeSpec {
+        NodeBuilder::new("test-node")
+            .role(NodeRole::Compute)
+            .cpu("x", 24, 500.0, Power::from_watts(150.0))
+            .cpu("x", 24, 500.0, Power::from_watts(150.0))
+            .dram_gb(256.0)
+            .ssd_gb(480.0)
+            .hdds(2, 4.0)
+            .mainboard_cm2(1_800.0)
+            .psus(2, Power::from_watts(800.0))
+            .chassis_kg(16.0)
+            .nic(10.0)
+            .idle_power(Power::from_watts(100.0))
+            .max_power(Power::from_watts(500.0))
+            .build()
+    }
+
+    #[test]
+    fn accessors() {
+        let n = sample();
+        assert_eq!(n.name(), "test-node");
+        assert_eq!(n.role(), NodeRole::Compute);
+        assert_eq!(n.total_cores(), 48);
+        assert_eq!(n.total_dram_gb(), 256.0);
+        assert!((n.total_storage_tb() - 8.48).abs() < 1e-9);
+        assert_eq!(n.components().len(), 9);
+        assert!(!n.has_embodied_override());
+    }
+
+    #[test]
+    fn power_interpolation_and_clamping() {
+        let n = sample();
+        assert_eq!(n.power_at(0.0), Power::from_watts(100.0));
+        assert_eq!(n.power_at(1.0), Power::from_watts(500.0));
+        assert_eq!(n.power_at(0.5), Power::from_watts(300.0));
+        // Out-of-range utilisation clamps rather than extrapolating.
+        assert_eq!(n.power_at(-0.5), Power::from_watts(100.0));
+        assert_eq!(n.power_at(1.7), Power::from_watts(500.0));
+    }
+
+    #[test]
+    fn embodied_override_wins() {
+        let n = NodeBuilder::new("override")
+            .dram_gb(1_000.0)
+            .embodied_override(CarbonMass::from_kilograms(400.0))
+            .idle_power(Power::from_watts(50.0))
+            .max_power(Power::from_watts(60.0))
+            .build();
+        assert!(n.has_embodied_override());
+        let c = n.embodied(&EmbodiedFactors::high());
+        assert_eq!(c.kilograms(), 400.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below idle power")]
+    fn build_rejects_inverted_power_envelope() {
+        let _ = NodeBuilder::new("bad")
+            .idle_power(Power::from_watts(300.0))
+            .max_power(Power::from_watts(200.0))
+            .build();
+    }
+
+    #[test]
+    fn role_properties() {
+        assert!(NodeRole::Compute.counts_as_server());
+        assert!(NodeRole::Service.counts_as_server());
+        assert!(!NodeRole::Storage.counts_as_server());
+        assert_eq!(NodeRole::ALL.len(), 5);
+        assert_eq!(NodeRole::Storage.to_string(), "storage");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let n = sample();
+        let json = serde_json::to_string(&n).unwrap();
+        let back: NodeSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(n, back);
+    }
+}

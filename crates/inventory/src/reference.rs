@@ -1,0 +1,135 @@
+//! Reference node configurations: reusable hardware archetypes.
+//!
+//! The paper prices a "notional compute node" at 400–1100 kgCO₂. These
+//! presets give that notional node — and its storage and GPU siblings — a
+//! concrete bill of materials, so examples, tests and downstream users
+//! price consistent hardware instead of re-inventing component lists.
+
+use crate::{NodeBuilder, NodeRole, NodeSpec};
+use iriscast_units::Power;
+
+/// The paper's notional dual-socket compute node: 2×32-core CPUs, 384 GB,
+/// mirrored NVMe boot, dual PSU. The embodied-factor presets bracket it at
+/// roughly 400 / 1,100 kgCO₂ (low / high).
+pub fn notional_compute_node() -> NodeSpec {
+    NodeBuilder::new("ref-compute-2s")
+        .role(NodeRole::Compute)
+        .cpu("ref-32c", 32, 600.0, Power::from_watts(205.0))
+        .cpu("ref-32c", 32, 600.0, Power::from_watts(205.0))
+        .dram_gb(384.0)
+        .ssd_gb(960.0)
+        .ssd_gb(960.0)
+        .mainboard_cm2(2_000.0)
+        .psus(2, Power::from_watts(1_100.0))
+        .chassis_kg(18.0)
+        .nic(25.0)
+        .idle_power(Power::from_watts(140.0))
+        .max_power(Power::from_watts(620.0))
+        .build()
+}
+
+/// A 12-bay bulk storage server (16 TB drives): flat power profile, large
+/// chassis, HDD-dominated embodied profile.
+pub fn storage_node() -> NodeSpec {
+    NodeBuilder::new("ref-storage-12bay")
+        .role(NodeRole::Storage)
+        .cpu("ref-10c", 10, 350.0, Power::from_watts(85.0))
+        .dram_gb(96.0)
+        .ssd_gb(480.0)
+        .hdds(12, 16.0)
+        .mainboard_cm2(1_800.0)
+        .psus(2, Power::from_watts(800.0))
+        .chassis_kg(26.0)
+        .nic(25.0)
+        .idle_power(Power::from_watts(180.0))
+        .max_power(Power::from_watts(320.0))
+        .build()
+}
+
+/// A 4-GPU training node: accelerator-dominated power and embodied
+/// profile (HBM charged at the DRAM rate).
+pub fn gpu_node() -> NodeSpec {
+    let mut b = NodeBuilder::new("ref-gpu-4x")
+        .role(NodeRole::Compute)
+        .cpu("ref-32c", 32, 600.0, Power::from_watts(205.0))
+        .cpu("ref-32c", 32, 600.0, Power::from_watts(205.0))
+        .dram_gb(512.0);
+    for _ in 0..4 {
+        b = b.gpu("ref-a100", 826.0, 80.0, Power::from_watts(400.0));
+    }
+    b.ssd_gb(1_920.0)
+        .mainboard_cm2(2_400.0)
+        .psus(4, Power::from_watts(1_600.0))
+        .chassis_kg(32.0)
+        .nic(100.0)
+        .idle_power(Power::from_watts(450.0))
+        .max_power(Power::from_watts(2_600.0))
+        .build()
+}
+
+/// A login/management node: small, single-socket.
+pub fn service_node() -> NodeSpec {
+    NodeBuilder::new("ref-service")
+        .role(NodeRole::Service)
+        .cpu("ref-12c", 12, 350.0, Power::from_watts(85.0))
+        .dram_gb(96.0)
+        .ssd_gb(480.0)
+        .mainboard_cm2(1_500.0)
+        .psus(2, Power::from_watts(550.0))
+        .chassis_kg(14.0)
+        .nic(10.0)
+        .idle_power(Power::from_watts(100.0))
+        .max_power(Power::from_watts(250.0))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EmbodiedFactors;
+
+    #[test]
+    fn notional_node_prices_at_paper_bounds() {
+        let n = notional_compute_node();
+        let low = n.embodied(&EmbodiedFactors::low()).kilograms();
+        let high = n.embodied(&EmbodiedFactors::high()).kilograms();
+        assert!((330.0..=480.0).contains(&low), "low {low:.0}");
+        assert!((980.0..=1_250.0).contains(&high), "high {high:.0}");
+    }
+
+    #[test]
+    fn gpu_node_is_the_heaviest() {
+        let f = EmbodiedFactors::typical();
+        let compute = notional_compute_node().embodied(&f);
+        let storage = storage_node().embodied(&f);
+        let gpu = gpu_node().embodied(&f);
+        let service = service_node().embodied(&f);
+        assert!(gpu > compute && gpu > storage && gpu > service);
+        // Four 80 GB HBM stacks alone add ≥ 320 GB × dram rate.
+        assert!(
+            (gpu - compute).kilograms() > 320.0 * f.dram_per_gb * 0.9,
+            "GPU premium too small"
+        );
+    }
+
+    #[test]
+    fn roles_and_envelopes_are_sane() {
+        for (spec, role) in [
+            (notional_compute_node(), NodeRole::Compute),
+            (storage_node(), NodeRole::Storage),
+            (gpu_node(), NodeRole::Compute),
+            (service_node(), NodeRole::Service),
+        ] {
+            assert_eq!(spec.role(), role, "{}", spec.name());
+            assert!(spec.max_power() > spec.idle_power());
+        }
+        // GPU node peaks far above the CPU node.
+        assert!(gpu_node().max_power().watts() > 4.0 * notional_compute_node().max_power().watts() * 0.9);
+    }
+
+    #[test]
+    fn storage_capacity_reflects_bays() {
+        let s = storage_node();
+        assert!((s.total_storage_tb() - (12.0 * 16.0 + 0.48)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,203 @@
+//! Sites and node groups: the federation structure.
+
+use crate::{NodeRole, NodeSpec};
+use iriscast_units::{CarbonMass, Pue};
+use serde::{Deserialize, Serialize};
+
+/// A group of identical nodes at one site.
+///
+/// `count` is the inventoried quantity (what Table 1 of the paper reports);
+/// `monitored` is the subset that produced telemetry during the snapshot
+/// (what Table 2's "Nodes" column reports). The two genuinely differ in the
+/// paper — e.g. Imperial inventoried 241 nodes but monitored 117.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeGroup {
+    /// The node model for every member of the group.
+    pub spec: NodeSpec,
+    /// Inventoried quantity.
+    pub count: u32,
+    /// Quantity that produced usable telemetry during the snapshot
+    /// (`monitored ≤ count`).
+    pub monitored: u32,
+    /// Whether the group appears in the paper's Table 1 hardware summary.
+    /// Service/login groups and late additions are inventoried and
+    /// monitored but not listed there.
+    pub listed_in_summary: bool,
+}
+
+impl NodeGroup {
+    /// A fully monitored, summary-listed group.
+    pub fn new(spec: NodeSpec, count: u32) -> Self {
+        NodeGroup {
+            spec,
+            count,
+            monitored: count,
+            listed_in_summary: true,
+        }
+    }
+
+    /// Sets the monitored subset size.
+    ///
+    /// # Panics
+    /// If `monitored > count`.
+    pub fn with_monitored(mut self, monitored: u32) -> Self {
+        assert!(
+            monitored <= self.count,
+            "group '{}': monitored {monitored} exceeds inventoried count {}",
+            self.spec.name(),
+            self.count
+        );
+        self.monitored = monitored;
+        self
+    }
+
+    /// Marks the group as absent from the paper's Table 1 summary.
+    pub fn unlisted(mut self) -> Self {
+        self.listed_in_summary = false;
+        self
+    }
+}
+
+/// One provider site of the federation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    /// Short code used in the paper's tables ("QMUL", "DUR", …).
+    pub code: String,
+    /// Full institution name.
+    pub name: String,
+    /// Node groups hosted at the site.
+    pub groups: Vec<NodeGroup>,
+    /// Site PUE when known from facility measurements; `None` when it must
+    /// be estimated (the paper's situation for every site).
+    pub measured_pue: Option<Pue>,
+}
+
+impl Site {
+    /// Creates an empty site.
+    pub fn new(code: impl Into<String>, name: impl Into<String>) -> Self {
+        Site {
+            code: code.into(),
+            name: name.into(),
+            groups: Vec::new(),
+            measured_pue: None,
+        }
+    }
+
+    /// Adds a node group (builder style).
+    pub fn with_group(mut self, group: NodeGroup) -> Self {
+        self.groups.push(group);
+        self
+    }
+
+    /// Records a measured PUE for the site.
+    pub fn with_measured_pue(mut self, pue: Pue) -> Self {
+        self.measured_pue = Some(pue);
+        self
+    }
+
+    /// Total inventoried nodes at the site.
+    pub fn total_nodes(&self) -> u32 {
+        self.groups.iter().map(|g| g.count).sum()
+    }
+
+    /// Nodes that produced telemetry during the snapshot.
+    pub fn monitored_nodes(&self) -> u32 {
+        self.groups.iter().map(|g| g.monitored).sum()
+    }
+
+    /// Inventoried nodes with a given role.
+    pub fn nodes_with_role(&self, role: NodeRole) -> u32 {
+        self.groups
+            .iter()
+            .filter(|g| g.spec.role() == role)
+            .map(|g| g.count)
+            .sum()
+    }
+
+    /// Monitored nodes whose role counts as a "server" for embodied
+    /// amortisation (everything except storage; see DESIGN.md §3).
+    pub fn monitored_servers(&self) -> u32 {
+        self.groups
+            .iter()
+            .filter(|g| g.spec.role().counts_as_server())
+            .map(|g| g.monitored)
+            .sum()
+    }
+
+    /// Total embodied carbon of the site's inventoried hardware under the
+    /// given factor set.
+    pub fn total_embodied(&self, factors: &crate::EmbodiedFactors) -> CarbonMass {
+        self.groups
+            .iter()
+            .map(|g| g.spec.embodied(factors) * f64::from(g.count))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EmbodiedFactors, NodeBuilder};
+    use iriscast_units::Power;
+
+    fn spec(name: &str, role: NodeRole) -> NodeSpec {
+        NodeBuilder::new(name)
+            .role(role)
+            .cpu("c", 16, 400.0, Power::from_watts(125.0))
+            .dram_gb(128.0)
+            .ssd_gb(480.0)
+            .mainboard_cm2(1_500.0)
+            .psus(2, Power::from_watts(750.0))
+            .chassis_kg(15.0)
+            .nic(10.0)
+            .idle_power(Power::from_watts(90.0))
+            .max_power(Power::from_watts(400.0))
+            .build()
+    }
+
+    #[test]
+    fn group_invariants() {
+        let g = NodeGroup::new(spec("a", NodeRole::Compute), 100).with_monitored(80);
+        assert_eq!(g.count, 100);
+        assert_eq!(g.monitored, 80);
+        assert!(g.listed_in_summary);
+        assert!(!g.clone().unlisted().listed_in_summary);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds inventoried count")]
+    fn monitored_cannot_exceed_count() {
+        let _ = NodeGroup::new(spec("a", NodeRole::Compute), 10).with_monitored(11);
+    }
+
+    #[test]
+    fn site_aggregation() {
+        let site = Site::new("TST", "Test University")
+            .with_group(NodeGroup::new(spec("c", NodeRole::Compute), 100).with_monitored(90))
+            .with_group(NodeGroup::new(spec("s", NodeRole::Storage), 20))
+            .with_group(NodeGroup::new(spec("svc", NodeRole::Service), 4).unlisted());
+        assert_eq!(site.total_nodes(), 124);
+        assert_eq!(site.monitored_nodes(), 114);
+        assert_eq!(site.nodes_with_role(NodeRole::Compute), 100);
+        assert_eq!(site.nodes_with_role(NodeRole::Storage), 20);
+        assert_eq!(site.monitored_servers(), 94); // storage excluded
+    }
+
+    #[test]
+    fn site_embodied_scales_with_count() {
+        let one = Site::new("A", "a").with_group(NodeGroup::new(spec("c", NodeRole::Compute), 1));
+        let ten = Site::new("B", "b").with_group(NodeGroup::new(spec("c", NodeRole::Compute), 10));
+        let f = EmbodiedFactors::typical();
+        let e1 = one.total_embodied(&f);
+        let e10 = ten.total_embodied(&f);
+        assert!((e10.kilograms() - 10.0 * e1.kilograms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_pue_optional() {
+        let s = Site::new("A", "a");
+        assert!(s.measured_pue.is_none());
+        let s = s.with_measured_pue(Pue::new(1.25).unwrap());
+        assert_eq!(s.measured_pue.unwrap().value(), 1.25);
+    }
+}

@@ -1,0 +1,174 @@
+//! Site→federation roll-ups: the Table 2 report structure.
+
+use crate::collector::SiteTelemetryResult;
+use crate::meter::MeterKind;
+use iriscast_units::Energy;
+use serde::{Deserialize, Serialize};
+
+/// Energy observed by each method at one site — one row of Table 2.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyByMethod {
+    /// Facility bulk-meter energy.
+    pub facility: Option<Energy>,
+    /// PDU energy.
+    pub pdu: Option<Energy>,
+    /// IPMI energy.
+    pub ipmi: Option<Energy>,
+    /// Turbostat (RAPL) energy.
+    pub turbostat: Option<Energy>,
+}
+
+impl EnergyByMethod {
+    /// Value for a method by enum, mirroring Table 2's columns.
+    pub fn get(&self, kind: MeterKind) -> Option<Energy> {
+        match kind {
+            MeterKind::Facility => self.facility,
+            MeterKind::Pdu => self.pdu,
+            MeterKind::Ipmi => self.ipmi,
+            MeterKind::Turbostat => self.turbostat,
+        }
+    }
+
+    /// The paper's headline priority: Facility, else PDU, else IPMI, else
+    /// Turbostat.
+    pub fn best_estimate(&self) -> Option<Energy> {
+        self.facility
+            .or(self.pdu)
+            .or(self.ipmi)
+            .or(self.turbostat)
+    }
+}
+
+/// One site's row of the Table 2 report.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SiteEnergyReport {
+    /// Site short code.
+    pub site: String,
+    /// Energies by method.
+    pub energies: EnergyByMethod,
+    /// Monitored node count (Table 2's "Nodes" column).
+    pub nodes: u32,
+}
+
+impl SiteEnergyReport {
+    /// Builds a row from a collector result.
+    pub fn from_result(result: &SiteTelemetryResult) -> Self {
+        SiteEnergyReport {
+            site: result.site_code.clone(),
+            energies: EnergyByMethod {
+                facility: result.energy(MeterKind::Facility),
+                pdu: result.energy(MeterKind::Pdu),
+                ipmi: result.energy(MeterKind::Ipmi),
+                turbostat: result.energy(MeterKind::Turbostat),
+            },
+            nodes: result.nodes,
+        }
+    }
+
+    /// Ratio between two methods where both exist (`a / b`).
+    pub fn method_ratio(&self, a: MeterKind, b: MeterKind) -> Option<f64> {
+        let ea = self.energies.get(a)?;
+        let eb = self.energies.get(b)?;
+        if eb.joules() == 0.0 {
+            return None;
+        }
+        Some(ea / eb)
+    }
+}
+
+/// Sums the best-estimate energies across rows — Table 2's "Total" row.
+pub fn total_best_estimate(rows: &[SiteEnergyReport]) -> Energy {
+    rows.iter()
+        .filter_map(|r| r.energies.best_estimate())
+        .sum()
+}
+
+/// Sums monitored nodes across rows.
+pub fn total_nodes(rows: &[SiteEnergyReport]) -> u32 {
+    rows.iter().map(|r| r.nodes).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kwh(v: f64) -> Energy {
+        Energy::from_kilowatt_hours(v)
+    }
+
+    /// The published Table 2, as report rows.
+    pub fn paper_rows() -> Vec<SiteEnergyReport> {
+        let row = |site: &str,
+                   fac: Option<f64>,
+                   pdu: Option<f64>,
+                   ipmi: Option<f64>,
+                   turbo: Option<f64>,
+                   nodes: u32| SiteEnergyReport {
+            site: site.into(),
+            energies: EnergyByMethod {
+                facility: fac.map(kwh),
+                pdu: pdu.map(kwh),
+                ipmi: ipmi.map(kwh),
+                turbostat: turbo.map(kwh),
+            },
+            nodes,
+        };
+        vec![
+            row("QMUL", Some(1299.0), Some(1299.0), Some(1279.0), Some(1214.0), 118),
+            row("CAM", None, None, Some(261.0), None, 59),
+            row("DUR", Some(8154.0), Some(8154.0), Some(6267.0), None, 876),
+            row("STFC-CLOUD", None, None, Some(3831.0), None, 721),
+            row("STFC-SCARF", None, Some(4271.0), Some(3292.0), None, 571),
+            row("IMP", None, None, Some(944.0), None, 117),
+        ]
+    }
+
+    #[test]
+    fn paper_total_reproduced_from_best_estimates() {
+        let rows = paper_rows();
+        let total = total_best_estimate(&rows);
+        assert!((total.kilowatt_hours() - 18_760.0).abs() < 1e-9);
+        assert_eq!(total_nodes(&rows), 2_462);
+    }
+
+    #[test]
+    fn best_estimate_priority() {
+        let rows = paper_rows();
+        // QMUL has everything → facility.
+        assert_eq!(rows[0].energies.best_estimate(), Some(kwh(1299.0)));
+        // CAM only has IPMI.
+        assert_eq!(rows[1].energies.best_estimate(), Some(kwh(261.0)));
+        // SCARF has PDU + IPMI → PDU.
+        assert_eq!(rows[4].energies.best_estimate(), Some(kwh(4271.0)));
+        // Empty row.
+        assert_eq!(EnergyByMethod::default().best_estimate(), None);
+    }
+
+    #[test]
+    fn method_ratios_match_paper_offsets() {
+        let rows = paper_rows();
+        // QMUL: turbostat 5% below IPMI, IPMI 1.5% below PDU.
+        let qmul = &rows[0];
+        let t_over_i = qmul
+            .method_ratio(MeterKind::Turbostat, MeterKind::Ipmi)
+            .unwrap();
+        let i_over_p = qmul.method_ratio(MeterKind::Ipmi, MeterKind::Pdu).unwrap();
+        assert!((t_over_i - 0.949).abs() < 0.002);
+        assert!((i_over_p - 0.985).abs() < 0.002);
+        // DUR: IPMI covers ~77% of PDU.
+        let dur = &rows[2];
+        let cov = dur.method_ratio(MeterKind::Ipmi, MeterKind::Pdu).unwrap();
+        assert!((cov - 0.7686).abs() < 0.001);
+        // Missing pairs yield None.
+        assert!(rows[1]
+            .method_ratio(MeterKind::Ipmi, MeterKind::Pdu)
+            .is_none());
+    }
+
+    #[test]
+    fn get_by_kind() {
+        let rows = paper_rows();
+        assert_eq!(rows[0].energies.get(MeterKind::Pdu), Some(kwh(1299.0)));
+        assert_eq!(rows[1].energies.get(MeterKind::Pdu), None);
+    }
+}

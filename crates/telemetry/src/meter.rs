@@ -1,0 +1,271 @@
+//! Instrument models: facility meters, PDUs, IPMI, Turbostat.
+
+use iriscast_units::Power;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four measurement methods of the paper's Table 2.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MeterKind {
+    /// Machine-room/building bulk meter (revenue grade, cumulative kWh).
+    Facility,
+    /// Rack power distribution unit (per-outlet or per-rack watts).
+    Pdu,
+    /// On-node BMC power sensor.
+    Ipmi,
+    /// RAPL counters read by the `turbostat` tool (CPU package + DRAM).
+    Turbostat,
+}
+
+impl MeterKind {
+    /// All kinds in Table 2 column order.
+    pub const ALL: [MeterKind; 4] = [
+        MeterKind::Facility,
+        MeterKind::Pdu,
+        MeterKind::Ipmi,
+        MeterKind::Turbostat,
+    ];
+}
+
+impl fmt::Display for MeterKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MeterKind::Facility => "Facility",
+            MeterKind::Pdu => "PDU",
+            MeterKind::Ipmi => "IPMI",
+            MeterKind::Turbostat => "Turbostat",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Stochastic error model applied to a true power before it becomes a
+/// reading.
+///
+/// `reading = quantize(gain · truth + offset + noise)`, possibly dropped.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MeterErrorModel {
+    /// Multiplicative calibration error (1.0 = perfect).
+    pub gain: f64,
+    /// Additive offset.
+    pub offset: Power,
+    /// Reading resolution (0 = continuous). IPMI sensors typically report
+    /// in 4–8 W steps.
+    pub quantum: Power,
+    /// Standard deviation of zero-mean Gaussian noise, as a fraction of
+    /// the true value.
+    pub noise_frac: f64,
+    /// Probability that a sample is lost entirely (returns `None`).
+    pub dropout: f64,
+}
+
+impl MeterErrorModel {
+    /// A perfect instrument.
+    pub const IDEAL: MeterErrorModel = MeterErrorModel {
+        gain: 1.0,
+        offset: Power::ZERO,
+        quantum: Power::ZERO,
+        noise_frac: 0.0,
+        dropout: 0.0,
+    };
+
+    /// Revenue-grade facility meter: 0.2% gain tolerance, no dropout.
+    pub fn facility_grade() -> Self {
+        MeterErrorModel {
+            gain: 1.0,
+            offset: Power::ZERO,
+            quantum: Power::ZERO,
+            noise_frac: 0.002,
+            dropout: 0.0,
+        }
+    }
+
+    /// Rack PDU: 0.5% noise, occasional missed poll.
+    pub fn pdu_grade() -> Self {
+        MeterErrorModel {
+            gain: 1.0,
+            offset: Power::ZERO,
+            quantum: Power::from_watts(1.0),
+            noise_frac: 0.005,
+            dropout: 0.001,
+        }
+    }
+
+    /// BMC sensor: 4 W quantisation, 2% noise, occasional dropout.
+    pub fn ipmi_grade() -> Self {
+        MeterErrorModel {
+            gain: 1.0,
+            offset: Power::ZERO,
+            quantum: Power::from_watts(4.0),
+            noise_frac: 0.02,
+            dropout: 0.003,
+        }
+    }
+
+    /// RAPL counters: fine-grained but jittery under sampling skew.
+    pub fn turbostat_grade() -> Self {
+        MeterErrorModel {
+            gain: 1.0,
+            offset: Power::ZERO,
+            quantum: Power::from_watts(0.1),
+            noise_frac: 0.015,
+            dropout: 0.002,
+        }
+    }
+
+    /// Applies the error model to a true power. `None` = dropped sample.
+    pub fn observe(&self, truth: Power, rng: &mut impl Rng) -> Option<Power> {
+        if self.dropout > 0.0 && rng.gen::<f64>() < self.dropout {
+            return None;
+        }
+        let mut w = truth.watts() * self.gain + self.offset.watts();
+        if self.noise_frac > 0.0 {
+            // Box–Muller standard normal.
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            w += truth.watts() * self.noise_frac * z;
+        }
+        let q = self.quantum.watts();
+        if q > 0.0 {
+            w = (w / q).round() * q;
+        }
+        Some(Power::from_watts(w.max(0.0)))
+    }
+}
+
+/// A configured instrument: what it is, how wrong it is, how often it
+/// samples.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PowerMeter {
+    /// Which measurement method this instrument implements.
+    pub kind: MeterKind,
+    /// Its error model.
+    pub error: MeterErrorModel,
+}
+
+impl PowerMeter {
+    /// An instrument of `kind` with that kind's default error grade.
+    pub fn standard(kind: MeterKind) -> Self {
+        let error = match kind {
+            MeterKind::Facility => MeterErrorModel::facility_grade(),
+            MeterKind::Pdu => MeterErrorModel::pdu_grade(),
+            MeterKind::Ipmi => MeterErrorModel::ipmi_grade(),
+            MeterKind::Turbostat => MeterErrorModel::turbostat_grade(),
+        };
+        PowerMeter { kind, error }
+    }
+}
+
+/// One observed sample (post error model).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MeterReading {
+    /// The instrument class that produced the reading.
+    pub kind: MeterKind,
+    /// Observed power, `None` when the sample was dropped.
+    pub value: Option<Power>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_meter_is_transparent() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = Power::from_watts(457.3);
+        assert_eq!(MeterErrorModel::IDEAL.observe(p, &mut rng), Some(p));
+    }
+
+    #[test]
+    fn quantisation_rounds_to_grid() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = MeterErrorModel {
+            quantum: Power::from_watts(4.0),
+            ..MeterErrorModel::IDEAL
+        };
+        let r = m.observe(Power::from_watts(457.3), &mut rng).unwrap();
+        assert_eq!(r, Power::from_watts(456.0));
+        let r = m.observe(Power::from_watts(458.1), &mut rng).unwrap();
+        assert_eq!(r, Power::from_watts(460.0));
+    }
+
+    #[test]
+    fn gain_and_offset() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = MeterErrorModel {
+            gain: 0.985,
+            offset: Power::from_watts(5.0),
+            ..MeterErrorModel::IDEAL
+        };
+        let r = m.observe(Power::from_watts(1_000.0), &mut rng).unwrap();
+        assert!((r.watts() - 990.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_is_zero_mean_and_scaled() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let m = MeterErrorModel {
+            noise_frac: 0.02,
+            ..MeterErrorModel::IDEAL
+        };
+        let truth = Power::from_watts(500.0);
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let r = m.observe(truth, &mut rng).unwrap().watts();
+            sum += r;
+            sumsq += r * r;
+        }
+        let mean = sum / n as f64;
+        let sd = (sumsq / n as f64 - mean * mean).sqrt();
+        assert!((mean - 500.0).abs() < 0.5, "mean {mean}");
+        assert!((sd - 10.0).abs() < 0.5, "sd {sd}");
+    }
+
+    #[test]
+    fn dropout_rate_matches() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = MeterErrorModel {
+            dropout: 0.1,
+            ..MeterErrorModel::IDEAL
+        };
+        let n = 50_000;
+        let dropped = (0..n)
+            .filter(|_| m.observe(Power::from_watts(100.0), &mut rng).is_none())
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "dropout rate {rate}");
+    }
+
+    #[test]
+    fn readings_never_negative() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = MeterErrorModel {
+            noise_frac: 0.5, // absurd noise
+            ..MeterErrorModel::IDEAL
+        };
+        for _ in 0..10_000 {
+            let r = m.observe(Power::from_watts(10.0), &mut rng).unwrap();
+            assert!(r.watts() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn standard_grades_ranked_by_noise() {
+        let f = PowerMeter::standard(MeterKind::Facility).error.noise_frac;
+        let p = PowerMeter::standard(MeterKind::Pdu).error.noise_frac;
+        let i = PowerMeter::standard(MeterKind::Ipmi).error.noise_frac;
+        assert!(f < p && p < i);
+    }
+
+    #[test]
+    fn display_matches_table2_columns() {
+        let names: Vec<String> = MeterKind::ALL.iter().map(|k| k.to_string()).collect();
+        assert_eq!(names, ["Facility", "PDU", "IPMI", "Turbostat"]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Network-equipment power: the `E_network` term of the paper's eq. (2).
+//!
+//! The paper lists the network as a primary active-energy component but
+//! none of its sites could meter switches separately (their draw hides
+//! inside PDU/facility figures). This module provides the missing
+//! substrate: switch power models with the weak load-dependence real
+//! switches exhibit (a large base draw plus a small per-active-port
+//! increment), fleet sizing heuristics, and energy estimation, so
+//! assessments can split the network term out explicitly.
+
+use crate::timeseries::PowerSeries;
+use iriscast_units::{Energy, Period, Power, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Power model for one switch: `P = base + active_ports × per_port`.
+///
+/// Switch power is dominated by the chassis (fans, ASIC idle, PHYs); the
+/// traffic-dependent slice is small — typically under 15% between idle
+/// and line rate, which is why network energy is nearly constant and the
+/// paper could fold it into facility overheads without large error.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SwitchPowerModel {
+    /// Model label for reports.
+    pub label: String,
+    /// Chassis base power (all ports down).
+    pub base: Power,
+    /// Extra power per active port at typical utilisation.
+    pub per_active_port: Power,
+    /// Total ports.
+    pub ports: u32,
+}
+
+impl SwitchPowerModel {
+    /// A 48-port 25 GbE top-of-rack switch.
+    pub fn top_of_rack() -> Self {
+        SwitchPowerModel {
+            label: "48p-25G-ToR".into(),
+            base: Power::from_watts(150.0),
+            per_active_port: Power::from_watts(1.8),
+            ports: 48,
+        }
+    }
+
+    /// A 32-port 100 GbE aggregation/spine switch.
+    pub fn spine() -> Self {
+        SwitchPowerModel {
+            label: "32p-100G-spine".into(),
+            base: Power::from_watts(320.0),
+            per_active_port: Power::from_watts(5.5),
+            ports: 32,
+        }
+    }
+
+    /// A campus/border router.
+    pub fn border_router() -> Self {
+        SwitchPowerModel {
+            label: "border-router".into(),
+            base: Power::from_watts(450.0),
+            per_active_port: Power::from_watts(8.0),
+            ports: 16,
+        }
+    }
+
+    /// Power with `active_ports` ports up (clamped to the port count).
+    pub fn power(&self, active_ports: u32) -> Power {
+        self.base + self.per_active_port * f64::from(active_ports.min(self.ports))
+    }
+
+    /// Power at a fractional port-activity level in `[0, 1]`.
+    pub fn power_at(&self, activity: f64) -> Power {
+        let active = (activity.clamp(0.0, 1.0) * f64::from(self.ports)).round() as u32;
+        self.power(active)
+    }
+}
+
+/// A site's network estate: switch models with quantities.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SiteNetwork {
+    /// `(model, count)` pairs.
+    pub switches: Vec<(SwitchPowerModel, u32)>,
+}
+
+impl SiteNetwork {
+    /// Sizes a conventional leaf–spine estate for `nodes` servers:
+    /// one ToR per 40 nodes (dual-homed ports), one spine per 8 ToRs,
+    /// and one border router per site.
+    pub fn sized_for(nodes: u32) -> Self {
+        let tors = nodes.div_ceil(40).max(1);
+        let spines = tors.div_ceil(8).max(1);
+        SiteNetwork {
+            switches: vec![
+                (SwitchPowerModel::top_of_rack(), tors),
+                (SwitchPowerModel::spine(), spines),
+                (SwitchPowerModel::border_router(), 1),
+            ],
+        }
+    }
+
+    /// Total network power at a port-activity level in `[0, 1]`.
+    pub fn power_at(&self, activity: f64) -> Power {
+        self.switches
+            .iter()
+            .map(|(m, n)| m.power_at(activity) * f64::from(*n))
+            .sum()
+    }
+
+    /// Network energy over `period`, holding activity constant — the
+    /// first-order estimate (switch power is nearly load-independent).
+    pub fn energy(&self, period: Period, activity: f64) -> Energy {
+        self.power_at(activity) * period.duration()
+    }
+
+    /// Network power series tracking a (diurnal) activity trace sampled
+    /// every `step`; `activity_at` maps an hour-of-day to `[0, 1]`.
+    pub fn power_series(
+        &self,
+        period: Period,
+        step: SimDuration,
+        mut activity_at: impl FnMut(f64) -> f64,
+    ) -> PowerSeries {
+        let watts: Vec<f64> = period
+            .iter_steps(step)
+            .map(|t| self.power_at(activity_at(t.hour_of_day())).watts())
+            .collect();
+        PowerSeries::from_watts(period.start(), step, watts)
+    }
+
+    /// Total switch count.
+    pub fn device_count(&self) -> u32 {
+        self.switches.iter().map(|(_, n)| n).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::GapPolicy;
+
+    #[test]
+    fn switch_power_is_base_dominated() {
+        let tor = SwitchPowerModel::top_of_rack();
+        let idle = tor.power(0);
+        let full = tor.power(48);
+        assert_eq!(idle, tor.base);
+        let dynamic_share = (full - idle) / full;
+        assert!(
+            dynamic_share < 0.4,
+            "ToR dynamic share {dynamic_share:.2} too load-dependent"
+        );
+        // Clamping.
+        assert_eq!(tor.power(500), full);
+        assert_eq!(tor.power_at(2.0), full);
+        assert_eq!(tor.power_at(-1.0), idle);
+    }
+
+    #[test]
+    fn estate_sizing_scales_with_nodes() {
+        let small = SiteNetwork::sized_for(59);
+        let large = SiteNetwork::sized_for(876);
+        assert_eq!(small.switches[0].1, 2); // 2 ToRs for 59 nodes
+        assert_eq!(large.switches[0].1, 22); // 22 ToRs for 876 nodes
+        assert!(large.device_count() > small.device_count());
+        // One border router each.
+        assert_eq!(small.switches[2].1, 1);
+        assert_eq!(large.switches[2].1, 1);
+        // Degenerate site still gets a minimal estate.
+        assert!(SiteNetwork::sized_for(1).device_count() >= 3);
+    }
+
+    #[test]
+    fn network_energy_is_small_but_not_negligible() {
+        // The paper's QMUL: 118 nodes drew 1,299 kWh/day. Its network
+        // estate should be a few percent of that.
+        let net = SiteNetwork::sized_for(118);
+        let e = net.energy(Period::snapshot_24h(), 0.8);
+        let share = e.kilowatt_hours() / 1_299.0;
+        assert!(
+            (0.005..=0.05).contains(&share),
+            "network share {share:.3} out of the expected few-percent band"
+        );
+    }
+
+    #[test]
+    fn power_series_tracks_activity() {
+        let net = SiteNetwork::sized_for(100);
+        let series = net.power_series(
+            Period::snapshot_24h(),
+            SimDuration::from_hours(1.0),
+            |h| if (8.0..18.0).contains(&h) { 0.9 } else { 0.4 },
+        );
+        assert_eq!(series.len(), 24);
+        let day_power = series.get(12).unwrap();
+        let night_power = series.get(2).unwrap();
+        assert!(day_power > night_power);
+        // Integrated energy consistent with the constant-activity bound.
+        let e = series.integrate(GapPolicy::Zero);
+        let hi = net.energy(Period::snapshot_24h(), 0.9);
+        let lo = net.energy(Period::snapshot_24h(), 0.4);
+        assert!(e > lo && e < hi);
+    }
+
+    #[test]
+    fn presets_ranked_by_size() {
+        let tor = SwitchPowerModel::top_of_rack().power_at(0.8);
+        let spine = SwitchPowerModel::spine().power_at(0.8);
+        let border = SwitchPowerModel::border_router().power_at(0.8);
+        assert!(tor < spine && spine < border);
+    }
+}

@@ -1,0 +1,178 @@
+//! Deterministic chunked parallelism built on crossbeam scoped threads.
+//!
+//! The collector sweeps thousands of nodes × thousands of samples; the work
+//! is embarrassingly parallel but the *output must not depend on thread
+//! scheduling*. The helpers here split an index range into contiguous
+//! chunks, fan the chunks out over scoped worker threads, and reassemble
+//! results in index order — so `parallel == serial` exactly, which the
+//! test suite asserts.
+
+use parking_lot::Mutex;
+
+/// Number of worker threads to use: the available parallelism, capped so
+/// tiny workloads don't pay spawn overhead for idle threads.
+pub fn default_workers(items: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    hw.min(items.max(1)).min(32)
+}
+
+/// Maps `f` over `0..items` in parallel, returning results in index order.
+///
+/// `f` must be pure (it runs from multiple threads in unspecified order).
+/// With `workers == 1` the loop runs inline on the caller's thread, which
+/// is both the degenerate case and the serial baseline for benchmarks.
+pub fn parallel_map_indexed<R, F>(items: usize, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    assert!(workers > 0, "need at least one worker");
+    if items == 0 {
+        return Vec::new();
+    }
+    if workers == 1 || items == 1 {
+        return (0..items).map(f).collect();
+    }
+
+    let workers = workers.min(items);
+    // Contiguous chunks keep per-thread memory access local and make
+    // reassembly a simple concatenation.
+    let chunk = items.div_ceil(workers);
+    let mut slots: Vec<Option<Vec<R>>> = Vec::with_capacity(workers);
+    slots.resize_with(workers, || None);
+    let slots = Mutex::new(slots);
+
+    crossbeam::scope(|scope| {
+        for w in 0..workers {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(items);
+            if lo >= hi {
+                break;
+            }
+            let f = &f;
+            let slots = &slots;
+            scope.spawn(move |_| {
+                let mut out = Vec::with_capacity(hi - lo);
+                for i in lo..hi {
+                    out.push(f(i));
+                }
+                slots.lock()[w] = Some(out);
+            });
+        }
+    })
+    .expect("collector worker panicked");
+
+    let mut slots = slots.into_inner();
+    let mut result = Vec::with_capacity(items);
+    for slot in slots.iter_mut() {
+        if let Some(chunk) = slot.take() {
+            result.extend(chunk);
+        }
+    }
+    result
+}
+
+/// Parallel map-reduce over `0..items`: maps with `f`, folds chunk results
+/// with `reduce` in **index order** (deterministic even for non-commutative
+/// reductions).
+pub fn parallel_map_reduce<R, F, G>(
+    items: usize,
+    workers: usize,
+    f: F,
+    init: R,
+    reduce: G,
+) -> R
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+    G: Fn(R, R) -> R,
+{
+    let mapped = parallel_map_indexed(items, workers, f);
+    mapped.into_iter().fold(init, reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn matches_serial_for_any_worker_count() {
+        let serial: Vec<u64> = (0..1_000).map(|i| (i as u64).wrapping_mul(31) ^ 7).collect();
+        for workers in [1, 2, 3, 7, 16] {
+            let par = parallel_map_indexed(1_000, workers, |i| (i as u64).wrapping_mul(31) ^ 7);
+            assert_eq!(par, serial, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u8> = parallel_map_indexed(0, 4, |_| 0u8);
+        assert!(empty.is_empty());
+        let one = parallel_map_indexed(1, 4, |i| i + 10);
+        assert_eq!(one, vec![10]);
+    }
+
+    #[test]
+    fn uneven_chunks_cover_all_items() {
+        // 10 items across 4 workers: chunks of 3,3,3,1.
+        let r = parallel_map_indexed(10, 4, |i| i);
+        assert_eq!(r, (0..10).collect::<Vec<_>>());
+        // More workers than items.
+        let r = parallel_map_indexed(3, 16, |i| i * 2);
+        assert_eq!(r, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        let seen = AtomicUsize::new(0);
+        let main = std::thread::current().id();
+        parallel_map_indexed(64, 4, |_| {
+            if std::thread::current().id() != main {
+                seen.fetch_add(1, Ordering::Relaxed);
+            }
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        });
+        assert!(
+            seen.load(Ordering::Relaxed) > 0,
+            "no work observed off the main thread"
+        );
+    }
+
+    #[test]
+    fn map_reduce_is_order_preserving() {
+        // String concatenation is non-commutative: order must hold.
+        let s = parallel_map_reduce(
+            8,
+            3,
+            |i| i.to_string(),
+            String::new(),
+            |mut acc, x| {
+                acc.push_str(&x);
+                acc
+            },
+        );
+        assert_eq!(s, "01234567");
+    }
+
+    #[test]
+    fn map_reduce_sums() {
+        let total = parallel_map_reduce(1_001, 8, |i| i as u64, 0u64, |a, b| a + b);
+        assert_eq!(total, 1_000 * 1_001 / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = parallel_map_indexed(10, 0, |i| i);
+    }
+
+    #[test]
+    fn default_workers_bounds() {
+        assert!(default_workers(1_000) >= 1);
+        assert!(default_workers(1_000) <= 32);
+        assert_eq!(default_workers(0), 1);
+    }
+}

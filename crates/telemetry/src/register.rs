@@ -1,0 +1,153 @@
+//! Cumulative energy registers: how facility meters actually report.
+//!
+//! Bulk facility meters do not stream watts — they expose a monotonically
+//! increasing kWh register that is read periodically (half-hourly here).
+//! Reconstructing interval energy means differencing consecutive readings
+//! and handling the two classic artefacts: register **rollover** (the
+//! register wraps at a fixed modulus, e.g. 1,000,000 kWh) and **resets**
+//! (a replaced meter restarts near zero). This module implements the
+//! encode/decode pair, which the collector uses for the Facility column.
+
+use iriscast_units::Energy;
+use serde::{Deserialize, Serialize};
+
+/// A cumulative kWh register with finite resolution and modulus.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CumulativeRegister {
+    /// Reading resolution in kWh (registers truncate, not round).
+    pub resolution_kwh: f64,
+    /// Register wraps to zero after this many kWh.
+    pub modulus_kwh: f64,
+    accumulated_kwh: f64,
+}
+
+impl CumulativeRegister {
+    /// A register starting at `initial_kwh` with 1 kWh resolution and a
+    /// 1,000,000 kWh modulus (typical utility meter).
+    pub fn new(initial_kwh: f64) -> Self {
+        CumulativeRegister {
+            resolution_kwh: 1.0,
+            modulus_kwh: 1_000_000.0,
+            accumulated_kwh: initial_kwh,
+        }
+    }
+
+    /// Overrides resolution and modulus.
+    ///
+    /// # Panics
+    /// If either is not positive.
+    pub fn with_scale(mut self, resolution_kwh: f64, modulus_kwh: f64) -> Self {
+        assert!(resolution_kwh > 0.0, "resolution must be positive");
+        assert!(modulus_kwh > 0.0, "modulus must be positive");
+        self.resolution_kwh = resolution_kwh;
+        self.modulus_kwh = modulus_kwh;
+        self
+    }
+
+    /// Feeds `interval_energy` through the register and returns the new
+    /// *displayed* reading (truncated to resolution, wrapped at modulus).
+    pub fn accumulate(&mut self, interval_energy: Energy) -> f64 {
+        self.accumulated_kwh += interval_energy.kilowatt_hours();
+        self.display()
+    }
+
+    /// Current displayed reading.
+    pub fn display(&self) -> f64 {
+        let wrapped = self.accumulated_kwh.rem_euclid(self.modulus_kwh);
+        (wrapped / self.resolution_kwh).floor() * self.resolution_kwh
+    }
+}
+
+/// Reconstructs total energy from a sequence of displayed register
+/// readings, handling rollover (a drop of more than half the modulus is
+/// treated as a wrap) and ignoring meter resets (a smaller backward step,
+/// which contributes zero rather than a huge wrap-around delta).
+pub fn decode_register_readings(readings: &[f64], modulus_kwh: f64) -> Energy {
+    assert!(modulus_kwh > 0.0, "modulus must be positive");
+    let mut total = 0.0;
+    for w in readings.windows(2) {
+        let delta = w[1] - w[0];
+        if delta >= 0.0 {
+            total += delta;
+        } else if -delta > modulus_kwh / 2.0 {
+            // Rollover: the register wrapped past the modulus.
+            total += delta + modulus_kwh;
+        }
+        // else: meter reset/replacement — skip the interval (data quality
+        // report will show the gap).
+    }
+    Energy::from_kilowatt_hours(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_and_truncation() {
+        let mut reg = CumulativeRegister::new(100.0);
+        // +0.6 kWh: display still truncates to 100.
+        assert_eq!(reg.accumulate(Energy::from_kilowatt_hours(0.6)), 100.0);
+        // +0.6 more (101.2): display 101.
+        assert_eq!(reg.accumulate(Energy::from_kilowatt_hours(0.6)), 101.0);
+    }
+
+    #[test]
+    fn rollover_wraps_display() {
+        let mut reg = CumulativeRegister::new(999.0).with_scale(1.0, 1_000.0);
+        assert_eq!(reg.display(), 999.0);
+        assert_eq!(reg.accumulate(Energy::from_kilowatt_hours(2.0)), 1.0);
+    }
+
+    #[test]
+    fn decode_simple_sequence() {
+        let readings = [100.0, 150.0, 225.0, 300.0];
+        let e = decode_register_readings(&readings, 1_000_000.0);
+        assert!((e.kilowatt_hours() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decode_with_rollover() {
+        let readings = [999_990.0, 999_998.0, 5.0, 12.0];
+        let e = decode_register_readings(&readings, 1_000_000.0);
+        // 8 + (5 − 999998 + 1e6 = 7) + 7 = 22.
+        assert!((e.kilowatt_hours() - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decode_ignores_meter_reset() {
+        // Reading drops by less than half the modulus: a reset, not a wrap.
+        let readings = [500.0, 520.0, 10.0, 25.0];
+        let e = decode_register_readings(&readings, 1_000_000.0);
+        // 20 + (skip) + 15.
+        assert!((e.kilowatt_hours() - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decode_degenerate_inputs() {
+        assert_eq!(decode_register_readings(&[], 1_000.0), Energy::ZERO);
+        assert_eq!(decode_register_readings(&[42.0], 1_000.0), Energy::ZERO);
+    }
+
+    #[test]
+    fn round_trip_through_register() {
+        // Simulate a day of half-hourly readings of a ~54 kW load and
+        // check the decoded energy matches to register resolution.
+        let mut reg = CumulativeRegister::new(123_456.0);
+        let per_interval = Energy::from_kilowatt_hours(27.04); // 54.08 kW × 0.5 h
+        let mut readings = vec![reg.display()];
+        for _ in 0..48 {
+            readings.push(reg.accumulate(per_interval));
+        }
+        let decoded = decode_register_readings(&readings, 1_000_000.0);
+        let truth = per_interval * 48.0;
+        let err = (decoded.kilowatt_hours() - truth.kilowatt_hours()).abs();
+        assert!(err <= 1.0, "decode error {err} kWh exceeds resolution");
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution must be positive")]
+    fn rejects_bad_scale() {
+        let _ = CumulativeRegister::new(0.0).with_scale(0.0, 100.0);
+    }
+}

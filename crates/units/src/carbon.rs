@@ -1,0 +1,226 @@
+//! Carbon-dioxide-equivalent mass.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A mass of CO₂-equivalent emissions, stored internally in grams.
+///
+/// "Equivalent" because upstream factors (grid intensity, manufacturer LCA
+/// sheets) already fold non-CO₂ greenhouse gases into a CO₂e figure; this
+/// type does not distinguish gases.
+#[derive(Copy, Clone, Debug, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct CarbonMass(f64);
+
+impl CarbonMass {
+    /// Zero emissions.
+    pub const ZERO: CarbonMass = CarbonMass(0.0);
+
+    /// Mass from grams of CO₂e.
+    pub const fn from_grams(g: f64) -> Self {
+        CarbonMass(g)
+    }
+
+    /// Mass from kilograms of CO₂e (the paper's reporting unit).
+    pub fn from_kilograms(kg: f64) -> Self {
+        CarbonMass(kg * 1e3)
+    }
+
+    /// Mass from (metric) tonnes of CO₂e.
+    pub fn from_tonnes(t: f64) -> Self {
+        CarbonMass(t * 1e6)
+    }
+
+    /// Value in grams.
+    pub const fn grams(self) -> f64 {
+        self.0
+    }
+
+    /// Value in kilograms.
+    pub fn kilograms(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Value in tonnes.
+    pub fn tonnes(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// `true` when the value is finite (not NaN/∞).
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Numerically smaller of two masses.
+    pub fn min(self, other: CarbonMass) -> CarbonMass {
+        CarbonMass(self.0.min(other.0))
+    }
+
+    /// Numerically larger of two masses.
+    pub fn max(self, other: CarbonMass) -> CarbonMass {
+        CarbonMass(self.0.max(other.0))
+    }
+
+    /// Total-order comparison (NaN sorts last).
+    pub fn total_cmp(&self, other: &CarbonMass) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add for CarbonMass {
+    type Output = CarbonMass;
+    fn add(self, rhs: Self) -> CarbonMass {
+        CarbonMass(self.0 + rhs.0)
+    }
+}
+
+impl Sub for CarbonMass {
+    type Output = CarbonMass;
+    fn sub(self, rhs: Self) -> CarbonMass {
+        CarbonMass(self.0 - rhs.0)
+    }
+}
+
+impl Neg for CarbonMass {
+    type Output = CarbonMass;
+    fn neg(self) -> CarbonMass {
+        CarbonMass(-self.0)
+    }
+}
+
+impl Mul<f64> for CarbonMass {
+    type Output = CarbonMass;
+    fn mul(self, rhs: f64) -> CarbonMass {
+        CarbonMass(self.0 * rhs)
+    }
+}
+
+impl Mul<CarbonMass> for f64 {
+    type Output = CarbonMass;
+    fn mul(self, rhs: CarbonMass) -> CarbonMass {
+        CarbonMass(self * rhs.0)
+    }
+}
+
+impl Div<f64> for CarbonMass {
+    type Output = CarbonMass;
+    fn div(self, rhs: f64) -> CarbonMass {
+        CarbonMass(self.0 / rhs)
+    }
+}
+
+/// Ratio of two carbon masses (dimensionless) — e.g. "embodied share of
+/// total" or "how many flight-equivalents".
+impl Div<CarbonMass> for CarbonMass {
+    type Output = f64;
+    fn div(self, rhs: CarbonMass) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl AddAssign for CarbonMass {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign for CarbonMass {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for CarbonMass {
+    fn sum<I: Iterator<Item = CarbonMass>>(iter: I) -> CarbonMass {
+        CarbonMass(iter.map(|c| c.0).sum())
+    }
+}
+
+impl<'a> Sum<&'a CarbonMass> for CarbonMass {
+    fn sum<I: Iterator<Item = &'a CarbonMass>>(iter: I) -> CarbonMass {
+        CarbonMass(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for CarbonMass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kg = self.kilograms().abs();
+        if kg >= 1e3 {
+            write!(f, "{:.2} tCO2e", self.tonnes())
+        } else if kg >= 1.0 {
+            write!(f, "{:.2} kgCO2e", self.kilograms())
+        } else {
+            write!(f, "{:.1} gCO2e", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let c = CarbonMass::from_kilograms(2.5);
+        assert_eq!(c.grams(), 2_500.0);
+        assert_eq!(c.tonnes(), 2.5e-3);
+        assert_eq!(CarbonMass::from_tonnes(1.0).kilograms(), 1_000.0);
+    }
+
+    #[test]
+    fn arithmetic_and_ratio() {
+        let active = CarbonMass::from_kilograms(3_391.0);
+        let embodied = CarbonMass::from_kilograms(526.0);
+        let total = active + embodied;
+        assert!((total.kilograms() - 3_917.0).abs() < 1e-9);
+        // Embodied share of total in the paper's central scenario ≈ 13%.
+        let share = embodied / total;
+        assert!((share - 0.1343).abs() < 1e-3);
+        assert_eq!(total - active, embodied);
+        assert_eq!(embodied * 2.0, 2.0 * embodied);
+        assert_eq!((embodied / 2.0).kilograms(), 263.0);
+        assert_eq!((-embodied).kilograms(), -526.0);
+    }
+
+    #[test]
+    fn flight_equivalence_from_paper() {
+        // Paper §6: 92 kgCO2/passenger-hour × 24 h = 2,208 kg.
+        let per_hour = CarbonMass::from_kilograms(92.0);
+        let day = per_hour * 24.0;
+        assert_eq!(day.kilograms(), 2_208.0);
+        // "between 1 and 4 of these passenger journeys"
+        let low_total = CarbonMass::from_kilograms(1_066.0 + 375.0);
+        let high_total = CarbonMass::from_kilograms(9_302.0 + 2_409.0);
+        assert!(low_total / day > 0.5 && low_total / day < 1.0);
+        assert!(high_total / day > 4.0 && high_total / day < 6.0);
+    }
+
+    #[test]
+    fn summation() {
+        let parts = [
+            CarbonMass::from_kilograms(1.0),
+            CarbonMass::from_kilograms(2.0),
+        ];
+        let by_val: CarbonMass = parts.iter().copied().sum();
+        let by_ref: CarbonMass = parts.iter().sum();
+        assert_eq!(by_val, by_ref);
+        assert_eq!(by_val.kilograms(), 3.0);
+    }
+
+    #[test]
+    fn display_picks_scale() {
+        assert_eq!(CarbonMass::from_kilograms(5_814.0).to_string(), "5.81 tCO2e");
+        assert_eq!(CarbonMass::from_kilograms(92.0).to_string(), "92.00 kgCO2e");
+        assert_eq!(CarbonMass::from_grams(430.0).to_string(), "430.0 gCO2e");
+    }
+
+    #[test]
+    fn min_max() {
+        let a = CarbonMass::from_grams(1.0);
+        let b = CarbonMass::from_grams(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.total_cmp(&b), std::cmp::Ordering::Less);
+    }
+}

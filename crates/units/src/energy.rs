@@ -1,0 +1,276 @@
+//! Electrical energy.
+
+use crate::{CarbonIntensity, CarbonMass, Power, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Number of joules in one kilowatt-hour.
+pub const JOULES_PER_KWH: f64 = 3.6e6;
+
+/// Electrical energy, stored internally in joules.
+///
+/// The paper reports energy in kWh; telemetry integrates power in W over
+/// seconds, which lands naturally in joules. Keeping joules internally and
+/// converting at the API edge avoids repeated divisions in hot loops.
+#[derive(Copy, Clone, Debug, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Energy from joules.
+    pub const fn from_joules(j: f64) -> Self {
+        Energy(j)
+    }
+
+    /// Energy from watt-hours.
+    pub fn from_watt_hours(wh: f64) -> Self {
+        Energy(wh * 3_600.0)
+    }
+
+    /// Energy from kilowatt-hours (the paper's reporting unit).
+    pub fn from_kilowatt_hours(kwh: f64) -> Self {
+        Energy(kwh * JOULES_PER_KWH)
+    }
+
+    /// Energy from megawatt-hours.
+    pub fn from_megawatt_hours(mwh: f64) -> Self {
+        Energy(mwh * JOULES_PER_KWH * 1e3)
+    }
+
+    /// Value in joules.
+    pub const fn joules(self) -> f64 {
+        self.0
+    }
+
+    /// Value in watt-hours.
+    pub fn watt_hours(self) -> f64 {
+        self.0 / 3_600.0
+    }
+
+    /// Value in kilowatt-hours.
+    pub fn kilowatt_hours(self) -> f64 {
+        self.0 / JOULES_PER_KWH
+    }
+
+    /// Value in megawatt-hours.
+    pub fn megawatt_hours(self) -> f64 {
+        self.0 / (JOULES_PER_KWH * 1e3)
+    }
+
+    /// `true` when the value is finite (not NaN/∞).
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Numerically smaller of two energies.
+    pub fn min(self, other: Energy) -> Energy {
+        Energy(self.0.min(other.0))
+    }
+
+    /// Numerically larger of two energies.
+    pub fn max(self, other: Energy) -> Energy {
+        Energy(self.0.max(other.0))
+    }
+
+    /// Mean power over `span`: `E / Δt`. Panics on zero-length spans.
+    pub fn mean_power_over(self, span: SimDuration) -> Power {
+        assert!(
+            span.as_secs() != 0,
+            "cannot compute mean power over a zero-length span"
+        );
+        Power::from_watts(self.0 / span.as_secs() as f64)
+    }
+
+    /// Total-order comparison (NaN sorts last).
+    pub fn total_cmp(&self, other: &Energy) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    fn add(self, rhs: Self) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+    fn sub(self, rhs: Self) -> Energy {
+        Energy(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Energy {
+    type Output = Energy;
+    fn neg(self) -> Energy {
+        Energy(-self.0)
+    }
+}
+
+impl Mul<f64> for Energy {
+    type Output = Energy;
+    fn mul(self, rhs: f64) -> Energy {
+        Energy(self.0 * rhs)
+    }
+}
+
+impl Mul<Energy> for f64 {
+    type Output = Energy;
+    fn mul(self, rhs: Energy) -> Energy {
+        Energy(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Energy {
+    type Output = Energy;
+    fn div(self, rhs: f64) -> Energy {
+        Energy(self.0 / rhs)
+    }
+}
+
+/// Ratio of two energies (dimensionless).
+impl Div<Energy> for Energy {
+    type Output = f64;
+    fn div(self, rhs: Energy) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+/// Equation (3) of the paper: `Ca = E × CMe` — energy times the carbon
+/// intensity of its supply gives the emitted carbon mass.
+impl Mul<CarbonIntensity> for Energy {
+    type Output = CarbonMass;
+    fn mul(self, rhs: CarbonIntensity) -> CarbonMass {
+        CarbonMass::from_grams(self.kilowatt_hours() * rhs.grams_per_kwh())
+    }
+}
+
+/// Commuted form of `Energy * CarbonIntensity`.
+impl Mul<Energy> for CarbonIntensity {
+    type Output = CarbonMass;
+    fn mul(self, rhs: Energy) -> CarbonMass {
+        rhs * self
+    }
+}
+
+impl AddAssign for Energy {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign for Energy {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        Energy(iter.map(|e| e.0).sum())
+    }
+}
+
+impl<'a> Sum<&'a Energy> for Energy {
+    fn sum<I: Iterator<Item = &'a Energy>>(iter: I) -> Energy {
+        Energy(iter.map(|e| e.0).sum())
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kwh = self.kilowatt_hours().abs();
+        if kwh >= 1e3 {
+            write!(f, "{:.2} MWh", self.megawatt_hours())
+        } else if kwh >= 1.0 {
+            write!(f, "{:.2} kWh", self.kilowatt_hours())
+        } else if kwh >= 1e-3 {
+            write!(f, "{:.1} Wh", self.watt_hours())
+        } else {
+            write!(f, "{:.1} J", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let e = Energy::from_kilowatt_hours(2.0);
+        assert_eq!(e.joules(), 7.2e6);
+        assert_eq!(e.watt_hours(), 2_000.0);
+        assert_eq!(e.megawatt_hours(), 2e-3);
+        assert_eq!(Energy::from_watt_hours(500.0).kilowatt_hours(), 0.5);
+        assert_eq!(Energy::from_megawatt_hours(1.0).kilowatt_hours(), 1_000.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Energy::from_kilowatt_hours(3.0);
+        let b = Energy::from_kilowatt_hours(1.5);
+        assert_eq!(a + b, Energy::from_kilowatt_hours(4.5));
+        assert_eq!(a - b, b);
+        assert_eq!(a * 2.0, Energy::from_kilowatt_hours(6.0));
+        assert_eq!(0.5 * a, b);
+        assert_eq!(a / 2.0, b);
+        assert_eq!(a / b, 2.0);
+        assert_eq!((-a).kilowatt_hours(), -3.0);
+    }
+
+    #[test]
+    fn mean_power() {
+        let e = Energy::from_kilowatt_hours(24.0);
+        let p = e.mean_power_over(SimDuration::DAY);
+        assert!((p.kilowatts() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn mean_power_zero_span_panics() {
+        let _ = Energy::from_joules(1.0).mean_power_over(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn energy_times_intensity_matches_paper() {
+        // Paper §5: 19,380 kWh at 50/175/300 g/kWh → 969/3,391/5,814 kgCO2.
+        let e = Energy::from_kilowatt_hours(19_380.0);
+        let lo = e * CarbonIntensity::from_grams_per_kwh(50.0);
+        let mid = e * CarbonIntensity::from_grams_per_kwh(175.0);
+        let hi = e * CarbonIntensity::from_grams_per_kwh(300.0);
+        assert!((lo.kilograms() - 969.0).abs() < 0.5);
+        assert!((mid.kilograms() - 3_391.5).abs() < 0.5);
+        assert!((hi.kilograms() - 5_814.0).abs() < 0.5);
+        // Commutes.
+        assert_eq!(CarbonIntensity::from_grams_per_kwh(50.0) * e, lo);
+    }
+
+    #[test]
+    fn summation() {
+        let parts = [
+            Energy::from_kilowatt_hours(1_299.0), // QMUL
+            Energy::from_kilowatt_hours(261.0),   // CAM
+            Energy::from_kilowatt_hours(8_154.0), // DUR
+            Energy::from_kilowatt_hours(3_831.0), // STFC Cloud
+            Energy::from_kilowatt_hours(4_271.0), // STFC SCARF
+            Energy::from_kilowatt_hours(944.0),   // IMP
+        ];
+        let total: Energy = parts.iter().sum();
+        // Table 2's total row.
+        assert!((total.kilowatt_hours() - 18_760.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_picks_scale() {
+        assert_eq!(Energy::from_kilowatt_hours(18_760.0).to_string(), "18.76 MWh");
+        assert_eq!(Energy::from_kilowatt_hours(12.5).to_string(), "12.50 kWh");
+        assert_eq!(Energy::from_watt_hours(250.0).to_string(), "250.0 Wh");
+        assert_eq!(Energy::from_joules(10.0).to_string(), "10.0 J");
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for quantity construction and combination.
+
+use std::fmt;
+
+/// Errors raised when constructing or combining quantities.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UnitsError {
+    /// A PUE below 1.0 or non-finite was supplied.
+    InvalidPue(f64),
+    /// A quantity that must be non-negative was negative.
+    NegativeQuantity {
+        /// Human-readable name of the quantity ("energy", "lifespan", …).
+        what: &'static str,
+        /// The offending value in the quantity's canonical unit.
+        value: f64,
+    },
+    /// A low/mid/high triple was not ordered `low ≤ mid ≤ high`.
+    UnorderedEstimate {
+        /// Description of the estimate being built.
+        what: String,
+    },
+    /// A non-finite (NaN or infinite) value reached a validated boundary.
+    NonFinite {
+        /// Human-readable name of the quantity.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for UnitsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitsError::InvalidPue(v) => {
+                write!(f, "invalid PUE {v}: must be finite and ≥ 1.0")
+            }
+            UnitsError::NegativeQuantity { what, value } => {
+                write!(f, "{what} must be non-negative, got {value}")
+            }
+            UnitsError::UnorderedEstimate { what } => {
+                write!(f, "estimate {what} must satisfy low ≤ mid ≤ high")
+            }
+            UnitsError::NonFinite { what } => {
+                write!(f, "{what} must be finite (got NaN or infinity)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnitsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            UnitsError::InvalidPue(0.9).to_string(),
+            "invalid PUE 0.9: must be finite and ≥ 1.0"
+        );
+        assert_eq!(
+            UnitsError::NegativeQuantity {
+                what: "energy",
+                value: -1.0
+            }
+            .to_string(),
+            "energy must be non-negative, got -1"
+        );
+        assert!(UnitsError::UnorderedEstimate {
+            what: "pue sweep".into()
+        }
+        .to_string()
+        .contains("low ≤ mid ≤ high"));
+        assert!(UnitsError::NonFinite { what: "power" }
+            .to_string()
+            .contains("finite"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_: E) {}
+        assert_err(UnitsError::InvalidPue(0.0));
+    }
+}

@@ -1,0 +1,350 @@
+//! Bounded-uncertainty containers: low/mid/high triples and two-sided bounds.
+//!
+//! The IRISCAST paper never reports a single number: every quantity is a
+//! *range* (carbon intensity 50/175/300, PUE 1.1/1.3/1.5, embodied carbon
+//! 400–1100 kgCO₂). [`TriEstimate`] makes that idiom first-class so ranges
+//! propagate through the model without manual bookkeeping, and [`Bounds`]
+//! covers the two-sided cases.
+
+use crate::UnitsError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A low / mid / high estimate of a quantity, ordered `low ≤ mid ≤ high`.
+///
+/// Arithmetic is element-wise, which is the correct propagation rule when
+/// the operands are *comonotonic* (all three scenarios move together — the
+/// paper's usage: "low everything" vs "high everything"). For worst-case
+/// interval arithmetic across independent quantities use
+/// [`TriEstimate::combine_extremes`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TriEstimate<T> {
+    /// Optimistic scenario value.
+    pub low: T,
+    /// Central scenario value.
+    pub mid: T,
+    /// Pessimistic scenario value.
+    pub high: T,
+}
+
+impl<T> TriEstimate<T> {
+    /// Builds a triple without checking ordering. Prefer
+    /// [`TriEstimate::checked`] at API boundaries.
+    pub const fn new(low: T, mid: T, high: T) -> Self {
+        TriEstimate { low, mid, high }
+    }
+
+    /// Applies `f` to each scenario independently.
+    pub fn map<U>(self, mut f: impl FnMut(T) -> U) -> TriEstimate<U> {
+        TriEstimate {
+            low: f(self.low),
+            mid: f(self.mid),
+            high: f(self.high),
+        }
+    }
+
+    /// Pairs scenarios element-wise with another triple.
+    pub fn zip<U>(self, other: TriEstimate<U>) -> TriEstimate<(T, U)> {
+        TriEstimate {
+            low: (self.low, other.low),
+            mid: (self.mid, other.mid),
+            high: (self.high, other.high),
+        }
+    }
+
+    /// Borrowing iterator in `low, mid, high` order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        [&self.low, &self.mid, &self.high].into_iter()
+    }
+
+    /// Scenario labels aligned with [`TriEstimate::iter`].
+    pub const LABELS: [&'static str; 3] = ["Low", "Medium", "High"];
+}
+
+impl<T: Copy> TriEstimate<T> {
+    /// A degenerate estimate where all three scenarios coincide.
+    pub fn exact(value: T) -> Self {
+        TriEstimate {
+            low: value,
+            mid: value,
+            high: value,
+        }
+    }
+
+    /// Consuming iterator in `low, mid, high` order.
+    pub fn into_values(self) -> impl Iterator<Item = T> {
+        [self.low, self.mid, self.high].into_iter()
+    }
+}
+
+impl<T: PartialOrd + fmt::Debug> TriEstimate<T> {
+    /// Builds a triple, verifying `low ≤ mid ≤ high`.
+    pub fn checked(low: T, mid: T, high: T) -> Result<Self, UnitsError> {
+        if low <= mid && mid <= high {
+            Ok(TriEstimate { low, mid, high })
+        } else {
+            Err(UnitsError::UnorderedEstimate {
+                what: format!("({low:?}, {mid:?}, {high:?})"),
+            })
+        }
+    }
+
+    /// `true` when the invariant `low ≤ mid ≤ high` holds.
+    pub fn is_ordered(&self) -> bool {
+        self.low <= self.mid && self.mid <= self.high
+    }
+}
+
+impl<T: Copy + PartialOrd> TriEstimate<T> {
+    /// Worst-case combination with an *independent* estimate: every pairing
+    /// of scenarios is formed with `f` and the envelope (min/mid/max of the
+    /// nine candidates, using the mid×mid pairing as the centre) is
+    /// returned. This is interval arithmetic, wider than element-wise.
+    pub fn combine_extremes<U: Copy, V: Copy + PartialOrd>(
+        self,
+        other: TriEstimate<U>,
+        mut f: impl FnMut(T, U) -> V,
+    ) -> TriEstimate<V> {
+        let mut lo: Option<V> = None;
+        let mut hi: Option<V> = None;
+        for &a in [self.low, self.mid, self.high].iter() {
+            for &b in [other.low, other.mid, other.high].iter() {
+                let v = f(a, b);
+                lo = Some(match lo {
+                    Some(l) if l <= v => l,
+                    _ => v,
+                });
+                hi = Some(match hi {
+                    Some(h) if h >= v => h,
+                    _ => v,
+                });
+            }
+        }
+        TriEstimate {
+            low: lo.expect("nine candidates always produced"),
+            mid: f(self.mid, other.mid),
+            high: hi.expect("nine candidates always produced"),
+        }
+    }
+}
+
+impl<A, B> Add<TriEstimate<B>> for TriEstimate<A>
+where
+    A: Add<B>,
+{
+    type Output = TriEstimate<A::Output>;
+    fn add(self, rhs: TriEstimate<B>) -> Self::Output {
+        TriEstimate {
+            low: self.low + rhs.low,
+            mid: self.mid + rhs.mid,
+            high: self.high + rhs.high,
+        }
+    }
+}
+
+impl<A, B> Sub<TriEstimate<B>> for TriEstimate<A>
+where
+    A: Sub<B>,
+{
+    type Output = TriEstimate<A::Output>;
+    fn sub(self, rhs: TriEstimate<B>) -> Self::Output {
+        TriEstimate {
+            low: self.low - rhs.low,
+            mid: self.mid - rhs.mid,
+            high: self.high - rhs.high,
+        }
+    }
+}
+
+impl<A: Mul<f64>> Mul<f64> for TriEstimate<A> {
+    type Output = TriEstimate<A::Output>;
+    fn mul(self, rhs: f64) -> Self::Output {
+        TriEstimate {
+            low: self.low * rhs,
+            mid: self.mid * rhs,
+            high: self.high * rhs,
+        }
+    }
+}
+
+impl<A: Div<f64>> Div<f64> for TriEstimate<A> {
+    type Output = TriEstimate<A::Output>;
+    fn div(self, rhs: f64) -> Self::Output {
+        TriEstimate {
+            low: self.low / rhs,
+            mid: self.mid / rhs,
+            high: self.high / rhs,
+        }
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for TriEstimate<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} / {} / {}", self.low, self.mid, self.high)
+    }
+}
+
+/// A simple two-sided `[lo, hi]` interval (used where the paper quotes only
+/// bounds, e.g. embodied carbon "between 400 and 1100 kgCO₂").
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Bounds<T> {
+    /// Lower bound (inclusive).
+    pub lo: T,
+    /// Upper bound (inclusive).
+    pub hi: T,
+}
+
+impl<T: PartialOrd + fmt::Debug> Bounds<T> {
+    /// Builds `[lo, hi]`, verifying `lo ≤ hi`.
+    pub fn checked(lo: T, hi: T) -> Result<Self, UnitsError> {
+        if lo <= hi {
+            Ok(Bounds { lo, hi })
+        } else {
+            Err(UnitsError::UnorderedEstimate {
+                what: format!("bounds ({lo:?}, {hi:?})"),
+            })
+        }
+    }
+
+    /// `true` when `v` lies within `[lo, hi]`.
+    pub fn contains(&self, v: &T) -> bool {
+        *v >= self.lo && *v <= self.hi
+    }
+}
+
+impl<T> Bounds<T> {
+    /// Builds `[lo, hi]` without checking order.
+    pub const fn new(lo: T, hi: T) -> Self {
+        Bounds { lo, hi }
+    }
+
+    /// Applies `f` to both bounds.
+    pub fn map<U>(self, mut f: impl FnMut(T) -> U) -> Bounds<U> {
+        Bounds {
+            lo: f(self.lo),
+            hi: f(self.hi),
+        }
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Bounds<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CarbonIntensity, CarbonMass, Energy};
+
+    #[test]
+    fn checked_enforces_order() {
+        assert!(TriEstimate::checked(1.0, 2.0, 3.0).is_ok());
+        assert!(TriEstimate::checked(1.0, 1.0, 1.0).is_ok());
+        assert!(TriEstimate::checked(2.0, 1.0, 3.0).is_err());
+        assert!(TriEstimate::checked(1.0, 3.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn paper_reference_intensities_propagate() {
+        // The paper's CI references applied to its effective energy.
+        let ci = TriEstimate::new(
+            CarbonIntensity::from_grams_per_kwh(50.0),
+            CarbonIntensity::from_grams_per_kwh(175.0),
+            CarbonIntensity::from_grams_per_kwh(300.0),
+        );
+        let e = Energy::from_kilowatt_hours(19_380.0);
+        let carbon = ci.map(|c| e * c);
+        assert!((carbon.low.kilograms() - 969.0).abs() < 0.5);
+        assert!((carbon.mid.kilograms() - 3_391.5).abs() < 0.5);
+        assert!((carbon.high.kilograms() - 5_814.0).abs() < 0.5);
+        assert!(carbon.is_ordered());
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = TriEstimate::new(1.0, 2.0, 3.0);
+        let b = TriEstimate::new(10.0, 20.0, 30.0);
+        let sum = a + b;
+        assert_eq!(sum, TriEstimate::new(11.0, 22.0, 33.0));
+        let diff = b - a;
+        assert_eq!(diff, TriEstimate::new(9.0, 18.0, 27.0));
+        assert_eq!(a * 2.0, TriEstimate::new(2.0, 4.0, 6.0));
+        assert_eq!(b / 10.0, a);
+    }
+
+    #[test]
+    fn map_zip_iter() {
+        let t = TriEstimate::new(1, 2, 3);
+        assert_eq!(t.map(|x| x * x), TriEstimate::new(1, 4, 9));
+        let z = t.zip(TriEstimate::new("a", "b", "c"));
+        assert_eq!(z.mid, (2, "b"));
+        let collected: Vec<_> = t.iter().copied().collect();
+        assert_eq!(collected, vec![1, 2, 3]);
+        assert_eq!(TriEstimate::exact(7).into_values().sum::<i32>(), 21);
+        assert_eq!(TriEstimate::<i32>::LABELS, ["Low", "Medium", "High"]);
+    }
+
+    #[test]
+    fn combine_extremes_is_envelope() {
+        // Independent ranges: total = active(CI) + embodied(lifespan).
+        // The extremes pair low-with-low and high-with-high here, but
+        // combine_extremes must also be correct for anti-monotone f.
+        let a = TriEstimate::new(1.0, 2.0, 3.0);
+        let b = TriEstimate::new(10.0, 20.0, 30.0);
+        let sum = a.combine_extremes(b, |x, y| x + y);
+        assert_eq!(sum, TriEstimate::new(11.0, 22.0, 33.0));
+        // Anti-monotone combination: subtraction widens the envelope.
+        let diff = a.combine_extremes(b, |x, y| x - y);
+        assert_eq!(diff.low, 1.0 - 30.0);
+        assert_eq!(diff.high, 3.0 - 10.0);
+        assert_eq!(diff.mid, 2.0 - 20.0);
+        assert!(diff.is_ordered());
+    }
+
+    #[test]
+    fn paper_summary_envelope() {
+        // §6: total snapshot = active 1,066–9,302 kg + embodied 375–2,409 kg.
+        let active = TriEstimate::new(
+            CarbonMass::from_kilograms(1_066.0),
+            CarbonMass::from_kilograms(4_409.0),
+            CarbonMass::from_kilograms(9_302.0),
+        );
+        let embodied = TriEstimate::new(
+            CarbonMass::from_kilograms(375.0),
+            CarbonMass::from_kilograms(657.0),
+            CarbonMass::from_kilograms(2_409.0),
+        );
+        let total = active.combine_extremes(embodied, |a, e| a + e);
+        assert!((total.low.kilograms() - 1_441.0).abs() < 1e-9);
+        assert!((total.high.kilograms() - 11_711.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds() {
+        let b = Bounds::checked(400.0, 1_100.0).unwrap();
+        assert!(b.contains(&700.0));
+        assert!(b.contains(&400.0));
+        assert!(b.contains(&1_100.0));
+        assert!(!b.contains(&399.9));
+        assert!(Bounds::checked(2.0, 1.0).is_err());
+        assert_eq!(b.map(|x| x * 2.0), Bounds::new(800.0, 2_200.0));
+        assert_eq!(b.to_string(), "[400, 1100]");
+    }
+
+    #[test]
+    fn display() {
+        let t = TriEstimate::new(1.0, 2.0, 3.0);
+        assert_eq!(t.to_string(), "1 / 2 / 3");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = TriEstimate::new(1.5, 2.5, 3.5);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: TriEstimate<f64> = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,113 @@
+//! Formatting helpers for reports and tables.
+
+/// Formats a number with `,` thousands separators and `decimals` fractional
+/// digits, matching the paper's table style (`18,760`, `9,302`).
+///
+/// ```
+/// use iriscast_units::format_grouped;
+/// assert_eq!(format_grouped(18760.0, 0), "18,760");
+/// assert_eq!(format_grouped(-1234.5, 1), "-1,234.5");
+/// ```
+pub fn format_grouped(value: f64, decimals: usize) -> String {
+    if !value.is_finite() {
+        return format!("{value}");
+    }
+    let formatted = format!("{value:.decimals$}");
+    let (sign, rest) = match formatted.strip_prefix('-') {
+        Some(r) => ("-", r),
+        None => ("", formatted.as_str()),
+    };
+    let (int_part, frac_part) = match rest.split_once('.') {
+        Some((i, f)) => (i, Some(f)),
+        None => (rest, None),
+    };
+    let mut grouped = String::with_capacity(int_part.len() + int_part.len() / 3 + 8);
+    let digits = int_part.len();
+    for (i, ch) in int_part.chars().enumerate() {
+        if i > 0 && (digits - i) % 3 == 0 {
+            grouped.push(',');
+        }
+        grouped.push(ch);
+    }
+    match frac_part {
+        Some(f) => format!("{sign}{grouped}.{f}"),
+        None => format!("{sign}{grouped}"),
+    }
+}
+
+/// Formats a value with an SI prefix against a base unit, e.g.
+/// `format_si(18_760_000.0, "Wh")` → `"18.76 MWh"`.
+///
+/// ```
+/// use iriscast_units::format_si;
+/// assert_eq!(format_si(18_760_000.0, "Wh"), "18.76 MWh");
+/// assert_eq!(format_si(450.0, "W"), "450.00 W");
+/// assert_eq!(format_si(0.005, "g"), "5.00 mg");
+/// ```
+pub fn format_si(value: f64, unit: &str) -> String {
+    if value == 0.0 || !value.is_finite() {
+        return format!("{value:.2} {unit}");
+    }
+    const PREFIXES: [(&str, f64); 9] = [
+        ("T", 1e12),
+        ("G", 1e9),
+        ("M", 1e6),
+        ("k", 1e3),
+        ("", 1.0),
+        ("m", 1e-3),
+        ("µ", 1e-6),
+        ("n", 1e-9),
+        ("p", 1e-12),
+    ];
+    let magnitude = value.abs();
+    for (prefix, scale) in PREFIXES {
+        if magnitude >= scale {
+            return format!("{:.2} {}{}", value / scale, prefix, unit);
+        }
+    }
+    format!("{value:.2e} {unit}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping_basic() {
+        assert_eq!(format_grouped(0.0, 0), "0");
+        assert_eq!(format_grouped(999.0, 0), "999");
+        assert_eq!(format_grouped(1_000.0, 0), "1,000");
+        assert_eq!(format_grouped(18_760.0, 0), "18,760");
+        assert_eq!(format_grouped(1_234_567.0, 0), "1,234,567");
+    }
+
+    #[test]
+    fn grouping_decimals_and_sign() {
+        assert_eq!(format_grouped(1_550.4, 1), "1,550.4");
+        assert_eq!(format_grouped(-9_302.0, 2), "-9,302.00");
+        assert_eq!(format_grouped(0.36, 2), "0.36");
+    }
+
+    #[test]
+    fn grouping_rounding_carries() {
+        // 999.95 rounds to 1000.0 at 1 decimal — the comma must appear.
+        assert_eq!(format_grouped(999.95, 1), "1,000.0");
+    }
+
+    #[test]
+    fn grouping_non_finite() {
+        assert_eq!(format_grouped(f64::NAN, 0), "NaN");
+        assert_eq!(format_grouped(f64::INFINITY, 0), "inf");
+    }
+
+    #[test]
+    fn si_scales() {
+        assert_eq!(format_si(1.0, "W"), "1.00 W");
+        assert_eq!(format_si(1_500.0, "W"), "1.50 kW");
+        assert_eq!(format_si(2.5e9, "W"), "2.50 GW");
+        assert_eq!(format_si(3.1e12, "Wh"), "3.10 TWh");
+        assert_eq!(format_si(-4_200.0, "g"), "-4.20 kg");
+        assert_eq!(format_si(0.0, "W"), "0.00 W");
+        assert_eq!(format_si(2e-7, "g"), "200.00 ng");
+    }
+}

@@ -1,0 +1,151 @@
+//! Carbon intensity of electricity supply.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// Carbon intensity of an electricity supply, in grams of CO₂e emitted per
+/// kilowatt-hour consumed (the unit used by carbonintensity.org.uk and by
+/// the paper's reference values of 50 / 175 / 300 gCO₂/kWh).
+///
+/// This is the `CMₑ` factor of equation (3): multiplying an [`crate::Energy`]
+/// by a `CarbonIntensity` yields a [`crate::CarbonMass`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct CarbonIntensity(f64);
+
+impl CarbonIntensity {
+    /// A fully zero-carbon supply (the hypothetical the paper's summary
+    /// discusses — note its caveat that *embodied* generation carbon never
+    /// reaches zero).
+    pub const ZERO: CarbonIntensity = CarbonIntensity(0.0);
+
+    /// Intensity from grams CO₂e per kWh.
+    pub const fn from_grams_per_kwh(g_per_kwh: f64) -> Self {
+        CarbonIntensity(g_per_kwh)
+    }
+
+    /// Value in grams CO₂e per kWh.
+    pub const fn grams_per_kwh(self) -> f64 {
+        self.0
+    }
+
+    /// Value in kilograms CO₂e per MWh (numerically identical to g/kWh).
+    pub const fn kg_per_mwh(self) -> f64 {
+        self.0
+    }
+
+    /// `true` when the value is finite (not NaN/∞).
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Numerically smaller of two intensities.
+    pub fn min(self, other: Self) -> Self {
+        CarbonIntensity(self.0.min(other.0))
+    }
+
+    /// Numerically larger of two intensities.
+    pub fn max(self, other: Self) -> Self {
+        CarbonIntensity(self.0.max(other.0))
+    }
+
+    /// Total-order comparison (NaN sorts last).
+    pub fn total_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add for CarbonIntensity {
+    type Output = CarbonIntensity;
+    fn add(self, rhs: Self) -> Self {
+        CarbonIntensity(self.0 + rhs.0)
+    }
+}
+
+impl Sub for CarbonIntensity {
+    type Output = CarbonIntensity;
+    fn sub(self, rhs: Self) -> Self {
+        CarbonIntensity(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for CarbonIntensity {
+    type Output = CarbonIntensity;
+    fn mul(self, rhs: f64) -> Self {
+        CarbonIntensity(self.0 * rhs)
+    }
+}
+
+impl Mul<CarbonIntensity> for f64 {
+    type Output = CarbonIntensity;
+    fn mul(self, rhs: CarbonIntensity) -> CarbonIntensity {
+        CarbonIntensity(self * rhs.0)
+    }
+}
+
+impl Div<f64> for CarbonIntensity {
+    type Output = CarbonIntensity;
+    fn div(self, rhs: f64) -> Self {
+        CarbonIntensity(self.0 / rhs)
+    }
+}
+
+/// Ratio of two intensities (dimensionless).
+impl Div<CarbonIntensity> for CarbonIntensity {
+    type Output = f64;
+    fn div(self, rhs: CarbonIntensity) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl fmt::Display for CarbonIntensity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0} gCO2/kWh", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Energy;
+
+    #[test]
+    fn construction_and_accessors() {
+        let ci = CarbonIntensity::from_grams_per_kwh(175.0);
+        assert_eq!(ci.grams_per_kwh(), 175.0);
+        assert_eq!(ci.kg_per_mwh(), 175.0);
+        assert_eq!(CarbonIntensity::ZERO.grams_per_kwh(), 0.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = CarbonIntensity::from_grams_per_kwh(100.0);
+        let b = CarbonIntensity::from_grams_per_kwh(50.0);
+        assert_eq!(a + b, CarbonIntensity::from_grams_per_kwh(150.0));
+        assert_eq!(a - b, b);
+        assert_eq!(a * 0.5, b);
+        assert_eq!(0.5 * a, b);
+        assert_eq!(a / 2.0, b);
+        assert_eq!(a / b, 2.0);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn weighted_blend_example() {
+        // Blending a 300 g/kWh supply (25%) with a 100 g/kWh supply (75%).
+        let blend = CarbonIntensity::from_grams_per_kwh(300.0) * 0.25
+            + CarbonIntensity::from_grams_per_kwh(100.0) * 0.75;
+        assert_eq!(blend.grams_per_kwh(), 150.0);
+        let c = Energy::from_kilowatt_hours(10.0) * blend;
+        assert_eq!(c.kilograms(), 1.5);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            CarbonIntensity::from_grams_per_kwh(175.4).to_string(),
+            "175 gCO2/kWh"
+        );
+    }
+}

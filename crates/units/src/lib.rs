@@ -1,0 +1,73 @@
+//! Dimensional quantity types for the `iriscast` carbon-assessment toolkit.
+//!
+//! Carbon accounting mixes several physical dimensions — energy, power,
+//! carbon mass, carbon intensity, time — and unit mistakes (kWh vs J,
+//! g vs kg, W vs kW) are the classic failure mode of ad-hoc spreadsheets.
+//! This crate provides thin, zero-cost newtypes over `f64` with:
+//!
+//! * explicit named constructors and accessors for every supported unit
+//!   (`Energy::from_kilowatt_hours`, `Power::from_watts`, …);
+//! * only the *dimensionally valid* arithmetic: `Power * SimDuration`
+//!   yields [`Energy`], `Energy * CarbonIntensity` yields [`CarbonMass`],
+//!   and so on — invalid combinations simply do not compile;
+//! * a simulation clock ([`Timestamp`], [`SimDuration`], [`Period`])
+//!   independent of wall-clock time so experiments are deterministic;
+//! * [`TriEstimate`], the low/mid/high triple used throughout the IRISCAST
+//!   paper to propagate bounded uncertainty through the model;
+//! * human-friendly formatting helpers for reports and tables.
+//!
+//! # Example
+//!
+//! ```
+//! use iriscast_units::{Power, SimDuration, CarbonIntensity, Pue};
+//!
+//! // A 450 W node running for 24 hours…
+//! let energy = Power::from_watts(450.0) * SimDuration::from_hours(24.0);
+//! assert!((energy.kilowatt_hours() - 10.8).abs() < 1e-9);
+//!
+//! // …through a data centre with PUE 1.3, on a 175 gCO2/kWh grid:
+//! let wall = Pue::new(1.3).unwrap().apply(energy);
+//! let carbon = wall * CarbonIntensity::from_grams_per_kwh(175.0);
+//! assert!((carbon.kilograms() - 2.4570).abs() < 1e-3);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod carbon;
+mod energy;
+mod error;
+mod estimate;
+mod fmt;
+mod intensity;
+mod power;
+mod pue;
+mod time;
+
+pub use carbon::CarbonMass;
+pub use energy::Energy;
+pub use error::UnitsError;
+pub use estimate::{Bounds, TriEstimate};
+pub use fmt::{format_grouped, format_si};
+pub use intensity::CarbonIntensity;
+pub use power::Power;
+pub use pue::Pue;
+pub use time::{
+    Period, SimDuration, StepIter, Timestamp, SECS_PER_DAY, SECS_PER_HOUR, SECS_PER_MINUTE,
+    SETTLEMENT_PERIODS_PER_DAY,
+};
+
+/// Convenient glob-import of every quantity type.
+///
+/// ```
+/// use iriscast_units::prelude::*;
+/// let p = Power::from_kilowatts(1.2);
+/// let e = p * SimDuration::from_hours(2.0);
+/// assert_eq!(e, Energy::from_kilowatt_hours(2.4));
+/// ```
+pub mod prelude {
+    pub use crate::{
+        Bounds, CarbonIntensity, CarbonMass, Energy, Period, Power, Pue, SimDuration, Timestamp,
+        TriEstimate,
+    };
+}

@@ -1,0 +1,272 @@
+//! Instantaneous electrical power.
+
+use crate::{Energy, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Instantaneous electrical power, stored internally in watts.
+///
+/// `Power * SimDuration` produces [`Energy`]; dividing two powers gives a
+/// dimensionless ratio. Negative powers are representable (they arise in
+/// subtraction, e.g. when computing a coverage deficit) but most consumers
+/// validate non-negativity at their boundary.
+#[derive(Copy, Clone, Debug, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Power(f64);
+
+impl Power {
+    /// Zero watts.
+    pub const ZERO: Power = Power(0.0);
+
+    /// Power from watts.
+    pub const fn from_watts(watts: f64) -> Self {
+        Power(watts)
+    }
+
+    /// Power from kilowatts.
+    pub fn from_kilowatts(kw: f64) -> Self {
+        Power(kw * 1e3)
+    }
+
+    /// Power from megawatts.
+    pub fn from_megawatts(mw: f64) -> Self {
+        Power(mw * 1e6)
+    }
+
+    /// Power from gigawatts (grid-scale generation).
+    pub fn from_gigawatts(gw: f64) -> Self {
+        Power(gw * 1e9)
+    }
+
+    /// Value in watts.
+    pub const fn watts(self) -> f64 {
+        self.0
+    }
+
+    /// Value in kilowatts.
+    pub fn kilowatts(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Value in megawatts.
+    pub fn megawatts(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Value in gigawatts.
+    pub fn gigawatts(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// `true` when the value is finite (not NaN/∞). Simulation code asserts
+    /// this at module boundaries after floating-point pipelines.
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Numerically smaller of two powers (NaN-propagating like `f64::min`).
+    pub fn min(self, other: Power) -> Power {
+        Power(self.0.min(other.0))
+    }
+
+    /// Numerically larger of two powers.
+    pub fn max(self, other: Power) -> Power {
+        Power(self.0.max(other.0))
+    }
+
+    /// Clamps into `[lo, hi]`.
+    pub fn clamp(self, lo: Power, hi: Power) -> Power {
+        Power(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// Total-order comparison (NaN sorts last), for sorting readings.
+    pub fn total_cmp(&self, other: &Power) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+    fn add(self, rhs: Self) -> Power {
+        Power(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Power {
+    type Output = Power;
+    fn sub(self, rhs: Self) -> Power {
+        Power(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Power {
+    type Output = Power;
+    fn neg(self) -> Power {
+        Power(-self.0)
+    }
+}
+
+impl Mul<f64> for Power {
+    type Output = Power;
+    fn mul(self, rhs: f64) -> Power {
+        Power(self.0 * rhs)
+    }
+}
+
+impl Mul<Power> for f64 {
+    type Output = Power;
+    fn mul(self, rhs: Power) -> Power {
+        Power(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Power {
+    type Output = Power;
+    fn div(self, rhs: f64) -> Power {
+        Power(self.0 / rhs)
+    }
+}
+
+/// Ratio of two powers (dimensionless).
+impl Div<Power> for Power {
+    type Output = f64;
+    fn div(self, rhs: Power) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+/// Power sustained over a span of time is energy: `P × Δt = E`.
+impl Mul<SimDuration> for Power {
+    type Output = Energy;
+    fn mul(self, rhs: SimDuration) -> Energy {
+        Energy::from_joules(self.0 * rhs.as_secs() as f64)
+    }
+}
+
+/// Commuted form of `Power * SimDuration`.
+impl Mul<Power> for SimDuration {
+    type Output = Energy;
+    fn mul(self, rhs: Power) -> Energy {
+        rhs * self
+    }
+}
+
+impl AddAssign for Power {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign for Power {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Power {
+    fn sum<I: Iterator<Item = Power>>(iter: I) -> Power {
+        Power(iter.map(|p| p.0).sum())
+    }
+}
+
+impl<'a> Sum<&'a Power> for Power {
+    fn sum<I: Iterator<Item = &'a Power>>(iter: I) -> Power {
+        Power(iter.map(|p| p.0).sum())
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.0.abs();
+        if w >= 1e9 {
+            write!(f, "{:.2} GW", self.gigawatts())
+        } else if w >= 1e6 {
+            write!(f, "{:.2} MW", self.megawatts())
+        } else if w >= 1e3 {
+            write!(f, "{:.2} kW", self.kilowatts())
+        } else {
+            write!(f, "{:.1} W", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(Power::from_kilowatts(1.0), Power::from_watts(1_000.0));
+        assert_eq!(Power::from_megawatts(1.0), Power::from_kilowatts(1_000.0));
+        assert_eq!(Power::from_gigawatts(1.0), Power::from_megawatts(1_000.0));
+        assert_eq!(Power::from_gigawatts(2.5).watts(), 2.5e9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Power::from_watts(300.0);
+        let b = Power::from_watts(150.0);
+        assert_eq!(a + b, Power::from_watts(450.0));
+        assert_eq!(a - b, b);
+        assert_eq!(a * 2.0, Power::from_watts(600.0));
+        assert_eq!(2.0 * a, Power::from_watts(600.0));
+        assert_eq!(a / 2.0, b);
+        assert_eq!(a / b, 2.0);
+        assert_eq!(-a, Power::from_watts(-300.0));
+    }
+
+    #[test]
+    fn power_times_duration_is_energy() {
+        let e = Power::from_watts(1_000.0) * SimDuration::HOUR;
+        assert!((e.kilowatt_hours() - 1.0).abs() < 1e-12);
+        // Commutes.
+        assert_eq!(SimDuration::HOUR * Power::from_watts(1_000.0), e);
+        // The paper's headline scale: ~2,462 nodes averaging ~317 W ≈ 18.7 MWh/day.
+        let fleet = Power::from_watts(317.0) * 2_462.0;
+        let day = fleet * SimDuration::DAY;
+        assert!((day.megawatt_hours() - 18.73).abs() < 0.01);
+    }
+
+    #[test]
+    fn sum_and_assign_ops() {
+        let mut acc = Power::ZERO;
+        acc += Power::from_watts(10.0);
+        acc -= Power::from_watts(4.0);
+        assert_eq!(acc.watts(), 6.0);
+        let total: Power = [1.0, 2.0, 3.0].iter().map(|&w| Power::from_watts(w)).sum();
+        assert_eq!(total.watts(), 6.0);
+        let refs = [Power::from_watts(5.0), Power::from_watts(7.0)];
+        let total: Power = refs.iter().sum();
+        assert_eq!(total.watts(), 12.0);
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let a = Power::from_watts(10.0);
+        let b = Power::from_watts(20.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(
+            Power::from_watts(25.0).clamp(a, b),
+            b,
+            "clamp should cap at hi"
+        );
+        assert_eq!(Power::from_watts(5.0).clamp(a, b), a);
+    }
+
+    #[test]
+    fn display_picks_scale() {
+        assert_eq!(Power::from_watts(450.0).to_string(), "450.0 W");
+        assert_eq!(Power::from_watts(1_500.0).to_string(), "1.50 kW");
+        assert_eq!(Power::from_megawatts(3.2).to_string(), "3.20 MW");
+        assert_eq!(Power::from_gigawatts(28.0).to_string(), "28.00 GW");
+    }
+
+    #[test]
+    fn finiteness_check() {
+        assert!(Power::from_watts(1.0).is_finite());
+        assert!(!Power::from_watts(f64::NAN).is_finite());
+        assert!(!Power::from_watts(f64::INFINITY).is_finite());
+    }
+}

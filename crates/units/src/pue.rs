@@ -1,0 +1,144 @@
+//! Power Usage Effectiveness.
+
+use crate::{Energy, Power, UnitsError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Power Usage Effectiveness: the ratio of total facility energy to the
+/// energy delivered to IT equipment.
+///
+/// The paper (§5) uses PUE to estimate cooling/power-distribution/facility
+/// overheads when they are not directly metered, sweeping Low = 1.1,
+/// Medium = 1.3 and High = 1.5 (though the published Table 3 cells are
+/// consistent with a High of 1.6 — see `iriscast-model`'s `paper` module).
+///
+/// A PUE below 1.0 is physically impossible (the facility cannot consume
+/// less than its IT load), so construction is validated.
+#[derive(Copy, Clone, Debug, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Pue(f64);
+
+impl Pue {
+    /// The theoretical ideal: every joule goes to IT equipment.
+    pub const IDEAL: Pue = Pue(1.0);
+
+    /// Creates a PUE, rejecting values below 1.0 or non-finite values.
+    pub fn new(value: f64) -> Result<Self, UnitsError> {
+        if !value.is_finite() || value < 1.0 {
+            return Err(UnitsError::InvalidPue(value));
+        }
+        Ok(Pue(value))
+    }
+
+    /// The raw ratio.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Total facility energy implied by IT energy `it`: `it × PUE`.
+    pub fn apply(self, it: Energy) -> Energy {
+        it * self.0
+    }
+
+    /// Total facility power implied by IT power `it`.
+    pub fn apply_power(self, it: Power) -> Power {
+        it * self.0
+    }
+
+    /// Overhead energy only (cooling + distribution + facility):
+    /// `it × (PUE − 1)`.
+    pub fn overhead(self, it: Energy) -> Energy {
+        it * (self.0 - 1.0)
+    }
+
+    /// IT energy implied by a *total* facility measurement — the inverse of
+    /// [`Pue::apply`]. Used when only a bulk facility meter exists.
+    pub fn infer_it_energy(self, total: Energy) -> Energy {
+        total / self.0
+    }
+}
+
+impl TryFrom<f64> for Pue {
+    type Error = UnitsError;
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Pue::new(value)
+    }
+}
+
+impl From<Pue> for f64 {
+    fn from(p: Pue) -> f64 {
+        p.0
+    }
+}
+
+impl fmt::Display for Pue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PUE {:.2}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Pue::new(1.0).is_ok());
+        assert!(Pue::new(1.3).is_ok());
+        assert!(Pue::new(0.99).is_err());
+        assert!(Pue::new(f64::NAN).is_err());
+        assert!(Pue::new(f64::INFINITY).is_err());
+        assert_eq!(Pue::IDEAL.value(), 1.0);
+    }
+
+    #[test]
+    fn apply_and_overhead_are_consistent() {
+        let pue = Pue::new(1.3).unwrap();
+        let it = Energy::from_kilowatt_hours(1_000.0);
+        let total = pue.apply(it);
+        assert!((total.kilowatt_hours() - 1_300.0).abs() < 1e-9);
+        let overhead = pue.overhead(it);
+        assert!((overhead.kilowatt_hours() - 300.0).abs() < 1e-9);
+        assert_eq!(it + overhead, total);
+        // Round-trip through the inverse.
+        let back = pue.infer_it_energy(total);
+        assert!((back.kilowatt_hours() - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apply_power() {
+        let pue = Pue::new(1.5).unwrap();
+        let p = pue.apply_power(Power::from_kilowatts(10.0));
+        assert!((p.kilowatts() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_table3_low_row() {
+        // 969 kg of IT carbon × PUE row {1.1, 1.3, 1.6} → {1066, 1260, 1550}.
+        // (PUE multiplies energy; with a fixed CI it scales carbon equally.)
+        let it = Energy::from_kilowatt_hours(19_380.0);
+        let ci = crate::CarbonIntensity::from_grams_per_kwh(50.0);
+        for (pue, expect_kg) in [(1.1, 1_066.0), (1.3, 1_260.0), (1.6, 1_550.0)] {
+            let c = Pue::new(pue).unwrap().apply(it) * ci;
+            assert!(
+                (c.kilograms() - expect_kg).abs() < 1.0,
+                "PUE {pue}: got {} expected {expect_kg}",
+                c.kilograms()
+            );
+        }
+    }
+
+    #[test]
+    fn serde_rejects_invalid() {
+        let ok: Pue = serde_json::from_str("1.25").unwrap();
+        assert_eq!(ok.value(), 1.25);
+        assert!(serde_json::from_str::<Pue>("0.5").is_err());
+        let round: f64 = serde_json::to_string(&ok).unwrap().parse().unwrap();
+        assert_eq!(round, 1.25);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Pue::new(1.3).unwrap().to_string(), "PUE 1.30");
+    }
+}

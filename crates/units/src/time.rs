@@ -1,0 +1,637 @@
+//! Simulation time: instants, durations, and half-open periods.
+//!
+//! All iriscast experiments run against a *simulation clock* counted in
+//! whole seconds from an arbitrary epoch (for the IRIS snapshot scenario
+//! the epoch is interpreted as 2022-11-01 00:00 UTC, but nothing in the
+//! code depends on that interpretation). Using integer seconds keeps
+//! sampling grids exact and results reproducible across platforms.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Seconds in one minute.
+pub const SECS_PER_MINUTE: i64 = 60;
+/// Seconds in one hour.
+pub const SECS_PER_HOUR: i64 = 3_600;
+/// Seconds in one day.
+pub const SECS_PER_DAY: i64 = 86_400;
+/// Settlement periods per day used by GB electricity-market data (30 min).
+pub const SETTLEMENT_PERIODS_PER_DAY: usize = 48;
+
+/// A span of simulation time, in whole seconds (may be negative for
+/// arithmetic intermediates, though most APIs require non-negative spans).
+///
+/// `SimDuration` deliberately does not interoperate with
+/// [`std::time::Duration`]: simulation time is decoupled from wall time.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SimDuration(i64);
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// One minute.
+    pub const MINUTE: SimDuration = SimDuration(SECS_PER_MINUTE);
+    /// One hour.
+    pub const HOUR: SimDuration = SimDuration(SECS_PER_HOUR);
+    /// One day.
+    pub const DAY: SimDuration = SimDuration(SECS_PER_DAY);
+    /// One GB electricity settlement period (30 minutes).
+    pub const SETTLEMENT_PERIOD: SimDuration = SimDuration(30 * SECS_PER_MINUTE);
+
+    /// Duration of `secs` whole seconds.
+    pub const fn from_secs(secs: i64) -> Self {
+        SimDuration(secs)
+    }
+
+    /// Duration of `minutes` whole minutes.
+    pub const fn from_minutes(minutes: i64) -> Self {
+        SimDuration(minutes * SECS_PER_MINUTE)
+    }
+
+    /// Duration from a (possibly fractional) number of hours, rounded to the
+    /// nearest second.
+    pub fn from_hours(hours: f64) -> Self {
+        SimDuration((hours * SECS_PER_HOUR as f64).round() as i64)
+    }
+
+    /// Duration of `days` whole days.
+    pub const fn from_days(days: i64) -> Self {
+        SimDuration(days * SECS_PER_DAY)
+    }
+
+    /// Duration from a number of years, using the paper's 365-day year
+    /// convention (hardware lifespans are quoted in years; see Table 4).
+    pub fn from_years(years: f64) -> Self {
+        SimDuration((years * 365.0 * SECS_PER_DAY as f64).round() as i64)
+    }
+
+    /// The span in whole seconds.
+    pub const fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    /// The span in fractional hours.
+    pub fn as_hours(self) -> f64 {
+        self.0 as f64 / SECS_PER_HOUR as f64
+    }
+
+    /// The span in fractional days.
+    pub fn as_days(self) -> f64 {
+        self.0 as f64 / SECS_PER_DAY as f64
+    }
+
+    /// The span in fractional 365-day years.
+    pub fn as_years(self) -> f64 {
+        self.as_days() / 365.0
+    }
+
+    /// `true` if the span is exactly zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` for spans of negative length (possible via subtraction).
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Dimensionless ratio of two durations.
+    ///
+    /// Used by amortisation: a 6-month share of a 5-year lifespan is
+    /// `period.ratio_of(lifespan) == 0.1`.
+    pub fn ratio_of(self, other: SimDuration) -> f64 {
+        assert!(
+            other.0 != 0,
+            "cannot take ratio against a zero-length duration"
+        );
+        self.0 as f64 / other.0 as f64
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: Self) -> Self {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: Self) -> Self {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Neg for SimDuration {
+    type Output = SimDuration;
+    fn neg(self) -> Self {
+        SimDuration(-self.0)
+    }
+}
+
+impl Mul<i64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: i64) -> Self {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<i64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: i64) -> Self {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.0;
+        let sign = if total < 0 { "-" } else { "" };
+        let total = total.abs();
+        let days = total / SECS_PER_DAY;
+        let hours = (total % SECS_PER_DAY) / SECS_PER_HOUR;
+        let mins = (total % SECS_PER_HOUR) / SECS_PER_MINUTE;
+        let secs = total % SECS_PER_MINUTE;
+        if days > 0 {
+            write!(f, "{sign}{days}d{hours:02}h{mins:02}m{secs:02}s")
+        } else if hours > 0 {
+            write!(f, "{sign}{hours}h{mins:02}m{secs:02}s")
+        } else if mins > 0 {
+            write!(f, "{sign}{mins}m{secs:02}s")
+        } else {
+            write!(f, "{sign}{secs}s")
+        }
+    }
+}
+
+/// An instant on the simulation clock, in whole seconds since the epoch.
+#[derive(
+    Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Timestamp(i64);
+
+impl Timestamp {
+    /// The simulation epoch (t = 0).
+    pub const EPOCH: Timestamp = Timestamp(0);
+
+    /// Instant `secs` seconds after the epoch.
+    pub const fn from_secs(secs: i64) -> Self {
+        Timestamp(secs)
+    }
+
+    /// Instant a fractional number of hours after the epoch.
+    pub fn from_hours(hours: f64) -> Self {
+        Timestamp::EPOCH + SimDuration::from_hours(hours)
+    }
+
+    /// Instant `days` whole days after the epoch.
+    pub const fn from_days(days: i64) -> Self {
+        Timestamp(days * SECS_PER_DAY)
+    }
+
+    /// Seconds since the epoch.
+    pub const fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    /// Fractional hours since the epoch.
+    pub fn as_hours(self) -> f64 {
+        self.0 as f64 / SECS_PER_HOUR as f64
+    }
+
+    /// Whole days elapsed since the epoch (floor; negative instants floor
+    /// towards negative infinity so day boundaries stay consistent).
+    pub const fn day_index(self) -> i64 {
+        self.0.div_euclid(SECS_PER_DAY)
+    }
+
+    /// Second-of-day in `[0, 86_400)`.
+    pub const fn second_of_day(self) -> i64 {
+        self.0.rem_euclid(SECS_PER_DAY)
+    }
+
+    /// Fractional hour-of-day in `[0, 24)`. Useful for diurnal models.
+    pub fn hour_of_day(self) -> f64 {
+        self.second_of_day() as f64 / SECS_PER_HOUR as f64
+    }
+
+    /// GB-style settlement period of the day, `0..48` (30-minute slots).
+    pub const fn settlement_period(self) -> usize {
+        (self.second_of_day() / (30 * SECS_PER_MINUTE)) as usize
+    }
+
+    /// Day-of-week index in `0..7`, with the epoch defined to fall on a
+    /// Tuesday (2022-11-01 was a Tuesday), so 0 = Monday.
+    pub const fn day_of_week(self) -> usize {
+        ((self.day_index() + 1).rem_euclid(7)) as usize
+    }
+
+    /// `true` if the instant falls on a Saturday or Sunday.
+    pub const fn is_weekend(self) -> bool {
+        self.day_of_week() >= 5
+    }
+}
+
+impl Add<SimDuration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: SimDuration) -> Timestamp {
+        Timestamp(self.0 + rhs.as_secs())
+    }
+}
+
+impl Sub<SimDuration> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, rhs: SimDuration) -> Timestamp {
+        Timestamp(self.0 - rhs.as_secs())
+    }
+}
+
+impl Sub for Timestamp {
+    type Output = SimDuration;
+    fn sub(self, rhs: Timestamp) -> SimDuration {
+        SimDuration::from_secs(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for Timestamp {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.as_secs();
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let day = self.day_index();
+        let sod = self.second_of_day();
+        write!(
+            f,
+            "d{day}+{:02}:{:02}:{:02}",
+            sod / SECS_PER_HOUR,
+            (sod % SECS_PER_HOUR) / SECS_PER_MINUTE,
+            sod % SECS_PER_MINUTE
+        )
+    }
+}
+
+/// A half-open interval `[start, end)` of simulation time.
+///
+/// Half-open semantics make adjacent periods tile exactly: the 24-hour
+/// snapshot `[0, 86_400)` and the following day `[86_400, 172_800)` share
+/// no instant, so no sample is double-counted.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Period {
+    start: Timestamp,
+    end: Timestamp,
+}
+
+impl Period {
+    /// Creates `[start, end)`. Panics if `end < start`.
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        assert!(
+            end >= start,
+            "period end ({end}) must not precede start ({start})"
+        );
+        Period { start, end }
+    }
+
+    /// The period `[start, start + len)`. Panics if `len` is negative.
+    pub fn starting_at(start: Timestamp, len: SimDuration) -> Self {
+        assert!(!len.is_negative(), "period length must be non-negative");
+        Period {
+            start,
+            end: start + len,
+        }
+    }
+
+    /// The canonical 24-hour snapshot window `[0, 1 day)` used by the paper.
+    pub fn snapshot_24h() -> Self {
+        Period::starting_at(Timestamp::EPOCH, SimDuration::DAY)
+    }
+
+    /// Whole day `day` as `[day·86 400, (day+1)·86 400)`.
+    pub fn day(day: i64) -> Self {
+        Period::starting_at(Timestamp::from_days(day), SimDuration::DAY)
+    }
+
+    /// Inclusive start instant.
+    pub const fn start(&self) -> Timestamp {
+        self.start
+    }
+
+    /// Exclusive end instant.
+    pub const fn end(&self) -> Timestamp {
+        self.end
+    }
+
+    /// Length of the period.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// `true` if the period contains no instants.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// `true` if `t` lies within `[start, end)`.
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Intersection with another period, or `None` when disjoint.
+    pub fn intersect(&self, other: &Period) -> Option<Period> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start < end {
+            Some(Period { start, end })
+        } else {
+            None
+        }
+    }
+
+    /// Fraction of `self` that overlaps `other`, in `[0, 1]`.
+    ///
+    /// Empty periods overlap nothing by convention.
+    pub fn overlap_fraction(&self, other: &Period) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        match self.intersect(other) {
+            Some(i) => i.duration().ratio_of(self.duration()),
+            None => 0.0,
+        }
+    }
+
+    /// Iterator over instants `start, start+step, …` strictly before `end`.
+    ///
+    /// Panics if `step` is not positive.
+    pub fn iter_steps(&self, step: SimDuration) -> StepIter {
+        assert!(step.as_secs() > 0, "step must be positive");
+        StepIter {
+            next: self.start,
+            end: self.end,
+            step,
+        }
+    }
+
+    /// Number of instants [`Self::iter_steps`] yields for `step`.
+    pub fn step_count(&self, step: SimDuration) -> usize {
+        assert!(step.as_secs() > 0, "step must be positive");
+        let len = (self.end - self.start).as_secs();
+        (len + step.as_secs() - 1).div_euclid(step.as_secs()).max(0) as usize
+    }
+
+    /// Splits the period into `n` equal-length sub-periods (the final one
+    /// absorbs rounding). Panics when `n == 0` or the period is empty.
+    pub fn split(&self, n: usize) -> Vec<Period> {
+        assert!(n > 0, "cannot split into zero parts");
+        assert!(!self.is_empty(), "cannot split an empty period");
+        let total = self.duration().as_secs();
+        let base = total / n as i64;
+        let mut out = Vec::with_capacity(n);
+        let mut cursor = self.start;
+        for i in 0..n {
+            let end = if i + 1 == n {
+                self.end
+            } else {
+                cursor + SimDuration::from_secs(base)
+            };
+            out.push(Period::new(cursor, end));
+            cursor = end;
+        }
+        out
+    }
+}
+
+impl fmt::Display for Period {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// Iterator of equally spaced instants within a [`Period`].
+#[derive(Clone, Debug)]
+pub struct StepIter {
+    next: Timestamp,
+    end: Timestamp,
+    step: SimDuration,
+}
+
+impl Iterator for StepIter {
+    type Item = Timestamp;
+
+    fn next(&mut self) -> Option<Timestamp> {
+        if self.next >= self.end {
+            return None;
+        }
+        let out = self.next;
+        self.next += self.step;
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.next >= self.end {
+            return (0, Some(0));
+        }
+        let remaining = (self.end - self.next).as_secs();
+        let n = (remaining + self.step.as_secs() - 1) / self.step.as_secs();
+        (n as usize, Some(n as usize))
+    }
+}
+
+impl ExactSizeIterator for StepIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_conversions_round_trip() {
+        assert_eq!(SimDuration::from_hours(1.0), SimDuration::HOUR);
+        assert_eq!(SimDuration::from_days(1).as_hours(), 24.0);
+        assert_eq!(SimDuration::from_minutes(90).as_hours(), 1.5);
+        assert_eq!(SimDuration::from_years(1.0).as_days(), 365.0);
+        assert!((SimDuration::from_years(5.0).as_years() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = SimDuration::HOUR + SimDuration::MINUTE * 30;
+        assert_eq!(d.as_secs(), 5_400);
+        assert_eq!((d - SimDuration::HOUR).as_secs(), 1_800);
+        assert_eq!((d / 2).as_secs(), 2_700);
+        assert!((-d).is_negative());
+        assert!(SimDuration::ZERO.is_zero());
+    }
+
+    #[test]
+    fn duration_ratio() {
+        // The paper's amortisation example: 6 months of a 5-year life.
+        let half_year = SimDuration::from_days(365 / 2);
+        let five_years = SimDuration::from_years(5.0);
+        let r = half_year.ratio_of(five_years);
+        assert!((r - 0.0997).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn ratio_of_zero_panics() {
+        let _ = SimDuration::HOUR.ratio_of(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_display() {
+        assert_eq!(SimDuration::from_secs(45).to_string(), "45s");
+        assert_eq!(SimDuration::from_secs(3_725).to_string(), "1h02m05s");
+        assert_eq!(
+            (SimDuration::DAY + SimDuration::HOUR).to_string(),
+            "1d01h00m00s"
+        );
+        assert_eq!((-SimDuration::MINUTE).to_string(), "-1m00s");
+    }
+
+    #[test]
+    fn timestamp_fields() {
+        let t = Timestamp::from_secs(2 * SECS_PER_DAY + 3 * SECS_PER_HOUR + 15 * 60);
+        assert_eq!(t.day_index(), 2);
+        assert_eq!(t.second_of_day(), 3 * SECS_PER_HOUR + 900);
+        assert!((t.hour_of_day() - 3.25).abs() < 1e-12);
+        assert_eq!(t.settlement_period(), 6);
+        assert_eq!(t.to_string(), "d2+03:15:00");
+    }
+
+    #[test]
+    fn timestamp_negative_day_floor() {
+        let t = Timestamp::from_secs(-1);
+        assert_eq!(t.day_index(), -1);
+        assert_eq!(t.second_of_day(), SECS_PER_DAY - 1);
+    }
+
+    #[test]
+    fn day_of_week_epoch_is_tuesday() {
+        // Epoch = 2022-11-01, a Tuesday → index 1 (0 = Monday).
+        assert_eq!(Timestamp::EPOCH.day_of_week(), 1);
+        assert!(!Timestamp::EPOCH.is_weekend());
+        // 2022-11-05 was a Saturday.
+        assert_eq!(Timestamp::from_days(4).day_of_week(), 5);
+        assert!(Timestamp::from_days(4).is_weekend());
+        assert!(Timestamp::from_days(5).is_weekend());
+        assert!(!Timestamp::from_days(6).is_weekend());
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp::EPOCH + SimDuration::HOUR;
+        assert_eq!(t.as_secs(), 3_600);
+        assert_eq!(t - Timestamp::EPOCH, SimDuration::HOUR);
+        assert_eq!((t - SimDuration::HOUR), Timestamp::EPOCH);
+        let mut u = t;
+        u += SimDuration::HOUR;
+        assert_eq!(u.as_hours(), 2.0);
+    }
+
+    #[test]
+    fn period_basics() {
+        let p = Period::snapshot_24h();
+        assert_eq!(p.duration(), SimDuration::DAY);
+        assert!(p.contains(Timestamp::EPOCH));
+        assert!(!p.contains(Timestamp::from_days(1))); // half-open
+        assert!(!p.is_empty());
+        assert_eq!(Period::day(3).start(), Timestamp::from_days(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not precede")]
+    fn period_rejects_reversed_bounds() {
+        let _ = Period::new(Timestamp::from_secs(10), Timestamp::from_secs(5));
+    }
+
+    #[test]
+    fn period_intersection() {
+        let a = Period::new(Timestamp::from_secs(0), Timestamp::from_secs(100));
+        let b = Period::new(Timestamp::from_secs(50), Timestamp::from_secs(150));
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.start().as_secs(), 50);
+        assert_eq!(i.end().as_secs(), 100);
+        assert_eq!(a.overlap_fraction(&b), 0.5);
+
+        let c = Period::new(Timestamp::from_secs(200), Timestamp::from_secs(300));
+        assert!(a.intersect(&c).is_none());
+        assert_eq!(a.overlap_fraction(&c), 0.0);
+    }
+
+    #[test]
+    fn adjacent_periods_do_not_intersect() {
+        let a = Period::day(0);
+        let b = Period::day(1);
+        assert!(a.intersect(&b).is_none());
+    }
+
+    #[test]
+    fn empty_period_overlaps_nothing() {
+        let e = Period::new(Timestamp::from_secs(5), Timestamp::from_secs(5));
+        assert!(e.is_empty());
+        assert_eq!(e.overlap_fraction(&Period::snapshot_24h()), 0.0);
+    }
+
+    #[test]
+    fn step_iteration_counts() {
+        let p = Period::starting_at(Timestamp::EPOCH, SimDuration::from_secs(100));
+        let steps: Vec<_> = p.iter_steps(SimDuration::from_secs(30)).collect();
+        assert_eq!(steps.len(), 4); // 0, 30, 60, 90
+        assert_eq!(p.step_count(SimDuration::from_secs(30)), 4);
+        assert_eq!(steps[3].as_secs(), 90);
+
+        // Exact division: endpoint excluded.
+        let q = Period::starting_at(Timestamp::EPOCH, SimDuration::from_secs(90));
+        assert_eq!(q.step_count(SimDuration::from_secs(30)), 3);
+        assert_eq!(q.iter_steps(SimDuration::from_secs(30)).count(), 3);
+    }
+
+    #[test]
+    fn step_iter_size_hint_is_exact() {
+        let p = Period::snapshot_24h();
+        let it = p.iter_steps(SimDuration::from_secs(30));
+        assert_eq!(it.size_hint().0, 2_880);
+        assert_eq!(it.count(), 2_880);
+    }
+
+    #[test]
+    fn split_covers_period_exactly() {
+        let p = Period::starting_at(Timestamp::EPOCH, SimDuration::from_secs(100));
+        let parts = p.split(3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].start(), p.start());
+        assert_eq!(parts[2].end(), p.end());
+        for w in parts.windows(2) {
+            assert_eq!(w[0].end(), w[1].start());
+        }
+        let total: i64 = parts.iter().map(|q| q.duration().as_secs()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn settlement_periods_tile_the_day() {
+        let day = Period::snapshot_24h();
+        let count = day.step_count(SimDuration::SETTLEMENT_PERIOD);
+        assert_eq!(count, SETTLEMENT_PERIODS_PER_DAY);
+        let last = day
+            .iter_steps(SimDuration::SETTLEMENT_PERIOD)
+            .last()
+            .unwrap();
+        assert_eq!(last.settlement_period(), 47);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests for the dimensional-quantity laws.
+
+use iriscast_units::prelude::*;
+use iriscast_units::{format_grouped, SimDuration};
+use proptest::prelude::*;
+
+/// Reasonable magnitudes for the domain: node watts up to grid gigawatts.
+fn power_watts() -> impl Strategy<Value = f64> {
+    0.0..5e9f64
+}
+
+fn energy_kwh() -> impl Strategy<Value = f64> {
+    0.0..1e7f64
+}
+
+fn intensity_g_per_kwh() -> impl Strategy<Value = f64> {
+    0.0..1_200.0f64
+}
+
+fn duration_secs() -> impl Strategy<Value = i64> {
+    1i64..(400 * 86_400)
+}
+
+proptest! {
+    /// kWh → J → kWh is exact to floating-point round-off.
+    #[test]
+    fn energy_conversion_round_trip(kwh in energy_kwh()) {
+        let e = Energy::from_kilowatt_hours(kwh);
+        prop_assert!((e.kilowatt_hours() - kwh).abs() <= kwh.abs() * 1e-12 + 1e-12);
+        let e2 = Energy::from_joules(e.joules());
+        prop_assert_eq!(e, e2);
+    }
+
+    /// Power → (×Δt) → Energy → (÷Δt) → Power round-trips.
+    #[test]
+    fn power_energy_round_trip(w in power_watts(), secs in duration_secs()) {
+        let p = Power::from_watts(w);
+        let d = SimDuration::from_secs(secs);
+        let e = p * d;
+        let back = e.mean_power_over(d);
+        prop_assert!((back.watts() - w).abs() <= w.abs() * 1e-12 + 1e-9);
+    }
+
+    /// Energy scales linearly in duration: P×(a+b) = P×a + P×b.
+    #[test]
+    fn energy_additive_in_time(w in power_watts(), a in duration_secs(), b in duration_secs()) {
+        let p = Power::from_watts(w);
+        let lhs = p * (SimDuration::from_secs(a) + SimDuration::from_secs(b));
+        let rhs = p * SimDuration::from_secs(a) + p * SimDuration::from_secs(b);
+        prop_assert!((lhs.joules() - rhs.joules()).abs() <= lhs.joules().abs() * 1e-12 + 1e-6);
+    }
+
+    /// Carbon is monotone in both energy and intensity.
+    #[test]
+    fn carbon_monotone(
+        e1 in energy_kwh(), e2 in energy_kwh(),
+        ci1 in intensity_g_per_kwh(), ci2 in intensity_g_per_kwh(),
+    ) {
+        let (elo, ehi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+        let (clo, chi) = if ci1 <= ci2 { (ci1, ci2) } else { (ci2, ci1) };
+        let a = Energy::from_kilowatt_hours(elo) * CarbonIntensity::from_grams_per_kwh(clo);
+        let b = Energy::from_kilowatt_hours(ehi) * CarbonIntensity::from_grams_per_kwh(chi);
+        prop_assert!(a.grams() <= b.grams() + 1e-9);
+    }
+
+    /// PUE round-trip: infer_it_energy(apply(e)) == e.
+    #[test]
+    fn pue_round_trip(kwh in energy_kwh(), pue in 1.0..3.0f64) {
+        let p = Pue::new(pue).unwrap();
+        let it = Energy::from_kilowatt_hours(kwh);
+        let back = p.infer_it_energy(p.apply(it));
+        prop_assert!((back.kilowatt_hours() - kwh).abs() <= kwh.abs() * 1e-12 + 1e-9);
+        // Overhead + IT = total.
+        let total = p.apply(it);
+        let sum = it + p.overhead(it);
+        prop_assert!((total.joules() - sum.joules()).abs() <= total.joules().abs() * 1e-12 + 1e-6);
+    }
+
+    /// Element-wise TriEstimate ops preserve ordering for ordered inputs
+    /// and non-negative scale factors.
+    #[test]
+    fn tri_estimate_ordering_preserved(
+        a in 0.0..1e6f64, b in 0.0..1e6f64, c in 0.0..1e6f64,
+        d in 0.0..1e6f64, e in 0.0..1e6f64, f in 0.0..1e6f64,
+        k in 0.0..100.0f64,
+    ) {
+        let mut x = [a, b, c];
+        let mut y = [d, e, f];
+        x.sort_by(f64::total_cmp);
+        y.sort_by(f64::total_cmp);
+        let t1 = TriEstimate::checked(x[0], x[1], x[2]).unwrap();
+        let t2 = TriEstimate::checked(y[0], y[1], y[2]).unwrap();
+        prop_assert!((t1 + t2).is_ordered());
+        prop_assert!((t1 * k).is_ordered());
+    }
+
+    /// combine_extremes always yields an ordered envelope that contains
+    /// every pairing, for an arbitrary combination function.
+    #[test]
+    fn combine_extremes_envelope(
+        a in -1e6..1e6f64, b in -1e6..1e6f64, c in -1e6..1e6f64,
+        d in -1e6..1e6f64, e in -1e6..1e6f64, f in -1e6..1e6f64,
+    ) {
+        let mut x = [a, b, c];
+        let mut y = [d, e, f];
+        x.sort_by(f64::total_cmp);
+        y.sort_by(f64::total_cmp);
+        let t1 = TriEstimate::new(x[0], x[1], x[2]);
+        let t2 = TriEstimate::new(y[0], y[1], y[2]);
+        // An anti-monotone, nonlinear combination.
+        let comb = |p: f64, q: f64| p - q * q.signum();
+        let env = t1.combine_extremes(t2, comb);
+        prop_assert!(env.low <= env.high);
+        for &p in x.iter() {
+            for &q in y.iter() {
+                let v = comb(p, q);
+                prop_assert!(v >= env.low - 1e-9 && v <= env.high + 1e-9);
+            }
+        }
+    }
+
+    /// Period splitting covers the whole period with no gaps or overlaps.
+    #[test]
+    fn period_split_partition(len in 1i64..10_000_000, n in 1usize..64) {
+        let p = Period::starting_at(Timestamp::EPOCH, SimDuration::from_secs(len));
+        let parts = p.split(n);
+        prop_assert_eq!(parts.len(), n);
+        prop_assert_eq!(parts[0].start(), p.start());
+        prop_assert_eq!(parts[n - 1].end(), p.end());
+        for w in parts.windows(2) {
+            prop_assert_eq!(w[0].end(), w[1].start());
+        }
+        let total: i64 = parts.iter().map(|q| q.duration().as_secs()).sum();
+        prop_assert_eq!(total, len);
+    }
+
+    /// step_count matches the number of instants iter_steps yields.
+    #[test]
+    fn step_count_matches_iteration(len in 1i64..2_000_000, step in 1i64..100_000) {
+        let p = Period::starting_at(Timestamp::EPOCH, SimDuration::from_secs(len));
+        let step = SimDuration::from_secs(step);
+        prop_assert_eq!(p.step_count(step), p.iter_steps(step).count());
+    }
+
+    /// Timestamp day/second-of-day decomposition reassembles exactly.
+    #[test]
+    fn timestamp_decomposition(secs in -(1000i64 * 86_400)..(1000 * 86_400)) {
+        let t = Timestamp::from_secs(secs);
+        prop_assert_eq!(t.day_index() * 86_400 + t.second_of_day(), secs);
+        prop_assert!(t.second_of_day() >= 0 && t.second_of_day() < 86_400);
+        prop_assert!(t.settlement_period() < 48);
+        prop_assert!(t.day_of_week() < 7);
+    }
+
+    /// Grouped formatting re-parses to the rounded value.
+    #[test]
+    fn grouped_format_reparses(v in -1e12..1e12f64, d in 0usize..4) {
+        let s = format_grouped(v, d);
+        let cleaned: String = s.chars().filter(|&c| c != ',').collect();
+        let parsed: f64 = cleaned.parse().unwrap();
+        let expected: f64 = format!("{v:.d$}").parse().unwrap();
+        prop_assert_eq!(parsed, expected);
+    }
+
+    /// Overlap fraction is symmetric under scaling and bounded in [0, 1].
+    #[test]
+    fn overlap_fraction_bounded(
+        s1 in 0i64..1_000_000, l1 in 1i64..1_000_000,
+        s2 in 0i64..1_000_000, l2 in 1i64..1_000_000,
+    ) {
+        let a = Period::starting_at(Timestamp::from_secs(s1), SimDuration::from_secs(l1));
+        let b = Period::starting_at(Timestamp::from_secs(s2), SimDuration::from_secs(l2));
+        let f = a.overlap_fraction(&b);
+        prop_assert!((0.0..=1.0).contains(&f));
+        // Self-overlap is exactly 1.
+        prop_assert_eq!(a.overlap_fraction(&a), 1.0);
+    }
+}

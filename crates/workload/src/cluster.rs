@@ -1,0 +1,487 @@
+//! Event-driven cluster simulation.
+
+use crate::scheduler::{Scheduler, SchedulerContext};
+use crate::Job;
+use iriscast_grid::IntensitySeries;
+use iriscast_telemetry::TraceUtilization;
+use iriscast_units::{Period, SimDuration, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A job placed on specific nodes at a specific time.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledJob {
+    /// The job as submitted.
+    pub job: Job,
+    /// Actual start instant.
+    pub start: Timestamp,
+    /// Completion instant (`start + runtime`).
+    pub end: Timestamp,
+    /// Node ids occupied (lowest-free-first assignment).
+    pub node_ids: Vec<u32>,
+}
+
+impl ScheduledJob {
+    /// Queueing delay experienced.
+    pub fn wait(&self) -> SimDuration {
+        self.start - self.job.submit
+    }
+}
+
+/// Result of playing a workload through a policy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Jobs that started, in start order.
+    pub scheduled: Vec<ScheduledJob>,
+    /// Jobs still queued when the simulation window closed.
+    pub unstarted: Vec<Job>,
+    /// Cluster size.
+    pub total_nodes: u32,
+    /// Simulated window.
+    pub period: Period,
+}
+
+impl SimOutcome {
+    /// Node-time-weighted mean utilisation of the cluster over the window:
+    /// busy node-seconds (weighted by each job's driven CPU utilisation)
+    /// over total capacity. Occupancy outside the window is clipped.
+    pub fn mean_utilization(&self) -> f64 {
+        let capacity = i64::from(self.total_nodes) * self.period.duration().as_secs();
+        if capacity == 0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .scheduled
+            .iter()
+            .map(|s| {
+                let span = Period::new(s.start, s.end);
+                let overlap = span.duration().as_secs() as f64
+                    * span.overlap_fraction(&self.period);
+                overlap * f64::from(s.job.nodes) * s.job.cpu_utilization
+            })
+            .sum();
+        busy / capacity as f64
+    }
+
+    /// Fraction of node-seconds occupied (regardless of the CPU level the
+    /// job drives).
+    pub fn occupancy(&self) -> f64 {
+        let capacity = i64::from(self.total_nodes) * self.period.duration().as_secs();
+        if capacity == 0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .scheduled
+            .iter()
+            .map(|s| {
+                let span = Period::new(s.start, s.end);
+                span.duration().as_secs() as f64
+                    * span.overlap_fraction(&self.period)
+                    * f64::from(s.job.nodes)
+            })
+            .sum();
+        busy / capacity as f64
+    }
+
+    /// Busy-node count per slot of width `step` over the window — the
+    /// cluster-occupancy timeline operators plot ("usage questions", the
+    /// paper's future work).
+    pub fn busy_nodes_series(&self, step: SimDuration) -> Vec<u32> {
+        let slots = self.period.step_count(step);
+        let mut busy = vec![0u32; slots];
+        for s in &self.scheduled {
+            let from = (s.start - self.period.start()).as_secs();
+            let to = (s.end - self.period.start()).as_secs();
+            let window = self.period.duration().as_secs();
+            let first = from.clamp(0, window).div_euclid(step.as_secs()) as usize;
+            let last = to.clamp(0, window).div_euclid(step.as_secs()) as usize;
+            for slot in busy.iter_mut().take(last.min(slots)).skip(first) {
+                *slot += s.job.nodes;
+            }
+        }
+        busy
+    }
+
+    /// Converts the schedule into a per-node utilisation trace sampled
+    /// every `step`, ready for the telemetry collector.
+    pub fn to_trace(&self, step: SimDuration) -> TraceUtilization {
+        let slots = self.period.step_count(step);
+        let mut traces = vec![vec![0.0f64; slots]; self.total_nodes as usize];
+        for s in &self.scheduled {
+            let from = (s.start - self.period.start()).as_secs();
+            let to = (s.end - self.period.start()).as_secs();
+            let window = self.period.duration().as_secs();
+            let first = from.clamp(0, window).div_euclid(step.as_secs()) as usize;
+            let last = to.clamp(0, window).div_euclid(step.as_secs()) as usize;
+            for &node in &s.node_ids {
+                let trace = &mut traces[node as usize];
+                for slot in trace.iter_mut().take(last.min(slots)).skip(first) {
+                    *slot = s.job.cpu_utilization;
+                }
+            }
+        }
+        TraceUtilization::new(self.period, step, traces)
+    }
+}
+
+/// The event-driven simulator: a fixed pool of identical nodes.
+#[derive(Clone, Debug)]
+pub struct ClusterSim {
+    nodes: u32,
+}
+
+impl ClusterSim {
+    /// A cluster of `nodes` identical nodes.
+    pub fn new(nodes: u32) -> Self {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        ClusterSim { nodes }
+    }
+
+    /// Plays `jobs` through `policy` over `window` with no carbon signal.
+    pub fn run(
+        &self,
+        jobs: Vec<Job>,
+        policy: &mut dyn Scheduler,
+        window: Period,
+    ) -> SimOutcome {
+        self.run_with_intensity(jobs, policy, window, None)
+    }
+
+    /// Plays `jobs` through `policy` over `window`, exposing `intensity`
+    /// to the policy (for carbon-aware scheduling).
+    ///
+    /// Jobs must be sorted by submit time (the generator guarantees it).
+    pub fn run_with_intensity(
+        &self,
+        mut jobs: Vec<Job>,
+        policy: &mut dyn Scheduler,
+        window: Period,
+        intensity: Option<&IntensitySeries>,
+    ) -> SimOutcome {
+        assert!(
+            jobs.windows(2).all(|w| w[0].submit <= w[1].submit),
+            "jobs must be sorted by submit time"
+        );
+        // Free pool: lowest node id first for reproducible placement.
+        let mut free: BTreeSet<u32> = (0..self.nodes).collect();
+        let mut queue: Vec<Job> = Vec::new();
+        // Running jobs as (end, nodes, node_ids-index-into-scheduled).
+        let mut running: Vec<(Timestamp, u32)> = Vec::new();
+        let mut running_nodes: Vec<(Timestamp, Vec<u32>)> = Vec::new();
+        let mut scheduled: Vec<ScheduledJob> = Vec::new();
+
+        let mut arrivals = jobs.drain(..).peekable();
+        let mut now = window.start();
+
+        loop {
+            // Ingest arrivals due now.
+            while arrivals.peek().is_some_and(|j| j.submit <= now) {
+                queue.push(arrivals.next().expect("peeked"));
+            }
+            // Release completions due now.
+            let mut i = 0;
+            while i < running_nodes.len() {
+                if running_nodes[i].0 <= now {
+                    let (_, ids) = running_nodes.swap_remove(i);
+                    free.extend(ids);
+                } else {
+                    i += 1;
+                }
+            }
+            running.clear();
+            running.extend(running_nodes.iter().map(|(end, ids)| (*end, ids.len() as u32)));
+            running.sort_by_key(|(end, _)| *end);
+
+            // Let the policy start as much as it wants at this instant.
+            loop {
+                let ctx = SchedulerContext {
+                    free_nodes: free.len() as u32,
+                    total_nodes: self.nodes,
+                    now,
+                    running: &running,
+                    intensity,
+                };
+                let Some(idx) = policy.pick(&queue, &ctx) else {
+                    break;
+                };
+                let job = queue.remove(idx);
+                assert!(
+                    job.nodes as usize <= free.len(),
+                    "policy {} oversubscribed the cluster",
+                    policy.name()
+                );
+                let node_ids: Vec<u32> = free.iter().copied().take(job.nodes as usize).collect();
+                for id in &node_ids {
+                    free.remove(id);
+                }
+                let end = now + job.runtime;
+                running_nodes.push((end, node_ids.clone()));
+                running.push((end, job.nodes));
+                running.sort_by_key(|(e, _)| *e);
+                scheduled.push(ScheduledJob {
+                    start: now,
+                    end,
+                    node_ids,
+                    job,
+                });
+            }
+
+            // Advance to the next event: arrival, completion, or (when a
+            // carbon signal exists) the next settlement boundary, so
+            // deferred jobs re-evaluate as the grid changes.
+            let mut next: Option<Timestamp> = None;
+            let mut consider = |t: Timestamp| {
+                if t > now && t < window.end() {
+                    next = Some(match next {
+                        Some(n) => n.min(t),
+                        None => t,
+                    });
+                }
+            };
+            if let Some(j) = arrivals.peek() {
+                consider(j.submit.max(window.start()));
+            }
+            for (end, _) in &running {
+                consider(*end);
+            }
+            if intensity.is_some() && !queue.is_empty() {
+                let slot = SimDuration::SETTLEMENT_PERIOD.as_secs();
+                let boundary = ((now.as_secs() / slot) + 1) * slot;
+                consider(Timestamp::from_secs(boundary));
+            }
+            match next {
+                Some(t) => now = t,
+                None => break,
+            }
+        }
+
+        SimOutcome {
+            scheduled,
+            unstarted: queue,
+            total_nodes: self.nodes,
+            period: window,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{CarbonAwareScheduler, EasyBackfillScheduler, FcfsScheduler};
+    use crate::{generate, WorkloadConfig};
+    use iriscast_units::CarbonIntensity;
+
+    fn day() -> Period {
+        Period::snapshot_24h()
+    }
+
+    fn job(id: u64, submit_h: f64, runtime_h: f64, nodes: u32) -> Job {
+        Job::new(
+            id,
+            Timestamp::from_hours(submit_h),
+            SimDuration::from_hours(runtime_h),
+            nodes,
+        )
+    }
+
+    #[test]
+    fn single_job_runs_immediately() {
+        let sim = ClusterSim::new(4);
+        let outcome = sim.run(vec![job(0, 1.0, 2.0, 2)], &mut FcfsScheduler, day());
+        assert_eq!(outcome.scheduled.len(), 1);
+        let s = &outcome.scheduled[0];
+        assert_eq!(s.start, Timestamp::from_hours(1.0));
+        assert_eq!(s.end, Timestamp::from_hours(3.0));
+        assert_eq!(s.node_ids, vec![0, 1]);
+        assert_eq!(s.wait(), SimDuration::ZERO);
+        assert!(outcome.unstarted.is_empty());
+    }
+
+    #[test]
+    fn jobs_queue_when_cluster_full() {
+        let sim = ClusterSim::new(2);
+        let jobs = vec![job(0, 0.0, 4.0, 2), job(1, 1.0, 1.0, 2)];
+        let outcome = sim.run(jobs, &mut FcfsScheduler, day());
+        assert_eq!(outcome.scheduled.len(), 2);
+        // Second job waits for the first to finish at t=4h.
+        assert_eq!(outcome.scheduled[1].start, Timestamp::from_hours(4.0));
+        assert_eq!(outcome.scheduled[1].wait(), SimDuration::from_hours(3.0));
+    }
+
+    #[test]
+    fn nodes_never_oversubscribed() {
+        let sim = ClusterSim::new(16);
+        let jobs = generate(&WorkloadConfig::batch_hpc(), day(), 3);
+        let outcome = sim.run(jobs, &mut EasyBackfillScheduler, day());
+        // Reconstruct per-node interval sets and assert no overlap.
+        let mut by_node: Vec<Vec<(Timestamp, Timestamp)>> = vec![Vec::new(); 16];
+        for s in &outcome.scheduled {
+            for &n in &s.node_ids {
+                by_node[n as usize].push((s.start, s.end));
+            }
+        }
+        for intervals in by_node.iter_mut() {
+            intervals.sort();
+            for w in intervals.windows(2) {
+                assert!(
+                    w[0].1 <= w[1].0,
+                    "node double-booked: {:?} overlaps {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backfill_beats_fcfs_on_small_job_waits() {
+        // A blocked wide head with many small jobs behind it: classic
+        // backfill win. Everything finishes inside the day either way, so
+        // occupancy ties — the improvement is in queueing delay.
+        let mut jobs = vec![job(0, 0.0, 8.0, 7)]; // occupies 7 of 8 nodes
+        jobs.push(job(1, 0.1, 10.0, 8)); // wide head, blocks FCFS
+        for i in 2..40 {
+            jobs.push(job(i, 0.2, 0.5, 1)); // small fry
+        }
+        let sim = ClusterSim::new(8);
+        let fcfs = sim.run(jobs.clone(), &mut FcfsScheduler, day());
+        let easy = sim.run(jobs, &mut EasyBackfillScheduler, day());
+        let mean_small_wait = |o: &SimOutcome| {
+            let small: Vec<_> = o.scheduled.iter().filter(|s| s.job.nodes == 1).collect();
+            small.iter().map(|s| s.wait().as_hours()).sum::<f64>() / small.len() as f64
+        };
+        let w_fcfs = mean_small_wait(&fcfs);
+        let w_easy = mean_small_wait(&easy);
+        assert!(
+            w_easy < w_fcfs - 2.0,
+            "easy mean small-job wait {w_easy:.2} h not well below fcfs {w_fcfs:.2} h"
+        );
+        // Some small jobs must have started before the head did.
+        let head_start_easy = easy
+            .scheduled
+            .iter()
+            .find(|s| s.job.nodes == 8)
+            .unwrap()
+            .start;
+        assert!(easy
+            .scheduled
+            .iter()
+            .any(|s| s.job.nodes == 1 && s.start < head_start_easy));
+    }
+
+    #[test]
+    fn unstarted_jobs_reported() {
+        let sim = ClusterSim::new(1);
+        // Far more work than one node can do in a day.
+        let jobs: Vec<Job> = (0..30).map(|i| job(i, 0.0, 2.0, 1)).collect();
+        let outcome = sim.run(jobs, &mut FcfsScheduler, day());
+        assert!(!outcome.unstarted.is_empty());
+        assert_eq!(outcome.scheduled.len() + outcome.unstarted.len(), 30);
+    }
+
+    #[test]
+    fn trace_reflects_schedule() {
+        let sim = ClusterSim::new(2);
+        let outcome = sim.run(
+            vec![job(0, 0.0, 12.0, 1).with_utilization(0.8)],
+            &mut FcfsScheduler,
+            day(),
+        );
+        let trace = outcome.to_trace(SimDuration::from_hours(1.0));
+        use iriscast_telemetry::UtilizationSource;
+        // Node 0 busy at 0.8 until noon, idle after; node 1 always idle.
+        assert_eq!(trace.utilization(0, Timestamp::from_hours(6.0)), 0.8);
+        assert_eq!(trace.utilization(0, Timestamp::from_hours(13.0)), 0.0);
+        assert_eq!(trace.utilization(1, Timestamp::from_hours(6.0)), 0.0);
+        // Mean over the day: 0.8 × 12/24 = 0.4.
+        assert!((trace.node_mean(0) - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_nodes_series_tracks_schedule() {
+        let sim = ClusterSim::new(4);
+        let outcome = sim.run(
+            vec![job(0, 0.0, 6.0, 2), job(1, 3.0, 6.0, 1)],
+            &mut FcfsScheduler,
+            day(),
+        );
+        let busy = outcome.busy_nodes_series(SimDuration::from_hours(1.0));
+        assert_eq!(busy.len(), 24);
+        assert_eq!(busy[0], 2); // only job 0
+        assert_eq!(busy[4], 3); // both
+        assert_eq!(busy[7], 1); // only job 1
+        assert_eq!(busy[12], 0); // all done
+        // Never exceeds the cluster.
+        assert!(busy.iter().all(|&b| b <= 4));
+    }
+
+    #[test]
+    fn utilization_and_occupancy() {
+        let sim = ClusterSim::new(4);
+        let outcome = sim.run(
+            vec![job(0, 0.0, 24.0, 2).with_utilization(0.5)],
+            &mut FcfsScheduler,
+            day(),
+        );
+        assert!((outcome.occupancy() - 0.5).abs() < 1e-9);
+        assert!((outcome.mean_utilization() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn carbon_aware_shifts_work_to_clean_window() {
+        // Grid: dirty until noon, clean after.
+        let mut values = vec![300.0; 24];
+        values.extend(vec![50.0; 24]);
+        let series = IntensitySeries::new(
+            Timestamp::EPOCH,
+            SimDuration::SETTLEMENT_PERIOD,
+            values
+                .iter()
+                .map(|&g| CarbonIntensity::from_grams_per_kwh(g))
+                .collect(),
+        );
+        let elastic = job(0, 1.0, 2.0, 1).deferrable_until(Timestamp::from_hours(20.0));
+        let sim = ClusterSim::new(4);
+        let mut policy = CarbonAwareScheduler::new(
+            FcfsScheduler,
+            CarbonIntensity::from_grams_per_kwh(150.0),
+        );
+        let outcome =
+            sim.run_with_intensity(vec![elastic], &mut policy, day(), Some(&series));
+        assert_eq!(outcome.scheduled.len(), 1);
+        // Started at the noon boundary, not at submit (1 h).
+        assert_eq!(outcome.scheduled[0].start, Timestamp::from_hours(12.0));
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let jobs = generate(&WorkloadConfig::batch_hpc(), day(), 99);
+        let sim = ClusterSim::new(32);
+        let a = sim.run(jobs.clone(), &mut EasyBackfillScheduler, day());
+        let b = sim.run(jobs, &mut EasyBackfillScheduler, day());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by submit")]
+    fn unsorted_jobs_rejected() {
+        let sim = ClusterSim::new(4);
+        let jobs = vec![job(0, 2.0, 1.0, 1), job(1, 1.0, 1.0, 1)];
+        let _ = sim.run(jobs, &mut FcfsScheduler, day());
+    }
+
+    #[test]
+    fn realistic_workload_achieves_reasonable_utilization() {
+        let jobs = generate(&WorkloadConfig::batch_hpc(), day(), 21);
+        let load = crate::generate::offered_load(&jobs, 64, day());
+        let sim = ClusterSim::new(64);
+        let outcome = sim.run(jobs, &mut EasyBackfillScheduler, day());
+        // A saturating workload should keep a backfilling cluster busy.
+        assert!(
+            outcome.occupancy() > (load * 0.55).min(0.80),
+            "occupancy {:.2} too low for offered load {:.2}",
+            outcome.occupancy(),
+            load
+        );
+    }
+}

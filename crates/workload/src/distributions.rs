@@ -1,0 +1,150 @@
+//! Sampling primitives: the distributions HPC workload models need.
+//!
+//! `rand` 0.8 without `rand_distr` provides only uniform sampling; the
+//! standard workload shapes (Poisson arrivals → exponential gaps,
+//! lognormal runtimes) are implemented here directly, keeping the
+//! dependency set to the sanctioned list.
+
+use rand::Rng;
+
+/// Standard normal sample via the Box–Muller transform.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal sample with the given mean and standard deviation.
+pub fn normal(rng: &mut impl Rng, mean: f64, sd: f64) -> f64 {
+    assert!(sd >= 0.0, "standard deviation must be non-negative");
+    mean + sd * standard_normal(rng)
+}
+
+/// Lognormal sample parameterised by the *median* (`exp(μ)`) and shape
+/// `sigma` — the natural parameterisation for runtimes ("median job runs
+/// 20 minutes, spread over decades").
+pub fn lognormal_median(rng: &mut impl Rng, median: f64, sigma: f64) -> f64 {
+    assert!(median > 0.0, "median must be positive");
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    median * (sigma * standard_normal(rng)).exp()
+}
+
+/// Exponential sample with the given mean (inter-arrival gaps of a
+/// Poisson process).
+pub fn exponential(rng: &mut impl Rng, mean: f64) -> f64 {
+    assert!(mean > 0.0, "mean must be positive");
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    -mean * u.ln()
+}
+
+/// Geometric-ish power-of-two job width: 1, 2, 4, … `max`, with smaller
+/// widths exponentially more likely (the empirical shape of HPC job-size
+/// histograms).
+pub fn power_of_two_width(rng: &mut impl Rng, max: u32) -> u32 {
+    assert!(max >= 1, "max width must be at least 1");
+    let levels = 32 - max.leading_zeros(); // ⌊log2(max)⌋ + 1
+    let mut width = 1u32;
+    for _ in 1..levels {
+        // Each doubling happens with probability 0.45 — mildly favouring
+        // small jobs while keeping a real large-job tail.
+        if rng.gen::<f64>() < 0.45 && width * 2 <= max {
+            width *= 2;
+        } else {
+            break;
+        }
+    }
+    width
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 10.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_median_is_the_median() {
+        let mut r = rng();
+        let n = 50_001;
+        let mut samples: Vec<f64> = (0..n)
+            .map(|_| lognormal_median(&mut r, 1_200.0, 1.0))
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[n / 2];
+        assert!(
+            (median / 1_200.0 - 1.0).abs() < 0.05,
+            "sample median {median}"
+        );
+        // Lognormal is right-skewed: mean > median.
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!(mean > median * 1.3);
+        // All positive.
+        assert!(samples[0] > 0.0);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 50_000;
+        let mean = (0..n).map(|_| exponential(&mut r, 90.0)).sum::<f64>() / n as f64;
+        assert!((mean - 90.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn widths_are_powers_of_two_within_max() {
+        let mut r = rng();
+        let mut seen_large = false;
+        for _ in 0..10_000 {
+            let w = power_of_two_width(&mut r, 64);
+            assert!(w.is_power_of_two());
+            assert!(w <= 64);
+            if w >= 16 {
+                seen_large = true;
+            }
+        }
+        assert!(seen_large, "tail of large jobs missing");
+    }
+
+    #[test]
+    fn width_max_one_is_always_one() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(power_of_two_width(&mut r, 1), 1);
+        }
+    }
+
+    #[test]
+    fn width_respects_non_power_of_two_max() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(power_of_two_width(&mut r, 48) <= 48);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "median must be positive")]
+    fn lognormal_rejects_zero_median() {
+        let _ = lognormal_median(&mut rng(), 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must be positive")]
+    fn exponential_rejects_zero_mean() {
+        let _ = exponential(&mut rng(), 0.0);
+    }
+}

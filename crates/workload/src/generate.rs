@@ -1,0 +1,250 @@
+//! Synthetic workload generation.
+
+use crate::distributions::{exponential, lognormal_median, power_of_two_width};
+use crate::Job;
+use iriscast_units::{Period, SimDuration};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a synthetic batch workload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Mean inter-arrival gap at the *daily average* rate.
+    pub mean_interarrival: SimDuration,
+    /// Strength of the diurnal arrival modulation in `[0, 1)`:
+    /// `rate(t) = avg_rate × (1 + m·sin(day phase))`.
+    pub diurnal_modulation: f64,
+    /// Median job runtime.
+    pub runtime_median: SimDuration,
+    /// Lognormal shape of runtimes (1.0–1.5 matches production traces).
+    pub runtime_sigma: f64,
+    /// Maximum job width in nodes.
+    pub max_nodes: u32,
+    /// Mean CPU utilisation a running job drives.
+    pub mean_utilization: f64,
+    /// Fraction of jobs that tolerate delayed starts.
+    pub deferrable_fraction: f64,
+    /// Slack granted to deferrable jobs (latest start = submit + slack).
+    pub deferral_slack: SimDuration,
+    /// Number of distinct users submitting (Zipf-weighted: user 0 submits
+    /// the most, the tail trickles). Zero disables attribution.
+    pub users: u32,
+}
+
+impl WorkloadConfig {
+    /// A busy HPC batch system: ~90 s between jobs, 20-minute median
+    /// runtime with a heavy tail, jobs up to 32 nodes.
+    pub fn batch_hpc() -> Self {
+        WorkloadConfig {
+            mean_interarrival: SimDuration::from_secs(90),
+            diurnal_modulation: 0.5,
+            runtime_median: SimDuration::from_minutes(20),
+            runtime_sigma: 1.3,
+            max_nodes: 32,
+            mean_utilization: 0.85,
+            deferrable_fraction: 0.3,
+            deferral_slack: SimDuration::from_hours(12.0),
+            users: 24,
+        }
+    }
+
+    /// A cloud/hypervisor-style load: many single-node long-running
+    /// tasks, lower utilisation.
+    pub fn cloud_services() -> Self {
+        WorkloadConfig {
+            mean_interarrival: SimDuration::from_secs(240),
+            diurnal_modulation: 0.3,
+            runtime_median: SimDuration::from_hours(3.0),
+            runtime_sigma: 1.0,
+            max_nodes: 1,
+            mean_utilization: 0.4,
+            deferrable_fraction: 0.05,
+            deferral_slack: SimDuration::from_hours(4.0),
+            users: 60,
+        }
+    }
+}
+
+/// Generates jobs over `period` by thinning a diurnally modulated Poisson
+/// process. Deterministic per seed.
+pub fn generate(cfg: &WorkloadConfig, period: Period, seed: u64) -> Vec<Job> {
+    assert!(
+        (0.0..1.0).contains(&cfg.diurnal_modulation),
+        "diurnal modulation must lie in [0, 1)"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut jobs = Vec::new();
+    // Thinning: draw candidate gaps at the *peak* rate, accept each
+    // candidate with probability rate(t)/peak_rate.
+    let peak_gap = cfg.mean_interarrival.as_secs() as f64 / (1.0 + cfg.diurnal_modulation);
+    let mut t = period.start();
+    let mut id = 0u64;
+    loop {
+        let gap = exponential(&mut rng, peak_gap);
+        t += SimDuration::from_secs(gap.ceil().max(1.0) as i64);
+        if t >= period.end() {
+            break;
+        }
+        // Diurnal acceptance: busiest mid-working-day (peak ~14:00).
+        let phase = (t.hour_of_day() - 8.0) / 24.0 * std::f64::consts::TAU;
+        let rate_factor =
+            (1.0 + cfg.diurnal_modulation * phase.sin()) / (1.0 + cfg.diurnal_modulation);
+        if rng.gen::<f64>() > rate_factor {
+            continue;
+        }
+        let runtime_secs = lognormal_median(
+            &mut rng,
+            cfg.runtime_median.as_secs() as f64,
+            cfg.runtime_sigma,
+        )
+        .clamp(60.0, 48.0 * 3_600.0);
+        let nodes = power_of_two_width(&mut rng, cfg.max_nodes);
+        let utilization = (cfg.mean_utilization + 0.1 * (rng.gen::<f64>() - 0.5)).clamp(0.05, 1.0);
+        let mut job = Job::new(
+            id,
+            t,
+            SimDuration::from_secs(runtime_secs as i64),
+            nodes,
+        )
+        .with_utilization(utilization);
+        if rng.gen::<f64>() < cfg.deferrable_fraction {
+            job = job.deferrable_until(t + cfg.deferral_slack);
+        }
+        if cfg.users > 0 {
+            job = job.with_user(format!("user{:02}", zipf_user(&mut rng, cfg.users)));
+        }
+        jobs.push(job);
+        id += 1;
+    }
+    jobs
+}
+
+/// Zipf-ish user draw: rank r chosen with weight 1/(r+1); heavy users
+/// dominate, matching real batch-system accounting.
+fn zipf_user(rng: &mut impl Rng, users: u32) -> u32 {
+    let total: f64 = (1..=users).map(|r| 1.0 / f64::from(r)).sum();
+    let mut x = rng.gen::<f64>() * total;
+    for r in 1..=users {
+        x -= 1.0 / f64::from(r);
+        if x <= 0.0 {
+            return r - 1;
+        }
+    }
+    users - 1
+}
+
+/// Total offered load of a job set relative to a cluster's capacity over
+/// `period`: `Σ node-seconds / (nodes × period)`. Values near or above 1
+/// mean the cluster saturates.
+pub fn offered_load(jobs: &[Job], cluster_nodes: u32, period: Period) -> f64 {
+    let work: i64 = jobs.iter().map(Job::node_seconds).sum();
+    let capacity = i64::from(cluster_nodes) * period.duration().as_secs();
+    work as f64 / capacity as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iriscast_units::Timestamp;
+
+    fn day() -> Period {
+        Period::snapshot_24h()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = WorkloadConfig::batch_hpc();
+        let a = generate(&cfg, day(), 7);
+        let b = generate(&cfg, day(), 7);
+        assert_eq!(a, b);
+        let c = generate(&cfg, day(), 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn volume_matches_rate() {
+        let cfg = WorkloadConfig::batch_hpc();
+        let jobs = generate(&cfg, day(), 42);
+        // ~86,400/90 ≈ 960 expected arrivals; thinning keeps the average.
+        assert!(
+            (700..=1_200).contains(&jobs.len()),
+            "generated {} jobs",
+            jobs.len()
+        );
+    }
+
+    #[test]
+    fn submits_are_ordered_and_inside_period() {
+        let jobs = generate(&WorkloadConfig::batch_hpc(), day(), 1);
+        for w in jobs.windows(2) {
+            assert!(w[0].submit <= w[1].submit);
+            assert!(w[0].id < w[1].id);
+        }
+        for j in &jobs {
+            assert!(day().contains(j.submit));
+            assert!(j.nodes >= 1 && j.nodes <= 32);
+            assert!((0.05..=1.0).contains(&j.cpu_utilization));
+        }
+    }
+
+    #[test]
+    fn diurnal_modulation_shapes_arrivals() {
+        let cfg = WorkloadConfig {
+            diurnal_modulation: 0.8,
+            ..WorkloadConfig::batch_hpc()
+        };
+        // Average over many days to beat Poisson noise.
+        let period = Period::starting_at(Timestamp::EPOCH, SimDuration::from_days(20));
+        let jobs = generate(&cfg, period, 3);
+        let day_jobs = jobs
+            .iter()
+            .filter(|j| (10.0..18.0).contains(&j.submit.hour_of_day()))
+            .count();
+        let night_jobs = jobs
+            .iter()
+            .filter(|j| {
+                let h = j.submit.hour_of_day();
+                !(6.0..22.0).contains(&h)
+            })
+            .count();
+        // Equal-width windows (8 h each); day should dominate clearly.
+        assert!(
+            day_jobs as f64 > night_jobs as f64 * 1.5,
+            "day {day_jobs} vs night {night_jobs}"
+        );
+    }
+
+    #[test]
+    fn deferrable_fraction_respected() {
+        let cfg = WorkloadConfig {
+            deferrable_fraction: 0.5,
+            ..WorkloadConfig::batch_hpc()
+        };
+        let jobs = generate(&cfg, day(), 11);
+        let frac = jobs.iter().filter(|j| j.deferrable).count() as f64 / jobs.len() as f64;
+        assert!((frac - 0.5).abs() < 0.08, "deferrable fraction {frac}");
+        for j in jobs.iter().filter(|j| j.deferrable) {
+            assert_eq!(j.latest_start, Some(j.submit + cfg.deferral_slack));
+        }
+    }
+
+    #[test]
+    fn offered_load_sane() {
+        let cfg = WorkloadConfig::batch_hpc();
+        let jobs = generate(&cfg, day(), 5);
+        let load_64 = offered_load(&jobs, 64, day());
+        let load_1000 = offered_load(&jobs, 1_000, day());
+        assert!(load_64 > load_1000);
+        assert!(load_1000 > 0.0);
+    }
+
+    #[test]
+    fn cloud_profile_differs() {
+        let jobs = generate(&WorkloadConfig::cloud_services(), day(), 2);
+        assert!(jobs.iter().all(|j| j.nodes == 1));
+        let mean_util: f64 =
+            jobs.iter().map(|j| j.cpu_utilization).sum::<f64>() / jobs.len() as f64;
+        assert!((0.3..=0.5).contains(&mean_util));
+    }
+}

@@ -1,0 +1,114 @@
+//! Batch job description.
+
+use iriscast_units::{SimDuration, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// One batch job as the scheduler sees it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Unique id (assigned by the generator, monotone in submit order).
+    pub id: u64,
+    /// Submission instant.
+    pub submit: Timestamp,
+    /// Actual runtime once started (the simulator treats the user estimate
+    /// as exact; EASY backfill in practice uses estimates, and the
+    /// distinction does not change the carbon accounting).
+    pub runtime: SimDuration,
+    /// Number of whole nodes requested.
+    pub nodes: u32,
+    /// CPU utilisation the job drives on its nodes while running, `[0,1]`.
+    pub cpu_utilization: f64,
+    /// Whether the job may be delayed for carbon reasons.
+    pub deferrable: bool,
+    /// Latest acceptable *start* time for deferrable jobs.
+    pub latest_start: Option<Timestamp>,
+    /// Submitting user/project, for usage attribution ("what the DRI was
+    /// actually being used for" — the paper's future work).
+    pub user: Option<String>,
+}
+
+impl Job {
+    /// A non-deferrable job with the given shape.
+    pub fn new(id: u64, submit: Timestamp, runtime: SimDuration, nodes: u32) -> Self {
+        assert!(nodes > 0, "a job must request at least one node");
+        assert!(
+            runtime.as_secs() > 0,
+            "a job must run for a positive duration"
+        );
+        Job {
+            id,
+            submit,
+            runtime,
+            nodes,
+            cpu_utilization: 0.9,
+            deferrable: false,
+            latest_start: None,
+            user: None,
+        }
+    }
+
+    /// Attributes the job to a user/project.
+    pub fn with_user(mut self, user: impl Into<String>) -> Self {
+        self.user = Some(user.into());
+        self
+    }
+
+    /// Marks the job as deferrable until `latest_start`.
+    pub fn deferrable_until(mut self, latest_start: Timestamp) -> Self {
+        self.deferrable = true;
+        self.latest_start = Some(latest_start);
+        self
+    }
+
+    /// Sets the driven CPU utilisation.
+    pub fn with_utilization(mut self, u: f64) -> Self {
+        assert!((0.0..=1.0).contains(&u), "utilisation must lie in [0, 1]");
+        self.cpu_utilization = u;
+        self
+    }
+
+    /// Node-seconds of work (`nodes × runtime`) — the scheduler-load
+    /// metric.
+    pub fn node_seconds(&self) -> i64 {
+        i64::from(self.nodes) * self.runtime.as_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let j = Job::new(1, Timestamp::EPOCH, SimDuration::HOUR, 4);
+        assert_eq!(j.node_seconds(), 4 * 3_600);
+        assert!(!j.deferrable);
+        assert_eq!(j.cpu_utilization, 0.9);
+    }
+
+    #[test]
+    fn deferrable_builder() {
+        let deadline = Timestamp::from_hours(20.0);
+        let j = Job::new(1, Timestamp::EPOCH, SimDuration::HOUR, 1).deferrable_until(deadline);
+        assert!(j.deferrable);
+        assert_eq!(j.latest_start, Some(deadline));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = Job::new(1, Timestamp::EPOCH, SimDuration::HOUR, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn zero_runtime_rejected() {
+        let _ = Job::new(1, Timestamp::EPOCH, SimDuration::ZERO, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn utilization_validated() {
+        let _ = Job::new(1, Timestamp::EPOCH, SimDuration::HOUR, 1).with_utilization(1.5);
+    }
+}

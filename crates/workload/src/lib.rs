@@ -1,0 +1,49 @@
+//! Cluster workload and scheduler simulation.
+//!
+//! The paper measures a DRI running *whatever its users happened to run*
+//! that day, and flags usage-awareness as future work ("does not consider
+//! what the DRI was actually being used for, how efficiently jobs were
+//! running"). This crate supplies the usage substrate:
+//!
+//! * [`Job`] and [`generate`] — synthetic batch workloads with diurnal
+//!   Poisson arrivals and lognormal runtimes (the standard parametric
+//!   shape of HPC traces);
+//! * [`ClusterSim`] — an event-driven cluster simulator that plays a job
+//!   stream through a scheduling policy and records per-node busy
+//!   intervals;
+//! * [`scheduler`] — FCFS, EASY backfill, and a carbon-aware policy that
+//!   delays deferrable jobs into low-intensity windows using the grid
+//!   crate's (forecast) series;
+//! * [`metrics`] — wait/utilisation statistics and per-job energy/carbon
+//!   attribution.
+//!
+//! The simulator's output converts directly into the telemetry crate's
+//! [`iriscast_telemetry::TraceUtilization`], closing the loop: jobs →
+//! utilisation → power → measured energy → carbon.
+//!
+//! # Example
+//!
+//! ```
+//! use iriscast_workload::{generate, ClusterSim, scheduler::FcfsScheduler, WorkloadConfig};
+//! use iriscast_units::Period;
+//!
+//! let jobs = generate(&WorkloadConfig::batch_hpc(), Period::snapshot_24h(), 42);
+//! let sim = ClusterSim::new(64);
+//! let outcome = sim.run(jobs, &mut FcfsScheduler, Period::snapshot_24h());
+//! assert!(outcome.mean_utilization() > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cluster;
+pub mod distributions;
+mod generate;
+mod job;
+pub mod metrics;
+pub mod scheduler;
+
+pub use cluster::{ClusterSim, ScheduledJob, SimOutcome};
+pub use generate::{generate, offered_load, WorkloadConfig};
+pub use job::Job;
+pub use scheduler::{Scheduler, SchedulerContext};

@@ -1,0 +1,316 @@
+//! Scheduling policies: FCFS, EASY backfill, carbon-aware.
+
+use crate::Job;
+use iriscast_grid::IntensitySeries;
+use iriscast_units::{CarbonIntensity, Timestamp};
+
+/// What a policy can see when deciding whether to start a job.
+pub struct SchedulerContext<'a> {
+    /// Nodes currently idle.
+    pub free_nodes: u32,
+    /// Cluster size.
+    pub total_nodes: u32,
+    /// Decision instant.
+    pub now: Timestamp,
+    /// `(end_time, nodes)` of running jobs, sorted by end time ascending.
+    pub running: &'a [(Timestamp, u32)],
+    /// Grid carbon-intensity series, when the operator subscribes to one.
+    pub intensity: Option<&'a IntensitySeries>,
+}
+
+impl SchedulerContext<'_> {
+    /// Carbon intensity at `now`, if a series is attached and covers it.
+    pub fn intensity_now(&self) -> Option<CarbonIntensity> {
+        self.intensity.and_then(|s| s.at(self.now))
+    }
+}
+
+/// A scheduling policy: given the queue (submit order) and the context,
+/// pick the index of the job to start *now*, or `None` to wait.
+///
+/// The simulator calls `pick` repeatedly until it returns `None`, so a
+/// policy starts any number of jobs per decision point.
+pub trait Scheduler {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Chooses the next job to start.
+    fn pick(&mut self, queue: &[Job], ctx: &SchedulerContext<'_>) -> Option<usize>;
+}
+
+/// First-come-first-served: start the head job when it fits, otherwise
+/// block (no job may overtake the head).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FcfsScheduler;
+
+impl Scheduler for FcfsScheduler {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn pick(&mut self, queue: &[Job], ctx: &SchedulerContext<'_>) -> Option<usize> {
+        let head = queue.first()?;
+        (head.nodes <= ctx.free_nodes).then_some(0)
+    }
+}
+
+/// EASY backfilling: the head job gets a reservation at the earliest
+/// instant enough nodes will be free; any later job may start now if it
+/// fits the idle nodes and does not delay that reservation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EasyBackfillScheduler;
+
+impl EasyBackfillScheduler {
+    /// Computes `(shadow_time, spare_nodes)`: when the head job's
+    /// reservation begins, and how many nodes beyond its requirement will
+    /// be free then. `None` if the head can never fit (wider than the
+    /// cluster).
+    fn reservation(head: &Job, ctx: &SchedulerContext<'_>) -> Option<(Timestamp, u32)> {
+        if head.nodes > ctx.total_nodes {
+            return None;
+        }
+        let mut available = ctx.free_nodes;
+        if available >= head.nodes {
+            return Some((ctx.now, available - head.nodes));
+        }
+        for &(end, nodes) in ctx.running {
+            available += nodes;
+            if available >= head.nodes {
+                return Some((end, available - head.nodes));
+            }
+        }
+        None
+    }
+}
+
+impl Scheduler for EasyBackfillScheduler {
+    fn name(&self) -> &'static str {
+        "easy-backfill"
+    }
+
+    fn pick(&mut self, queue: &[Job], ctx: &SchedulerContext<'_>) -> Option<usize> {
+        let head = queue.first()?;
+        if head.nodes <= ctx.free_nodes {
+            return Some(0);
+        }
+        let (shadow, spare) = Self::reservation(head, ctx)?;
+        for (i, job) in queue.iter().enumerate().skip(1) {
+            if job.nodes > ctx.free_nodes {
+                continue;
+            }
+            let finishes_before_shadow = ctx.now + job.runtime <= shadow;
+            let fits_spare = job.nodes <= spare;
+            if finishes_before_shadow || fits_spare {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+/// Carbon-aware wrapper: deferrable jobs are invisible to the inner policy
+/// while the grid is dirtier than `threshold`, until their `latest_start`
+/// deadline forces them through.
+///
+/// This is the paper's future-work direction made concrete: shift elastic
+/// work into the low-intensity windows of Figure 1.
+#[derive(Clone, Copy, Debug)]
+pub struct CarbonAwareScheduler<S> {
+    inner: S,
+    threshold: CarbonIntensity,
+}
+
+impl<S: Scheduler> CarbonAwareScheduler<S> {
+    /// Wraps `inner`, deferring elastic jobs while intensity exceeds
+    /// `threshold`.
+    pub fn new(inner: S, threshold: CarbonIntensity) -> Self {
+        CarbonAwareScheduler { inner, threshold }
+    }
+
+    fn eligible(&self, job: &Job, ctx: &SchedulerContext<'_>) -> bool {
+        if !job.deferrable {
+            return true;
+        }
+        // Deadline pressure overrides greenness.
+        if let Some(deadline) = job.latest_start {
+            if ctx.now >= deadline {
+                return true;
+            }
+        }
+        match ctx.intensity_now() {
+            Some(ci) => ci <= self.threshold,
+            // No signal: behave like the inner policy.
+            None => true,
+        }
+    }
+}
+
+impl<S: Scheduler> Scheduler for CarbonAwareScheduler<S> {
+    fn name(&self) -> &'static str {
+        "carbon-aware"
+    }
+
+    fn pick(&mut self, queue: &[Job], ctx: &SchedulerContext<'_>) -> Option<usize> {
+        // Build the eligible view and remember original indices.
+        let mut view = Vec::with_capacity(queue.len());
+        let mut map = Vec::with_capacity(queue.len());
+        for (i, job) in queue.iter().enumerate() {
+            if self.eligible(job, ctx) {
+                view.push(job.clone());
+                map.push(i);
+            }
+        }
+        let picked = self.inner.pick(&view, ctx)?;
+        Some(map[picked])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iriscast_units::{Period, SimDuration};
+
+    fn job(id: u64, nodes: u32, runtime_h: f64) -> Job {
+        Job::new(
+            id,
+            Timestamp::EPOCH,
+            SimDuration::from_hours(runtime_h),
+            nodes,
+        )
+    }
+
+    fn ctx<'a>(
+        free: u32,
+        total: u32,
+        running: &'a [(Timestamp, u32)],
+        intensity: Option<&'a IntensitySeries>,
+    ) -> SchedulerContext<'a> {
+        SchedulerContext {
+            free_nodes: free,
+            total_nodes: total,
+            now: Timestamp::EPOCH,
+            running,
+            intensity,
+        }
+    }
+
+    #[test]
+    fn fcfs_blocks_on_head() {
+        let mut s = FcfsScheduler;
+        let queue = vec![job(0, 8, 1.0), job(1, 1, 1.0)];
+        // Head needs 8, only 4 free: nothing starts, even though job 1 fits.
+        assert_eq!(s.pick(&queue, &ctx(4, 16, &[], None)), None);
+        assert_eq!(s.pick(&queue, &ctx(8, 16, &[], None)), Some(0));
+        assert_eq!(s.pick(&[], &ctx(8, 16, &[], None)), None);
+    }
+
+    #[test]
+    fn backfill_starts_short_job_behind_blocked_head() {
+        let mut s = EasyBackfillScheduler;
+        // 4 nodes free; head wants 8. A running job frees 8 nodes at t+2h.
+        let running = [(Timestamp::from_hours(2.0), 8u32)];
+        let queue = vec![job(0, 8, 4.0), job(1, 2, 1.0), job(2, 2, 6.0)];
+        // Job 1 (2 nodes, 1 h < 2 h shadow) backfills.
+        assert_eq!(s.pick(&queue, &ctx(4, 12, &running, None)), Some(1));
+    }
+
+    #[test]
+    fn backfill_does_not_delay_reservation() {
+        let mut s = EasyBackfillScheduler;
+        // Head wants 8; 4 free; 8 freed at t+2h → shadow t+2h, spare 4.
+        let running = [(Timestamp::from_hours(2.0), 8u32)];
+        // Job 1: 6 nodes → exceeds free, skip. Job 2: 4 nodes, 6 h: longer
+        // than shadow, but spare at shadow is 4, so it fits the spare.
+        let queue = vec![job(0, 8, 4.0), job(1, 6, 0.5), job(2, 4, 6.0)];
+        assert_eq!(s.pick(&queue, &ctx(4, 12, &running, None)), Some(2));
+        // Job 2 now 5 nodes: exceeds free(4) → nothing backfills.
+        let queue = vec![job(0, 8, 4.0), job(1, 6, 0.5), job(2, 5, 6.0)];
+        assert_eq!(s.pick(&queue, &ctx(4, 12, &running, None)), None);
+    }
+
+    #[test]
+    fn backfill_head_still_first_when_it_fits() {
+        let mut s = EasyBackfillScheduler;
+        let queue = vec![job(0, 2, 1.0), job(1, 1, 0.1)];
+        assert_eq!(s.pick(&queue, &ctx(4, 8, &[], None)), Some(0));
+    }
+
+    #[test]
+    fn backfill_impossible_head() {
+        let mut s = EasyBackfillScheduler;
+        // Head wider than the machine: no reservation exists; nothing
+        // starts (the simulator will surface it as unstarted).
+        let queue = vec![job(0, 64, 1.0), job(1, 1, 0.1)];
+        assert_eq!(s.pick(&queue, &ctx(8, 8, &[], None)), None);
+    }
+
+    #[test]
+    fn carbon_aware_defers_elastic_jobs_when_dirty() {
+        let series = IntensitySeries::constant(
+            Period::snapshot_24h(),
+            SimDuration::SETTLEMENT_PERIOD,
+            CarbonIntensity::from_grams_per_kwh(300.0),
+        );
+        let mut s = CarbonAwareScheduler::new(
+            FcfsScheduler,
+            CarbonIntensity::from_grams_per_kwh(150.0),
+        );
+        let elastic =
+            job(0, 2, 1.0).deferrable_until(Timestamp::from_hours(12.0));
+        let firm = job(1, 2, 1.0);
+        let queue = vec![elastic.clone(), firm.clone()];
+        // Grid dirty: elastic job is skipped, firm job (index 1) starts.
+        assert_eq!(s.pick(&queue, &ctx(8, 8, &[], Some(&series))), Some(1));
+    }
+
+    #[test]
+    fn carbon_aware_starts_elastic_jobs_when_clean() {
+        let series = IntensitySeries::constant(
+            Period::snapshot_24h(),
+            SimDuration::SETTLEMENT_PERIOD,
+            CarbonIntensity::from_grams_per_kwh(60.0),
+        );
+        let mut s = CarbonAwareScheduler::new(
+            FcfsScheduler,
+            CarbonIntensity::from_grams_per_kwh(150.0),
+        );
+        let queue = vec![job(0, 2, 1.0).deferrable_until(Timestamp::from_hours(12.0))];
+        assert_eq!(s.pick(&queue, &ctx(8, 8, &[], Some(&series))), Some(0));
+    }
+
+    #[test]
+    fn carbon_aware_deadline_forces_start() {
+        let series = IntensitySeries::constant(
+            Period::snapshot_24h(),
+            SimDuration::SETTLEMENT_PERIOD,
+            CarbonIntensity::from_grams_per_kwh(300.0),
+        );
+        let mut s = CarbonAwareScheduler::new(
+            FcfsScheduler,
+            CarbonIntensity::from_grams_per_kwh(150.0),
+        );
+        // Deadline is now: must run despite the dirty grid.
+        let queue = vec![job(0, 2, 1.0).deferrable_until(Timestamp::EPOCH)];
+        assert_eq!(s.pick(&queue, &ctx(8, 8, &[], Some(&series))), Some(0));
+    }
+
+    #[test]
+    fn carbon_aware_without_signal_is_transparent() {
+        let mut s = CarbonAwareScheduler::new(
+            FcfsScheduler,
+            CarbonIntensity::from_grams_per_kwh(150.0),
+        );
+        let queue = vec![job(0, 2, 1.0).deferrable_until(Timestamp::from_hours(12.0))];
+        assert_eq!(s.pick(&queue, &ctx(8, 8, &[], None)), Some(0));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(FcfsScheduler.name(), "fcfs");
+        assert_eq!(EasyBackfillScheduler.name(), "easy-backfill");
+        assert_eq!(
+            CarbonAwareScheduler::new(FcfsScheduler, CarbonIntensity::ZERO).name(),
+            "carbon-aware"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the workload simulator's invariants.
+
+use iriscast_units::{Period, SimDuration, Timestamp};
+use iriscast_workload::scheduler::{EasyBackfillScheduler, FcfsScheduler};
+use iriscast_workload::{generate, ClusterSim, Job, WorkloadConfig};
+use proptest::prelude::*;
+
+/// Strategy: a plausible job stream (sorted submits guaranteed by
+/// construction).
+fn job_stream(max_width: u32) -> impl Strategy<Value = Vec<Job>> {
+    prop::collection::vec(
+        (
+            0i64..86_400,          // submit seconds
+            60i64..8 * 3_600,      // runtime
+            1u32..=max_width,      // width
+            0.05f64..1.0,          // utilisation
+        ),
+        1..60,
+    )
+    .prop_map(|mut raw| {
+        raw.sort_by_key(|r| r.0);
+        raw.iter()
+            .enumerate()
+            .map(|(i, &(submit, runtime, nodes, util))| {
+                Job::new(
+                    i as u64,
+                    Timestamp::from_secs(submit),
+                    SimDuration::from_secs(runtime),
+                    nodes,
+                )
+                .with_utilization(util)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No node is ever double-booked, under either policy.
+    #[test]
+    fn no_oversubscription(jobs in job_stream(8)) {
+        let sim = ClusterSim::new(8);
+        for policy in [true, false] {
+            let outcome = if policy {
+                sim.run(jobs.clone(), &mut FcfsScheduler, Period::snapshot_24h())
+            } else {
+                sim.run(jobs.clone(), &mut EasyBackfillScheduler, Period::snapshot_24h())
+            };
+            let mut by_node: Vec<Vec<(i64, i64)>> = vec![Vec::new(); 8];
+            for s in &outcome.scheduled {
+                prop_assert_eq!(s.node_ids.len(), s.job.nodes as usize);
+                for &n in &s.node_ids {
+                    by_node[n as usize].push((s.start.as_secs(), s.end.as_secs()));
+                }
+            }
+            for intervals in by_node.iter_mut() {
+                intervals.sort();
+                for w in intervals.windows(2) {
+                    prop_assert!(w[0].1 <= w[1].0, "overlap {w:?}");
+                }
+            }
+        }
+    }
+
+    /// Conservation: every job is either scheduled or reported unstarted,
+    /// exactly once, and no job starts before submission.
+    #[test]
+    fn job_conservation_and_causality(jobs in job_stream(8)) {
+        let total = jobs.len();
+        let sim = ClusterSim::new(8);
+        let outcome = sim.run(jobs, &mut EasyBackfillScheduler, Period::snapshot_24h());
+        prop_assert_eq!(outcome.scheduled.len() + outcome.unstarted.len(), total);
+        let mut seen = std::collections::HashSet::new();
+        for s in &outcome.scheduled {
+            prop_assert!(seen.insert(s.job.id), "job {} ran twice", s.job.id);
+            prop_assert!(s.start >= s.job.submit, "started before submit");
+            prop_assert_eq!(s.end - s.start, s.job.runtime);
+        }
+        for j in &outcome.unstarted {
+            prop_assert!(seen.insert(j.id), "job {} both ran and queued", j.id);
+        }
+    }
+
+    /// FCFS respects arrival order: start times of scheduled jobs are
+    /// monotone in job id (ids are submit-ordered).
+    #[test]
+    fn fcfs_preserves_order(jobs in job_stream(4)) {
+        let sim = ClusterSim::new(8);
+        let outcome = sim.run(jobs, &mut FcfsScheduler, Period::snapshot_24h());
+        for w in outcome.scheduled.windows(2) {
+            prop_assert!(
+                w[0].job.id < w[1].job.id,
+                "FCFS ran {} before {}",
+                w[1].job.id,
+                w[0].job.id
+            );
+            prop_assert!(w[0].start <= w[1].start);
+        }
+    }
+
+    /// Backfill never lets a job wait longer than under FCFS *for the head
+    /// job*: the head of the queue is never delayed by backfilling.
+    #[test]
+    fn backfill_never_delays_first_blocked_job(jobs in job_stream(6)) {
+        let sim = ClusterSim::new(8);
+        let fcfs = sim.run(jobs.clone(), &mut FcfsScheduler, Period::snapshot_24h());
+        let easy = sim.run(jobs, &mut EasyBackfillScheduler, Period::snapshot_24h());
+        // Compare per-job start times for jobs scheduled under both.
+        let start_of = |o: &iriscast_workload::SimOutcome, id: u64| {
+            o.scheduled.iter().find(|s| s.job.id == id).map(|s| s.start)
+        };
+        // The earliest-submitted job can never start later under EASY.
+        if let (Some(f), Some(e)) = (start_of(&fcfs, 0), start_of(&easy, 0)) {
+            prop_assert!(e <= f, "EASY delayed job 0: {e} vs {f}");
+        }
+    }
+
+    /// Occupancy and utilisation are in [0, 1] and utilisation never
+    /// exceeds occupancy.
+    #[test]
+    fn utilisation_bounds(jobs in job_stream(8)) {
+        let sim = ClusterSim::new(8);
+        let outcome = sim.run(jobs, &mut EasyBackfillScheduler, Period::snapshot_24h());
+        let occ = outcome.occupancy();
+        let util = outcome.mean_utilization();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&occ));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&util));
+        prop_assert!(util <= occ + 1e-9);
+    }
+
+    /// The generator respects its config across seeds.
+    #[test]
+    fn generator_respects_bounds(seed in 0u64..1_000) {
+        let cfg = WorkloadConfig::batch_hpc();
+        let jobs = generate(&cfg, Period::snapshot_24h(), seed);
+        for j in &jobs {
+            prop_assert!(j.nodes >= 1 && j.nodes <= cfg.max_nodes);
+            prop_assert!(j.runtime.as_secs() >= 60);
+            prop_assert!(Period::snapshot_24h().contains(j.submit));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Carbon-aware scheduling: shift deferrable work into green windows.
+//!
+//! The paper's Figure 1 shows the GB grid swinging between ~50 and
+//! ~300 gCO₂/kWh within days. This example runs the same workload through
+//! FCFS and a carbon-aware policy against a simulated November week and
+//! measures the avoided carbon — the paper's future-work direction.
+//!
+//! Run with: `cargo run --release --example carbon_aware_scheduling`
+
+use iriscast::grid::scenario::uk_november_2022;
+use iriscast::model::report::{paper_num, TextTable};
+use iriscast::prelude::*;
+use iriscast::units::{SimDuration, Timestamp};
+use iriscast::workload::metrics::{carbon_by_user, outcome_carbon, wait_stats};
+use iriscast::workload::scheduler::{CarbonAwareScheduler, EasyBackfillScheduler};
+use iriscast::workload::generate;
+
+fn main() {
+    // A week of grid intensity.
+    let grid = uk_november_2022(7).simulate();
+    let week = Period::starting_at(Timestamp::EPOCH, SimDuration::from_days(7));
+    let series = grid.intensity().slice(week).expect("month covers the week");
+    println!(
+        "Grid week: mean {:.0} g/kWh, range {:.0}–{:.0}\n",
+        series.mean().grams_per_kwh(),
+        series.min().grams_per_kwh(),
+        series.max().grams_per_kwh()
+    );
+
+    // A cluster of 64 nodes and a workload where 60% of jobs tolerate a
+    // 12-hour delayed start.
+    let cfg = WorkloadConfig {
+        deferrable_fraction: 0.6,
+        mean_interarrival: SimDuration::from_secs(240),
+        ..WorkloadConfig::batch_hpc()
+    };
+    let jobs = generate(&cfg, week, 11);
+    let model = NodePowerModel::linear(Power::from_watts(120.0), Power::from_watts(550.0));
+    let sim = ClusterSim::new(64);
+
+    // Threshold: start elastic jobs only below the week's median intensity.
+    let threshold = series.percentile(0.5);
+    println!(
+        "Policy threshold: defer elastic jobs while grid > {threshold} (week median)\n"
+    );
+
+    let mut table = TextTable::new(vec![
+        "Policy",
+        "Jobs run",
+        "Occupancy",
+        "Mean wait (h)",
+        "Carbon (kg)",
+    ])
+    .title("One week, 64 nodes, same submitted workload");
+
+    let mut results = Vec::new();
+    {
+        let mut fcfs = EasyBackfillScheduler;
+        let outcome = sim.run_with_intensity(jobs.clone(), &mut fcfs, week, Some(&series));
+        results.push(("EASY backfill", outcome));
+    }
+    {
+        let mut aware = CarbonAwareScheduler::new(EasyBackfillScheduler, threshold);
+        let outcome = sim.run_with_intensity(jobs.clone(), &mut aware, week, Some(&series));
+        results.push(("Carbon-aware", outcome));
+    }
+
+    let mut carbons = Vec::new();
+    for (name, outcome) in &results {
+        let carbon = outcome_carbon(outcome, &model, &series);
+        let waits = wait_stats(outcome).expect("jobs ran");
+        table = table.row(vec![
+            name.to_string(),
+            outcome.scheduled.len().to_string(),
+            format!("{:.1}%", outcome.occupancy() * 100.0),
+            format!("{:.2}", waits.mean.as_hours()),
+            paper_num(carbon.kilograms()),
+        ]);
+        carbons.push(carbon);
+    }
+    println!("{}", table.render());
+
+    let saved = carbons[0] - carbons[1];
+    let pct = saved / carbons[0] * 100.0;
+    println!(
+        "Carbon-aware scheduling avoided {} ({pct:.1}%) at the cost of longer queues.",
+        saved
+    );
+
+    // Usage attribution — who the carbon belongs to (the paper's "what
+    // the DRI was actually being used for").
+    let per_user = carbon_by_user(&results[1].1, &model, &series);
+    println!("\nTop users by attributed carbon (carbon-aware run):");
+    for (user, carbon) in per_user.iter().take(5) {
+        println!("  {user:<16} {carbon}");
+    }
+
+    // Sanity for CI runs of the example: both policies ran the workload
+    // and deferral did not increase emissions.
+    assert!(results[0].1.scheduled.len() > 100);
+    assert!(carbons[1] <= carbons[0]);
+}

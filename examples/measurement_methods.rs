@@ -1,0 +1,107 @@
+//! Measurement-method study: why four meters disagree about one truth.
+//!
+//! Table 2 of the paper shows Turbostat reading ~5% below IPMI, IPMI
+//! ~1.5% below the PDU, and sites where IPMI misses a quarter of the
+//! energy outright. This example reproduces the whole spread on one
+//! simulated site, then demonstrates the cross-calibration correction the
+//! paper recommends ("adjusting in-node energy/power data to reflect the
+//! overheads that are not being collected").
+//!
+//! Run with: `cargo run --example measurement_methods`
+
+use iriscast::model::report::{paper_num, TextTable};
+use iriscast::prelude::*;
+use iriscast::telemetry::quality::{self, MethodAdjustment};
+use iriscast::telemetry::{
+    NodeGroupTelemetry, SiteEnergyReport, SyntheticUtilization,
+};
+use iriscast::units::SimDuration;
+
+fn site(code: &str, nodes: u32, ipmi_coverage: f64, seed: u64) -> SiteTelemetryConfig {
+    let mut cfg = SiteTelemetryConfig::new(
+        code,
+        vec![NodeGroupTelemetry {
+            label: "compute".into(),
+            count: nodes,
+            power_model: NodePowerModel::linear(
+                Power::from_watts(140.0),
+                Power::from_watts(620.0),
+            ),
+        }],
+        seed,
+    );
+    cfg.ipmi_node_coverage = ipmi_coverage;
+    cfg.sample_step = SimDuration::from_secs(60);
+    cfg
+}
+
+fn main() {
+    let day = Period::snapshot_24h();
+    let util = SyntheticUtilization::calibrated(0.62, 3);
+
+    // Site A: everything instrumented, full coverage (a QMUL).
+    // Site B: only IPMI, and a third of the BMCs don't report (a Durham).
+    let full = SiteCollector::new(site("FULL", 100, 1.0, 1)).collect(day, &util, 4);
+    let partial = {
+        let mut cfg = site("PARTIAL", 100, 0.67, 2);
+        cfg.methods = vec![MeterKind::Ipmi];
+        SiteCollector::new(cfg).collect(day, &util, 4)
+    };
+
+    let mut table = TextTable::new(vec!["Method", "FULL site (kWh)", "vs PDU", "PARTIAL site (kWh)"])
+        .title("The same physical truth through four instruments");
+    let pdu_full = full.energy(MeterKind::Pdu).unwrap().kilowatt_hours();
+    for kind in MeterKind::ALL {
+        let f = full.energy(kind).map(|e| e.kilowatt_hours());
+        let p = partial.energy(kind).map(|e| e.kilowatt_hours());
+        table = table.row(vec![
+            kind.to_string(),
+            f.map_or_else(|| "-".into(), paper_num),
+            f.map_or("-".into(), |v| format!("{:+.1}%", (v / pdu_full - 1.0) * 100.0)),
+            p.map_or_else(|| "-".into(), paper_num),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "True wall energy: FULL {} | PARTIAL {}\n",
+        full.true_energy(),
+        partial.true_energy()
+    );
+
+    // Cross-calibration: fit IPMI→PDU on the fully instrumented site,
+    // apply it to the IPMI-only site.
+    let rows: Vec<SiteEnergyReport> = vec![
+        SiteEnergyReport::from_result(&full),
+        SiteEnergyReport::from_result(&partial),
+    ];
+    let adj = MethodAdjustment::fit(&rows, MeterKind::Ipmi, MeterKind::Pdu)
+        .expect("FULL site has both methods");
+    println!(
+        "Fitted IPMI→PDU factor on {:?}: ×{:.4}",
+        adj.calibrated_on, adj.factor
+    );
+
+    let raw = partial.energy(MeterKind::Ipmi).unwrap();
+    let corrected = adj.apply(raw);
+    let truth = partial.true_energy();
+    println!(
+        "PARTIAL site: raw IPMI {} → corrected {} (truth {})",
+        raw, corrected, truth
+    );
+    let raw_err = (raw.kilowatt_hours() / truth.kilowatt_hours() - 1.0) * 100.0;
+    let cor_err = (corrected.kilowatt_hours() / truth.kilowatt_hours() - 1.0) * 100.0;
+    println!("Error vs truth: raw {raw_err:+.1}% → corrected {cor_err:+.1}%");
+    println!(
+        "\nNote: the fitted factor corrects the *instrument* bias it saw at the FULL site \
+         (−1.5%), not the PARTIAL site's missing BMCs (−33%) — matching the paper's warning \
+         that per-site coverage must be understood before adjustment."
+    );
+
+    // Data-quality report across the two sites.
+    let q = quality::assess(&rows);
+    println!(
+        "\nQuality: {:.0}% of site×method cells populated; worst spread {:?}",
+        q.completeness * 100.0,
+        q.worst_spread
+    );
+}

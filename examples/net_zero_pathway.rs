@@ -1,0 +1,94 @@
+//! Net-zero pathway: when does embodied carbon take over?
+//!
+//! Quantifies the paper's §6 outlook — "the embodied carbon will come to
+//! dominate the climate impact of such systems" — by projecting the IRIS
+//! estate along a GB grid-decarbonisation trajectory and locating the
+//! crossover year, including its sensitivity to hardware lifespan. Also
+//! itemises the network term of equation (2) that the paper could not
+//! meter.
+//!
+//! Run with: `cargo run --example net_zero_pathway`
+
+use iriscast::model::netzero::{
+    crossover_year, project, DecarbonisationPathway, SteadyStateDri,
+};
+use iriscast::model::report::{ascii_bar, TextTable};
+use iriscast::prelude::*;
+use iriscast::telemetry::SiteNetwork;
+
+fn main() {
+    let pathway = DecarbonisationPathway::gb_default();
+    let dri = SteadyStateDri::iris_central();
+    let projection = project(&dri, &pathway, 24);
+
+    println!(
+        "IRIS steady state: {:.1} MWh/day IT × {}, {} servers on a {:.0}-year refresh at {} each\n",
+        dri.daily_it_energy.megawatt_hours(),
+        dri.pue,
+        dri.servers,
+        dri.lifespan_years,
+        dri.embodied_per_server,
+    );
+
+    println!("Projection along the GB decarbonisation pathway:");
+    println!("  year   grid     active    embodied  share  (# = embodied share of daily total)");
+    for y in &projection {
+        println!(
+            "  {}  {:>3.0} g/kWh  {:>5.0} kg  {:>5.0} kg   {:>3.0}%  |{}|",
+            y.year,
+            y.intensity.grams_per_kwh(),
+            y.active.kilograms(),
+            y.embodied.kilograms(),
+            y.embodied_share * 100.0,
+            ascii_bar(y.embodied_share, 0.0, 1.0, 30),
+        );
+    }
+
+    match crossover_year(&projection) {
+        Some(year) => println!(
+            "\n→ Embodied carbon overtakes active carbon in {year} under central assumptions."
+        ),
+        None => println!("\n→ No crossover within the projection window."),
+    }
+
+    // Sensitivity: the one lever operators control directly is lifespan.
+    let mut t = TextTable::new(vec!["Refresh cycle", "Crossover year", "Embodied share in 2035"])
+        .title("\nSensitivity to hardware lifespan");
+    for years in [3.0, 5.0, 7.0, 9.0] {
+        let mut v = dri.clone();
+        v.lifespan_years = years;
+        let proj = project(&v, &pathway, 40);
+        let cross = crossover_year(&proj)
+            .map(|y| y.to_string())
+            .unwrap_or_else(|| "-".into());
+        let in_2035 = proj.iter().find(|y| y.year == 2035).expect("in range");
+        t = t.row(vec![
+            format!("{years:.0} years"),
+            cross,
+            format!("{:.0}%", in_2035.embodied_share * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // The network term of eq. (2), itemised for the whole federation.
+    let fleet = iriscast::inventory::iris::iris_fleet();
+    let day = Period::snapshot_24h();
+    let mut total_network = Energy::ZERO;
+    println!("Network estate (eq. 2's E_network, unmetered in the paper):");
+    for site in fleet.sites() {
+        let net = SiteNetwork::sized_for(site.monitored_nodes().max(1));
+        let e = net.energy(day, 0.8);
+        total_network += e;
+        println!(
+            "  {:<11} {:>3} devices  {:>6.1} kWh/day",
+            site.code,
+            net.device_count(),
+            e.kilowatt_hours()
+        );
+    }
+    println!(
+        "  federation network total ≈ {:.0} kWh/day ({:.1}% of the 18,760 kWh node total)",
+        total_network.kilowatt_hours(),
+        total_network.kilowatt_hours() / 18_760.0 * 100.0
+    );
+}

@@ -1,0 +1,94 @@
+//! Quickstart: assess a small research cluster in a few calls.
+//!
+//! Builds a 12-node toy DRI, simulates a day of telemetry, and produces a
+//! total-carbon assessment with the paper's scenario ranges.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use iriscast::model::report::{paper_num, TextTable};
+use iriscast::prelude::*;
+use iriscast::telemetry::{NodeGroupTelemetry, SyntheticUtilization};
+
+fn main() {
+    // 1. Describe the hardware: one rack of dual-socket workers.
+    let node = NodeBuilder::new("worker")
+        .role(NodeRole::Compute)
+        .cpu("epyc-7452", 32, 600.0, Power::from_watts(155.0))
+        .cpu("epyc-7452", 32, 600.0, Power::from_watts(155.0))
+        .dram_gb(256.0)
+        .ssd_gb(960.0)
+        .mainboard_cm2(2_000.0)
+        .psus(2, Power::from_watts(1_100.0))
+        .chassis_kg(18.0)
+        .nic(25.0)
+        .idle_power(Power::from_watts(120.0))
+        .max_power(Power::from_watts(550.0))
+        .build();
+
+    // The component model prices its embodied carbon under three factor
+    // presets (bracketing manufacturer LCA sheets).
+    let low = node.embodied(&EmbodiedFactors::low());
+    let typical = node.embodied(&EmbodiedFactors::typical());
+    let high = node.embodied(&EmbodiedFactors::high());
+    println!("Per-node embodied carbon: {low} / {typical} / {high}\n");
+
+    // 2. Simulate a day of measured power for 12 such nodes.
+    let config = SiteTelemetryConfig::new(
+        "DEMO",
+        vec![NodeGroupTelemetry {
+            label: node.name().to_string(),
+            count: 12,
+            power_model: NodePowerModel::linear(node.idle_power(), node.max_power()),
+        }],
+        42,
+    );
+    let collector = SiteCollector::new(config);
+    let util = SyntheticUtilization::calibrated(0.6, 7);
+    let day = Period::snapshot_24h();
+    let result = collector.collect(day, &util, 4);
+
+    let table = TextTable::new(vec!["Method", "Energy (kWh)"])
+        .title("Measured energy, 24 h, 12 nodes")
+        .row(vec![
+            "Facility".to_string(),
+            paper_num(result.energy(MeterKind::Facility).unwrap().kilowatt_hours()),
+        ])
+        .row(vec![
+            "PDU".to_string(),
+            paper_num(result.energy(MeterKind::Pdu).unwrap().kilowatt_hours()),
+        ])
+        .row(vec![
+            "IPMI".to_string(),
+            paper_num(result.energy(MeterKind::Ipmi).unwrap().kilowatt_hours()),
+        ])
+        .row(vec![
+            "Turbostat".to_string(),
+            paper_num(
+                result
+                    .energy(MeterKind::Turbostat)
+                    .unwrap()
+                    .kilowatt_hours(),
+            ),
+        ]);
+    println!("{}", table.render());
+
+    // 3. Assess: active (CI × PUE ranges) + embodied (lifespan sweep).
+    let energy = result.best_estimate().expect("facility meter present");
+    let mut params = AssessmentParams::paper();
+    params.servers = 12;
+    params.embodied_per_server = iriscast::units::Bounds::new(low, high);
+    let assessment = SnapshotAssessment::run(energy, &params);
+
+    println!("Assessment: {}", assessment.assessment);
+    let total = assessment.assessment.total();
+    println!(
+        "Embodied share: {:.0}%–{:.0}%",
+        assessment.assessment.embodied_share().lo * 100.0,
+        assessment.assessment.embodied_share().hi * 100.0
+    );
+    println!(
+        "Equivalent to {:.2}–{:.2} continuous 24 h passenger flights",
+        assessment.equivalents.lo.flight_days, assessment.equivalents.hi.flight_days
+    );
+    assert!(total.lo < total.hi);
+}

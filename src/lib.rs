@@ -1,0 +1,67 @@
+//! # iriscast — total environmental impact assessment for computing infrastructures
+//!
+//! A production-quality Rust implementation of the IRISCAST methodology
+//! (Jackson et al., *Evaluating Total Environmental Impact for a Computing
+//! Infrastructure*, SC 2023 Workshops): assess the full climate impact of
+//! a digital research infrastructure as
+//!
+//! > **total = active + embodied**
+//!
+//! where *active* carbon is measured energy × grid carbon intensity ×
+//! facility overheads, and *embodied* carbon is manufacturing emissions
+//! amortised over hardware lifetime — each evaluated as low/medium/high
+//! scenario ranges.
+//!
+//! This facade re-exports the whole toolkit:
+//!
+//! | Module | Crate | Provides |
+//! |---|---|---|
+//! | [`units`] | `iriscast-units` | dimensional types: [`units::Energy`], [`units::Power`], [`units::CarbonMass`], [`units::CarbonIntensity`], [`units::Pue`], simulation time |
+//! | [`inventory`] | `iriscast-inventory` | hardware catalog + component-level embodied carbon, incl. the IRIS dataset |
+//! | [`grid`] | `iriscast-grid` | GB grid generation/carbon-intensity simulator (Figure 1's substrate) |
+//! | [`telemetry`] | `iriscast-telemetry` | facility/PDU/IPMI/Turbostat measurement stack (Table 2's substrate) |
+//! | [`workload`] | `iriscast-workload` | job generator + FCFS/backfill/carbon-aware schedulers |
+//! | [`model`] | `iriscast-model` | the carbon model: assessments, sweeps, reports, paper constants |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use iriscast::prelude::*;
+//!
+//! // Energy measured for a 24 h window, paper parameters for everything
+//! // else: the full assessment in two lines.
+//! let energy = Energy::from_kilowatt_hours(19_380.0);
+//! let report = SnapshotAssessment::run(energy, &AssessmentParams::paper());
+//! let total = report.assessment.total();
+//! assert!(total.lo.kilograms() > 1_000.0);
+//! assert!(total.hi.kilograms() < 12_000.0);
+//! ```
+//!
+//! ## Reproducing the paper
+//!
+//! Run `cargo run -p iriscast-bench --bin repro` to regenerate every table
+//! and figure with paper-vs-measured columns, or see `examples/` for
+//! guided scenarios.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub use iriscast_grid as grid;
+pub use iriscast_inventory as inventory;
+pub use iriscast_model as model;
+pub use iriscast_telemetry as telemetry;
+pub use iriscast_units as units;
+pub use iriscast_workload as workload;
+
+/// The most commonly used types across the toolkit, in one import.
+pub mod prelude {
+    pub use iriscast_grid::{GridScenario, IntensitySeries};
+    pub use iriscast_inventory::{EmbodiedFactors, Fleet, NodeBuilder, NodeRole, NodeSpec};
+    pub use iriscast_model::assessment::{AssessmentParams, SnapshotAssessment};
+    pub use iriscast_model::model::CarbonAssessment;
+    pub use iriscast_telemetry::{
+        MeterKind, NodePowerModel, SiteCollector, SiteTelemetryConfig, UtilizationSource,
+    };
+    pub use iriscast_units::prelude::*;
+    pub use iriscast_workload::{ClusterSim, Job, WorkloadConfig};
+}

@@ -1,0 +1,137 @@
+//! Integration: regenerate every published table and check it against the
+//! paper, exercising the full crate stack (inventory → telemetry → grid →
+//! model).
+
+use iriscast::grid::scenario::uk_november_2022;
+use iriscast::model::iris::IrisScenario;
+use iriscast::model::{paper, AssessmentParams, SnapshotAssessment};
+use iriscast::prelude::*;
+use iriscast::units::SimDuration;
+
+/// Table 1: the encoded inventory matches the published hardware summary.
+#[test]
+fn table1_inventory_matches() {
+    let fleet = iriscast::inventory::iris::iris_fleet();
+    let expect: [(&str, u32, u32); 6] = [
+        ("QMUL", 118, 0),
+        ("CAM", 60, 0),
+        ("DUR", 808, 64),
+        ("STFC-CLOUD", 651, 105),
+        ("STFC-SCARF", 699, 0),
+        ("IMP", 241, 0),
+    ];
+    for (code, compute, storage) in expect {
+        let site = fleet.site(code).unwrap();
+        let listed_compute: u32 = site
+            .groups
+            .iter()
+            .filter(|g| g.listed_in_summary && g.spec.role() == NodeRole::Compute)
+            .map(|g| g.count)
+            .sum();
+        let listed_storage: u32 = site
+            .groups
+            .iter()
+            .filter(|g| g.listed_in_summary && g.spec.role() == NodeRole::Storage)
+            .map(|g| g.count)
+            .sum();
+        assert_eq!(listed_compute, compute, "{code} compute");
+        assert_eq!(listed_storage, storage, "{code} storage");
+    }
+    assert_eq!(fleet.monitored_nodes(), 2_462);
+    assert_eq!(fleet.monitored_servers(), paper::AMORTISATION_FLEET_SERVERS);
+}
+
+/// Table 2: the calibrated telemetry simulation lands on every published
+/// cell within 2%, with the right cells missing.
+#[test]
+fn table2_simulation_matches() {
+    let scenario =
+        IrisScenario::paper_snapshot(7).with_sample_step(SimDuration::from_secs(300));
+    let result = scenario.simulate(4);
+    for (row, published) in result.rows.iter().zip(paper::TABLE2_ROWS.iter()) {
+        for (got, want, what) in [
+            (row.energies.facility, published.facility_kwh, "facility"),
+            (row.energies.pdu, published.pdu_kwh, "pdu"),
+            (row.energies.ipmi, published.ipmi_kwh, "ipmi"),
+            (row.energies.turbostat, published.turbostat_kwh, "turbostat"),
+        ] {
+            match (got, want) {
+                (Some(g), Some(w)) => {
+                    let rel = (g.kilowatt_hours() - w).abs() / w;
+                    assert!(rel < 0.02, "{}/{what}: {rel:.3} off", row.site);
+                }
+                (None, None) => {}
+                _ => panic!("{}/{what}: cell presence mismatch", row.site),
+            }
+        }
+    }
+    let total = result.total().kilowatt_hours();
+    assert!((total - paper::TABLE2_TOTAL_KWH).abs() / paper::TABLE2_TOTAL_KWH < 0.02);
+}
+
+/// Figure 1: the grid scenario shows the month's structure the references
+/// were read from.
+#[test]
+fn figure1_grid_shape() {
+    let sim = uk_november_2022(3).simulate();
+    let series = sim.intensity();
+    let daily = series.daily_means();
+    assert_eq!(daily.len(), 30);
+    // The figure's visual: mean in the high-100s, busy swings.
+    let mean = series.mean().grams_per_kwh();
+    assert!((120.0..=240.0).contains(&mean), "monthly mean {mean}");
+    let refs = series.reference_values();
+    assert!(refs.low.grams_per_kwh() < 120.0);
+    assert!(refs.high.grams_per_kwh() > 230.0);
+    // The paper's 50/175/300 are within the plausible reading band of our
+    // percentiles across seeds; check ordering and coverage here.
+    assert!(refs.low < refs.mid && refs.mid < refs.high);
+}
+
+/// Tables 3 & 4 and the §6 summary: exact from published inputs.
+#[test]
+fn tables3_4_and_summary_exact() {
+    let a = SnapshotAssessment::paper_exact();
+    for i in 0..3 {
+        for j in 0..3 {
+            assert!(
+                (a.active.cells[i][j].kilograms() - paper::TABLE3_WITH_FACILITIES_KG[i][j]).abs()
+                    < 1.5,
+                "table 3 cell [{i}][{j}]"
+            );
+        }
+    }
+    for (row, (years, _, _, f400, f1100)) in a.embodied.rows.iter().zip(paper::TABLE4_ROWS) {
+        assert_eq!(row.lifespan_years, years);
+        assert!((row.fleet_snapshot.lo.kilograms() - f400).abs() < 1.0);
+        assert!((row.fleet_snapshot.hi.kilograms() - f1100).abs() < 1.0);
+    }
+    let total = a.assessment.total();
+    assert!((total.lo.kilograms() - 1_441.0).abs() < 2.0);
+    assert!((total.hi.kilograms() - 11_711.0).abs() < 2.0);
+}
+
+/// The end-to-end chain: simulated Table 2 energy through the assessment
+/// pipeline preserves the paper's qualitative conclusions.
+#[test]
+fn end_to_end_conclusions_hold() {
+    let scenario =
+        IrisScenario::paper_snapshot(99).with_sample_step(SimDuration::from_secs(600));
+    let result = scenario.simulate(4);
+    let a = SnapshotAssessment::run(result.total(), &AssessmentParams::paper());
+
+    // Conclusion 1: embodied is the smaller component in most scenarios.
+    let share = a.assessment.embodied_share();
+    assert!(share.hi < 0.5, "embodied share {share}");
+
+    // Conclusion 2: the snapshot is worth "1 to 4" 24-hour flights
+    // (extremes land just outside, as in the paper's own rounding).
+    assert!(a.equivalents.lo.flight_days < 1.5);
+    assert!(a.equivalents.hi.flight_days > 3.5);
+
+    // Conclusion 3: active dominates ⇒ the active range is wider than the
+    // embodied range.
+    let active_span = a.assessment.active.hi - a.assessment.active.lo;
+    let embodied_span = a.assessment.embodied.hi - a.assessment.embodied.lo;
+    assert!(active_span > embodied_span);
+}

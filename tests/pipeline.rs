@@ -1,0 +1,234 @@
+//! Integration: cross-crate pipelines, determinism, and failure injection.
+
+use iriscast::grid::scenario::uk_november_2022;
+use iriscast::model::active::active_carbon_series;
+use iriscast::prelude::*;
+use iriscast::telemetry::{
+    GapPolicy, MeterErrorModel, NodeGroupTelemetry, PowerMeter, SyntheticUtilization,
+};
+use iriscast::units::{SimDuration, Timestamp};
+use iriscast::workload::metrics::outcome_carbon;
+use iriscast::workload::scheduler::{CarbonAwareScheduler, EasyBackfillScheduler};
+use iriscast::workload::{generate, offered_load};
+
+fn demo_config(seed: u64) -> SiteTelemetryConfig {
+    let mut cfg = SiteTelemetryConfig::new(
+        "PIPE",
+        vec![NodeGroupTelemetry {
+            label: "compute".into(),
+            count: 64,
+            power_model: NodePowerModel::linear(
+                Power::from_watts(120.0),
+                Power::from_watts(550.0),
+            ),
+        }],
+        seed,
+    );
+    cfg.sample_step = SimDuration::from_secs(300);
+    cfg
+}
+
+/// Workload → trace → telemetry → grid → carbon: the full loop closes and
+/// the two independent carbon accountings (telemetry-side and
+/// scheduler-side) agree.
+#[test]
+fn workload_drives_telemetry_consistently() {
+    let day = Period::snapshot_24h();
+    let jobs = generate(&WorkloadConfig::batch_hpc(), day, 5);
+    let sim = ClusterSim::new(64);
+    let mut policy = EasyBackfillScheduler;
+    let outcome = sim.run(jobs, &mut policy, day);
+    assert!(outcome.occupancy() > 0.3, "workload too light to be a test");
+
+    // Route the schedule into the telemetry collector as a trace.
+    let trace = outcome.to_trace(SimDuration::from_secs(300));
+    let collector = SiteCollector::new(demo_config(1));
+    let result = collector.collect(day, &trace, 4);
+
+    // The collector's true energy must equal the analytic energy of the
+    // schedule: idle floor + per-job marginal energy, clipped to the
+    // window (backfilled jobs may run past midnight; the telemetry stops
+    // at the window edge).
+    let model = NodePowerModel::linear(Power::from_watts(120.0), Power::from_watts(550.0));
+    let idle = model.wall_power(0.0) * 64.0 * day.duration();
+    let marginal: Energy = outcome
+        .scheduled
+        .iter()
+        .map(|s| {
+            let span = Period::new(s.start, s.end);
+            iriscast::workload::metrics::job_energy(s, &model, true)
+                * span.overlap_fraction(&day)
+        })
+        .sum();
+    let expected = idle + marginal;
+    let got = result.true_energy();
+    let rel = (got.kilowatt_hours() - expected.kilowatt_hours()).abs()
+        / expected.kilowatt_hours();
+    // Trace discretisation (300 s slots vs exact intervals) costs a little.
+    assert!(rel < 0.02, "telemetry {got} vs analytic {expected} ({rel:.4})");
+}
+
+/// Active carbon via the time-aligned series equals scalar × mean for an
+/// uncorrelated load, and the whole chain is deterministic.
+#[test]
+fn energy_series_times_grid_is_stable() {
+    let day = Period::snapshot_24h();
+    let collector = SiteCollector::new(demo_config(9));
+    let util = SyntheticUtilization::calibrated(0.5, 4);
+    let result = collector.collect(day, &util, 2);
+    let energy_series = result
+        .series(MeterKind::Pdu)
+        .unwrap()
+        .to_energy_series(SimDuration::SETTLEMENT_PERIOD, GapPolicy::HoldLast);
+
+    let grid = uk_november_2022(1).simulate();
+    let day_grid = grid.intensity().slice(day).unwrap();
+    let aligned = active_carbon_series(&energy_series, &day_grid);
+    let scalar = energy_series.total() * day_grid.mean();
+    // The demo load is only weakly correlated with the within-day grid
+    // swings; the aligned figure differs from the scalar one by a bounded
+    // factor. (Against the *monthly* mean the gap can exceed 50% — which
+    // is exactly why the snapshot day matters.)
+    let ratio = aligned / scalar;
+    assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
+    let month_scalar = energy_series.total() * grid.intensity().mean();
+    assert!(
+        (aligned / month_scalar - 1.0).abs() < 0.8,
+        "sanity: month-mean scalar is the wrong baseline but not absurd"
+    );
+
+    // Determinism end to end.
+    let again = SiteCollector::new(demo_config(9)).collect(day, &util, 8);
+    assert_eq!(result, again);
+}
+
+/// Meter dropout and gap policies: a lossy instrument still yields a
+/// usable energy figure.
+#[test]
+fn dropout_resilience() {
+    let day = Period::snapshot_24h();
+    let mut cfg = demo_config(21);
+    cfg.sample_step = SimDuration::from_secs(120);
+    let collector = SiteCollector::new(cfg);
+    let util = FlatUtil(0.6);
+    let clean = collector.collect(day, &util, 2);
+
+    // A badly degraded IPMI estate: 30% dropout per sample.
+    let degraded = MeterErrorModel {
+        dropout: 0.3,
+        ..PowerMeter::standard(MeterKind::Ipmi).error
+    };
+    // Dropout is bridged by per-node hold-last inside the collector; even
+    // heavy loss must not collapse the energy figure. We emulate the
+    // degradation by zeroing a random 30% of the clean series and
+    // hold-filling — the same mechanism the collector applies.
+    let mut series = clean.series(MeterKind::Ipmi).unwrap().clone();
+    let n = series.len();
+    for i in 0..n {
+        if (i * 2_654_435_761) % 10 < 3 {
+            series.watts_mut()[i] = f64::NAN;
+        }
+    }
+    assert!(series.valid_fraction() < 0.8);
+    let healed = series.integrate(GapPolicy::HoldLast);
+    let clean_e = clean.energy(MeterKind::Ipmi).unwrap();
+    let rel = (healed.kilowatt_hours() - clean_e.kilowatt_hours()).abs()
+        / clean_e.kilowatt_hours();
+    assert!(rel < 0.02, "healed energy {rel:.3} off clean");
+    let _ = degraded; // the error model itself is unit-tested in-crate
+}
+
+/// Carbon-aware scheduling beats plain backfill on carbon for a workload
+/// with slack, across several seeds.
+#[test]
+fn carbon_aware_saves_carbon() {
+    let week = Period::starting_at(Timestamp::EPOCH, SimDuration::from_days(7));
+    let grid = uk_november_2022(17).simulate();
+    let series = grid.intensity().slice(week).unwrap();
+    let model = NodePowerModel::linear(Power::from_watts(120.0), Power::from_watts(550.0));
+    let cfg = WorkloadConfig {
+        deferrable_fraction: 0.6,
+        mean_interarrival: SimDuration::from_secs(300),
+        ..WorkloadConfig::batch_hpc()
+    };
+    let mut wins = 0;
+    for seed in 0..3 {
+        let jobs = generate(&cfg, week, seed);
+        assert!(offered_load(&jobs, 64, week) < 1.0, "keep the test un-saturated");
+        let sim = ClusterSim::new(64);
+        let base = sim.run_with_intensity(
+            jobs.clone(),
+            &mut EasyBackfillScheduler,
+            week,
+            Some(&series),
+        );
+        let mut aware_policy =
+            CarbonAwareScheduler::new(EasyBackfillScheduler, series.percentile(0.4));
+        let aware = sim.run_with_intensity(jobs, &mut aware_policy, week, Some(&series));
+        let c_base = outcome_carbon(&base, &model, &series);
+        let c_aware = outcome_carbon(&aware, &model, &series);
+        if c_aware < c_base {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 2, "carbon-aware won only {wins}/3 seeds");
+}
+
+/// Acting on a *forecast* (the operationally honest setting) still saves
+/// carbon measured against the actuals.
+#[test]
+fn forecast_driven_scheduling_still_saves() {
+    use iriscast::grid::DayAheadForecaster;
+    let week = Period::starting_at(Timestamp::EPOCH, SimDuration::from_days(7));
+    // Forecast needs a day of history: simulate 8 days, act on days 1–8.
+    let grid = uk_november_2022(23).simulate();
+    let actual = grid
+        .intensity()
+        .slice(Period::new(Timestamp::EPOCH, Timestamp::from_days(8)))
+        .unwrap();
+    let forecast = DayAheadForecaster::gb_default().forecast_series(&actual);
+    let act_week = actual
+        .slice(Period::new(Timestamp::from_days(1), Timestamp::from_days(8)))
+        .unwrap();
+    let fct_week = forecast
+        .slice(Period::new(Timestamp::from_days(1), Timestamp::from_days(8)))
+        .unwrap();
+
+    let cfg = WorkloadConfig {
+        deferrable_fraction: 0.6,
+        mean_interarrival: SimDuration::from_secs(300),
+        ..WorkloadConfig::batch_hpc()
+    };
+    let play_week = Period::new(Timestamp::from_days(1), Timestamp::from_days(8));
+    let jobs = generate(&cfg, play_week, 31);
+    let model = NodePowerModel::linear(Power::from_watts(120.0), Power::from_watts(550.0));
+    let sim = ClusterSim::new(64);
+
+    let base = sim.run_with_intensity(
+        jobs.clone(),
+        &mut EasyBackfillScheduler,
+        play_week,
+        Some(&act_week),
+    );
+    // The carbon-aware policy *sees the forecast*, but is *scored on
+    // actuals*.
+    let mut aware = CarbonAwareScheduler::new(EasyBackfillScheduler, fct_week.percentile(0.4));
+    let aware_outcome =
+        sim.run_with_intensity(jobs, &mut aware, play_week, Some(&fct_week));
+
+    let c_base = outcome_carbon(&base, &model, &act_week);
+    let c_aware = outcome_carbon(&aware_outcome, &model, &act_week);
+    assert!(
+        c_aware.kilograms() < c_base.kilograms(),
+        "forecast-driven deferral should still save: {c_aware:?} vs {c_base:?}"
+    );
+    let _ = week;
+}
+
+/// Minimal shim: a constant utilisation source for tests.
+struct FlatUtil(f64);
+impl iriscast::telemetry::UtilizationSource for FlatUtil {
+    fn utilization(&self, _node: u64, _t: Timestamp) -> f64 {
+        self.0
+    }
+}
