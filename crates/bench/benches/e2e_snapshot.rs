@@ -19,8 +19,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let telemetry = bench_iris_scenario(2022).simulate(8);
             let _grid = uk_november_2022(2022).simulate();
-            let assessment =
-                SnapshotAssessment::run(telemetry.total(), &AssessmentParams::paper());
+            let assessment = SnapshotAssessment::run(telemetry.total(), &AssessmentParams::paper());
             black_box(assessment)
         })
     });

@@ -82,14 +82,20 @@ fn table1() {
 }
 
 fn table2(print: bool) -> Energy {
-    let scenario =
-        IrisScenario::paper_snapshot(SEED).with_sample_step(SimDuration::from_secs(60));
+    let scenario = IrisScenario::paper_snapshot(SEED).with_sample_step(SimDuration::from_secs(60));
     let result = scenario.simulate(8);
     if print {
         let mut t = TextTable::new(vec![
-            "Site", "Facility", "PDU", "IPMI", "Turbostat", "Nodes",
+            "Site",
+            "Facility",
+            "PDU",
+            "IPMI",
+            "Turbostat",
+            "Nodes",
         ])
-        .title("Table 2: active energy for the snapshot period (kWh) — simulated (paper in parens)");
+        .title(
+            "Table 2: active energy for the snapshot period (kWh) — simulated (paper in parens)",
+        );
         let cell = |sim: Option<Energy>, pub_kwh: Option<f64>| match (sim, pub_kwh) {
             (Some(s), Some(p)) => format!("{} ({})", paper_num(s.kilowatt_hours()), paper_num(p)),
             (None, None) => "-".to_string(),
@@ -133,9 +139,7 @@ fn fig1() {
         series.max().grams_per_kwh()
     );
     let refs = series.reference_values();
-    println!(
-        "  reference reading (p5/median/p95): {refs}   — paper adopts 50 / 175 / 300\n"
-    );
+    println!("  reference reading (p5/median/p95): {refs}   — paper adopts 50 / 175 / 300\n");
     for (day, mean) in series.daily_means() {
         println!(
             "  Nov {:>2}  {:>3.0} g/kWh |{}|",
@@ -153,17 +157,18 @@ fn table3(simulated: Energy) {
     // …and from our simulated Table 2 total.
     let ours = SnapshotAssessment::run(simulated, &AssessmentParams::paper());
 
-    let mut t = TextTable::new(vec![
-        "Metric", "Low", "Medium", "High",
-    ])
-    .title("Table 3: active carbon estimates (kgCO2) — paper-exact inputs");
+    let mut t = TextTable::new(vec!["Metric", "Low", "Medium", "High"])
+        .title("Table 3: active carbon estimates (kgCO2) — paper-exact inputs");
     t = t.row(vec![
         "Active energy carbon".to_string(),
         paper_num(exact.active.base.low.kilograms()),
         paper_num(exact.active.base.mid.kilograms()),
         paper_num(exact.active.base.high.kilograms()),
     ]);
-    for (i, label) in ["CI low (50)", "CI med (175)", "CI high (300)"].iter().enumerate() {
+    for (i, label) in ["CI low (50)", "CI med (175)", "CI high (300)"]
+        .iter()
+        .enumerate()
+    {
         t = t.row(vec![
             format!("{label} × PUE row"),
             paper_num(exact.active.cells[i][0].kilograms()),

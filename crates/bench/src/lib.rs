@@ -36,10 +36,7 @@ pub fn synthetic_site(nodes: u32, seed: u64) -> SiteTelemetryConfig {
         vec![NodeGroupTelemetry {
             label: "compute".into(),
             count: nodes,
-            power_model: NodePowerModel::linear(
-                Power::from_watts(140.0),
-                Power::from_watts(620.0),
-            ),
+            power_model: NodePowerModel::linear(Power::from_watts(140.0), Power::from_watts(620.0)),
         }],
         seed,
     );

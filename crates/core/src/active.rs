@@ -147,11 +147,8 @@ mod tests {
                 .collect(),
         );
         let ci = CarbonIntensity::from_grams_per_kwh(175.0);
-        let series = IntensitySeries::constant(
-            Period::snapshot_24h(),
-            SimDuration::SETTLEMENT_PERIOD,
-            ci,
-        );
+        let series =
+            IntensitySeries::constant(Period::snapshot_24h(), SimDuration::SETTLEMENT_PERIOD, ci);
         let via_series = active_carbon_series(&energy, &series);
         let via_scalar = active_carbon(energy.total(), ci);
         assert!((via_series.grams() - via_scalar.grams()).abs() < 1e-6);
@@ -184,11 +181,8 @@ mod tests {
         );
         let mut slots = vec![Energy::from_kilowatt_hours(2.0); 24];
         slots.extend(vec![Energy::from_kilowatt_hours(0.0); 24]);
-        let dirty_loaded = EnergySeries::new(
-            Timestamp::EPOCH,
-            SimDuration::SETTLEMENT_PERIOD,
-            slots,
-        );
+        let dirty_loaded =
+            EnergySeries::new(Timestamp::EPOCH, SimDuration::SETTLEMENT_PERIOD, slots);
         let aligned = active_carbon_series(&dirty_loaded, &grid);
         let scalar = active_carbon(dirty_loaded.total(), grid.mean());
         assert!(

@@ -233,21 +233,19 @@ mod tests {
         for (row, published) in result.rows.iter().zip(paper::TABLE2_ROWS.iter()) {
             assert_eq!(row.site, published.site);
             assert_eq!(row.nodes, published.nodes);
-            let check = |got: Option<Energy>, want: Option<f64>, what: &str| {
-                match (got, want) {
-                    (Some(g), Some(w)) => {
-                        let rel = (g.kilowatt_hours() - w).abs() / w;
-                        assert!(
-                            rel < 0.02,
-                            "{}/{what}: simulated {:.0} vs published {w:.0} ({:.1}% off)",
-                            row.site,
-                            g.kilowatt_hours(),
-                            rel * 100.0
-                        );
-                    }
-                    (None, None) => {}
-                    (g, w) => panic!("{}/{what}: presence mismatch {g:?} vs {w:?}", row.site),
+            let check = |got: Option<Energy>, want: Option<f64>, what: &str| match (got, want) {
+                (Some(g), Some(w)) => {
+                    let rel = (g.kilowatt_hours() - w).abs() / w;
+                    assert!(
+                        rel < 0.02,
+                        "{}/{what}: simulated {:.0} vs published {w:.0} ({:.1}% off)",
+                        row.site,
+                        g.kilowatt_hours(),
+                        rel * 100.0
+                    );
                 }
+                (None, None) => {}
+                (g, w) => panic!("{}/{what}: presence mismatch {g:?} vs {w:?}", row.site),
             };
             check(row.energies.facility, published.facility_kwh, "facility");
             check(row.energies.pdu, published.pdu_kwh, "pdu");

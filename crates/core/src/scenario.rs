@@ -156,9 +156,7 @@ mod tests {
             paper::AMORTISATION_FLEET_SERVERS,
         );
         assert_eq!(sweep.rows.len(), 5);
-        for (row, (years, d400, d1100, f400, f1100)) in
-            sweep.rows.iter().zip(paper::TABLE4_ROWS)
-        {
+        for (row, (years, d400, d1100, f400, f1100)) in sweep.rows.iter().zip(paper::TABLE4_ROWS) {
             assert_eq!(row.lifespan_years, years);
             assert!((row.per_server_daily.lo.kilograms() - d400).abs() < 0.01);
             assert!((row.per_server_daily.hi.kilograms() - d1100).abs() < 0.01);

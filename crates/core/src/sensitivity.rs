@@ -44,22 +44,13 @@ impl SensitivityInputs {
         }
     }
 
-    fn total(
-        &self,
-        kwh: f64,
-        ci: f64,
-        pue: f64,
-        embodied: f64,
-        lifespan: f64,
-    ) -> CarbonMass {
-        let active = Pue::new(pue).expect("valid pue in sweep")
+    fn total(&self, kwh: f64, ci: f64, pue: f64, embodied: f64, lifespan: f64) -> CarbonMass {
+        let active = Pue::new(pue)
+            .expect("valid pue in sweep")
             .apply(Energy::from_kilowatt_hours(kwh))
             * CarbonIntensity::from_grams_per_kwh(ci);
-        let emb = fleet_snapshot_daily(
-            CarbonMass::from_kilograms(embodied),
-            lifespan,
-            self.servers,
-        );
+        let emb =
+            fleet_snapshot_daily(CarbonMass::from_kilograms(embodied), lifespan, self.servers);
         active + emb
     }
 
@@ -80,7 +71,7 @@ impl SensitivityInputs {
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct TornadoBar {
     /// Input name.
-    pub input: &'static str,
+    pub input: String,
     /// Total carbon at the input's bounds (ordered low ≤ high).
     pub range: Bounds<CarbonMass>,
     /// Width of the bar (range span).
@@ -93,7 +84,7 @@ pub fn tornado(inputs: &SensitivityInputs) -> Vec<TornadoBar> {
     let mk = |name: &'static str, lo: CarbonMass, hi: CarbonMass| {
         let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
         TornadoBar {
-            input: name,
+            input: name.to_owned(),
             range: Bounds::new(lo, hi),
             span: hi - lo,
         }
@@ -165,9 +156,7 @@ mod tests {
         }
         for bar in &bars {
             assert!(bar.range.lo <= bar.range.hi, "{}", bar.input);
-            assert!(
-                (bar.span.grams() - (bar.range.hi - bar.range.lo).grams()).abs() < 1e-9
-            );
+            assert!((bar.span.grams() - (bar.range.hi - bar.range.lo).grams()).abs() < 1e-9);
         }
     }
 

@@ -7,8 +7,8 @@
 //! every parameter to be simultaneously at its bound).
 
 use crate::paper;
-use iriscast_grid::IntensitySeries;
 use iriscast_grid::stats;
+use iriscast_grid::IntensitySeries;
 use iriscast_units::{CarbonMass, Energy, Pue};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -95,19 +95,20 @@ pub fn run(config: &McConfig, samples: usize, seed: u64) -> McResult {
             / day_slots as f64;
         let ci = iriscast_units::CarbonIntensity::from_grams_per_kwh(ci_mean);
 
-        let pue = Pue::new(triangular(&mut rng, config.pue.0, config.pue.1, config.pue.2))
-            .expect("triangle within valid PUE range");
-        let embodied_per_server = CarbonMass::from_kilograms(
-            rng.gen_range(config.embodied_kg.0..=config.embodied_kg.1),
-        );
+        let pue = Pue::new(triangular(
+            &mut rng,
+            config.pue.0,
+            config.pue.1,
+            config.pue.2,
+        ))
+        .expect("triangle within valid PUE range");
+        let embodied_per_server =
+            CarbonMass::from_kilograms(rng.gen_range(config.embodied_kg.0..=config.embodied_kg.1));
         let lifespan = rng.gen_range(config.lifespan_years.0..=config.lifespan_years.1);
 
         let active = pue.apply(config.it_energy) * ci;
-        let embodied = crate::embodied::fleet_snapshot_daily(
-            embodied_per_server,
-            lifespan,
-            config.servers,
-        );
+        let embodied =
+            crate::embodied::fleet_snapshot_daily(embodied_per_server, lifespan, config.servers);
         let total = active + embodied;
         shares += embodied / total;
         totals.push(total.kilograms());

@@ -3,9 +3,7 @@
 use iriscast_model::embodied::AmortizationPolicy;
 use iriscast_model::netzero::{project, DecarbonisationPathway, SteadyStateDri};
 use iriscast_model::{ActiveCarbonGrid, EmbodiedSweep};
-use iriscast_units::{
-    Bounds, CarbonIntensity, CarbonMass, Energy, Pue, SimDuration, TriEstimate,
-};
+use iriscast_units::{Bounds, CarbonIntensity, CarbonMass, Energy, Pue, SimDuration, TriEstimate};
 use proptest::prelude::*;
 
 fn ordered_triple(lo: f64, hi: f64) -> impl Strategy<Value = (f64, f64, f64)> {

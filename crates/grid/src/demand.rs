@@ -45,7 +45,8 @@ impl DemandModel {
         // Secondary 12-hour harmonic adds the 06:00 morning shoulder and
         // shifts the combined peak towards 17:00–18:00.
         let secondary = ((h - 18.0) / 12.0 * TAU).cos();
-        let mut d = self.base + self.diurnal_amplitude * primary + self.secondary_amplitude * secondary;
+        let mut d =
+            self.base + self.diurnal_amplitude * primary + self.secondary_amplitude * secondary;
         if t.is_weekend() {
             d = d * self.weekend_factor;
         }

@@ -194,8 +194,7 @@ mod tests {
     #[test]
     fn generation_balances_demand() {
         let d = dispatcher();
-        for (demand_gw, wind_cf, solar_cf) in
-            [(30.0, 0.4, 0.1), (38.0, 0.1, 0.0), (22.0, 0.9, 0.2)]
+        for (demand_gw, wind_cf, solar_cf) in [(30.0, 0.4, 0.1), (38.0, 0.1, 0.0), (22.0, 0.9, 0.2)]
         {
             let r = d.dispatch(Power::from_gigawatts(demand_gw), wind_cf, solar_cf);
             let supplied = r.mix.total();

@@ -97,7 +97,11 @@ pub fn score(forecast: &IntensitySeries, actual: &IntensitySeries) -> ForecastSk
         actual.len(),
         "forecast and actual series must align"
     );
-    let f: Vec<f64> = forecast.values().iter().map(|v| v.grams_per_kwh()).collect();
+    let f: Vec<f64> = forecast
+        .values()
+        .iter()
+        .map(|v| v.grams_per_kwh())
+        .collect();
     let a: Vec<f64> = actual.values().iter().map(|v| v.grams_per_kwh()).collect();
     let abs_errs: Vec<f64> = f.iter().zip(a.iter()).map(|(x, y)| (x - y).abs()).collect();
     let mae = stats::mean(&abs_errs).expect("non-empty");
@@ -155,10 +159,7 @@ mod tests {
         let h = history();
         let f = DayAheadForecaster::gb_default().forecast_series(&h);
         // Score from day 2 onward (day 1 has no persistence anchor).
-        let later = iriscast_units::Period::new(
-            Timestamp::from_days(2),
-            Timestamp::from_days(30),
-        );
+        let later = iriscast_units::Period::new(Timestamp::from_days(2), Timestamp::from_days(30));
         let fs = f.slice(later).unwrap();
         let hs = h.slice(later).unwrap();
         let skill = score(&fs, &hs);
@@ -198,13 +199,8 @@ mod tests {
     fn best_window_is_inside_horizon() {
         let h = history();
         let f = DayAheadForecaster::gb_default().forecast_series(&h);
-        let (start, mean) = best_forecast_window(
-            &f,
-            Timestamp::from_days(3),
-            SimDuration::DAY,
-            8,
-        )
-        .unwrap();
+        let (start, mean) =
+            best_forecast_window(&f, Timestamp::from_days(3), SimDuration::DAY, 8).unwrap();
         assert!(start >= Timestamp::from_days(3));
         assert!(start + SimDuration::SETTLEMENT_PERIOD * 8 <= Timestamp::from_days(4));
         assert!(mean.grams_per_kwh() > 0.0);

@@ -84,7 +84,11 @@ impl GbRegion {
         IntensitySeries::new(
             national.start(),
             national.step(),
-            national.values().iter().map(|&v| self.localise(v)).collect(),
+            national
+                .values()
+                .iter()
+                .map(|&v| self.localise(v))
+                .collect(),
         )
     }
 }
@@ -163,7 +167,10 @@ mod tests {
         assert_eq!(GbRegion::for_iris_site("QMUL"), GbRegion::London);
         assert_eq!(GbRegion::for_iris_site("DUR"), GbRegion::NorthEastEngland);
         assert_eq!(GbRegion::for_iris_site("CAM"), GbRegion::EastEngland);
-        assert_eq!(GbRegion::for_iris_site("STFC-SCARF"), GbRegion::SouthEngland);
+        assert_eq!(
+            GbRegion::for_iris_site("STFC-SCARF"),
+            GbRegion::SouthEngland
+        );
         assert_eq!(GbRegion::for_iris_site("nowhere"), GbRegion::National);
     }
 

@@ -133,7 +133,11 @@ impl GridSimulation {
 
     /// Mean zero-carbon share over the run.
     pub fn mean_zero_carbon_share(&self) -> f64 {
-        let sum: f64 = self.mixes.iter().map(GenerationMix::zero_carbon_share).sum();
+        let sum: f64 = self
+            .mixes
+            .iter()
+            .map(GenerationMix::zero_carbon_share)
+            .sum();
         sum / self.mixes.len() as f64
     }
 
@@ -151,11 +155,7 @@ impl GridSimulation {
 
     /// Fraction of slots with any curtailment.
     pub fn curtailment_frequency(&self) -> f64 {
-        let n = self
-            .curtailed
-            .iter()
-            .filter(|p| p.watts() > 0.0)
-            .count();
+        let n = self.curtailed.iter().filter(|p| p.watts() > 0.0).count();
         n as f64 / self.curtailed.len() as f64
     }
 }

@@ -283,7 +283,9 @@ impl NodeBuilder {
 
     /// Adds one NIC.
     pub fn nic(mut self, speed_gbps: f64) -> Self {
-        self.spec.components.push((Component::Nic { speed_gbps }, 1));
+        self.spec
+            .components
+            .push((Component::Nic { speed_gbps }, 1));
         self
     }
 

@@ -124,7 +124,10 @@ mod tests {
             assert!(spec.max_power() > spec.idle_power());
         }
         // GPU node peaks far above the CPU node.
-        assert!(gpu_node().max_power().watts() > 4.0 * notional_compute_node().max_power().watts() * 0.9);
+        assert!(
+            gpu_node().max_power().watts()
+                > 4.0 * notional_compute_node().max_power().watts() * 0.9
+        );
     }
 
     #[test]

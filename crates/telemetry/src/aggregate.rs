@@ -32,10 +32,7 @@ impl EnergyByMethod {
     /// The paper's headline priority: Facility, else PDU, else IPMI, else
     /// Turbostat.
     pub fn best_estimate(&self) -> Option<Energy> {
-        self.facility
-            .or(self.pdu)
-            .or(self.ipmi)
-            .or(self.turbostat)
+        self.facility.or(self.pdu).or(self.ipmi).or(self.turbostat)
     }
 }
 
@@ -78,9 +75,7 @@ impl SiteEnergyReport {
 
 /// Sums the best-estimate energies across rows — Table 2's "Total" row.
 pub fn total_best_estimate(rows: &[SiteEnergyReport]) -> Energy {
-    rows.iter()
-        .filter_map(|r| r.energies.best_estimate())
-        .sum()
+    rows.iter().filter_map(|r| r.energies.best_estimate()).sum()
 }
 
 /// Sums monitored nodes across rows.
@@ -114,7 +109,14 @@ mod tests {
             nodes,
         };
         vec![
-            row("QMUL", Some(1299.0), Some(1299.0), Some(1279.0), Some(1214.0), 118),
+            row(
+                "QMUL",
+                Some(1299.0),
+                Some(1299.0),
+                Some(1279.0),
+                Some(1214.0),
+                118,
+            ),
             row("CAM", None, None, Some(261.0), None, 59),
             row("DUR", Some(8154.0), Some(8154.0), Some(6267.0), None, 876),
             row("STFC-CLOUD", None, None, Some(3831.0), None, 721),

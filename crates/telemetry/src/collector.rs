@@ -290,8 +290,7 @@ impl SiteCollector {
                 .iter()
                 .map(|w| w * (1.0 + cfg.facility_overhead_frac))
                 .collect();
-            let fac_series =
-                PowerSeries::from_watts(period.start(), cfg.sample_step, fac_watts);
+            let fac_series = PowerSeries::from_watts(period.start(), cfg.sample_step, fac_watts);
             series.insert(MeterKind::Facility, fac_series.clone());
             let fac_err = PowerMeter::standard(MeterKind::Facility).error;
             let readings = Self::read_register(&fac_series, cfg, fac_err);
@@ -320,9 +319,8 @@ impl SiteCollector {
     ) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(splitmix64(cfg.seed ^ 0x0FAC_1117));
         let mut register = CumulativeRegister::new(137_911.0);
-        let read_every = (SimDuration::SETTLEMENT_PERIOD.as_secs()
-            / site_power.step().as_secs())
-        .max(1) as usize;
+        let read_every = (SimDuration::SETTLEMENT_PERIOD.as_secs() / site_power.step().as_secs())
+            .max(1) as usize;
         let mut readings = vec![register.display()];
         for (i, &w) in site_power.watts().iter().enumerate() {
             // Apply the meter's (tiny) gain/noise to the power before it

@@ -46,8 +46,8 @@ pub mod meter;
 pub mod network;
 pub mod par;
 mod power;
-pub mod rack;
 pub mod quality;
+pub mod rack;
 mod register;
 mod sources;
 mod timeseries;
@@ -59,8 +59,8 @@ pub use collector::{
 pub use meter::{MeterErrorModel, MeterKind, MeterReading, PowerMeter};
 pub use network::{SiteNetwork, SwitchPowerModel};
 pub use power::{NodePowerModel, PowerCurve};
-pub use rack::{rack_energies, RackEnergyReport, RackLayout};
 pub use quality::{MethodAdjustment, QualityReport};
+pub use rack::{rack_energies, RackEnergyReport, RackLayout};
 pub use register::{decode_register_readings, CumulativeRegister};
 pub use sources::{FlatUtilization, SyntheticUtilization, TraceUtilization, UtilizationSource};
 pub use timeseries::{EnergySeries, GapPolicy, PowerSeries};

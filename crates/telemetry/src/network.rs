@@ -183,11 +183,13 @@ mod tests {
     #[test]
     fn power_series_tracks_activity() {
         let net = SiteNetwork::sized_for(100);
-        let series = net.power_series(
-            Period::snapshot_24h(),
-            SimDuration::from_hours(1.0),
-            |h| if (8.0..18.0).contains(&h) { 0.9 } else { 0.4 },
-        );
+        let series = net.power_series(Period::snapshot_24h(), SimDuration::from_hours(1.0), |h| {
+            if (8.0..18.0).contains(&h) {
+                0.9
+            } else {
+                0.4
+            }
+        });
         assert_eq!(series.len(), 24);
         let day_power = series.get(12).unwrap();
         let night_power = series.get(2).unwrap();

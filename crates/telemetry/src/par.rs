@@ -77,13 +77,7 @@ where
 /// Parallel map-reduce over `0..items`: maps with `f`, folds chunk results
 /// with `reduce` in **index order** (deterministic even for non-commutative
 /// reductions).
-pub fn parallel_map_reduce<R, F, G>(
-    items: usize,
-    workers: usize,
-    f: F,
-    init: R,
-    reduce: G,
-) -> R
+pub fn parallel_map_reduce<R, F, G>(items: usize, workers: usize, f: F, init: R, reduce: G) -> R
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
@@ -100,7 +94,9 @@ mod tests {
 
     #[test]
     fn matches_serial_for_any_worker_count() {
-        let serial: Vec<u64> = (0..1_000).map(|i| (i as u64).wrapping_mul(31) ^ 7).collect();
+        let serial: Vec<u64> = (0..1_000)
+            .map(|i| (i as u64).wrapping_mul(31) ^ 7)
+            .collect();
         for workers in [1, 2, 3, 7, 16] {
             let par = parallel_map_indexed(1_000, workers, |i| (i as u64).wrapping_mul(31) ^ 7);
             assert_eq!(par, serial, "workers = {workers}");

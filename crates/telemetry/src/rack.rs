@@ -139,8 +139,7 @@ pub fn rack_energies(
         for group in &config.groups {
             for _ in 0..group.count {
                 let u = utilization.utilization(node, t);
-                rack_w[layout.rack_of(node) as usize] +=
-                    group.power_model.wall_power(u).watts();
+                rack_w[layout.rack_of(node) as usize] += group.power_model.wall_power(u).watts();
                 node += 1;
             }
         }
@@ -242,8 +241,7 @@ mod tests {
     fn circuit_limit_violations_detected() {
         let cfg = config(84);
         let layout = RackLayout::new(84, 42);
-        let report =
-            rack_energies(&cfg, layout, Period::snapshot_24h(), &FlatUtilization(1.0));
+        let report = rack_energies(&cfg, layout, Period::snapshot_24h(), &FlatUtilization(1.0));
         // 42 nodes × 500 W = 21 kW per rack.
         let tight = Power::from_kilowatts(20.0);
         let roomy = Power::from_kilowatts(25.0);

@@ -99,11 +99,9 @@ impl UtilizationSource for SyntheticUtilization {
         // Per-node slow drift: each node sits slightly above or below the
         // site mean for hours at a time (two-hour buckets, hash-mixed).
         let bucket = t.as_secs().div_euclid(7_200) as u64;
-        let drift =
-            (hash_uniform(&[self.seed, node, bucket]) - 0.5) * 4.0 * self.noise_sd;
+        let drift = (hash_uniform(&[self.seed, node, bucket]) - 0.5) * 4.0 * self.noise_sd;
         // Fast jitter per sample instant.
-        let jitter = (hash_uniform(&[self.seed ^ 0xDEAD_BEEF, node, t.as_secs() as u64])
-            - 0.5)
+        let jitter = (hash_uniform(&[self.seed ^ 0xDEAD_BEEF, node, t.as_secs() as u64]) - 0.5)
             * 2.0
             * self.noise_sd;
         (self.mean + diurnal + drift + jitter).clamp(0.0, 1.0)

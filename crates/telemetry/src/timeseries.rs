@@ -109,7 +109,11 @@ impl PowerSeries {
     pub fn add_assign_lenient(&mut self, other: &PowerSeries) {
         assert_eq!(self.start, other.start, "series grids differ (start)");
         assert_eq!(self.step, other.step, "series grids differ (step)");
-        assert_eq!(self.watts.len(), other.watts.len(), "series grids differ (len)");
+        assert_eq!(
+            self.watts.len(),
+            other.watts.len(),
+            "series grids differ (len)"
+        );
         for (a, &b) in self.watts.iter_mut().zip(other.watts.iter()) {
             match (a.is_nan(), b.is_nan()) {
                 (true, true) => {}
@@ -534,6 +538,7 @@ mod tests {
         let r = s.resample(SimDuration::from_secs(60));
         assert_eq!(r.step(), SimDuration::from_secs(60));
         assert_eq!(r.watts(), &[150.0, 350.0, 500.0]); // final window partial
+
         // Energy is conserved exactly for full windows and within the
         // partial-window approximation overall.
         let full = s.integrate(GapPolicy::Zero).joules();

@@ -210,7 +210,10 @@ mod tests {
 
     #[test]
     fn display_picks_scale() {
-        assert_eq!(CarbonMass::from_kilograms(5_814.0).to_string(), "5.81 tCO2e");
+        assert_eq!(
+            CarbonMass::from_kilograms(5_814.0).to_string(),
+            "5.81 tCO2e"
+        );
         assert_eq!(CarbonMass::from_kilograms(92.0).to_string(), "92.00 kgCO2e");
         assert_eq!(CarbonMass::from_grams(430.0).to_string(), "430.0 gCO2e");
     }

@@ -268,7 +268,10 @@ mod tests {
 
     #[test]
     fn display_picks_scale() {
-        assert_eq!(Energy::from_kilowatt_hours(18_760.0).to_string(), "18.76 MWh");
+        assert_eq!(
+            Energy::from_kilowatt_hours(18_760.0).to_string(),
+            "18.76 MWh"
+        );
         assert_eq!(Energy::from_kilowatt_hours(12.5).to_string(), "12.50 kWh");
         assert_eq!(Energy::from_watt_hours(250.0).to_string(), "250.0 Wh");
         assert_eq!(Energy::from_joules(10.0).to_string(), "10.0 J");

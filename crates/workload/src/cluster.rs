@@ -55,8 +55,8 @@ impl SimOutcome {
             .iter()
             .map(|s| {
                 let span = Period::new(s.start, s.end);
-                let overlap = span.duration().as_secs() as f64
-                    * span.overlap_fraction(&self.period);
+                let overlap =
+                    span.duration().as_secs() as f64 * span.overlap_fraction(&self.period);
                 overlap * f64::from(s.job.nodes) * s.job.cpu_utilization
             })
             .sum();
@@ -138,12 +138,7 @@ impl ClusterSim {
     }
 
     /// Plays `jobs` through `policy` over `window` with no carbon signal.
-    pub fn run(
-        &self,
-        jobs: Vec<Job>,
-        policy: &mut dyn Scheduler,
-        window: Period,
-    ) -> SimOutcome {
+    pub fn run(&self, jobs: Vec<Job>, policy: &mut dyn Scheduler, window: Period) -> SimOutcome {
         self.run_with_intensity(jobs, policy, window, None)
     }
 
@@ -189,7 +184,11 @@ impl ClusterSim {
                 }
             }
             running.clear();
-            running.extend(running_nodes.iter().map(|(end, ids)| (*end, ids.len() as u32)));
+            running.extend(
+                running_nodes
+                    .iter()
+                    .map(|(end, ids)| (*end, ids.len() as u32)),
+            );
             running.sort_by_key(|(end, _)| *end);
 
             // Let the policy start as much as it wants at this instant.
@@ -411,6 +410,7 @@ mod tests {
         assert_eq!(busy[4], 3); // both
         assert_eq!(busy[7], 1); // only job 1
         assert_eq!(busy[12], 0); // all done
+
         // Never exceeds the cluster.
         assert!(busy.iter().all(|&b| b <= 4));
     }
@@ -442,12 +442,9 @@ mod tests {
         );
         let elastic = job(0, 1.0, 2.0, 1).deferrable_until(Timestamp::from_hours(20.0));
         let sim = ClusterSim::new(4);
-        let mut policy = CarbonAwareScheduler::new(
-            FcfsScheduler,
-            CarbonIntensity::from_grams_per_kwh(150.0),
-        );
-        let outcome =
-            sim.run_with_intensity(vec![elastic], &mut policy, day(), Some(&series));
+        let mut policy =
+            CarbonAwareScheduler::new(FcfsScheduler, CarbonIntensity::from_grams_per_kwh(150.0));
+        let outcome = sim.run_with_intensity(vec![elastic], &mut policy, day(), Some(&series));
         assert_eq!(outcome.scheduled.len(), 1);
         // Started at the noon boundary, not at submit (1 h).
         assert_eq!(outcome.scheduled[0].start, Timestamp::from_hours(12.0));

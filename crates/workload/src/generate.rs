@@ -101,13 +101,8 @@ pub fn generate(cfg: &WorkloadConfig, period: Period, seed: u64) -> Vec<Job> {
         .clamp(60.0, 48.0 * 3_600.0);
         let nodes = power_of_two_width(&mut rng, cfg.max_nodes);
         let utilization = (cfg.mean_utilization + 0.1 * (rng.gen::<f64>() - 0.5)).clamp(0.05, 1.0);
-        let mut job = Job::new(
-            id,
-            t,
-            SimDuration::from_secs(runtime_secs as i64),
-            nodes,
-        )
-        .with_utilization(utilization);
+        let mut job = Job::new(id, t, SimDuration::from_secs(runtime_secs as i64), nodes)
+            .with_utilization(utilization);
         if rng.gen::<f64>() < cfg.deferrable_fraction {
             job = job.deferrable_until(t + cfg.deferral_slack);
         }

@@ -188,8 +188,7 @@ mod tests {
     #[test]
     fn job_energy_marginal_vs_gross() {
         let outcome = run_one(
-            Job::new(0, Timestamp::EPOCH, SimDuration::from_hours(10.0), 2)
-                .with_utilization(1.0),
+            Job::new(0, Timestamp::EPOCH, SimDuration::from_hours(10.0), 2).with_utilization(1.0),
         );
         let s = &outcome.scheduled[0];
         // Gross: 500 W × 2 nodes × 10 h = 10 kWh.
@@ -252,11 +251,8 @@ mod tests {
         let series = flat_series(100.0);
         // Empty schedule: idle floor only. 4 nodes × 100 W × 24 h = 9.6 kWh
         // → 960 g.
-        let outcome = ClusterSim::new(4).run(
-            Vec::new(),
-            &mut FcfsScheduler,
-            Period::snapshot_24h(),
-        );
+        let outcome =
+            ClusterSim::new(4).run(Vec::new(), &mut FcfsScheduler, Period::snapshot_24h());
         let c = outcome_carbon(&outcome, &model(), &series);
         assert!((c.grams() - 960.0).abs() < 1e-6);
     }
@@ -285,13 +281,22 @@ mod tests {
             Job::new(0, Timestamp::EPOCH, SimDuration::from_hours(4.0), 2)
                 .with_user("alice")
                 .with_utilization(0.9),
-            Job::new(1, Timestamp::from_hours(1.0), SimDuration::from_hours(2.0), 1)
-                .with_user("bob")
-                .with_utilization(0.5),
-            Job::new(2, Timestamp::from_hours(2.0), SimDuration::from_hours(1.0), 1),
+            Job::new(
+                1,
+                Timestamp::from_hours(1.0),
+                SimDuration::from_hours(2.0),
+                1,
+            )
+            .with_user("bob")
+            .with_utilization(0.5),
+            Job::new(
+                2,
+                Timestamp::from_hours(2.0),
+                SimDuration::from_hours(1.0),
+                1,
+            ),
         ];
-        let outcome =
-            ClusterSim::new(4).run(jobs, &mut FcfsScheduler, Period::snapshot_24h());
+        let outcome = ClusterSim::new(4).run(jobs, &mut FcfsScheduler, Period::snapshot_24h());
         let per_user = carbon_by_user(&outcome, &model(), &series);
         assert_eq!(per_user.len(), 3);
         // Sorted descending; alice (8 node-hours at 0.9) dominates.
@@ -311,8 +316,7 @@ mod tests {
                 .with_user("solo")
                 .with_utilization(1.0),
         ];
-        let outcome2 =
-            ClusterSim::new(4).run(jobs2, &mut FcfsScheduler, Period::snapshot_24h());
+        let outcome2 = ClusterSim::new(4).run(jobs2, &mut FcfsScheduler, Period::snapshot_24h());
         let per_user2 = carbon_by_user(&outcome2, &model(), &series);
         let sum2: CarbonMass = per_user2.iter().map(|(_, c)| *c).sum();
         let total2 = outcome_carbon(&outcome2, &model(), &series);
@@ -322,21 +326,15 @@ mod tests {
     #[test]
     fn empty_outcome_attributes_nothing() {
         let series = flat_series(100.0);
-        let outcome = ClusterSim::new(2).run(
-            Vec::new(),
-            &mut FcfsScheduler,
-            Period::snapshot_24h(),
-        );
+        let outcome =
+            ClusterSim::new(2).run(Vec::new(), &mut FcfsScheduler, Period::snapshot_24h());
         assert!(carbon_by_user(&outcome, &model(), &series).is_empty());
     }
 
     #[test]
     fn wait_stats_empty() {
-        let outcome = ClusterSim::new(1).run(
-            Vec::new(),
-            &mut FcfsScheduler,
-            Period::snapshot_24h(),
-        );
+        let outcome =
+            ClusterSim::new(1).run(Vec::new(), &mut FcfsScheduler, Period::snapshot_24h());
         assert!(wait_stats(&outcome).is_none());
     }
 }

@@ -251,12 +251,9 @@ mod tests {
             SimDuration::SETTLEMENT_PERIOD,
             CarbonIntensity::from_grams_per_kwh(300.0),
         );
-        let mut s = CarbonAwareScheduler::new(
-            FcfsScheduler,
-            CarbonIntensity::from_grams_per_kwh(150.0),
-        );
-        let elastic =
-            job(0, 2, 1.0).deferrable_until(Timestamp::from_hours(12.0));
+        let mut s =
+            CarbonAwareScheduler::new(FcfsScheduler, CarbonIntensity::from_grams_per_kwh(150.0));
+        let elastic = job(0, 2, 1.0).deferrable_until(Timestamp::from_hours(12.0));
         let firm = job(1, 2, 1.0);
         let queue = vec![elastic.clone(), firm.clone()];
         // Grid dirty: elastic job is skipped, firm job (index 1) starts.
@@ -270,10 +267,8 @@ mod tests {
             SimDuration::SETTLEMENT_PERIOD,
             CarbonIntensity::from_grams_per_kwh(60.0),
         );
-        let mut s = CarbonAwareScheduler::new(
-            FcfsScheduler,
-            CarbonIntensity::from_grams_per_kwh(150.0),
-        );
+        let mut s =
+            CarbonAwareScheduler::new(FcfsScheduler, CarbonIntensity::from_grams_per_kwh(150.0));
         let queue = vec![job(0, 2, 1.0).deferrable_until(Timestamp::from_hours(12.0))];
         assert_eq!(s.pick(&queue, &ctx(8, 8, &[], Some(&series))), Some(0));
     }
@@ -285,10 +280,8 @@ mod tests {
             SimDuration::SETTLEMENT_PERIOD,
             CarbonIntensity::from_grams_per_kwh(300.0),
         );
-        let mut s = CarbonAwareScheduler::new(
-            FcfsScheduler,
-            CarbonIntensity::from_grams_per_kwh(150.0),
-        );
+        let mut s =
+            CarbonAwareScheduler::new(FcfsScheduler, CarbonIntensity::from_grams_per_kwh(150.0));
         // Deadline is now: must run despite the dirty grid.
         let queue = vec![job(0, 2, 1.0).deferrable_until(Timestamp::EPOCH)];
         assert_eq!(s.pick(&queue, &ctx(8, 8, &[], Some(&series))), Some(0));
@@ -296,10 +289,8 @@ mod tests {
 
     #[test]
     fn carbon_aware_without_signal_is_transparent() {
-        let mut s = CarbonAwareScheduler::new(
-            FcfsScheduler,
-            CarbonIntensity::from_grams_per_kwh(150.0),
-        );
+        let mut s =
+            CarbonAwareScheduler::new(FcfsScheduler, CarbonIntensity::from_grams_per_kwh(150.0));
         let queue = vec![job(0, 2, 1.0).deferrable_until(Timestamp::from_hours(12.0))];
         assert_eq!(s.pick(&queue, &ctx(8, 8, &[], None)), Some(0));
     }

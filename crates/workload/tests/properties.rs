@@ -10,10 +10,10 @@ use proptest::prelude::*;
 fn job_stream(max_width: u32) -> impl Strategy<Value = Vec<Job>> {
     prop::collection::vec(
         (
-            0i64..86_400,          // submit seconds
-            60i64..8 * 3_600,      // runtime
-            1u32..=max_width,      // width
-            0.05f64..1.0,          // utilisation
+            0i64..86_400,     // submit seconds
+            60i64..8 * 3_600, // runtime
+            1u32..=max_width, // width
+            0.05f64..1.0,     // utilisation
         ),
         1..60,
     )

@@ -11,9 +11,9 @@ use iriscast::grid::scenario::uk_november_2022;
 use iriscast::model::report::{paper_num, TextTable};
 use iriscast::prelude::*;
 use iriscast::units::{SimDuration, Timestamp};
+use iriscast::workload::generate;
 use iriscast::workload::metrics::{carbon_by_user, outcome_carbon, wait_stats};
 use iriscast::workload::scheduler::{CarbonAwareScheduler, EasyBackfillScheduler};
-use iriscast::workload::generate;
 
 fn main() {
     // A week of grid intensity.
@@ -40,9 +40,7 @@ fn main() {
 
     // Threshold: start elastic jobs only below the week's median intensity.
     let threshold = series.percentile(0.5);
-    println!(
-        "Policy threshold: defer elastic jobs while grid > {threshold} (week median)\n"
-    );
+    println!("Policy threshold: defer elastic jobs while grid > {threshold} (week median)\n");
 
     let mut table = TextTable::new(vec![
         "Policy",

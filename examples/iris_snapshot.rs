@@ -100,9 +100,18 @@ fn main() {
     // ---- Tables 3 & 4 + summary -----------------------------------------
     let assessment = SnapshotAssessment::run(result.total(), &AssessmentParams::paper());
 
-    let mut t3 = TextTable::new(vec!["CI scenario", "PUE 1.1", "PUE 1.3", "PUE 1.6", "Paper row"])
-        .title("Table 3: active carbon estimates (kgCO2), from the simulated energy");
-    for (i, label) in ["Low (50)", "Medium (175)", "High (300)"].iter().enumerate() {
+    let mut t3 = TextTable::new(vec![
+        "CI scenario",
+        "PUE 1.1",
+        "PUE 1.3",
+        "PUE 1.6",
+        "Paper row",
+    ])
+    .title("Table 3: active carbon estimates (kgCO2), from the simulated energy");
+    for (i, label) in ["Low (50)", "Medium (175)", "High (300)"]
+        .iter()
+        .enumerate()
+    {
         t3 = t3.row(vec![
             label.to_string(),
             paper_num(assessment.active.cells[i][0].kilograms()),

@@ -12,9 +12,7 @@
 use iriscast::model::report::{paper_num, TextTable};
 use iriscast::prelude::*;
 use iriscast::telemetry::quality::{self, MethodAdjustment};
-use iriscast::telemetry::{
-    NodeGroupTelemetry, SiteEnergyReport, SyntheticUtilization,
-};
+use iriscast::telemetry::{NodeGroupTelemetry, SiteEnergyReport, SyntheticUtilization};
 use iriscast::units::SimDuration;
 
 fn site(code: &str, nodes: u32, ipmi_coverage: f64, seed: u64) -> SiteTelemetryConfig {
@@ -23,10 +21,7 @@ fn site(code: &str, nodes: u32, ipmi_coverage: f64, seed: u64) -> SiteTelemetryC
         vec![NodeGroupTelemetry {
             label: "compute".into(),
             count: nodes,
-            power_model: NodePowerModel::linear(
-                Power::from_watts(140.0),
-                Power::from_watts(620.0),
-            ),
+            power_model: NodePowerModel::linear(Power::from_watts(140.0), Power::from_watts(620.0)),
         }],
         seed,
     );
@@ -48,8 +43,13 @@ fn main() {
         SiteCollector::new(cfg).collect(day, &util, 4)
     };
 
-    let mut table = TextTable::new(vec!["Method", "FULL site (kWh)", "vs PDU", "PARTIAL site (kWh)"])
-        .title("The same physical truth through four instruments");
+    let mut table = TextTable::new(vec![
+        "Method",
+        "FULL site (kWh)",
+        "vs PDU",
+        "PARTIAL site (kWh)",
+    ])
+    .title("The same physical truth through four instruments");
     let pdu_full = full.energy(MeterKind::Pdu).unwrap().kilowatt_hours();
     for kind in MeterKind::ALL {
         let f = full.energy(kind).map(|e| e.kilowatt_hours());
@@ -57,7 +57,9 @@ fn main() {
         table = table.row(vec![
             kind.to_string(),
             f.map_or_else(|| "-".into(), paper_num),
-            f.map_or("-".into(), |v| format!("{:+.1}%", (v / pdu_full - 1.0) * 100.0)),
+            f.map_or("-".into(), |v| {
+                format!("{:+.1}%", (v / pdu_full - 1.0) * 100.0)
+            }),
             p.map_or_else(|| "-".into(), paper_num),
         ]);
     }

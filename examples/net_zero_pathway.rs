@@ -9,9 +9,7 @@
 //!
 //! Run with: `cargo run --example net_zero_pathway`
 
-use iriscast::model::netzero::{
-    crossover_year, project, DecarbonisationPathway, SteadyStateDri,
-};
+use iriscast::model::netzero::{crossover_year, project, DecarbonisationPathway, SteadyStateDri};
 use iriscast::model::report::{ascii_bar, TextTable};
 use iriscast::prelude::*;
 use iriscast::telemetry::SiteNetwork;
@@ -52,8 +50,12 @@ fn main() {
     }
 
     // Sensitivity: the one lever operators control directly is lifespan.
-    let mut t = TextTable::new(vec!["Refresh cycle", "Crossover year", "Embodied share in 2035"])
-        .title("\nSensitivity to hardware lifespan");
+    let mut t = TextTable::new(vec![
+        "Refresh cycle",
+        "Crossover year",
+        "Embodied share in 2035",
+    ])
+    .title("\nSensitivity to hardware lifespan");
     for years in [3.0, 5.0, 7.0, 9.0] {
         let mut v = dri.clone();
         v.lifespan_years = years;

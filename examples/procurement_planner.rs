@@ -77,8 +77,11 @@ fn main() {
         "Winner",
     ])
     .title("Total carbon over a 4-year horizon");
-    for (label, g) in [("Low CI (50)", 50.0), ("Medium CI (175)", 175.0), ("High CI (300)", 300.0)]
-    {
+    for (label, g) in [
+        ("Low CI (50)", 50.0),
+        ("Medium CI (175)", 175.0),
+        ("High CI (300)", 300.0),
+    ] {
         let ci = CarbonIntensity::from_grams_per_kwh(g);
         let row = |o: &Option_| {
             let active = o.fleet_power * horizon * ci;
@@ -86,7 +89,11 @@ fn main() {
         };
         let (keep_active, keep_total) = row(&keep);
         let (rep_active, rep_total) = row(&replace);
-        let winner = if rep_total < keep_total { replace.name } else { keep.name };
+        let winner = if rep_total < keep_total {
+            replace.name
+        } else {
+            keep.name
+        };
         table = table.row(vec![
             label.to_string(),
             paper_num(keep_active.kilograms()),

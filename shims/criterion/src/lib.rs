@@ -1,0 +1,227 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock harness with criterion's API shape: groups,
+//! `bench_function` / `bench_with_input`, `sample_size`, `iter`, the
+//! `criterion_group!` / `criterion_main!` macros, and `black_box`. Each
+//! benchmark runs a short warm-up plus `sample_size` timed samples and
+//! prints min/mean per-iteration times — no statistics engine, plots, or
+//! saved baselines.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark context passed to `criterion_group!` targets.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Real criterion defaults to 100 samples; 20 keeps the shim's
+        // whole-workspace `cargo bench` run in minutes, and every heavy
+        // bench in this repo overrides it downward anyway.
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(None, &id.into(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(Some(&self.name), &id.into(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(Some(&self.name), &id.into(), self.sample_size, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from a bare parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handle passed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `f`: a warm-up that also calibrates a batch size (so fast
+    /// closures are timed in batches long enough that `Instant` overhead
+    /// is negligible), then `sample_size` samples of per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        const TARGET_SAMPLE: Duration = Duration::from_micros(50);
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch: u32 = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        self.samples.clear();
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+}
+
+fn run_benchmark(
+    group: Option<&str>,
+    id: &BenchmarkId,
+    sample_size: usize,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let label = match group {
+        Some(g) => format!("{g}/{}", id.id),
+        None => id.id.clone(),
+    };
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        target_samples: sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("bench {label:<50} (no samples)");
+        return;
+    }
+    let min = bencher.samples.iter().min().unwrap();
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    println!(
+        "bench {label:<50} min {:>12} mean {:>12} ({} samples)",
+        format_duration(*min),
+        format_duration(mean),
+        bencher.samples.len()
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

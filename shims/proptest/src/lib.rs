@@ -1,0 +1,197 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset the iriscast test suites use: the [`proptest!`]
+//! macro (with optional `#![proptest_config(...)]`), range and tuple
+//! strategies, [`Just`], `prop_map`, weighted [`prop_oneof!`],
+//! `prop::collection::vec`, and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * no shrinking, and the panic message carries the failed assertion
+//!   plus the case index — not the sampled input values (printing them
+//!   would require `Debug` on every strategy output);
+//! * the RNG is seeded deterministically per test from the test's name,
+//!   so re-running the test replays the identical input sequence — to see
+//!   a failing case's inputs, add a `dbg!` at the reported case index;
+//! * `prop_assume!` skips the current case rather than drawing a
+//!   replacement (the suites use it to discard rare degenerate inputs,
+//!   where skipping is statistically equivalent).
+
+#![deny(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+    /// Mirror of the `proptest::prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its arguments `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl!{ [$cfg] $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl!{
+            [$crate::test_runner::ProptestConfig::default()] $($rest)*
+        }
+    };
+}
+
+/// Internal muncher for [`proptest!`]: expands one test fn, recurses on
+/// the rest.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( [$cfg:expr] ) => {};
+    ( [$cfg:expr]
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                let ( $($arg,)* ) = (
+                    $( $crate::strategy::Strategy::sample(&($strat), &mut __rng), )*
+                );
+                // The closure gives `prop_assume!` an early exit (`return`
+                // skips just this case).
+                let __case_body = move || { $body };
+                // Name the failing case: seeding is deterministic per test
+                // name, so the index pinpoints the exact inputs on re-run.
+                if let Err(__panic) = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(__case_body),
+                ) {
+                    eprintln!(
+                        "proptest {}: case {}/{} failed (deterministic: \
+                         re-running replays the same inputs)",
+                        stringify!($name),
+                        __case,
+                        __config.cases,
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::__proptest_impl!{ [$cfg] $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Skips the current case when its inputs are degenerate.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Chooses among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:expr => $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::OneOf::new(vec![
+            $( (($weight) as f64, $crate::strategy::boxed($strat)) ),+
+        ])
+    };
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::OneOf::new(vec![
+            $( (1.0, $crate::strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// End-to-end macro smoke test: strategies, tuples, map, assume.
+        #[test]
+        fn macro_machinery_works(
+            x in 0.0..100.0f64,
+            n in 1usize..20,
+            v in prop::collection::vec(0i64..10, 1..8),
+        ) {
+            prop_assume!(n > 0);
+            prop_assert!((0.0..100.0).contains(&x));
+            prop_assert!(v.len() < 8 && v.iter().all(|&e| (0..10).contains(&e)));
+            prop_assert_eq!(n + 1, 1 + n);
+        }
+
+        /// A failing property must panic (and name the case on stderr).
+        #[test]
+        #[should_panic]
+        fn failing_property_panics(x in 0.0..1.0f64) {
+            prop_assert!(x < 0.0, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn oneof_and_just_compose() {
+        let strat = prop_oneof![
+            3 => 0.0..1.0f64,
+            1 => Just(f64::NAN),
+        ];
+        let mut rng = crate::test_runner::TestRng::for_test("oneof");
+        let mut nans = 0;
+        for _ in 0..1_000 {
+            let v = Strategy::sample(&strat, &mut rng);
+            if v.is_nan() {
+                nans += 1;
+            } else {
+                assert!((0.0..1.0).contains(&v));
+            }
+        }
+        // ~25% weight: loose bounds, deterministic seed.
+        assert!(nans > 150 && nans < 350, "nans = {nans}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Test configuration and the deterministic per-test RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How many cases each property test runs (matches the only knob the
+/// iriscast suites touch).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; kept identical so coverage is
+        // comparable.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies, seeded from the test's name so each test
+/// has a fixed, independent stream (failures reproduce on re-run).
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeds from a test name (FNV-1a over the bytes).
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(hash),
+        }
+    }
+
+    /// The underlying generator (for strategies to draw from).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}

@@ -1,0 +1,191 @@
+//! Deserialization: reconstructing typed data from a [`Value`] tree.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Deserialization failure: a human-readable description of the mismatch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `value` into `Self`, or explains why it cannot.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// The value to use when a struct field is absent from the input —
+    /// `None` means "absence is an error". Overridden by `Option<T>`,
+    /// matching real serde where a missing optional field is `None`.
+    fn absent() -> Option<Self> {
+        None
+    }
+}
+
+/// Looks up `key` in a decoded object and deserializes it — the helper the
+/// derive macro calls once per struct field.
+pub fn field<T: Deserialize>(
+    fields: &[(String, Value)],
+    type_name: &str,
+    key: &str,
+) -> Result<T, Error> {
+    match fields.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v).map_err(|e| Error(format!("{type_name}.{key}: {e}"))),
+        None => T::absent().ok_or_else(|| Error(format!("{type_name}: missing field `{key}`"))),
+    }
+}
+
+fn int_of(value: &Value) -> Option<i128> {
+    match value {
+        Value::Int(i) => Some(i128::from(*i)),
+        Value::UInt(u) => Some(i128::from(*u)),
+        Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Some(*f as i128),
+        _ => None,
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide = int_of(value)
+                    .ok_or_else(|| Error(format!(
+                        "expected integer, found {}", value.kind()
+                    )))?;
+                <$t>::try_from(wide).map_err(|_| {
+                    Error(format!("integer {wide} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            // Non-finite floats serialize as null (JSON has no NaN).
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error(format!("expected number, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = String::from_value(value)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error(format!("expected single character, found {s:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error(format!("expected array, found {}", value.kind())))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error(format!("expected array, found {}", value.kind())))?;
+        if items.len() != N {
+            return Err(Error(format!(
+                "expected array of {N}, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error("array length changed during parse".to_string()))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($len:expr; $($name:ident : $idx:tt),+) => {
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value.as_array().ok_or_else(|| {
+                    Error(format!("expected array, found {}", value.kind()))
+                })?;
+                if items.len() != $len {
+                    return Err(Error(format!(
+                        "expected {}-tuple, found array of {}", $len, items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+impl_de_tuple!(1; A: 0);
+impl_de_tuple!(2; A: 0, B: 1);
+impl_de_tuple!(3; A: 0, B: 1, C: 2);
+impl_de_tuple!(4; A: 0, B: 1, C: 2, D: 3);

@@ -1,0 +1,27 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no crates.io access, so
+//! this workspace ships a minimal serialization framework under the same
+//! crate name, covering exactly the API surface the iriscast crates use:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on named-field structs (including
+//!   single-type-parameter generics), tuple/newtype structs, and enums with
+//!   unit, tuple, and struct variants (externally tagged, like real serde);
+//! * the `#[serde(try_from = "T", into = "T")]` container attribute;
+//! * a self-describing [`value::Value`] tree that the companion
+//!   `serde_json` shim renders to and parses from JSON.
+//!
+//! The data model is deliberately value-based (`Serialize::to_value` /
+//! `Deserialize::from_value`) rather than visitor-based: round-tripping
+//! through JSON is the only requirement here, and a value tree keeps the
+//! hand-written derive macro small and auditable.
+
+#![deny(missing_docs)]
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Error};
+pub use ser::Serialize;
+pub use serde_derive::{Deserialize, Serialize};

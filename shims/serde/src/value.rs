@@ -1,0 +1,74 @@
+//! The self-describing value tree shared by `serde` impls and the
+//! `serde_json` shim.
+
+/// A dynamically typed serialized value.
+///
+/// Integers keep their signedness so that `i64`/`u64` fields round-trip
+/// exactly (no detour through `f64`). Object fields preserve insertion
+/// order, matching how the derive macro emits struct fields.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`. Also used for `Option::None` and non-finite floats.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (used when the value exceeds `i64::MAX` or the
+    /// source type is unsigned).
+    UInt(u64),
+    /// A binary64 float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map with string keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The fields of an object, or `None` for any other variant.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array, or `None` for any other variant.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload, or `None` for any other variant.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|fields| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// A short human-readable name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}

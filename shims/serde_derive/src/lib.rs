@@ -1,0 +1,299 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros
+//! (no `syn`/`quote` — the build environment has no crates.io access).
+//! The item is parsed with a small token-tree walker in [`parse`], and the
+//! impls are emitted as source strings targeting the value-based traits of
+//! the companion `serde` shim.
+//!
+//! Supported shapes — exactly what the iriscast crates need:
+//!
+//! * structs with named fields, including generics (`TriEstimate<T>`);
+//! * tuple structs (newtypes serialize transparently, like real serde);
+//! * enums with unit, tuple, and struct variants (externally tagged);
+//! * the `#[serde(try_from = "T", into = "T")]` container attribute.
+
+mod parse;
+
+use parse::{Fields, Input, Variant};
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse(input);
+    expand_serialize(&item)
+        .parse()
+        .expect("serde_derive emitted invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse::parse(input);
+    expand_deserialize(&item)
+        .parse()
+        .expect("serde_derive emitted invalid Rust")
+}
+
+/// `impl<T: Bounds + Extra> Trait for Name<T>` header pieces.
+fn impl_header(item: &Input, extra_bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let impl_params: Vec<String> = item
+        .generics
+        .iter()
+        .map(|p| {
+            let mut s = p.name.clone();
+            s.push_str(": ");
+            if !p.bounds.is_empty() {
+                s.push_str(&p.bounds);
+                s.push_str(" + ");
+            }
+            s.push_str(extra_bound);
+            s
+        })
+        .collect();
+    let ty_params: Vec<String> = item.generics.iter().map(|p| p.name.clone()).collect();
+    (
+        format!("<{}>", impl_params.join(", ")),
+        format!("<{}>", ty_params.join(", ")),
+    )
+}
+
+fn expand_serialize(item: &Input) -> String {
+    let (impl_generics, ty_generics) = impl_header(item, "::serde::ser::Serialize");
+    let name = &item.name;
+    let body = if let Some(into) = &item.into_type {
+        format!(
+            "let __converted: {into} = ::core::clone::Clone::clone(self).into();\n\
+             ::serde::ser::Serialize::to_value(&__converted)"
+        )
+    } else {
+        match &item.fields {
+            Fields::Named(fields) => serialize_named_fields(fields, "self.", "&"),
+            Fields::Tuple(1) => "::serde::ser::Serialize::to_value(&self.0)".to_string(),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::ser::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!(
+                    "::serde::value::Value::Array(::std::vec![{}])",
+                    items.join(", ")
+                )
+            }
+            Fields::Unit => {
+                format!("::serde::value::Value::Str(::std::string::String::from(\"{name}\"))")
+            }
+            Fields::Enum(variants) => serialize_enum(name, variants),
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::ser::Serialize for {name}{ty_generics} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// `Value::Object(vec![("f", to_value(&<prefix>f)), ...])`; `deref` is
+/// prepended to each access (used for `*` on match bindings).
+fn serialize_named_fields(fields: &[String], prefix: &str, deref: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::ser::Serialize::to_value({deref}{prefix}{f}))"
+            )
+        })
+        .collect();
+    format!(
+        "::serde::value::Value::Object(::std::vec![{}])",
+        items.join(", ")
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = Vec::new();
+    for v in variants {
+        let vname = &v.name;
+        let arm = match &v.fields {
+            Fields::Unit => format!(
+                "{name}::{vname} => ::serde::value::Value::Str(\
+                 ::std::string::String::from(\"{vname}\")),"
+            ),
+            Fields::Tuple(1) => format!(
+                "{name}::{vname}(__f0) => ::serde::value::Value::Object(::std::vec![(\
+                 ::std::string::String::from(\"{vname}\"), \
+                 ::serde::ser::Serialize::to_value(__f0))]),"
+            ),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::ser::Serialize::to_value({b})"))
+                    .collect();
+                format!(
+                    "{name}::{vname}({}) => ::serde::value::Value::Object(::std::vec![(\
+                     ::std::string::String::from(\"{vname}\"), \
+                     ::serde::value::Value::Array(::std::vec![{}]))]),",
+                    binds.join(", "),
+                    items.join(", ")
+                )
+            }
+            Fields::Named(fields) => {
+                let inner = serialize_named_fields(fields, "", "");
+                format!(
+                    "{name}::{vname} {{ {} }} => \
+                     ::serde::value::Value::Object(::std::vec![(\
+                     ::std::string::String::from(\"{vname}\"), {inner})]),",
+                    fields.join(", ")
+                )
+            }
+            Fields::Enum(_) => unreachable!("variant cannot itself be an enum"),
+        };
+        arms.push(arm);
+    }
+    format!("match self {{\n{}\n}}", arms.join("\n"))
+}
+
+fn expand_deserialize(item: &Input) -> String {
+    let (impl_generics, ty_generics) = impl_header(item, "::serde::de::Deserialize");
+    let name = &item.name;
+    let body = if let Some(try_from) = &item.try_from_type {
+        format!(
+            "let __raw: {try_from} = ::serde::de::Deserialize::from_value(__value)?;\n\
+             <Self as ::core::convert::TryFrom<{try_from}>>::try_from(__raw)\
+             .map_err(::serde::de::Error::custom)"
+        )
+    } else {
+        match &item.fields {
+            Fields::Named(fields) => {
+                let ctor = deserialize_named_fields(name, name, fields, "__fields");
+                format!(
+                    "let __fields = __value.as_object().ok_or_else(|| \
+                     ::serde::de::Error::custom(::std::format!(\
+                     \"{name}: expected object, found {{}}\", __value.kind())))?;\n\
+                     ::std::result::Result::Ok({ctor})"
+                )
+            }
+            Fields::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(\
+                 ::serde::de::Deserialize::from_value(__value)?))"
+            ),
+            Fields::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::de::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "let __items = __value.as_array().ok_or_else(|| \
+                     ::serde::de::Error::custom(::std::format!(\
+                     \"{name}: expected array, found {{}}\", __value.kind())))?;\n\
+                     if __items.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::de::Error::custom(\
+                         ::std::format!(\"{name}: expected {n} elements, found {{}}\", \
+                         __items.len())));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    elems.join(", ")
+                )
+            }
+            Fields::Unit => format!(
+                "match __value.as_str() {{\n\
+                     ::std::option::Option::Some(\"{name}\") => \
+                         ::std::result::Result::Ok({name}),\n\
+                     _ => ::std::result::Result::Err(::serde::de::Error::custom(\
+                         \"expected unit struct {name}\")),\n\
+                 }}"
+            ),
+            Fields::Enum(variants) => deserialize_enum(name, variants),
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::de::Deserialize for {name}{ty_generics} {{\n\
+             fn from_value(__value: &::serde::value::Value) \
+             -> ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// `Path { f: field(fields, label, "f")?, ... }`
+fn deserialize_named_fields(path: &str, label: &str, fields: &[String], src: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::de::field({src}, \"{label}\", \"{f}\")?"))
+        .collect();
+    format!("{path} {{ {} }}", items.join(", "))
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut tagged_arms = Vec::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => unit_arms.push(format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+            )),
+            Fields::Tuple(1) => tagged_arms.push(format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                 ::serde::de::Deserialize::from_value(__payload)?)),"
+            )),
+            Fields::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::de::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                tagged_arms.push(format!(
+                    "\"{vname}\" => {{\n\
+                         let __items = __payload.as_array().ok_or_else(|| \
+                         ::serde::de::Error::custom(\
+                         \"{name}::{vname}: expected array payload\"))?;\n\
+                         if __items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(\
+                             ::serde::de::Error::custom(\
+                             \"{name}::{vname}: wrong tuple arity\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}::{vname}({}))\n\
+                     }}",
+                    elems.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let label = format!("{name}::{vname}");
+                let ctor =
+                    deserialize_named_fields(&format!("{name}::{vname}"), &label, fields, "__vf");
+                tagged_arms.push(format!(
+                    "\"{vname}\" => {{\n\
+                         let __vf = __payload.as_object().ok_or_else(|| \
+                         ::serde::de::Error::custom(\
+                         \"{label}: expected object payload\"))?;\n\
+                         ::std::result::Result::Ok({ctor})\n\
+                     }}"
+                ));
+            }
+            Fields::Enum(_) => unreachable!("variant cannot itself be an enum"),
+        }
+    }
+    format!(
+        "match __value {{\n\
+             ::serde::value::Value::Str(__s) => match __s.as_str() {{\n\
+                 {}\n\
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 ::std::format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+             }},\n\
+             ::serde::value::Value::Object(__tagged) if __tagged.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__tagged[0];\n\
+                 match __tag.as_str() {{\n\
+                     {}\n\
+                     __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                     ::std::format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                 }}\n\
+             }}\n\
+             __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+             ::std::format!(\"{name}: expected variant, found {{}}\", __other.kind()))),\n\
+         }}",
+        unit_arms.join("\n"),
+        tagged_arms.join("\n")
+    )
+}

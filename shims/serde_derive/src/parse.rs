@@ -1,0 +1,370 @@
+//! A small token-tree walker for derive input: just enough structure
+//! recovery (name, generics, fields/variants, `#[serde(...)]` container
+//! attributes) to drive the code generators in `lib.rs`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One generic type parameter from the item declaration.
+pub struct GenericParam {
+    /// The parameter name (`T`).
+    pub name: String,
+    /// Declared bounds, verbatim (`Copy + Clone`), empty if none.
+    pub bounds: String,
+}
+
+/// The shape of a struct body or of one enum variant.
+pub enum Fields {
+    /// `{ a: A, b: B }` — the field names in declaration order.
+    Named(Vec<String>),
+    /// `(A, B, ...)` — the arity.
+    Tuple(usize),
+    /// No fields at all.
+    Unit,
+    /// The item is an enum with these variants (never nested).
+    Enum(Vec<Variant>),
+}
+
+/// One enum variant.
+pub struct Variant {
+    /// The variant name.
+    pub name: String,
+    /// Its payload shape (`Unit`, `Tuple`, or `Named`).
+    pub fields: Fields,
+}
+
+/// Everything the generators need to know about the derive target.
+pub struct Input {
+    /// Type name.
+    pub name: String,
+    /// Generic parameters, in order.
+    pub generics: Vec<GenericParam>,
+    /// Body shape.
+    pub fields: Fields,
+    /// `#[serde(try_from = "T")]` payload, if present.
+    pub try_from_type: Option<String>,
+    /// `#[serde(into = "T")]` payload, if present.
+    pub into_type: Option<String>,
+}
+
+pub fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let (try_from_type, into_type) = skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => panic!("serde_derive: expected struct or enum, found `{other}`"),
+    };
+    let name = expect_ident(&tokens, &mut pos);
+    let generics = parse_generics(&tokens, &mut pos);
+
+    let fields = if is_enum {
+        let body = expect_group(&tokens, &mut pos, Delimiter::Brace, "enum body");
+        Fields::Enum(parse_variants(body))
+    } else {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            other => panic!("serde_derive: unexpected struct body: {other:?}"),
+        }
+    };
+
+    Input {
+        name,
+        generics,
+        fields,
+        try_from_type,
+        into_type,
+    }
+}
+
+/// Consumes leading `#[...]` attributes, returning any
+/// `#[serde(try_from = "...", into = "...")]` payloads found.
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) -> (Option<String>, Option<String>) {
+    let mut try_from = None;
+    let mut into = None;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *pos += 1;
+        let TokenTree::Group(attr) = &tokens[*pos] else {
+            panic!("serde_derive: `#` not followed by attribute brackets");
+        };
+        *pos += 1;
+        let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+        if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+            (inner.first(), inner.get(1))
+        {
+            if id.to_string() == "serde" {
+                parse_serde_attr(args.stream(), &mut try_from, &mut into);
+            }
+        }
+    }
+    (try_from, into)
+}
+
+/// Parses `try_from = "f64", into = "f64"` style key/value pairs.
+fn parse_serde_attr(stream: TokenStream, try_from: &mut Option<String>, into: &mut Option<String>) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(key) = &tokens[i] {
+            let key = key.to_string();
+            if matches!(tokens.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                if let Some(TokenTree::Literal(lit)) = tokens.get(i + 2) {
+                    let raw = lit.to_string();
+                    let ty = raw.trim_matches('"').to_string();
+                    match key.as_str() {
+                        "try_from" => *try_from = Some(ty),
+                        "into" => *into = Some(ty),
+                        other => panic!("serde_derive shim: unsupported serde attribute `{other}`"),
+                    }
+                    i += 3;
+                    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+            panic!("serde_derive shim: unsupported serde attribute form at `{key}`");
+        }
+        i += 1;
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        // `pub(crate)` / `pub(in path)` carry a parenthesized payload.
+        if matches!(
+            tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn expect_group(
+    tokens: &[TokenTree],
+    pos: &mut usize,
+    delim: Delimiter,
+    what: &str,
+) -> TokenStream {
+    match tokens.get(*pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delim => {
+            *pos += 1;
+            g.stream()
+        }
+        other => panic!("serde_derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Parses `<T, U: Bound + Bound>` if present. Lifetimes are not supported
+/// (no derived type in this workspace has them).
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Vec<GenericParam> {
+    let mut params = Vec::new();
+    if !matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return params;
+    }
+    *pos += 1;
+    let mut depth = 1usize;
+    let mut current_name: Option<String> = None;
+    let mut bounds = String::new();
+    let mut in_bounds = false;
+    while depth > 0 {
+        let tok = tokens
+            .get(*pos)
+            .unwrap_or_else(|| panic!("serde_derive: unterminated generics"));
+        *pos += 1;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                if in_bounds {
+                    bounds.push('<');
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    if let Some(name) = current_name.take() {
+                        params.push(GenericParam {
+                            name,
+                            bounds: bounds.trim().to_string(),
+                        });
+                    }
+                } else if in_bounds {
+                    bounds.push('>');
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                if let Some(name) = current_name.take() {
+                    params.push(GenericParam {
+                        name,
+                        bounds: bounds.trim().to_string(),
+                    });
+                }
+                bounds.clear();
+                in_bounds = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 && !in_bounds => {
+                in_bounds = true;
+            }
+            other => {
+                if in_bounds {
+                    push_bound_token(&mut bounds, other);
+                } else if current_name.is_none() {
+                    if let TokenTree::Ident(id) = other {
+                        current_name = Some(id.to_string());
+                    } else {
+                        panic!("serde_derive: unsupported generic parameter {other:?}");
+                    }
+                }
+            }
+        }
+    }
+    params
+}
+
+/// Appends one bound token, inserting a space only between adjacent
+/// word-like tokens so paths re-render verbatim (`std::fmt::Debug`, not
+/// `std : : fmt : : Debug`, which would not lex).
+fn push_bound_token(bounds: &mut String, tok: &TokenTree) {
+    let text = tok.to_string();
+    let last_is_word = bounds
+        .chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let next_is_word = text
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    if last_is_word && next_is_word {
+        bounds.push(' ');
+    }
+    bounds.push_str(&text);
+}
+
+/// Extracts field names from `{ a: A, b: B }`, skipping attributes,
+/// visibility, and type tokens (tracking `<...>` depth so commas inside
+/// generic types don't split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        fields.push(name);
+        // Skip `: Type` up to the next top-level comma.
+        let mut angle_depth = 0usize;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' && angle_depth > 0 => {
+                    angle_depth -= 1;
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant body `(A, B, ...)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' && angle_depth > 0 => {
+                angle_depth -= 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip a discriminant (`= expr`) if present, then the separator.
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    pos += 1;
+                    break;
+                }
+                _ => pos += 1,
+            }
+        }
+    }
+    variants
+}

@@ -1,0 +1,148 @@
+//! Offline stand-in for `serde_json`: renders the `serde` shim's value
+//! tree to JSON text and parses it back.
+//!
+//! Covers the API surface iriscast uses: [`to_string`],
+//! [`to_string_pretty`], [`from_str`], [`Result`], [`Error`]. Non-finite
+//! floats serialize as `null` (as in real serde_json) and `null`
+//! deserializes back to `f64::NAN`, so gap-bearing power series
+//! round-trip.
+
+#![deny(missing_docs)]
+
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+mod parser;
+mod writer;
+
+/// Serialization/deserialization failure.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(writer::write(&value.to_value(), None))
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(writer::write(&value.to_value(), Some(0)))
+}
+
+/// Parses a JSON string into `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value: Value = parser::parse(s).map_err(Error::new)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn escaped_surrogate_pairs_decode() {
+        let s: String = super::from_str(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(s, "\u{1F600}");
+        // Unpaired surrogates are rejected, not mangled.
+        assert!(super::from_str::<String>(r#""\ud83d""#).is_err());
+        assert!(super::from_str::<String>(r#""\ud83dA""#).is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "line\n\ttab \"quoted\" back\\slash \u{1F980}".to_string();
+        let json = super::to_string(&original).unwrap();
+        let back: String = super::from_str(&json).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn missing_optional_field_is_none() {
+        // Absent keys deserialize Option fields to None (serde semantics);
+        // absent non-optional keys stay an error.
+        let fields = vec![("present".to_string(), serde::value::Value::Int(7))];
+        let got: Option<i64> = serde::de::field(&fields, "T", "absent").unwrap();
+        assert_eq!(got, None);
+        assert!(serde::de::field::<i64>(&fields, "T", "absent").is_err());
+        let present: Option<i64> = serde::de::field(&fields, "T", "present").unwrap();
+        assert_eq!(present, Some(7));
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly() {
+        let json = super::to_string(&(i64::MAX, u64::MAX, 0.1f64, -2.5e-300f64)).unwrap();
+        let (a, b, c, d): (i64, u64, f64, f64) = super::from_str(&json).unwrap();
+        assert_eq!(a, i64::MAX);
+        assert_eq!(b, u64::MAX);
+        assert_eq!(c, 0.1);
+        assert_eq!(d, -2.5e-300);
+    }
+
+    #[test]
+    fn derive_handles_bounded_generics_and_enums() {
+        // The declared path bounds (`std::fmt::Debug`) must re-render as
+        // lexable Rust in the generated impl header.
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Wrapper<T: std::fmt::Debug + Clone> {
+            inner: T,
+            tag: Option<String>,
+        }
+        #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+        enum Payload {
+            Empty,
+            One(f64),
+            Pair { a: i64, b: String },
+        }
+
+        for payload in [
+            Payload::Empty,
+            Payload::One(2.5),
+            Payload::Pair {
+                a: -3,
+                b: "x".into(),
+            },
+        ] {
+            let w = Wrapper {
+                inner: payload.clone(),
+                tag: None,
+            };
+            let json = super::to_string(&w).unwrap();
+            let back: Wrapper<Payload> = super::from_str(&json).unwrap();
+            assert_eq!(back.inner, payload);
+        }
+        // A missing Option field deserializes to None end-to-end.
+        let partial: Wrapper<Payload> = super::from_str(r#"{"inner":"Empty"}"#).unwrap();
+        assert_eq!(partial.tag, None);
+    }
+
+    #[test]
+    fn nan_serializes_as_null_and_returns_as_nan() {
+        let json = super::to_string(&vec![1.0f64, f64::NAN]).unwrap();
+        assert_eq!(json, "[1.0,null]");
+        let back: Vec<f64> = super::from_str(&json).unwrap();
+        assert_eq!(back[0], 1.0);
+        assert!(back[1].is_nan());
+    }
+}

@@ -45,8 +45,7 @@ fn table1_inventory_matches() {
 /// cell within 2%, with the right cells missing.
 #[test]
 fn table2_simulation_matches() {
-    let scenario =
-        IrisScenario::paper_snapshot(7).with_sample_step(SimDuration::from_secs(300));
+    let scenario = IrisScenario::paper_snapshot(7).with_sample_step(SimDuration::from_secs(300));
     let result = scenario.simulate(4);
     for (row, published) in result.rows.iter().zip(paper::TABLE2_ROWS.iter()) {
         for (got, want, what) in [
@@ -115,8 +114,7 @@ fn tables3_4_and_summary_exact() {
 /// pipeline preserves the paper's qualitative conclusions.
 #[test]
 fn end_to_end_conclusions_hold() {
-    let scenario =
-        IrisScenario::paper_snapshot(99).with_sample_step(SimDuration::from_secs(600));
+    let scenario = IrisScenario::paper_snapshot(99).with_sample_step(SimDuration::from_secs(600));
     let result = scenario.simulate(4);
     let a = SnapshotAssessment::run(result.total(), &AssessmentParams::paper());
 

@@ -17,10 +17,7 @@ fn demo_config(seed: u64) -> SiteTelemetryConfig {
         vec![NodeGroupTelemetry {
             label: "compute".into(),
             count: 64,
-            power_model: NodePowerModel::linear(
-                Power::from_watts(120.0),
-                Power::from_watts(550.0),
-            ),
+            power_model: NodePowerModel::linear(Power::from_watts(120.0), Power::from_watts(550.0)),
         }],
         seed,
     );
@@ -56,16 +53,17 @@ fn workload_drives_telemetry_consistently() {
         .iter()
         .map(|s| {
             let span = Period::new(s.start, s.end);
-            iriscast::workload::metrics::job_energy(s, &model, true)
-                * span.overlap_fraction(&day)
+            iriscast::workload::metrics::job_energy(s, &model, true) * span.overlap_fraction(&day)
         })
         .sum();
     let expected = idle + marginal;
     let got = result.true_energy();
-    let rel = (got.kilowatt_hours() - expected.kilowatt_hours()).abs()
-        / expected.kilowatt_hours();
+    let rel = (got.kilowatt_hours() - expected.kilowatt_hours()).abs() / expected.kilowatt_hours();
     // Trace discretisation (300 s slots vs exact intervals) costs a little.
-    assert!(rel < 0.02, "telemetry {got} vs analytic {expected} ({rel:.4})");
+    assert!(
+        rel < 0.02,
+        "telemetry {got} vs analytic {expected} ({rel:.4})"
+    );
 }
 
 /// Active carbon via the time-aligned series equals scalar × mean for an
@@ -132,8 +130,7 @@ fn dropout_resilience() {
     assert!(series.valid_fraction() < 0.8);
     let healed = series.integrate(GapPolicy::HoldLast);
     let clean_e = clean.energy(MeterKind::Ipmi).unwrap();
-    let rel = (healed.kilowatt_hours() - clean_e.kilowatt_hours()).abs()
-        / clean_e.kilowatt_hours();
+    let rel = (healed.kilowatt_hours() - clean_e.kilowatt_hours()).abs() / clean_e.kilowatt_hours();
     assert!(rel < 0.02, "healed energy {rel:.3} off clean");
     let _ = degraded; // the error model itself is unit-tested in-crate
 }
@@ -154,7 +151,10 @@ fn carbon_aware_saves_carbon() {
     let mut wins = 0;
     for seed in 0..3 {
         let jobs = generate(&cfg, week, seed);
-        assert!(offered_load(&jobs, 64, week) < 1.0, "keep the test un-saturated");
+        assert!(
+            offered_load(&jobs, 64, week) < 1.0,
+            "keep the test un-saturated"
+        );
         let sim = ClusterSim::new(64);
         let base = sim.run_with_intensity(
             jobs.clone(),
@@ -188,10 +188,16 @@ fn forecast_driven_scheduling_still_saves() {
         .unwrap();
     let forecast = DayAheadForecaster::gb_default().forecast_series(&actual);
     let act_week = actual
-        .slice(Period::new(Timestamp::from_days(1), Timestamp::from_days(8)))
+        .slice(Period::new(
+            Timestamp::from_days(1),
+            Timestamp::from_days(8),
+        ))
         .unwrap();
     let fct_week = forecast
-        .slice(Period::new(Timestamp::from_days(1), Timestamp::from_days(8)))
+        .slice(Period::new(
+            Timestamp::from_days(1),
+            Timestamp::from_days(8),
+        ))
         .unwrap();
 
     let cfg = WorkloadConfig {
@@ -213,8 +219,7 @@ fn forecast_driven_scheduling_still_saves() {
     // The carbon-aware policy *sees the forecast*, but is *scored on
     // actuals*.
     let mut aware = CarbonAwareScheduler::new(EasyBackfillScheduler, fct_week.percentile(0.4));
-    let aware_outcome =
-        sim.run_with_intensity(jobs, &mut aware, play_week, Some(&fct_week));
+    let aware_outcome = sim.run_with_intensity(jobs, &mut aware, play_week, Some(&fct_week));
 
     let c_base = outcome_carbon(&base, &model, &act_week);
     let c_aware = outcome_carbon(&aware_outcome, &model, &act_week);
