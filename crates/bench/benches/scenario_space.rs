@@ -1,0 +1,81 @@
+//! Scenario-space engine bench: batch throughput at 1k / 10k / 100k
+//! points, serial vs parallel.
+//!
+//! The spaces refine the paper's parameter ranges (CI 50–300 g/kWh,
+//! PUE 1.1–1.6, embodied 400–1,100 kg, lifespan 3–7 y) to increasing
+//! resolution, so every point is a physically meaningful scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iriscast_model::{paper, Assessment};
+use iriscast_units::{Bounds, Pue};
+use std::hint::black_box;
+
+/// A paper-shaped space with roughly `target` points: axis lengths are
+/// the target's fourth root (CI gets the remainder).
+fn space_of(target: usize) -> Assessment {
+    let side = (target as f64).powf(0.25).round() as usize;
+    let n_ci = target / (side * side * side);
+    Assessment::builder()
+        .energy(paper::effective_energy())
+        .ci_axis(
+            iriscast_model::ScenarioAxis::linspace(
+                "ci",
+                Bounds::new(
+                    iriscast_units::CarbonIntensity::from_grams_per_kwh(50.0),
+                    iriscast_units::CarbonIntensity::from_grams_per_kwh(300.0),
+                ),
+                n_ci,
+            )
+            .expect("non-zero axis"),
+        )
+        .pue_axis(
+            iriscast_model::ScenarioAxis::linspace(
+                "pue",
+                Bounds::new(Pue::new(1.1).unwrap(), Pue::new(1.6).unwrap()),
+                side,
+            )
+            .expect("non-zero axis"),
+        )
+        .embodied_linspace(paper::server_embodied_bounds(), side)
+        .lifespan_linspace(3.0, 7.0, side)
+        .servers(paper::AMORTISATION_FLEET_SERVERS)
+        .build()
+        .expect("valid space")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario_space");
+    g.sample_size(10);
+
+    for &points in &[1_000usize, 10_000, 100_000] {
+        let assessment = space_of(points);
+        let n = assessment.space().len();
+        g.bench_with_input(
+            BenchmarkId::new("evaluate_space", n),
+            &assessment,
+            |b, a| b.iter(|| black_box(a.evaluate_space())),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("par_evaluate_space", n),
+            &assessment,
+            |b, a| b.iter(|| black_box(a.par_evaluate_space(0))),
+        );
+    }
+
+    // Query costs on the largest batch.
+    let results = space_of(100_000).evaluate_space();
+    g.bench_function("envelope_100k", |b| {
+        b.iter(|| black_box(results.envelope()))
+    });
+    g.bench_function("percentile_100k", |b| {
+        b.iter(|| black_box(results.percentile(0.95).unwrap()))
+    });
+    g.bench_function("marginals_100k", |b| {
+        b.iter(|| black_box(results.marginals(iriscast_model::AxisId::Ci)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

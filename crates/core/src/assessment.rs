@@ -1,6 +1,14 @@
 //! The end-to-end snapshot assessment pipeline.
+//!
+//! [`SnapshotAssessment`] is the paper-shaped facade: fixed three-scenario
+//! axes, every published table in one call. It is a compatibility adapter
+//! over the scenario-space engine — [`AssessmentParams::engine`] exposes
+//! the equivalent [`crate::engine::Assessment`] for arbitrary-cardinality
+//! sweeps of the same parameter set.
 
+use crate::engine::Assessment;
 use crate::equivalence::{equivalences, Equivalences};
+use crate::error::Result;
 use crate::model::CarbonAssessment;
 use crate::paper;
 use crate::scenario::{ActiveCarbonGrid, EmbodiedSweep};
@@ -34,6 +42,20 @@ impl AssessmentParams {
             servers: paper::AMORTISATION_FLEET_SERVERS,
         }
     }
+
+    /// The equivalent scenario-space assessment for a given IT energy:
+    /// the same parameters as a 3 × 3 × 2 × *n* space ready for batch
+    /// evaluation, envelope/percentile queries, or axis refinement.
+    pub fn engine(&self, it_energy: Energy) -> Result<Assessment> {
+        Assessment::builder()
+            .energy(it_energy)
+            .ci_tri(self.ci)
+            .pue_tri(self.pue)
+            .embodied_bounds(self.embodied_per_server)
+            .lifespans_years(&self.lifespans_years)
+            .servers(self.servers)
+            .build()
+    }
 }
 
 /// A complete snapshot assessment: every table the paper reports, derived
@@ -53,22 +75,34 @@ pub struct SnapshotAssessment {
 }
 
 impl SnapshotAssessment {
-    /// Runs the full pipeline.
-    pub fn run(it_energy: Energy, params: &AssessmentParams) -> Self {
+    /// Runs the full pipeline, reporting invalid parameters (an empty
+    /// lifespan sweep, a sub-1.0 PUE) as typed errors.
+    pub fn try_run(it_energy: Energy, params: &AssessmentParams) -> Result<Self> {
         let active = ActiveCarbonGrid::compute(it_energy, params.ci, params.pue);
-        let embodied = EmbodiedSweep::compute(
+        let embodied = EmbodiedSweep::try_compute(
             params.embodied_per_server,
             &params.lifespans_years,
             params.servers,
-        );
-        let assessment = CarbonAssessment::new(active.envelope(), embodied.envelope());
+        )?;
+        let assessment = CarbonAssessment::new(active.envelope(), embodied.try_envelope()?);
         let total = assessment.total();
-        SnapshotAssessment {
+        Ok(SnapshotAssessment {
             it_energy,
             active,
             embodied,
             assessment,
             equivalents: Bounds::new(equivalences(total.lo), equivalences(total.hi)),
+        })
+    }
+
+    /// Runs the full pipeline.
+    ///
+    /// # Panics
+    /// On an empty lifespan sweep (see [`SnapshotAssessment::try_run`]).
+    pub fn run(it_energy: Energy, params: &AssessmentParams) -> Self {
+        match Self::try_run(it_energy, params) {
+            Ok(a) => a,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -125,6 +159,34 @@ mod tests {
         );
         // The paper's §6 prediction: embodied comes to dominate.
         assert!(share_future > 0.5);
+    }
+
+    #[test]
+    fn try_run_reports_empty_sweep_as_typed_error() {
+        let mut params = AssessmentParams::paper();
+        params.lifespans_years.clear();
+        let err = SnapshotAssessment::try_run(paper::effective_energy(), &params).unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::Error::EmptyAxis {
+                axis: "lifespan".into()
+            }
+        );
+    }
+
+    #[test]
+    fn engine_bridge_reproduces_the_snapshot_envelope() {
+        let params = AssessmentParams::paper();
+        let snapshot = SnapshotAssessment::run(paper::effective_energy(), &params);
+        let results = params
+            .engine(paper::effective_energy())
+            .unwrap()
+            .evaluate_space();
+        let env = results.envelope();
+        // The batch envelope is exactly the table-extremes assessment.
+        assert_eq!(env.active, snapshot.assessment.active);
+        assert_eq!(env.embodied, snapshot.assessment.embodied);
+        assert_eq!(results.assessment().total(), snapshot.assessment.total());
     }
 
     #[test]

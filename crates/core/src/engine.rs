@@ -1,0 +1,871 @@
+//! The scenario-space evaluation engine.
+//!
+//! This is the generalised form of the paper's methodology: one IT-energy
+//! figure, one fleet, and a [`ScenarioSpace`] of model inputs, evaluated
+//! to `total = active + embodied` at every point. The paper's Tables 3
+//! and 4 are tiny spaces (3 × 3 and 2 × 5); the engine evaluates spaces of
+//! any cardinality, serially or chunked across threads, and answers
+//! envelope/percentile/marginal queries over the batch.
+//!
+//! Entry point: [`Assessment::builder`].
+//!
+//! ```
+//! use iriscast_model::engine::Assessment;
+//! use iriscast_model::paper;
+//!
+//! // The paper's exact parameter space, as a 3 × 3 × 2 × 5 scenario space.
+//! let assessment = Assessment::builder()
+//!     .energy(paper::effective_energy())
+//!     .ci_tri(paper::ci_references())
+//!     .pue_tri(paper::pue_table3())
+//!     .embodied_bounds(paper::server_embodied_bounds())
+//!     .lifespans_years(&paper::LIFESPANS_YEARS)
+//!     .servers(paper::AMORTISATION_FLEET_SERVERS)
+//!     .build()
+//!     .unwrap();
+//! let results = assessment.evaluate_space();
+//! assert_eq!(results.len(), 90);
+//! // §6's active envelope falls out of the batch: 1,066–9,302 kg.
+//! let env = results.envelope();
+//! assert!((env.active.lo.kilograms() - 1_065.9).abs() < 0.1);
+//! assert!((env.active.hi.kilograms() - 9_302.4).abs() < 0.1);
+//! ```
+
+use crate::embodied::fleet_snapshot_daily;
+use crate::error::{Error, Result};
+use crate::model::CarbonAssessment;
+use crate::space::{AxisId, ScenarioAxis, ScenarioPoint, ScenarioSpace};
+use iriscast_grid::stats;
+use iriscast_units::{Bounds, CarbonIntensity, CarbonMass, Energy, Pue, SimDuration, TriEstimate};
+
+/// Active and embodied carbon for one evaluated scenario.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PointOutcome {
+    /// Active carbon for the window (equations 2–3).
+    pub active: CarbonMass,
+    /// Embodied carbon apportioned to the window (equation 4).
+    pub embodied: CarbonMass,
+}
+
+impl PointOutcome {
+    /// Equation (1): `Ct = Ca + Ce`.
+    pub fn total(&self) -> CarbonMass {
+        self.active + self.embodied
+    }
+
+    /// Embodied share of the total, in `[0, 1]`.
+    pub fn embodied_share(&self) -> f64 {
+        self.embodied / self.total()
+    }
+}
+
+/// One evaluated scenario: the resolved parameters plus the outcome.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PointResult {
+    /// The scenario that was evaluated.
+    pub point: ScenarioPoint,
+    /// Its active/embodied outcome.
+    pub outcome: PointOutcome,
+}
+
+/// The model kernel: one scenario, evaluated.
+///
+/// `window_days` scales the embodied charge (1.0 is the paper's 24-hour
+/// snapshot). Every evaluation path — single point, batch, parallel batch,
+/// and all the legacy adapters — funnels through this function, which is
+/// what keeps them bit-identical.
+///
+/// The caller guarantees `lifespan_years > 0` (the builder and
+/// [`ScenarioSpace`] validate it; the underlying amortisation helper
+/// asserts it).
+pub fn evaluate_one(
+    energy: Energy,
+    servers: u32,
+    window_days: f64,
+    ci: CarbonIntensity,
+    pue: Pue,
+    embodied_per_server: CarbonMass,
+    lifespan_years: f64,
+) -> PointOutcome {
+    PointOutcome {
+        active: pue.apply(energy) * ci,
+        embodied: fleet_snapshot_daily(embodied_per_server, lifespan_years, servers) * window_days,
+    }
+}
+
+/// A fully resolved assessment: energy, fleet, window, and the scenario
+/// space to sweep. Built with [`Assessment::builder`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Assessment {
+    energy: Energy,
+    servers: u32,
+    window_days: f64,
+    space: ScenarioSpace,
+}
+
+impl Assessment {
+    /// Starts a builder with nothing filled in.
+    pub fn builder() -> AssessmentBuilder {
+        AssessmentBuilder::default()
+    }
+
+    /// The paper's exact parameterisation (effective energy, Table 3/4
+    /// axes, 2,398 servers, 24-hour window).
+    pub fn paper() -> Self {
+        Assessment::builder()
+            .energy(crate::paper::effective_energy())
+            .ci_tri(crate::paper::ci_references())
+            .pue_tri(crate::paper::pue_table3())
+            .embodied_bounds(crate::paper::server_embodied_bounds())
+            .lifespans_years(&crate::paper::LIFESPANS_YEARS)
+            .servers(crate::paper::AMORTISATION_FLEET_SERVERS)
+            .build()
+            .expect("paper parameters are valid")
+    }
+
+    /// The IT energy being assessed.
+    pub fn energy(&self) -> Energy {
+        self.energy
+    }
+
+    /// The fleet size amortised.
+    pub fn servers(&self) -> u32 {
+        self.servers
+    }
+
+    /// The window length the embodied charge covers, in days.
+    pub fn window_days(&self) -> f64 {
+        self.window_days
+    }
+
+    /// The scenario space this assessment sweeps.
+    pub fn space(&self) -> &ScenarioSpace {
+        &self.space
+    }
+
+    /// Evaluates one scenario point.
+    pub fn evaluate(&self, point: &ScenarioPoint) -> PointResult {
+        PointResult {
+            point: *point,
+            outcome: evaluate_one(
+                self.energy,
+                self.servers,
+                self.window_days,
+                point.ci,
+                point.pue,
+                point.embodied_per_server,
+                point.lifespan_years,
+            ),
+        }
+    }
+
+    /// Evaluates the scenario at a flat index.
+    pub fn evaluate_index(&self, index: usize) -> Result<PointResult> {
+        Ok(self.evaluate(&self.space.point(index)?))
+    }
+
+    /// Precomputed per-axis partial products: facility energy per PUE
+    /// sample and windowed fleet charge per (embodied, lifespan) pair.
+    /// Factoring these out makes a batch O(points) multiplies while
+    /// keeping each point's arithmetic identical to [`evaluate_one`].
+    fn tables(&self) -> (Vec<Energy>, Vec<CarbonMass>) {
+        let pued: Vec<Energy> = self
+            .space
+            .pue()
+            .iter()
+            .map(|p| p.apply(self.energy))
+            .collect();
+        let mut fleet =
+            Vec::with_capacity(self.space.embodied().len() * self.space.lifespan_years().len());
+        for &e in self.space.embodied() {
+            for &years in self.space.lifespan_years() {
+                fleet.push(fleet_snapshot_daily(e, years, self.servers) * self.window_days);
+            }
+        }
+        (pued, fleet)
+    }
+
+    /// Evaluates every point in the space, serially, in index order.
+    pub fn evaluate_space(&self) -> SpaceResults {
+        let (pued, fleet) = self.tables();
+        let n = self.space.len();
+        let mut active = Vec::with_capacity(n);
+        let mut embodied = Vec::with_capacity(n);
+        let mut total = Vec::with_capacity(n);
+        for &ci in self.space.ci() {
+            for &pe in &pued {
+                let a_base = pe * ci;
+                for &e in &fleet {
+                    active.push(a_base);
+                    embodied.push(e);
+                    total.push(a_base + e);
+                }
+            }
+        }
+        SpaceResults {
+            space: self.space.clone(),
+            active,
+            embodied,
+            total,
+        }
+    }
+
+    /// Evaluates the space chunked across `threads` OS threads (via the
+    /// crossbeam scope shim). Results are identical — not just close — to
+    /// [`Assessment::evaluate_space`]: each point's arithmetic is the
+    /// same, only the loop is partitioned.
+    ///
+    /// `threads == 0` selects the machine's available parallelism.
+    pub fn par_evaluate_space(&self, threads: usize) -> SpaceResults {
+        let n = self.space.len();
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            threads
+        }
+        .min(n.max(1));
+        if threads <= 1 {
+            return self.evaluate_space();
+        }
+        let (pued, fleet) = self.tables();
+        let [_, n_pue, n_emb, n_life] = self.space.shape();
+        let chunk = n.div_ceil(threads);
+        let ranges: Vec<(usize, usize)> = (0..threads)
+            .map(|t| (t * chunk, ((t + 1) * chunk).min(n)))
+            .filter(|(s, e)| s < e)
+            .collect();
+        let ci_samples = self.space.ci().samples();
+        let mut active = Vec::with_capacity(n);
+        let mut embodied = Vec::with_capacity(n);
+        let mut total = Vec::with_capacity(n);
+        let parts = crossbeam::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&(start, end)| {
+                    let pued = &pued;
+                    let fleet = &fleet;
+                    scope.spawn(move |_| {
+                        let mut a = Vec::with_capacity(end - start);
+                        let mut e = Vec::with_capacity(end - start);
+                        let mut t = Vec::with_capacity(end - start);
+                        for idx in start..end {
+                            let life_i = idx % n_life;
+                            let rest = idx / n_life;
+                            let emb_i = rest % n_emb;
+                            let rest = rest / n_emb;
+                            let pue_i = rest % n_pue;
+                            let ci_i = rest / n_pue;
+                            let a_val = pued[pue_i] * ci_samples[ci_i];
+                            let e_val = fleet[emb_i * n_life + life_i];
+                            a.push(a_val);
+                            e.push(e_val);
+                            t.push(a_val + e_val);
+                        }
+                        (a, e, t)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scenario worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("crossbeam scope");
+        for (a, e, t) in parts {
+            active.extend(a);
+            embodied.extend(e);
+            total.extend(t);
+        }
+        SpaceResults {
+            space: self.space.clone(),
+            active,
+            embodied,
+            total,
+        }
+    }
+}
+
+/// Builder for [`Assessment`]: energy source, the four scenario axes,
+/// fleet size, and embodied window.
+///
+/// Axis setters exist at three altitudes: raw [`ScenarioAxis`] values,
+/// the paper's [`TriEstimate`]/[`Bounds`] types, and plain-number
+/// conveniences. Validation (empty axes, invalid PUEs, non-positive
+/// lifespans) happens in [`AssessmentBuilder::build`] and surfaces as
+/// typed [`Error`]s rather than panics.
+#[derive(Clone, Debug, Default)]
+pub struct AssessmentBuilder {
+    energy: Option<Energy>,
+    servers: Option<u32>,
+    window: Option<SimDuration>,
+    ci: Option<ScenarioAxis<CarbonIntensity>>,
+    pue: Option<ScenarioAxis<Pue>>,
+    pue_raw: Option<Vec<f64>>,
+    embodied: Option<ScenarioAxis<CarbonMass>>,
+    lifespan: Option<ScenarioAxis<f64>>,
+    /// First error recorded by a convenience setter (e.g. an empty
+    /// sample list); surfaced by [`AssessmentBuilder::build`].
+    deferred: Option<Error>,
+}
+
+impl AssessmentBuilder {
+    /// Sets the measured IT energy for the window (required).
+    pub fn energy(mut self, energy: Energy) -> Self {
+        self.energy = Some(energy);
+        self
+    }
+
+    /// Sets the fleet size amortised (required).
+    pub fn servers(mut self, servers: u32) -> Self {
+        self.servers = Some(servers);
+        self
+    }
+
+    /// Sets the window the embodied charge covers (default: 24 hours, the
+    /// paper's snapshot).
+    pub fn window(mut self, window: SimDuration) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// Sets the carbon-intensity axis.
+    pub fn ci_axis(mut self, axis: ScenarioAxis<CarbonIntensity>) -> Self {
+        self.ci = Some(axis);
+        self
+    }
+
+    /// Carbon-intensity axis from a low/mid/high triple.
+    pub fn ci_tri(self, tri: TriEstimate<CarbonIntensity>) -> Self {
+        self.ci_axis(ScenarioAxis::from_tri("carbon intensity", tri))
+    }
+
+    /// Records a setter-level failure for [`AssessmentBuilder::build`]
+    /// to report (the first one wins), leaving already-set axes alone.
+    fn defer(&mut self, err: Error) {
+        self.deferred.get_or_insert(err);
+    }
+
+    /// Carbon-intensity axis from raw g/kWh samples. An empty list
+    /// surfaces as [`Error::EmptyAxis`] at [`AssessmentBuilder::build`].
+    pub fn ci_grams_per_kwh(mut self, samples: &[f64]) -> Self {
+        match ScenarioAxis::new(
+            "carbon intensity",
+            samples
+                .iter()
+                .map(|&g| CarbonIntensity::from_grams_per_kwh(g))
+                .collect(),
+        ) {
+            Ok(axis) => self.ci = Some(axis),
+            Err(e) => self.defer(e),
+        }
+        self
+    }
+
+    /// Sets the PUE axis.
+    pub fn pue_axis(mut self, axis: ScenarioAxis<Pue>) -> Self {
+        self.pue = Some(axis);
+        self.pue_raw = None;
+        self
+    }
+
+    /// PUE axis from a low/mid/high triple.
+    pub fn pue_tri(self, tri: TriEstimate<Pue>) -> Self {
+        self.pue_axis(ScenarioAxis::from_tri("pue", tri))
+    }
+
+    /// PUE axis from raw ratios; values are validated at
+    /// [`AssessmentBuilder::build`], where an invalid PUE becomes
+    /// [`Error::Units`] instead of a panic.
+    pub fn pue_values(mut self, samples: &[f64]) -> Self {
+        self.pue_raw = Some(samples.to_vec());
+        self.pue = None;
+        self
+    }
+
+    /// Sets the embodied-carbon axis (per-server).
+    pub fn embodied_axis(mut self, axis: ScenarioAxis<CarbonMass>) -> Self {
+        self.embodied = Some(axis);
+        self
+    }
+
+    /// Embodied axis from published per-server bounds (2 samples — the
+    /// paper's 400/1,100 kg bracket).
+    pub fn embodied_bounds(self, bounds: Bounds<CarbonMass>) -> Self {
+        self.embodied_axis(
+            ScenarioAxis::new("embodied per server", bounds.to_vec())
+                .expect("two bounds are never an empty sample list"),
+        )
+    }
+
+    /// Embodied axis of `n` evenly spaced samples across per-server
+    /// bounds. `n == 0` surfaces as [`Error::EmptyAxis`] at
+    /// [`AssessmentBuilder::build`].
+    pub fn embodied_linspace(mut self, bounds: Bounds<CarbonMass>, n: usize) -> Self {
+        match ScenarioAxis::linspace("embodied per server", bounds, n) {
+            Ok(axis) => self.embodied = Some(axis),
+            Err(e) => self.defer(e),
+        }
+        self
+    }
+
+    /// Sets the lifespan axis (years).
+    pub fn lifespan_axis(mut self, axis: ScenarioAxis<f64>) -> Self {
+        self.lifespan = Some(axis);
+        self
+    }
+
+    /// Lifespan axis from whole-year samples (Table 4's 3–7 years). An
+    /// empty list surfaces as [`Error::EmptyAxis`] at
+    /// [`AssessmentBuilder::build`].
+    pub fn lifespans_years(mut self, years: &[u32]) -> Self {
+        let samples: Vec<f64> = years.iter().map(|&y| f64::from(y)).collect();
+        match ScenarioAxis::new("lifespan", samples) {
+            Ok(axis) => self.lifespan = Some(axis),
+            Err(e) => self.defer(e),
+        }
+        self
+    }
+
+    /// Lifespan axis of `n` evenly spaced samples between `lo` and `hi`
+    /// years. `n == 0` surfaces as [`Error::EmptyAxis`] at
+    /// [`AssessmentBuilder::build`].
+    pub fn lifespan_linspace(mut self, lo: f64, hi: f64, n: usize) -> Self {
+        match ScenarioAxis::linspace("lifespan", Bounds::new(lo, hi), n) {
+            Ok(axis) => self.lifespan = Some(axis),
+            Err(e) => self.defer(e),
+        }
+        self
+    }
+
+    /// Validates and builds the [`Assessment`].
+    pub fn build(self) -> Result<Assessment> {
+        if let Some(e) = self.deferred {
+            return Err(e);
+        }
+        let energy = self
+            .energy
+            .ok_or(Error::MissingParameter { what: "energy" })?;
+        let servers = self.servers.ok_or(Error::MissingParameter {
+            what: "fleet size (servers)",
+        })?;
+        let window_days = match self.window {
+            Some(w) => w.as_days(),
+            None => 1.0,
+        };
+        if !(window_days.is_finite() && window_days > 0.0) {
+            return Err(Error::InvalidWindow { days: window_days });
+        }
+        let ci = self.ci.ok_or(Error::MissingParameter {
+            what: "carbon-intensity axis",
+        })?;
+        let pue = match (self.pue, self.pue_raw) {
+            (Some(axis), _) => axis,
+            (None, Some(raw)) => {
+                let samples = raw
+                    .into_iter()
+                    .map(Pue::new)
+                    .collect::<std::result::Result<Vec<_>, _>>()?;
+                ScenarioAxis::new("pue", samples)?
+            }
+            (None, None) => return Err(Error::MissingParameter { what: "pue axis" }),
+        };
+        let embodied = self.embodied.ok_or(Error::MissingParameter {
+            what: "embodied-carbon axis",
+        })?;
+        let lifespan = self.lifespan.ok_or(Error::MissingParameter {
+            what: "lifespan axis",
+        })?;
+        Ok(Assessment {
+            energy,
+            servers,
+            window_days,
+            space: ScenarioSpace::new(ci, pue, embodied, lifespan)?,
+        })
+    }
+}
+
+/// Marginal statistics of the total along one sample of one axis: what the
+/// batch looks like with that input pinned and everything else swept.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Marginal {
+    /// The axis being conditioned on.
+    pub axis: AxisId,
+    /// The sample index along that axis.
+    pub sample_index: usize,
+    /// Total-carbon envelope over all other axes.
+    pub total: Bounds<CarbonMass>,
+    /// Mean total over all other axes.
+    pub mean_total: CarbonMass,
+}
+
+impl Marginal {
+    /// The spread this sample leaves unexplained (envelope width).
+    pub fn span(&self) -> CarbonMass {
+        self.total.hi - self.total.lo
+    }
+}
+
+/// Joint active/embodied/total envelope of a batch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Envelope {
+    /// Active-carbon envelope.
+    pub active: Bounds<CarbonMass>,
+    /// Embodied-carbon envelope.
+    pub embodied: Bounds<CarbonMass>,
+    /// Total-carbon envelope.
+    pub total: Bounds<CarbonMass>,
+}
+
+/// Columnar results of a batch evaluation: one entry per scenario point,
+/// in the space's index order.
+///
+/// Columns are stored separately (struct-of-arrays) so envelope,
+/// percentile and marginal queries scan contiguous memory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpaceResults {
+    space: ScenarioSpace,
+    active: Vec<CarbonMass>,
+    embodied: Vec<CarbonMass>,
+    total: Vec<CarbonMass>,
+}
+
+impl SpaceResults {
+    /// Number of evaluated points (= the space's cardinality, ≥ 1).
+    pub fn len(&self) -> usize {
+        self.total.len()
+    }
+
+    /// Always `false`: spaces are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The space these results were evaluated over.
+    pub fn space(&self) -> &ScenarioSpace {
+        &self.space
+    }
+
+    /// Active-carbon column.
+    pub fn active(&self) -> &[CarbonMass] {
+        &self.active
+    }
+
+    /// Embodied-carbon column.
+    pub fn embodied(&self) -> &[CarbonMass] {
+        &self.embodied
+    }
+
+    /// Total-carbon column.
+    pub fn totals(&self) -> &[CarbonMass] {
+        &self.total
+    }
+
+    /// Reconstructs the full [`PointResult`] at an index.
+    pub fn get(&self, index: usize) -> Result<PointResult> {
+        let point = self.space.point(index)?;
+        Ok(PointResult {
+            point,
+            outcome: PointOutcome {
+                active: self.active[index],
+                embodied: self.embodied[index],
+            },
+        })
+    }
+
+    fn column_bounds(col: &[CarbonMass]) -> Bounds<CarbonMass> {
+        let mut lo = col[0];
+        let mut hi = col[0];
+        for &v in &col[1..] {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Bounds::new(lo, hi)
+    }
+
+    /// The batch's joint envelope: min/max of each column.
+    pub fn envelope(&self) -> Envelope {
+        Envelope {
+            active: Self::column_bounds(&self.active),
+            embodied: Self::column_bounds(&self.embodied),
+            total: Self::column_bounds(&self.total),
+        }
+    }
+
+    /// The envelope packaged as a [`CarbonAssessment`] — how §6 of the
+    /// paper combines its table extremes.
+    pub fn assessment(&self) -> CarbonAssessment {
+        let env = self.envelope();
+        CarbonAssessment::new(env.active, env.embodied)
+    }
+
+    /// Linear-interpolated percentile of the total column; `q` in
+    /// `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Result<CarbonMass> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(Error::InvalidFraction { value: q });
+        }
+        let kg: Vec<f64> = self.total.iter().map(|t| t.kilograms()).collect();
+        Ok(CarbonMass::from_kilograms(
+            stats::percentile(&kg, q).expect("results are non-empty"),
+        ))
+    }
+
+    /// Mean of the total column.
+    pub fn mean_total(&self) -> CarbonMass {
+        let kg: Vec<f64> = self.total.iter().map(|t| t.kilograms()).collect();
+        CarbonMass::from_kilograms(stats::mean(&kg).expect("results are non-empty"))
+    }
+
+    /// Grouped marginals along one axis: for each of its samples, the
+    /// envelope and mean of the total over every other axis. Sorting the
+    /// output by [`Marginal::span`] ranks how much uncertainty each
+    /// sample of the input leaves unresolved — the batch analogue of the
+    /// one-at-a-time tornado in [`crate::sensitivity`].
+    pub fn marginals(&self, axis: AxisId) -> Vec<Marginal> {
+        let n_samples = self.space.axis_len(axis);
+        let stride = self.space.stride_of(axis);
+        let mut lo = vec![CarbonMass::ZERO; n_samples];
+        let mut hi = vec![CarbonMass::ZERO; n_samples];
+        let mut sum = vec![0.0f64; n_samples];
+        let mut count = vec![0usize; n_samples];
+        for (idx, &t) in self.total.iter().enumerate() {
+            let s = (idx / stride) % n_samples;
+            if count[s] == 0 {
+                lo[s] = t;
+                hi[s] = t;
+            } else {
+                lo[s] = lo[s].min(t);
+                hi[s] = hi[s].max(t);
+            }
+            sum[s] += t.kilograms();
+            count[s] += 1;
+        }
+        (0..n_samples)
+            .map(|s| Marginal {
+                axis,
+                sample_index: s,
+                total: Bounds::new(lo[s], hi[s]),
+                mean_total: CarbonMass::from_kilograms(sum[s] / count[s].max(1) as f64),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn builder_requires_every_parameter() {
+        let missing = Assessment::builder().build().unwrap_err();
+        assert_eq!(missing, Error::MissingParameter { what: "energy" });
+        let missing_axis = Assessment::builder()
+            .energy(paper::effective_energy())
+            .servers(10)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            missing_axis,
+            Error::MissingParameter {
+                what: "carbon-intensity axis"
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_pue_is_a_typed_error_not_a_panic() {
+        let err = Assessment::builder()
+            .energy(paper::effective_energy())
+            .servers(10)
+            .ci_grams_per_kwh(&[100.0])
+            .pue_values(&[1.1, 0.9])
+            .embodied_bounds(paper::server_embodied_bounds())
+            .lifespans_years(&[5])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Units(_)), "{err}");
+    }
+
+    #[test]
+    fn empty_convenience_setter_surfaces_empty_axis_not_missing() {
+        // A setter given an empty sample list must not clear a
+        // previously set axis or masquerade as "missing".
+        let err = Assessment::builder()
+            .energy(paper::effective_energy())
+            .servers(10)
+            .ci_tri(paper::ci_references())
+            .ci_grams_per_kwh(&[])
+            .pue_values(&[1.3])
+            .embodied_bounds(paper::server_embodied_bounds())
+            .lifespans_years(&[5])
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            Error::EmptyAxis {
+                axis: "carbon intensity".into()
+            }
+        );
+        for builder in [
+            Assessment::builder().embodied_linspace(paper::server_embodied_bounds(), 0),
+            Assessment::builder().lifespan_linspace(3.0, 7.0, 0),
+            Assessment::builder().lifespans_years(&[]),
+        ] {
+            let err = builder
+                .energy(paper::effective_energy())
+                .servers(10)
+                .ci_tri(paper::ci_references())
+                .pue_values(&[1.3])
+                .embodied_bounds(paper::server_embodied_bounds())
+                .lifespans_years(&[5])
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, Error::EmptyAxis { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn non_positive_window_is_rejected() {
+        for secs in [0i64, -86_400] {
+            let err = Assessment::builder()
+                .energy(paper::effective_energy())
+                .servers(10)
+                .ci_grams_per_kwh(&[175.0])
+                .pue_values(&[1.3])
+                .embodied_bounds(paper::server_embodied_bounds())
+                .lifespans_years(&[5])
+                .window(SimDuration::from_secs(secs))
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, Error::InvalidWindow { .. }), "{secs}: {err}");
+        }
+    }
+
+    #[test]
+    fn paper_space_matches_tables() {
+        let a = Assessment::paper();
+        assert_eq!(a.space().shape(), [3, 3, 2, 5]);
+        let results = a.evaluate_space();
+        assert_eq!(results.len(), 90);
+        // Corner scenarios: all-low → Table 3 [0][0] + Table 4 7y/400kg;
+        // all-high → Table 3 [2][2] + Table 4 3y/1100kg.
+        let env = results.envelope();
+        assert!((env.total.lo.kilograms() - 1_441.3).abs() < 0.1);
+        assert!((env.total.hi.kilograms() - 11_711.3).abs() < 0.1);
+        // The §6 assessment object agrees.
+        let asm = results.assessment();
+        assert!((asm.total().lo.kilograms() - 1_441.3).abs() < 0.1);
+    }
+
+    #[test]
+    fn single_point_matches_batch() {
+        let a = Assessment::paper();
+        let results = a.evaluate_space();
+        for idx in [0, 1, 17, 42, 89] {
+            let single = a.evaluate_index(idx).unwrap();
+            let batch = results.get(idx).unwrap();
+            assert_eq!(single, batch, "point {idx}");
+            assert_eq!(
+                single.outcome.total(),
+                single.outcome.active + single.outcome.embodied
+            );
+        }
+        assert!(results.get(90).is_err());
+        assert!(a.evaluate_index(90).is_err());
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        let a = Assessment::builder()
+            .energy(paper::effective_energy())
+            .ci_grams_per_kwh(&[50.0, 100.0, 175.0, 250.0, 300.0])
+            .pue_values(&[1.1, 1.2, 1.3, 1.4, 1.5, 1.6])
+            .embodied_linspace(paper::server_embodied_bounds(), 7)
+            .lifespan_linspace(3.0, 7.0, 9)
+            .servers(paper::AMORTISATION_FLEET_SERVERS)
+            .build()
+            .unwrap();
+        let serial = a.evaluate_space();
+        assert_eq!(serial.len(), 5 * 6 * 7 * 9);
+        for threads in [0, 1, 2, 3, 8, 64] {
+            let par = a.par_evaluate_space(threads);
+            assert_eq!(serial, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn percentiles_and_mean_are_ordered() {
+        let results = Assessment::paper().evaluate_space();
+        let p5 = results.percentile(0.05).unwrap();
+        let p50 = results.percentile(0.50).unwrap();
+        let p95 = results.percentile(0.95).unwrap();
+        assert!(p5 < p50 && p50 < p95);
+        let env = results.envelope();
+        assert!(p5 >= env.total.lo && p95 <= env.total.hi);
+        let mean = results.mean_total();
+        assert!(mean > env.total.lo && mean < env.total.hi);
+        assert!(results.percentile(1.5).is_err());
+        assert!(results.percentile(-0.1).is_err());
+    }
+
+    #[test]
+    fn marginals_rank_ci_as_dominant() {
+        let results = Assessment::paper().evaluate_space();
+        // With everything else swept, pinning CI should leave the least
+        // residual spread relative to its own effect: compare the spread
+        // *between* marginal means per axis.
+        let spread = |axis: AxisId| {
+            let m = results.marginals(axis);
+            assert_eq!(m.len(), results.space().axis_len(axis));
+            let lo = m
+                .iter()
+                .map(|x| x.mean_total)
+                .min_by(CarbonMass::total_cmp)
+                .unwrap();
+            let hi = m
+                .iter()
+                .map(|x| x.mean_total)
+                .max_by(CarbonMass::total_cmp)
+                .unwrap();
+            hi - lo
+        };
+        let ci = spread(AxisId::Ci);
+        for other in [AxisId::Pue, AxisId::Embodied, AxisId::Lifespan] {
+            assert!(
+                ci.kilograms() > spread(other).kilograms(),
+                "CI marginal spread should dominate {other:?}"
+            );
+        }
+        // Marginal bucket counts: each CI sample covers len/3 points.
+        let m = results.marginals(AxisId::Ci);
+        for bucket in &m {
+            assert!(bucket.total.lo <= bucket.mean_total);
+            assert!(bucket.mean_total <= bucket.total.hi);
+            assert!(bucket.span() > CarbonMass::ZERO);
+        }
+    }
+
+    #[test]
+    fn window_scales_embodied_only() {
+        let base = Assessment::builder()
+            .energy(paper::effective_energy())
+            .ci_grams_per_kwh(&[175.0])
+            .pue_values(&[1.3])
+            .embodied_bounds(paper::server_embodied_bounds())
+            .lifespans_years(&[5])
+            .servers(paper::AMORTISATION_FLEET_SERVERS);
+        let day = base.clone().build().unwrap().evaluate_space();
+        let week = base
+            .window(SimDuration::from_days(7))
+            .build()
+            .unwrap()
+            .evaluate_space();
+        assert_eq!(day.active(), week.active());
+        for (d, w) in day.embodied().iter().zip(week.embodied()) {
+            assert!((w.grams() - d.grams() * 7.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Typed errors for the carbon model.
+//!
+//! The scenario-space engine validates its inputs at construction time and
+//! reports failures through [`Error`] instead of panicking — the `expect()`
+//! calls that used to guard empty sweeps and invalid PUEs are now
+//! unreachable through the builder API.
+
+use iriscast_units::UnitsError;
+use std::fmt;
+
+/// Result alias for model-layer operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Everything that can go wrong building or evaluating an assessment.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Error {
+    /// A scenario axis was built from an empty sample list.
+    EmptyAxis {
+        /// The axis's name ("carbon intensity", "lifespan", …).
+        axis: String,
+    },
+    /// A required builder parameter was never supplied.
+    MissingParameter {
+        /// The parameter's name ("energy", "ci axis", …).
+        what: &'static str,
+    },
+    /// A lifespan sample was zero, negative, or non-finite.
+    InvalidLifespan {
+        /// The offending value in years.
+        years: f64,
+    },
+    /// A percentile or other fraction lay outside `[0, 1]`.
+    InvalidFraction {
+        /// The offending value.
+        value: f64,
+    },
+    /// The embodied amortisation window was zero, negative, or
+    /// non-finite.
+    InvalidWindow {
+        /// The offending window length in days.
+        days: f64,
+    },
+    /// A point index exceeded the space's cardinality.
+    PointOutOfRange {
+        /// The requested flat index.
+        index: usize,
+        /// The space's cardinality.
+        len: usize,
+    },
+    /// A quantity-level validation failed (invalid PUE, unordered
+    /// estimate, …).
+    Units(UnitsError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyAxis { axis } => {
+                write!(f, "scenario axis \"{axis}\" has no samples")
+            }
+            Error::MissingParameter { what } => {
+                write!(f, "assessment builder is missing {what}")
+            }
+            Error::InvalidLifespan { years } => {
+                write!(f, "lifespan must be positive and finite, got {years} years")
+            }
+            Error::InvalidFraction { value } => {
+                write!(f, "fraction must lie in [0, 1], got {value}")
+            }
+            Error::InvalidWindow { days } => {
+                write!(f, "window must be positive and finite, got {days} days")
+            }
+            Error::PointOutOfRange { index, len } => {
+                write!(
+                    f,
+                    "scenario point {index} out of range for a {len}-point space"
+                )
+            }
+            Error::Units(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Units(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<UnitsError> for Error {
+    fn from(e: UnitsError) -> Self {
+        Error::Units(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            Error::EmptyAxis {
+                axis: "lifespan".into()
+            }
+            .to_string(),
+            "scenario axis \"lifespan\" has no samples"
+        );
+        assert_eq!(
+            Error::MissingParameter { what: "energy" }.to_string(),
+            "assessment builder is missing energy"
+        );
+        assert!(Error::InvalidLifespan { years: -1.0 }
+            .to_string()
+            .contains("-1 years"));
+        assert!(Error::PointOutOfRange { index: 9, len: 9 }
+            .to_string()
+            .contains("9-point space"));
+        assert!(Error::InvalidFraction { value: 1.5 }
+            .to_string()
+            .contains("1.5"));
+        assert!(Error::InvalidWindow { days: -1.0 }
+            .to_string()
+            .contains("-1 days"));
+    }
+
+    #[test]
+    fn units_errors_convert_and_chain() {
+        let e: Error = UnitsError::InvalidPue(0.5).into();
+        assert_eq!(e, Error::Units(UnitsError::InvalidPue(0.5)));
+        assert!(e.to_string().contains("invalid PUE"));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+        assert!(Error::MissingParameter { what: "energy" }
+            .source()
+            .is_none());
+    }
+}

@@ -13,6 +13,11 @@
 //!
 //! Layout:
 //!
+//! * [`space`] — first-class scenario spaces: [`space::ScenarioAxis`],
+//!   [`space::ScenarioSpace`], [`space::ScenarioPoint`];
+//! * [`engine`] — [`engine::Assessment::builder`] and batch evaluation
+//!   (serial and parallel) with envelope/percentile/marginal queries;
+//! * [`error`] — the typed [`Error`]/[`Result`] every fallible API uses;
 //! * [`active`] — equations (2)–(3), scalar and time-aligned;
 //! * [`facilities`] — PUE-based and measured facility overheads;
 //! * [`embodied`] — equation (4) plus amortisation-policy extensions;
@@ -27,18 +32,52 @@
 //! * [`report`] — text/markdown table rendering;
 //! * [`paper`] — every published constant and cell, for validation.
 //!
+//! # The scenario-space engine and the table adapters
+//!
+//! The model's native surface is the [`engine`]: an
+//! [`engine::Assessment`] couples one energy figure and one fleet to a
+//! [`space::ScenarioSpace`] — the cartesian product of carbon-intensity,
+//! PUE, embodied-carbon and lifespan axes of *any* length — and evaluates
+//! `total = active + embodied` at every point, serially
+//! ([`engine::Assessment::evaluate_space`]) or chunked across threads
+//! ([`engine::Assessment::par_evaluate_space`], bit-identical results).
+//!
+//! The paper-shaped types predate the engine and are kept as **thin
+//! adapters** over it, cell-for-cell and bit-for-bit compatible:
+//!
+//! * [`scenario::ActiveCarbonGrid`] is a CI×PUE space with embodied
+//!   pinned to zero — Table 3 is the `active` column reshaped 3 × 3;
+//! * [`scenario::EmbodiedSweep`] is an embodied×lifespan space with a
+//!   fixed grid — Table 4 is the `embodied` column reshaped 2 × *n*;
+//! * [`assessment::SnapshotAssessment::run`] composes both adapters, so
+//!   every golden Table 3/4 number is unchanged;
+//! * [`sensitivity`] and [`uncertainty`] evaluate their one-at-a-time and
+//!   Monte-Carlo points through the same [`engine::evaluate_one`] kernel.
+//!
+//! New code should build scenario spaces directly; the adapters exist so
+//! published-table workflows (and their serialised forms) keep working.
+//!
 //! # Quickstart
 //!
 //! ```
-//! use iriscast_model::assessment::{AssessmentParams, SnapshotAssessment};
+//! use iriscast_model::engine::Assessment;
+//! use iriscast_model::paper;
 //! use iriscast_units::Energy;
 //!
-//! // Assess a day where the estate drew 19,380 kWh (the paper's figure).
-//! let a = SnapshotAssessment::run(
-//!     Energy::from_kilowatt_hours(19_380.0),
-//!     &AssessmentParams::paper(),
-//! );
-//! let total = a.assessment.total();
+//! // Assess a day where the estate drew 19,380 kWh (the paper's figure),
+//! // sweeping a 6 × 4 × 5 × 5 = 600-scenario space.
+//! let assessment = Assessment::builder()
+//!     .energy(Energy::from_kilowatt_hours(19_380.0))
+//!     .ci_grams_per_kwh(&[50.0, 100.0, 150.0, 200.0, 250.0, 300.0])
+//!     .pue_values(&[1.1, 1.3, 1.5, 1.6])
+//!     .embodied_linspace(paper::server_embodied_bounds(), 5)
+//!     .lifespan_linspace(3.0, 7.0, 5)
+//!     .servers(paper::AMORTISATION_FLEET_SERVERS)
+//!     .build()
+//!     .unwrap();
+//! let results = assessment.evaluate_space();
+//! assert_eq!(results.len(), 600);
+//! let total = results.envelope().total;
 //! assert!(total.lo.kilograms() > 1_400.0 && total.hi.kilograms() < 11_800.0);
 //! ```
 
@@ -48,7 +87,9 @@
 pub mod active;
 pub mod assessment;
 pub mod embodied;
+pub mod engine;
 pub mod equivalence;
+pub mod error;
 pub mod facilities;
 pub mod iris;
 pub mod model;
@@ -58,8 +99,12 @@ pub mod regional;
 pub mod report;
 pub mod scenario;
 pub mod sensitivity;
+pub mod space;
 pub mod uncertainty;
 
 pub use assessment::{AssessmentParams, SnapshotAssessment};
+pub use engine::{Assessment, AssessmentBuilder, PointOutcome, PointResult, SpaceResults};
+pub use error::{Error, Result};
 pub use model::CarbonAssessment;
 pub use scenario::{ActiveCarbonGrid, EmbodiedSweep};
+pub use space::{AxisId, ScenarioAxis, ScenarioPoint, ScenarioSpace};

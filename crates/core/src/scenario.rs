@@ -1,6 +1,20 @@
 //! Scenario sweeps: the machinery behind Tables 3 and 4.
+//!
+//! Since the scenario-space redesign these types are **compatibility
+//! adapters** over [`crate::engine`]: each `compute` builds the
+//! equivalent (tiny) [`crate::space::ScenarioSpace`] — Table 3 is a
+//! CI × PUE space with embodied pinned to zero, Table 4 an
+//! embodied × lifespan space with the grid pinned — evaluates it through
+//! the engine, and reshapes the columns into the published table layout.
+//! Cell values are bit-identical to the pre-engine implementation (the
+//! golden-snapshot suite pins them), and the serialised form is
+//! unchanged. New code wanting more than three scenarios per axis should
+//! use [`crate::engine::Assessment::builder`] directly.
 
-use crate::embodied::{fleet_snapshot_daily, per_server_daily};
+use crate::embodied::per_server_daily;
+use crate::engine::Assessment;
+use crate::error::{Error, Result};
+use crate::space::ScenarioAxis;
 use iriscast_units::{Bounds, CarbonIntensity, CarbonMass, Energy, Pue, TriEstimate};
 use serde::{Deserialize, Serialize};
 
@@ -21,18 +35,32 @@ pub struct ActiveCarbonGrid {
 
 impl ActiveCarbonGrid {
     /// Sweeps `it_energy` across the CI and PUE scenarios.
+    ///
+    /// Adapter: evaluates a 3 × 3 × 1 × 1 scenario space (embodied pinned
+    /// to zero) and reads back the engine's active column.
     pub fn compute(
         it_energy: Energy,
         ci: TriEstimate<CarbonIntensity>,
         pue: TriEstimate<Pue>,
     ) -> Self {
         let base = ci.map(|c| it_energy * c);
-        let ci_list = [ci.low, ci.mid, ci.high];
-        let pue_list = [pue.low, pue.mid, pue.high];
+        let results = Assessment::builder()
+            .energy(it_energy)
+            .ci_tri(ci)
+            .pue_tri(pue)
+            .embodied_axis(ScenarioAxis::singleton("embodied", CarbonMass::ZERO))
+            .lifespan_axis(ScenarioAxis::singleton("lifespan", 1.0))
+            .servers(0)
+            .build()
+            .expect("three-sample tri axes are always a valid space")
+            .evaluate_space();
+        let active = results.active();
         let mut cells = [[CarbonMass::ZERO; 3]; 3];
-        for (i, c) in ci_list.iter().enumerate() {
-            for (j, p) in pue_list.iter().enumerate() {
-                cells[i][j] = p.apply(it_energy) * *c;
+        for (i, row) in cells.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                // Point order: CI outermost, PUE next (embodied and
+                // lifespan are singletons).
+                *cell = active[i * 3 + j];
             }
         }
         ActiveCarbonGrid {
@@ -78,42 +106,105 @@ pub struct EmbodiedSweep {
 }
 
 impl EmbodiedSweep {
-    /// Sweeps lifespans for a per-server embodied range and fleet size.
-    pub fn compute(embodied: Bounds<CarbonMass>, lifespans_years: &[u32], servers: u32) -> Self {
+    /// Sweeps lifespans for a per-server embodied range and fleet size,
+    /// rejecting an empty or invalid lifespan list with a typed error.
+    ///
+    /// Adapter: evaluates a 1 × 1 × 2 × *n* scenario space (grid pinned:
+    /// zero intensity, ideal PUE) and reads back the engine's embodied
+    /// column.
+    pub fn try_compute(
+        embodied: Bounds<CarbonMass>,
+        lifespans_years: &[u32],
+        servers: u32,
+    ) -> Result<Self> {
+        let lifespan_axis = ScenarioAxis::new(
+            "lifespan",
+            lifespans_years.iter().map(|&y| f64::from(y)).collect(),
+        )?;
+        let n = lifespans_years.len();
+        let results = Assessment::builder()
+            .energy(Energy::ZERO)
+            .ci_axis(ScenarioAxis::singleton("ci", CarbonIntensity::ZERO))
+            .pue_axis(ScenarioAxis::singleton("pue", Pue::IDEAL))
+            .embodied_axis(ScenarioAxis::new("embodied per server", embodied.to_vec())?)
+            .lifespan_axis(lifespan_axis)
+            .servers(servers)
+            .build()?
+            .evaluate_space();
+        let fleet = results.embodied();
         let rows = lifespans_years
             .iter()
-            .map(|&years| {
+            .enumerate()
+            .map(|(k, &years)| {
                 let y = f64::from(years);
                 EmbodiedSweepRow {
                     lifespan_years: years,
                     per_server_daily: embodied.map(|e| per_server_daily(e, y)),
-                    fleet_snapshot: embodied.map(|e| fleet_snapshot_daily(e, y, servers)),
+                    // Point order: embodied outermost of the two swept
+                    // axes, lifespan innermost — lo sits at k, hi at n+k.
+                    fleet_snapshot: Bounds::new(fleet[k], fleet[n + k]),
                 }
             })
             .collect();
-        EmbodiedSweep {
+        Ok(EmbodiedSweep {
             embodied,
             servers,
             rows,
+        })
+    }
+
+    /// Sweeps lifespans for a per-server embodied range and fleet size.
+    ///
+    /// An empty `lifespans_years` yields an empty sweep (use
+    /// [`EmbodiedSweep::try_compute`] to get [`Error::EmptyAxis`]
+    /// instead); envelope queries on an empty sweep report that same
+    /// typed error through [`EmbodiedSweep::try_envelope`].
+    pub fn compute(embodied: Bounds<CarbonMass>, lifespans_years: &[u32], servers: u32) -> Self {
+        if lifespans_years.is_empty() {
+            return EmbodiedSweep {
+                embodied,
+                servers,
+                rows: Vec::new(),
+            };
         }
+        Self::try_compute(embodied, lifespans_years, servers)
+            .expect("non-empty lifespan list with positive years is a valid sweep")
     }
 
     /// The full envelope across every cell (Table 4's 375–2,409 kg range:
-    /// longest life at the low bound to shortest life at the high bound).
-    pub fn envelope(&self) -> Bounds<CarbonMass> {
+    /// longest life at the low bound to shortest life at the high bound),
+    /// or [`Error::EmptyAxis`] when the sweep has no rows.
+    pub fn try_envelope(&self) -> Result<Bounds<CarbonMass>> {
+        let empty = || Error::EmptyAxis {
+            axis: "lifespan".into(),
+        };
         let lo = self
             .rows
             .iter()
             .map(|r| r.fleet_snapshot.lo)
             .min_by(|a, b| a.total_cmp(b))
-            .expect("sweep has rows");
+            .ok_or_else(empty)?;
         let hi = self
             .rows
             .iter()
             .map(|r| r.fleet_snapshot.hi)
             .max_by(|a, b| a.total_cmp(b))
-            .expect("sweep has rows");
-        Bounds::new(lo, hi)
+            .ok_or_else(empty)?;
+        Ok(Bounds::new(lo, hi))
+    }
+
+    /// Infallible form of [`EmbodiedSweep::try_envelope`] for sweeps known
+    /// to have rows.
+    ///
+    /// # Panics
+    /// On an empty sweep, with the [`Error::EmptyAxis`] message — reach
+    /// for [`EmbodiedSweep::try_envelope`] when the lifespan list is not
+    /// statically known to be non-empty.
+    pub fn envelope(&self) -> Bounds<CarbonMass> {
+        match self.try_envelope() {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -198,5 +289,31 @@ mod tests {
             assert!(w[0].fleet_snapshot.lo > w[1].fleet_snapshot.lo);
             assert!(w[0].per_server_daily.hi > w[1].per_server_daily.hi);
         }
+    }
+
+    #[test]
+    fn empty_sweep_reports_typed_error() {
+        let sweep = EmbodiedSweep::compute(paper::server_embodied_bounds(), &[], 100);
+        assert!(sweep.rows.is_empty());
+        let err = sweep.try_envelope().unwrap_err();
+        assert_eq!(
+            err,
+            Error::EmptyAxis {
+                axis: "lifespan".into()
+            }
+        );
+        assert_eq!(
+            EmbodiedSweep::try_compute(paper::server_embodied_bounds(), &[], 100).unwrap_err(),
+            Error::EmptyAxis {
+                axis: "lifespan".into()
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scenario axis \"lifespan\" has no samples")]
+    fn empty_sweep_envelope_panics_with_typed_message() {
+        let sweep = EmbodiedSweep::compute(paper::server_embodied_bounds(), &[], 100);
+        let _ = sweep.envelope();
     }
 }

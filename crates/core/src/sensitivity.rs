@@ -8,7 +8,8 @@
 //! exactly why the paper prioritises measured energy and mentions cooling
 //! estimates second.
 
-use crate::embodied::fleet_snapshot_daily;
+use crate::engine::evaluate_one;
+use crate::error::Result;
 use iriscast_units::{Bounds, CarbonIntensity, CarbonMass, Energy, Pue};
 use serde::{Deserialize, Serialize};
 
@@ -44,18 +45,44 @@ impl SensitivityInputs {
         }
     }
 
-    fn total(&self, kwh: f64, ci: f64, pue: f64, embodied: f64, lifespan: f64) -> CarbonMass {
-        let active = Pue::new(pue)
-            .expect("valid pue in sweep")
-            .apply(Energy::from_kilowatt_hours(kwh))
-            * CarbonIntensity::from_grams_per_kwh(ci);
-        let emb =
-            fleet_snapshot_daily(CarbonMass::from_kilograms(embodied), lifespan, self.servers);
-        active + emb
+    /// One scenario through the engine kernel: the one-at-a-time analysis
+    /// evaluates the same `total = active + embodied` every other path
+    /// does. Invalid PUEs surface as [`crate::error::Error::Units`].
+    fn total(
+        &self,
+        kwh: f64,
+        ci: f64,
+        pue: f64,
+        embodied: f64,
+        lifespan: f64,
+    ) -> Result<CarbonMass> {
+        Ok(evaluate_one(
+            Energy::from_kilowatt_hours(kwh),
+            self.servers,
+            1.0,
+            CarbonIntensity::from_grams_per_kwh(ci),
+            Pue::new(pue)?,
+            CarbonMass::from_kilograms(embodied),
+            lifespan,
+        )
+        .total())
     }
 
     /// Total carbon with every input at its central value.
+    ///
+    /// # Panics
+    /// If the central PUE is invalid; use [`SensitivityInputs::try_central_total`]
+    /// for a fallible form.
     pub fn central_total(&self) -> CarbonMass {
+        match self.try_central_total() {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Total carbon with every input at its central value, with invalid
+    /// inputs reported as typed errors.
+    pub fn try_central_total(&self) -> Result<CarbonMass> {
         self.total(
             self.it_energy_kwh.1,
             self.ci_g_per_kwh.1,
@@ -79,7 +106,9 @@ pub struct TornadoBar {
 }
 
 /// Runs the one-at-a-time analysis; bars are returned widest first.
-pub fn tornado(inputs: &SensitivityInputs) -> Vec<TornadoBar> {
+/// Invalid inputs (a PUE below 1.0) surface as typed errors instead of
+/// panics.
+pub fn try_tornado(inputs: &SensitivityInputs) -> Result<Vec<TornadoBar>> {
     let i = inputs;
     let mk = |name: &'static str, lo: CarbonMass, hi: CarbonMass| {
         let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
@@ -99,32 +128,43 @@ pub fn tornado(inputs: &SensitivityInputs) -> Vec<TornadoBar> {
     let mut bars = vec![
         mk(
             "carbon intensity",
-            i.total(c.0, i.ci_g_per_kwh.0, c.2, c.3, c.4),
-            i.total(c.0, i.ci_g_per_kwh.2, c.2, c.3, c.4),
+            i.total(c.0, i.ci_g_per_kwh.0, c.2, c.3, c.4)?,
+            i.total(c.0, i.ci_g_per_kwh.2, c.2, c.3, c.4)?,
         ),
         mk(
             "pue",
-            i.total(c.0, c.1, i.pue.0, c.3, c.4),
-            i.total(c.0, c.1, i.pue.2, c.3, c.4),
+            i.total(c.0, c.1, i.pue.0, c.3, c.4)?,
+            i.total(c.0, c.1, i.pue.2, c.3, c.4)?,
         ),
         mk(
             "embodied per server",
-            i.total(c.0, c.1, c.2, i.embodied_kg.0, c.4),
-            i.total(c.0, c.1, c.2, i.embodied_kg.2, c.4),
+            i.total(c.0, c.1, c.2, i.embodied_kg.0, c.4)?,
+            i.total(c.0, c.1, c.2, i.embodied_kg.2, c.4)?,
         ),
         mk(
             "lifespan",
-            i.total(c.0, c.1, c.2, c.3, i.lifespan_years.0),
-            i.total(c.0, c.1, c.2, c.3, i.lifespan_years.2),
+            i.total(c.0, c.1, c.2, c.3, i.lifespan_years.0)?,
+            i.total(c.0, c.1, c.2, c.3, i.lifespan_years.2)?,
         ),
         mk(
             "it energy",
-            i.total(i.it_energy_kwh.0, c.1, c.2, c.3, c.4),
-            i.total(i.it_energy_kwh.2, c.1, c.2, c.3, c.4),
+            i.total(i.it_energy_kwh.0, c.1, c.2, c.3, c.4)?,
+            i.total(i.it_energy_kwh.2, c.1, c.2, c.3, c.4)?,
         ),
     ];
     bars.sort_by(|a, b| b.span.total_cmp(&a.span));
-    bars
+    Ok(bars)
+}
+
+/// Runs the one-at-a-time analysis; bars are returned widest first.
+///
+/// # Panics
+/// On invalid inputs; see [`try_tornado`].
+pub fn tornado(inputs: &SensitivityInputs) -> Vec<TornadoBar> {
+    match try_tornado(inputs) {
+        Ok(bars) => bars,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 #[cfg(test)]
@@ -177,6 +217,15 @@ mod tests {
         assert!(lifespan.range.lo < lifespan.range.hi);
         let central = SensitivityInputs::paper().central_total();
         assert!(lifespan.range.lo < central && central < lifespan.range.hi);
+    }
+
+    #[test]
+    fn invalid_pue_is_a_typed_error() {
+        let mut inputs = SensitivityInputs::paper();
+        inputs.pue = (0.8, 1.3, 1.6);
+        let err = try_tornado(&inputs).unwrap_err();
+        assert!(matches!(err, crate::error::Error::Units(_)), "{err}");
+        assert!(SensitivityInputs::paper().try_central_total().is_ok());
     }
 
     #[test]

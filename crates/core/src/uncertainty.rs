@@ -5,7 +5,13 @@
 //! space instead yields a *distribution* of totals — and shows that the
 //! table extremes are genuinely extreme (the corner scenarios require
 //! every parameter to be simultaneously at its bound).
+//!
+//! Each sample is one scenario point evaluated through
+//! [`crate::engine::evaluate_one`] — the same kernel the deterministic
+//! scenario-space sweeps use, so Monte-Carlo totals and grid totals are
+//! directly comparable.
 
+use crate::engine::evaluate_one;
 use crate::paper;
 use iriscast_grid::stats;
 use iriscast_grid::IntensitySeries;
@@ -106,12 +112,17 @@ pub fn run(config: &McConfig, samples: usize, seed: u64) -> McResult {
             CarbonMass::from_kilograms(rng.gen_range(config.embodied_kg.0..=config.embodied_kg.1));
         let lifespan = rng.gen_range(config.lifespan_years.0..=config.lifespan_years.1);
 
-        let active = pue.apply(config.it_energy) * ci;
-        let embodied =
-            crate::embodied::fleet_snapshot_daily(embodied_per_server, lifespan, config.servers);
-        let total = active + embodied;
-        shares += embodied / total;
-        totals.push(total.kilograms());
+        let outcome = evaluate_one(
+            config.it_energy,
+            config.servers,
+            1.0,
+            ci,
+            pue,
+            embodied_per_server,
+            lifespan,
+        );
+        shares += outcome.embodied_share();
+        totals.push(outcome.total().kilograms());
     }
     let mean = stats::mean(&totals).expect("non-empty");
     McResult {

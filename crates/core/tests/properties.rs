@@ -1,8 +1,8 @@
 //! Property-based tests for the carbon model's invariants.
 
-use iriscast_model::embodied::AmortizationPolicy;
+use iriscast_model::embodied::{fleet_snapshot_daily, AmortizationPolicy};
 use iriscast_model::netzero::{project, DecarbonisationPathway, SteadyStateDri};
-use iriscast_model::{ActiveCarbonGrid, EmbodiedSweep};
+use iriscast_model::{ActiveCarbonGrid, Assessment, EmbodiedSweep};
 use iriscast_units::{Bounds, CarbonIntensity, CarbonMass, Energy, Pue, SimDuration, TriEstimate};
 use proptest::prelude::*;
 
@@ -152,6 +152,139 @@ proptest! {
             let scaled = row.per_server_daily.lo.grams() * f64::from(row.lifespan_years);
             prop_assert!((scaled - daily_y1).abs() < daily_y1 * 1e-9 + 1e-9);
         }
+    }
+
+    /// The engine on 3-sample axes reproduces the Table 3 adapter
+    /// cell-for-cell — and both match the paper's formula
+    /// `(E × PUE) × CI` computed independently — for arbitrary valid
+    /// inputs.
+    #[test]
+    fn engine_reproduces_active_grid_cell_for_cell(
+        kwh in 100.0..1e6f64,
+        (ci_lo, ci_mid, ci_hi) in ordered_triple(1.0, 900.0),
+        (pue_lo, pue_mid, pue_hi) in ordered_triple(1.0, 2.5),
+    ) {
+        let energy = Energy::from_kilowatt_hours(kwh);
+        let ci = TriEstimate::new(
+            CarbonIntensity::from_grams_per_kwh(ci_lo),
+            CarbonIntensity::from_grams_per_kwh(ci_mid),
+            CarbonIntensity::from_grams_per_kwh(ci_hi),
+        );
+        let pue = TriEstimate::new(
+            Pue::new(pue_lo).unwrap(),
+            Pue::new(pue_mid).unwrap(),
+            Pue::new(pue_hi).unwrap(),
+        );
+        let grid = ActiveCarbonGrid::compute(energy, ci, pue);
+        let results = Assessment::builder()
+            .energy(energy)
+            .ci_tri(ci)
+            .pue_tri(pue)
+            .embodied_bounds(Bounds::new(CarbonMass::ZERO, CarbonMass::ZERO))
+            .lifespans_years(&[1])
+            .servers(0)
+            .build()
+            .unwrap()
+            .evaluate_space();
+        prop_assert_eq!(results.len(), 18);
+        let cis = [ci.low, ci.mid, ci.high];
+        let pues = [pue.low, pue.mid, pue.high];
+        for (i, &ci_val) in cis.iter().enumerate() {
+            for (j, &pue_val) in pues.iter().enumerate() {
+                // Two embodied samples per (ci, pue): both carry the
+                // same active value.
+                let idx = (i * 3 + j) * 2;
+                prop_assert_eq!(grid.cells[i][j], results.active()[idx]);
+                prop_assert_eq!(results.active()[idx], results.active()[idx + 1]);
+                // The paper's formula, computed outside the engine.
+                let direct = pue_val.apply(energy) * ci_val;
+                prop_assert_eq!(grid.cells[i][j], direct);
+            }
+        }
+    }
+
+    /// The engine on a 2 × n embodied/lifespan space reproduces the
+    /// Table 4 adapter cell-for-cell, and both match the amortisation
+    /// formula directly.
+    #[test]
+    fn engine_reproduces_embodied_sweep_cell_for_cell(
+        lo_kg in 50.0..800.0f64,
+        hi_extra in 0.0..1_000.0f64,
+        servers in 1u32..10_000,
+        lifespans in prop::collection::vec(1u32..15, 1..8),
+    ) {
+        let bounds = Bounds::new(
+            CarbonMass::from_kilograms(lo_kg),
+            CarbonMass::from_kilograms(lo_kg + hi_extra),
+        );
+        let sweep = EmbodiedSweep::try_compute(bounds, &lifespans, servers).unwrap();
+        prop_assert_eq!(sweep.rows.len(), lifespans.len());
+        for (row, &years) in sweep.rows.iter().zip(&lifespans) {
+            let y = f64::from(years);
+            prop_assert_eq!(row.lifespan_years, years);
+            prop_assert_eq!(
+                row.fleet_snapshot.lo,
+                fleet_snapshot_daily(bounds.lo, y, servers)
+            );
+            prop_assert_eq!(
+                row.fleet_snapshot.hi,
+                fleet_snapshot_daily(bounds.hi, y, servers)
+            );
+        }
+        // The envelope is total (no panic) and brackets every cell.
+        let env = sweep.try_envelope().unwrap();
+        for row in &sweep.rows {
+            prop_assert!(env.lo <= row.fleet_snapshot.lo);
+            prop_assert!(env.hi >= row.fleet_snapshot.hi);
+        }
+    }
+
+    /// `par_evaluate_space` is bit-identical to `evaluate_space` for any
+    /// space shape and thread count.
+    #[test]
+    fn parallel_evaluation_matches_serial(
+        kwh in 100.0..1e6f64,
+        n_ci in 1usize..6,
+        n_pue in 1usize..5,
+        n_emb in 1usize..5,
+        n_life in 1usize..6,
+        threads in 0usize..9,
+        servers in 0u32..5_000,
+    ) {
+        let a = Assessment::builder()
+            .energy(Energy::from_kilowatt_hours(kwh))
+            .ci_axis(iriscast_model::ScenarioAxis::linspace(
+                "ci",
+                Bounds::new(
+                    CarbonIntensity::from_grams_per_kwh(10.0),
+                    CarbonIntensity::from_grams_per_kwh(500.0),
+                ),
+                n_ci,
+            ).unwrap())
+            .pue_axis(iriscast_model::ScenarioAxis::linspace(
+                "pue",
+                Bounds::new(Pue::new(1.05).unwrap(), Pue::new(2.2).unwrap()),
+                n_pue,
+            ).unwrap())
+            .embodied_linspace(
+                Bounds::new(
+                    CarbonMass::from_kilograms(100.0),
+                    CarbonMass::from_kilograms(1_500.0),
+                ),
+                n_emb,
+            )
+            .lifespan_linspace(1.0, 12.0, n_life)
+            .servers(servers)
+            .build()
+            .unwrap();
+        let serial = a.evaluate_space();
+        prop_assert_eq!(serial.len(), n_ci * n_pue * n_emb * n_life);
+        let par = a.par_evaluate_space(threads);
+        prop_assert_eq!(&serial, &par);
+        // Exactness, not tolerance: every column, every point.
+        prop_assert_eq!(serial.totals(), par.totals());
+        prop_assert_eq!(serial.active(), par.active());
+        prop_assert_eq!(serial.embodied(), par.embodied());
     }
 
     /// Net-zero projections: embodied share is monotone non-decreasing

@@ -72,6 +72,13 @@ impl<T: Copy> TriEstimate<T> {
         }
     }
 
+    /// The three scenarios as an ordered sample list (`low, mid, high`) —
+    /// the bridge from the paper's fixed triples to arbitrary-length
+    /// scenario axes.
+    pub fn to_vec(self) -> Vec<T> {
+        vec![self.low, self.mid, self.high]
+    }
+
     /// Consuming iterator in `low, mid, high` order.
     pub fn into_values(self) -> impl Iterator<Item = T> {
         [self.low, self.mid, self.high].into_iter()
@@ -225,6 +232,32 @@ impl<T> Bounds<T> {
             lo: f(self.lo),
             hi: f(self.hi),
         }
+    }
+}
+
+impl<T: crate::sample::Lerp> Bounds<T> {
+    /// `n` evenly spaced samples spanning the interval inclusively — the
+    /// standard way to turn published bounds into a scenario axis.
+    ///
+    /// ```
+    /// use iriscast_units::{Bounds, CarbonMass};
+    /// let embodied = Bounds::new(
+    ///     CarbonMass::from_kilograms(400.0),
+    ///     CarbonMass::from_kilograms(1_100.0),
+    /// );
+    /// let samples = embodied.linspace(8);
+    /// assert_eq!(samples.len(), 8);
+    /// assert_eq!(samples[0], embodied.lo);
+    /// assert_eq!(samples[7], embodied.hi);
+    /// ```
+    pub fn linspace(self, n: usize) -> Vec<T> {
+        crate::sample::linspace(self.lo, self.hi, n)
+    }
+
+    /// The two bounds as a sample list `[lo, hi]` (the paper's embodied
+    /// bracket as a 2-sample axis).
+    pub fn to_vec(self) -> Vec<T> {
+        vec![self.lo, self.hi]
     }
 }
 

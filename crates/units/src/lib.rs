@@ -42,6 +42,7 @@ mod fmt;
 mod intensity;
 mod power;
 mod pue;
+pub mod sample;
 mod time;
 
 pub use carbon::CarbonMass;
@@ -52,6 +53,7 @@ pub use fmt::{format_grouped, format_si};
 pub use intensity::CarbonIntensity;
 pub use power::Power;
 pub use pue::Pue;
+pub use sample::Lerp;
 pub use time::{
     Period, SimDuration, StepIter, Timestamp, SECS_PER_DAY, SECS_PER_HOUR, SECS_PER_MINUTE,
     SETTLEMENT_PERIODS_PER_DAY,

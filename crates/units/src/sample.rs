@@ -1,0 +1,142 @@
+//! Axis sampling: interpolation over quantity types.
+//!
+//! Scenario-space sweeps (see `iriscast-model`'s `space` module) need more
+//! than the paper's three hand-picked values per input: an axis is *any*
+//! ordered sample list. This module provides the interpolation primitive
+//! that turns a `[lo, hi]` range into `n` evenly spaced samples for every
+//! quantity type, so callers write
+//! `Bounds::new(lo, hi).linspace(25)` instead of unit-juggling by hand.
+
+use crate::{CarbonIntensity, CarbonMass, Energy, Power, Pue};
+
+/// Linear interpolation between two values of a quantity type.
+///
+/// Implementors interpolate in their canonical internal unit, so
+/// `lerp(a, b, 0.0) == a` and `lerp(a, b, 1.0) == b` exactly.
+pub trait Lerp: Copy {
+    /// The value a fraction `t ∈ [0, 1]` of the way from `a` to `b`.
+    fn lerp(a: Self, b: Self, t: f64) -> Self;
+}
+
+/// Scalar interpolation: `a + (b − a)·t`.
+fn scalar_lerp(a: f64, b: f64, t: f64) -> f64 {
+    if t <= 0.0 {
+        a
+    } else if t >= 1.0 {
+        b
+    } else {
+        a + (b - a) * t
+    }
+}
+
+impl Lerp for f64 {
+    fn lerp(a: Self, b: Self, t: f64) -> Self {
+        scalar_lerp(a, b, t)
+    }
+}
+
+impl Lerp for Energy {
+    fn lerp(a: Self, b: Self, t: f64) -> Self {
+        Energy::from_joules(scalar_lerp(a.joules(), b.joules(), t))
+    }
+}
+
+impl Lerp for CarbonMass {
+    fn lerp(a: Self, b: Self, t: f64) -> Self {
+        CarbonMass::from_grams(scalar_lerp(a.grams(), b.grams(), t))
+    }
+}
+
+impl Lerp for CarbonIntensity {
+    fn lerp(a: Self, b: Self, t: f64) -> Self {
+        CarbonIntensity::from_grams_per_kwh(scalar_lerp(a.grams_per_kwh(), b.grams_per_kwh(), t))
+    }
+}
+
+impl Lerp for Power {
+    fn lerp(a: Self, b: Self, t: f64) -> Self {
+        Power::from_watts(scalar_lerp(a.watts(), b.watts(), t))
+    }
+}
+
+impl Lerp for Pue {
+    fn lerp(a: Self, b: Self, t: f64) -> Self {
+        // Both endpoints are valid PUEs (finite, ≥ 1.0), so any convex
+        // combination is too.
+        Pue::new(scalar_lerp(a.value(), b.value(), t))
+            .expect("convex combination of valid PUEs is a valid PUE")
+    }
+}
+
+/// `n` evenly spaced samples from `lo` to `hi` inclusive.
+///
+/// `n == 1` yields just `lo`; `n == 0` yields an empty vector (callers
+/// building scenario axes should reject that case at their boundary).
+///
+/// ```
+/// use iriscast_units::sample::linspace;
+/// use iriscast_units::CarbonIntensity;
+/// let axis = linspace(
+///     CarbonIntensity::from_grams_per_kwh(50.0),
+///     CarbonIntensity::from_grams_per_kwh(300.0),
+///     6,
+/// );
+/// assert_eq!(axis.len(), 6);
+/// assert_eq!(axis[0].grams_per_kwh(), 50.0);
+/// assert_eq!(axis[5].grams_per_kwh(), 300.0);
+/// assert_eq!(axis[1].grams_per_kwh(), 100.0);
+/// ```
+pub fn linspace<T: Lerp>(lo: T, hi: T, n: usize) -> Vec<T> {
+    match n {
+        0 => Vec::new(),
+        1 => vec![lo],
+        _ => (0..n)
+            .map(|i| T::lerp(lo, hi, i as f64 / (n - 1) as f64))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_are_exact() {
+        let a = Energy::from_kilowatt_hours(100.0);
+        let b = Energy::from_kilowatt_hours(333.3);
+        let v = linspace(a, b, 7);
+        assert_eq!(v.len(), 7);
+        assert_eq!(v[0], a);
+        assert_eq!(v[6], b);
+        for w in v.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn degenerate_counts() {
+        let v: Vec<f64> = linspace(1.0, 2.0, 0);
+        assert!(v.is_empty());
+        assert_eq!(linspace(1.0, 2.0, 1), vec![1.0]);
+        assert_eq!(linspace(5.0, 5.0, 3), vec![5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn pue_lerp_stays_valid() {
+        let lo = Pue::new(1.05).unwrap();
+        let hi = Pue::new(2.0).unwrap();
+        for p in linspace(lo, hi, 11) {
+            assert!(p.value() >= 1.05 && p.value() <= 2.0);
+        }
+    }
+
+    #[test]
+    fn carbon_mass_midpoint() {
+        let v = linspace(
+            CarbonMass::from_kilograms(400.0),
+            CarbonMass::from_kilograms(1_100.0),
+            3,
+        );
+        assert!((v[1].kilograms() - 750.0).abs() < 1e-9);
+    }
+}

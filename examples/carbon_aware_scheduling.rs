@@ -12,7 +12,7 @@ use iriscast::model::report::{paper_num, TextTable};
 use iriscast::prelude::*;
 use iriscast::units::{SimDuration, Timestamp};
 use iriscast::workload::generate;
-use iriscast::workload::metrics::{carbon_by_user, outcome_carbon, wait_stats};
+use iriscast::workload::metrics::{carbon_by_user, job_energy, outcome_carbon, wait_stats};
 use iriscast::workload::scheduler::{CarbonAwareScheduler, EasyBackfillScheduler};
 
 fn main() {
@@ -93,8 +93,53 @@ fn main() {
         println!("  {user:<16} {carbon}");
     }
 
+    // Total impact of the carbon-aware week, equation (1) style: the
+    // measured IT energy through the scenario-space builder, CI axis
+    // anchored to what the grid actually did that week, embodied charged
+    // for a 7-day window over the paper's per-server bracket.
+    let week_energy = results[1]
+        .1
+        .scheduled
+        .iter()
+        .fold(Energy::ZERO, |acc, j| acc + job_energy(j, &model, false));
+    let assessment = Assessment::builder()
+        .energy(week_energy)
+        .ci_axis(
+            ScenarioAxis::new(
+                "carbon intensity (week p10/p50/p90)",
+                vec![
+                    series.percentile(0.10),
+                    series.percentile(0.50),
+                    series.percentile(0.90),
+                ],
+            )
+            .expect("three percentile samples"),
+        )
+        .pue_values(&[1.1, 1.3, 1.6])
+        .embodied_linspace(
+            Bounds::new(
+                CarbonMass::from_kilograms(400.0),
+                CarbonMass::from_kilograms(1_100.0),
+            ),
+            4,
+        )
+        .lifespan_linspace(3.0, 7.0, 5)
+        .servers(64)
+        .window(SimDuration::from_days(7))
+        .build()
+        .expect("valid week-assessment axes");
+    let space_results = assessment.evaluate_space();
+    println!(
+        "\nTotal-impact envelope for the carbon-aware week ({} scenarios): {}",
+        space_results.len(),
+        space_results.assessment()
+    );
+
     // Sanity for CI runs of the example: both policies ran the workload
     // and deferral did not increase emissions.
     assert!(results[0].1.scheduled.len() > 100);
     assert!(carbons[1] <= carbons[0]);
+    let env = space_results.envelope();
+    assert!(env.total.lo < env.total.hi);
+    assert!(env.embodied.lo > CarbonMass::ZERO);
 }

@@ -4,24 +4,27 @@
 //! procurement". This example quantifies the canonical decision: a fleet
 //! of 7-year-old servers could be replaced by half as many modern nodes at
 //! twice the throughput each — but replacement *spends* embodied carbon
-//! up front. We compare total carbon over a 4-year horizon under the
-//! paper's CI scenarios and find the grid intensity at which the decision
-//! flips.
+//! up front. Each option becomes a scenario-space assessment (the new
+//! builder API): active carbon swept across the paper's CI references,
+//! embodied charged to the horizon through the engine's amortisation
+//! window. We compare totals and find the grid intensity at which the
+//! decision flips.
 //!
 //! Run with: `cargo run --example procurement_planner`
 
-use iriscast::model::embodied::AmortizationPolicy;
 use iriscast::model::report::{paper_num, TextTable};
 use iriscast::prelude::*;
 use iriscast::units::{CarbonIntensity, CarbonMass, SimDuration};
 
+/// One procurement option, expressed as an engine assessment: wall energy
+/// over the horizon × CI axis, plus the horizon's embodied charge.
 struct Option_ {
     name: &'static str,
-    /// Fleet wall power at the workload's duty point.
-    fleet_power: Power,
-    /// Embodied carbon charged to the horizon.
-    embodied: CarbonMass,
+    assessment: Assessment,
 }
+
+/// The paper's CI references, as the swept axis both options share.
+const CI_SCENARIOS: [f64; 3] = [50.0, 175.0, 300.0];
 
 fn main() {
     let horizon = SimDuration::from_years(4.0);
@@ -31,13 +34,21 @@ fn main() {
     // counts, which is zero. Keeping them costs energy only.
     let keep = Option_ {
         name: "Keep 200 aged nodes",
-        fleet_power: Power::from_watts(350.0) * 200.0,
-        embodied: CarbonMass::ZERO,
+        assessment: Assessment::builder()
+            .energy(Power::from_watts(350.0) * 200.0 * horizon)
+            .ci_grams_per_kwh(&CI_SCENARIOS)
+            .pue_values(&[1.0])
+            .embodied_axis(ScenarioAxis::singleton("embodied", CarbonMass::ZERO))
+            .lifespan_axis(ScenarioAxis::singleton("lifespan", 1.0))
+            .servers(0)
+            .window(horizon)
+            .build()
+            .expect("valid keep-option axes"),
     };
 
     // The replacement: 100 new nodes do the same work at 280 W each.
-    // Embodied: the paper's per-server range; charge the 4-year horizon of
-    // a 6-year book linearly.
+    // Embodied: the component model's typical factors; the engine's
+    // amortisation window charges the 4-year horizon of a 6-year book.
     let factors = EmbodiedFactors::typical();
     let new_node = NodeBuilder::new("gen-next")
         .cpu("zen4-96c", 96, 1_100.0, Power::from_watts(290.0))
@@ -51,23 +62,29 @@ fn main() {
         .max_power(Power::from_watts(520.0))
         .build();
     let per_node_embodied = new_node.embodied(&factors);
-    let charged = AmortizationPolicy::Linear.charge(
-        per_node_embodied * 100.0,
-        SimDuration::from_years(6.0),
-        SimDuration::ZERO,
-        horizon,
-    );
     let replace = Option_ {
         name: "Replace with 100 new nodes",
-        fleet_power: Power::from_watts(280.0) * 100.0,
-        embodied: charged,
+        assessment: Assessment::builder()
+            .energy(Power::from_watts(280.0) * 100.0 * horizon)
+            .ci_grams_per_kwh(&CI_SCENARIOS)
+            .pue_values(&[1.0])
+            .embodied_axis(ScenarioAxis::singleton("embodied", per_node_embodied))
+            .lifespan_axis(ScenarioAxis::singleton("lifespan", 6.0))
+            .servers(100)
+            .window(horizon)
+            .build()
+            .expect("valid replace-option axes"),
     };
 
+    let keep_results = keep.assessment.evaluate_space();
+    let replace_results = replace.assessment.evaluate_space();
+    let charged = replace_results.embodied()[0];
     println!(
         "New node embodied (typical factors): {per_node_embodied}; fleet charge over 4 y: {charged}\n"
     );
 
-    // Compare under the paper's three CI references.
+    // Compare under the paper's three CI references: one row per point of
+    // the shared CI axis.
     let mut table = TextTable::new(vec![
         "Scenario",
         "Keep: active (kg)",
@@ -77,18 +94,12 @@ fn main() {
         "Winner",
     ])
     .title("Total carbon over a 4-year horizon");
-    for (label, g) in [
-        ("Low CI (50)", 50.0),
-        ("Medium CI (175)", 175.0),
-        ("High CI (300)", 300.0),
-    ] {
-        let ci = CarbonIntensity::from_grams_per_kwh(g);
-        let row = |o: &Option_| {
-            let active = o.fleet_power * horizon * ci;
-            (active, active + o.embodied)
-        };
-        let (keep_active, keep_total) = row(&keep);
-        let (rep_active, rep_total) = row(&replace);
+    for (i, label) in ["Low CI (50)", "Medium CI (175)", "High CI (300)"]
+        .iter()
+        .enumerate()
+    {
+        let keep_total = keep_results.totals()[i];
+        let rep_total = replace_results.totals()[i];
         let winner = if rep_total < keep_total {
             replace.name
         } else {
@@ -96,9 +107,9 @@ fn main() {
         };
         table = table.row(vec![
             label.to_string(),
-            paper_num(keep_active.kilograms()),
+            paper_num(keep_results.active()[i].kilograms()),
             paper_num(keep_total.kilograms()),
-            paper_num(rep_active.kilograms()),
+            paper_num(replace_results.active()[i].kilograms()),
             paper_num(rep_total.kilograms()),
             winner.to_string(),
         ]);
@@ -107,8 +118,8 @@ fn main() {
 
     // Where does the decision flip? Solve for the CI at which totals tie:
     // ci* = Δembodied / Δenergy.
-    let delta_embodied = replace.embodied - keep.embodied;
-    let delta_energy = (keep.fleet_power - replace.fleet_power) * horizon;
+    let delta_embodied = charged - keep_results.embodied()[0];
+    let delta_energy = keep.assessment.energy() - replace.assessment.energy();
     let break_even =
         CarbonIntensity::from_grams_per_kwh(delta_embodied.grams() / delta_energy.kilowatt_hours());
     println!(
@@ -118,4 +129,8 @@ fn main() {
         "(The paper's summary predicts exactly this shift: as grids decarbonise, embodied \
          carbon increasingly dominates procurement decisions.)"
     );
+
+    // Sanity for CI runs: the decision flips across the swept axis.
+    assert!(replace_results.totals()[2] < keep_results.totals()[2]);
+    assert!(break_even.grams_per_kwh() > 0.0);
 }

@@ -72,23 +72,38 @@ fn main() {
         ]);
     println!("{}", table.render());
 
-    // 3. Assess: active (CI × PUE ranges) + embodied (lifespan sweep).
+    // 3. Assess: build a scenario space — the paper's CI and PUE ranges
+    //    as axes, this cluster's own embodied bracket, lifespans 3–7 y —
+    //    and evaluate every scenario in one batch.
     let energy = result.best_estimate().expect("facility meter present");
-    let mut params = AssessmentParams::paper();
-    params.servers = 12;
-    params.embodied_per_server = iriscast::units::Bounds::new(low, high);
-    let assessment = SnapshotAssessment::run(energy, &params);
+    let assessment = Assessment::builder()
+        .energy(energy)
+        .ci_grams_per_kwh(&[50.0, 175.0, 300.0])
+        .pue_values(&[1.1, 1.3, 1.6])
+        .embodied_linspace(iriscast::units::Bounds::new(low, high), 5)
+        .lifespan_linspace(3.0, 7.0, 5)
+        .servers(12)
+        .build()
+        .expect("axes are non-empty and every PUE is valid");
+    let results = assessment.evaluate_space();
+    println!(
+        "Evaluated {} scenarios ({:?} axis shape)",
+        results.len(),
+        assessment.space().shape()
+    );
 
-    println!("Assessment: {}", assessment.assessment);
-    let total = assessment.assessment.total();
+    let summary = results.assessment();
+    println!("Assessment: {summary}");
+    let total = summary.total();
     println!(
         "Embodied share: {:.0}%–{:.0}%",
-        assessment.assessment.embodied_share().lo * 100.0,
-        assessment.assessment.embodied_share().hi * 100.0
+        summary.embodied_share().lo * 100.0,
+        summary.embodied_share().hi * 100.0
     );
+    let flights = total.map(|t| iriscast::model::equivalence::equivalences(t).flight_days);
     println!(
         "Equivalent to {:.2}–{:.2} continuous 24 h passenger flights",
-        assessment.equivalents.lo.flight_days, assessment.equivalents.hi.flight_days
+        flights.lo, flights.hi
     );
     assert!(total.lo < total.hi);
 }

@@ -2,7 +2,8 @@
 //!
 //! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros
 //! (no `syn`/`quote` — the build environment has no crates.io access).
-//! The item is parsed with a small token-tree walker in [`parse`], and the
+//! The item is parsed with a small token-tree walker (the private `parse`
+//! module), and the
 //! impls are emitted as source strings targeting the value-based traits of
 //! the companion `serde` shim.
 //!

@@ -9,29 +9,67 @@
 //!
 //! where *active* carbon is measured energy × grid carbon intensity ×
 //! facility overheads, and *embodied* carbon is manufacturing emissions
-//! amortised over hardware lifetime — each evaluated as low/medium/high
-//! scenario ranges.
+//! amortised over hardware lifetime — each evaluated over a **scenario
+//! space**: the cartesian product of carbon-intensity, PUE,
+//! embodied-carbon and lifespan axes of any length. The paper's published
+//! low/medium/high tables are the 3-sample special case.
 //!
 //! This facade re-exports the whole toolkit:
 //!
 //! | Module | Crate | Provides |
 //! |---|---|---|
-//! | [`units`] | `iriscast-units` | dimensional types: [`units::Energy`], [`units::Power`], [`units::CarbonMass`], [`units::CarbonIntensity`], [`units::Pue`], simulation time |
+//! | [`units`] | `iriscast-units` | dimensional types: [`units::Energy`], [`units::Power`], [`units::CarbonMass`], [`units::CarbonIntensity`], [`units::Pue`], simulation time, axis sampling |
 //! | [`inventory`] | `iriscast-inventory` | hardware catalog + component-level embodied carbon, incl. the IRIS dataset |
 //! | [`grid`] | `iriscast-grid` | GB grid generation/carbon-intensity simulator (Figure 1's substrate) |
 //! | [`telemetry`] | `iriscast-telemetry` | facility/PDU/IPMI/Turbostat measurement stack (Table 2's substrate) |
 //! | [`workload`] | `iriscast-workload` | job generator + FCFS/backfill/carbon-aware schedulers |
-//! | [`model`] | `iriscast-model` | the carbon model: assessments, sweeps, reports, paper constants |
+//! | [`model`] | `iriscast-model` | the carbon model: the scenario-space engine, table adapters, reports, paper constants |
 //!
 //! ## Quickstart
+//!
+//! Build an assessment with [`model::engine::Assessment::builder`]: an
+//! energy source, one axis per model input, a fleet size. Evaluate one
+//! point, the whole space, or the whole space across threads.
 //!
 //! ```
 //! use iriscast::prelude::*;
 //!
-//! // Energy measured for a 24 h window, paper parameters for everything
-//! // else: the full assessment in two lines.
-//! let energy = Energy::from_kilowatt_hours(19_380.0);
-//! let report = SnapshotAssessment::run(energy, &AssessmentParams::paper());
+//! // Energy measured for a 24 h window; every other input swept as an
+//! // axis. 6 CI × 4 PUE × 5 embodied × 5 lifespan = 600 scenarios.
+//! let assessment = Assessment::builder()
+//!     .energy(Energy::from_kilowatt_hours(19_380.0))
+//!     .ci_grams_per_kwh(&[50.0, 100.0, 150.0, 200.0, 250.0, 300.0])
+//!     .pue_values(&[1.1, 1.3, 1.5, 1.6])
+//!     .embodied_linspace(
+//!         Bounds::new(
+//!             CarbonMass::from_kilograms(400.0),
+//!             CarbonMass::from_kilograms(1_100.0),
+//!         ),
+//!         5,
+//!     )
+//!     .lifespan_linspace(3.0, 7.0, 5)
+//!     .servers(2_398)
+//!     .build()
+//!     .expect("axes are non-empty and valid");
+//!
+//! let results = assessment.evaluate_space();
+//! assert_eq!(results.len(), 600);
+//! let envelope = results.envelope();
+//! assert!(envelope.total.lo < envelope.total.hi);
+//! let p95 = results.percentile(0.95).unwrap();
+//! assert!(p95 <= envelope.total.hi);
+//! ```
+//!
+//! The paper-shaped one-call pipeline is still available — it is a thin
+//! adapter over the same engine, bit-identical to the published tables:
+//!
+//! ```
+//! use iriscast::prelude::*;
+//!
+//! let report = SnapshotAssessment::run(
+//!     Energy::from_kilowatt_hours(19_380.0),
+//!     &AssessmentParams::paper(),
+//! );
 //! let total = report.assessment.total();
 //! assert!(total.lo.kilograms() > 1_000.0);
 //! assert!(total.hi.kilograms() < 12_000.0);
@@ -41,7 +79,7 @@
 //!
 //! Run `cargo run -p iriscast-bench --bin repro` to regenerate every table
 //! and figure with paper-vs-measured columns, or see `examples/` for
-//! guided scenarios.
+//! guided scenarios (`scenario_space.rs` sweeps a 10,000+-point space).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -58,7 +96,12 @@ pub mod prelude {
     pub use iriscast_grid::{GridScenario, IntensitySeries};
     pub use iriscast_inventory::{EmbodiedFactors, Fleet, NodeBuilder, NodeRole, NodeSpec};
     pub use iriscast_model::assessment::{AssessmentParams, SnapshotAssessment};
+    pub use iriscast_model::engine::{
+        Assessment, AssessmentBuilder, Envelope, Marginal, PointOutcome, PointResult, SpaceResults,
+    };
     pub use iriscast_model::model::CarbonAssessment;
+    pub use iriscast_model::space::{AxisId, ScenarioAxis, ScenarioPoint, ScenarioSpace};
+    pub use iriscast_model::{Error as ModelError, Result as ModelResult};
     pub use iriscast_telemetry::{
         MeterKind, NodePowerModel, SiteCollector, SiteTelemetryConfig, UtilizationSource,
     };
