@@ -164,108 +164,291 @@ impl Assessment {
         Ok(self.evaluate(&self.space.point(index)?))
     }
 
-    /// Precomputed per-axis partial products: facility energy per PUE
-    /// sample and windowed fleet charge per (embodied, lifespan) pair.
-    /// Factoring these out makes a batch O(points) multiplies while
-    /// keeping each point's arithmetic identical to [`evaluate_one`].
-    fn tables(&self) -> (Vec<Energy>, Vec<CarbonMass>) {
+    /// Precomputed multiplication tables for this assessment: one active
+    /// value per (CI, PUE) pair (`pue.apply(energy) * ci`, exactly
+    /// [`evaluate_one`]'s arithmetic) and one windowed fleet charge per
+    /// (embodied, lifespan) pair. Factoring these out makes a batch
+    /// O(points) table reads while keeping each point's value identical
+    /// to [`evaluate_one`] — it is what keeps every evaluation path
+    /// (materialised, streamed, chunked, parallel) bit-identical.
+    fn tables(&self) -> EvalTables {
         let pued: Vec<Energy> = self
             .space
             .pue()
             .iter()
             .map(|p| p.apply(self.energy))
             .collect();
-        let mut fleet =
+        let mut active = Vec::with_capacity(self.space.ci().len() * pued.len());
+        for &ci in self.space.ci() {
+            for &pe in &pued {
+                active.push(pe * ci);
+            }
+        }
+        let mut embodied =
             Vec::with_capacity(self.space.embodied().len() * self.space.lifespan_years().len());
         for &e in self.space.embodied() {
             for &years in self.space.lifespan_years() {
-                fleet.push(fleet_snapshot_daily(e, years, self.servers) * self.window_days);
+                embodied.push(fleet_snapshot_daily(e, years, self.servers) * self.window_days);
             }
         }
-        (pued, fleet)
+        EvalTables { active, embodied }
     }
 
     /// Evaluates every point in the space, serially, in index order.
     pub fn evaluate_space(&self) -> SpaceResults {
-        let (pued, fleet) = self.tables();
-        let n = self.space.len();
-        let mut active = Vec::with_capacity(n);
-        let mut embodied = Vec::with_capacity(n);
-        let mut total = Vec::with_capacity(n);
-        for &ci in self.space.ci() {
-            for &pe in &pued {
-                let a_base = pe * ci;
-                for &e in &fleet {
-                    active.push(a_base);
-                    embodied.push(e);
-                    total.push(a_base + e);
-                }
-            }
-        }
-        SpaceResults {
-            space: self.space.clone(),
-            active,
-            embodied,
-            total,
-        }
+        materialise(&self.space, &self.tables())
     }
 
     /// Evaluates the space chunked across `threads` OS threads (via the
     /// crossbeam scope shim). Results are identical — not just close — to
     /// [`Assessment::evaluate_space`]: each point's arithmetic is the
-    /// same, only the loop is partitioned.
+    /// same, only the loop is partitioned. Spaces smaller than
+    /// [`PAR_SERIAL_CUTOFF`] are evaluated serially (the answer is
+    /// bit-identical either way; below the cutoff serial is faster).
     ///
     /// `threads == 0` selects the machine's available parallelism.
     pub fn par_evaluate_space(&self, threads: usize) -> SpaceResults {
-        let n = self.space.len();
-        let threads = if threads == 0 {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        } else {
-            threads
+        par_materialise(&self.space, &self.tables(), threads)
+    }
+
+    /// Streams every point, in index order, to `sink` — no result
+    /// columns are materialised, so memory stays O(1) in the space's
+    /// cardinality. This is how >10M-point sweeps stay inside a bounded
+    /// footprint; for batch queries (envelope, percentiles, marginals)
+    /// use [`Assessment::evaluate_space`] instead.
+    pub fn stream_space(&self, sink: impl FnMut(PointResult)) {
+        stream_points(&self.space, &self.tables(), sink);
+    }
+
+    /// Streamed evaluation with the per-point arithmetic chunked across
+    /// `threads` OS threads. `sink` still observes every point in index
+    /// order, and every value is bit-identical to
+    /// [`Assessment::stream_space`]; memory is bounded by
+    /// `threads × `[`STREAM_CHUNK_POINTS`] points in flight.
+    ///
+    /// `threads == 0` selects the machine's available parallelism.
+    pub fn par_stream_space(&self, threads: usize, sink: impl FnMut(PointResult)) {
+        par_stream_points(&self.space, &self.tables(), threads, sink);
+    }
+
+    /// Iterates the space as materialised chunks of at most
+    /// `chunk_points` points (clamped to ≥ 1) — the middle ground
+    /// between one giant [`SpaceResults`] and a per-point sink: each
+    /// [`SpaceChunk`] holds contiguous columns for vectorised
+    /// consumption, and only one chunk is alive at a time.
+    pub fn chunks(&self, chunk_points: usize) -> SpaceChunks<'_> {
+        chunks_over(&self.space, self.tables(), chunk_points)
+    }
+}
+
+/// Below this many points `par_evaluate_space` falls back to the serial
+/// path. Per-point work is two table reads and one add, so thread
+/// spawn/join overhead dominates small batches: the PR 2 trajectory
+/// measured 13.8 µs parallel vs 2.6 µs serial at 864 points, with
+/// break-even sitting just above 10⁵ points on the dev container (see
+/// `crates/bench/benches/scenario_space.rs`). The fallback is safe
+/// because both paths are bit-identical by construction.
+pub const PAR_SERIAL_CUTOFF: usize = 1 << 17;
+
+/// Points per in-flight chunk for the streaming evaluators — small
+/// enough that `threads × STREAM_CHUNK_POINTS × 3` columns stay a few
+/// megabytes, large enough to amortise thread spawn/join.
+pub const STREAM_CHUNK_POINTS: usize = 1 << 16;
+
+/// Precomputed per-(CI, PUE) active and per-(embodied, lifespan) fleet
+/// charges — the shared kernel every evaluation path reads. The scalar
+/// engine fills `active` from one energy figure; the time-resolved
+/// engine fills it from per-interval convolutions. Everything downstream
+/// (materialise / stream / chunk / parallel) is common code, which is
+/// what keeps the paths bit-identical to each other.
+#[derive(Clone, Debug)]
+pub(crate) struct EvalTables {
+    /// Active carbon per (ci, pue) pair, ci-major.
+    pub(crate) active: Vec<CarbonMass>,
+    /// Windowed embodied charge per (embodied, lifespan) pair, embodied-major.
+    pub(crate) embodied: Vec<CarbonMass>,
+}
+
+impl EvalTables {
+    /// Calls `sink(flat_index, outcome)` for every point in
+    /// `[start, end)`, in index order, without materialising anything.
+    fn for_each(&self, start: usize, end: usize, mut sink: impl FnMut(usize, PointOutcome)) {
+        let n_inner = self.embodied.len();
+        let mut outer = start / n_inner;
+        let mut inner = start % n_inner;
+        for idx in start..end {
+            sink(
+                idx,
+                PointOutcome {
+                    active: self.active[outer],
+                    embodied: self.embodied[inner],
+                },
+            );
+            inner += 1;
+            if inner == n_inner {
+                inner = 0;
+                outer += 1;
+            }
         }
-        .min(n.max(1));
-        if threads <= 1 {
-            return self.evaluate_space();
-        }
-        let (pued, fleet) = self.tables();
-        let [_, n_pue, n_emb, n_life] = self.space.shape();
-        let chunk = n.div_ceil(threads);
-        let ranges: Vec<(usize, usize)> = (0..threads)
-            .map(|t| (t * chunk, ((t + 1) * chunk).min(n)))
-            .filter(|(s, e)| s < e)
+    }
+
+    /// Materialises the three result columns for `[start, end)`.
+    fn fill_columns(
+        &self,
+        start: usize,
+        end: usize,
+    ) -> (Vec<CarbonMass>, Vec<CarbonMass>, Vec<CarbonMass>) {
+        let mut active = Vec::with_capacity(end - start);
+        let mut embodied = Vec::with_capacity(end - start);
+        let mut total = Vec::with_capacity(end - start);
+        self.for_each(start, end, |_, o| {
+            active.push(o.active);
+            embodied.push(o.embodied);
+            total.push(o.active + o.embodied);
+        });
+        (active, embodied, total)
+    }
+
+    /// Materialises only the active/embodied columns for `[start, end)` —
+    /// the streaming paths derive totals at the sink, so building the
+    /// third column would be wasted work.
+    fn fill_pairs(&self, start: usize, end: usize) -> (Vec<CarbonMass>, Vec<CarbonMass>) {
+        let mut active = Vec::with_capacity(end - start);
+        let mut embodied = Vec::with_capacity(end - start);
+        self.for_each(start, end, |_, o| {
+            active.push(o.active);
+            embodied.push(o.embodied);
+        });
+        (active, embodied)
+    }
+}
+
+/// Resolves a thread-count request (`0` = available parallelism) against
+/// the number of points.
+fn resolve_threads(threads: usize, n: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(n.max(1))
+}
+
+/// Serial materialisation over the kernel tables.
+pub(crate) fn materialise(space: &ScenarioSpace, tables: &EvalTables) -> SpaceResults {
+    let (active, embodied, total) = tables.fill_columns(0, space.len());
+    SpaceResults {
+        space: space.clone(),
+        active,
+        embodied,
+        total,
+    }
+}
+
+/// Parallel materialisation: one contiguous range per thread, results
+/// concatenated in range order — bit-identical to [`materialise`].
+pub(crate) fn par_materialise(
+    space: &ScenarioSpace,
+    tables: &EvalTables,
+    threads: usize,
+) -> SpaceResults {
+    let n = space.len();
+    // Check the cutoff before resolving threads: `available_parallelism`
+    // is a syscall (cgroup reads on Linux) costing ~10 µs — more than a
+    // whole sub-cutoff batch.
+    if n < PAR_SERIAL_CUTOFF {
+        return materialise(space, tables);
+    }
+    let threads = resolve_threads(threads, n);
+    if threads <= 1 {
+        return materialise(space, tables);
+    }
+    let chunk = n.div_ceil(threads);
+    let ranges: Vec<(usize, usize)> = (0..threads)
+        .map(|t| (t * chunk, ((t + 1) * chunk).min(n)))
+        .filter(|(s, e)| s < e)
+        .collect();
+    let mut active = Vec::with_capacity(n);
+    let mut embodied = Vec::with_capacity(n);
+    let mut total = Vec::with_capacity(n);
+    let parts = crossbeam::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(start, end)| scope.spawn(move |_| tables.fill_columns(start, end)))
             .collect();
-        let ci_samples = self.space.ci().samples();
-        let mut active = Vec::with_capacity(n);
-        let mut embodied = Vec::with_capacity(n);
-        let mut total = Vec::with_capacity(n);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scenario worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("crossbeam scope");
+    for (a, e, t) in parts {
+        active.extend(a);
+        embodied.extend(e);
+        total.extend(t);
+    }
+    SpaceResults {
+        space: space.clone(),
+        active,
+        embodied,
+        total,
+    }
+}
+
+/// Serial streaming over the kernel tables: `sink` sees every point in
+/// index order and nothing is materialised.
+pub(crate) fn stream_points(
+    space: &ScenarioSpace,
+    tables: &EvalTables,
+    mut sink: impl FnMut(PointResult),
+) {
+    tables.for_each(0, space.len(), |idx, outcome| {
+        sink(PointResult {
+            point: space
+                .point(idx)
+                .expect("kernel indices are in range by construction"),
+            outcome,
+        });
+    });
+}
+
+/// Parallel streaming: the per-point arithmetic runs chunked across
+/// threads in waves of `threads ×` [`STREAM_CHUNK_POINTS`] points, and
+/// the sink drains each wave in index order on the calling thread — so
+/// delivery order and every value match [`stream_points`] exactly while
+/// memory stays bounded by the wave size.
+pub(crate) fn par_stream_points(
+    space: &ScenarioSpace,
+    tables: &EvalTables,
+    threads: usize,
+    mut sink: impl FnMut(PointResult),
+) {
+    let n = space.len();
+    if n < PAR_SERIAL_CUTOFF {
+        return stream_points(space, tables, sink);
+    }
+    let threads = resolve_threads(threads, n);
+    if threads <= 1 {
+        return stream_points(space, tables, sink);
+    }
+    let mut wave_start = 0usize;
+    while wave_start < n {
+        let wave_end = (wave_start + threads * STREAM_CHUNK_POINTS).min(n);
+        let ranges: Vec<(usize, usize)> = (0..)
+            .map(|t| {
+                (
+                    wave_start + t * STREAM_CHUNK_POINTS,
+                    (wave_start + (t + 1) * STREAM_CHUNK_POINTS).min(wave_end),
+                )
+            })
+            .take_while(|(s, e)| s < e)
+            .collect();
         let parts = crossbeam::scope(|scope| {
             let handles: Vec<_> = ranges
                 .iter()
-                .map(|&(start, end)| {
-                    let pued = &pued;
-                    let fleet = &fleet;
-                    scope.spawn(move |_| {
-                        let mut a = Vec::with_capacity(end - start);
-                        let mut e = Vec::with_capacity(end - start);
-                        let mut t = Vec::with_capacity(end - start);
-                        for idx in start..end {
-                            let life_i = idx % n_life;
-                            let rest = idx / n_life;
-                            let emb_i = rest % n_emb;
-                            let rest = rest / n_emb;
-                            let pue_i = rest % n_pue;
-                            let ci_i = rest / n_pue;
-                            let a_val = pued[pue_i] * ci_samples[ci_i];
-                            let e_val = fleet[emb_i * n_life + life_i];
-                            a.push(a_val);
-                            e.push(e_val);
-                            t.push(a_val + e_val);
-                        }
-                        (a, e, t)
-                    })
-                })
+                .map(|&(start, end)| scope.spawn(move |_| tables.fill_pairs(start, end)))
                 .collect();
             handles
                 .into_iter()
@@ -273,17 +456,111 @@ impl Assessment {
                 .collect::<Vec<_>>()
         })
         .expect("crossbeam scope");
-        for (a, e, t) in parts {
-            active.extend(a);
-            embodied.extend(e);
-            total.extend(t);
+        let mut idx = wave_start;
+        for (active, embodied) in parts {
+            for (a, e) in active.into_iter().zip(embodied) {
+                sink(PointResult {
+                    point: space
+                        .point(idx)
+                        .expect("kernel indices are in range by construction"),
+                    outcome: PointOutcome {
+                        active: a,
+                        embodied: e,
+                    },
+                });
+                idx += 1;
+            }
         }
-        SpaceResults {
-            space: self.space.clone(),
+        wave_start = wave_end;
+    }
+}
+
+/// A contiguous slice of batch results: columns for the points
+/// `[start, start + len)` of the owning space, in index order.
+///
+/// Produced by the chunked iterators ([`Assessment::chunks`] and the
+/// time-resolved equivalent); values are bit-identical to the same
+/// indices of a full [`SpaceResults`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpaceChunk {
+    /// Flat index of the chunk's first point.
+    pub start: usize,
+    /// Active-carbon column for the chunk.
+    pub active: Vec<CarbonMass>,
+    /// Embodied-carbon column for the chunk.
+    pub embodied: Vec<CarbonMass>,
+    /// Total-carbon column for the chunk.
+    pub total: Vec<CarbonMass>,
+}
+
+impl SpaceChunk {
+    /// Number of points in the chunk (≥ 1).
+    pub fn len(&self) -> usize {
+        self.total.len()
+    }
+
+    /// `true` when the chunk holds no points (never produced by the
+    /// iterators; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.total.is_empty()
+    }
+
+    /// The flat-index range this chunk covers.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.len()
+    }
+}
+
+/// Iterator of [`SpaceChunk`]s over a scenario space (see
+/// [`Assessment::chunks`]). Only the chunk being yielded is
+/// materialised.
+#[derive(Clone, Debug)]
+pub struct SpaceChunks<'a> {
+    space: &'a ScenarioSpace,
+    tables: EvalTables,
+    next: usize,
+    chunk: usize,
+}
+
+impl Iterator for SpaceChunks<'_> {
+    type Item = SpaceChunk;
+
+    fn next(&mut self) -> Option<SpaceChunk> {
+        let n = self.space.len();
+        if self.next >= n {
+            return None;
+        }
+        let start = self.next;
+        let end = (start + self.chunk).min(n);
+        self.next = end;
+        let (active, embodied, total) = self.tables.fill_columns(start, end);
+        Some(SpaceChunk {
+            start,
             active,
             embodied,
             total,
-        }
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.space.len().saturating_sub(self.next);
+        let chunks = remaining.div_ceil(self.chunk);
+        (chunks, Some(chunks))
+    }
+}
+
+impl ExactSizeIterator for SpaceChunks<'_> {}
+
+pub(crate) fn chunks_over<'a>(
+    space: &'a ScenarioSpace,
+    tables: EvalTables,
+    chunk_points: usize,
+) -> SpaceChunks<'a> {
+    SpaceChunks {
+        space,
+        tables,
+        next: 0,
+        chunk: chunk_points.max(1),
     }
 }
 
@@ -846,6 +1123,72 @@ mod tests {
             assert!(bucket.mean_total <= bucket.total.hi);
             assert!(bucket.span() > CarbonMass::ZERO);
         }
+    }
+
+    #[test]
+    fn streamed_and_chunked_paths_match_materialised() {
+        let a = Assessment::paper();
+        let results = a.evaluate_space();
+        let mut streamed = Vec::new();
+        a.stream_space(|p| streamed.push(p));
+        assert_eq!(streamed.len(), results.len());
+        for (i, p) in streamed.iter().enumerate() {
+            assert_eq!(*p, results.get(i).unwrap(), "point {i}");
+        }
+        let mut par_streamed = Vec::new();
+        a.par_stream_space(4, |p| par_streamed.push(p));
+        assert_eq!(streamed, par_streamed);
+
+        // Chunked: uneven chunk size, full coverage, exact columns.
+        let mut idx = 0;
+        let chunks = a.chunks(7);
+        assert_eq!(chunks.len(), results.len().div_ceil(7));
+        for chunk in chunks {
+            assert_eq!(chunk.start, idx);
+            assert!(!chunk.is_empty());
+            assert_eq!(chunk.range().start, idx);
+            for k in 0..chunk.len() {
+                assert_eq!(chunk.active[k], results.active()[idx + k]);
+                assert_eq!(chunk.embodied[k], results.embodied()[idx + k]);
+                assert_eq!(chunk.total[k], results.totals()[idx + k]);
+            }
+            idx += chunk.len();
+        }
+        assert_eq!(idx, results.len());
+        // Chunk size 0 is clamped, not a panic or infinite loop.
+        assert_eq!(a.chunks(0).count(), results.len());
+    }
+
+    #[test]
+    fn parallel_paths_are_bit_identical_across_the_cutoff() {
+        // 20 × 10 × 30 × 28 = 168,000 points — above PAR_SERIAL_CUTOFF,
+        // so the threaded code paths genuinely run.
+        let a = Assessment::builder()
+            .energy(paper::effective_energy())
+            .ci_axis(
+                crate::space::ScenarioAxis::linspace(
+                    "ci",
+                    iriscast_units::Bounds::new(
+                        CarbonIntensity::from_grams_per_kwh(50.0),
+                        CarbonIntensity::from_grams_per_kwh(300.0),
+                    ),
+                    20,
+                )
+                .unwrap(),
+            )
+            .pue_values(&[1.1, 1.15, 1.2, 1.25, 1.3, 1.35, 1.4, 1.45, 1.5, 1.6])
+            .embodied_linspace(paper::server_embodied_bounds(), 30)
+            .lifespan_linspace(3.0, 7.0, 28)
+            .servers(paper::AMORTISATION_FLEET_SERVERS)
+            .build()
+            .unwrap();
+        assert!(a.space().len() >= PAR_SERIAL_CUTOFF);
+        let serial = a.evaluate_space();
+        let par = a.par_evaluate_space(4);
+        assert_eq!(serial, par);
+        let mut streamed_totals = Vec::with_capacity(serial.len());
+        a.par_stream_space(4, |p| streamed_totals.push(p.outcome.total()));
+        assert_eq!(streamed_totals.as_slice(), serial.totals());
     }
 
     #[test]

@@ -16,7 +16,12 @@
 //! * [`space`] — first-class scenario spaces: [`space::ScenarioAxis`],
 //!   [`space::ScenarioSpace`], [`space::ScenarioPoint`];
 //! * [`engine`] — [`engine::Assessment::builder`] and batch evaluation
-//!   (serial and parallel) with envelope/percentile/marginal queries;
+//!   (materialised, streamed, chunked; serial and parallel) with
+//!   envelope/percentile/marginal queries;
+//! * [`time_resolved`] — [`time_resolved::TimeResolvedAssessment`]:
+//!   per-interval energy × intensity series convolved over the same
+//!   scenario spaces, with per-interval [`time_resolved::CarbonProfile`]
+//!   output;
 //! * [`error`] — the typed [`Error`]/[`Result`] every fallible API uses;
 //! * [`active`] — equations (2)–(3), scalar and time-aligned;
 //! * [`facilities`] — PUE-based and measured facility overheads;
@@ -100,11 +105,15 @@ pub mod report;
 pub mod scenario;
 pub mod sensitivity;
 pub mod space;
+pub mod time_resolved;
 pub mod uncertainty;
 
 pub use assessment::{AssessmentParams, SnapshotAssessment};
-pub use engine::{Assessment, AssessmentBuilder, PointOutcome, PointResult, SpaceResults};
+pub use engine::{
+    Assessment, AssessmentBuilder, PointOutcome, PointResult, SpaceChunk, SpaceChunks, SpaceResults,
+};
 pub use error::{Error, Result};
 pub use model::CarbonAssessment;
 pub use scenario::{ActiveCarbonGrid, EmbodiedSweep};
 pub use space::{AxisId, ScenarioAxis, ScenarioPoint, ScenarioSpace};
+pub use time_resolved::{CarbonProfile, TimeResolvedAssessment, TimeResolvedBuilder};

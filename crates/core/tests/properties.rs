@@ -1,10 +1,67 @@
 //! Property-based tests for the carbon model's invariants.
 
+use iriscast_grid::IntensitySeries;
 use iriscast_model::embodied::{fleet_snapshot_daily, AmortizationPolicy};
+use iriscast_model::engine::evaluate_one;
 use iriscast_model::netzero::{project, DecarbonisationPathway, SteadyStateDri};
-use iriscast_model::{ActiveCarbonGrid, Assessment, EmbodiedSweep};
-use iriscast_units::{Bounds, CarbonIntensity, CarbonMass, Energy, Pue, SimDuration, TriEstimate};
+use iriscast_model::{ActiveCarbonGrid, Assessment, EmbodiedSweep, TimeResolvedAssessment};
+use iriscast_telemetry::EnergySeries;
+use iriscast_units::{
+    Bounds, CarbonIntensity, CarbonMass, Energy, Pue, SimDuration, Timestamp, TriEstimate,
+};
 use proptest::prelude::*;
+
+/// A time-resolved assessment over `slots` settlement periods of varying
+/// energy, with `n_ci` intensity series sampled `fine`× finer than the
+/// energy grid (fine = 1 means same-step).
+#[allow(clippy::too_many_arguments)] // one knob per generated axis
+fn time_resolved_fixture(
+    slots: usize,
+    kwh: f64,
+    fine: usize,
+    n_ci: usize,
+    n_pue: usize,
+    n_emb: usize,
+    n_life: usize,
+    servers: u32,
+) -> TimeResolvedAssessment {
+    let energy = EnergySeries::new(
+        Timestamp::EPOCH,
+        SimDuration::SETTLEMENT_PERIOD,
+        (0..slots)
+            .map(|i| Energy::from_kilowatt_hours(kwh * (1.0 + (i % 7) as f64)))
+            .collect(),
+    );
+    let ci_step = SimDuration::from_secs(SimDuration::SETTLEMENT_PERIOD.as_secs() / fine as i64);
+    let ci_series = (0..n_ci).map(|k| {
+        IntensitySeries::new(
+            Timestamp::EPOCH,
+            ci_step,
+            (0..slots * fine)
+                .map(|i| {
+                    CarbonIntensity::from_grams_per_kwh(
+                        40.0 + 60.0 * k as f64 + 3.0 * (i % 11) as f64,
+                    )
+                })
+                .collect(),
+        )
+    });
+    TimeResolvedAssessment::builder()
+        .energy_series(energy)
+        .ci_series_all(ci_series)
+        .pue_values(&[1.1, 1.2, 1.35, 1.5][..n_pue])
+        .embodied_linspace(
+            Bounds::new(
+                CarbonMass::from_kilograms(400.0),
+                CarbonMass::from_kilograms(1_100.0),
+            ),
+            n_emb,
+        )
+        .lifespan_linspace(2.0, 8.0, n_life)
+        .servers(servers)
+        .build()
+        .expect("fixture axes are valid and aligned")
+}
 
 fn ordered_triple(lo: f64, hi: f64) -> impl Strategy<Value = (f64, f64, f64)> {
     (lo..hi, lo..hi, lo..hi).prop_map(|(a, b, c)| {
@@ -287,6 +344,182 @@ proptest! {
         prop_assert_eq!(serial.embodied(), par.embodied());
     }
 
+    /// Time-resolved evaluation: the streamed, materialised, chunked and
+    /// parallel paths agree bit-for-bit, and each point equals the
+    /// per-slot scalar summation through `evaluate_one` — the property
+    /// that makes the time-resolved engine a strict generalisation of
+    /// the scalar one.
+    #[test]
+    fn time_resolved_streamed_materialised_scalar_summed_agree(
+        slots in 1usize..80,
+        kwh in 0.01..50.0f64,
+        fine in 1usize..4,
+        n_ci in 1usize..4,
+        n_pue in 1usize..5,
+        n_emb in 1usize..3,
+        n_life in 1usize..4,
+        threads in 0usize..5,
+        servers in 1u32..5_000,
+    ) {
+        let a = time_resolved_fixture(slots, kwh, fine, n_ci, n_pue, n_emb, n_life, servers);
+        let results = a.evaluate_space();
+        prop_assert_eq!(results.len(), n_ci * n_pue * n_emb * n_life);
+
+        // Materialised ≡ parallel-materialised.
+        let par = a.par_evaluate_space(threads);
+        prop_assert_eq!(&results, &par);
+
+        // Materialised ≡ streamed ≡ parallel-streamed, point for point.
+        let mut streamed = Vec::with_capacity(results.len());
+        a.stream_space(|p| streamed.push(p));
+        let mut par_streamed = Vec::with_capacity(results.len());
+        a.par_stream_space(threads, |p| par_streamed.push(p));
+        prop_assert_eq!(&streamed, &par_streamed);
+        for (i, p) in streamed.iter().enumerate() {
+            prop_assert_eq!(*p, results.get(i).unwrap());
+            prop_assert_eq!(*p, a.evaluate(i).unwrap());
+        }
+
+        // Materialised ≡ chunked (uneven chunk size on purpose).
+        let mut idx = 0;
+        for chunk in a.chunks(13) {
+            prop_assert_eq!(chunk.start, idx);
+            for k in 0..chunk.len() {
+                prop_assert_eq!(chunk.active[k], results.active()[idx + k]);
+                prop_assert_eq!(chunk.embodied[k], results.embodied()[idx + k]);
+                prop_assert_eq!(chunk.total[k], results.totals()[idx + k]);
+            }
+            idx += chunk.len();
+        }
+        prop_assert_eq!(idx, results.len());
+
+        // Every point ≡ the scalar kernel summed slot by slot.
+        for index in [0, results.len() / 2, results.len() - 1] {
+            let p = results.get(index).unwrap();
+            let aligned = a.aligned_intensity(p.point.coords[0]).unwrap();
+            let mut active = CarbonMass::ZERO;
+            for (&e, &c) in a.energy().values().iter().zip(aligned) {
+                active += evaluate_one(
+                    e,
+                    servers,
+                    1.0,
+                    c,
+                    p.point.pue,
+                    p.point.embodied_per_server,
+                    p.point.lifespan_years,
+                )
+                .active;
+            }
+            prop_assert_eq!(active, p.outcome.active);
+            let embodied = evaluate_one(
+                Energy::ZERO,
+                servers,
+                a.window_days(),
+                CarbonIntensity::ZERO,
+                p.point.pue,
+                p.point.embodied_per_server,
+                p.point.lifespan_years,
+            )
+            .embodied;
+            prop_assert_eq!(embodied, p.outcome.embodied);
+
+            // The per-interval profile integrates to the same outcome.
+            let profile = a.profile(index).unwrap();
+            prop_assert_eq!(profile.integrated(), p.outcome);
+            let slot_sum: CarbonMass = profile.active().iter().copied().sum();
+            prop_assert!(
+                (slot_sum.grams() - p.outcome.active.grams()).abs()
+                    <= 1e-9 * p.outcome.active.grams() + 1e-9
+            );
+        }
+
+        // The energy-weighted mean CI on the axis reproduces the
+        // convolution through the scalar formula (to float tolerance).
+        for (ci_i, &mean_ci) in a.space().ci().samples().iter().enumerate() {
+            let coords = [ci_i, 0, 0, 0];
+            let index = a.space().index_of(coords).unwrap();
+            let p = results.get(index).unwrap();
+            let scalar = p.point.pue.apply(a.energy().total()) * mean_ci;
+            prop_assert!(
+                (scalar.grams() - p.outcome.active.grams()).abs()
+                    <= 1e-6 * p.outcome.active.grams() + 1e-9,
+                "{} vs {}",
+                scalar.grams(),
+                p.outcome.active.grams()
+            );
+        }
+    }
+
+    /// Series that cannot be aligned exactly — too short, phase-skewed,
+    /// or on a non-multiple step — surface as typed errors at build,
+    /// never as silent interpolation.
+    #[test]
+    fn time_resolved_misalignment_is_always_a_typed_error(
+        slots in 2usize..60,
+        skew in 1i64..1_800,
+    ) {
+        let energy = EnergySeries::new(
+            Timestamp::EPOCH,
+            SimDuration::SETTLEMENT_PERIOD,
+            vec![Energy::from_kilowatt_hours(10.0); slots],
+        );
+        let ci_values = |n: usize| -> Vec<CarbonIntensity> {
+            (0..n)
+                .map(|i| CarbonIntensity::from_grams_per_kwh(100.0 + i as f64))
+                .collect()
+        };
+        let build = |series: IntensitySeries| {
+            TimeResolvedAssessment::builder()
+                .energy_series(energy.clone())
+                .ci_series(series)
+                .pue_values(&[1.3])
+                .embodied_linspace(
+                    Bounds::new(
+                        CarbonMass::from_kilograms(400.0),
+                        CarbonMass::from_kilograms(1_100.0),
+                    ),
+                    2,
+                )
+                .lifespan_linspace(3.0, 7.0, 2)
+                .servers(100)
+                .build()
+        };
+        // Mismatched length: one slot short of covering the window.
+        let short = IntensitySeries::new(
+            Timestamp::EPOCH,
+            SimDuration::SETTLEMENT_PERIOD,
+            ci_values(slots - 1),
+        );
+        prop_assert!(matches!(
+            build(short),
+            Err(iriscast_model::Error::Units(_))
+        ));
+        // Phase skew: same step, start offset by a fraction of a slot.
+        let skewed = IntensitySeries::new(
+            Timestamp::from_secs(-skew),
+            SimDuration::SETTLEMENT_PERIOD,
+            ci_values(slots + 1),
+        );
+        prop_assert!(matches!(
+            build(skewed),
+            Err(iriscast_model::Error::Units(_))
+        ));
+        // Non-multiple step: 25 minutes vs 30-minute energy slots.
+        let odd = IntensitySeries::new(
+            Timestamp::EPOCH,
+            SimDuration::from_minutes(25),
+            ci_values(slots * 2),
+        );
+        prop_assert!(matches!(build(odd), Err(iriscast_model::Error::Units(_))));
+        // A same-grid series still builds (control).
+        let ok = IntensitySeries::new(
+            Timestamp::EPOCH,
+            SimDuration::SETTLEMENT_PERIOD,
+            ci_values(slots),
+        );
+        prop_assert!(build(ok).is_ok());
+    }
+
     /// Net-zero projections: embodied share is monotone non-decreasing
     /// along any declining pathway, and intensity stays above the floor.
     #[test]
@@ -313,5 +546,50 @@ proptest! {
             prop_assert!(y.intensity >= pathway.floor);
             prop_assert!((0.0..=1.0).contains(&y.embodied_share));
         }
+    }
+}
+
+/// DST-boundary days (23 h spring-forward, 25 h fall-back) are ordinary
+/// windows: 46 or 50 half-hours stream, materialise and scalar-sum to
+/// the same numbers, and the embodied window follows the true length.
+#[test]
+fn dst_boundary_half_hours_are_first_class() {
+    for slots in [46usize, 48, 50] {
+        let a = time_resolved_fixture(slots, 5.0, 2, 2, 2, 2, 2, 500);
+        assert!((a.window_days() - slots as f64 / 48.0).abs() < 1e-12);
+        let results = a.evaluate_space();
+        let mut streamed = Vec::new();
+        a.stream_space(|p| streamed.push(p.outcome));
+        for (i, o) in streamed.iter().enumerate() {
+            assert_eq!(
+                *o,
+                results.get(i).unwrap().outcome,
+                "{slots} slots, point {i}"
+            );
+            let p = results.get(i).unwrap().point;
+            let aligned = a.aligned_intensity(p.coords[0]).unwrap();
+            let mut active = CarbonMass::ZERO;
+            for (&e, &c) in a.energy().values().iter().zip(aligned) {
+                active += evaluate_one(
+                    e,
+                    a.servers(),
+                    1.0,
+                    c,
+                    p.pue,
+                    p.embodied_per_server,
+                    p.lifespan_years,
+                )
+                .active;
+            }
+            assert_eq!(active, o.active, "{slots} slots, point {i}");
+        }
+        // A 25-hour day charges more embodied than a 23-hour day at the
+        // same settings; check the monotonicity across the loop.
+        let daily = fleet_snapshot_daily(
+            a.space().embodied().samples()[0],
+            a.space().lifespan_years().samples()[0],
+            a.servers(),
+        );
+        assert_eq!(results.embodied()[0], daily * a.window_days());
     }
 }

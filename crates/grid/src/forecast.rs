@@ -6,6 +6,41 @@
 //! product — persistence anchored on the same slot yesterday, corrected
 //! towards the recent level — plus the skill metrics needed to judge
 //! whether acting on it beats doing nothing.
+//!
+//! Forecasts are ordinary [`IntensitySeries`] values on the history's
+//! grid, so everything in [`crate::series`] — slicing, resampling,
+//! projection onto an energy grid — applies to them unchanged:
+//!
+//! ```
+//! use iriscast_grid::forecast::{score, DayAheadForecaster};
+//! use iriscast_grid::series::IntensitySeries;
+//! use iriscast_units::{CarbonIntensity, SimDuration, Timestamp};
+//!
+//! // Two days of a repeating diurnal pattern, one value per hour.
+//! let history = IntensitySeries::new(
+//!     Timestamp::EPOCH,
+//!     SimDuration::HOUR,
+//!     (0..48)
+//!         .map(|h| CarbonIntensity::from_grams_per_kwh(
+//!             180.0 + 60.0 * (h % 24) as f64 / 24.0,
+//!         ))
+//!         .collect(),
+//! );
+//! let forecast = DayAheadForecaster::gb_default().forecast_series(&history);
+//! assert_eq!(forecast.len(), history.len());
+//!
+//! // A perfectly repeating day makes day-ahead persistence skilful.
+//! let day2 = iriscast_units::Period::day(1);
+//! let skill = score(
+//!     &forecast.slice(day2).unwrap(),
+//!     &history.slice(day2).unwrap(),
+//! );
+//! assert!(skill.skill > 0.0);
+//!
+//! // Forecasts resample like any other series (hourly → two-hourly).
+//! let coarse = forecast.resample(SimDuration::from_secs(7_200)).unwrap();
+//! assert_eq!(coarse.len(), 24);
+//! ```
 
 use crate::stats;
 use crate::IntensitySeries;

@@ -44,7 +44,7 @@ mod fuel;
 mod mix;
 pub mod regions;
 pub mod scenario;
-mod series;
+pub mod series;
 pub mod stats;
 pub mod weather;
 

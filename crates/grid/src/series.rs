@@ -1,7 +1,52 @@
-//! Half-hourly carbon-intensity series and its summaries.
+//! Half-hourly carbon-intensity series: construction, summaries,
+//! alignment and resampling.
+//!
+//! [`IntensitySeries`] is the crate's central data structure — the
+//! offline stand-in for the national half-hourly feed behind the paper's
+//! Figure 1. Each value is the intensity *for* one interval, so the
+//! series composes exactly with interval energy (equation 3) and with the
+//! alignment rules in [`iriscast_units::align`]: a series can be
+//! [resampled](IntensitySeries::resample) to a coarser or finer grid
+//! (time-weighted means / repeated rates), [sliced](IntensitySeries::slice)
+//! to a sub-period, [rebased](IntensitySeries::rebased) onto another
+//! clock, or [projected](IntensitySeries::project_onto) directly onto an
+//! energy grid for convolution.
+//!
+//! Summaries mirror what the paper reads off the data: daily means
+//! (Figure 1), percentile-based low/medium/high
+//! [reference values](IntensitySeries::reference_values), and the
+//! greenest-window query carbon-aware scheduling builds on.
+//!
+//! ```
+//! use iriscast_grid::series::IntensitySeries;
+//! use iriscast_units::{CarbonIntensity, SimDuration, Timestamp};
+//!
+//! // Four settlement periods of intensity data…
+//! let s = IntensitySeries::new(
+//!     Timestamp::EPOCH,
+//!     SimDuration::SETTLEMENT_PERIOD,
+//!     [60.0, 120.0, 300.0, 180.0]
+//!         .iter()
+//!         .map(|&g| CarbonIntensity::from_grams_per_kwh(g))
+//!         .collect(),
+//! );
+//! assert_eq!(s.mean().grams_per_kwh(), 165.0);
+//!
+//! // …resampled to hourly (time-weighted mean of each pair)…
+//! let hourly = s.resample(SimDuration::HOUR).unwrap();
+//! assert_eq!(hourly.len(), 2);
+//! assert_eq!(hourly.values()[0].grams_per_kwh(), 90.0);
+//!
+//! // …and refined back to 15-minute slots (rates repeat).
+//! let fine = s.resample(SimDuration::from_minutes(15)).unwrap();
+//! assert_eq!(fine.len(), 8);
+//! assert_eq!(fine.values()[1], s.values()[0]);
+//! ```
 
 use crate::stats;
-use iriscast_units::{CarbonIntensity, Period, SimDuration, Timestamp, TriEstimate};
+use iriscast_units::{
+    CarbonIntensity, Period, SimDuration, TimeGrid, Timestamp, TriEstimate, UnitsError,
+};
 use serde::{Deserialize, Serialize};
 
 /// A regularly sampled carbon-intensity series (one value per settlement
@@ -72,6 +117,53 @@ impl IntensitySeries {
     /// The covered period `[start, start + len·step)`.
     pub fn period(&self) -> Period {
         Period::starting_at(self.start, self.step * self.values.len() as i64)
+    }
+
+    /// The series' sampling grid (start, step, slot count) — the handle
+    /// the alignment rules in [`iriscast_units::align`] operate on.
+    pub fn grid(&self) -> TimeGrid {
+        TimeGrid::new(self.start, self.step, self.values.len())
+            .expect("series invariants guarantee a valid grid")
+    }
+
+    /// The same values re-anchored to start at `start` — used to compare
+    /// windows from different days on one clock (e.g. sweeping which day
+    /// a fixed 24-hour workload would have been cleanest on).
+    pub fn rebased(&self, start: Timestamp) -> IntensitySeries {
+        IntensitySeries {
+            start,
+            step: self.step,
+            values: self.values.clone(),
+        }
+    }
+
+    /// Resamples to `new_step`, exactly: coarsening takes the
+    /// time-weighted mean of each whole window, refinement repeats the
+    /// interval rate. The covered period must divide evenly into
+    /// `new_step` windows and the steps must be whole multiples of each
+    /// other; anything else is a [`UnitsError::GridMismatch`].
+    pub fn resample(&self, new_step: SimDuration) -> Result<IntensitySeries, UnitsError> {
+        let target = self.grid().resampled(new_step)?;
+        Ok(IntensitySeries {
+            start: self.start,
+            step: new_step,
+            values: self.project_onto(&target)?,
+        })
+    }
+
+    /// Projects the interval rates onto an arbitrary aligned grid —
+    /// the primitive the time-resolved engine uses to read intensity on
+    /// an energy series' grid. Alignment rules (coverage, whole-multiple
+    /// steps, matching phase) are enforced by
+    /// [`TimeGrid::project_onto`].
+    pub fn project_onto(&self, target: &TimeGrid) -> Result<Vec<CarbonIntensity>, UnitsError> {
+        let plan = self.grid().project_onto(target)?;
+        let raw: Vec<f64> = self.values.iter().map(|v| v.grams_per_kwh()).collect();
+        Ok(plan
+            .apply_rate(&raw)?
+            .into_iter()
+            .map(CarbonIntensity::from_grams_per_kwh)
+            .collect())
     }
 
     /// Raw interval values.
@@ -329,6 +421,67 @@ mod tests {
         let s = series(&[100.0, 250.5]);
         let csv = s.to_csv();
         assert_eq!(csv, "seconds,g_per_kwh\n0,100\n1800,250.5\n");
+    }
+
+    #[test]
+    fn grid_matches_series_shape() {
+        let s = series(&[1.0, 2.0, 3.0]);
+        let g = s.grid();
+        assert_eq!(g.start(), s.start());
+        assert_eq!(g.step(), s.step());
+        assert_eq!(g.len(), s.len());
+        assert_eq!(g.period(), s.period());
+    }
+
+    #[test]
+    fn rebasing_moves_the_clock_only() {
+        let s = series(&[10.0, 20.0]);
+        let r = s.rebased(Timestamp::from_days(3));
+        assert_eq!(r.start(), Timestamp::from_days(3));
+        assert_eq!(r.values(), s.values());
+        assert_eq!(r.step(), s.step());
+    }
+
+    #[test]
+    fn resample_round_trips_mean() {
+        let s = series(&[60.0, 120.0, 300.0, 180.0]);
+        let hourly = s.resample(SimDuration::HOUR).unwrap();
+        assert_eq!(hourly.len(), 2);
+        assert_eq!(hourly.values()[0], ci(90.0));
+        assert_eq!(hourly.values()[1], ci(240.0));
+        // Time-weighted mean is preserved by both directions.
+        assert_eq!(hourly.mean(), s.mean());
+        let fine = s.resample(SimDuration::from_minutes(10)).unwrap();
+        assert_eq!(fine.len(), 12);
+        assert_eq!(fine.mean(), s.mean());
+        assert_eq!(fine.values()[2], ci(60.0));
+        assert_eq!(fine.values()[3], ci(120.0));
+        // Identity resample.
+        assert_eq!(s.resample(s.step()).unwrap(), s);
+    }
+
+    #[test]
+    fn resample_rejects_misaligned_steps() {
+        let s = series(&[60.0, 120.0, 300.0]);
+        // 40 minutes neither divides nor is divided by 30 minutes… and
+        // 90 minutes divides the period but 3 slots / 40 min does not.
+        assert!(s.resample(SimDuration::from_minutes(40)).is_err());
+        assert!(s.resample(SimDuration::HOUR).is_err()); // 90 min % 60 ≠ 0
+        assert!(s.resample(SimDuration::ZERO).is_err());
+        assert!(s.resample(SimDuration::from_minutes(90)).is_ok());
+    }
+
+    #[test]
+    fn projection_onto_energy_grid() {
+        use iriscast_units::TimeGrid;
+        let s = series(&[100.0, 200.0, 300.0, 400.0]);
+        // Hourly energy slots, offset by one settlement period.
+        let target = TimeGrid::new(Timestamp::from_secs(1_800), SimDuration::HOUR, 1).unwrap();
+        let projected = s.project_onto(&target).unwrap();
+        assert_eq!(projected, vec![ci(250.0)]);
+        // A grid the series does not cover is a typed error.
+        let outside = TimeGrid::new(Timestamp::from_secs(0), SimDuration::HOUR, 3).unwrap();
+        assert!(s.project_onto(&outside).is_err());
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod quality;
 pub mod rack;
 mod register;
 mod sources;
-mod timeseries;
+pub mod timeseries;
 
 pub use aggregate::{EnergyByMethod, SiteEnergyReport};
 pub use collector::{

@@ -1,6 +1,52 @@
 //! Regular power/energy time series with gaps, resampling and integration.
+//!
+//! Two series types cover the measurement pipeline end to end:
+//!
+//! * [`PowerSeries`] — instantaneous watts on a fine grid (30-second
+//!   meter samples), with `NaN` gaps, [`GapPolicy`] fills, left-Riemann /
+//!   trapezoidal integration, and downsampling;
+//! * [`EnergySeries`] — energy *per slot* on a coarse grid (half-hourly
+//!   settlement periods), the form that convolves with grid
+//!   carbon-intensity data and feeds the time-resolved assessment
+//!   engine.
+//!
+//! The bridge between them is [`PowerSeries::to_energy_series`];
+//! [`EnergySeries::grid`] then exposes the slot grid to the alignment
+//! rules in [`iriscast_units::align`], and
+//! [`EnergySeries::resample`] moves energy between grids exactly
+//! (sums when coarsening, even splits when refining — totals are
+//! conserved either way).
+//!
+//! ```
+//! use iriscast_telemetry::timeseries::{GapPolicy, PowerSeries};
+//! use iriscast_units::{SimDuration, Timestamp};
+//!
+//! // One hour of 30-second samples at a constant 1 kW, with a dropout.
+//! let mut watts = vec![1_000.0; 120];
+//! watts[7] = f64::NAN;
+//! let power = PowerSeries::from_watts(
+//!     Timestamp::EPOCH,
+//!     SimDuration::from_secs(30),
+//!     watts,
+//! );
+//!
+//! // Integrate to half-hourly slots (the carbon-intensity granularity)…
+//! let half_hourly = power.to_energy_series(
+//!     SimDuration::SETTLEMENT_PERIOD,
+//!     GapPolicy::HoldLast,
+//! );
+//! assert_eq!(half_hourly.len(), 2);
+//!
+//! // …then resample: totals are conserved in both directions.
+//! let hourly = half_hourly.resample(SimDuration::HOUR).unwrap();
+//! let fine = half_hourly.resample(SimDuration::from_minutes(10)).unwrap();
+//! assert_eq!(hourly.len(), 1);
+//! assert_eq!(fine.len(), 6);
+//! assert!((hourly.total().joules() - half_hourly.total().joules()).abs() < 1e-9);
+//! assert!((fine.total().joules() - half_hourly.total().joules()).abs() < 1e-9);
+//! ```
 
-use iriscast_units::{Energy, Period, Power, SimDuration, Timestamp};
+use iriscast_units::{Energy, Period, Power, SimDuration, TimeGrid, Timestamp, UnitsError};
 use serde::{Deserialize, Serialize};
 
 /// How to treat missing samples (encoded as `NaN`) during integration and
@@ -378,6 +424,51 @@ impl EnergySeries {
     pub fn total(&self) -> Energy {
         self.values.iter().copied().sum()
     }
+
+    /// The series' slot grid — the handle the alignment rules in
+    /// [`iriscast_units::align`] operate on.
+    pub fn grid(&self) -> TimeGrid {
+        TimeGrid::new(self.start, self.step, self.values.len())
+            .expect("series invariants guarantee a valid grid")
+    }
+
+    /// The same slot energies re-anchored to start at `start` — used to
+    /// replay a measured load profile against another window's grid data.
+    pub fn rebased(&self, start: Timestamp) -> EnergySeries {
+        EnergySeries {
+            start,
+            step: self.step,
+            values: self.values.clone(),
+        }
+    }
+
+    /// Resamples to `new_step`, conserving energy exactly: coarsening
+    /// sums whole windows, refinement splits each slot evenly. The
+    /// covered period must divide evenly into `new_step` windows and the
+    /// steps must be whole multiples of each other; anything else is a
+    /// [`UnitsError::GridMismatch`].
+    pub fn resample(&self, new_step: SimDuration) -> Result<EnergySeries, UnitsError> {
+        let target = self.grid().resampled(new_step)?;
+        Ok(EnergySeries {
+            start: self.start,
+            step: new_step,
+            values: self.project_onto(&target)?,
+        })
+    }
+
+    /// Projects the slot energies onto an arbitrary aligned grid
+    /// (sum/split semantics — the projected series carries the same
+    /// joules). Alignment rules are enforced by
+    /// [`TimeGrid::project_onto`].
+    pub fn project_onto(&self, target: &TimeGrid) -> Result<Vec<Energy>, UnitsError> {
+        let plan = self.grid().project_onto(target)?;
+        let raw: Vec<f64> = self.values.iter().map(|e| e.joules()).collect();
+        Ok(plan
+            .apply_amount(&raw)?
+            .into_iter()
+            .map(Energy::from_joules)
+            .collect())
+    }
 }
 
 #[cfg(test)]
@@ -570,6 +661,58 @@ mod tests {
         assert_eq!(lines[1], "0,100");
         assert_eq!(lines[2], "30,");
         assert_eq!(lines[3], "60,300.5");
+    }
+
+    #[test]
+    fn energy_series_grid_rebase_and_resample() {
+        let s = series(&vec![1_000.0; 120]); // 1 kW for an hour
+        let es = s.to_energy_series(SimDuration::SETTLEMENT_PERIOD, GapPolicy::Zero);
+        let g = es.grid();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.step(), SimDuration::SETTLEMENT_PERIOD);
+
+        let moved = es.rebased(Timestamp::from_days(2));
+        assert_eq!(moved.start(), Timestamp::from_days(2));
+        assert_eq!(moved.values(), es.values());
+
+        // Coarsen: sums. Refine: even split. Totals conserved.
+        let hourly = es.resample(SimDuration::HOUR).unwrap();
+        assert_eq!(hourly.len(), 1);
+        assert!((hourly.values()[0].kilowatt_hours() - 1.0).abs() < 1e-12);
+        let fine = es.resample(SimDuration::from_minutes(10)).unwrap();
+        assert_eq!(fine.len(), 6);
+        for v in fine.values() {
+            assert!((v.kilowatt_hours() - 1.0 / 6.0).abs() < 1e-12);
+        }
+        assert!((fine.total().joules() - es.total().joules()).abs() < 1e-9);
+        // Misaligned steps are typed errors, not panics.
+        assert!(es.resample(SimDuration::from_secs(45 * 60)).is_err());
+        assert!(es.resample(SimDuration::ZERO).is_err());
+    }
+
+    #[test]
+    fn energy_series_projection_is_exact() {
+        use iriscast_units::TimeGrid;
+        let s = series(&vec![2_000.0; 240]); // 2 kW for two hours
+        let es = s.to_energy_series(SimDuration::SETTLEMENT_PERIOD, GapPolicy::Zero);
+        // Project the middle hour onto its own grid slice.
+        let target = TimeGrid::new(
+            Timestamp::from_secs(1_800),
+            SimDuration::SETTLEMENT_PERIOD,
+            2,
+        )
+        .unwrap();
+        let projected = es.project_onto(&target).unwrap();
+        assert_eq!(projected.len(), 2);
+        assert!((projected[0].kilowatt_hours() - 1.0).abs() < 1e-12);
+        // Coverage violations surface as errors.
+        let outside = TimeGrid::new(
+            Timestamp::from_secs(-1_800),
+            SimDuration::SETTLEMENT_PERIOD,
+            2,
+        )
+        .unwrap();
+        assert!(es.project_onto(&outside).is_err());
     }
 
     #[test]

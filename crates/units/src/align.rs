@@ -1,0 +1,468 @@
+//! Time-axis alignment between regularly sampled series.
+//!
+//! Time-resolved assessment convolves two series sampled on *different*
+//! grids — telemetry energy (often 30-second power integrated to slots)
+//! and grid carbon intensity (half-hourly settlement periods). Convolving
+//! them interval-by-interval is only exact when every slot of one grid
+//! tiles exactly onto slots of the other. This module owns those rules:
+//!
+//! * [`TimeGrid`] describes a regular sampling grid — `len` slots of
+//!   width `step` starting at `start` — without carrying the values;
+//! * [`TimeGrid::project_onto`] decides whether, and how, values sampled
+//!   on one grid can be re-expressed on another: same-step copy, exact
+//!   whole-multiple coarsening, or exact whole-multiple refinement;
+//! * [`GridProjection::apply_rate`] / [`GridProjection::apply_amount`]
+//!   carry the values across, preserving rate semantics (intensity,
+//!   power: mean/copy) or amount semantics (energy: sum/split).
+//!
+//! Misalignments — a phase offset that is not a whole number of slots,
+//! steps that are not integer multiples, a target window the source does
+//! not cover — are reported as [`UnitsError::GridMismatch`] rather than
+//! silently interpolated. Callers that want approximate alignment must
+//! resample explicitly first.
+//!
+//! ```
+//! use iriscast_units::{SimDuration, TimeGrid, Timestamp};
+//!
+//! // Half-hourly intensity covering a day…
+//! let ci = TimeGrid::new(Timestamp::EPOCH, SimDuration::SETTLEMENT_PERIOD, 48).unwrap();
+//! // …projected onto hourly energy slots for the same day.
+//! let energy = TimeGrid::new(Timestamp::EPOCH, SimDuration::HOUR, 24).unwrap();
+//! let plan = ci.project_onto(&energy).unwrap();
+//! // Each hourly value is the mean of two half-hourly rates.
+//! let values: Vec<f64> = (0..48).map(|i| 100.0 + i as f64).collect();
+//! let hourly = plan.apply_rate(&values).unwrap();
+//! assert_eq!(hourly.len(), 24);
+//! assert_eq!(hourly[0], 100.5);
+//! ```
+
+use crate::error::UnitsError;
+use crate::time::{Period, SimDuration, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// A regular sampling grid: `len` slots of width `step`, the `i`-th slot
+/// covering `[start + i·step, start + (i+1)·step)`.
+///
+/// A grid describes *where* samples live; the values themselves stay in
+/// the owning series type (`IntensitySeries`, `EnergySeries`, …).
+/// Construction rejects non-positive steps and empty grids, so every
+/// `TimeGrid` covers a non-empty period.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeGrid {
+    start: Timestamp,
+    step: SimDuration,
+    len: usize,
+}
+
+impl TimeGrid {
+    /// Builds a grid, rejecting a non-positive step or zero length.
+    pub fn new(start: Timestamp, step: SimDuration, len: usize) -> Result<Self, UnitsError> {
+        if step.as_secs() <= 0 {
+            return Err(UnitsError::GridMismatch {
+                reason: "grid step must be positive",
+            });
+        }
+        if len == 0 {
+            return Err(UnitsError::GridMismatch {
+                reason: "grid must contain at least one slot",
+            });
+        }
+        Ok(TimeGrid { start, step, len })
+    }
+
+    /// First slot start.
+    pub const fn start(&self) -> Timestamp {
+        self.start
+    }
+
+    /// Slot width.
+    pub const fn step(&self) -> SimDuration {
+        self.step
+    }
+
+    /// Number of slots (always ≥ 1).
+    pub const fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always `false`: empty grids are rejected at construction.
+    pub const fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// End of the final slot (exclusive).
+    pub fn end(&self) -> Timestamp {
+        self.start + self.step * self.len as i64
+    }
+
+    /// The covered period `[start, end)`.
+    pub fn period(&self) -> Period {
+        Period::new(self.start, self.end())
+    }
+
+    /// The `i`-th slot as a half-open period, if in range.
+    pub fn slot(&self, i: usize) -> Option<Period> {
+        if i >= self.len {
+            return None;
+        }
+        Some(Period::starting_at(
+            self.start + self.step * i as i64,
+            self.step,
+        ))
+    }
+
+    /// The same covered period re-gridded at `new_step`: validates that
+    /// the step is positive and that the period divides into a whole
+    /// number of new slots (the shared precondition of every series
+    /// `resample`). Step-multiple and phase rules are then enforced by
+    /// [`TimeGrid::project_onto`] when values are carried across.
+    pub fn resampled(&self, new_step: SimDuration) -> Result<TimeGrid, UnitsError> {
+        if new_step.as_secs() <= 0 {
+            return Err(UnitsError::GridMismatch {
+                reason: "grid step must be positive",
+            });
+        }
+        let total = self.step.as_secs() * self.len as i64;
+        if total % new_step.as_secs() != 0 {
+            return Err(UnitsError::GridMismatch {
+                reason: "covered period is not a whole number of new slots",
+            });
+        }
+        TimeGrid::new(self.start, new_step, (total / new_step.as_secs()) as usize)
+    }
+
+    /// Index of the slot containing `t`, or `None` outside the grid.
+    pub fn index_of(&self, t: Timestamp) -> Option<usize> {
+        if t < self.start {
+            return None;
+        }
+        let idx = ((t - self.start).as_secs() / self.step.as_secs()) as usize;
+        if idx < self.len {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Plans how values sampled on `self` (the *source*) can be read off
+    /// on `target`. Exactness rules, checked in order:
+    ///
+    /// 1. the target period must lie inside the source period (no
+    ///    extrapolation);
+    /// 2. one step must be a whole multiple of the other (slots must
+    ///    tile, never straddle);
+    /// 3. the offset between the grids must be a whole number of the
+    ///    finer step (phases must agree).
+    ///
+    /// Any violation is a [`UnitsError::GridMismatch`].
+    pub fn project_onto(&self, target: &TimeGrid) -> Result<GridProjection, UnitsError> {
+        if target.start < self.start {
+            return Err(UnitsError::GridMismatch {
+                reason: "target grid starts before the source series",
+            });
+        }
+        if target.end() > self.end() {
+            return Err(UnitsError::GridMismatch {
+                reason: "target grid extends past the source series",
+            });
+        }
+        let s = self.step.as_secs();
+        let t = target.step.as_secs();
+        let offset_secs = (target.start - self.start).as_secs();
+        let kind = if t == s {
+            if offset_secs % s != 0 {
+                return Err(UnitsError::GridMismatch {
+                    reason: "grid phases differ by a fraction of a slot",
+                });
+            }
+            ProjectionKind::Copy {
+                offset: (offset_secs / s) as usize,
+            }
+        } else if t > s {
+            // Coarsening: each target slot covers `factor` source slots.
+            if t % s != 0 {
+                return Err(UnitsError::GridMismatch {
+                    reason: "target step is not a whole multiple of the source step",
+                });
+            }
+            if offset_secs % s != 0 {
+                return Err(UnitsError::GridMismatch {
+                    reason: "grid phases differ by a fraction of a slot",
+                });
+            }
+            ProjectionKind::Aggregate {
+                offset: (offset_secs / s) as usize,
+                factor: (t / s) as usize,
+            }
+        } else {
+            // Refinement: each target slot falls inside one source slot.
+            if s % t != 0 {
+                return Err(UnitsError::GridMismatch {
+                    reason: "source step is not a whole multiple of the target step",
+                });
+            }
+            if offset_secs % t != 0 {
+                return Err(UnitsError::GridMismatch {
+                    reason: "grid phases differ by a fraction of a slot",
+                });
+            }
+            ProjectionKind::Replicate {
+                offset: (offset_secs / t) as usize,
+                factor: (s / t) as usize,
+            }
+        };
+        Ok(GridProjection {
+            kind,
+            source_len: self.len,
+            target_len: target.len,
+        })
+    }
+}
+
+/// How source slots map onto target slots (see [`TimeGrid::project_onto`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum ProjectionKind {
+    /// Equal steps: target slot `i` reads source slot `offset + i`.
+    Copy { offset: usize },
+    /// Target coarser: target slot `i` covers source slots
+    /// `[offset + i·factor, offset + (i+1)·factor)`.
+    Aggregate { offset: usize, factor: usize },
+    /// Target finer: target slot `i` lies inside source slot
+    /// `(offset + i) / factor`.
+    Replicate { offset: usize, factor: usize },
+}
+
+/// A validated plan for carrying values from one [`TimeGrid`] to another.
+///
+/// The two `apply` methods differ in what they preserve:
+///
+/// * [`GridProjection::apply_rate`] treats values as *rates* (carbon
+///   intensity, power): coarsening takes the mean, refinement repeats the
+///   value. The time-weighted average over any aligned window is
+///   unchanged.
+/// * [`GridProjection::apply_amount`] treats values as *amounts* (energy,
+///   carbon mass): coarsening sums, refinement splits evenly. The total
+///   over the projected window is unchanged.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct GridProjection {
+    kind: ProjectionKind,
+    source_len: usize,
+    target_len: usize,
+}
+
+impl GridProjection {
+    /// Number of target slots this plan produces.
+    pub const fn target_len(&self) -> usize {
+        self.target_len
+    }
+
+    /// Half-open range of source slots feeding target slot `i`.
+    fn source_range(&self, i: usize) -> (usize, usize) {
+        match self.kind {
+            ProjectionKind::Copy { offset } => (offset + i, offset + i + 1),
+            ProjectionKind::Aggregate { offset, factor } => {
+                (offset + i * factor, offset + (i + 1) * factor)
+            }
+            ProjectionKind::Replicate { offset, factor } => {
+                let s = (offset + i) / factor;
+                (s, s + 1)
+            }
+        }
+    }
+
+    fn check_source(&self, source: &[f64]) -> Result<(), UnitsError> {
+        if source.len() != self.source_len {
+            return Err(UnitsError::GridMismatch {
+                reason: "value slice does not match the grid the plan was built for",
+            });
+        }
+        Ok(())
+    }
+
+    /// Projects rate-like values (mean when coarsening, copy when
+    /// refining). `source` must have exactly the planned source length.
+    pub fn apply_rate(&self, source: &[f64]) -> Result<Vec<f64>, UnitsError> {
+        self.check_source(source)?;
+        let mut out = Vec::with_capacity(self.target_len);
+        for i in 0..self.target_len {
+            let (lo, hi) = self.source_range(i);
+            let window = &source[lo..hi];
+            out.push(window.iter().sum::<f64>() / window.len() as f64);
+        }
+        Ok(out)
+    }
+
+    /// Projects amount-like values (sum when coarsening, even split when
+    /// refining). `source` must have exactly the planned source length.
+    pub fn apply_amount(&self, source: &[f64]) -> Result<Vec<f64>, UnitsError> {
+        self.check_source(source)?;
+        let mut out = Vec::with_capacity(self.target_len);
+        for i in 0..self.target_len {
+            match self.kind {
+                ProjectionKind::Copy { .. } | ProjectionKind::Aggregate { .. } => {
+                    let (lo, hi) = self.source_range(i);
+                    out.push(source[lo..hi].iter().sum::<f64>());
+                }
+                ProjectionKind::Replicate { factor, .. } => {
+                    let (lo, _) = self.source_range(i);
+                    out.push(source[lo] / factor as f64);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(start_secs: i64, step_secs: i64, len: usize) -> TimeGrid {
+        TimeGrid::new(
+            Timestamp::from_secs(start_secs),
+            SimDuration::from_secs(step_secs),
+            len,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(TimeGrid::new(Timestamp::EPOCH, SimDuration::ZERO, 4).is_err());
+        assert!(TimeGrid::new(Timestamp::EPOCH, SimDuration::from_secs(-5), 4).is_err());
+        assert!(TimeGrid::new(Timestamp::EPOCH, SimDuration::HOUR, 0).is_err());
+        let g = grid(0, 1_800, 48);
+        assert_eq!(g.len(), 48);
+        assert!(!g.is_empty());
+        assert_eq!(g.end(), Timestamp::from_days(1));
+        assert_eq!(g.period().duration(), SimDuration::DAY);
+    }
+
+    #[test]
+    fn slot_and_index_round_trip() {
+        let g = grid(3_600, 1_800, 4);
+        assert_eq!(g.slot(0).unwrap().start(), Timestamp::from_secs(3_600));
+        assert_eq!(g.slot(3).unwrap().end(), g.end());
+        assert!(g.slot(4).is_none());
+        assert_eq!(g.index_of(Timestamp::from_secs(3_600)), Some(0));
+        assert_eq!(g.index_of(Timestamp::from_secs(5_399)), Some(0));
+        assert_eq!(g.index_of(Timestamp::from_secs(5_400)), Some(1));
+        assert_eq!(g.index_of(Timestamp::from_secs(3_599)), None);
+        assert_eq!(g.index_of(g.end()), None);
+    }
+
+    #[test]
+    fn resampled_validates_step_and_period() {
+        let g = grid(0, 1_800, 48); // one day of settlement periods
+        let hourly = g.resampled(SimDuration::HOUR).unwrap();
+        assert_eq!(hourly.start(), g.start());
+        assert_eq!(hourly.len(), 24);
+        assert_eq!(hourly.period(), g.period());
+        let fine = g.resampled(SimDuration::from_minutes(10)).unwrap();
+        assert_eq!(fine.len(), 144);
+        assert!(g.resampled(SimDuration::ZERO).is_err());
+        assert!(g.resampled(SimDuration::from_secs(-60)).is_err());
+        // 7 hours does not divide the 24-hour period.
+        assert!(g.resampled(SimDuration::from_hours(7.0)).is_err());
+    }
+
+    #[test]
+    fn copy_projection_with_offset() {
+        let src = grid(0, 1_800, 48);
+        let dst = grid(3_600, 1_800, 4);
+        let plan = src.project_onto(&dst).unwrap();
+        let values: Vec<f64> = (0..48).map(f64::from).collect();
+        assert_eq!(plan.apply_rate(&values).unwrap(), vec![2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(
+            plan.apply_amount(&values).unwrap(),
+            vec![2.0, 3.0, 4.0, 5.0]
+        );
+    }
+
+    #[test]
+    fn aggregate_projection_means_and_sums() {
+        let src = grid(0, 1_800, 6);
+        let dst = grid(1_800, 3_600, 2);
+        let plan = src.project_onto(&dst).unwrap();
+        let values = [10.0, 20.0, 40.0, 30.0, 50.0, 70.0];
+        assert_eq!(plan.apply_rate(&values).unwrap(), vec![30.0, 40.0]);
+        assert_eq!(plan.apply_amount(&values).unwrap(), vec![60.0, 80.0]);
+    }
+
+    #[test]
+    fn replicate_projection_copies_and_splits() {
+        let src = grid(0, 3_600, 2);
+        let dst = grid(1_800, 1_800, 2);
+        let plan = src.project_onto(&dst).unwrap();
+        let values = [10.0, 30.0];
+        // Slot 0 of the target is the second half of source slot 0; slot 1
+        // is the first half of source slot 1.
+        assert_eq!(plan.apply_rate(&values).unwrap(), vec![10.0, 30.0]);
+        assert_eq!(plan.apply_amount(&values).unwrap(), vec![5.0, 15.0]);
+    }
+
+    #[test]
+    fn coverage_is_enforced() {
+        let src = grid(0, 1_800, 4);
+        for bad in [
+            grid(-1_800, 1_800, 4),
+            grid(0, 1_800, 5),
+            grid(5_400, 1_800, 2),
+        ] {
+            let err = src.project_onto(&bad);
+            if bad.end() > src.end() || bad.start() < src.start() {
+                assert!(err.is_err(), "{bad:?}");
+            }
+        }
+        // Exact cover is fine.
+        assert!(src.project_onto(&src).is_ok());
+    }
+
+    #[test]
+    fn phase_and_step_mismatches_are_typed_errors() {
+        let src = grid(0, 1_800, 48);
+        // Fractional-slot phase offset.
+        let skew = grid(900, 1_800, 4);
+        assert!(matches!(
+            src.project_onto(&skew),
+            Err(UnitsError::GridMismatch { .. })
+        ));
+        // Non-multiple steps (45 min vs 30 min).
+        let odd = grid(0, 2_700, 4);
+        assert!(matches!(
+            src.project_onto(&odd),
+            Err(UnitsError::GridMismatch { .. })
+        ));
+        // Refinement with misaligned fine phase.
+        let fine = grid(600, 600, 6);
+        assert!(src.project_onto(&fine).is_ok()); // 600 divides 1800, phase aligned
+        let fine_skew = grid(400, 600, 6);
+        assert!(src.project_onto(&fine_skew).is_err());
+    }
+
+    #[test]
+    fn apply_rejects_wrong_length_slices() {
+        let src = grid(0, 1_800, 4);
+        let plan = src.project_onto(&src).unwrap();
+        assert!(plan.apply_rate(&[1.0, 2.0]).is_err());
+        assert!(plan.apply_amount(&[1.0, 2.0, 3.0, 4.0, 5.0]).is_err());
+        assert_eq!(plan.target_len(), 4);
+    }
+
+    #[test]
+    fn amount_projection_conserves_totals() {
+        let src = grid(0, 1_800, 48);
+        let values: Vec<f64> = (0..48).map(|i| 10.0 + f64::from(i)).collect();
+        let total: f64 = values.iter().sum();
+        for (step, len) in [(3_600, 24), (900, 96), (1_800, 48)] {
+            let dst = grid(0, step, len);
+            let projected = src
+                .project_onto(&dst)
+                .unwrap()
+                .apply_amount(&values)
+                .unwrap();
+            let sum: f64 = projected.iter().sum();
+            assert!((sum - total).abs() < 1e-9, "step {step}");
+        }
+    }
+}

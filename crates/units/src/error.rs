@@ -24,6 +24,12 @@ pub enum UnitsError {
         /// Human-readable name of the quantity.
         what: &'static str,
     },
+    /// Two sampling grids could not be aligned exactly (see
+    /// `align::TimeGrid::project_onto` for the rules).
+    GridMismatch {
+        /// Which alignment rule was violated.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for UnitsError {
@@ -40,6 +46,9 @@ impl fmt::Display for UnitsError {
             }
             UnitsError::NonFinite { what } => {
                 write!(f, "{what} must be finite (got NaN or infinity)")
+            }
+            UnitsError::GridMismatch { reason } => {
+                write!(f, "time grids cannot be aligned: {reason}")
             }
         }
     }
@@ -73,6 +82,11 @@ mod tests {
         assert!(UnitsError::NonFinite { what: "power" }
             .to_string()
             .contains("finite"));
+        assert!(UnitsError::GridMismatch {
+            reason: "grid phases differ by a fraction of a slot"
+        }
+        .to_string()
+        .contains("cannot be aligned"));
     }
 
     #[test]

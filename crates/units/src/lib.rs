@@ -12,6 +12,9 @@
 //!   and so on — invalid combinations simply do not compile;
 //! * a simulation clock ([`Timestamp`], [`SimDuration`], [`Period`])
 //!   independent of wall-clock time so experiments are deterministic;
+//! * time-axis alignment rules ([`align::TimeGrid`],
+//!   [`align::GridProjection`]) for convolving series sampled on
+//!   different grids exactly or not at all;
 //! * [`TriEstimate`], the low/mid/high triple used throughout the IRISCAST
 //!   paper to propagate bounded uncertainty through the model;
 //! * human-friendly formatting helpers for reports and tables.
@@ -34,6 +37,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod align;
 mod carbon;
 mod energy;
 mod error;
@@ -45,6 +49,7 @@ mod pue;
 pub mod sample;
 mod time;
 
+pub use align::{GridProjection, TimeGrid};
 pub use carbon::CarbonMass;
 pub use energy::Energy;
 pub use error::UnitsError;
@@ -69,7 +74,7 @@ pub use time::{
 /// ```
 pub mod prelude {
     pub use crate::{
-        Bounds, CarbonIntensity, CarbonMass, Energy, Period, Power, Pue, SimDuration, Timestamp,
-        TriEstimate,
+        Bounds, CarbonIntensity, CarbonMass, Energy, Period, Power, Pue, SimDuration, TimeGrid,
+        Timestamp, TriEstimate,
     };
 }

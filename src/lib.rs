@@ -12,7 +12,17 @@
 //! amortised over hardware lifetime — each evaluated over a **scenario
 //! space**: the cartesian product of carbon-intensity, PUE,
 //! embodied-carbon and lifespan axes of any length. The paper's published
-//! low/medium/high tables are the 3-sample special case.
+//! low/medium/high tables are the 3-sample special case. Energy can be a
+//! scalar ([`model::engine::Assessment`]) or a half-hourly series
+//! convolved against per-interval grid intensity
+//! ([`model::time_resolved::TimeResolvedAssessment`]), evaluated
+//! materialised, streamed (bounded memory for >10M-point sweeps),
+//! chunked, or in parallel — all bit-identical.
+//!
+//! The crate graph, the telemetry → grid → engine → report data flow,
+//! the scalar-vs-streaming evaluation paths, and the offline-shim policy
+//! are documented end to end in `ARCHITECTURE.md` at the repository
+//! root.
 //!
 //! This facade re-exports the whole toolkit:
 //!
@@ -79,7 +89,9 @@
 //!
 //! Run `cargo run -p iriscast-bench --bin repro` to regenerate every table
 //! and figure with paper-vs-measured columns, or see `examples/` for
-//! guided scenarios (`scenario_space.rs` sweeps a 10,000+-point space).
+//! guided scenarios (`scenario_space.rs` sweeps a 10,000+-point space;
+//! `day_sweep.rs` convolves Table 2 telemetry against every Figure 1 grid
+//! day and streams a >10M-point time-resolved space in bounded memory).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -101,7 +113,11 @@ pub mod prelude {
     };
     pub use iriscast_model::model::CarbonAssessment;
     pub use iriscast_model::space::{AxisId, ScenarioAxis, ScenarioPoint, ScenarioSpace};
+    pub use iriscast_model::time_resolved::{
+        CarbonProfile, TimeResolvedAssessment, TimeResolvedBuilder,
+    };
     pub use iriscast_model::{Error as ModelError, Result as ModelResult};
+    pub use iriscast_telemetry::timeseries::{EnergySeries, GapPolicy, PowerSeries};
     pub use iriscast_telemetry::{
         MeterKind, NodePowerModel, SiteCollector, SiteTelemetryConfig, UtilizationSource,
     };
