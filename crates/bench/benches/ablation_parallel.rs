@@ -18,7 +18,15 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("collect_2048_nodes", workers),
             &workers,
-            |b, &w| b.iter(|| black_box(collector.collect(Period::snapshot_24h(), &util, w))),
+            |b, &w| {
+                b.iter(|| {
+                    black_box(
+                        collector
+                            .collect(Period::snapshot_24h(), &util, w)
+                            .expect("bench site is valid"),
+                    )
+                })
+            },
         );
     }
 

@@ -71,15 +71,42 @@ fn bench(c: &mut Criterion) {
     }
 
     // Query costs on the largest batch.
-    let results = space_of(100_000).evaluate_space();
+    let assessment_100k = space_of(100_000);
+    let results = assessment_100k.evaluate_space();
     g.bench_function("envelope_100k", |b| {
         b.iter(|| black_box(results.envelope()))
     });
+    // Repeated-query path: the first call sorts once into the cached
+    // view, every later call interpolates on it (PR 2 baseline re-sorted
+    // per call: 3.2 ms at 100k points).
     g.bench_function("percentile_100k", |b| {
         b.iter(|| black_box(results.percentile(0.95).unwrap()))
     });
+    // Batch path: a whole quantile grid over the shared sort.
+    let grid = [0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99];
+    g.bench_function("percentiles_batch7_100k", |b| {
+        b.iter(|| black_box(results.percentiles(&grid).unwrap()))
+    });
+    // One-shot path: `select_nth` without building (or having) a cache.
+    let oneshot = assessment_100k.evaluate_space();
+    g.bench_function("percentile_oneshot_100k", |b| {
+        b.iter(|| black_box(oneshot.percentile_oneshot(0.95).unwrap()))
+    });
+    g.bench_function("summary_100k", |b| {
+        b.iter(|| black_box(results.summary().unwrap()))
+    });
     g.bench_function("marginals_100k", |b| {
         b.iter(|| black_box(results.marginals(iriscast_model::AxisId::Ci)))
+    });
+
+    // Warm sweep path: repeated evaluation into a reused buffer (the
+    // day-sweep pattern) versus the cold `evaluate_space` above.
+    let mut reused = assessment_100k.evaluate_space();
+    g.bench_function("evaluate_space_into_100k", |b| {
+        b.iter(|| {
+            assessment_100k.evaluate_space_into(&mut reused);
+            black_box(reused.totals().len())
+        })
     });
 
     g.finish();

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use iriscast_bench::{bench_iris_scenario, synthetic_site};
-use iriscast_telemetry::{SiteCollector, SyntheticUtilization};
+use iriscast_telemetry::{CollectScratch, SiteCollector, SyntheticUtilization};
 use iriscast_units::Period;
 use std::hint::black_box;
 
@@ -12,20 +12,56 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
 
     // Scaling in node count (24 h window; step widens past 500 nodes —
-    // see `bench_sample_step`).
+    // see `bench_sample_step`). Cold path: fresh buffers every collect.
     for nodes in [32u32, 128, 512] {
         let cfg = synthetic_site(nodes, 42);
         let collector = SiteCollector::new(cfg);
         let util = SyntheticUtilization::calibrated(0.6, 7);
         g.bench_with_input(BenchmarkId::new("site_collect", nodes), &nodes, |b, _| {
-            b.iter(|| black_box(collector.collect(Period::snapshot_24h(), &util, 8)))
+            b.iter(|| {
+                black_box(
+                    collector
+                        .collect(Period::snapshot_24h(), &util, 8)
+                        .expect("bench site is valid"),
+                )
+            })
         });
+        // Warm path: scratch-arena buffers recycled across collects —
+        // the per-sample data path allocates nothing after warm-up.
+        let warm_collector = SiteCollector::new(synthetic_site(nodes, 42));
+        let mut scratch = CollectScratch::new();
+        g.bench_with_input(
+            BenchmarkId::new("site_collect_warm", nodes),
+            &nodes,
+            |b, _| {
+                b.iter(|| {
+                    let r = warm_collector
+                        .collect_with(Period::snapshot_24h(), &util, 8, &mut scratch)
+                        .expect("bench site is valid");
+                    black_box(&r);
+                    scratch.recycle(r);
+                })
+            },
+        );
     }
 
     // The full calibrated IRIS federation (2,462 nodes, 6 sites).
     let scenario = bench_iris_scenario(2022);
     g.bench_function("iris_snapshot_full", |b| {
         b.iter(|| black_box(scenario.simulate(8)))
+    });
+
+    // Same federation on the warm path: one scratch serves all six
+    // sites and the previous snapshot's buffers are recycled.
+    let mut scratch = CollectScratch::new();
+    g.bench_function("iris_snapshot_full_warm", |b| {
+        b.iter(|| {
+            let snapshot = scenario.simulate_with(8, &mut scratch);
+            black_box(&snapshot.rows);
+            for site in snapshot.site_results {
+                scratch.recycle(site);
+            }
+        })
     });
 
     g.finish();

@@ -33,10 +33,15 @@
 
 use crate::embodied::fleet_snapshot_daily;
 use crate::error::{Error, Result};
-use crate::model::CarbonAssessment;
-use crate::space::{AxisId, ScenarioAxis, ScenarioPoint, ScenarioSpace};
-use iriscast_grid::stats;
+use crate::space::{ScenarioAxis, ScenarioPoint, ScenarioSpace};
+use crate::stats_view::SortedTotals;
 use iriscast_units::{Bounds, CarbonIntensity, CarbonMass, Energy, Pue, SimDuration, TriEstimate};
+use std::sync::OnceLock;
+
+// Re-exported here because the query types began life in this module;
+// they are defined alongside the rest of the statistics surface in
+// [`crate::stats_view`].
+pub use crate::stats_view::{Envelope, Marginal, TotalsSummary};
 
 /// Active and embodied carbon for one evaluated scenario.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -95,12 +100,27 @@ pub fn evaluate_one(
 
 /// A fully resolved assessment: energy, fleet, window, and the scenario
 /// space to sweep. Built with [`Assessment::builder`].
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Assessment {
     energy: Energy,
     servers: u32,
     window_days: f64,
     space: ScenarioSpace,
+    /// Kernel tables, built lazily on first evaluation and reused by
+    /// every subsequent batch/stream/chunk call — an `Assessment` is
+    /// immutable, so the cache never needs invalidating.
+    tables: OnceLock<EvalTables>,
+}
+
+/// Equality is over the assessment's parameters; the lazily built kernel
+///-table cache is a derived artefact and deliberately not compared.
+impl PartialEq for Assessment {
+    fn eq(&self, other: &Self) -> bool {
+        self.energy == other.energy
+            && self.servers == other.servers
+            && self.window_days == other.window_days
+            && self.space == other.space
+    }
 }
 
 impl Assessment {
@@ -171,32 +191,52 @@ impl Assessment {
     /// O(points) table reads while keeping each point's value identical
     /// to [`evaluate_one`] — it is what keeps every evaluation path
     /// (materialised, streamed, chunked, parallel) bit-identical.
-    fn tables(&self) -> EvalTables {
-        let pued: Vec<Energy> = self
-            .space
-            .pue()
-            .iter()
-            .map(|p| p.apply(self.energy))
-            .collect();
-        let mut active = Vec::with_capacity(self.space.ci().len() * pued.len());
-        for &ci in self.space.ci() {
-            for &pe in &pued {
-                active.push(pe * ci);
+    ///
+    /// Built once, lazily, and cached: repeated sweeps over the same
+    /// assessment (the warm path) pay no per-call table work.
+    fn tables(&self) -> &EvalTables {
+        self.tables.get_or_init(|| {
+            let pued: Vec<Energy> = self
+                .space
+                .pue()
+                .iter()
+                .map(|p| p.apply(self.energy))
+                .collect();
+            let mut active = Vec::with_capacity(self.space.ci().len() * pued.len());
+            for &ci in self.space.ci() {
+                for &pe in &pued {
+                    active.push(pe * ci);
+                }
             }
-        }
-        let mut embodied =
-            Vec::with_capacity(self.space.embodied().len() * self.space.lifespan_years().len());
-        for &e in self.space.embodied() {
-            for &years in self.space.lifespan_years() {
-                embodied.push(fleet_snapshot_daily(e, years, self.servers) * self.window_days);
+            let mut embodied =
+                Vec::with_capacity(self.space.embodied().len() * self.space.lifespan_years().len());
+            for &e in self.space.embodied() {
+                for &years in self.space.lifespan_years() {
+                    embodied.push(fleet_snapshot_daily(e, years, self.servers) * self.window_days);
+                }
             }
-        }
-        EvalTables { active, embodied }
+            EvalTables { active, embodied }
+        })
     }
 
     /// Evaluates every point in the space, serially, in index order.
     pub fn evaluate_space(&self) -> SpaceResults {
-        materialise(&self.space, &self.tables())
+        materialise(&self.space, self.tables())
+    }
+
+    /// Evaluates the space into an existing [`SpaceResults`], reusing its
+    /// column buffers (and, where capacities allow, its space's axis
+    /// buffers) instead of allocating fresh ones — the warm path for
+    /// repeated sweeps such as the `day_sweep` pattern. Values are
+    /// bit-identical to [`Assessment::evaluate_space`]; after the first
+    /// sweep warms the buffers, subsequent same-shape sweeps through this
+    /// call allocate nothing.
+    ///
+    /// Any cached statistics view on `out` (see
+    /// [`SpaceResults::percentile`]) is invalidated; it is rebuilt lazily
+    /// on the next quantile query.
+    pub fn evaluate_space_into(&self, out: &mut SpaceResults) {
+        evaluate_into(&self.space, self.tables(), out);
     }
 
     /// Evaluates the space chunked across `threads` OS threads (via the
@@ -208,7 +248,7 @@ impl Assessment {
     ///
     /// `threads == 0` selects the machine's available parallelism.
     pub fn par_evaluate_space(&self, threads: usize) -> SpaceResults {
-        par_materialise(&self.space, &self.tables(), threads)
+        par_materialise(&self.space, self.tables(), threads)
     }
 
     /// Streams every point, in index order, to `sink` — no result
@@ -217,7 +257,7 @@ impl Assessment {
     /// footprint; for batch queries (envelope, percentiles, marginals)
     /// use [`Assessment::evaluate_space`] instead.
     pub fn stream_space(&self, sink: impl FnMut(PointResult)) {
-        stream_points(&self.space, &self.tables(), sink);
+        stream_points(&self.space, self.tables(), sink);
     }
 
     /// Streamed evaluation with the per-point arithmetic chunked across
@@ -228,7 +268,7 @@ impl Assessment {
     ///
     /// `threads == 0` selects the machine's available parallelism.
     pub fn par_stream_space(&self, threads: usize, sink: impl FnMut(PointResult)) {
-        par_stream_points(&self.space, &self.tables(), threads, sink);
+        par_stream_points(&self.space, self.tables(), threads, sink);
     }
 
     /// Iterates the space as materialised chunks of at most
@@ -237,7 +277,7 @@ impl Assessment {
     /// [`SpaceChunk`] holds contiguous columns for vectorised
     /// consumption, and only one chunk is alive at a time.
     pub fn chunks(&self, chunk_points: usize) -> SpaceChunks<'_> {
-        chunks_over(&self.space, self.tables(), chunk_points)
+        chunks_over(&self.space, self.tables().clone(), chunk_points)
     }
 }
 
@@ -292,20 +332,42 @@ impl EvalTables {
         }
     }
 
+    /// Materialises the three result columns for `[start, end)` into
+    /// caller-owned buffers, clearing them first — the buffer-reuse
+    /// primitive behind [`Assessment::evaluate_space_into`]. When the
+    /// buffers' capacities already fit the range (the warm path), this
+    /// allocates nothing.
+    fn fill_columns_into(
+        &self,
+        start: usize,
+        end: usize,
+        active: &mut Vec<CarbonMass>,
+        embodied: &mut Vec<CarbonMass>,
+        total: &mut Vec<CarbonMass>,
+    ) {
+        active.clear();
+        embodied.clear();
+        total.clear();
+        active.reserve(end - start);
+        embodied.reserve(end - start);
+        total.reserve(end - start);
+        self.for_each(start, end, |_, o| {
+            active.push(o.active);
+            embodied.push(o.embodied);
+            total.push(o.active + o.embodied);
+        });
+    }
+
     /// Materialises the three result columns for `[start, end)`.
     fn fill_columns(
         &self,
         start: usize,
         end: usize,
     ) -> (Vec<CarbonMass>, Vec<CarbonMass>, Vec<CarbonMass>) {
-        let mut active = Vec::with_capacity(end - start);
-        let mut embodied = Vec::with_capacity(end - start);
-        let mut total = Vec::with_capacity(end - start);
-        self.for_each(start, end, |_, o| {
-            active.push(o.active);
-            embodied.push(o.embodied);
-            total.push(o.active + o.embodied);
-        });
+        let mut active = Vec::new();
+        let mut embodied = Vec::new();
+        let mut total = Vec::new();
+        self.fill_columns_into(start, end, &mut active, &mut embodied, &mut total);
         (active, embodied, total)
     }
 
@@ -344,7 +406,26 @@ pub(crate) fn materialise(space: &ScenarioSpace, tables: &EvalTables) -> SpaceRe
         active,
         embodied,
         total,
+        sorted: OnceLock::new(),
     }
+}
+
+/// Serial materialisation into an existing [`SpaceResults`], reusing its
+/// buffers (see [`Assessment::evaluate_space_into`]). Bit-identical to
+/// [`materialise`]; the stale statistics cache is dropped so queries
+/// can't read the previous sweep's totals.
+pub(crate) fn evaluate_into(space: &ScenarioSpace, tables: &EvalTables, out: &mut SpaceResults) {
+    if out.space != *space {
+        out.space.clone_from(space);
+    }
+    out.sorted = OnceLock::new();
+    tables.fill_columns_into(
+        0,
+        space.len(),
+        &mut out.active,
+        &mut out.embodied,
+        &mut out.total,
+    );
 }
 
 /// Parallel materialisation: one contiguous range per thread, results
@@ -394,6 +475,7 @@ pub(crate) fn par_materialise(
         active,
         embodied,
         total,
+        sorted: OnceLock::new(),
     }
 }
 
@@ -759,53 +841,53 @@ impl AssessmentBuilder {
             servers,
             window_days,
             space: ScenarioSpace::new(ci, pue, embodied, lifespan)?,
+            tables: OnceLock::new(),
         })
     }
-}
-
-/// Marginal statistics of the total along one sample of one axis: what the
-/// batch looks like with that input pinned and everything else swept.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct Marginal {
-    /// The axis being conditioned on.
-    pub axis: AxisId,
-    /// The sample index along that axis.
-    pub sample_index: usize,
-    /// Total-carbon envelope over all other axes.
-    pub total: Bounds<CarbonMass>,
-    /// Mean total over all other axes.
-    pub mean_total: CarbonMass,
-}
-
-impl Marginal {
-    /// The spread this sample leaves unexplained (envelope width).
-    pub fn span(&self) -> CarbonMass {
-        self.total.hi - self.total.lo
-    }
-}
-
-/// Joint active/embodied/total envelope of a batch.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct Envelope {
-    /// Active-carbon envelope.
-    pub active: Bounds<CarbonMass>,
-    /// Embodied-carbon envelope.
-    pub embodied: Bounds<CarbonMass>,
-    /// Total-carbon envelope.
-    pub total: Bounds<CarbonMass>,
 }
 
 /// Columnar results of a batch evaluation: one entry per scenario point,
 /// in the space's index order.
 ///
 /// Columns are stored separately (struct-of-arrays) so envelope,
-/// percentile and marginal queries scan contiguous memory.
-#[derive(Clone, Debug, PartialEq)]
+/// percentile and marginal queries scan contiguous memory. The query
+/// surface (envelope / quantiles / marginals) lives in
+/// [`crate::stats_view`]; quantile queries share a lazily built sorted
+/// view of the total column, so repeated queries cost O(1) after the
+/// first.
+///
+/// # Invariant
+///
+/// Every constructor ([`Assessment::evaluate_space`] and friends) fills
+/// exactly `space.len()` entries per column, and a [`ScenarioSpace`] is
+/// non-empty by construction (every axis rejects empty sample lists) —
+/// so `len() ≥ 1` always, each axis sample owns `len() / axis_len ≥ 1`
+/// points, and the statistics queries are total without empty-input
+/// guards. Debug builds assert the invariant before every statistics
+/// query (`debug_assert_invariant`).
+#[derive(Clone, Debug)]
 pub struct SpaceResults {
-    space: ScenarioSpace,
-    active: Vec<CarbonMass>,
-    embodied: Vec<CarbonMass>,
-    total: Vec<CarbonMass>,
+    pub(crate) space: ScenarioSpace,
+    pub(crate) active: Vec<CarbonMass>,
+    pub(crate) embodied: Vec<CarbonMass>,
+    pub(crate) total: Vec<CarbonMass>,
+    /// Lazily built ascending view of `total` in kilograms (see
+    /// [`crate::stats_view`]); dropped on re-fill by
+    /// [`Assessment::evaluate_space_into`].
+    pub(crate) sorted: OnceLock<SortedTotals>,
+}
+
+/// Equality is over the space and the three result columns; the lazily
+/// built statistics cache is a derived artefact and deliberately not
+/// compared (a queried and an unqueried copy of the same results are
+/// equal).
+impl PartialEq for SpaceResults {
+    fn eq(&self, other: &Self) -> bool {
+        self.space == other.space
+            && self.active == other.active
+            && self.embodied == other.embodied
+            && self.total == other.total
+    }
 }
 
 impl SpaceResults {
@@ -851,82 +933,18 @@ impl SpaceResults {
         })
     }
 
-    fn column_bounds(col: &[CarbonMass]) -> Bounds<CarbonMass> {
-        let mut lo = col[0];
-        let mut hi = col[0];
-        for &v in &col[1..] {
-            lo = lo.min(v);
-            hi = hi.max(v);
-        }
-        Bounds::new(lo, hi)
-    }
-
-    /// The batch's joint envelope: min/max of each column.
-    pub fn envelope(&self) -> Envelope {
-        Envelope {
-            active: Self::column_bounds(&self.active),
-            embodied: Self::column_bounds(&self.embodied),
-            total: Self::column_bounds(&self.total),
-        }
-    }
-
-    /// The envelope packaged as a [`CarbonAssessment`] — how §6 of the
-    /// paper combines its table extremes.
-    pub fn assessment(&self) -> CarbonAssessment {
-        let env = self.envelope();
-        CarbonAssessment::new(env.active, env.embodied)
-    }
-
-    /// Linear-interpolated percentile of the total column; `q` in
-    /// `[0, 1]`.
-    pub fn percentile(&self, q: f64) -> Result<CarbonMass> {
-        if !(0.0..=1.0).contains(&q) {
-            return Err(Error::InvalidFraction { value: q });
-        }
-        let kg: Vec<f64> = self.total.iter().map(|t| t.kilograms()).collect();
-        Ok(CarbonMass::from_kilograms(
-            stats::percentile(&kg, q).expect("results are non-empty"),
-        ))
-    }
-
-    /// Mean of the total column.
-    pub fn mean_total(&self) -> CarbonMass {
-        let kg: Vec<f64> = self.total.iter().map(|t| t.kilograms()).collect();
-        CarbonMass::from_kilograms(stats::mean(&kg).expect("results are non-empty"))
-    }
-
-    /// Grouped marginals along one axis: for each of its samples, the
-    /// envelope and mean of the total over every other axis. Sorting the
-    /// output by [`Marginal::span`] ranks how much uncertainty each
-    /// sample of the input leaves unresolved — the batch analogue of the
-    /// one-at-a-time tornado in [`crate::sensitivity`].
-    pub fn marginals(&self, axis: AxisId) -> Vec<Marginal> {
-        let n_samples = self.space.axis_len(axis);
-        let stride = self.space.stride_of(axis);
-        let mut lo = vec![CarbonMass::ZERO; n_samples];
-        let mut hi = vec![CarbonMass::ZERO; n_samples];
-        let mut sum = vec![0.0f64; n_samples];
-        let mut count = vec![0usize; n_samples];
-        for (idx, &t) in self.total.iter().enumerate() {
-            let s = (idx / stride) % n_samples;
-            if count[s] == 0 {
-                lo[s] = t;
-                hi[s] = t;
-            } else {
-                lo[s] = lo[s].min(t);
-                hi[s] = hi[s].max(t);
-            }
-            sum[s] += t.kilograms();
-            count[s] += 1;
-        }
-        (0..n_samples)
-            .map(|s| Marginal {
-                axis,
-                sample_index: s,
-                total: Bounds::new(lo[s], hi[s]),
-                mean_total: CarbonMass::from_kilograms(sum[s] / count[s].max(1) as f64),
-            })
-            .collect()
+    /// Checks the type-level invariant (columns exactly tile the
+    /// non-empty space) in debug builds; called by the statistics view
+    /// before relying on it.
+    #[inline]
+    pub(crate) fn debug_assert_invariant(&self) {
+        debug_assert!(
+            !self.total.is_empty(),
+            "spaces are non-empty by construction"
+        );
+        debug_assert_eq!(self.total.len(), self.space.len());
+        debug_assert_eq!(self.active.len(), self.total.len());
+        debug_assert_eq!(self.embodied.len(), self.total.len());
     }
 }
 
@@ -1074,55 +1092,40 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_and_mean_are_ordered() {
-        let results = Assessment::paper().evaluate_space();
-        let p5 = results.percentile(0.05).unwrap();
-        let p50 = results.percentile(0.50).unwrap();
-        let p95 = results.percentile(0.95).unwrap();
-        assert!(p5 < p50 && p50 < p95);
-        let env = results.envelope();
-        assert!(p5 >= env.total.lo && p95 <= env.total.hi);
-        let mean = results.mean_total();
-        assert!(mean > env.total.lo && mean < env.total.hi);
-        assert!(results.percentile(1.5).is_err());
-        assert!(results.percentile(-0.1).is_err());
-    }
-
-    #[test]
-    fn marginals_rank_ci_as_dominant() {
-        let results = Assessment::paper().evaluate_space();
-        // With everything else swept, pinning CI should leave the least
-        // residual spread relative to its own effect: compare the spread
-        // *between* marginal means per axis.
-        let spread = |axis: AxisId| {
-            let m = results.marginals(axis);
-            assert_eq!(m.len(), results.space().axis_len(axis));
-            let lo = m
-                .iter()
-                .map(|x| x.mean_total)
-                .min_by(CarbonMass::total_cmp)
-                .unwrap();
-            let hi = m
-                .iter()
-                .map(|x| x.mean_total)
-                .max_by(CarbonMass::total_cmp)
-                .unwrap();
-            hi - lo
-        };
-        let ci = spread(AxisId::Ci);
-        for other in [AxisId::Pue, AxisId::Embodied, AxisId::Lifespan] {
-            assert!(
-                ci.kilograms() > spread(other).kilograms(),
-                "CI marginal spread should dominate {other:?}"
-            );
-        }
-        // Marginal bucket counts: each CI sample covers len/3 points.
-        let m = results.marginals(AxisId::Ci);
-        for bucket in &m {
-            assert!(bucket.total.lo <= bucket.mean_total);
-            assert!(bucket.mean_total <= bucket.total.hi);
-            assert!(bucket.span() > CarbonMass::ZERO);
-        }
+    fn evaluate_into_reuses_buffers_and_matches_fresh_evaluation() {
+        let a = Assessment::paper();
+        let fresh = a.evaluate_space();
+        // Warm a differently-shaped result, then sweep into it.
+        let b = Assessment::builder()
+            .energy(paper::effective_energy())
+            .ci_grams_per_kwh(&[80.0, 120.0])
+            .pue_values(&[1.2])
+            .embodied_bounds(paper::server_embodied_bounds())
+            .lifespans_years(&[4])
+            .servers(paper::AMORTISATION_FLEET_SERVERS)
+            .build()
+            .unwrap();
+        let mut reused = b.evaluate_space();
+        assert_ne!(reused, fresh);
+        a.evaluate_space_into(&mut reused);
+        assert_eq!(reused, fresh);
+        assert_eq!(reused.space(), a.space());
+        // Warm path: a same-shape re-sweep must reuse the column
+        // storage in place (the data pointer survives clear + refill
+        // when capacity already fits), not reallocate.
+        let ptr = reused.totals().as_ptr();
+        a.evaluate_space_into(&mut reused);
+        assert_eq!(reused, fresh);
+        assert_eq!(reused.totals().as_ptr(), ptr);
+        // A stale statistics cache never leaks across sweeps.
+        let p95_b = b.evaluate_space().percentile(0.95).unwrap();
+        let mut recycled = b.evaluate_space();
+        assert_eq!(recycled.percentile(0.95).unwrap(), p95_b);
+        a.evaluate_space_into(&mut recycled);
+        assert_eq!(
+            recycled.percentile(0.95).unwrap(),
+            fresh.percentile(0.95).unwrap()
+        );
     }
 
     #[test]

@@ -34,6 +34,13 @@ pub enum Error {
         /// The offending value.
         value: f64,
     },
+    /// A statistics query ran over a column containing `NaN` — quantile
+    /// interpolation over `NaN` would silently poison the answer, so it
+    /// is refused instead.
+    NonFiniteData {
+        /// The column the `NaN` was found in ("total", …).
+        column: &'static str,
+    },
     /// The embodied amortisation window was zero, negative, or
     /// non-finite.
     InvalidWindow {
@@ -66,6 +73,9 @@ impl fmt::Display for Error {
             }
             Error::InvalidFraction { value } => {
                 write!(f, "fraction must lie in [0, 1], got {value}")
+            }
+            Error::NonFiniteData { column } => {
+                write!(f, "statistics query over a {column} column containing NaN")
             }
             Error::InvalidWindow { days } => {
                 write!(f, "window must be positive and finite, got {days} days")
@@ -122,6 +132,9 @@ mod tests {
         assert!(Error::InvalidFraction { value: 1.5 }
             .to_string()
             .contains("1.5"));
+        assert!(Error::NonFiniteData { column: "total" }
+            .to_string()
+            .contains("total"));
         assert!(Error::InvalidWindow { days: -1.0 }
             .to_string()
             .contains("-1 days"));

@@ -13,8 +13,8 @@
 use crate::paper::{self, Table2Row};
 use iriscast_inventory::{iris as iris_inv, Fleet};
 use iriscast_telemetry::{
-    aggregate, MeterKind, NodeGroupTelemetry, NodePowerModel, SiteCollector, SiteEnergyReport,
-    SiteTelemetryConfig, SiteTelemetryResult, SyntheticUtilization,
+    aggregate, CollectScratch, MeterKind, NodeGroupTelemetry, NodePowerModel, SiteCollector,
+    SiteEnergyReport, SiteTelemetryConfig, SiteTelemetryResult, SyntheticUtilization,
 };
 use iriscast_units::{Energy, Period, SimDuration};
 
@@ -168,16 +168,55 @@ impl IrisScenario {
     }
 
     /// Runs the collectors and assembles Table 2.
+    ///
+    /// # Panics
+    /// If any site fails to collect. Scenarios from
+    /// [`IrisScenario::paper_snapshot`] always collect, but the fields
+    /// are public — a hand-mutated scenario (zero-length period,
+    /// zero-node site) should go through
+    /// [`IrisScenario::try_simulate_with`] to get the failure as a
+    /// value.
     pub fn simulate(&self, workers: usize) -> IrisSnapshotResult {
+        self.simulate_with(workers, &mut CollectScratch::new())
+    }
+
+    /// [`IrisScenario::simulate`] with caller-owned collector buffers:
+    /// one [`CollectScratch`] serves every site in turn, so a loop that
+    /// simulates repeatedly (benchmarks, day-sweeps) can keep the chunk
+    /// arena warm across snapshots — recycle the previous snapshot's
+    /// [`SiteTelemetryResult`]s into `scratch` first and the collect
+    /// data path allocates nothing. Bit-identical to
+    /// [`IrisScenario::simulate`], including its panic on a
+    /// non-collectable site.
+    pub fn simulate_with(
+        &self,
+        workers: usize,
+        scratch: &mut CollectScratch,
+    ) -> IrisSnapshotResult {
+        self.try_simulate_with(workers, scratch)
+            .unwrap_or_else(|e| panic!("site failed to collect: {e}"))
+    }
+
+    /// The fallible form of [`IrisScenario::simulate_with`]: a site that
+    /// cannot collect (zero-length period, zero monitored nodes — only
+    /// reachable by mutating the scenario's public fields) surfaces as
+    /// the typed [`iriscast_telemetry::TelemetryError`] instead of a
+    /// panic.
+    pub fn try_simulate_with(
+        &self,
+        workers: usize,
+        scratch: &mut CollectScratch,
+    ) -> iriscast_telemetry::TelemetryResult<IrisSnapshotResult> {
         let mut site_results = Vec::with_capacity(self.sites.len());
         let mut rows = Vec::with_capacity(self.sites.len());
         for site in &self.sites {
             let collector = SiteCollector::new(site.config.clone());
-            let result = collector.collect(self.period, &site.utilization, workers);
+            let result =
+                collector.collect_with(self.period, &site.utilization, workers, scratch)?;
             rows.push(SiteEnergyReport::from_result(&result));
             site_results.push(result);
         }
-        IrisSnapshotResult { site_results, rows }
+        Ok(IrisSnapshotResult { site_results, rows })
     }
 }
 
@@ -274,6 +313,20 @@ mod tests {
         // The paper's systematic offsets: −5% and −1.5%.
         assert!((turbo / ipmi - 0.949).abs() < 0.01, "{}", turbo / ipmi);
         assert!((ipmi / pdu - 0.985).abs() < 0.01, "{}", ipmi / pdu);
+    }
+
+    #[test]
+    fn hand_mutated_scenario_fails_as_a_value_through_try_simulate() {
+        let mut scenario = quick_scenario();
+        scenario.period =
+            Period::starting_at(scenario.period.start(), iriscast_units::SimDuration::ZERO);
+        let err = scenario
+            .try_simulate_with(2, &mut CollectScratch::new())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            iriscast_telemetry::TelemetryError::EmptyWindow { .. }
+        ));
     }
 
     #[test]

@@ -105,6 +105,7 @@ pub mod report;
 pub mod scenario;
 pub mod sensitivity;
 pub mod space;
+pub mod stats_view;
 pub mod time_resolved;
 pub mod uncertainty;
 
@@ -116,4 +117,5 @@ pub use error::{Error, Result};
 pub use model::CarbonAssessment;
 pub use scenario::{ActiveCarbonGrid, EmbodiedSweep};
 pub use space::{AxisId, ScenarioAxis, ScenarioPoint, ScenarioSpace};
+pub use stats_view::{Envelope, Marginal, TotalsSummary};
 pub use time_resolved::{CarbonProfile, TimeResolvedAssessment, TimeResolvedBuilder};

@@ -23,10 +23,29 @@ use iriscast_units::{Bounds, CarbonIntensity, CarbonMass, Pue, TriEstimate};
 /// [`Error::EmptyAxis`], which is what makes downstream envelope queries
 /// total (the `expect("sweep has rows")` panic of the old API is
 /// unrepresentable).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct ScenarioAxis<T> {
     name: String,
     samples: Vec<T>,
+}
+
+// Hand-written so `clone_from` reuses the existing name/sample
+// allocations — the buffer-reuse evaluation paths
+// (`Assessment::evaluate_space_into`) clone spaces into long-lived
+// results on every sweep, and the derived impl would reallocate both
+// fields each time.
+impl<T: Clone> Clone for ScenarioAxis<T> {
+    fn clone(&self) -> Self {
+        ScenarioAxis {
+            name: self.name.clone(),
+            samples: self.samples.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.name.clone_from(&source.name);
+        self.samples.clone_from(&source.samples);
+    }
 }
 
 impl<T> ScenarioAxis<T> {
@@ -139,12 +158,32 @@ impl AxisId {
 /// Cardinality is the product of the axis lengths; a point's flat index
 /// decodes row-major with [`AxisId::Ci`] outermost and
 /// [`AxisId::Lifespan`] innermost.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct ScenarioSpace {
     ci: ScenarioAxis<CarbonIntensity>,
     pue: ScenarioAxis<Pue>,
     embodied: ScenarioAxis<CarbonMass>,
     lifespan_years: ScenarioAxis<f64>,
+}
+
+// Hand-written so `clone_from` reuses the axes' allocations (see
+// `ScenarioAxis`'s `Clone` impl).
+impl Clone for ScenarioSpace {
+    fn clone(&self) -> Self {
+        ScenarioSpace {
+            ci: self.ci.clone(),
+            pue: self.pue.clone(),
+            embodied: self.embodied.clone(),
+            lifespan_years: self.lifespan_years.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.ci.clone_from(&source.ci);
+        self.pue.clone_from(&source.pue);
+        self.embodied.clone_from(&source.embodied);
+        self.lifespan_years.clone_from(&source.lifespan_years);
+    }
 }
 
 /// One resolved parameter set: a single scenario drawn from a space.

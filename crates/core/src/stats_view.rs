@@ -1,0 +1,440 @@
+//! Statistics and query surface of [`SpaceResults`]: envelopes,
+//! quantiles, grouped marginals, and the cached sorted view behind them.
+//!
+//! The paper's §6 methodology — and the screening workflows built on it —
+//! ask the same batch many questions: an envelope, a handful of
+//! quantiles, a marginal per axis. A [`SpaceResults`] is immutable once
+//! evaluated, so the expensive part of a quantile query (sorting the
+//! total column) is done **once**, lazily, and cached; every subsequent
+//! quantile is an O(1) interpolation on the sorted view. Three query
+//! shapes share that machinery:
+//!
+//! * [`SpaceResults::percentile`] — builds (or reuses) the cached sorted
+//!   view; the right default, and what makes repeated queries
+//!   allocation-free after the first;
+//! * [`SpaceResults::percentiles`] — batch form over one sort, for
+//!   answering a whole quantile grid at once;
+//! * [`SpaceResults::percentile_oneshot`] — `select_nth`-based O(n)
+//!   form for a single quantile of a batch that will not be queried
+//!   again (it neither builds nor warms the cache).
+//!
+//! Totality: quantile queries validate `q ∈ [0, 1]`
+//! ([`Error::InvalidFraction`]) and refuse NaN-bearing totals
+//! ([`Error::NonFiniteData`]) instead of interpolating garbage; the
+//! empty-input case is *unrepresentable* because every [`SpaceResults`]
+//! constructor fills exactly `space.len() ≥ 1` rows (see the invariant
+//! note on [`SpaceResults`]) — the `expect("results are non-empty")`
+//! calls of the previous revision are gone, not hidden.
+
+use crate::engine::SpaceResults;
+use crate::error::{Error, Result};
+use crate::model::CarbonAssessment;
+use crate::space::AxisId;
+use iriscast_grid::stats;
+use iriscast_units::{Bounds, CarbonMass};
+
+/// The cached sorted view of a result batch's total column: kilograms,
+/// ascending (`total_cmp` order). Built lazily by the quantile queries;
+/// dropped when the owning [`SpaceResults`] is re-filled through
+/// [`crate::engine::Assessment::evaluate_space_into`].
+#[derive(Clone, Debug)]
+pub(crate) struct SortedTotals {
+    /// Totals in kilograms, ascending.
+    kg: Vec<f64>,
+    /// Whether any total is NaN (poisons quantile queries with a typed
+    /// error; checked once here instead of per query).
+    has_nan: bool,
+}
+
+impl SortedTotals {
+    fn build(total: &[CarbonMass]) -> Self {
+        let mut kg: Vec<f64> = total.iter().map(|t| t.kilograms()).collect();
+        let has_nan = kg.iter().any(|v| v.is_nan());
+        kg.sort_by(f64::total_cmp);
+        SortedTotals { kg, has_nan }
+    }
+
+    /// O(1) linear-interpolated quantile on the sorted view, delegating
+    /// the interpolation rule to [`stats::percentile_sorted`] so every
+    /// quantile path in the workspace shares one definition.
+    fn quantile(&self, q: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(Error::InvalidFraction { value: q });
+        }
+        if self.has_nan {
+            return Err(Error::NonFiniteData { column: "total" });
+        }
+        Ok(stats::percentile_sorted(&self.kg, q)
+            .expect("q validated above and the view is non-empty by the SpaceResults invariant"))
+    }
+}
+
+/// Marginal statistics of the total along one sample of one axis: what the
+/// batch looks like with that input pinned and everything else swept.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Marginal {
+    /// The axis being conditioned on.
+    pub axis: AxisId,
+    /// The sample index along that axis.
+    pub sample_index: usize,
+    /// Total-carbon envelope over all other axes.
+    pub total: Bounds<CarbonMass>,
+    /// Mean total over all other axes.
+    pub mean_total: CarbonMass,
+}
+
+impl Marginal {
+    /// The spread this sample leaves unexplained (envelope width).
+    pub fn span(&self) -> CarbonMass {
+        self.total.hi - self.total.lo
+    }
+}
+
+/// Joint active/embodied/total envelope of a batch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Envelope {
+    /// Active-carbon envelope.
+    pub active: Bounds<CarbonMass>,
+    /// Embodied-carbon envelope.
+    pub embodied: Bounds<CarbonMass>,
+    /// Total-carbon envelope.
+    pub total: Bounds<CarbonMass>,
+}
+
+/// Five-number-plus-mean summary of the total column, in carbon-mass
+/// units — the model-layer face of [`iriscast_grid::stats::Summary`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TotalsSummary {
+    /// Minimum total.
+    pub min: CarbonMass,
+    /// 25th percentile.
+    pub p25: CarbonMass,
+    /// Median.
+    pub median: CarbonMass,
+    /// 75th percentile.
+    pub p75: CarbonMass,
+    /// Maximum total.
+    pub max: CarbonMass,
+    /// Arithmetic mean.
+    pub mean: CarbonMass,
+}
+
+impl SpaceResults {
+    /// The cached sorted totals, built on first use.
+    fn sorted_totals(&self) -> &SortedTotals {
+        self.debug_assert_invariant();
+        self.sorted.get_or_init(|| SortedTotals::build(&self.total))
+    }
+
+    fn column_bounds(col: &[CarbonMass]) -> Bounds<CarbonMass> {
+        let mut lo = col[0];
+        let mut hi = col[0];
+        for &v in &col[1..] {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Bounds::new(lo, hi)
+    }
+
+    /// The batch's joint envelope: min/max of each column.
+    pub fn envelope(&self) -> Envelope {
+        self.debug_assert_invariant();
+        Envelope {
+            active: Self::column_bounds(&self.active),
+            embodied: Self::column_bounds(&self.embodied),
+            total: Self::column_bounds(&self.total),
+        }
+    }
+
+    /// The envelope packaged as a [`CarbonAssessment`] — how §6 of the
+    /// paper combines its table extremes.
+    pub fn assessment(&self) -> CarbonAssessment {
+        let env = self.envelope();
+        CarbonAssessment::new(env.active, env.embodied)
+    }
+
+    /// Linear-interpolated percentile of the total column; `q` in
+    /// `[0, 1]`.
+    ///
+    /// The first quantile query sorts the column once into a cached
+    /// view; this and every later quantile query on the same results
+    /// then costs O(1) and allocates nothing. For a single quantile of
+    /// a batch that will never be queried again, see
+    /// [`SpaceResults::percentile_oneshot`].
+    pub fn percentile(&self, q: f64) -> Result<CarbonMass> {
+        self.sorted_totals()
+            .quantile(q)
+            .map(CarbonMass::from_kilograms)
+    }
+
+    /// Batch percentiles over one shared sort: every `q` answered
+    /// against the cached sorted view. All-or-nothing — an out-of-range
+    /// `q` anywhere in the batch fails the whole call, so a partial
+    /// answer can't be mistaken for a full one.
+    pub fn percentiles(&self, qs: &[f64]) -> Result<Vec<CarbonMass>> {
+        let view = self.sorted_totals();
+        qs.iter()
+            .map(|&q| view.quantile(q).map(CarbonMass::from_kilograms))
+            .collect()
+    }
+
+    /// One-shot percentile via `select_nth` — O(n) expected instead of
+    /// the O(n log n) sort, for a single quantile of a batch that will
+    /// not be queried again. Does not build the cached view (that is
+    /// the point); if the view already exists it is used directly.
+    pub fn percentile_oneshot(&self, q: f64) -> Result<CarbonMass> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(Error::InvalidFraction { value: q });
+        }
+        if let Some(view) = self.sorted.get() {
+            return view.quantile(q).map(CarbonMass::from_kilograms);
+        }
+        self.debug_assert_invariant();
+        let mut kg: Vec<f64> = self.total.iter().map(|t| t.kilograms()).collect();
+        match stats::percentile_select(&mut kg, q) {
+            Some(v) => Ok(CarbonMass::from_kilograms(v)),
+            // `q` is validated and the column is non-empty by invariant,
+            // so the only remaining refusal is NaN-bearing input.
+            None => Err(Error::NonFiniteData { column: "total" }),
+        }
+    }
+
+    /// Mean of the total column. Single pass, no allocation.
+    ///
+    /// Unlike the quantile queries, this follows plain IEEE semantics
+    /// for non-finite data: a `NaN` total yields a `NaN` mean (visible
+    /// in the result, unlike a `NaN` silently *ranked* into a quantile,
+    /// which would masquerade as a real order statistic).
+    pub fn mean_total(&self) -> CarbonMass {
+        self.debug_assert_invariant();
+        let sum: f64 = self.total.iter().map(|t| t.kilograms()).sum();
+        CarbonMass::from_kilograms(sum / self.total.len() as f64)
+    }
+
+    /// Five-number-plus-mean summary of the totals, read off the cached
+    /// sorted view (one sort amortised across this and every quantile
+    /// query).
+    pub fn summary(&self) -> Result<TotalsSummary> {
+        let view = self.sorted_totals();
+        let q = |q: f64| view.quantile(q).map(CarbonMass::from_kilograms);
+        Ok(TotalsSummary {
+            min: q(0.0)?,
+            p25: q(0.25)?,
+            median: q(0.5)?,
+            p75: q(0.75)?,
+            max: q(1.0)?,
+            mean: self.mean_total(),
+        })
+    }
+
+    /// Grouped marginals along one axis: for each of its samples, the
+    /// envelope and mean of the total over every other axis. Sorting the
+    /// output by [`Marginal::span`] ranks how much uncertainty each
+    /// sample of the input leaves unresolved — the batch analogue of the
+    /// one-at-a-time tornado in [`crate::sensitivity`].
+    pub fn marginals(&self, axis: AxisId) -> Vec<Marginal> {
+        self.debug_assert_invariant();
+        let n_samples = self.space.axis_len(axis);
+        let stride = self.space.stride_of(axis);
+        // The space is a cartesian product, so every sample of every
+        // axis owns exactly `len / n_samples ≥ 1` points — empty groups
+        // are impossible by construction and the mean below never needs
+        // the masking `count.max(1)` guard an earlier revision carried
+        // (which would have silently reported zero bounds for a group
+        // that can't exist).
+        let per_sample = self.total.len() / n_samples;
+        // Seed each group's bounds from its first point (flat index
+        // `s · stride`), then fold the whole column once.
+        let mut lo: Vec<CarbonMass> = (0..n_samples).map(|s| self.total[s * stride]).collect();
+        let mut hi = lo.clone();
+        let mut sum = vec![0.0f64; n_samples];
+        for (idx, &t) in self.total.iter().enumerate() {
+            let s = (idx / stride) % n_samples;
+            lo[s] = lo[s].min(t);
+            hi[s] = hi[s].max(t);
+            sum[s] += t.kilograms();
+        }
+        (0..n_samples)
+            .map(|s| Marginal {
+                axis,
+                sample_index: s,
+                total: Bounds::new(lo[s], hi[s]),
+                mean_total: CarbonMass::from_kilograms(sum[s] / per_sample as f64),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Assessment;
+    use crate::paper;
+    use iriscast_units::Energy;
+
+    fn naive_percentile(results: &SpaceResults, q: f64) -> CarbonMass {
+        // The pre-cache definition: clone the column, sort, interpolate.
+        let kg: Vec<f64> = results.totals().iter().map(|t| t.kilograms()).collect();
+        CarbonMass::from_kilograms(stats::percentile(&kg, q).expect("non-empty, valid q"))
+    }
+
+    #[test]
+    fn percentiles_and_mean_are_ordered() {
+        let results = Assessment::paper().evaluate_space();
+        let p5 = results.percentile(0.05).unwrap();
+        let p50 = results.percentile(0.50).unwrap();
+        let p95 = results.percentile(0.95).unwrap();
+        assert!(p5 < p50 && p50 < p95);
+        let env = results.envelope();
+        assert!(p5 >= env.total.lo && p95 <= env.total.hi);
+        let mean = results.mean_total();
+        assert!(mean > env.total.lo && mean < env.total.hi);
+        assert!(results.percentile(1.5).is_err());
+        assert!(results.percentile(-0.1).is_err());
+        assert!(results.percentile_oneshot(1.5).is_err());
+        assert!(results.percentiles(&[0.5, -0.1]).is_err());
+    }
+
+    #[test]
+    fn cached_batched_and_oneshot_agree_with_naive_sort_per_call() {
+        let results = Assessment::paper().evaluate_space();
+        let qs = [0.0, 0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0];
+        let batch = results.percentiles(&qs).unwrap();
+        for (&q, &b) in qs.iter().zip(&batch) {
+            let naive = naive_percentile(&results, q);
+            assert_eq!(results.percentile(q).unwrap(), naive, "cached, q = {q}");
+            assert_eq!(b, naive, "batch, q = {q}");
+            assert_eq!(
+                results.percentile_oneshot(q).unwrap(),
+                naive,
+                "oneshot, q = {q}"
+            );
+        }
+        // Oneshot on a fresh (cache-less) result takes the select path.
+        let fresh = Assessment::paper().evaluate_space();
+        for q in qs {
+            assert_eq!(
+                fresh.percentile_oneshot(q).unwrap(),
+                naive_percentile(&fresh, q),
+                "select path, q = {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_is_consistent_with_envelope_and_quantiles() {
+        let results = Assessment::paper().evaluate_space();
+        let s = results.summary().unwrap();
+        let env = results.envelope();
+        assert_eq!(s.min, env.total.lo);
+        assert_eq!(s.max, env.total.hi);
+        assert_eq!(s.median, results.percentile(0.5).unwrap());
+        assert_eq!(s.mean, results.mean_total());
+        assert!(s.min <= s.p25 && s.p25 <= s.median);
+        assert!(s.median <= s.p75 && s.p75 <= s.max);
+    }
+
+    #[test]
+    fn nan_totals_surface_as_typed_errors_not_interpolation() {
+        // A NaN energy figure propagates NaN into every total; quantile
+        // queries must refuse it, not rank it.
+        let results = Assessment::builder()
+            .energy(Energy::from_kilowatt_hours(f64::NAN))
+            .ci_grams_per_kwh(&[100.0, 200.0])
+            .pue_values(&[1.2, 1.4])
+            .embodied_bounds(paper::server_embodied_bounds())
+            .lifespans_years(&[3, 5])
+            .servers(100)
+            .build()
+            .unwrap()
+            .evaluate_space();
+        assert_eq!(
+            results.percentile(0.5).unwrap_err(),
+            Error::NonFiniteData { column: "total" }
+        );
+        assert_eq!(
+            results.percentile_oneshot(0.5).unwrap_err(),
+            Error::NonFiniteData { column: "total" }
+        );
+        assert_eq!(
+            results.percentiles(&[0.5]).unwrap_err(),
+            Error::NonFiniteData { column: "total" }
+        );
+        assert!(results.summary().is_err());
+        // Range validation still wins over data validation.
+        assert_eq!(
+            results.percentile(2.0).unwrap_err(),
+            Error::InvalidFraction { value: 2.0 }
+        );
+    }
+
+    #[test]
+    fn marginals_rank_ci_as_dominant() {
+        let results = Assessment::paper().evaluate_space();
+        // With everything else swept, pinning CI should leave the least
+        // residual spread relative to its own effect: compare the spread
+        // *between* marginal means per axis.
+        let spread = |axis: AxisId| {
+            let m = results.marginals(axis);
+            assert_eq!(m.len(), results.space().axis_len(axis));
+            let lo = m
+                .iter()
+                .map(|x| x.mean_total)
+                .min_by(CarbonMass::total_cmp)
+                .unwrap();
+            let hi = m
+                .iter()
+                .map(|x| x.mean_total)
+                .max_by(CarbonMass::total_cmp)
+                .unwrap();
+            hi - lo
+        };
+        let ci = spread(AxisId::Ci);
+        for other in [AxisId::Pue, AxisId::Embodied, AxisId::Lifespan] {
+            assert!(
+                ci.kilograms() > spread(other).kilograms(),
+                "CI marginal spread should dominate {other:?}"
+            );
+        }
+        // Marginal bucket counts: each CI sample covers len/3 points.
+        let m = results.marginals(AxisId::Ci);
+        for bucket in &m {
+            assert!(bucket.total.lo <= bucket.mean_total);
+            assert!(bucket.mean_total <= bucket.total.hi);
+            assert!(bucket.span() > CarbonMass::ZERO);
+        }
+    }
+
+    #[test]
+    fn singleton_axes_have_exact_degenerate_marginals() {
+        // One sample per axis: the single marginal group covers the
+        // whole (one-point) batch exactly — the configuration where the
+        // old `count.max(1)` mask would have been closest to biting.
+        let results = Assessment::builder()
+            .energy(paper::effective_energy())
+            .ci_grams_per_kwh(&[175.0])
+            .pue_values(&[1.3])
+            .embodied_bounds(paper::server_embodied_bounds())
+            .lifespans_years(&[5])
+            .servers(paper::AMORTISATION_FLEET_SERVERS)
+            .build()
+            .unwrap()
+            .evaluate_space();
+        for axis in AxisId::ALL {
+            let m = results.marginals(axis);
+            assert_eq!(m.len(), results.space().axis_len(axis));
+            for bucket in &m {
+                assert!(bucket.total.lo > CarbonMass::ZERO, "{axis:?}");
+                assert!(bucket.mean_total >= bucket.total.lo, "{axis:?}");
+                assert!(bucket.mean_total <= bucket.total.hi, "{axis:?}");
+            }
+        }
+        // The CI marginal of the 2-sample embodied axis × 1-sample rest:
+        // each group's mean is its own total.
+        let m = results.marginals(AxisId::Embodied);
+        for (s, bucket) in m.iter().enumerate() {
+            assert_eq!(bucket.total.lo, bucket.total.hi);
+            assert_eq!(bucket.mean_total, bucket.total.lo, "sample {s}");
+        }
+    }
+}

@@ -64,8 +64,8 @@
 
 use crate::embodied::fleet_snapshot_daily;
 use crate::engine::{
-    chunks_over, materialise, par_materialise, par_stream_points, stream_points, AssessmentBuilder,
-    EvalTables, PointOutcome, PointResult, SpaceChunks, SpaceResults,
+    chunks_over, evaluate_into, materialise, par_materialise, par_stream_points, stream_points,
+    AssessmentBuilder, EvalTables, PointOutcome, PointResult, SpaceChunks, SpaceResults,
 };
 use crate::error::{Error, Result};
 use crate::space::{ScenarioAxis, ScenarioPoint, ScenarioSpace};
@@ -74,6 +74,7 @@ use iriscast_telemetry::EnergySeries;
 use iriscast_units::{
     Bounds, CarbonIntensity, CarbonMass, Period, Pue, SimDuration, Timestamp, TriEstimate,
 };
+use std::sync::OnceLock;
 
 /// A fully resolved time-resolved assessment: one energy series, one
 /// aligned intensity series per carbon-intensity axis sample, and the
@@ -85,7 +86,7 @@ use iriscast_units::{
 /// the scalar that, applied to the total energy, would reproduce the
 /// convolved active carbon. Envelope, percentile and marginal queries on
 /// the results therefore read exactly as they do for the scalar engine.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct TimeResolvedAssessment {
     energy: EnergySeries,
     servers: u32,
@@ -94,6 +95,24 @@ pub struct TimeResolvedAssessment {
     /// Per CI-axis sample: intensity re-expressed on the energy grid
     /// (one value per energy slot).
     aligned: Vec<Vec<CarbonIntensity>>,
+    /// Kernel tables — the per-(CI, PUE) convolutions and windowed fleet
+    /// charges — built lazily on first evaluation and reused by every
+    /// subsequent batch/stream/chunk call. This is the expensive part of
+    /// a time-resolved evaluation (O(axes × slots)), so caching it makes
+    /// repeated sweeps over the same assessment table-read cheap.
+    tables: OnceLock<EvalTables>,
+}
+
+/// Equality is over the assessment's inputs; the lazily built kernel
+/// -table cache is a derived artefact and deliberately not compared.
+impl PartialEq for TimeResolvedAssessment {
+    fn eq(&self, other: &Self) -> bool {
+        self.energy == other.energy
+            && self.servers == other.servers
+            && self.window_days == other.window_days
+            && self.space == other.space
+            && self.aligned == other.aligned
+    }
 }
 
 impl TimeResolvedAssessment {
@@ -154,22 +173,25 @@ impl TimeResolvedAssessment {
     /// Builds the shared kernel tables: one convolved active value per
     /// (CI series, PUE) pair, one windowed fleet charge per
     /// (embodied, lifespan) pair. Per-point evaluation cost downstream is
-    /// independent of the series length.
-    fn tables(&self) -> EvalTables {
-        let mut active = Vec::with_capacity(self.aligned.len() * self.space.pue().len());
-        for ci in &self.aligned {
-            for &pue in self.space.pue() {
-                active.push(self.convolve(ci, pue));
+    /// independent of the series length. Built once, lazily, and cached
+    /// (the assessment is immutable, so no invalidation is needed).
+    fn tables(&self) -> &EvalTables {
+        self.tables.get_or_init(|| {
+            let mut active = Vec::with_capacity(self.aligned.len() * self.space.pue().len());
+            for ci in &self.aligned {
+                for &pue in self.space.pue() {
+                    active.push(self.convolve(ci, pue));
+                }
             }
-        }
-        let mut embodied =
-            Vec::with_capacity(self.space.embodied().len() * self.space.lifespan_years().len());
-        for &e in self.space.embodied() {
-            for &years in self.space.lifespan_years() {
-                embodied.push(self.embodied_charge(e, years));
+            let mut embodied =
+                Vec::with_capacity(self.space.embodied().len() * self.space.lifespan_years().len());
+            for &e in self.space.embodied() {
+                for &years in self.space.lifespan_years() {
+                    embodied.push(self.embodied_charge(e, years));
+                }
             }
-        }
-        EvalTables { active, embodied }
+            EvalTables { active, embodied }
+        })
     }
 
     /// Evaluates one scenario point (integrated over the window).
@@ -217,7 +239,17 @@ impl TimeResolvedAssessment {
     /// Materialises full columns — use the streaming or chunked forms
     /// for spaces too large to hold.
     pub fn evaluate_space(&self) -> SpaceResults {
-        materialise(&self.space, &self.tables())
+        materialise(&self.space, self.tables())
+    }
+
+    /// Evaluates the space into an existing [`SpaceResults`], reusing
+    /// its buffers — the warm path for repeated day-sweeps (evaluate one
+    /// day's assessment, recycle the results for the next). Values are
+    /// bit-identical to [`TimeResolvedAssessment::evaluate_space`];
+    /// after warm-up, same-shape sweeps allocate nothing. Any cached
+    /// statistics view on `out` is invalidated and lazily rebuilt.
+    pub fn evaluate_space_into(&self, out: &mut SpaceResults) {
+        evaluate_into(&self.space, self.tables(), out);
     }
 
     /// [`TimeResolvedAssessment::evaluate_space`] chunked across
@@ -225,28 +257,28 @@ impl TimeResolvedAssessment {
     /// parallelism; small spaces fall back to serial — see
     /// [`crate::engine::PAR_SERIAL_CUTOFF`]).
     pub fn par_evaluate_space(&self, threads: usize) -> SpaceResults {
-        par_materialise(&self.space, &self.tables(), threads)
+        par_materialise(&self.space, self.tables(), threads)
     }
 
     /// Streams every point, in index order, to `sink` without
     /// materialising result columns: memory stays O(axes), not
     /// O(points), so >10M-point day-sweeps run in a bounded footprint.
     pub fn stream_space(&self, sink: impl FnMut(PointResult)) {
-        stream_points(&self.space, &self.tables(), sink);
+        stream_points(&self.space, self.tables(), sink);
     }
 
     /// Streamed evaluation with the per-point arithmetic chunked across
     /// `threads` OS threads. Delivery order and every value are
     /// bit-identical to [`TimeResolvedAssessment::stream_space`].
     pub fn par_stream_space(&self, threads: usize, sink: impl FnMut(PointResult)) {
-        par_stream_points(&self.space, &self.tables(), threads, sink);
+        par_stream_points(&self.space, self.tables(), threads, sink);
     }
 
     /// Iterates the space as materialised chunks of at most
     /// `chunk_points` points (clamped to ≥ 1); only one chunk is alive
     /// at a time.
     pub fn chunks(&self, chunk_points: usize) -> SpaceChunks<'_> {
-        chunks_over(&self.space, self.tables(), chunk_points)
+        chunks_over(&self.space, self.tables().clone(), chunk_points)
     }
 }
 
@@ -497,6 +529,7 @@ impl TimeResolvedBuilder {
             space: scalar.space().clone(),
             aligned,
             energy,
+            tables: OnceLock::new(),
         })
     }
 }

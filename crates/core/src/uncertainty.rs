@@ -83,6 +83,12 @@ fn triangular(rng: &mut impl Rng, min: f64, mode: f64, max: f64) -> f64 {
 }
 
 /// Runs the Monte-Carlo assessment.
+///
+/// # Panics
+/// If the sampled totals contain `NaN` — only possible when `config`
+/// carries non-finite inputs (e.g. a `NaN` energy or PUE corner), since
+/// the quantile summary refuses to rank `NaN`s. (An earlier revision
+/// silently sorted them into the high quantiles instead.)
 pub fn run(config: &McConfig, samples: usize, seed: u64) -> McResult {
     assert!(samples > 0, "need at least one sample");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -125,12 +131,16 @@ pub fn run(config: &McConfig, samples: usize, seed: u64) -> McResult {
         totals.push(outcome.total().kilograms());
     }
     let mean = stats::mean(&totals).expect("non-empty");
+    // One sort answers all three quantiles (an earlier revision sorted
+    // the sample three times).
+    let ps =
+        stats::percentiles(&totals, &[0.05, 0.50, 0.95]).expect("sample is non-empty and NaN-free");
     McResult {
         samples,
         mean: CarbonMass::from_kilograms(mean),
-        p5: CarbonMass::from_kilograms(stats::percentile(&totals, 0.05).expect("non-empty")),
-        p50: CarbonMass::from_kilograms(stats::percentile(&totals, 0.50).expect("non-empty")),
-        p95: CarbonMass::from_kilograms(stats::percentile(&totals, 0.95).expect("non-empty")),
+        p5: CarbonMass::from_kilograms(ps[0]),
+        p50: CarbonMass::from_kilograms(ps[1]),
+        p95: CarbonMass::from_kilograms(ps[2]),
         mean_embodied_share: shares / samples as f64,
     }
 }

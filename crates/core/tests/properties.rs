@@ -520,6 +520,124 @@ proptest! {
         prop_assert!(build(ok).is_ok());
     }
 
+    /// Every quantile path — cached sorted view, batch-over-one-sort,
+    /// `select_nth` one-shot — agrees exactly with the naive
+    /// sort-per-call definition, for arbitrary spaces and quantiles.
+    #[test]
+    fn quantile_paths_agree_with_naive_sort_per_call(
+        kwh in 100.0..1e6f64,
+        n_ci in 1usize..6,
+        n_pue in 1usize..5,
+        n_emb in 1usize..5,
+        n_life in 1usize..6,
+        qs in prop::collection::vec(0.0..=1.0f64, 1..8),
+        servers in 0u32..5_000,
+    ) {
+        let a = Assessment::builder()
+            .energy(Energy::from_kilowatt_hours(kwh))
+            .ci_axis(iriscast_model::ScenarioAxis::linspace(
+                "ci",
+                Bounds::new(
+                    CarbonIntensity::from_grams_per_kwh(10.0),
+                    CarbonIntensity::from_grams_per_kwh(500.0),
+                ),
+                n_ci,
+            ).unwrap())
+            .pue_axis(iriscast_model::ScenarioAxis::linspace(
+                "pue",
+                Bounds::new(Pue::new(1.05).unwrap(), Pue::new(2.2).unwrap()),
+                n_pue,
+            ).unwrap())
+            .embodied_linspace(
+                Bounds::new(
+                    CarbonMass::from_kilograms(100.0),
+                    CarbonMass::from_kilograms(1_500.0),
+                ),
+                n_emb,
+            )
+            .lifespan_linspace(1.0, 12.0, n_life)
+            .servers(servers)
+            .build()
+            .unwrap();
+        let results = a.evaluate_space();
+        // `fresh` exercises the select path (no cache built yet).
+        let fresh = a.evaluate_space();
+        let kg: Vec<f64> = results.totals().iter().map(|t| t.kilograms()).collect();
+        let batch = results.percentiles(&qs).unwrap();
+        for (i, &q) in qs.iter().enumerate() {
+            let naive = CarbonMass::from_kilograms(
+                iriscast_grid::stats::percentile(&kg, q).unwrap(),
+            );
+            prop_assert_eq!(results.percentile(q).unwrap(), naive, "cached q={}", q);
+            prop_assert_eq!(batch[i], naive, "batch q={}", q);
+            prop_assert_eq!(fresh.percentile_oneshot(q).unwrap(), naive, "select q={}", q);
+            prop_assert_eq!(results.percentile_oneshot(q).unwrap(), naive, "cache-hit q={}", q);
+        }
+        let naive_mean =
+            CarbonMass::from_kilograms(iriscast_grid::stats::mean(&kg).unwrap());
+        prop_assert_eq!(results.mean_total(), naive_mean);
+    }
+
+    /// `evaluate_space_into` is bit-identical to `evaluate_space`
+    /// whatever state the reused buffer arrives in, for both the scalar
+    /// and time-resolved engines.
+    #[test]
+    fn evaluate_into_matches_evaluate(
+        kwh in 100.0..1e6f64,
+        n_ci in 1usize..5,
+        n_pue in 1usize..4,
+        n_emb in 1usize..4,
+        n_life in 1usize..5,
+        prev_ci in 1usize..5,
+        slots in 1usize..40,
+        servers in 1u32..5_000,
+    ) {
+        let space_of = |n: usize| Assessment::builder()
+            .energy(Energy::from_kilowatt_hours(kwh))
+            .ci_axis(iriscast_model::ScenarioAxis::linspace(
+                "ci",
+                Bounds::new(
+                    CarbonIntensity::from_grams_per_kwh(10.0),
+                    CarbonIntensity::from_grams_per_kwh(500.0),
+                ),
+                n,
+            ).unwrap())
+            .pue_axis(iriscast_model::ScenarioAxis::linspace(
+                "pue",
+                Bounds::new(Pue::new(1.05).unwrap(), Pue::new(2.2).unwrap()),
+                n_pue,
+            ).unwrap())
+            .embodied_linspace(
+                Bounds::new(
+                    CarbonMass::from_kilograms(100.0),
+                    CarbonMass::from_kilograms(1_500.0),
+                ),
+                n_emb,
+            )
+            .lifespan_linspace(1.0, 12.0, n_life)
+            .servers(servers)
+            .build()
+            .unwrap();
+        let a = space_of(n_ci);
+        let fresh = a.evaluate_space();
+        // Reuse a result of a (usually different) shape, cache warmed.
+        let mut reused = space_of(prev_ci).evaluate_space();
+        let _ = reused.percentile(0.5).unwrap();
+        a.evaluate_space_into(&mut reused);
+        prop_assert_eq!(&reused, &fresh);
+        prop_assert_eq!(reused.percentile(0.5).unwrap(), fresh.percentile(0.5).unwrap());
+        // Same-shape warm re-sweep.
+        a.evaluate_space_into(&mut reused);
+        prop_assert_eq!(&reused, &fresh);
+
+        // Time-resolved engine shares the same path.
+        let tr = time_resolved_fixture(slots, 5.0, 1, n_ci, n_pue, n_emb, n_life, servers);
+        let tr_fresh = tr.evaluate_space();
+        let mut tr_reused = space_of(prev_ci).evaluate_space();
+        tr.evaluate_space_into(&mut tr_reused);
+        prop_assert_eq!(&tr_reused, &tr_fresh);
+    }
+
     /// Net-zero projections: embodied share is monotone non-decreasing
     /// along any declining pathway, and intensity stays above the floor.
     #[test]

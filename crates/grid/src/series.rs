@@ -235,21 +235,47 @@ impl IntensitySeries {
             .expect("series is never empty")
     }
 
-    /// Linear-interpolated percentile of interval values, `q ∈ [0, 1]`.
-    pub fn percentile(&self, q: f64) -> CarbonIntensity {
+    /// Linear-interpolated percentile of interval values; `None` when
+    /// `q` lies outside `[0, 1]` or the series carries a `NaN` sample.
+    pub fn try_percentile(&self, q: f64) -> Option<CarbonIntensity> {
         let raw: Vec<f64> = self.values.iter().map(|v| v.grams_per_kwh()).collect();
-        CarbonIntensity::from_grams_per_kwh(
-            stats::percentile(&raw, q).expect("series is never empty"),
-        )
+        stats::percentile(&raw, q).map(CarbonIntensity::from_grams_per_kwh)
+    }
+
+    /// Linear-interpolated percentile of interval values, `q ∈ [0, 1]`.
+    ///
+    /// # Panics
+    /// If `q` lies outside `[0, 1]` or the series carries a `NaN`
+    /// sample; use [`IntensitySeries::try_percentile`] to handle either
+    /// as a value instead.
+    pub fn percentile(&self, q: f64) -> CarbonIntensity {
+        self.try_percentile(q)
+            .expect("quantile must lie in [0, 1] and the series must be NaN-free")
     }
 
     /// The paper's low/medium/high reference reading: p5 / median / p95.
+    /// One sort serves all three quantiles (`stats::percentiles`);
+    /// `None` when the series carries a `NaN` sample.
+    pub fn try_reference_values(&self) -> Option<ReferenceValues> {
+        let raw: Vec<f64> = self.values.iter().map(|v| v.grams_per_kwh()).collect();
+        let ps = stats::percentiles(&raw, &[0.05, 0.50, 0.95])?;
+        Some(TriEstimate::new(
+            CarbonIntensity::from_grams_per_kwh(ps[0]),
+            CarbonIntensity::from_grams_per_kwh(ps[1]),
+            CarbonIntensity::from_grams_per_kwh(ps[2]),
+        ))
+    }
+
+    /// The paper's low/medium/high reference reading: p5 / median / p95.
+    ///
+    /// # Panics
+    /// If the series carries a `NaN` sample (the constructor does not
+    /// forbid them); use [`IntensitySeries::try_reference_values`] to
+    /// handle that as a value. (An earlier revision silently ranked
+    /// `NaN`s into the high quantile instead.)
     pub fn reference_values(&self) -> ReferenceValues {
-        TriEstimate::new(
-            self.percentile(0.05),
-            self.percentile(0.50),
-            self.percentile(0.95),
-        )
+        self.try_reference_values()
+            .expect("reference quantiles need a NaN-free series")
     }
 
     /// Daily mean intensities — the series plotted in the paper's

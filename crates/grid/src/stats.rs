@@ -1,17 +1,58 @@
-//! Small statistics utilities shared by series summaries.
+//! Small statistics utilities shared by series summaries and the
+//! scenario-space statistics view.
+//!
+//! Every function here is total: invalid input — an empty sample, a
+//! quantile outside `[0, 1]`, or a sample containing `NaN` — returns
+//! `None` instead of panicking or silently interpolating garbage. (An
+//! earlier revision `assert!`ed on out-of-range quantiles and let `NaN`s
+//! sort to the end where they could be interpolated into results;
+//! callers that need a hard failure now get to choose it explicitly.)
+//!
+//! The quantile family comes in four forms, sharing one interpolation
+//! rule ([`percentile_sorted`]):
+//!
+//! * [`percentile`] — sort-per-call convenience for one query;
+//! * [`percentiles`] — batch form: one sort amortised over many queries;
+//! * [`percentile_sorted`] — zero-cost form for data the caller keeps
+//!   sorted (the engine's cached statistics view);
+//! * [`percentile_select`] — `select_nth`-based one-shot form: O(n)
+//!   expected instead of O(n log n), for a single quantile off unsorted
+//!   data that is not worth sorting.
+
+/// `true` when `q` is a valid quantile and `values` is a usable sample
+/// (non-empty, NaN-free).
+fn usable(values: &[f64], q: f64) -> bool {
+    !values.is_empty() && (0.0..=1.0).contains(&q) && !values.iter().any(|v| v.is_nan())
+}
 
 /// Linear-interpolated percentile of `values` (which need not be sorted);
-/// `q` in `[0, 1]`. Returns `None` for empty input.
+/// `q` in `[0, 1]`. Returns `None` for empty input, out-of-range `q`, or
+/// input containing `NaN`.
 ///
 /// Uses the common "linear between closest ranks" definition (NumPy's
 /// default), which is what percentile-based intensity references use.
+/// Sorts a copy on every call — prefer [`percentiles`] for several
+/// quantiles of one sample, or [`percentile_select`] for exactly one.
 pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
-    if values.is_empty() {
+    if !usable(values, q) {
         return None;
     }
-    assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]");
     let mut sorted: Vec<f64> = values.to_vec();
     sorted.sort_by(f64::total_cmp);
+    percentile_sorted(&sorted, q)
+}
+
+/// Linear-interpolated percentile of an already **ascending-sorted**
+/// sample. Returns `None` for empty input or out-of-range `q`; does not
+/// re-scan for `NaN`s (the caller vouches for the sort, and a correctly
+/// sorted NaN-free sample stays NaN-free).
+///
+/// This is the shared interpolation rule behind [`percentile`],
+/// [`percentiles`] and the engine's cached statistics view.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
     let rank = q * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -20,6 +61,51 @@ pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
     }
     let frac = rank - lo as f64;
     Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Batch percentiles: sorts `values` once and answers every quantile in
+/// `qs` against the sorted copy. Returns `None` if the sample is empty
+/// or NaN-bearing, or if **any** quantile is out of range (all-or-
+/// nothing, so a partial answer can't be mistaken for a full one).
+pub fn percentiles(values: &[f64], qs: &[f64]) -> Option<Vec<f64>> {
+    if values.is_empty()
+        || qs.iter().any(|q| !(0.0..=1.0).contains(q))
+        || values.iter().any(|v| v.is_nan())
+    {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Some(
+        qs.iter()
+            .map(|&q| percentile_sorted(&sorted, q).expect("validated above"))
+            .collect(),
+    )
+}
+
+/// One-shot percentile via `select_nth_unstable`: O(n) expected instead
+/// of a full sort, at the cost of leaving `values` in an unspecified
+/// order. Same definition and `None` conditions as [`percentile`].
+///
+/// Use this when exactly one quantile of a large unsorted sample is
+/// needed and the sample won't be queried again.
+pub fn percentile_select(values: &mut [f64], q: f64) -> Option<f64> {
+    if !usable(values, q) {
+        return None;
+    }
+    let rank = q * (values.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let (_, lo_val, above) = values.select_nth_unstable_by(lo, f64::total_cmp);
+    if lo == hi {
+        return Some(*lo_val);
+    }
+    // `hi == lo + 1`, so the next order statistic is the minimum of the
+    // partition above the pivot (non-empty because `hi ≤ len - 1`).
+    let lo_val = *lo_val;
+    let hi_val = above.iter().copied().fold(f64::INFINITY, f64::min);
+    let frac = rank - lo as f64;
+    Some(lo_val * (1.0 - frac) + hi_val * frac)
 }
 
 /// Arithmetic mean; `None` for empty input.
@@ -54,15 +140,29 @@ pub struct Summary {
     pub mean: f64,
 }
 
-/// Computes a [`Summary`]; `None` for empty input.
+/// Computes a [`Summary`] in one pass plus one sort (an earlier revision
+/// sorted the sample five times, once per quantile); `None` for empty or
+/// NaN-bearing input.
 pub fn summarize(values: &[f64]) -> Option<Summary> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sum = 0.0;
+    for &v in values {
+        if v.is_nan() {
+            return None;
+        }
+        sum += v;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
     Some(Summary {
-        min: percentile(values, 0.0)?,
-        p25: percentile(values, 0.25)?,
-        median: percentile(values, 0.5)?,
-        p75: percentile(values, 0.75)?,
-        max: percentile(values, 1.0)?,
-        mean: mean(values)?,
+        min: sorted[0],
+        p25: percentile_sorted(&sorted, 0.25)?,
+        median: percentile_sorted(&sorted, 0.5)?,
+        p75: percentile_sorted(&sorted, 0.75)?,
+        max: *sorted.last()?,
+        mean: sum / values.len() as f64,
     })
 }
 
@@ -92,9 +192,64 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "quantile")]
-    fn percentile_rejects_out_of_range() {
-        let _ = percentile(&[1.0], 1.5);
+    fn out_of_range_quantile_is_none_not_a_panic() {
+        for q in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            assert_eq!(percentile(&[1.0], q), None, "q = {q}");
+            assert_eq!(percentile_sorted(&[1.0], q), None, "q = {q}");
+            assert_eq!(percentile_select(&mut [1.0], q), None, "q = {q}");
+            assert_eq!(percentiles(&[1.0], &[0.5, q]), None, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn nan_bearing_samples_are_rejected_not_interpolated() {
+        // An earlier revision let total_cmp sort NaNs last and silently
+        // interpolated them into high quantiles.
+        let v = [1.0, f64::NAN, 3.0];
+        assert_eq!(percentile(&v, 1.0), None);
+        assert_eq!(percentile(&v, 0.5), None);
+        assert_eq!(percentile_select(&mut v.clone(), 0.5), None);
+        assert_eq!(percentiles(&v, &[0.5]), None);
+        assert_eq!(summarize(&v), None);
+        // Infinities are honest (if extreme) numbers and still work.
+        let w = [1.0, f64::INFINITY, 3.0];
+        assert_eq!(percentile(&w, 1.0), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn batch_matches_per_call() {
+        let v: Vec<f64> = (0..57).map(|i| ((i * 31) % 57) as f64).collect();
+        let qs = [0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0];
+        let batch = percentiles(&v, &qs).unwrap();
+        for (&q, &b) in qs.iter().zip(&batch) {
+            assert_eq!(Some(b), percentile(&v, q), "q = {q}");
+        }
+        assert_eq!(percentiles(&[], &[0.5]), None);
+        assert_eq!(percentiles(&v, &[]), Some(vec![]));
+    }
+
+    #[test]
+    fn select_matches_sort_per_call() {
+        let v: Vec<f64> = (0..101).map(|i| ((i * 67) % 101) as f64 - 50.0).collect();
+        for q in [0.0, 0.01, 0.25, 0.333, 0.5, 0.9, 0.95, 1.0] {
+            let mut scratch = v.clone();
+            assert_eq!(
+                percentile_select(&mut scratch, q),
+                percentile(&v, q),
+                "q = {q}"
+            );
+        }
+        assert_eq!(percentile_select(&mut [], 0.5), None);
+        assert_eq!(percentile_select(&mut [42.0], 0.7), Some(42.0));
+    }
+
+    #[test]
+    fn sorted_form_skips_the_sort_only() {
+        let mut v: Vec<f64> = vec![9.0, 2.0, 5.0, 7.0, 1.0];
+        let unsorted_answer = percentile(&v, 0.5);
+        v.sort_by(f64::total_cmp);
+        assert_eq!(percentile_sorted(&v, 0.5), unsorted_answer);
+        assert_eq!(percentile_sorted(&[], 0.5), None);
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! regardless of worker count — `collect` with 1 worker equals `collect`
 //! with 16.
 
+use crate::error::{TelemetryError, TelemetryResult};
 use crate::meter::{MeterErrorModel, MeterKind, PowerMeter};
-use crate::par::parallel_map_indexed;
+use crate::par::parallel_fill_indexed;
 use crate::register::{decode_register_readings, CumulativeRegister};
 use crate::sources::{splitmix64, UtilizationSource};
 use crate::timeseries::{GapPolicy, PowerSeries};
@@ -129,6 +130,102 @@ impl SiteTelemetryConfig {
     }
 }
 
+/// One parallel chunk's accumulators: watts sums per (method, step).
+///
+/// Chunk results must stay materialised per chunk (not merged into
+/// per-worker running sums) because the fold below adds them in global
+/// chunk order — floating-point addition is non-associative, so any
+/// other bracketing would break the `collect(1 worker) == collect(16
+/// workers)` bit-identity guarantee. What *is* reusable is the storage:
+/// a [`CollectScratch`] keeps these buffers alive across collect calls.
+#[derive(Debug, Default)]
+struct ChunkAcc {
+    truth: Vec<f64>,
+    pdu: Vec<f64>,
+    ipmi: Vec<f64>,
+    turbo: Vec<f64>,
+}
+
+impl ChunkAcc {
+    /// Zeroes the four accumulators at `steps` samples, reusing their
+    /// capacity.
+    fn reset(&mut self, steps: usize) {
+        for v in [
+            &mut self.truth,
+            &mut self.pdu,
+            &mut self.ipmi,
+            &mut self.turbo,
+        ] {
+            v.clear();
+            v.resize(steps, 0.0);
+        }
+    }
+}
+
+/// Reusable buffers for [`SiteCollector::collect_with`]: the per-chunk
+/// accumulator arena and a pool of `f64` buffers for fold targets and
+/// output series.
+///
+/// A cold `collect` allocates `4 × steps` doubles per node chunk plus
+/// the output series; in a hot loop (the full-federation snapshot bench,
+/// a day-sweep) that allocator traffic dominates. Holding one scratch
+/// across calls — and feeding finished results back through
+/// [`CollectScratch::recycle`] — makes the per-sample data path
+/// allocation-free after warm-up: buffers are drawn from the pool,
+/// zeroed, filled, and either returned or handed to the caller inside
+/// the result (to come back at the next `recycle`).
+#[derive(Debug, Default)]
+pub struct CollectScratch {
+    /// Per-chunk accumulator arena, grown to the largest chunk count
+    /// seen and reused verbatim after that.
+    chunks: Vec<ChunkAcc>,
+    /// Recycled `f64` buffers for fold targets, series payloads and
+    /// register readings.
+    pool: Vec<Vec<f64>>,
+}
+
+impl CollectScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        CollectScratch::default()
+    }
+
+    /// Reclaims a finished result's buffers into the pool, so the next
+    /// [`SiteCollector::collect_with`] call can reuse them instead of
+    /// allocating.
+    pub fn recycle(&mut self, result: SiteTelemetryResult) {
+        let SiteTelemetryResult {
+            truth,
+            series,
+            facility_register,
+            ..
+        } = result;
+        self.pool.push(truth.into_watts());
+        for (_, s) in series {
+            self.pool.push(s.into_watts());
+        }
+        if let Some(readings) = facility_register {
+            self.pool.push(readings);
+        }
+    }
+
+    /// A zeroed buffer of `len` samples, drawn from the pool when one is
+    /// available.
+    fn take_zeroed(&mut self, len: usize) -> Vec<f64> {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// An empty buffer (capacity from the pool when available).
+    fn take_empty(&mut self) -> Vec<f64> {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+}
+
 /// The collector: applies a [`SiteTelemetryConfig`] to a window.
 #[derive(Clone, Debug)]
 pub struct SiteCollector {
@@ -176,17 +273,52 @@ impl SiteCollector {
 
     /// Sweeps the fleet over `period`, sampling every `config.sample_step`,
     /// with `workers` parallel threads (1 = serial).
+    ///
+    /// A window with no sample instants (zero/negative length — partial
+    /// windows round up to one sample) or a fleet of zero nodes is a
+    /// [`TelemetryError`], not a panic. For hot loops that collect
+    /// repeatedly, [`SiteCollector::collect_with`] reuses buffers across
+    /// calls; this convenience form allocates a fresh scratch each time
+    /// and is bit-identical to it.
     pub fn collect(
         &self,
         period: Period,
         utilization: &dyn UtilizationSource,
         workers: usize,
-    ) -> SiteTelemetryResult {
+    ) -> TelemetryResult<SiteTelemetryResult> {
+        self.collect_with(period, utilization, workers, &mut CollectScratch::new())
+    }
+
+    /// [`SiteCollector::collect`] with caller-owned buffers: the
+    /// per-chunk accumulator arena and the output buffers are drawn from
+    /// `scratch` instead of the allocator. Feed finished results back
+    /// through [`CollectScratch::recycle`] and the per-sample data path
+    /// allocates nothing after the first call — the warm path the
+    /// full-federation snapshot loop runs on. Results are bit-identical
+    /// to [`SiteCollector::collect`] at every worker count: only buffer
+    /// provenance changes, never arithmetic or fold order.
+    pub fn collect_with(
+        &self,
+        period: Period,
+        utilization: &dyn UtilizationSource,
+        workers: usize,
+        scratch: &mut CollectScratch,
+    ) -> TelemetryResult<SiteTelemetryResult> {
         let cfg = &self.config;
         let steps = period.step_count(cfg.sample_step);
-        assert!(steps > 0, "empty collection window");
+        if steps == 0 {
+            return Err(TelemetryError::EmptyWindow {
+                site: cfg.site_code.clone(),
+                window_secs: period.duration().as_secs(),
+                step_secs: cfg.sample_step.as_secs(),
+            });
+        }
         let nodes = cfg.total_nodes() as usize;
-        assert!(nodes > 0, "no nodes to collect from");
+        if nodes == 0 {
+            return Err(TelemetryError::NoNodes {
+                site: cfg.site_code.clone(),
+            });
+        }
 
         let has = |k: MeterKind| cfg.methods.contains(&k);
         let pdu_err = PowerMeter::standard(MeterKind::Pdu).error;
@@ -194,24 +326,19 @@ impl SiteCollector {
         let turbo_err = PowerMeter::standard(MeterKind::Turbostat).error;
         let ipmi_limit = cfg.ipmi_reporting_nodes();
 
-        // Each chunk accumulates watts sums per (method, step): truth,
-        // pdu, ipmi, turbostat.
+        // Each chunk accumulates watts sums per (method, step) into its
+        // arena slot, reused (zeroed) from the previous collect call.
         let n_chunks = nodes.div_ceil(CHUNK_NODES);
-        struct ChunkAcc {
-            truth: Vec<f64>,
-            pdu: Vec<f64>,
-            ipmi: Vec<f64>,
-            turbo: Vec<f64>,
+        if scratch.chunks.len() < n_chunks {
+            scratch.chunks.resize_with(n_chunks, ChunkAcc::default);
         }
-        let chunk_results = parallel_map_indexed(n_chunks, workers, |chunk_idx| {
+        let chunk_slots = &mut scratch.chunks[..n_chunks];
+        for acc in chunk_slots.iter_mut() {
+            acc.reset(steps);
+        }
+        parallel_fill_indexed(chunk_slots, workers, |chunk_idx, acc| {
             let lo = chunk_idx * CHUNK_NODES;
             let hi = ((chunk_idx + 1) * CHUNK_NODES).min(nodes);
-            let mut acc = ChunkAcc {
-                truth: vec![0.0; steps],
-                pdu: vec![0.0; steps],
-                ipmi: vec![0.0; steps],
-                turbo: vec![0.0; steps],
-            };
             for node in lo..hi {
                 let id = node as NodeId;
                 let model = cfg.model_for(id);
@@ -245,15 +372,15 @@ impl SiteCollector {
                     }
                 }
             }
-            acc
         });
 
-        // Fold chunk partials in chunk order (deterministic).
-        let mut truth = vec![0.0; steps];
-        let mut pdu = vec![0.0; steps];
-        let mut ipmi = vec![0.0; steps];
-        let mut turbo = vec![0.0; steps];
-        for acc in &chunk_results {
+        // Fold chunk partials in chunk order — the fixed bracketing that
+        // keeps every worker count bit-identical (see `ChunkAcc`).
+        let mut truth = scratch.take_zeroed(steps);
+        let mut pdu = scratch.take_zeroed(steps);
+        let mut ipmi = scratch.take_zeroed(steps);
+        let mut turbo = scratch.take_zeroed(steps);
+        for acc in scratch.chunks[..n_chunks].iter() {
             for s in 0..steps {
                 truth[s] += acc.truth[s];
                 pdu[s] += acc.pdu[s];
@@ -265,9 +392,11 @@ impl SiteCollector {
         let mut series = BTreeMap::new();
         let truth_series = PowerSeries::from_watts(period.start(), cfg.sample_step, truth);
         if has(MeterKind::Pdu) {
+            let mut copy = scratch.take_empty();
+            copy.extend_from_slice(&pdu);
             series.insert(
                 MeterKind::Pdu,
-                PowerSeries::from_watts(period.start(), cfg.sample_step, pdu.clone()),
+                PowerSeries::from_watts(period.start(), cfg.sample_step, copy),
             );
         }
         if has(MeterKind::Ipmi) {
@@ -275,32 +404,36 @@ impl SiteCollector {
                 MeterKind::Ipmi,
                 PowerSeries::from_watts(period.start(), cfg.sample_step, ipmi),
             );
+        } else {
+            scratch.pool.push(ipmi);
         }
         if has(MeterKind::Turbostat) {
             series.insert(
                 MeterKind::Turbostat,
                 PowerSeries::from_watts(period.start(), cfg.sample_step, turbo),
             );
+        } else {
+            scratch.pool.push(turbo);
         }
 
         // Facility meter: the PDU-level truth plus room overhead flows
         // through a cumulative register read each half hour.
         let (facility_register, facility_energy) = if has(MeterKind::Facility) {
-            let fac_watts: Vec<f64> = pdu
-                .iter()
-                .map(|w| w * (1.0 + cfg.facility_overhead_frac))
-                .collect();
+            let mut fac_watts = scratch.take_empty();
+            fac_watts.extend(pdu.iter().map(|w| w * (1.0 + cfg.facility_overhead_frac)));
+            scratch.pool.push(pdu);
             let fac_series = PowerSeries::from_watts(period.start(), cfg.sample_step, fac_watts);
-            series.insert(MeterKind::Facility, fac_series.clone());
             let fac_err = PowerMeter::standard(MeterKind::Facility).error;
-            let readings = Self::read_register(&fac_series, cfg, fac_err);
+            let readings = Self::read_register(&fac_series, cfg, fac_err, scratch.take_empty());
+            series.insert(MeterKind::Facility, fac_series);
             let energy = decode_register_readings(&readings, 1_000_000.0);
             (Some(readings), Some(energy))
         } else {
+            scratch.pool.push(pdu);
             (None, None)
         };
 
-        SiteTelemetryResult {
+        Ok(SiteTelemetryResult {
             site_code: cfg.site_code.clone(),
             nodes: cfg.total_nodes(),
             period,
@@ -308,20 +441,22 @@ impl SiteCollector {
             series,
             facility_register,
             facility_energy,
-        }
+        })
     }
 
-    /// Simulates half-hourly reads of the facility's cumulative register.
+    /// Simulates half-hourly reads of the facility's cumulative register
+    /// into `readings` (assumed empty; pooled by the caller).
     fn read_register(
         site_power: &PowerSeries,
         cfg: &SiteTelemetryConfig,
         err: MeterErrorModel,
+        mut readings: Vec<f64>,
     ) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(splitmix64(cfg.seed ^ 0x0FAC_1117));
         let mut register = CumulativeRegister::new(137_911.0);
         let read_every = (SimDuration::SETTLEMENT_PERIOD.as_secs() / site_power.step().as_secs())
             .max(1) as usize;
-        let mut readings = vec![register.display()];
+        readings.push(register.display());
         for (i, &w) in site_power.watts().iter().enumerate() {
             // Apply the meter's (tiny) gain/noise to the power before it
             // accumulates — a register integrates the instrument's view.
@@ -411,7 +546,9 @@ mod tests {
     #[test]
     fn truth_matches_analytic_energy_for_flat_load() {
         let collector = SiteCollector::new(small_config());
-        let r = collector.collect(window(), &FlatUtilization(0.5), 2);
+        let r = collector
+            .collect(window(), &FlatUtilization(0.5), 2)
+            .unwrap();
         // 20 nodes × 300 W × 24 h = 144 kWh.
         let truth = r.true_energy().kilowatt_hours();
         assert!((truth - 144.0).abs() < 1e-9, "truth {truth}");
@@ -421,9 +558,9 @@ mod tests {
     fn parallel_equals_serial_exactly() {
         let collector = SiteCollector::new(small_config());
         let util = SyntheticUtilization::calibrated(0.6, 9);
-        let serial = collector.collect(window(), &util, 1);
+        let serial = collector.collect(window(), &util, 1).unwrap();
         for workers in [2, 4, 8] {
-            let par = collector.collect(window(), &util, workers);
+            let par = collector.collect(window(), &util, workers).unwrap();
             assert_eq!(serial, par, "workers = {workers}");
         }
     }
@@ -432,7 +569,7 @@ mod tests {
     fn method_ordering_matches_instrument_coverage() {
         let collector = SiteCollector::new(small_config());
         let util = SyntheticUtilization::calibrated(0.55, 3);
-        let r = collector.collect(window(), &util, 4);
+        let r = collector.collect(window(), &util, 4).unwrap();
         let pdu = r.energy(MeterKind::Pdu).unwrap().kilowatt_hours();
         let ipmi = r.energy(MeterKind::Ipmi).unwrap().kilowatt_hours();
         let turbo = r.energy(MeterKind::Turbostat).unwrap().kilowatt_hours();
@@ -454,7 +591,9 @@ mod tests {
         let mut cfg = small_config();
         cfg.methods = vec![MeterKind::Ipmi];
         let collector = SiteCollector::new(cfg);
-        let r = collector.collect(window(), &FlatUtilization(0.4), 2);
+        let r = collector
+            .collect(window(), &FlatUtilization(0.4), 2)
+            .unwrap();
         assert!(r.energy(MeterKind::Facility).is_none());
         assert!(r.energy(MeterKind::Pdu).is_none());
         assert!(r.energy(MeterKind::Turbostat).is_none());
@@ -468,7 +607,9 @@ mod tests {
         let mut cfg = small_config();
         cfg.ipmi_node_coverage = 0.5;
         let collector = SiteCollector::new(cfg);
-        let r = collector.collect(window(), &FlatUtilization(0.5), 2);
+        let r = collector
+            .collect(window(), &FlatUtilization(0.5), 2)
+            .unwrap();
         let pdu = r.energy(MeterKind::Pdu).unwrap().kilowatt_hours();
         let ipmi = r.energy(MeterKind::Ipmi).unwrap().kilowatt_hours();
         let ratio = ipmi / pdu;
@@ -482,7 +623,7 @@ mod tests {
         // Target: 250 W per node mean → 20 × 250 × 24h = 120 kWh.
         let u = cfg.solve_utilization(Power::from_watts(250.0 * 20.0));
         let collector = SiteCollector::new(cfg);
-        let r = collector.collect(window(), &FlatUtilization(u), 2);
+        let r = collector.collect(window(), &FlatUtilization(u), 2).unwrap();
         let truth = r.true_energy().kilowatt_hours();
         assert!((truth - 120.0).abs() < 0.01, "calibrated truth {truth}");
     }
@@ -497,7 +638,9 @@ mod tests {
     #[test]
     fn facility_register_is_monotone_mod_rollover() {
         let collector = SiteCollector::new(small_config());
-        let r = collector.collect(window(), &FlatUtilization(0.5), 2);
+        let r = collector
+            .collect(window(), &FlatUtilization(0.5), 2)
+            .unwrap();
         let readings = r.facility_register.as_ref().unwrap();
         assert_eq!(readings.len(), 49); // initial + 48 half-hours
         for w in readings.windows(2) {
@@ -532,7 +675,9 @@ mod tests {
         );
         cfg.sample_step = SimDuration::from_secs(3_600);
         let collector = SiteCollector::new(cfg);
-        let r = collector.collect(window(), &FlatUtilization(1.0), 1);
+        let r = collector
+            .collect(window(), &FlatUtilization(1.0), 1)
+            .unwrap();
         // 800 + 100 = 900 W for 24 h = 21.6 kWh.
         assert!((r.true_energy().kilowatt_hours() - 21.6).abs() < 1e-9);
     }
@@ -543,8 +688,12 @@ mod tests {
         let mut cfg_b = small_config();
         cfg_b.seed = 43;
         let util = FlatUtilization(0.5);
-        let a = SiteCollector::new(cfg_a).collect(window(), &util, 2);
-        let b = SiteCollector::new(cfg_b).collect(window(), &util, 2);
+        let a = SiteCollector::new(cfg_a)
+            .collect(window(), &util, 2)
+            .unwrap();
+        let b = SiteCollector::new(cfg_b)
+            .collect(window(), &util, 2)
+            .unwrap();
         assert_eq!(a.true_energy(), b.true_energy());
         assert_ne!(
             a.series(MeterKind::Ipmi).unwrap().watts(),
@@ -560,9 +709,94 @@ mod tests {
     }
 
     #[test]
+    fn empty_window_is_a_typed_error_not_a_panic() {
+        let collector = SiteCollector::new(small_config());
+        // A zero-length window yields zero sample instants (partial
+        // windows round up to one sample, so they still collect).
+        let empty = Period::starting_at(Timestamp::EPOCH, SimDuration::ZERO);
+        let err = collector
+            .collect(empty, &FlatUtilization(0.5), 2)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::TelemetryError::EmptyWindow {
+                site: "TST".into(),
+                window_secs: 0,
+                step_secs: 300,
+            }
+        );
+        assert!(err.to_string().contains("TST"));
+    }
+
+    #[test]
+    fn zero_node_fleet_is_a_typed_error_not_a_panic() {
+        // Groups exist but hold zero monitored nodes — constructible, so
+        // it must surface as a value, not an assert.
+        let mut cfg = small_config();
+        cfg.groups[0].count = 0;
+        let collector = SiteCollector::new(cfg);
+        let err = collector
+            .collect(window(), &FlatUtilization(0.5), 2)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::TelemetryError::NoNodes { site: "TST".into() }
+        );
+    }
+
+    #[test]
+    fn scratch_arena_collect_is_bit_identical_to_fresh_collect() {
+        // The warm path (reused chunk arena + recycled buffers) must
+        // reproduce the cold path exactly, at serial and high worker
+        // counts, across repeated collects.
+        let collector = SiteCollector::new(small_config());
+        let util = SyntheticUtilization::calibrated(0.6, 9);
+        for workers in [1usize, 16] {
+            let fresh = collector.collect(window(), &util, workers).unwrap();
+            let mut scratch = CollectScratch::new();
+            let cold = collector
+                .collect_with(window(), &util, workers, &mut scratch)
+                .unwrap();
+            assert_eq!(cold, fresh, "cold scratch, workers = {workers}");
+            // Recycle and run warm several times: buffers now come from
+            // the pool, results must not drift.
+            scratch.recycle(cold);
+            for round in 0..3 {
+                let warm = collector
+                    .collect_with(window(), &util, workers, &mut scratch)
+                    .unwrap();
+                assert_eq!(warm, fresh, "round {round}, workers = {workers}");
+                scratch.recycle(warm);
+            }
+        }
+    }
+
+    #[test]
+    fn one_scratch_serves_differently_shaped_sites() {
+        // A federation loop drives many sites through one scratch; a
+        // bigger site after a smaller one must regrow cleanly and still
+        // match its fresh-collect result.
+        let mut scratch = CollectScratch::new();
+        let util = FlatUtilization(0.5);
+        for nodes in [20u32, 7, 200] {
+            let mut cfg = small_config();
+            cfg.groups[0].count = nodes;
+            let collector = SiteCollector::new(cfg);
+            let fresh = collector.collect(window(), &util, 4).unwrap();
+            let warm = collector
+                .collect_with(window(), &util, 4, &mut scratch)
+                .unwrap();
+            assert_eq!(warm, fresh, "{nodes} nodes");
+            scratch.recycle(warm);
+        }
+    }
+
+    #[test]
     fn result_period_and_counts() {
         let collector = SiteCollector::new(small_config());
-        let r = collector.collect(window(), &FlatUtilization(0.3), 2);
+        let r = collector
+            .collect(window(), &FlatUtilization(0.3), 2)
+            .unwrap();
         assert_eq!(r.nodes, 20);
         assert_eq!(r.period.start(), Timestamp::EPOCH);
         assert_eq!(r.site_code, "TST");

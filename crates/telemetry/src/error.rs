@@ -1,0 +1,75 @@
+//! Typed errors for the telemetry pipeline.
+//!
+//! The collector validates its window and fleet at the call boundary and
+//! reports failures through [`TelemetryError`] instead of panicking —
+//! the `assert!`s that used to guard empty windows and node-less sites
+//! are now values a caller can handle (a federation sweep should skip a
+//! misconfigured site, not abort the whole snapshot).
+
+use std::fmt;
+
+/// Result alias for telemetry-layer operations.
+pub type TelemetryResult<T> = std::result::Result<T, TelemetryError>;
+
+/// Everything that can go wrong running a telemetry collection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TelemetryError {
+    /// The collection window yields zero sample instants — a zero- or
+    /// negative-length period. (Partial windows are fine: sampling
+    /// rounds up, so any positive window collects at least one sample.)
+    EmptyWindow {
+        /// The site being collected.
+        site: String,
+        /// The window length in seconds.
+        window_secs: i64,
+        /// The configured sample step in seconds.
+        step_secs: i64,
+    },
+    /// The site's groups hold zero monitored nodes in total.
+    NoNodes {
+        /// The site being collected.
+        site: String,
+    },
+}
+
+impl fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryError::EmptyWindow {
+                site,
+                window_secs,
+                step_secs,
+            } => write!(
+                f,
+                "site {site}: collection window of {window_secs} s yields no \
+                 sample instants at a {step_secs} s step"
+            ),
+            TelemetryError::NoNodes { site } => {
+                write!(f, "site {site}: no monitored nodes to collect from")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TelemetryError::EmptyWindow {
+            site: "TST".into(),
+            window_secs: 0,
+            step_secs: 30,
+        };
+        assert!(e.to_string().contains("TST"));
+        assert!(e.to_string().contains("0 s"));
+        assert!(e.to_string().contains("30 s"));
+        let e = TelemetryError::NoNodes { site: "TST".into() };
+        assert!(e.to_string().contains("no monitored nodes"));
+        use std::error::Error as _;
+        assert!(e.source().is_none());
+    }
+}

@@ -42,6 +42,7 @@
 
 pub mod aggregate;
 pub mod collector;
+pub mod error;
 pub mod meter;
 pub mod network;
 pub mod par;
@@ -54,8 +55,10 @@ pub mod timeseries;
 
 pub use aggregate::{EnergyByMethod, SiteEnergyReport};
 pub use collector::{
-    NodeGroupTelemetry, NodeId, SiteCollector, SiteTelemetryConfig, SiteTelemetryResult,
+    CollectScratch, NodeGroupTelemetry, NodeId, SiteCollector, SiteTelemetryConfig,
+    SiteTelemetryResult,
 };
+pub use error::{TelemetryError, TelemetryResult};
 pub use meter::{MeterErrorModel, MeterKind, MeterReading, PowerMeter};
 pub use network::{SiteNetwork, SwitchPowerModel};
 pub use power::{NodePowerModel, PowerCurve};

@@ -74,6 +74,55 @@ where
     result
 }
 
+/// Runs `f(index, &mut slots[index])` for every slot, fanned out over
+/// `workers` scoped threads in contiguous index chunks — the in-place
+/// sibling of [`parallel_map_indexed`] for callers that own reusable
+/// output storage (the collector's scratch arena). Allocates nothing:
+/// the slice is partitioned with `split_at_mut`, so each worker owns a
+/// disjoint sub-slice.
+///
+/// `f` must be pure in everything but its slot (it runs from multiple
+/// threads in unspecified order). With `workers == 1` the loop runs
+/// inline on the caller's thread.
+pub fn parallel_fill_indexed<S, F>(slots: &mut [S], workers: usize, f: F)
+where
+    S: Send,
+    F: Fn(usize, &mut S) + Sync,
+{
+    assert!(workers > 0, "need at least one worker");
+    let items = slots.len();
+    if items == 0 {
+        return;
+    }
+    if workers == 1 || items == 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            f(i, slot);
+        }
+        return;
+    }
+
+    let workers = workers.min(items);
+    let chunk = items.div_ceil(workers);
+    crossbeam::scope(|scope| {
+        let f = &f;
+        let mut rest = slots;
+        let mut base = 0usize;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let start = base;
+            base += take;
+            scope.spawn(move |_| {
+                for (offset, slot) in head.iter_mut().enumerate() {
+                    f(start + offset, slot);
+                }
+            });
+        }
+    })
+    .expect("collector worker panicked");
+}
+
 /// Parallel map-reduce over `0..items`: maps with `f`, folds chunk results
 /// with `reduce` in **index order** (deterministic even for non-commutative
 /// reductions).
@@ -135,6 +184,30 @@ mod tests {
             seen.load(Ordering::Relaxed) > 0,
             "no work observed off the main thread"
         );
+    }
+
+    #[test]
+    fn fill_matches_map_for_any_worker_count() {
+        let expect: Vec<u64> = (0..257).map(|i| (i as u64).wrapping_mul(17) ^ 3).collect();
+        for workers in [1, 2, 3, 7, 16, 64] {
+            let mut slots = vec![0u64; 257];
+            parallel_fill_indexed(&mut slots, workers, |i, s| {
+                *s = (i as u64).wrapping_mul(17) ^ 3;
+            });
+            assert_eq!(slots, expect, "workers = {workers}");
+        }
+        // Empty and single-slot cases.
+        let mut empty: [u64; 0] = [];
+        parallel_fill_indexed(&mut empty, 4, |_, _| unreachable!());
+        let mut one = [0u64];
+        parallel_fill_indexed(&mut one, 4, |i, s| *s = i as u64 + 9);
+        assert_eq!(one, [9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn fill_rejects_zero_workers() {
+        parallel_fill_indexed(&mut [0u8; 4], 0, |_, _| {});
     }
 
     #[test]

@@ -207,7 +207,7 @@ mod tests {
         assert_eq!(report.energies.len(), 3);
 
         let collector = SiteCollector::new(cfg);
-        let site = collector.collect(Period::snapshot_24h(), &util, 4);
+        let site = collector.collect(Period::snapshot_24h(), &util, 4).unwrap();
         let diff = (report.total().joules() - site.true_energy().joules()).abs();
         assert!(
             diff < site.true_energy().joules() * 1e-9 + 1e-3,

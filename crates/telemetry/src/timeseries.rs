@@ -118,6 +118,13 @@ impl PowerSeries {
         Period::starting_at(self.start, self.step * self.watts.len() as i64)
     }
 
+    /// Consumes the series, returning its sample buffer — the recycling
+    /// half of buffer-reuse pipelines (see
+    /// [`crate::collector::CollectScratch::recycle`]).
+    pub fn into_watts(self) -> Vec<f64> {
+        self.watts
+    }
+
     /// Raw samples in watts (`NaN` = missing).
     pub fn watts(&self) -> &[f64] {
         &self.watts

@@ -36,11 +36,15 @@ fn main() {
 
     // Site A: everything instrumented, full coverage (a QMUL).
     // Site B: only IPMI, and a third of the BMCs don't report (a Durham).
-    let full = SiteCollector::new(site("FULL", 100, 1.0, 1)).collect(day, &util, 4);
+    let full = SiteCollector::new(site("FULL", 100, 1.0, 1))
+        .collect(day, &util, 4)
+        .expect("valid demo site");
     let partial = {
         let mut cfg = site("PARTIAL", 100, 0.67, 2);
         cfg.methods = vec![MeterKind::Ipmi];
-        SiteCollector::new(cfg).collect(day, &util, 4)
+        SiteCollector::new(cfg)
+            .collect(day, &util, 4)
+            .expect("valid demo site")
     };
 
     let mut table = TextTable::new(vec![

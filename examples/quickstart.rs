@@ -45,7 +45,7 @@ fn main() {
     let collector = SiteCollector::new(config);
     let util = SyntheticUtilization::calibrated(0.6, 7);
     let day = Period::snapshot_24h();
-    let result = collector.collect(day, &util, 4);
+    let result = collector.collect(day, &util, 4).expect("valid demo site");
 
     let table = TextTable::new(vec!["Method", "Energy (kWh)"])
         .title("Measured energy, 24 h, 12 nodes")

@@ -6,13 +6,34 @@
 //! benchmark runs a short warm-up plus `sample_size` timed samples and
 //! prints min/mean per-iteration times — no statistics engine, plots, or
 //! saved baselines.
+//!
+//! Beyond the console lines, every run is appended to a machine-readable
+//! trajectory file (default `BENCH_PR4.json` at the workspace root,
+//! overridable with the `BENCH_JSON` env var): a flat map of benchmark id
+//! to `{min_ns, mean_ns, samples}`. `cargo bench` runs each bench binary
+//! in sequence, so each binary merges its group's entries into the file
+//! — CI checks the file exists and parses after the bench step.
 
 #![deny(missing_docs)]
 
 use std::fmt::Display;
+use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One finished benchmark, queued for [`write_bench_json`].
+#[derive(Clone, Debug)]
+struct BenchRecord {
+    id: String,
+    min_ns: u128,
+    mean_ns: u128,
+    samples: usize,
+}
+
+/// Results recorded by this process, drained by [`write_bench_json`].
+static RECORDED: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
 
 /// The benchmark context passed to `criterion_group!` targets.
 #[derive(Debug)]
@@ -190,6 +211,122 @@ fn run_benchmark(
         format_duration(mean),
         bencher.samples.len()
     );
+    RECORDED.lock().expect("bench registry").push(BenchRecord {
+        id: label,
+        min_ns: min.as_nanos(),
+        mean_ns: mean.as_nanos(),
+        samples: bencher.samples.len(),
+    });
+}
+
+/// Where the trajectory file lives: `$BENCH_JSON` when set, else
+/// `BENCH_PR4.json` next to the nearest enclosing `Cargo.lock` (the
+/// workspace root — cargo runs bench binaries from the package dir), else
+/// the current directory.
+fn bench_json_path() -> PathBuf {
+    if let Ok(p) = std::env::var("BENCH_JSON") {
+        return PathBuf::from(p);
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("BENCH_PR4.json");
+        }
+        if !dir.pop() {
+            return PathBuf::from("BENCH_PR4.json");
+        }
+    }
+}
+
+/// Parses entry lines of the trajectory file this shim itself writes
+/// (one `"id": {"min_ns": …, "mean_ns": …, "samples": …},` per line).
+/// Tolerant of an unreadable or foreign file: unparseable lines are
+/// skipped, so the worst case is re-measuring instead of crashing a
+/// bench run over a stale artefact.
+fn parse_bench_json(text: &str) -> Vec<BenchRecord> {
+    fn field(rest: &str, key: &str) -> Option<u128> {
+        let at = rest.find(key)? + key.len();
+        let tail = rest[at..].trim_start_matches([':', ' ']);
+        let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+        digits.parse().ok()
+    }
+    // Reads a JSON string body up to its unescaped closing quote,
+    // undoing the `\\` / `\"` escapes [`write_bench_json`] emits, so
+    // ids containing quotes round-trip and merge dedup matches them.
+    fn unescape_id(stripped: &str) -> Option<(String, &str)> {
+        let mut id = String::new();
+        let mut chars = stripped.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => id.push(chars.next()?.1),
+                '"' => return Some((id, &stripped[i + 1..])),
+                _ => id.push(c),
+            }
+        }
+        None
+    }
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(stripped) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((id, rest)) = unescape_id(stripped) else {
+            continue;
+        };
+        if id == "schema" {
+            continue;
+        }
+        let (Some(min_ns), Some(mean_ns), Some(samples)) = (
+            field(rest, "\"min_ns\""),
+            field(rest, "\"mean_ns\""),
+            field(rest, "\"samples\""),
+        ) else {
+            continue;
+        };
+        out.push(BenchRecord {
+            id,
+            min_ns,
+            mean_ns,
+            samples: samples as usize,
+        });
+    }
+    out
+}
+
+/// Merges this process's recorded results into the trajectory file:
+/// existing entries with the same id are replaced, everything else is
+/// kept, and the file is rewritten sorted by id. Called by
+/// [`criterion_main!`] after all groups have run.
+pub fn write_bench_json() {
+    let fresh = std::mem::take(&mut *RECORDED.lock().expect("bench registry"));
+    if fresh.is_empty() {
+        return;
+    }
+    let path = bench_json_path();
+    let mut merged: Vec<BenchRecord> = std::fs::read_to_string(&path)
+        .map(|text| parse_bench_json(&text))
+        .unwrap_or_default();
+    merged.retain(|old| !fresh.iter().any(|new| new.id == old.id));
+    merged.extend(fresh);
+    merged.sort_by(|a, b| a.id.cmp(&b.id));
+    let mut body = String::from("{\n  \"schema\": \"iriscast-bench/v1\",\n  \"results\": {\n");
+    for (i, r) in merged.iter().enumerate() {
+        let comma = if i + 1 == merged.len() { "" } else { "," };
+        // Bench ids are plain `group/name/param` strings; escape the two
+        // JSON-significant characters anyway so the file always parses.
+        let id = r.id.replace('\\', "\\\\").replace('"', "\\\"");
+        body.push_str(&format!(
+            "    \"{id}\": {{\"min_ns\": {}, \"mean_ns\": {}, \"samples\": {}}}{comma}\n",
+            r.min_ns, r.mean_ns, r.samples
+        ));
+    }
+    body.push_str("  }\n}\n");
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("bench trajectory written to {}", path.display());
+    }
 }
 
 fn format_duration(d: Duration) -> String {
@@ -216,12 +353,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` running the listed groups.
+/// Declares `main` running the listed groups, then flushing the
+/// machine-readable trajectory file (see [`write_bench_json`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_bench_json();
         }
     };
 }

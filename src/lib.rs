@@ -110,6 +110,7 @@ pub mod prelude {
     pub use iriscast_model::assessment::{AssessmentParams, SnapshotAssessment};
     pub use iriscast_model::engine::{
         Assessment, AssessmentBuilder, Envelope, Marginal, PointOutcome, PointResult, SpaceResults,
+        TotalsSummary,
     };
     pub use iriscast_model::model::CarbonAssessment;
     pub use iriscast_model::space::{AxisId, ScenarioAxis, ScenarioPoint, ScenarioSpace};
@@ -119,7 +120,8 @@ pub mod prelude {
     pub use iriscast_model::{Error as ModelError, Result as ModelResult};
     pub use iriscast_telemetry::timeseries::{EnergySeries, GapPolicy, PowerSeries};
     pub use iriscast_telemetry::{
-        MeterKind, NodePowerModel, SiteCollector, SiteTelemetryConfig, UtilizationSource,
+        CollectScratch, MeterKind, NodePowerModel, SiteCollector, SiteTelemetryConfig,
+        TelemetryError, UtilizationSource,
     };
     pub use iriscast_units::prelude::*;
     pub use iriscast_workload::{ClusterSim, Job, WorkloadConfig};

@@ -40,7 +40,7 @@ fn workload_drives_telemetry_consistently() {
     // Route the schedule into the telemetry collector as a trace.
     let trace = outcome.to_trace(SimDuration::from_secs(300));
     let collector = SiteCollector::new(demo_config(1));
-    let result = collector.collect(day, &trace, 4);
+    let result = collector.collect(day, &trace, 4).unwrap();
 
     // The collector's true energy must equal the analytic energy of the
     // schedule: idle floor + per-job marginal energy, clipped to the
@@ -73,7 +73,7 @@ fn energy_series_times_grid_is_stable() {
     let day = Period::snapshot_24h();
     let collector = SiteCollector::new(demo_config(9));
     let util = SyntheticUtilization::calibrated(0.5, 4);
-    let result = collector.collect(day, &util, 2);
+    let result = collector.collect(day, &util, 2).unwrap();
     let energy_series = result
         .series(MeterKind::Pdu)
         .unwrap()
@@ -96,7 +96,9 @@ fn energy_series_times_grid_is_stable() {
     );
 
     // Determinism end to end.
-    let again = SiteCollector::new(demo_config(9)).collect(day, &util, 8);
+    let again = SiteCollector::new(demo_config(9))
+        .collect(day, &util, 8)
+        .unwrap();
     assert_eq!(result, again);
 }
 
@@ -109,7 +111,7 @@ fn dropout_resilience() {
     cfg.sample_step = SimDuration::from_secs(120);
     let collector = SiteCollector::new(cfg);
     let util = FlatUtil(0.6);
-    let clean = collector.collect(day, &util, 2);
+    let clean = collector.collect(day, &util, 2).unwrap();
 
     // A badly degraded IPMI estate: 30% dropout per sample.
     let degraded = MeterErrorModel {

@@ -61,6 +61,54 @@ fn ten_thousand_point_space_evaluates_and_queries() {
 }
 
 #[test]
+fn quantile_paths_and_buffer_reuse_agree_end_to_end() {
+    let assessment = dense_paper_space();
+    let results = assessment.evaluate_space();
+
+    // Cached, batch and one-shot quantiles agree on the full stack.
+    let qs = [0.05, 0.25, 0.5, 0.75, 0.95];
+    let batch = results.percentiles(&qs).unwrap();
+    let oneshot = assessment.evaluate_space();
+    for (&q, &b) in qs.iter().zip(&batch) {
+        assert_eq!(results.percentile(q).unwrap(), b, "q = {q}");
+        assert_eq!(oneshot.percentile_oneshot(q).unwrap(), b, "q = {q}");
+    }
+    let s = results.summary().unwrap();
+    assert_eq!(s.median, results.percentile(0.5).unwrap());
+    assert_eq!(s.min, results.envelope().total.lo);
+    assert_eq!(s.mean, results.mean_total());
+
+    // Invalid quantiles are typed errors on every path.
+    assert!(results.percentile(1.01).is_err());
+    assert!(results.percentile_oneshot(-0.5).is_err());
+    assert!(results.percentiles(&[0.5, 2.0]).is_err());
+
+    // Buffer reuse reproduces a fresh evaluation bit for bit.
+    let mut reused = Assessment::builder()
+        .energy(Energy::from_kilowatt_hours(1.0))
+        .ci_grams_per_kwh(&[100.0])
+        .pue_values(&[1.2])
+        .embodied_linspace(
+            Bounds::new(
+                CarbonMass::from_kilograms(400.0),
+                CarbonMass::from_kilograms(1_100.0),
+            ),
+            2,
+        )
+        .lifespan_linspace(3.0, 7.0, 2)
+        .servers(10)
+        .build()
+        .unwrap()
+        .evaluate_space();
+    assessment.evaluate_space_into(&mut reused);
+    assert_eq!(reused, results);
+    assert_eq!(
+        reused.percentile(0.95).unwrap(),
+        results.percentile(0.95).unwrap()
+    );
+}
+
+#[test]
 fn parallel_equals_serial_on_large_space() {
     let assessment = dense_paper_space();
     let serial = assessment.evaluate_space();
