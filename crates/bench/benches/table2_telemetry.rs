@@ -3,8 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use iriscast_bench::{bench_iris_scenario, synthetic_site};
-use iriscast_telemetry::{CollectScratch, SiteCollector, SyntheticUtilization};
+use iriscast_telemetry::{CollectScratch, FillBackend, SiteCollector, SyntheticUtilization};
 use iriscast_units::Period;
+use rand::rngs::StdRng;
+use rand::{BoxMullerNormal, Rng, SeedableRng, StandardNormal};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -44,6 +46,52 @@ fn bench(c: &mut Criterion) {
             },
         );
     }
+
+    // Pool vs per-call thread spawn at the largest single site: the two
+    // backends are bit-identical; the delta is pure dispatch overhead.
+    {
+        let cfg = synthetic_site(512, 42);
+        let collector = SiteCollector::new(cfg);
+        let util = SyntheticUtilization::calibrated(0.6, 7);
+        let mut scratch = CollectScratch::new();
+        g.bench_function("site_collect_spawn/512", |b| {
+            b.iter(|| {
+                let r = collector
+                    .collect_with_backend(
+                        Period::snapshot_24h(),
+                        &util,
+                        8,
+                        &mut scratch,
+                        FillBackend::Spawn,
+                    )
+                    .expect("bench site is valid");
+                black_box(&r);
+                scratch.recycle(r);
+            })
+        });
+    }
+
+    // The normal-variate samplers the meter error models draw from —
+    // the per-sample kernel the collect numbers above are built on.
+    let mut rng = StdRng::seed_from_u64(1);
+    g.bench_function("normal_ziggurat_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for _ in 0..1_000 {
+                acc += rng.sample(StandardNormal);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("normal_boxmuller_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for _ in 0..1_000 {
+                acc += rng.sample(BoxMullerNormal);
+            }
+            black_box(acc)
+        })
+    });
 
     // The full calibrated IRIS federation (2,462 nodes, 6 sites).
     let scenario = bench_iris_scenario(2022);

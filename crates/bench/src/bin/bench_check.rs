@@ -1,0 +1,107 @@
+//! The CI bench-regression gate.
+//!
+//! Diffs a freshly generated bench trajectory JSON against the committed
+//! baseline and exits non-zero on regressions (fresh minimum more than
+//! `tolerance ×` the baseline minimum) or on baseline entries missing
+//! from the fresh run. See `iriscast_bench::regression` for semantics.
+//!
+//! ```text
+//! bench_check [--baseline <path>] [--fresh <path>] [--tolerance <factor>]
+//! ```
+//!
+//! Defaults: baseline `BENCH_PR5.json` at the workspace root, fresh from
+//! the same resolution `cargo bench` writes to (`$BENCH_JSON`, else
+//! `BENCH.json` at the workspace root), tolerance `3.0` — wide enough to
+//! absorb runner-class noise between the machine that committed the
+//! baseline and the CI host, tight enough to catch real rot.
+
+use criterion::{bench_json_path, parse_bench_json, workspace_file, BenchRecord};
+use iriscast_bench::regression::compare;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// The committed baseline CI gates against by default.
+const DEFAULT_BASELINE: &str = "BENCH_PR5.json";
+
+struct Args {
+    baseline: PathBuf,
+    fresh: PathBuf,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baseline: workspace_file(DEFAULT_BASELINE),
+        fresh: bench_json_path(),
+        tolerance: 3.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .ok_or_else(|| format!("{what} expects a value (see --help)"))
+        };
+        match flag.as_str() {
+            "--baseline" => args.baseline = PathBuf::from(value("--baseline")?),
+            "--fresh" => args.fresh = PathBuf::from(value("--fresh")?),
+            "--tolerance" => {
+                let raw = value("--tolerance")?;
+                args.tolerance = raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t > 0.0)
+                    .ok_or_else(|| format!("--tolerance must be a positive factor, got {raw}"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "bench_check [--baseline <path>] [--fresh <path>] [--tolerance <factor>]\n\
+                     Fails on fresh minima > tolerance x baseline and on baseline entries\n\
+                     absent from the fresh run. Defaults: --baseline {DEFAULT_BASELINE},\n\
+                     --fresh $BENCH_JSON or BENCH.json, --tolerance 3.0."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn load(path: &PathBuf, what: &str) -> Result<Vec<BenchRecord>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {what} {}: {e}", path.display()))?;
+    let records = parse_bench_json(&text);
+    if records.is_empty() {
+        return Err(format!(
+            "{what} {} parsed to zero bench entries — wrong file?",
+            path.display()
+        ));
+    }
+    Ok(records)
+}
+
+fn main() -> ExitCode {
+    let run = || -> Result<bool, String> {
+        let args = parse_args()?;
+        let baseline = load(&args.baseline, "baseline")?;
+        let fresh = load(&args.fresh, "fresh trajectory")?;
+        println!(
+            "bench_check: {} (baseline, {} entries) vs {} (fresh, {} entries)",
+            args.baseline.display(),
+            baseline.len(),
+            args.fresh.display(),
+            fresh.len()
+        );
+        let report = compare(&baseline, &fresh, args.tolerance);
+        print!("{report}");
+        Ok(report.passed())
+    };
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("bench_check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -8,6 +8,8 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod regression;
+
 use iriscast_model::iris::IrisScenario;
 use iriscast_telemetry::{NodeGroupTelemetry, NodePowerModel, SiteTelemetryConfig};
 use iriscast_units::{Power, SimDuration};

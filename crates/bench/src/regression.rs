@@ -1,0 +1,224 @@
+//! The bench-regression gate: diff a fresh trajectory file against a
+//! committed baseline.
+//!
+//! `cargo bench` (shim criterion) writes every run into a machine-readable
+//! trajectory JSON. CI regenerates that file and calls the `bench_check`
+//! binary, which drives [`compare`]: baseline entries missing from the
+//! fresh run fail (a silently dropped bench is how perf coverage rots),
+//! matching entries fail when the fresh minimum exceeds the baseline
+//! minimum by more than the tolerance factor (default 3×, generous enough
+//! to absorb runner-class noise while still catching order-of-magnitude
+//! rot), and entries that exist only in the fresh run are merely counted
+//! — new benches become gated once they land in the committed baseline.
+//! Ratios are computed on [`NOISE_FLOOR_NS`]-clamped minima so
+//! nanosecond-scale entries cannot fail the gate over cross-host timer
+//! jitter.
+
+use criterion::BenchRecord;
+use std::fmt;
+
+/// Fresh-vs-baseline comparison of one benchmark id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchDelta {
+    /// Benchmark id, `group/name[/param]`.
+    pub id: String,
+    /// Baseline minimum per-iteration time.
+    pub baseline_min_ns: u128,
+    /// Fresh minimum per-iteration time.
+    pub fresh_min_ns: u128,
+    /// `fresh / baseline` (> 1 is slower).
+    pub ratio: f64,
+}
+
+/// Outcome of diffing a fresh trajectory against a baseline.
+#[derive(Clone, Debug, Default)]
+pub struct RegressionReport {
+    /// Matching entries slower than `tolerance × baseline` — failures.
+    pub regressions: Vec<BenchDelta>,
+    /// Baseline ids absent from the fresh run — failures.
+    pub missing: Vec<String>,
+    /// Matching entries within tolerance (includes improvements).
+    pub within: Vec<BenchDelta>,
+    /// Fresh ids with no baseline entry (not gated yet).
+    pub new_entries: usize,
+    /// The tolerance factor the gate ran with.
+    pub tolerance: f64,
+}
+
+impl RegressionReport {
+    /// Whether the gate passes: no regressions and no missing entries.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+}
+
+impl fmt::Display for RegressionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "bench gate: {} compared, {} regressed, {} missing, {} new (tolerance {:.1}x)",
+            self.within.len() + self.regressions.len(),
+            self.regressions.len(),
+            self.missing.len(),
+            self.new_entries,
+            self.tolerance,
+        )?;
+        for d in &self.regressions {
+            writeln!(
+                f,
+                "  REGRESSED {:<55} {:>12} ns -> {:>12} ns ({:.2}x)",
+                d.id, d.baseline_min_ns, d.fresh_min_ns, d.ratio
+            )?;
+        }
+        for id in &self.missing {
+            writeln!(f, "  MISSING   {id} (in baseline, absent from fresh run)")?;
+        }
+        // The biggest movers inside tolerance, as context for reviewers.
+        let mut sorted: Vec<&BenchDelta> = self.within.iter().collect();
+        sorted.sort_by(|a, b| b.ratio.total_cmp(&a.ratio));
+        for d in sorted.iter().take(5) {
+            writeln!(
+                f,
+                "  ok        {:<55} {:>12} ns -> {:>12} ns ({:.2}x)",
+                d.id, d.baseline_min_ns, d.fresh_min_ns, d.ratio
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Timings below this are within timer/host jitter: both sides of a
+/// ratio are clamped up to it, so single-digit-nanosecond entries (a
+/// cached quantile read, an amortisation kernel) cannot fail the gate
+/// over scheduler noise on a different host class, while genuine
+/// blow-ups past the floor still register.
+pub const NOISE_FLOOR_NS: u128 = 100;
+
+/// Diffs `fresh` against `baseline` at `tolerance` (fresh minima may be
+/// up to `tolerance ×` the baseline minima before failing; both sides
+/// are clamped up to [`NOISE_FLOOR_NS`] first).
+///
+/// # Panics
+/// If `tolerance` is not a finite positive number.
+pub fn compare(
+    baseline: &[BenchRecord],
+    fresh: &[BenchRecord],
+    tolerance: f64,
+) -> RegressionReport {
+    assert!(
+        tolerance.is_finite() && tolerance > 0.0,
+        "tolerance must be a positive factor, got {tolerance}"
+    );
+    let mut report = RegressionReport {
+        tolerance,
+        ..RegressionReport::default()
+    };
+    for base in baseline {
+        let Some(now) = fresh.iter().find(|r| r.id == base.id) else {
+            report.missing.push(base.id.clone());
+            continue;
+        };
+        // The ratio is taken on noise-floored values (which also kills
+        // the zero-ns-baseline division); the raw minima are reported
+        // untouched so the numbers stay honest.
+        let delta = BenchDelta {
+            id: base.id.clone(),
+            baseline_min_ns: base.min_ns,
+            fresh_min_ns: now.min_ns,
+            ratio: now.min_ns.max(NOISE_FLOOR_NS) as f64 / base.min_ns.max(NOISE_FLOOR_NS) as f64,
+        };
+        if delta.ratio > tolerance {
+            report.regressions.push(delta);
+        } else {
+            report.within.push(delta);
+        }
+    }
+    report.new_entries = fresh
+        .iter()
+        .filter(|r| !baseline.iter().any(|b| b.id == r.id))
+        .count();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: &str, min_ns: u128) -> BenchRecord {
+        BenchRecord {
+            id: id.into(),
+            min_ns,
+            mean_ns: min_ns + min_ns / 10,
+            samples: 10,
+        }
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let baseline = [rec("a/x", 1_000), rec("a/y", 2_000)];
+        let fresh = [rec("a/x", 1_100), rec("a/y", 900), rec("a/z", 5)];
+        let report = compare(&baseline, &fresh, 3.0);
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.within.len(), 2);
+        assert_eq!(report.new_entries, 1);
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let baseline = [rec("a/x", 1_000)];
+        let fresh = [rec("a/x", 3_001)];
+        let report = compare(&baseline, &fresh, 3.0);
+        assert!(!report.passed());
+        assert_eq!(report.regressions.len(), 1);
+        assert!((report.regressions[0].ratio - 3.001).abs() < 1e-9);
+        // Exactly at tolerance passes (the bound is "more than").
+        let at = compare(&baseline, &[rec("a/x", 3_000)], 3.0);
+        assert!(at.passed(), "{at}");
+    }
+
+    #[test]
+    fn missing_baseline_entry_fails() {
+        let baseline = [rec("a/x", 1_000), rec("a/y", 1_000)];
+        let fresh = [rec("a/x", 1_000)];
+        let report = compare(&baseline, &fresh, 3.0);
+        assert!(!report.passed());
+        assert_eq!(report.missing, vec!["a/y".to_string()]);
+    }
+
+    #[test]
+    fn zero_baseline_does_not_divide_by_zero() {
+        let report = compare(&[rec("a/x", 0)], &[rec("a/x", 2)], 3.0);
+        assert!(report.passed());
+        assert!((report.within[0].ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_floor_entries_absorb_cross_host_jitter() {
+        // A 3 ns kernel reading 250 ns on a noisy runner is timer
+        // jitter, not a regression — ratios are taken on noise-floored
+        // values. Past the floor, real blow-ups still register.
+        let jitter = compare(&[rec("a/tiny", 3)], &[rec("a/tiny", 250)], 3.0);
+        assert!(jitter.passed(), "{jitter}");
+        let blowup = compare(&[rec("a/tiny", 3)], &[rec("a/tiny", 500)], 3.0);
+        assert!(!blowup.passed(), "{blowup}");
+        // Raw minima are reported unclamped.
+        assert_eq!(blowup.regressions[0].baseline_min_ns, 3);
+        assert_eq!(blowup.regressions[0].fresh_min_ns, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive factor")]
+    fn bogus_tolerance_is_rejected() {
+        let _ = compare(&[], &[], 0.0);
+    }
+
+    #[test]
+    fn report_formats_failures_readably() {
+        let baseline = [rec("a/x", 1_000), rec("a/gone", 10)];
+        let fresh = [rec("a/x", 9_000)];
+        let text = compare(&baseline, &fresh, 3.0).to_string();
+        assert!(text.contains("REGRESSED a/x"), "{text}");
+        assert!(text.contains("MISSING   a/gone"), "{text}");
+        assert!(text.contains("1 regressed, 1 missing"), "{text}");
+    }
+}

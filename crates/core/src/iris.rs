@@ -13,8 +13,9 @@
 use crate::paper::{self, Table2Row};
 use iriscast_inventory::{iris as iris_inv, Fleet};
 use iriscast_telemetry::{
-    aggregate, CollectScratch, MeterKind, NodeGroupTelemetry, NodePowerModel, SiteCollector,
-    SiteEnergyReport, SiteTelemetryConfig, SiteTelemetryResult, SyntheticUtilization,
+    aggregate, CollectScratch, FillBackend, MeterKind, NodeGroupTelemetry, NodePowerModel,
+    SiteCollector, SiteEnergyReport, SiteTelemetryConfig, SiteTelemetryResult,
+    SyntheticUtilization,
 };
 use iriscast_units::{Energy, Period, SimDuration};
 
@@ -210,9 +211,17 @@ impl IrisScenario {
         let mut site_results = Vec::with_capacity(self.sites.len());
         let mut rows = Vec::with_capacity(self.sites.len());
         for site in &self.sites {
-            let collector = SiteCollector::new(site.config.clone());
-            let result =
-                collector.collect_with(self.period, &site.utilization, workers, scratch)?;
+            // Borrowed-config collect: no per-site config clone or
+            // collector construction — with a recycled scratch, the
+            // whole snapshot's telemetry data path allocates nothing.
+            let result = SiteCollector::collect_config(
+                &site.config,
+                self.period,
+                &site.utilization,
+                workers,
+                scratch,
+                FillBackend::default(),
+            )?;
             rows.push(SiteEnergyReport::from_result(&result));
             site_results.push(result);
         }

@@ -10,7 +10,8 @@
 
 use crate::error::{TelemetryError, TelemetryResult};
 use crate::meter::{MeterErrorModel, MeterKind, PowerMeter};
-use crate::par::parallel_fill_indexed;
+use crate::par::FillBackend;
+use crate::power::PowerCurve;
 use crate::register::{decode_register_readings, CumulativeRegister};
 use crate::sources::{splitmix64, UtilizationSource};
 use crate::timeseries::{GapPolicy, PowerSeries};
@@ -106,27 +107,13 @@ impl SiteTelemetryConfig {
         ((target.watts() - idle_sum) / dynamic_sum).clamp(0.0, 1.0)
     }
 
-    /// The power model governing node `id` (ids run through the groups in
-    /// order).
-    fn model_for(&self, id: NodeId) -> &NodePowerModel {
-        let mut remaining = id;
-        for g in &self.groups {
-            if remaining < u64::from(g.count) {
-                return &g.power_model;
-            }
-            remaining -= u64::from(g.count);
-        }
-        panic!(
-            "node id {id} out of range for site {} ({} nodes)",
-            self.site_code,
-            self.total_nodes()
-        );
-    }
-
-    /// Number of nodes (prefix of the id space) that report IPMI.
+    /// Number of nodes (prefix of the id space) that report IPMI. The
+    /// coverage is clamped defensively: [`SiteCollector::collect_config`]
+    /// accepts borrowed configs that never went through
+    /// [`SiteCollector::new`]'s validation.
     fn ipmi_reporting_nodes(&self) -> u64 {
         let total = f64::from(self.total_nodes());
-        (self.ipmi_node_coverage * total).round() as u64
+        (self.ipmi_node_coverage.clamp(0.0, 1.0) * total).round() as u64
     }
 }
 
@@ -144,6 +131,8 @@ struct ChunkAcc {
     pdu: Vec<f64>,
     ipmi: Vec<f64>,
     turbo: Vec<f64>,
+    /// Flat per-node state for the chunk's sweep (see [`NodeLanes`]).
+    lanes: NodeLanes,
 }
 
 impl ChunkAcc {
@@ -159,6 +148,104 @@ impl ChunkAcc {
             v.clear();
             v.resize(steps, 0.0);
         }
+    }
+}
+
+/// Per-node state of one chunk, structure-of-arrays: the sweep's inner
+/// loops walk flat `f64` columns (power-envelope parameters, hold-last
+/// registers, the per-step utilisation/wall columns) instead of chasing
+/// per-node structs, and the per-node RNG streams sit in one contiguous
+/// column. Primed per collect from the site config; the columns keep
+/// their capacity inside the scratch arena, so warm collects allocate
+/// nothing here.
+#[derive(Debug, Default)]
+struct NodeLanes {
+    /// Per-node deterministic RNG streams (seeded from site seed ⊕ id).
+    rng: Vec<StdRng>,
+    /// Idle wall power (W).
+    idle_w: Vec<f64>,
+    /// Dynamic range max − idle (W).
+    span_w: Vec<f64>,
+    /// Utilisation→power curve shape.
+    curve: Vec<PowerCurve>,
+    /// Fraction of wall power the node's IPMI/BMC reports.
+    ipmi_share: Vec<f64>,
+    /// Fraction of wall power RAPL covers.
+    rapl_share: Vec<f64>,
+    /// Whether this node's BMC reports at all (method present + inside
+    /// the site's coverage prefix).
+    ipmi_on: Vec<bool>,
+    /// Hold-last registers bridging instrument dropouts, per method.
+    held_pdu: Vec<f64>,
+    held_ipmi: Vec<f64>,
+    held_turbo: Vec<f64>,
+    /// Per-step scratch columns: utilisation in, true wall power out.
+    util: Vec<f64>,
+    wall: Vec<f64>,
+}
+
+impl NodeLanes {
+    /// Rebuilds every column for nodes `lo..hi` of `cfg`'s id space,
+    /// reusing capacity. The group walk replaces the old per-node
+    /// `model_for` scan.
+    fn prime(&mut self, cfg: &SiteTelemetryConfig, lo: u64, hi: u64, ipmi_limit: u64) {
+        let NodeLanes {
+            rng,
+            idle_w,
+            span_w,
+            curve,
+            ipmi_share,
+            rapl_share,
+            ipmi_on,
+            held_pdu,
+            held_ipmi,
+            held_turbo,
+            util,
+            wall,
+        } = self;
+        rng.clear();
+        idle_w.clear();
+        span_w.clear();
+        curve.clear();
+        ipmi_share.clear();
+        rapl_share.clear();
+        ipmi_on.clear();
+        held_pdu.clear();
+        held_ipmi.clear();
+        held_turbo.clear();
+
+        let ipmi_method = cfg.methods.contains(&MeterKind::Ipmi);
+        let mut group_start = 0u64;
+        for g in &cfg.groups {
+            let group_end = group_start + u64::from(g.count);
+            let (a, b) = (group_start.max(lo), group_end.min(hi));
+            if a < b {
+                let m = &g.power_model;
+                let idle = m.idle().watts();
+                for id in a..b {
+                    rng.push(StdRng::seed_from_u64(splitmix64(cfg.seed ^ (id + 1))));
+                    idle_w.push(idle);
+                    span_w.push((m.max() - m.idle()).watts());
+                    curve.push(m.curve());
+                    ipmi_share.push(m.ipmi_share);
+                    rapl_share.push(m.rapl_share);
+                    ipmi_on.push(ipmi_method && id < ipmi_limit);
+                    held_pdu.push(idle);
+                    held_ipmi.push(m.ipmi_visible(m.idle()).watts());
+                    held_turbo.push(m.rapl_visible(m.idle()).watts());
+                }
+            }
+            group_start = group_end;
+            if group_start >= hi {
+                break;
+            }
+        }
+        let n = (hi - lo) as usize;
+        debug_assert_eq!(rng.len(), n, "lane columns must cover the chunk");
+        util.clear();
+        util.resize(n, 0.0);
+        wall.clear();
+        wall.resize(n, 0.0);
     }
 }
 
@@ -185,7 +272,10 @@ pub struct CollectScratch {
 }
 
 impl CollectScratch {
-    /// An empty scratch; buffers are grown on first use.
+    /// An empty scratch; buffers are grown on first use. Constructing
+    /// one is only worth it if it is then threaded through
+    /// [`SiteCollector::collect_with`] calls — hence `#[must_use]`.
+    #[must_use = "a scratch only pays off when passed to collect_with"]
     pub fn new() -> Self {
         CollectScratch::default()
     }
@@ -193,6 +283,14 @@ impl CollectScratch {
     /// Reclaims a finished result's buffers into the pool, so the next
     /// [`SiteCollector::collect_with`] call can reuse them instead of
     /// allocating.
+    ///
+    /// This **consumes and dismantles** `result`: its truth series,
+    /// per-method series and facility register readings are torn down
+    /// into raw buffers that later collects will zero and overwrite —
+    /// recycle a result only once nothing else needs it (clones taken
+    /// from it earlier stay valid; they own their data). The call never
+    /// touches the chunk-accumulator arena, which is always safe to
+    /// reuse because each collect re-zeroes it.
     pub fn recycle(&mut self, result: SiteTelemetryResult) {
         let SiteTelemetryResult {
             truth,
@@ -253,6 +351,7 @@ pub struct SiteTelemetryResult {
 
 impl SiteCollector {
     /// Wraps a site config.
+    #[must_use = "a collector does nothing until one of its collect methods runs"]
     pub fn new(config: SiteTelemetryConfig) -> Self {
         assert!(
             !config.groups.is_empty(),
@@ -304,7 +403,43 @@ impl SiteCollector {
         workers: usize,
         scratch: &mut CollectScratch,
     ) -> TelemetryResult<SiteTelemetryResult> {
-        let cfg = &self.config;
+        self.collect_with_backend(period, utilization, workers, scratch, FillBackend::Pool)
+    }
+
+    /// [`SiteCollector::collect_with`] with an explicit parallel
+    /// execution backend. `Pool` (the default everywhere else) reuses
+    /// the persistent worker pool; `Spawn` spawns scoped threads per
+    /// call like the pre-pool collector did. The two are bit-identical —
+    /// chunking, arithmetic and fold order never depend on the backend —
+    /// which the property suite pins; this entry point exists so benches
+    /// and tests can compare them.
+    pub fn collect_with_backend(
+        &self,
+        period: Period,
+        utilization: &dyn UtilizationSource,
+        workers: usize,
+        scratch: &mut CollectScratch,
+        backend: FillBackend,
+    ) -> TelemetryResult<SiteTelemetryResult> {
+        SiteCollector::collect_config(&self.config, period, utilization, workers, scratch, backend)
+    }
+
+    /// One collect straight off a **borrowed** config — the plumbing hot
+    /// federation loops run on (`IrisScenario` drives six sites per
+    /// snapshot; cloning configs or constructing collectors per call is
+    /// avoidable allocator traffic). Identical semantics to the methods
+    /// above, except that [`SiteCollector::new`]'s constructor assertions
+    /// are not re-run: an empty fleet still surfaces as the typed
+    /// [`TelemetryError::NoNodes`], and out-of-range IPMI coverage is
+    /// clamped to `[0, 1]` instead of trapping.
+    pub fn collect_config(
+        cfg: &SiteTelemetryConfig,
+        period: Period,
+        utilization: &dyn UtilizationSource,
+        workers: usize,
+        scratch: &mut CollectScratch,
+        backend: FillBackend,
+    ) -> TelemetryResult<SiteTelemetryResult> {
         let steps = period.step_count(cfg.sample_step);
         if steps == 0 {
             return Err(TelemetryError::EmptyWindow {
@@ -325,6 +460,9 @@ impl SiteCollector {
         let ipmi_err = PowerMeter::standard(MeterKind::Ipmi).error;
         let turbo_err = PowerMeter::standard(MeterKind::Turbostat).error;
         let ipmi_limit = cfg.ipmi_reporting_nodes();
+        let do_pdu = has(MeterKind::Pdu) || has(MeterKind::Facility);
+        let do_ipmi = has(MeterKind::Ipmi);
+        let do_turbo = has(MeterKind::Turbostat);
 
         // Each chunk accumulates watts sums per (method, step) into its
         // arena slot, reused (zeroed) from the previous collect call.
@@ -336,40 +474,71 @@ impl SiteCollector {
         for acc in chunk_slots.iter_mut() {
             acc.reset(steps);
         }
-        parallel_fill_indexed(chunk_slots, workers, |chunk_idx, acc| {
-            let lo = chunk_idx * CHUNK_NODES;
-            let hi = ((chunk_idx + 1) * CHUNK_NODES).min(nodes);
-            for node in lo..hi {
-                let id = node as NodeId;
-                let model = cfg.model_for(id);
-                let reports_ipmi = has(MeterKind::Ipmi) && id < ipmi_limit;
-                let mut rng = StdRng::seed_from_u64(splitmix64(cfg.seed ^ (id + 1)));
-                // Hold-last per node and method to bridge dropouts.
-                let mut held_pdu = model.idle().watts();
-                let mut held_ipmi = model.ipmi_visible(model.idle()).watts();
-                let mut held_turbo = model.rapl_visible(model.idle()).watts();
-                for (s, t) in period.iter_steps(cfg.sample_step).enumerate() {
-                    let u = utilization.utilization(id, t);
-                    let wall = model.wall_power(u);
-                    acc.truth[s] += wall.watts();
-                    if has(MeterKind::Pdu) || has(MeterKind::Facility) {
-                        if let Some(r) = pdu_err.observe(wall, &mut rng) {
-                            held_pdu = r.watts();
+        backend.fill_indexed(chunk_slots, workers, |chunk_idx, acc| {
+            let lo = (chunk_idx * CHUNK_NODES) as u64;
+            let hi = (((chunk_idx + 1) * CHUNK_NODES).min(nodes)) as u64;
+            let n = (hi - lo) as usize;
+            let ChunkAcc {
+                truth,
+                pdu,
+                ipmi,
+                turbo,
+                lanes,
+            } = acc;
+            lanes.prime(cfg, lo, hi, ipmi_limit);
+
+            // Time-outer sweep over flat columns. Per sample instant the
+            // per-method passes accumulate nodes in ascending id order —
+            // the same bracketing as the old node-outer loop, so results
+            // stay invariant under worker count and backend. Each node's
+            // RNG stream also keeps its draw order (PDU, then IPMI, then
+            // Turbostat within a step) because streams are per node.
+            for (s, t) in period.iter_steps(cfg.sample_step).enumerate() {
+                utilization.fill_step(lo, t, &mut lanes.util);
+                let mut sum = 0.0;
+                for j in 0..n {
+                    let w = lanes.idle_w[j]
+                        + lanes.span_w[j] * lanes.curve[j].apply(lanes.util[j].clamp(0.0, 1.0));
+                    lanes.wall[j] = w;
+                    sum += w;
+                }
+                truth[s] = sum;
+                if do_pdu {
+                    let mut sum = 0.0;
+                    for j in 0..n {
+                        if let Some(r) = pdu_err.observe_watts(lanes.wall[j], &mut lanes.rng[j]) {
+                            lanes.held_pdu[j] = r;
                         }
-                        acc.pdu[s] += held_pdu;
+                        sum += lanes.held_pdu[j];
                     }
-                    if reports_ipmi {
-                        if let Some(r) = ipmi_err.observe(model.ipmi_visible(wall), &mut rng) {
-                            held_ipmi = r.watts();
+                    pdu[s] = sum;
+                }
+                if do_ipmi {
+                    let mut sum = 0.0;
+                    for j in 0..n {
+                        if lanes.ipmi_on[j] {
+                            if let Some(r) = ipmi_err.observe_watts(
+                                lanes.wall[j] * lanes.ipmi_share[j],
+                                &mut lanes.rng[j],
+                            ) {
+                                lanes.held_ipmi[j] = r;
+                            }
+                            sum += lanes.held_ipmi[j];
                         }
-                        acc.ipmi[s] += held_ipmi;
                     }
-                    if has(MeterKind::Turbostat) {
-                        if let Some(r) = turbo_err.observe(model.rapl_visible(wall), &mut rng) {
-                            held_turbo = r.watts();
+                    ipmi[s] = sum;
+                }
+                if do_turbo {
+                    let mut sum = 0.0;
+                    for j in 0..n {
+                        if let Some(r) = turbo_err
+                            .observe_watts(lanes.wall[j] * lanes.rapl_share[j], &mut lanes.rng[j])
+                        {
+                            lanes.held_turbo[j] = r;
                         }
-                        acc.turbo[s] += held_turbo;
+                        sum += lanes.held_turbo[j];
                     }
+                    turbo[s] = sum;
                 }
             }
         });

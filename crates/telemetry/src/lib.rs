@@ -17,12 +17,14 @@
 //!   noise, dropout and per-site coverage;
 //! * [`CumulativeRegister`] — facility-meter kWh registers with rollover;
 //! * [`collector`] — the parallel sampling engine that sweeps a whole
-//!   site's fleet over the snapshot window (crossbeam scoped threads,
-//!   deterministic per-node RNG streams);
+//!   site's fleet over the snapshot window on flat per-node state
+//!   columns (SoA) with deterministic per-node RNG streams;
 //! * [`aggregate`] — node→site roll-ups and the Table 2 report structure;
 //! * [`quality`] — cross-method adjustment factors (the paper's
 //!   "potentially adjusting measurements" discussion);
-//! * [`par`] — a deterministic chunked parallel-map utility.
+//! * [`par`] — deterministic chunked parallelism: per-call scoped
+//!   threads and a persistent worker pool, bit-identical to each other
+//!   and to serial at every worker count.
 //!
 //! # Example
 //!
@@ -61,6 +63,7 @@ pub use collector::{
 pub use error::{TelemetryError, TelemetryResult};
 pub use meter::{MeterErrorModel, MeterKind, MeterReading, PowerMeter};
 pub use network::{SiteNetwork, SwitchPowerModel};
+pub use par::FillBackend;
 pub use power::{NodePowerModel, PowerCurve};
 pub use quality::{MethodAdjustment, QualityReport};
 pub use rack::{rack_energies, RackEnergyReport, RackLayout};

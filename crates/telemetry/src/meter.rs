@@ -1,7 +1,7 @@
 //! Instrument models: facility meters, PDUs, IPMI, Turbostat.
 
 use iriscast_units::Power;
-use rand::Rng;
+use rand::{Rng, StandardNormal};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -116,22 +116,31 @@ impl MeterErrorModel {
 
     /// Applies the error model to a true power. `None` = dropped sample.
     pub fn observe(&self, truth: Power, rng: &mut impl Rng) -> Option<Power> {
+        self.observe_watts(truth.watts(), rng)
+            .map(Power::from_watts)
+    }
+
+    /// [`MeterErrorModel::observe`] on raw watts — the collector's SoA
+    /// hot loop runs on flat `f64` columns, so the newtype round-trip is
+    /// skipped. The Gaussian noise uses the ziggurat
+    /// [`StandardNormal`] fast path (the `rand` shim's
+    /// `boxmuller-normal` feature restores the legacy sampler bit for
+    /// bit).
+    #[inline]
+    pub fn observe_watts(&self, truth_w: f64, rng: &mut impl Rng) -> Option<f64> {
         if self.dropout > 0.0 && rng.gen::<f64>() < self.dropout {
             return None;
         }
-        let mut w = truth.watts() * self.gain + self.offset.watts();
+        let mut w = truth_w * self.gain + self.offset.watts();
         if self.noise_frac > 0.0 {
-            // Box–Muller standard normal.
-            let u1: f64 = rng.gen_range(1e-12..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
-            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-            w += truth.watts() * self.noise_frac * z;
+            let z: f64 = rng.sample(StandardNormal);
+            w += truth_w * self.noise_frac * z;
         }
         let q = self.quantum.watts();
         if q > 0.0 {
             w = (w / q).round() * q;
         }
-        Some(Power::from_watts(w.max(0.0)))
+        Some(w.max(0.0))
     }
 }
 

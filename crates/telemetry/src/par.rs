@@ -1,13 +1,39 @@
-//! Deterministic chunked parallelism built on crossbeam scoped threads.
+//! Deterministic chunked parallelism: scoped threads and a persistent
+//! worker pool.
 //!
 //! The collector sweeps thousands of nodes × thousands of samples; the work
 //! is embarrassingly parallel but the *output must not depend on thread
 //! scheduling*. The helpers here split an index range into contiguous
-//! chunks, fan the chunks out over scoped worker threads, and reassemble
+//! chunks, fan the chunks out over worker threads, and reassemble
 //! results in index order — so `parallel == serial` exactly, which the
 //! test suite asserts.
+//!
+//! Two execution backends exist behind [`FillBackend`]:
+//!
+//! * [`FillBackend::Spawn`] — crossbeam scoped threads spawned per call,
+//!   the original implementation. Zero standing resources, but each call
+//!   pays thread creation, which is both latency and the one allocation
+//!   left on the collector's warm path.
+//! * [`FillBackend::Pool`] (default) — a process-wide pool of persistent
+//!   workers, spawned lazily on the first parallel fill and reused by
+//!   every later call. Dispatch publishes a stack-allocated job in a
+//!   registry, sends wake tokens over a `crossbeam::channel`, and lets
+//!   workers *claim* slot indices from a shared atomic cursor; the
+//!   calling thread participates too and never blocks on a syscall for
+//!   completion. After the pool is up, a dispatch performs no heap
+//!   allocation and no thread spawn.
+//!
+//! Which slots land on which worker is scheduling-dependent in the pool —
+//! that is fine precisely because the output contract of a chunked fill
+//! is per-slot: every slot is written by exactly one claimant, so
+//! pool ≡ spawn ≡ serial bit-for-bit (a property test pins it through
+//! the whole collector).
 
+use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Number of worker threads to use: the available parallelism, capped so
 /// tiny workloads don't pay spawn overhead for idle threads.
@@ -121,6 +147,299 @@ where
         }
     })
     .expect("collector worker panicked");
+}
+
+/// Which execution strategy a chunked fill uses. `Pool` is the default
+/// everywhere; `Spawn` remains so benches and property tests can compare
+/// the two (they are bit-identical by construction).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum FillBackend {
+    /// Scoped worker threads spawned (and joined) per call.
+    Spawn,
+    /// The lazily started, process-wide persistent worker pool.
+    #[default]
+    Pool,
+}
+
+impl FillBackend {
+    /// Runs `f(index, &mut slots[index])` for every slot on this
+    /// backend — same contract as [`parallel_fill_indexed`].
+    pub fn fill_indexed<S, F>(self, slots: &mut [S], workers: usize, f: F)
+    where
+        S: Send,
+        F: Fn(usize, &mut S) + Sync,
+    {
+        match self {
+            FillBackend::Spawn => parallel_fill_indexed(slots, workers, f),
+            FillBackend::Pool => pool_fill_indexed(slots, workers, f),
+        }
+    }
+}
+
+/// One in-flight pool dispatch, allocated on the **caller's stack** and
+/// published to workers by address. Soundness rests on three facts the
+/// code below maintains:
+///
+/// 1. every slot index is claimed exactly once (`next.fetch_add`), so a
+///    claimant holds the only `&mut` into that slot;
+/// 2. a participant's final touch of the job is its `participants`
+///    release-decrement — after that it never dereferences the pointer
+///    again;
+/// 3. the caller **unregisters the job before its completion wait**:
+///    picks and their `participants` increments happen only under the
+///    registry lock, so once the caller's `retain` critical section has
+///    run, no new worker can reach the job and every prior pick's
+///    increment is visible to the caller (same-lock happens-before).
+///    Spinning until `finished == chunks` and `participants == 0`
+///    therefore outlasts the last possible access, and only then does
+///    the stack frame die. (Unregistering *after* the wait would race:
+///    a worker could be picked mid-wait, after the caller last sampled
+///    `participants`.)
+struct PoolJob {
+    /// Type-erased trampoline: `run(ctx, i)` fills slot `i`.
+    run: unsafe fn(*const (), usize),
+    /// Points at the caller's stack-held context (slot base + closure).
+    ctx: *const (),
+    /// Total slots to fill.
+    chunks: usize,
+    /// Claim cursor: `fetch_add` hands out slot indices.
+    next: AtomicUsize,
+    /// Slots fully processed (bulk-added when a participant exits).
+    finished: AtomicUsize,
+    /// Pool workers currently inside [`run_chunks`] for this job.
+    participants: AtomicUsize,
+    /// Most pool workers allowed in at once (`workers − 1`: the caller
+    /// is a participant too and is not counted here). Enforced at pick
+    /// time so a small-`workers` dispatch keeps its CPU bound even when
+    /// the rest of the pool sits idle — the cap the Spawn backend gets
+    /// for free.
+    helper_cap: usize,
+    /// A chunk panicked; the payload below carries the first one.
+    panicked: AtomicBool,
+    /// First panic payload, re-thrown on the caller's thread.
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+/// A `*const PoolJob` that may cross threads (see [`PoolJob`] soundness
+/// notes — the registry and claim protocol make the accesses race-free).
+#[derive(Copy, Clone, PartialEq, Eq)]
+struct JobPtr(*const PoolJob);
+// SAFETY: the pointee outlives every access (the publishing caller spins
+// until all participants leave before unregistering and returning), and
+// all shared mutation goes through atomics or the payload mutex.
+unsafe impl Send for JobPtr {}
+unsafe impl Sync for JobPtr {}
+
+/// The process-wide persistent worker pool.
+struct Pool {
+    /// Wake tokens: one `()` nudges one idle worker to scan the registry.
+    wake: Sender<()>,
+    /// Jobs currently accepting claimants.
+    registry: Arc<Mutex<Vec<JobPtr>>>,
+    /// Worker threads spawned (≥ 1, capped at 32).
+    threads: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+impl Pool {
+    /// The pool, spawning its workers on first use. Sized to the host's
+    /// available parallelism — worker *counts* requested per call above
+    /// that add nothing on this host and are quietly capped.
+    fn global() -> &'static Pool {
+        POOL.get_or_init(|| {
+            let (wake, wake_rx) = channel::unbounded::<()>();
+            let registry: Arc<Mutex<Vec<JobPtr>>> = Arc::default();
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(32);
+            for i in 0..threads {
+                let rx = wake_rx.clone();
+                let reg = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("iriscast-pool-{i}"))
+                    .spawn(move || worker_loop(rx, reg))
+                    .expect("spawn pool worker");
+            }
+            Pool {
+                wake,
+                registry,
+                threads,
+            }
+        })
+    }
+}
+
+/// Number of persistent pool worker threads, spawning the pool if it is
+/// not up yet. Introspection hook for benches, tests and capacity
+/// planning; the pool is sized to the host's available parallelism
+/// (capped at 32).
+pub fn pool_size() -> usize {
+    Pool::global().threads
+}
+
+/// A pool worker: sleep on the wake channel, then serve registry jobs
+/// until none have unclaimed slots left.
+fn worker_loop(wake: Receiver<()>, registry: Arc<Mutex<Vec<JobPtr>>>) {
+    while wake.recv().is_ok() {
+        loop {
+            // Pick any job with unclaimed slots and helper headroom;
+            // registering as a participant must happen under the
+            // registry lock so the publishing caller cannot observe
+            // `participants == 0` between our pick and our first claim,
+            // and so the `helper_cap` check cannot race another pick
+            // (decrements happen outside the lock, so a stale high
+            // count can only make us decline — never oversubscribe).
+            let picked = {
+                let jobs = registry.lock();
+                jobs.iter()
+                    .find(|JobPtr(p)| {
+                        // SAFETY: pointers in the registry are live (the
+                        // caller unregisters before its job dies).
+                        let job = unsafe { &**p };
+                        job.next.load(Ordering::Relaxed) < job.chunks
+                            && job.participants.load(Ordering::Relaxed) < job.helper_cap
+                    })
+                    .copied()
+                    .inspect(|JobPtr(p)| {
+                        let job = unsafe { &**p };
+                        job.participants.fetch_add(1, Ordering::Relaxed);
+                    })
+            };
+            let Some(JobPtr(p)) = picked else { break };
+            // SAFETY: participant registration above keeps the job alive
+            // until our matching `participants` decrement.
+            let job = unsafe { &*p };
+            run_chunks(job);
+            job.participants.fetch_sub(1, Ordering::Release);
+        }
+    }
+}
+
+/// Claims and runs slots until the job's cursor is exhausted, then
+/// bulk-reports how many this participant completed. Panics are caught
+/// per slot so one poisoned chunk can neither kill a pool worker nor
+/// leave the job incomplete; the first payload is re-thrown by the
+/// caller.
+fn run_chunks(job: &PoolJob) {
+    let mut done = 0usize;
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.chunks {
+            break;
+        }
+        // SAFETY: index `i` was claimed exactly once, so the trampoline
+        // holds the only mutable access to slot `i`.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (job.run)(job.ctx, i) }));
+        if let Err(payload) = result {
+            if !job.panicked.swap(true, Ordering::Relaxed) {
+                *job.panic_payload.lock() = Some(payload);
+            }
+        }
+        done += 1;
+    }
+    job.finished.fetch_add(done, Ordering::Release);
+}
+
+/// [`parallel_fill_indexed`] on the persistent pool: same contract, same
+/// bit-identical output, no thread spawn and no heap allocation per call
+/// once the pool is up. With `workers == 1` (or a single slot) the loop
+/// runs inline on the caller's thread, exactly like the spawn backend.
+pub fn pool_fill_indexed<S, F>(slots: &mut [S], workers: usize, f: F)
+where
+    S: Send,
+    F: Fn(usize, &mut S) + Sync,
+{
+    assert!(workers > 0, "need at least one worker");
+    let items = slots.len();
+    if items == 0 {
+        return;
+    }
+    if workers == 1 || items == 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            f(i, slot);
+        }
+        return;
+    }
+
+    let pool = Pool::global();
+
+    /// Caller-stack context the type-erased trampoline reads back.
+    struct Ctx<S, F> {
+        slots: *mut S,
+        f: *const F,
+    }
+    unsafe fn run_one<S, F: Fn(usize, &mut S)>(ctx: *const (), i: usize) {
+        // SAFETY: `ctx` is the caller's `Ctx<S, F>`, alive for the whole
+        // dispatch; slot `i` is exclusively ours (claimed once).
+        let c = unsafe { &*(ctx as *const Ctx<S, F>) };
+        (unsafe { &*c.f })(i, unsafe { &mut *c.slots.add(i) });
+    }
+
+    let ctx = Ctx {
+        slots: slots.as_mut_ptr(),
+        f: &raw const f,
+    };
+    let helper_cap = (workers - 1).min(pool.threads);
+    let job = PoolJob {
+        run: run_one::<S, F>,
+        ctx: (&raw const ctx).cast(),
+        chunks: items,
+        next: AtomicUsize::new(0),
+        finished: AtomicUsize::new(0),
+        participants: AtomicUsize::new(0),
+        helper_cap,
+        panicked: AtomicBool::new(false),
+        panic_payload: Mutex::new(None),
+    };
+
+    // Publish, nudge up to `helper_cap` helpers (more than the pool has
+    // threads is pointless), and join in ourselves. Idle workers beyond
+    // the cap cannot pile on: the pick condition enforces it.
+    pool.registry.lock().push(JobPtr(&raw const job));
+    for _ in 0..helper_cap {
+        let _ = pool.wake.send(());
+    }
+    run_chunks(&job);
+
+    // Retract the publication FIRST: all slots are claimed by now (our
+    // own claim loop only exits on an exhausted cursor), and removal
+    // goes through the same lock every pick goes through — after this
+    // critical section no new worker can reach the job, and every
+    // already-picked worker's `participants` increment is visible to
+    // the loads below. Only then is waiting on the counters race-free
+    // (waiting before unregistering could sample `participants == 0`,
+    // have a worker pick the job, and free the frame under it).
+    pool.registry
+        .lock()
+        .retain(|&p| p != JobPtr(&raw const job));
+    // Escalating wait: spin briefly (the common case — helpers are just
+    // draining their last chunk), yield for a while, then fall back to
+    // bounded sleeps so a stalled helper (blocking fill closure, page
+    // fault, oversubscribed host) cannot peg this core indefinitely.
+    // `park_timeout` needs no unpark partner: the loop re-checks on
+    // every wakeup, and nobody else may touch the job anyway — a
+    // completion signal *from* a participant would be an access after
+    // its supposedly-final decrement.
+    let mut spins = 0u32;
+    while job.finished.load(Ordering::Acquire) < job.chunks
+        || job.participants.load(Ordering::Acquire) != 0
+    {
+        spins = spins.saturating_add(1);
+        if spins < 128 {
+            std::hint::spin_loop();
+        } else if spins < 1_128 {
+            std::thread::yield_now();
+        } else {
+            std::thread::park_timeout(std::time::Duration::from_micros(100));
+        }
+    }
+
+    if job.panicked.load(Ordering::Relaxed) {
+        let payload = job.panic_payload.lock().take();
+        resume_unwind(payload.unwrap_or_else(|| Box::new("pool chunk panicked")));
+    }
 }
 
 /// Parallel map-reduce over `0..items`: maps with `f`, folds chunk results
@@ -243,5 +562,110 @@ mod tests {
         assert!(default_workers(1_000) >= 1);
         assert!(default_workers(1_000) <= 32);
         assert_eq!(default_workers(0), 1);
+    }
+
+    #[test]
+    fn pool_fill_matches_spawn_fill_for_any_worker_count() {
+        let expect: Vec<u64> = (0..257).map(|i| (i as u64).wrapping_mul(17) ^ 3).collect();
+        for workers in [1, 2, 3, 7, 16, 64] {
+            let mut spawned = vec![0u64; 257];
+            parallel_fill_indexed(&mut spawned, workers, |i, s| {
+                *s = (i as u64).wrapping_mul(17) ^ 3;
+            });
+            let mut pooled = vec![0u64; 257];
+            pool_fill_indexed(&mut pooled, workers, |i, s| {
+                *s = (i as u64).wrapping_mul(17) ^ 3;
+            });
+            assert_eq!(pooled, expect, "pool vs serial, workers = {workers}");
+            assert_eq!(pooled, spawned, "pool vs spawn, workers = {workers}");
+        }
+        // Degenerate shapes.
+        let mut empty: [u64; 0] = [];
+        pool_fill_indexed(&mut empty, 4, |_, _| unreachable!());
+        let mut one = [0u64];
+        pool_fill_indexed(&mut one, 4, |i, s| *s = i as u64 + 9);
+        assert_eq!(one, [9]);
+    }
+
+    #[test]
+    fn pool_is_reusable_and_persistent_across_dispatches() {
+        assert!(pool_size() >= 1);
+        // Many dispatches against the same global pool; every one must
+        // complete fully (a leaked claim or lost wake token would hang
+        // or miss slots).
+        for round in 0..50usize {
+            let mut slots = vec![0usize; 64 + round];
+            pool_fill_indexed(&mut slots, 8, |i, s| *s = i + round);
+            for (i, s) in slots.iter().enumerate() {
+                assert_eq!(*s, i + round, "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_serves_concurrent_callers() {
+        // Simultaneous dispatches from several threads share the worker
+        // pool without mixing slots across jobs.
+        std::thread::scope(|scope| {
+            for caller in 0..4usize {
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        let mut slots = vec![0usize; 97];
+                        pool_fill_indexed(&mut slots, 4, |i, s| *s = i * 3 + caller);
+                        for (i, s) in slots.iter().enumerate() {
+                            assert_eq!(*s, i * 3 + caller, "caller {caller}");
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn pool_honors_the_requested_worker_cap() {
+        // `workers` bounds CPU use on the pool backend exactly as it
+        // does on the spawn backend: at most `workers − 1` pool helpers
+        // may join the caller, however idle the rest of the pool is.
+        use std::collections::HashSet;
+        use std::sync::Mutex as StdMutex;
+        for workers in [2usize, 3] {
+            let seen = StdMutex::new(HashSet::new());
+            let mut slots = vec![0usize; 48];
+            pool_fill_indexed(&mut slots, workers, |i, s| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                *s = i;
+            });
+            assert_eq!(slots, (0..48).collect::<Vec<_>>());
+            let distinct = seen.lock().unwrap().len();
+            assert!(
+                distinct <= workers,
+                "{distinct} threads ran chunks with workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_propagates_chunk_panics_without_poisoning_workers() {
+        let result = std::panic::catch_unwind(|| {
+            let mut slots = vec![0u8; 32];
+            pool_fill_indexed(&mut slots, 4, |i, _| {
+                if i == 17 {
+                    panic!("chunk 17 exploded");
+                }
+            });
+        });
+        let payload = result.expect_err("panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("chunk 17"), "payload: {msg}");
+        // The pool must still work afterwards.
+        let mut slots = vec![0usize; 64];
+        pool_fill_indexed(&mut slots, 8, |i, s| *s = i);
+        assert_eq!(slots, (0..64).collect::<Vec<_>>());
     }
 }

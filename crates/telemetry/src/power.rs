@@ -15,7 +15,11 @@ pub enum PowerCurve {
 }
 
 impl PowerCurve {
-    fn apply(self, u: f64) -> f64 {
+    /// Evaluates the curve shape at utilisation `u` (caller clamps).
+    /// Public so the collector's SoA loop can run on flat per-node
+    /// `(idle, span, curve)` columns instead of model structs.
+    #[inline]
+    pub fn apply(self, u: f64) -> f64 {
         match self {
             PowerCurve::Linear => u,
             PowerCurve::Exponent(g) => u.powf(g),
@@ -102,7 +106,13 @@ impl NodePowerModel {
         self.max
     }
 
+    /// The utilisation→power curve shape.
+    pub fn curve(&self) -> PowerCurve {
+        self.curve
+    }
+
     /// True wall (AC input) power at utilisation `u` (clamped to `[0,1]`).
+    #[inline]
     pub fn wall_power(&self, u: f64) -> Power {
         let u = u.clamp(0.0, 1.0);
         self.idle + (self.max - self.idle) * self.curve.apply(u)

@@ -10,6 +10,21 @@ use iriscast_units::{Period, SimDuration, Timestamp};
 pub trait UtilizationSource: Sync {
     /// Utilisation of `node` at `t`, in `[0, 1]`.
     fn utilization(&self, node: u64, t: Timestamp) -> f64;
+
+    /// Fills `out[k] = self.utilization(first_node + k, t)` for a run of
+    /// consecutive nodes at one sample instant — the bulk entry point the
+    /// collector's SoA hot loop drives (one virtual call per chunk-step
+    /// instead of one per node-sample).
+    ///
+    /// Implementations may override this to hoist per-instant work out
+    /// of the node loop, but must produce **exactly** the values the
+    /// scalar method returns: the collector's determinism guarantees
+    /// (worker-count invariance, warm ≡ cold collects) ride on it.
+    fn fill_step(&self, first_node: u64, t: Timestamp, out: &mut [f64]) {
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.utilization(first_node + k as u64, t);
+        }
+    }
 }
 
 /// Constant utilisation for every node — the simplest calibration source.
@@ -19,6 +34,10 @@ pub struct FlatUtilization(pub f64);
 impl UtilizationSource for FlatUtilization {
     fn utilization(&self, _node: u64, _t: Timestamp) -> f64 {
         self.0.clamp(0.0, 1.0)
+    }
+
+    fn fill_step(&self, _first_node: u64, _t: Timestamp, out: &mut [f64]) {
+        out.fill(self.0.clamp(0.0, 1.0));
     }
 }
 
@@ -80,13 +99,26 @@ pub(crate) fn splitmix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The accumulator seed for [`hash_uniform`].
+const HASH_ACC: u64 = 0x51_7C_C1_B7_27_22_0A_95;
+
 /// Uniform `[0, 1)` from a hash of the given words.
 #[inline]
 pub(crate) fn hash_uniform(words: &[u64]) -> f64 {
-    let mut acc = 0x51_7C_C1_B7_27_22_0A_95u64;
+    let mut acc = HASH_ACC;
     for &w in words {
         acc = splitmix64(acc ^ w);
     }
+    (acc >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Finishes a two-word [`hash_uniform`] from a pre-mixed first round:
+/// `hash_uniform(&[a, b, c]) == hash_finish2(splitmix64(HASH_ACC ^ a), b, c)`.
+/// Lets [`SyntheticUtilization::fill_step`] hoist the seed round out of
+/// the per-node loop while staying bit-identical to the scalar path.
+#[inline]
+fn hash_finish2(acc: u64, b: u64, c: u64) -> f64 {
+    let acc = splitmix64(splitmix64(acc ^ b) ^ c);
     (acc >> 11) as f64 / (1u64 << 53) as f64
 }
 
@@ -105,6 +137,28 @@ impl UtilizationSource for SyntheticUtilization {
             * 2.0
             * self.noise_sd;
         (self.mean + diurnal + drift + jitter).clamp(0.0, 1.0)
+    }
+
+    /// The scalar formula with everything node-independent hoisted out
+    /// of the loop: the diurnal sine, the drift bucket, and the first
+    /// SplitMix round of both hashes (which mixes only the seed). Four
+    /// SplitMix rounds per node instead of six plus a `sin` — and
+    /// bit-identical to [`SyntheticUtilization::utilization`], which the
+    /// source test suite pins.
+    fn fill_step(&self, first_node: u64, t: Timestamp, out: &mut [f64]) {
+        use std::f64::consts::TAU;
+        let diurnal = self.diurnal_amplitude * ((t.hour_of_day() - 8.0) / 24.0 * TAU).sin();
+        let bucket = t.as_secs().div_euclid(7_200) as u64;
+        let secs = t.as_secs() as u64;
+        let drift_acc = splitmix64(HASH_ACC ^ self.seed);
+        let jitter_acc = splitmix64(HASH_ACC ^ (self.seed ^ 0xDEAD_BEEF));
+        let base = self.mean + diurnal;
+        for (k, slot) in out.iter_mut().enumerate() {
+            let node = first_node + k as u64;
+            let drift = (hash_finish2(drift_acc, node, bucket) - 0.5) * 4.0 * self.noise_sd;
+            let jitter = (hash_finish2(jitter_acc, node, secs) - 0.5) * 2.0 * self.noise_sd;
+            *slot = (base + drift + jitter).clamp(0.0, 1.0);
+        }
     }
 }
 
@@ -164,6 +218,17 @@ impl UtilizationSource for TraceUtilization {
         let idx = offset.div_euclid(self.step.as_secs());
         let idx = idx.clamp(0, trace.len() as i64 - 1) as usize;
         trace[idx].clamp(0.0, 1.0)
+    }
+
+    /// Hoists the slot-index arithmetic (time-only) out of the node loop.
+    fn fill_step(&self, first_node: u64, t: Timestamp, out: &mut [f64]) {
+        let offset = (t - self.period.start()).as_secs();
+        let raw_idx = offset.div_euclid(self.step.as_secs());
+        for (k, slot) in out.iter_mut().enumerate() {
+            let trace = &self.traces[(first_node + k as u64) as usize % self.traces.len()];
+            let idx = raw_idx.clamp(0, trace.len() as i64 - 1) as usize;
+            *slot = trace[idx].clamp(0.0, 1.0);
+        }
     }
 }
 
@@ -259,6 +324,42 @@ mod tests {
     fn trace_length_must_match_period() {
         let period = Period::starting_at(Timestamp::EPOCH, SimDuration::from_secs(90));
         let _ = TraceUtilization::new(period, SimDuration::from_secs(30), vec![vec![0.5; 2]]);
+    }
+
+    #[test]
+    fn fill_step_is_bit_identical_to_scalar_lookups() {
+        // The SoA collector runs entirely on `fill_step`; every override
+        // must reproduce the scalar method exactly or worker-count
+        // invariance (and warm ≡ cold) silently breaks.
+        let period = Period::snapshot_24h();
+        let traces: Vec<Vec<f64>> = (0..5)
+            .map(|n| {
+                (0..period.step_count(SimDuration::from_secs(1_800)))
+                    .map(|i| ((n * 7 + i) % 10) as f64 / 10.0)
+                    .collect()
+            })
+            .collect();
+        let trace_src = TraceUtilization::new(period, SimDuration::from_secs(1_800), traces);
+        let synth = SyntheticUtilization::calibrated(0.6, 1234);
+        let flat = FlatUtilization(0.37);
+        let sources: [&dyn UtilizationSource; 3] = [&flat, &synth, &trace_src];
+        let mut bulk = vec![0.0; 64];
+        for src in sources {
+            for t in period.iter_steps(SimDuration::from_secs(7_200)) {
+                for first in [0u64, 3, 61] {
+                    src.fill_step(first, t, &mut bulk);
+                    for (k, &got) in bulk.iter().enumerate() {
+                        let want = src.utilization(first + k as u64, t);
+                        assert_eq!(
+                            got.to_bits(),
+                            want.to_bits(),
+                            "node {} at {t:?}",
+                            first + k as u64
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

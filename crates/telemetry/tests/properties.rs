@@ -1,9 +1,9 @@
 //! Property-based tests for the telemetry substrate's invariants.
 
 use iriscast_telemetry::{
-    decode_register_readings, CollectScratch, CumulativeRegister, FlatUtilization, GapPolicy,
-    MeterErrorModel, NodeGroupTelemetry, NodePowerModel, PowerSeries, SiteCollector,
-    SiteTelemetryConfig,
+    decode_register_readings, CollectScratch, CumulativeRegister, FillBackend, FlatUtilization,
+    GapPolicy, MeterErrorModel, NodeGroupTelemetry, NodePowerModel, PowerSeries, SiteCollector,
+    SiteTelemetryConfig, SyntheticUtilization,
 };
 use iriscast_units::{Energy, Period, Power, SimDuration, Timestamp};
 use proptest::prelude::*;
@@ -179,6 +179,47 @@ proptest! {
                 .unwrap();
             prop_assert_eq!(&warm, &fresh, "workers = {}", workers);
             scratch.recycle(warm);
+        }
+    }
+
+    /// Pool-backed collects are bit-identical to spawn-backed collects
+    /// at 1 and 16 workers for arbitrary fleets, loads and seeds: the
+    /// persistent worker pool changes *where* chunks execute, never the
+    /// chunking, arithmetic or fold order.
+    #[test]
+    fn pool_collect_equals_spawn_collect(
+        nodes in 1u32..220,
+        mean in 0.0..1.0f64,
+        seed in 0u64..1_000,
+    ) {
+        let mut cfg = SiteTelemetryConfig::new(
+            "POOL",
+            vec![NodeGroupTelemetry {
+                label: "compute".into(),
+                count: nodes,
+                power_model: NodePowerModel::linear(
+                    Power::from_watts(100.0),
+                    Power::from_watts(500.0),
+                ),
+            }],
+            seed,
+        );
+        cfg.sample_step = SimDuration::from_secs(1_800);
+        let collector = SiteCollector::new(cfg);
+        let source = SyntheticUtilization::new(mean, 0.1, 0.03, seed ^ 0xA5A5);
+        let day = Period::snapshot_24h();
+        let mut scratch_pool = CollectScratch::new();
+        let mut scratch_spawn = CollectScratch::new();
+        for workers in [1usize, 16] {
+            let pooled = collector
+                .collect_with_backend(day, &source, workers, &mut scratch_pool, FillBackend::Pool)
+                .unwrap();
+            let spawned = collector
+                .collect_with_backend(day, &source, workers, &mut scratch_spawn, FillBackend::Spawn)
+                .unwrap();
+            prop_assert_eq!(&pooled, &spawned, "workers = {}", workers);
+            scratch_pool.recycle(pooled);
+            scratch_spawn.recycle(spawned);
         }
     }
 }

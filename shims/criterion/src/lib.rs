@@ -8,11 +8,14 @@
 //! saved baselines.
 //!
 //! Beyond the console lines, every run is appended to a machine-readable
-//! trajectory file (default `BENCH_PR4.json` at the workspace root,
-//! overridable with the `BENCH_JSON` env var): a flat map of benchmark id
-//! to `{min_ns, mean_ns, samples}`. `cargo bench` runs each bench binary
-//! in sequence, so each binary merges its group's entries into the file
-//! — CI checks the file exists and parses after the bench step.
+//! trajectory file (default `BENCH.json` at the workspace root,
+//! overridable with the `BENCH_JSON` env var — point it at a
+//! `BENCH_PR<n>.json` to record a PR's committed trajectory): a flat map
+//! of benchmark id to `{min_ns, mean_ns, samples}`. `cargo bench` runs
+//! each bench binary in sequence, so each binary merges its group's
+//! entries into the file. CI regenerates the file and diffs it against
+//! the committed baseline with the `bench_check` binary (see
+//! [`parse_bench_json`] for the read side of the format).
 
 #![deny(missing_docs)]
 
@@ -23,13 +26,19 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-/// One finished benchmark, queued for [`write_bench_json`].
-#[derive(Clone, Debug)]
-struct BenchRecord {
-    id: String,
-    min_ns: u128,
-    mean_ns: u128,
-    samples: usize,
+/// One benchmark measurement: a [`write_bench_json`] queue entry and the
+/// unit [`parse_bench_json`] hands back to trajectory consumers (the
+/// `bench_check` regression gate).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Benchmark id, `group/name[/param]`.
+    pub id: String,
+    /// Fastest observed per-iteration time (the regression-stable one).
+    pub min_ns: u128,
+    /// Mean per-iteration time across samples.
+    pub mean_ns: u128,
+    /// Number of timed samples taken.
+    pub samples: usize,
 }
 
 /// Results recorded by this process, drained by [`write_bench_json`].
@@ -219,31 +228,39 @@ fn run_benchmark(
     });
 }
 
-/// Where the trajectory file lives: `$BENCH_JSON` when set, else
-/// `BENCH_PR4.json` next to the nearest enclosing `Cargo.lock` (the
-/// workspace root — cargo runs bench binaries from the package dir), else
-/// the current directory.
-fn bench_json_path() -> PathBuf {
-    if let Ok(p) = std::env::var("BENCH_JSON") {
-        return PathBuf::from(p);
-    }
+/// Resolves `name` against the workspace root: the nearest enclosing
+/// directory holding a `Cargo.lock` (cargo runs bench binaries from the
+/// package dir), else the current directory.
+pub fn workspace_file(name: &str) -> PathBuf {
     let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     loop {
         if dir.join("Cargo.lock").exists() {
-            return dir.join("BENCH_PR4.json");
+            return dir.join(name);
         }
         if !dir.pop() {
-            return PathBuf::from("BENCH_PR4.json");
+            return PathBuf::from(name);
         }
     }
+}
+
+/// Where the trajectory file lives: `$BENCH_JSON` when set, else
+/// `BENCH.json` at the workspace root (see [`workspace_file`]). The
+/// default is intentionally PR-agnostic — it is the scratch output CI
+/// diffs against a committed `BENCH_PR<n>.json` baseline.
+pub fn bench_json_path() -> PathBuf {
+    if let Ok(p) = std::env::var("BENCH_JSON") {
+        return PathBuf::from(p);
+    }
+    workspace_file("BENCH.json")
 }
 
 /// Parses entry lines of the trajectory file this shim itself writes
 /// (one `"id": {"min_ns": …, "mean_ns": …, "samples": …},` per line).
 /// Tolerant of an unreadable or foreign file: unparseable lines are
-/// skipped, so the worst case is re-measuring instead of crashing a
-/// bench run over a stale artefact.
-fn parse_bench_json(text: &str) -> Vec<BenchRecord> {
+/// skipped, so the worst case is re-measuring (or, for the regression
+/// gate, reporting an entry as missing) instead of crashing over a
+/// stale artefact.
+pub fn parse_bench_json(text: &str) -> Vec<BenchRecord> {
     fn field(rest: &str, key: &str) -> Option<u128> {
         let at = rest.find(key)? + key.len();
         let tail = rest[at..].trim_start_matches([':', ' ']);

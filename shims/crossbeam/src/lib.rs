@@ -1,6 +1,8 @@
-//! Offline stand-in for `crossbeam`'s scoped threads, backed by
+//! Offline stand-in for `crossbeam`: scoped threads backed by
 //! `std::thread::scope` (stable since 1.63, it provides the same
-//! capability crossbeam pioneered).
+//! capability crossbeam pioneered) and the [`channel`] module's
+//! multi-producer multi-consumer queues (the slice of
+//! `crossbeam-channel` the telemetry worker pool uses).
 //!
 //! One intentional divergence: crossbeam's `spawn` closure receives
 //! `&Scope` for nested spawning; iriscast always ignores that argument
@@ -8,6 +10,8 @@
 //! lifetimes trivial.
 
 #![deny(missing_docs)]
+
+pub mod channel;
 
 /// Result type of [`scope`]: `Err` would carry a child panic payload, but
 /// this shim propagates child panics directly (std semantics), so callers'

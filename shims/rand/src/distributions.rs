@@ -1,0 +1,298 @@
+//! Non-uniform distributions: the standard normal, two ways.
+//!
+//! The telemetry hot loop draws millions of Gaussian meter-noise variates
+//! per collect, so the sampler's cost is directly visible in the paper's
+//! Table 2 pipeline wall-clock. Two samplers are provided:
+//!
+//! * [`StandardNormal`] — the fast path: Marsaglia–Tsang ziggurat with
+//!   256 layers. ~99% of draws cost one `next_u64`, a table lookup and a
+//!   multiply; no transcendentals outside the rare wedge/tail cases.
+//! * [`BoxMullerNormal`] — the legacy sampler (one `ln`, one `sqrt`, one
+//!   `cos` per draw), bit-identical to the inline Box–Muller expression
+//!   the meter error model used before the ziggurat landed. Kept for
+//!   bit-compatibility tests and as a cross-check of the ziggurat's
+//!   moments.
+//!
+//! Enabling the `boxmuller-normal` cargo feature makes [`StandardNormal`]
+//! delegate to the Box–Muller path, so downstream code can reproduce
+//! pre-ziggurat streams without touching call sites.
+
+use crate::{RngCore, SampleRange, Standard};
+use std::sync::LazyLock;
+
+/// Types that sample values of `T` from an RNG.
+///
+/// The shim equivalent of `rand::distributions::Distribution`, reduced to
+/// the surface iriscast uses (`sample` only, `Sized` RNGs).
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+}
+
+/// The standard normal distribution `N(0, 1)` — ziggurat fast path.
+///
+/// With the `boxmuller-normal` feature enabled this delegates to
+/// [`BoxMullerNormal`] instead, reproducing pre-ziggurat streams bit for
+/// bit.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    #[inline]
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        #[cfg(feature = "boxmuller-normal")]
+        {
+            BoxMullerNormal.sample(rng)
+        }
+        #[cfg(not(feature = "boxmuller-normal"))]
+        {
+            sample_ziggurat(rng)
+        }
+    }
+}
+
+/// The standard normal via the polar-free Box–Muller transform —
+/// bit-identical to the expression the telemetry meter model inlined
+/// before PR 5 (`z = √(−2 ln u₁) · cos(τ u₂)` with `u₁ ∈ [1e−12, 1)`,
+/// `u₂ ∈ [0, 1)`).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BoxMullerNormal;
+
+impl Distribution<f64> for BoxMullerNormal {
+    #[inline]
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        let u1 = (1e-12..1.0f64).sample_from(rng);
+        let u2 = (0.0..1.0f64).sample_from(rng);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Number of ziggurat layers. 256 lets the layer index come straight off
+/// the low byte of one `next_u64` draw.
+const LAYERS: usize = 256;
+
+/// The rightmost layer edge for a 256-layer standard-normal ziggurat
+/// (the canonical constant, e.g. rand_distr's `ZIG_NORM_R`).
+const ZIG_R: f64 = 3.654_152_885_361_009;
+
+/// Layer tables: `x[i]` edges (decreasing, `x[256] = 0`) and
+/// `f[i] = exp(−x[i]²/2)` heights (increasing, `f[256] = 1`).
+struct ZigTables {
+    x: [f64; LAYERS + 1],
+    f: [f64; LAYERS + 1],
+}
+
+/// Unnormalised standard-normal density.
+#[inline]
+fn pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp()
+}
+
+/// Builds the tables at first use. The construction is the standard one:
+/// the common layer area `v = R·f(R) + ∫_R^∞ f` (tail integrated
+/// numerically by Simpson's rule, far below f64 noise at this
+/// smoothness), then edges walk down from `x[1] = R` via
+/// `x[i+1] = f⁻¹(f(x[i]) + v/x[i])`. `x[0] = v/f(R)` is the base layer's
+/// virtual width, which makes the fast-path acceptance test uniform
+/// across layers with the tail folded into layer 0.
+fn build_tables() -> ZigTables {
+    // ∫_R^∞ exp(−t²/2) dt: the integrand at R+12 is ~1e−54 of its value
+    // at R, so a finite Simpson panel over [R, R+12] is exact to f64.
+    let (lo, hi, n) = (ZIG_R, ZIG_R + 12.0, 1 << 14);
+    let h = (hi - lo) / n as f64;
+    let mut tail = pdf(lo) + pdf(hi);
+    for k in 1..n {
+        let w = if k % 2 == 1 { 4.0 } else { 2.0 };
+        tail += w * pdf(lo + h * k as f64);
+    }
+    tail *= h / 3.0;
+
+    let v = ZIG_R * pdf(ZIG_R) + tail;
+    let mut x = [0.0; LAYERS + 1];
+    x[0] = v / pdf(ZIG_R);
+    x[1] = ZIG_R;
+    for i in 2..LAYERS {
+        // Clamp against rounding at the top of the ziggurat, where the
+        // argument approaches f(0) = 1 and ln approaches 0.
+        let w = (v / x[i - 1] + pdf(x[i - 1])).min(1.0);
+        x[i] = (-2.0 * w.ln()).max(0.0).sqrt();
+    }
+    x[LAYERS] = 0.0;
+    let mut f = [0.0; LAYERS + 1];
+    for i in 0..=LAYERS {
+        f[i] = pdf(x[i]);
+    }
+    ZigTables { x, f }
+}
+
+static TABLES: LazyLock<ZigTables> = LazyLock::new(build_tables);
+
+/// One ziggurat draw: layer index from the low byte, sign from bit 8,
+/// 53-bit uniform from the top bits — all carved out of a single
+/// `next_u64` on the fast path.
+#[inline]
+fn sample_ziggurat<R: RngCore>(rng: &mut R) -> f64 {
+    let t: &ZigTables = &TABLES;
+    loop {
+        let bits = rng.next_u64();
+        let i = (bits & 0xFF) as usize;
+        let sign = if bits & 0x100 == 0 { 1.0 } else { -1.0 };
+        let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let x = u * t.x[i];
+        if x < t.x[i + 1] {
+            // Strictly inside the next layer's width: uniformly covered.
+            return sign * x;
+        }
+        if i == 0 {
+            return sign * sample_tail(rng);
+        }
+        // Wedge: y uniform over the layer's height band [f(xᵢ), f(xᵢ₊₁)].
+        let y = t.f[i] + (t.f[i + 1] - t.f[i]) * f64::sample_standard(rng);
+        if y < pdf(x) {
+            return sign * x;
+        }
+    }
+}
+
+/// Marsaglia's exponential-majorant tail sampler for `x > R`.
+#[inline]
+fn sample_tail<R: RngCore>(rng: &mut R) -> f64 {
+    loop {
+        // 1 − u ∈ (0, 1] keeps the logs finite.
+        let x = -(1.0 - f64::sample_standard(rng)).ln() / ZIG_R;
+        let y = -(1.0 - f64::sample_standard(rng)).ln();
+        if 2.0 * y >= x * x {
+            return ZIG_R + x;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    /// Draws `n` samples and returns (mean, sd, |z|>1.96 mass, |z|>3 mass).
+    fn moments(n: usize, seed: u64) -> (f64, f64, f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut sum, mut sumsq) = (0.0f64, 0.0f64);
+        let (mut beyond_196, mut beyond_3) = (0usize, 0usize);
+        for _ in 0..n {
+            let z: f64 = rng.sample(StandardNormal);
+            sum += z;
+            sumsq += z * z;
+            if z.abs() > 1.96 {
+                beyond_196 += 1;
+            }
+            if z.abs() > 3.0 {
+                beyond_3 += 1;
+            }
+        }
+        let mean = sum / n as f64;
+        let sd = (sumsq / n as f64 - mean * mean).sqrt();
+        (
+            mean,
+            sd,
+            beyond_196 as f64 / n as f64,
+            beyond_3 as f64 / n as f64,
+        )
+    }
+
+    #[test]
+    fn moments_and_tail_mass_at_one_million() {
+        // σ/√n = 1e−3 at n = 1e6: the bounds below are ≥ 5 standard
+        // errors, loose enough to never flake, tight enough to catch a
+        // wrong table or a mis-sampled wedge.
+        let (mean, sd, p196, p3) = moments(1_000_000, 0x5EED);
+        assert!(mean.abs() < 0.005, "mean {mean}");
+        assert!((sd - 1.0).abs() < 0.005, "sd {sd}");
+        assert!((p196 - 0.05).abs() < 0.002, "P(|z|>1.96) = {p196}");
+        assert!((p3 - 0.0027).abs() < 0.0008, "P(|z|>3) = {p3}");
+    }
+
+    #[test]
+    fn deep_tail_is_reachable() {
+        // P(|z| > 3.7) ≈ 2.2e−4 → ~215 expected in 1e6 draws. A ziggurat
+        // with a broken layer-0/tail case would produce none.
+        let mut rng = StdRng::seed_from_u64(7);
+        let deep = (0..1_000_000)
+            .filter(|_| rng.sample(StandardNormal).abs() > 3.7)
+            .count();
+        assert!((50..600).contains(&deep), "deep-tail count {deep}");
+    }
+
+    #[test]
+    fn symmetric_about_zero() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let neg = (0..100_000)
+            .filter(|_| rng.sample(StandardNormal) < 0.0)
+            .count();
+        let frac = neg as f64 / 100_000.0;
+        assert!((frac - 0.5).abs() < 0.01, "negative fraction {frac}");
+    }
+
+    #[test]
+    fn cross_seed_determinism() {
+        let draw = |seed: u64| -> Vec<f64> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..1_000).map(|_| rng.sample(StandardNormal)).collect()
+        };
+        assert_eq!(draw(42), draw(42), "same seed must give the same stream");
+        assert_ne!(draw(42), draw(43), "different seeds must diverge");
+    }
+
+    #[test]
+    fn boxmuller_matches_legacy_inline_expression() {
+        // The meter error model used to inline exactly this; the named
+        // sampler must stay bit-identical so the `boxmuller-normal`
+        // feature reproduces pre-ziggurat streams.
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..1_000 {
+            let u1: f64 = a.gen_range(1e-12..1.0);
+            let u2: f64 = a.gen_range(0.0..1.0);
+            let legacy = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            let z: f64 = b.sample(BoxMullerNormal);
+            assert_eq!(legacy.to_bits(), z.to_bits());
+        }
+    }
+
+    #[test]
+    fn boxmuller_moments_agree_with_ziggurat() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let (mut sum, mut sumsq) = (0.0f64, 0.0);
+        for _ in 0..n {
+            let z: f64 = rng.sample(BoxMullerNormal);
+            sum += z;
+            sumsq += z * z;
+        }
+        let mean = sum / n as f64;
+        let sd = (sumsq / n as f64 - mean * mean).sqrt();
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((sd - 1.0).abs() < 0.01, "sd {sd}");
+    }
+
+    #[cfg(not(feature = "boxmuller-normal"))]
+    #[test]
+    fn ziggurat_tables_are_consistent() {
+        let t: &ZigTables = &TABLES;
+        // Edges strictly decrease to 0; heights strictly increase to 1.
+        for i in 0..LAYERS {
+            assert!(t.x[i] > t.x[i + 1], "x not decreasing at {i}");
+            assert!(t.f[i] < t.f[i + 1], "f not increasing at {i}");
+        }
+        assert_eq!(t.x[LAYERS], 0.0);
+        assert_eq!(t.f[LAYERS], 1.0);
+        assert_eq!(t.x[1], ZIG_R);
+        // Equal areas: every layer's rectangle matches layer 1's —
+        // including the forced top layer [0, x₂₅₅] × [f(x₂₅₅), 1], whose
+        // area only equals v when R is the true closure constant.
+        let v = t.x[1] * (t.f[2] - t.f[1]);
+        for i in 1..LAYERS {
+            let area = t.x[i] * (t.f[i + 1] - t.f[i]);
+            assert!((area - v).abs() < 1e-9, "layer {i} area {area} vs {v}");
+        }
+    }
+}

@@ -3,7 +3,9 @@
 //! Implements the slice of the rand 0.8 API the iriscast crates use:
 //! [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], and the [`Rng`]
 //! extension methods `gen`, `gen_range` (half-open and inclusive ranges
-//! over the common numeric types), and `gen_bool`.
+//! over the common numeric types), `gen_bool`, and `sample` over the
+//! [`distributions`] module (ziggurat [`StandardNormal`], legacy
+//! [`BoxMullerNormal`]).
 //!
 //! `StdRng` is xoshiro256++ seeded via SplitMix64 — deterministic across
 //! platforms and runs, which is what the simulation code actually relies
@@ -11,6 +13,10 @@
 //! stream).
 
 #![deny(missing_docs)]
+
+pub mod distributions;
+
+pub use distributions::{BoxMullerNormal, Distribution, StandardNormal};
 
 use std::ops::{Range, RangeInclusive};
 
@@ -59,6 +65,14 @@ pub trait Rng: RngCore {
         Self: Sized,
     {
         self.gen::<f64>() < p
+    }
+
+    /// Draws one sample from `distr` (e.g. [`StandardNormal`]).
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T
+    where
+        Self: Sized,
+    {
+        distr.sample(self)
     }
 }
 
