@@ -1,0 +1,48 @@
+//! Fleet-federation bench: hierarchical telemetry roll-up at
+//! 10,000-site scale.
+//!
+//! The headline target is the sharding inversion's payoff: a 10,000-site
+//! hyperscale fleet (small PDU-metered rooms, hourly sampling) rolls up
+//! in the same order of time as the 7-site IRIS snapshot
+//! (`table2_telemetry/iris_snapshot_full`), because the per-site work is
+//! microseconds and the pool keeps many sites in flight with one
+//! recycled scratch arena per worker. The smaller sizes pin the scaling
+//! curve so a super-linear regression shows up even if the big run's
+//! noise hides it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iriscast_bench::bench_iris_scenario;
+use iriscast_model::FleetScenario;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fleet_federation");
+    g.sample_size(10);
+
+    // 10,000 sites: 100 regions × 100 sites × 4 nodes, hourly PDU
+    // sampling over the 24 h window — the "Chasing Carbon" shape.
+    let fleet_10k = FleetScenario::synthetic(100, 100, 4, 2022);
+    g.bench_function("fleet_10k_sites", |b| {
+        b.iter(|| black_box(fleet_10k.try_simulate(8).unwrap()))
+    });
+
+    // One decade down, same shape: the scaling check.
+    let fleet_1k = FleetScenario::synthetic(100, 10, 4, 2022);
+    g.bench_function("fleet_1k_sites", |b| {
+        b.iter(|| black_box(fleet_1k.try_simulate(8).unwrap()))
+    });
+
+    // The paper's federation through the fleet path: site-sharded
+    // roll-up of the calibrated 7-site, 2,462-node scenario, directly
+    // comparable to `iris_snapshot_full` (same sites, inverted
+    // parallelism, no materialised power series).
+    let iris = bench_iris_scenario(2022).federated();
+    g.bench_function("iris_federated", |b| {
+        b.iter(|| black_box(iris.try_simulate(8).unwrap()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

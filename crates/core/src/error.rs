@@ -41,6 +41,14 @@ pub enum Error {
         /// The column the `NaN` was found in ("total", …).
         column: &'static str,
     },
+    /// A statistics query ran over a column with no present values —
+    /// e.g. a fleet-level percentile when no site produced a best
+    /// estimate. There is no number to interpolate, so the query is
+    /// refused instead of inventing one.
+    EmptyColumn {
+        /// The column the query targeted ("best estimate", …).
+        column: &'static str,
+    },
     /// The embodied amortisation window was zero, negative, or
     /// non-finite.
     InvalidWindow {
@@ -76,6 +84,9 @@ impl fmt::Display for Error {
             }
             Error::NonFiniteData { column } => {
                 write!(f, "statistics query over a {column} column containing NaN")
+            }
+            Error::EmptyColumn { column } => {
+                write!(f, "statistics query over an empty {column} column")
             }
             Error::InvalidWindow { days } => {
                 write!(f, "window must be positive and finite, got {days} days")
@@ -135,6 +146,11 @@ mod tests {
         assert!(Error::NonFiniteData { column: "total" }
             .to_string()
             .contains("total"));
+        assert!(Error::EmptyColumn {
+            column: "best estimate"
+        }
+        .to_string()
+        .contains("empty best estimate column"));
         assert!(Error::InvalidWindow { days: -1.0 }
             .to_string()
             .contains("-1 days"));

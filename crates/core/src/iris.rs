@@ -159,6 +159,14 @@ impl IrisScenario {
         }
     }
 
+    /// The scenario as a single-region federation, for the fleet-level
+    /// roll-up path ([`crate::federation::FleetScenario::try_simulate`]):
+    /// same sites, same seeds, so per-site energies are bit-identical to
+    /// [`IrisScenario::simulate`]'s rows.
+    pub fn federated(&self) -> crate::federation::FleetScenario {
+        crate::federation::FleetScenario::from_iris(self)
+    }
+
     /// Overrides the sampling step on every site (tests use coarser steps
     /// to stay fast in debug builds; benches use the realistic 30 s).
     pub fn with_sample_step(mut self, step: SimDuration) -> Self {
@@ -336,6 +344,28 @@ mod tests {
             err,
             iriscast_telemetry::TelemetryError::EmptyWindow { .. }
         ));
+    }
+
+    #[test]
+    fn federated_rollup_matches_serial_rows_bit_for_bit() {
+        let scenario = quick_scenario();
+        let serial = scenario.simulate(2);
+        let rollup = scenario.federated().try_simulate(4).unwrap();
+        assert_eq!(rollup.site_count(), serial.rows.len());
+        for (i, row) in serial.rows.iter().enumerate() {
+            let want = row.energies.best_estimate().unwrap().kilowatt_hours();
+            assert_eq!(rollup.best_estimate_kwh()[i], want, "{} drifted", row.site);
+        }
+        assert_eq!(
+            rollup.total_best_estimate().kilowatt_hours(),
+            serial.total().kilowatt_hours(),
+            "fleet total is not bit-identical to the Table 2 total"
+        );
+        assert_eq!(rollup.total_nodes(), u64::from(serial.nodes()));
+        let regions = rollup.region_rollups();
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].code, "IRIS");
+        assert_eq!(regions[0].sites, serial.rows.len());
     }
 
     #[test]

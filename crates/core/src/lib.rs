@@ -22,6 +22,10 @@
 //!   per-interval energy × intensity series convolved over the same
 //!   scenario spaces, with per-interval [`time_resolved::CarbonProfile`]
 //!   output;
+//! * [`federation`] — [`federation::FleetScenario`]: rack → site →
+//!   region → fleet roll-up that shards *sites* (not node lanes) across
+//!   the persistent worker pool, scaling telemetry snapshots to 10,000
+//!   sites with columnar fleet statistics;
 //! * [`error`] — the typed [`Error`]/[`Result`] every fallible API uses;
 //! * [`active`] — equations (2)–(3), scalar and time-aligned;
 //! * [`facilities`] — PUE-based and measured facility overheads;
@@ -96,6 +100,7 @@ pub mod engine;
 pub mod equivalence;
 pub mod error;
 pub mod facilities;
+pub mod federation;
 pub mod iris;
 pub mod model;
 pub mod netzero;
@@ -114,6 +119,7 @@ pub use engine::{
     Assessment, AssessmentBuilder, PointOutcome, PointResult, SpaceChunk, SpaceChunks, SpaceResults,
 };
 pub use error::{Error, Result};
+pub use federation::{FleetRollup, FleetScenario, FleetSite, RegionRollup, SiteRollup};
 pub use model::CarbonAssessment;
 pub use scenario::{ActiveCarbonGrid, EmbodiedSweep};
 pub use space::{AxisId, ScenarioAxis, ScenarioPoint, ScenarioSpace};

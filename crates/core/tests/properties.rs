@@ -4,8 +4,10 @@ use iriscast_grid::IntensitySeries;
 use iriscast_model::embodied::{fleet_snapshot_daily, AmortizationPolicy};
 use iriscast_model::engine::evaluate_one;
 use iriscast_model::netzero::{project, DecarbonisationPathway, SteadyStateDri};
-use iriscast_model::{ActiveCarbonGrid, Assessment, EmbodiedSweep, TimeResolvedAssessment};
-use iriscast_telemetry::EnergySeries;
+use iriscast_model::{
+    ActiveCarbonGrid, Assessment, EmbodiedSweep, FleetScenario, TimeResolvedAssessment,
+};
+use iriscast_telemetry::{EnergySeries, SiteCollector, TelemetryError};
 use iriscast_units::{
     Bounds, CarbonIntensity, CarbonMass, Energy, Pue, SimDuration, Timestamp, TriEstimate,
 };
@@ -709,5 +711,108 @@ fn dst_boundary_half_hours_are_first_class() {
             a.servers(),
         );
         assert_eq!(results.embodied()[0], daily * a.window_days());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet federation: the sharded roll-up path must be indistinguishable from
+// collecting every site independently, at any worker count.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fleet totals are the sum of independent per-site collects, column
+    /// by column and bit for bit: sharding sites across the pool is an
+    /// execution detail, not a numerical one.
+    #[test]
+    fn fleet_rollup_equals_independent_site_collects(
+        regions in 1u32..4,
+        sites_per_region in 1u32..4,
+        nodes in 1u32..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let fleet = FleetScenario::synthetic(regions, sites_per_region, nodes, seed)
+            .with_sample_step(SimDuration::from_secs(21_600));
+        let rollup = fleet.try_simulate(16).unwrap();
+        prop_assert_eq!(rollup.site_count(), fleet.site_count());
+
+        let mut total_kwh = 0.0f64;
+        for (i, site) in fleet.sites.iter().enumerate() {
+            // A completely independent collect: fresh collector, fresh
+            // scratch, default backend, one worker.
+            let result = SiteCollector::new(site.config.clone())
+                .collect(fleet.period, &site.utilization, 1)
+                .unwrap();
+            let want = result.best_estimate().unwrap().kilowatt_hours();
+            prop_assert_eq!(
+                rollup.best_estimate_kwh()[i], want,
+                "site {} best estimate drifted", i
+            );
+            prop_assert_eq!(
+                rollup.truth_kwh()[i],
+                result.true_energy().kilowatt_hours(),
+                "site {} truth drifted", i
+            );
+            total_kwh += want;
+        }
+        // The fleet total folds in site order, so it matches the naive
+        // per-site sum exactly, not just approximately.
+        prop_assert_eq!(rollup.total_best_estimate().kilowatt_hours(), total_kwh);
+    }
+
+    /// One worker and sixteen workers produce identical bits in every
+    /// column and every tier of the roll-up.
+    #[test]
+    fn fleet_sharding_bit_invariant(
+        regions in 1u32..4,
+        sites_per_region in 1u32..5,
+        nodes in 1u32..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let fleet = FleetScenario::synthetic(regions, sites_per_region, nodes, seed)
+            .with_sample_step(SimDuration::from_secs(21_600));
+        let a = fleet.try_simulate(1).unwrap();
+        let b = fleet.try_simulate(16).unwrap();
+        prop_assert_eq!(a.best_estimate_kwh(), b.best_estimate_kwh());
+        prop_assert_eq!(a.truth_kwh(), b.truth_kwh());
+        prop_assert_eq!(
+            a.total_best_estimate().kilowatt_hours(),
+            b.total_best_estimate().kilowatt_hours()
+        );
+        prop_assert_eq!(a.region_rollups(), b.region_rollups());
+        let q = 0.25;
+        prop_assert_eq!(a.percentile(q).unwrap(), b.percentile(q).unwrap());
+    }
+
+    /// A degenerate zero-rack/zero-node site surfaces as the typed
+    /// `NoNodes` error naming the earliest such site — never a panic,
+    /// at any worker count.
+    #[test]
+    fn fleet_degenerate_site_is_a_typed_error(
+        sites in 2u32..7,
+        victim in 0u32..7,
+        flip in 0u32..2,
+        workers in 1usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        let victim = victim % sites;
+        let empty_group = flip == 0;
+        let mut fleet = FleetScenario::synthetic(1, sites, 2, seed)
+            .with_sample_step(SimDuration::from_secs(21_600));
+        if empty_group {
+            // Zero racks: no groups at all.
+            fleet.sites[victim as usize].config.groups.clear();
+        } else {
+            // A rack with zero nodes in it.
+            for g in &mut fleet.sites[victim as usize].config.groups {
+                g.count = 0;
+            }
+        }
+        let err = fleet.try_simulate(workers).unwrap_err();
+        let TelemetryError::NoNodes { site } = err else {
+            panic!("expected NoNodes, got {err}");
+        };
+        prop_assert_eq!(site, fleet.sites[victim as usize].config.site_code.clone());
     }
 }

@@ -16,6 +16,9 @@
 //! * [`Site`], [`NodeGroup`] and [`Fleet`] — the federation structure, with
 //!   the distinction between *inventoried* and *monitored* hardware that
 //!   Table 1 vs Table 2 of the paper exhibits;
+//! * [`Region`] and [`FederatedFleet`] — the upper tiers of the
+//!   rack → site → region → fleet hierarchy, for federations where "all
+//!   sites" is tens of thousands rather than seven;
 //! * [`iris`] — the IRIS federation dataset encoded from the paper.
 //!
 //! # Example
@@ -42,10 +45,12 @@ mod fleet;
 pub mod iris;
 mod node;
 pub mod reference;
+mod region;
 mod site;
 
 pub use component::{Component, TransportMode};
 pub use embodied::{EmbodiedBreakdown, EmbodiedFactors};
 pub use fleet::{Fleet, FleetSummary};
 pub use node::{NodeBuilder, NodeRole, NodeSpec};
+pub use region::{FederatedFleet, Region};
 pub use site::{NodeGroup, Site};

@@ -1,0 +1,231 @@
+//! Regions and federated fleets: the upper tiers of the
+//! rack → site → region → fleet hierarchy.
+//!
+//! The paper assesses one ~7-site federation; hyperscale fleets ("Chasing
+//! Carbon") are thousands of sites spread over geographic regions, and
+//! multi-tenant attribution needs per-site results rolled up level by
+//! level. A [`Region`] groups sites; a [`FederatedFleet`] groups regions
+//! and presents the same roll-up queries [`Fleet`] offers, tier by tier.
+//! Sites are held in **region-major order** — the canonical enumeration
+//! every roll-up, shard assignment and columnar statistic in the
+//! workspace uses, so a fleet-level fold visits sites in exactly the
+//! order a serial per-region walk would.
+
+use crate::{EmbodiedFactors, Fleet, Site};
+use iriscast_units::CarbonMass;
+use serde::{Deserialize, Serialize};
+
+/// A geographic (or organisational) grouping of sites — the tier between
+/// site and fleet.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    /// Short code ("UK-SOUTH", "EU-WEST-1", …).
+    pub code: String,
+    /// Human-readable name.
+    pub name: String,
+    /// Member sites, in roll-up order.
+    pub sites: Vec<Site>,
+}
+
+impl Region {
+    /// Creates an empty region.
+    pub fn new(code: impl Into<String>, name: impl Into<String>) -> Self {
+        Region {
+            code: code.into(),
+            name: name.into(),
+            sites: Vec::new(),
+        }
+    }
+
+    /// Adds a site (builder style).
+    pub fn with_site(mut self, site: Site) -> Self {
+        self.sites.push(site);
+        self
+    }
+
+    /// Total inventoried nodes across the region's sites.
+    pub fn total_nodes(&self) -> u32 {
+        self.sites.iter().map(Site::total_nodes).sum()
+    }
+
+    /// Nodes that produced telemetry during the snapshot.
+    pub fn monitored_nodes(&self) -> u32 {
+        self.sites.iter().map(Site::monitored_nodes).sum()
+    }
+
+    /// Total embodied carbon of the region's inventoried hardware.
+    pub fn total_embodied(&self, factors: &EmbodiedFactors) -> CarbonMass {
+        self.sites.iter().map(|s| s.total_embodied(factors)).sum()
+    }
+}
+
+/// A fleet of regions — the top of the hierarchy, scaling the flat
+/// [`Fleet`] to federations where "all sites" is tens of thousands.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FederatedFleet {
+    regions: Vec<Region>,
+}
+
+impl FederatedFleet {
+    /// An empty federated fleet.
+    pub fn new() -> Self {
+        FederatedFleet::default()
+    }
+
+    /// Adds a region (builder style).
+    pub fn with_region(mut self, region: Region) -> Self {
+        self.regions.push(region);
+        self
+    }
+
+    /// Wraps a flat [`Fleet`] as a single-region federation — the shape
+    /// the paper's IRIS federation takes in the hierarchy.
+    pub fn single_region(code: impl Into<String>, name: impl Into<String>, fleet: &Fleet) -> Self {
+        let mut region = Region::new(code, name);
+        region.sites = fleet.sites().to_vec();
+        FederatedFleet {
+            regions: vec![region],
+        }
+    }
+
+    /// All regions in insertion order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Iterates `(region index, site)` pairs in region-major order — the
+    /// canonical site enumeration the federation roll-ups shard over.
+    pub fn sites(&self) -> impl Iterator<Item = (usize, &Site)> {
+        self.regions
+            .iter()
+            .enumerate()
+            .flat_map(|(r, region)| region.sites.iter().map(move |s| (r, s)))
+    }
+
+    /// Total number of sites across all regions.
+    pub fn site_count(&self) -> usize {
+        self.regions.iter().map(|r| r.sites.len()).sum()
+    }
+
+    /// Total inventoried nodes across the whole federation.
+    pub fn total_nodes(&self) -> u32 {
+        self.regions.iter().map(Region::total_nodes).sum()
+    }
+
+    /// Nodes that produced telemetry during the snapshot.
+    pub fn monitored_nodes(&self) -> u32 {
+        self.regions.iter().map(Region::monitored_nodes).sum()
+    }
+
+    /// Total embodied carbon across the whole federation.
+    pub fn total_embodied(&self, factors: &EmbodiedFactors) -> CarbonMass {
+        self.regions.iter().map(|r| r.total_embodied(factors)).sum()
+    }
+
+    /// Flattens the hierarchy into a [`Fleet`] in region-major site
+    /// order, for APIs that predate regions.
+    pub fn flatten(&self) -> Fleet {
+        let mut fleet = Fleet::new();
+        for (_, site) in self.sites() {
+            fleet = fleet.with_site(site.clone());
+        }
+        fleet
+    }
+
+    /// The region index of the site with the given code, searching in
+    /// region-major order.
+    pub fn region_of_site(&self, code: &str) -> Option<usize> {
+        self.sites().find(|(_, s)| s.code == code).map(|(r, _)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeBuilder, NodeGroup, NodeRole};
+    use iriscast_units::Power;
+
+    fn spec() -> crate::NodeSpec {
+        NodeBuilder::new("r-node")
+            .role(NodeRole::Compute)
+            .cpu("c", 8, 300.0, Power::from_watts(95.0))
+            .dram_gb(64.0)
+            .ssd_gb(240.0)
+            .mainboard_cm2(1_200.0)
+            .psus(1, Power::from_watts(550.0))
+            .chassis_kg(12.0)
+            .nic(10.0)
+            .idle_power(Power::from_watts(60.0))
+            .max_power(Power::from_watts(280.0))
+            .build()
+    }
+
+    fn site(code: &str, nodes: u32) -> Site {
+        Site::new(code, code).with_group(NodeGroup::new(spec(), nodes))
+    }
+
+    fn federation() -> FederatedFleet {
+        FederatedFleet::new()
+            .with_region(
+                Region::new("NORTH", "North")
+                    .with_site(site("N1", 10))
+                    .with_site(site("N2", 20)),
+            )
+            .with_region(Region::new("SOUTH", "South").with_site(site("S1", 5)))
+    }
+
+    #[test]
+    fn hierarchy_sums_tier_by_tier() {
+        let f = federation();
+        assert_eq!(f.site_count(), 3);
+        assert_eq!(f.total_nodes(), 35);
+        assert_eq!(f.monitored_nodes(), 35);
+        assert_eq!(f.regions()[0].total_nodes(), 30);
+        assert_eq!(f.regions()[1].total_nodes(), 5);
+        let factors = EmbodiedFactors::typical();
+        let whole = f.total_embodied(&factors).kilograms();
+        let by_region: f64 = f
+            .regions()
+            .iter()
+            .map(|r| r.total_embodied(&factors).kilograms())
+            .sum();
+        assert!((whole - by_region).abs() < 1e-9);
+    }
+
+    #[test]
+    fn region_major_site_order() {
+        let f = federation();
+        let order: Vec<(usize, &str)> = f.sites().map(|(r, s)| (r, s.code.as_str())).collect();
+        assert_eq!(order, vec![(0, "N1"), (0, "N2"), (1, "S1")]);
+        assert_eq!(f.region_of_site("N2"), Some(0));
+        assert_eq!(f.region_of_site("S1"), Some(1));
+        assert_eq!(f.region_of_site("Z9"), None);
+    }
+
+    #[test]
+    fn flatten_preserves_order_and_totals() {
+        let f = federation();
+        let flat = f.flatten();
+        assert_eq!(flat.sites().len(), 3);
+        assert_eq!(flat.sites()[0].code, "N1");
+        assert_eq!(flat.total_nodes(), f.total_nodes());
+    }
+
+    #[test]
+    fn single_region_wraps_a_flat_fleet() {
+        let flat = Fleet::new().with_site(site("A", 3)).with_site(site("B", 4));
+        let f = FederatedFleet::single_region("IRIS", "IRIS federation", &flat);
+        assert_eq!(f.regions().len(), 1);
+        assert_eq!(f.site_count(), 2);
+        assert_eq!(f.total_nodes(), 7);
+        assert_eq!(f.flatten(), flat);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let f = federation();
+        let json = serde_json::to_string(&f).unwrap();
+        let back: FederatedFleet = serde_json::from_str(&json).unwrap();
+        assert_eq!(f, back);
+    }
+}

@@ -280,6 +280,29 @@ impl CollectScratch {
         CollectScratch::default()
     }
 
+    /// Runs `f` with **this thread's** persistent scratch arena — the
+    /// per-worker ownership model fleet-scale federation sweeps use.
+    ///
+    /// When thousands of sites are sharded across the worker pool, a
+    /// scratch per *call* would rebuild the chunk arena 10,000 times and
+    /// a single shared scratch would serialise the workers; one arena
+    /// per worker **thread** is the right granularity. Pool workers are
+    /// persistent (see [`crate::par::FillBackend::Pool`]), so the arena
+    /// warms up once per thread per process and every later site collect
+    /// on that worker reuses it. Results are bit-identical to any other
+    /// scratch provenance — buffers never influence arithmetic.
+    ///
+    /// Re-entrancy: `f` must not call `with_thread_local` again on the
+    /// same thread (the arena is exclusively borrowed for the duration);
+    /// doing so panics with a borrow error rather than corrupting state.
+    pub fn with_thread_local<R>(f: impl FnOnce(&mut CollectScratch) -> R) -> R {
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<CollectScratch> =
+                std::cell::RefCell::new(CollectScratch::new());
+        }
+        SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+    }
+
     /// Reclaims a finished result's buffers into the pool, so the next
     /// [`SiteCollector::collect_with`] call can reuse them instead of
     /// allocating.

@@ -47,14 +47,17 @@ pub fn default_workers(items: usize) -> usize {
 /// Maps `f` over `0..items` in parallel, returning results in index order.
 ///
 /// `f` must be pure (it runs from multiple threads in unspecified order).
-/// With `workers == 1` the loop runs inline on the caller's thread, which
+/// With `workers <= 1` the loop runs inline on the caller's thread, which
 /// is both the degenerate case and the serial baseline for benchmarks.
+/// `workers == 0` is clamped to 1 rather than asserted: a caller-supplied
+/// zero (a miscomputed `cores - reserved`, a config file) must not panic
+/// deep inside the fill path of an otherwise valid collect.
 pub fn parallel_map_indexed<R, F>(items: usize, workers: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    assert!(workers > 0, "need at least one worker");
+    let workers = workers.max(1);
     if items == 0 {
         return Vec::new();
     }
@@ -108,14 +111,15 @@ where
 /// disjoint sub-slice.
 ///
 /// `f` must be pure in everything but its slot (it runs from multiple
-/// threads in unspecified order). With `workers == 1` the loop runs
-/// inline on the caller's thread.
+/// threads in unspecified order). With `workers <= 1` the loop runs
+/// inline on the caller's thread (`workers == 0` is clamped to 1, as in
+/// [`parallel_map_indexed`]).
 pub fn parallel_fill_indexed<S, F>(slots: &mut [S], workers: usize, f: F)
 where
     S: Send,
     F: Fn(usize, &mut S) + Sync,
 {
-    assert!(workers > 0, "need at least one worker");
+    let workers = workers.max(1);
     let items = slots.len();
     if items == 0 {
         return;
@@ -344,14 +348,15 @@ fn run_chunks(job: &PoolJob) {
 
 /// [`parallel_fill_indexed`] on the persistent pool: same contract, same
 /// bit-identical output, no thread spawn and no heap allocation per call
-/// once the pool is up. With `workers == 1` (or a single slot) the loop
-/// runs inline on the caller's thread, exactly like the spawn backend.
+/// once the pool is up. With `workers <= 1` (zero is clamped to 1, as in
+/// [`parallel_map_indexed`]) or a single slot the loop runs inline on the
+/// caller's thread, exactly like the spawn backend.
 pub fn pool_fill_indexed<S, F>(slots: &mut [S], workers: usize, f: F)
 where
     S: Send,
     F: Fn(usize, &mut S) + Sync,
 {
-    assert!(workers > 0, "need at least one worker");
+    let workers = workers.max(1);
     let items = slots.len();
     if items == 0 {
         return;
@@ -524,9 +529,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn fill_rejects_zero_workers() {
-        parallel_fill_indexed(&mut [0u8; 4], 0, |_, _| {});
+    fn fill_clamps_zero_workers_to_serial() {
+        // A caller-supplied 0 used to trip an assert deep in the fill
+        // path; it now runs the serial (1-worker) loop.
+        let mut slots = [0usize; 4];
+        parallel_fill_indexed(&mut slots, 0, |i, s| *s = i + 1);
+        assert_eq!(slots, [1, 2, 3, 4]);
+        let mut slots = [0usize; 4];
+        pool_fill_indexed(&mut slots, 0, |i, s| *s = i + 1);
+        assert_eq!(slots, [1, 2, 3, 4]);
     }
 
     #[test]
@@ -552,16 +563,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_workers_rejected() {
-        let _ = parallel_map_indexed(10, 0, |i| i);
+    fn zero_workers_clamped_to_serial() {
+        let r = parallel_map_indexed(10, 0, |i| i);
+        assert_eq!(r, (0..10).collect::<Vec<_>>());
     }
 
     #[test]
     fn default_workers_bounds() {
+        // Both worker-count sources are ≥ 1 by construction, so no
+        // caller assembling `workers` from them can hit the zero clamp.
         assert!(default_workers(1_000) >= 1);
         assert!(default_workers(1_000) <= 32);
         assert_eq!(default_workers(0), 1);
+        assert!(pool_size() >= 1);
     }
 
     #[test]

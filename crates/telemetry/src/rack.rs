@@ -67,25 +67,41 @@ impl RackEnergyReport {
         self.energies.iter().copied().sum()
     }
 
-    /// The hottest rack as `(rack, energy)`.
-    pub fn hottest(&self) -> (u32, Energy) {
+    /// The hottest rack as `(rack, energy)`, or `None` for a report with
+    /// no racks.
+    ///
+    /// [`rack_energies`] always produces at least one rack, but the
+    /// fields are public — a deserialized or hand-built empty report
+    /// must surface as a value, not a panic (the PR 4 rule for every
+    /// data-dependent path).
+    pub fn hottest(&self) -> Option<(u32, Energy)> {
         let (i, &e) = self
             .energies
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .expect("layouts have at least one rack");
-        (i as u32, e)
+            .max_by(|a, b| a.1.total_cmp(b.1))?;
+        Some((i as u32, e))
     }
 
     /// Imbalance factor: hottest rack energy over the mean rack energy —
     /// 1.0 is a perfectly balanced room.
+    ///
+    /// Degenerate rooms report 1.0: an empty report (whose mean would be
+    /// the `0/0 → NaN` that used to slip past a `<= 0.0` guard — NaN
+    /// compares false), an all-zero room, and NaN-bearing energies all
+    /// take the guard, so the answer is always finite.
     pub fn imbalance(&self) -> f64 {
+        let Some((_, hottest)) = self.hottest() else {
+            return 1.0;
+        };
         let mean = self.total() / self.energies.len() as f64;
-        if mean.joules() <= 0.0 {
+        // The explicit NaN arm matters: NaN compares false against
+        // every threshold, so a bare `<= 0.0` guard lets a poisoned
+        // mean fall through into a NaN ratio.
+        if mean.joules().is_nan() || mean.joules() <= 0.0 {
             return 1.0;
         }
-        self.hottest().1 / mean
+        hottest / mean
     }
 
     /// Racks whose peak power exceeds `circuit_limit` — provisioning
@@ -221,7 +237,7 @@ mod tests {
         let layout = RackLayout::new(84, 42);
         let report = rack_energies(&cfg, layout, Period::snapshot_24h(), &FlatUtilization(0.5));
         assert!((report.imbalance() - 1.0).abs() < 1e-9);
-        let (_, hottest) = report.hottest();
+        let (_, hottest) = report.hottest().unwrap();
         assert!((hottest.joules() - report.energies[1].joules()).abs() <= 1e-9);
     }
 
@@ -233,8 +249,45 @@ mod tests {
         // Rack 2 holds 16 nodes vs 42: hottest/mean > 1.
         assert!(report.imbalance() > 1.2);
         // The two full racks tie; either may win, but never the partial one.
-        assert!(report.hottest().0 < 2);
+        assert!(report.hottest().unwrap().0 < 2);
         assert!(report.energies[2] < report.energies[0]);
+    }
+
+    #[test]
+    fn empty_report_is_a_value_not_a_panic() {
+        // The fields are public, so an empty report is representable;
+        // hottest() used to `expect` and imbalance() used to compute a
+        // 0/0 → NaN mean that slipped past its `<= 0.0` guard (NaN
+        // compares false) and then panicked inside hottest().
+        let empty = RackEnergyReport {
+            layout: RackLayout::new(0, 10),
+            energies: vec![],
+            peak_power: vec![],
+        };
+        assert_eq!(empty.hottest(), None);
+        assert_eq!(empty.imbalance(), 1.0);
+        assert!(empty.over_provisioned(Power::from_watts(1.0)).is_empty());
+        assert_eq!(empty.total(), Energy::from_joules(0.0));
+    }
+
+    #[test]
+    fn nan_energies_keep_imbalance_finite() {
+        // A NaN energy poisons both total and mean; the NaN-safe guard
+        // must answer 1.0 instead of propagating NaN (or panicking).
+        let poisoned = RackEnergyReport {
+            layout: RackLayout::new(2, 1),
+            energies: vec![Energy::from_joules(f64::NAN), Energy::from_joules(1.0)],
+            peak_power: vec![Power::from_watts(0.0); 2],
+        };
+        assert!(poisoned.imbalance().is_finite());
+        assert_eq!(poisoned.imbalance(), 1.0);
+        // An all-zero room is balanced by definition, not 0/0.
+        let idle = RackEnergyReport {
+            layout: RackLayout::new(2, 1),
+            energies: vec![Energy::from_joules(0.0); 2],
+            peak_power: vec![Power::from_watts(0.0); 2],
+        };
+        assert_eq!(idle.imbalance(), 1.0);
     }
 
     #[test]

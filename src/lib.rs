@@ -106,12 +106,15 @@ pub use iriscast_workload as workload;
 /// The most commonly used types across the toolkit, in one import.
 pub mod prelude {
     pub use iriscast_grid::{GridScenario, IntensitySeries};
-    pub use iriscast_inventory::{EmbodiedFactors, Fleet, NodeBuilder, NodeRole, NodeSpec};
+    pub use iriscast_inventory::{
+        EmbodiedFactors, FederatedFleet, Fleet, NodeBuilder, NodeRole, NodeSpec, Region,
+    };
     pub use iriscast_model::assessment::{AssessmentParams, SnapshotAssessment};
     pub use iriscast_model::engine::{
         Assessment, AssessmentBuilder, Envelope, Marginal, PointOutcome, PointResult, SpaceResults,
         TotalsSummary,
     };
+    pub use iriscast_model::federation::{FleetRollup, FleetScenario, FleetSite, RegionRollup};
     pub use iriscast_model::model::CarbonAssessment;
     pub use iriscast_model::space::{AxisId, ScenarioAxis, ScenarioPoint, ScenarioSpace};
     pub use iriscast_model::time_resolved::{
