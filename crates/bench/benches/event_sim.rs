@@ -1,0 +1,160 @@
+//! Discrete-event engine throughput: raw event dispatch on a
+//! ~1,000-component graph, and the carbon-aware deferral co-simulation
+//! end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iriscast_grid::scenario::uk_november_2022;
+use iriscast_sim::{
+    Component, ComponentId, Ctx, DeferralScenario, EngineBuilder, InPort, OutPort, Payload,
+};
+use iriscast_telemetry::{NodeGroupTelemetry, NodePowerModel, SiteTelemetryConfig};
+use iriscast_units::{Period, Power, SimDuration, Timestamp};
+use iriscast_workload::{generate, WorkloadConfig};
+use std::any::Any;
+use std::hint::black_box;
+
+/// One hop of a token-passing ring: receives the token, holds it for one
+/// second of simulated time, forwards it. Every hop is one delivery plus
+/// one wake — the engine's two hot paths.
+struct Relay {
+    armed: bool,
+}
+
+impl Relay {
+    const IN: usize = 0;
+    const OUT: usize = 0;
+}
+
+impl Component for Relay {
+    fn name(&self) -> &str {
+        "relay"
+    }
+
+    fn on_event(&mut self, _port: usize, _payload: &Payload, ctx: &mut Ctx<'_>) {
+        self.armed = true;
+        ctx.wake_after(SimDuration::from_secs(1));
+    }
+
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>) {
+        if std::mem::take(&mut self.armed) {
+            ctx.emit(Self::OUT, 1u64);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Kicks the ring off at the window open.
+struct Starter;
+
+impl Component for Starter {
+    fn name(&self) -> &str {
+        "starter"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.emit(0, 1u64);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A 1,000-relay ring plus the starter. The token takes 1 s per hop, so a
+/// 4-hour window dispatches ~28.8k events (14.4k deliveries + 14.4k
+/// wakes) through a 1,001-component graph per run.
+fn run_relay_ring() -> u64 {
+    let window = Period::starting_at(Timestamp::EPOCH, SimDuration::from_hours(4.0));
+    let mut b = EngineBuilder::new(window);
+    let starter = b.add(Box::new(Starter));
+    let relays: Vec<ComponentId> = (0..1_000)
+        .map(|_| b.add(Box::new(Relay { armed: false })))
+        .collect();
+    b.connect(
+        OutPort::<u64>::new(starter, 0),
+        InPort::<u64>::new(relays[0], Relay::IN),
+    );
+    for pair in relays.windows(2) {
+        b.connect(
+            OutPort::<u64>::new(pair[0], Relay::OUT),
+            InPort::<u64>::new(pair[1], Relay::IN),
+        );
+    }
+    b.connect(
+        OutPort::<u64>::new(relays[999], Relay::OUT),
+        InPort::<u64>::new(relays[0], Relay::IN),
+    );
+    let mut engine = b.build();
+    engine.run_to_horizon()
+}
+
+/// The full co-simulation day: generated workload on a 32-node cluster,
+/// half-hourly grid signal, carbon-aware FCFS, live telemetry at
+/// half-hourly sampling.
+fn deferral_scenario() -> DeferralScenario {
+    let day = Period::snapshot_24h();
+    let grid = uk_november_2022(1).simulate();
+    let series = grid.intensity().slice(day).expect("month covers day");
+    let jobs = generate(
+        &WorkloadConfig {
+            mean_interarrival: SimDuration::from_secs(480),
+            ..WorkloadConfig::batch_hpc()
+        },
+        day,
+        42,
+    );
+    let mut telemetry = SiteTelemetryConfig::new(
+        "BENCH-32",
+        vec![NodeGroupTelemetry {
+            label: "compute".into(),
+            count: 32,
+            power_model: NodePowerModel::linear(Power::from_watts(120.0), Power::from_watts(550.0)),
+        }],
+        42,
+    );
+    telemetry.sample_step = SimDuration::SETTLEMENT_PERIOD;
+    let threshold = series.percentile(0.5);
+    DeferralScenario {
+        window: day,
+        nodes: 32,
+        jobs,
+        intensity: series,
+        threshold,
+        telemetry,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_sim");
+    g.sample_size(10);
+
+    // Raw dispatch: ~28.8k events through a 1,001-component ring.
+    g.bench_function("relay_ring_1k", |b| b.iter(|| black_box(run_relay_ring())));
+
+    let scenario = deferral_scenario();
+    // One simulated day of the carbon-aware feedback loop, including the
+    // live telemetry sweep and energy-series extraction.
+    g.bench_function("deferral_day", |b| {
+        b.iter(|| black_box(scenario.run().expect("scenario runs")))
+    });
+
+    g.bench_function("deferral_day_baseline", |b| {
+        b.iter(|| black_box(scenario.run_baseline().expect("baseline runs")))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Fixed-step clocks for components that sample rather than react.
+//!
+//! A clocked component (the telemetry collector, the grid signal)
+//! declares a [`Clock`]; the engine schedules its first tick when the
+//! simulation window opens and re-schedules after every tick, so
+//! fixed-step sweeps coexist with purely event-driven components in one
+//! queue.
+
+use iriscast_units::{SimDuration, Timestamp};
+
+/// A fixed-step tick schedule.
+///
+/// Two alignments exist because the codebase has two kinds of grids:
+/// sampling grids anchored at the *window start* (the telemetry
+/// collector samples at `start + i·step`, whatever the start is) and
+/// signal grids anchored at the *epoch* (half-hourly settlement slots
+/// land on `:00`/`:30` regardless of when a window opens).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Clock {
+    step: SimDuration,
+    epoch_aligned: bool,
+}
+
+impl Clock {
+    /// Ticks at the window start, then every `step`.
+    ///
+    /// Panics if `step` is not positive.
+    pub fn every(step: SimDuration) -> Self {
+        assert!(step.as_secs() > 0, "clock step must be positive");
+        Clock {
+            step,
+            epoch_aligned: false,
+        }
+    }
+
+    /// Ticks on the epoch-aligned `step` grid: the first tick is the
+    /// first slot boundary at or after the window start
+    /// ([`Timestamp::ceil_to`]), then every `step`.
+    ///
+    /// Panics if `step` is not positive.
+    pub fn aligned(step: SimDuration) -> Self {
+        assert!(step.as_secs() > 0, "clock step must be positive");
+        Clock {
+            step,
+            epoch_aligned: true,
+        }
+    }
+
+    /// The tick interval.
+    pub fn step(&self) -> SimDuration {
+        self.step
+    }
+
+    /// The first tick for a window opening at `start`.
+    pub fn first_tick(&self, start: Timestamp) -> Timestamp {
+        if self.epoch_aligned {
+            start.ceil_to(self.step)
+        } else {
+            start
+        }
+    }
+
+    /// The tick after one at `t`.
+    pub fn next_tick(&self, t: Timestamp) -> Timestamp {
+        t + self.step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_anchored_clock_ticks_from_start() {
+        let c = Clock::every(SimDuration::from_secs(30));
+        let start = Timestamp::from_secs(17);
+        assert_eq!(c.first_tick(start), start);
+        assert_eq!(c.next_tick(start), Timestamp::from_secs(47));
+    }
+
+    #[test]
+    fn epoch_aligned_clock_snaps_to_slot_boundaries() {
+        let c = Clock::aligned(SimDuration::SETTLEMENT_PERIOD);
+        // Mid-slot start snaps forward to the half-hour …
+        assert_eq!(
+            c.first_tick(Timestamp::from_secs(100)),
+            Timestamp::from_secs(1_800)
+        );
+        // … a boundary start is already a tick.
+        assert_eq!(
+            c.first_tick(Timestamp::from_secs(3_600)),
+            Timestamp::from_secs(3_600)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn zero_step_rejected() {
+        let _ = Clock::every(SimDuration::ZERO);
+    }
+}

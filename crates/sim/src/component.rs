@@ -1,0 +1,187 @@
+//! Components and typed ports.
+//!
+//! A [`Component`] is one box in the co-simulation graph: it reacts to
+//! clock ticks, self-scheduled wake-ups, and messages arriving on its
+//! input ports, and emits messages on its output ports. Ports are plain
+//! `usize` indices *inside* a component (each component names its own
+//! with `pub const`s); the typed [`OutPort`]/[`InPort`] handles exist at
+//! the wiring layer, where [`crate::EngineBuilder::connect`] enforces at
+//! compile time that a wire carries one payload type end to end.
+
+use crate::engine::Ctx;
+use crate::Clock;
+use std::any::Any;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+/// Identifies a component inside one engine's graph (its insertion
+/// index).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub(crate) usize);
+
+impl ComponentId {
+    /// The insertion index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// A type-erased event payload.
+///
+/// Payloads are reference-counted so one `emit` fans out to any number
+/// of receivers without cloning the value; receivers borrow it through
+/// [`Payload::downcast`]. The engine is single-threaded by design
+/// (determinism comes from one totally ordered event stream), hence
+/// `Rc`, not `Arc`.
+#[derive(Clone)]
+pub struct Payload(Rc<dyn Any>);
+
+impl Payload {
+    /// Wraps a value.
+    pub fn new<T: 'static>(value: T) -> Self {
+        Payload(Rc::new(value))
+    }
+
+    /// Borrows the value as `T`, `None` on a type mismatch.
+    pub fn downcast<T: 'static>(&self) -> Option<&T> {
+        self.0.downcast_ref::<T>()
+    }
+
+    /// Borrows the value as `T`, panicking with the expected type name
+    /// on a mismatch. Wiring is type-checked at connect time, so a
+    /// mismatch here means a component declared the wrong type for one
+    /// of its own ports — a bug, not an input condition.
+    pub fn expect<T: 'static>(&self) -> &T {
+        self.downcast::<T>().unwrap_or_else(|| {
+            panic!(
+                "payload is not a {} (mis-declared port type)",
+                std::any::type_name::<T>()
+            )
+        })
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Payload(..)")
+    }
+}
+
+/// A typed handle to output port `index` of component `component`.
+///
+/// Obtained from the component's port constructor (e.g.
+/// `WorkloadSource::out_jobs(id)`), consumed by
+/// [`crate::EngineBuilder::connect`].
+#[derive(Clone, Copy, Debug)]
+pub struct OutPort<T> {
+    pub(crate) component: ComponentId,
+    pub(crate) index: usize,
+    pub(crate) _payload: PhantomData<fn() -> T>,
+}
+
+impl<T> OutPort<T> {
+    /// A handle to output port `index` of `component`. Component types
+    /// expose named constructors wrapping this so the payload type is
+    /// stated once, next to the port's definition.
+    pub fn new(component: ComponentId, index: usize) -> Self {
+        OutPort {
+            component,
+            index,
+            _payload: PhantomData,
+        }
+    }
+}
+
+/// A typed handle to input port `index` of component `component`.
+#[derive(Clone, Copy, Debug)]
+pub struct InPort<T> {
+    pub(crate) component: ComponentId,
+    pub(crate) index: usize,
+    pub(crate) _payload: PhantomData<fn(T)>,
+}
+
+impl<T> InPort<T> {
+    /// A handle to input port `index` of `component` (see
+    /// [`OutPort::new`] on why components wrap this).
+    pub fn new(component: ComponentId, index: usize) -> Self {
+        InPort {
+            component,
+            index,
+            _payload: PhantomData,
+        }
+    }
+}
+
+/// One box in the component graph.
+///
+/// Lifecycle: when the first `run_*` call opens the simulation window
+/// the engine invokes [`Component::on_start`] once per component in
+/// insertion order, then schedules each clocked component's first tick.
+/// From there everything is event-driven: [`Component::on_tick`] fires
+/// on the declared [`Clock`] (the engine re-schedules the next tick
+/// automatically while it lies inside the window),
+/// [`Component::on_wake`] fires at instants the component itself asked
+/// for via [`Ctx::wake_at`], and [`Component::on_event`] fires per
+/// arriving message.
+///
+/// The `as_any`/`as_any_mut` pair is how callers get concrete results
+/// back out of a finished graph (`Engine::get::<C>`); implement both as
+/// `self`.
+pub trait Component: 'static {
+    /// Component name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// The fixed-step clock, for clocked components. `None` (the
+    /// default) means purely event-driven.
+    fn clock(&self) -> Option<Clock> {
+        None
+    }
+
+    /// Called once when the simulation window opens.
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called on each tick of the declared [`Clock`].
+    fn on_tick(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called at instants requested via [`Ctx::wake_at`].
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message arrives on input port `port`.
+    fn on_event(&mut self, port: usize, payload: &Payload, ctx: &mut Ctx<'_>) {
+        let _ = (port, payload, ctx);
+    }
+
+    /// `self`, for downcasting finished components to their concrete
+    /// type.
+    fn as_any(&self) -> &dyn Any;
+
+    /// `self`, mutably.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_roundtrip_and_mismatch() {
+        let p = Payload::new(41i64);
+        assert_eq!(p.downcast::<i64>(), Some(&41));
+        assert_eq!(p.downcast::<String>(), None);
+        let q = p.clone();
+        assert_eq!(q.expect::<i64>(), &41);
+    }
+
+    #[test]
+    #[should_panic(expected = "mis-declared port type")]
+    fn expect_panics_on_mismatch() {
+        let p = Payload::new("job");
+        let _ = p.expect::<u32>();
+    }
+}

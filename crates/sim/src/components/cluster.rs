@@ -1,0 +1,330 @@
+//! The cluster/scheduler as an event-driven component.
+
+use crate::component::{Component, ComponentId, InPort, OutPort, Payload};
+use crate::engine::Ctx;
+use iriscast_grid::IntensitySeries;
+use iriscast_units::{CarbonIntensity, Period, SimDuration, Timestamp};
+use iriscast_workload::{
+    ClusterSim, Job, ScheduledJob, Scheduler, SchedulerContext, SimOutcome, WorkloadResult,
+};
+use std::any::Any;
+use std::collections::BTreeSet;
+
+/// A change in driven utilisation on a set of nodes: a job started
+/// (`level` = its CPU utilisation) or completed (`level` = 0).
+///
+/// This is the cluster's feed to a live telemetry collector — the jobs →
+/// utilisation → power → energy loop closed inside the event graph
+/// instead of through a post-hoc trace conversion.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UtilizationUpdate {
+    /// Nodes whose level changed.
+    pub node_ids: Vec<u32>,
+    /// New driven utilisation on those nodes, `[0, 1]`.
+    pub level: f64,
+}
+
+/// The cluster and its scheduling policy, driven by events instead of
+/// [`ClusterSim`]'s internal time loop.
+///
+/// Jobs arrive on [`ClusterComponent::in_jobs`], the grid signal on
+/// [`ClusterComponent::in_intensity`]; completions are self-scheduled
+/// wake-ups. Every event re-runs the policy at that instant over the
+/// current queue — so a fresh intensity slot re-evaluates deferred jobs
+/// exactly the way [`ClusterSim`]'s settlement-boundary wake does, and
+/// node-occupancy changes stream out as [`UtilizationUpdate`]s.
+///
+/// One semantic difference from the batch simulator, by design: the
+/// policy decides per *event*, so two jobs submitted at the same instant
+/// are offered one at a time (in arrival order) rather than as one
+/// batch. Both orders are deterministic; policies see the same cluster
+/// state either way.
+pub struct ClusterComponent {
+    total_nodes: u32,
+    policy: Box<dyn Scheduler>,
+    signal_step: SimDuration,
+    free: BTreeSet<u32>,
+    queue: Vec<Job>,
+    /// Running jobs with their occupied node ids.
+    running_nodes: Vec<(Timestamp, Vec<u32>)>,
+    /// `(end, width)` view for the policy, sorted by end ascending.
+    running: Vec<(Timestamp, u32)>,
+    scheduled: Vec<ScheduledJob>,
+    /// The latest received signal, sample-and-hold. Exposed to policies
+    /// as a single-slot series built at decision time, so existing
+    /// [`Scheduler`] policies (which read
+    /// [`SchedulerContext::intensity_now`]) work unmodified — and the
+    /// held value never expires between messages, which matters when a
+    /// job arrival and the new slot's intensity land at the same instant.
+    signal: Option<CarbonIntensity>,
+}
+
+impl ClusterComponent {
+    /// Input port: job submissions ([`Job`]).
+    pub const IN_JOBS: usize = 0;
+    /// Input port: grid signal updates ([`CarbonIntensity`]).
+    pub const IN_INTENSITY: usize = 1;
+    /// Output port: [`UtilizationUpdate`]s as jobs start and complete.
+    pub const OUT_UTILIZATION: usize = 0;
+
+    /// A cluster of `nodes` identical nodes running `policy`. Refuses an
+    /// empty cluster like [`ClusterSim::try_new`].
+    pub fn new(nodes: u32, policy: Box<dyn Scheduler>) -> WorkloadResult<Self> {
+        // Reuse the simulator's validation so the refusal is the same
+        // typed error.
+        ClusterSim::try_new(nodes)?;
+        Ok(ClusterComponent {
+            total_nodes: nodes,
+            policy,
+            signal_step: SimDuration::SETTLEMENT_PERIOD,
+            free: (0..nodes).collect(),
+            queue: Vec::new(),
+            running_nodes: Vec::new(),
+            running: Vec::new(),
+            scheduled: Vec::new(),
+            signal: None,
+        })
+    }
+
+    /// Overrides the assumed width of one signal slot (how long a
+    /// received intensity value stays current). Defaults to the GB
+    /// half-hourly settlement period.
+    pub fn with_signal_step(mut self, step: SimDuration) -> Self {
+        assert!(step.as_secs() > 0, "signal step must be positive");
+        self.signal_step = step;
+        self
+    }
+
+    /// Typed handle to [`ClusterComponent::IN_JOBS`] for wiring.
+    pub fn in_jobs(id: ComponentId) -> InPort<Job> {
+        InPort::new(id, Self::IN_JOBS)
+    }
+
+    /// Typed handle to [`ClusterComponent::IN_INTENSITY`] for wiring.
+    pub fn in_intensity(id: ComponentId) -> InPort<CarbonIntensity> {
+        InPort::new(id, Self::IN_INTENSITY)
+    }
+
+    /// Typed handle to [`ClusterComponent::OUT_UTILIZATION`] for wiring.
+    pub fn out_utilization(id: ComponentId) -> OutPort<UtilizationUpdate> {
+        OutPort::new(id, Self::OUT_UTILIZATION)
+    }
+
+    /// The schedule so far, packaged in the batch simulator's result
+    /// shape over `window` (jobs still queued become `unstarted`).
+    pub fn outcome(&self, window: Period) -> SimOutcome {
+        SimOutcome {
+            scheduled: self.scheduled.clone(),
+            unstarted: self.queue.clone(),
+            total_nodes: self.total_nodes,
+            period: window,
+        }
+    }
+
+    /// Jobs started so far, in start order.
+    pub fn started(&self) -> &[ScheduledJob] {
+        &self.scheduled
+    }
+
+    /// Releases every running job whose end is due, returning its nodes
+    /// to the free pool and publishing the idle transition.
+    fn release_due(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let mut i = 0;
+        while i < self.running_nodes.len() {
+            if self.running_nodes[i].0 <= now {
+                let (_, ids) = self.running_nodes.swap_remove(i);
+                self.free.extend(ids.iter().copied());
+                ctx.emit(
+                    Self::OUT_UTILIZATION,
+                    UtilizationUpdate {
+                        node_ids: ids,
+                        level: 0.0,
+                    },
+                );
+            } else {
+                i += 1;
+            }
+        }
+        self.running.clear();
+        self.running.extend(
+            self.running_nodes
+                .iter()
+                .map(|(end, ids)| (*end, ids.len() as u32)),
+        );
+        self.running.sort_by_key(|(end, _)| *end);
+    }
+
+    /// One decision point: release due completions, then let the policy
+    /// start as much as it wants at this instant — [`ClusterSim`]'s
+    /// inner loop, verbatim, with completions becoming wake-ups and
+    /// starts becoming utilisation messages.
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>) {
+        self.release_due(ctx);
+        let now = ctx.now();
+        // The held signal as a one-slot series anchored on the current
+        // settlement slot — what a policy's `intensity_now()` expects.
+        let held = self.signal.map(|ci| {
+            IntensitySeries::new(now.floor_to(self.signal_step), self.signal_step, vec![ci])
+        });
+        loop {
+            let pick = {
+                let sched_ctx = SchedulerContext {
+                    free_nodes: self.free.len() as u32,
+                    total_nodes: self.total_nodes,
+                    now,
+                    running: &self.running,
+                    intensity: held.as_ref(),
+                };
+                self.policy.pick(&self.queue, &sched_ctx)
+            };
+            let Some(idx) = pick else {
+                break;
+            };
+            let job = self.queue.remove(idx);
+            assert!(
+                job.nodes as usize <= self.free.len(),
+                "policy {} oversubscribed the cluster",
+                self.policy.name()
+            );
+            let node_ids: Vec<u32> = self.free.iter().copied().take(job.nodes as usize).collect();
+            for id in &node_ids {
+                self.free.remove(id);
+            }
+            let end = now + job.runtime;
+            self.running_nodes.push((end, node_ids.clone()));
+            self.running.push((end, job.nodes));
+            self.running.sort_by_key(|(e, _)| *e);
+            ctx.wake_at(end);
+            ctx.emit(
+                Self::OUT_UTILIZATION,
+                UtilizationUpdate {
+                    node_ids: node_ids.clone(),
+                    level: job.cpu_utilization,
+                },
+            );
+            self.scheduled.push(ScheduledJob {
+                start: now,
+                end,
+                node_ids,
+                job,
+            });
+        }
+    }
+}
+
+impl Component for ClusterComponent {
+    fn name(&self) -> &str {
+        "cluster"
+    }
+
+    fn on_event(&mut self, port: usize, payload: &Payload, ctx: &mut Ctx<'_>) {
+        match port {
+            Self::IN_JOBS => {
+                self.queue.push(payload.expect::<Job>().clone());
+            }
+            Self::IN_INTENSITY => {
+                self.signal = Some(*payload.expect::<CarbonIntensity>());
+            }
+            other => panic!("cluster has no input port {other}"),
+        }
+        self.dispatch(ctx);
+    }
+
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>) {
+        self.dispatch(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::WorkloadSource;
+    use crate::engine::EngineBuilder;
+    use iriscast_workload::scheduler::FcfsScheduler;
+    use iriscast_workload::WorkloadError;
+
+    fn job(id: u64, submit_h: f64, runtime_h: f64, nodes: u32) -> Job {
+        Job::new(
+            id,
+            Timestamp::from_hours(submit_h),
+            SimDuration::from_hours(runtime_h),
+            nodes,
+        )
+    }
+
+    fn day() -> Period {
+        Period::snapshot_24h()
+    }
+
+    fn run_cluster(jobs: Vec<Job>) -> SimOutcome {
+        let mut b = EngineBuilder::new(day());
+        let src = b.add(Box::new(WorkloadSource::new(jobs).unwrap()));
+        let cluster = b.add(Box::new(
+            ClusterComponent::new(4, Box::new(FcfsScheduler)).unwrap(),
+        ));
+        b.connect(
+            WorkloadSource::out_jobs(src),
+            ClusterComponent::in_jobs(cluster),
+        );
+        let mut engine = b.build();
+        engine.run_to_horizon();
+        engine
+            .get::<ClusterComponent>(cluster)
+            .unwrap()
+            .outcome(day())
+    }
+
+    #[test]
+    fn single_job_starts_at_submit() {
+        let outcome = run_cluster(vec![job(0, 1.0, 2.0, 2)]);
+        assert_eq!(outcome.scheduled.len(), 1);
+        let s = &outcome.scheduled[0];
+        assert_eq!(s.start, Timestamp::from_hours(1.0));
+        assert_eq!(s.end, Timestamp::from_hours(3.0));
+        assert_eq!(s.node_ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn queued_job_starts_at_completion() {
+        // Both jobs want all 4 nodes: the second waits for the first.
+        let outcome = run_cluster(vec![job(0, 0.0, 4.0, 4), job(1, 1.0, 1.0, 4)]);
+        assert_eq!(outcome.scheduled.len(), 2);
+        assert_eq!(outcome.scheduled[1].start, Timestamp::from_hours(4.0));
+    }
+
+    #[test]
+    fn matches_batch_simulator_without_signal() {
+        // No carbon signal and distinct submit instants: the event-driven
+        // cluster reproduces ClusterSim's schedule exactly.
+        let jobs: Vec<Job> = (0..40)
+            .map(|i| {
+                job(
+                    i,
+                    0.1 * i as f64,
+                    0.7 + 0.05 * (i % 7) as f64,
+                    1 + (i % 3) as u32,
+                )
+            })
+            .collect();
+        let event_outcome = run_cluster(jobs.clone());
+        let batch = ClusterSim::new(4)
+            .run(jobs, &mut FcfsScheduler, day())
+            .scheduled;
+        assert_eq!(event_outcome.scheduled, batch);
+    }
+
+    #[test]
+    fn empty_cluster_refused() {
+        let err = ClusterComponent::new(0, Box::new(FcfsScheduler)).err();
+        assert_eq!(err, Some(WorkloadError::EmptyCluster));
+    }
+}

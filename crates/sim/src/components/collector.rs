@@ -1,0 +1,279 @@
+//! The telemetry collector as a fixed-step clocked component.
+
+use crate::clock::Clock;
+use crate::component::{Component, ComponentId, InPort, Payload};
+use crate::components::UtilizationUpdate;
+use crate::engine::Ctx;
+use iriscast_telemetry::{
+    SiteTelemetryConfig, SiteTelemetryResult, SteppedCollector, TelemetryResult, UtilizationSource,
+};
+use iriscast_units::{Period, Timestamp};
+use std::any::Any;
+
+/// A mutable per-node utilisation map fed by [`UtilizationUpdate`]
+/// messages, readable as a [`UtilizationSource`].
+///
+/// Unlike the trace-backed sources this one is sample-and-hold: a node
+/// reports whatever level was last driven onto it, regardless of the
+/// query instant. That is exactly what a live meter sees.
+#[derive(Clone, Debug)]
+pub struct LiveUtilization {
+    levels: Vec<f64>,
+}
+
+impl LiveUtilization {
+    /// All `nodes` idle (level 0).
+    pub fn idle(nodes: u32) -> Self {
+        LiveUtilization {
+            levels: vec![0.0; nodes as usize],
+        }
+    }
+
+    /// Applies one update; node ids beyond the map are ignored.
+    pub fn apply(&mut self, update: &UtilizationUpdate) {
+        for &id in &update.node_ids {
+            if let Some(slot) = self.levels.get_mut(id as usize) {
+                *slot = update.level;
+            }
+        }
+    }
+
+    /// The current level of `node`, 0 if out of range.
+    pub fn level(&self, node: u32) -> f64 {
+        self.levels.get(node as usize).copied().unwrap_or(0.0)
+    }
+}
+
+impl UtilizationSource for LiveUtilization {
+    fn utilization(&self, node: u64, _t: Timestamp) -> f64 {
+        self.levels.get(node as usize).copied().unwrap_or(0.0)
+    }
+}
+
+/// How the collector reads node utilisation at each sample instant.
+enum SourceMode {
+    /// A fixed function of (node, time) — trace playback.
+    Static(Box<dyn UtilizationSource>),
+    /// A live map driven over [`CollectorComponent::IN_UTILIZATION`].
+    Live(LiveUtilization),
+}
+
+/// The site telemetry collector as a clocked component: one
+/// [`SteppedCollector::advance`] per tick of a fixed-step clock equal to
+/// the configured sample step.
+///
+/// Because the stepped collector sweeps the same per-(chunk, instant)
+/// kernel as the batch path, a graph containing only this component
+/// reproduces `SiteCollector::collect` bit for bit — the property the
+/// sim crate's test suite pins down.
+///
+/// Ordering note: the engine schedules first ticks at window open, so at
+/// an instant where a job starts *and* a sample falls, the tick's
+/// sequence number predates the job's start message — the collector
+/// samples the pre-update level. This is deterministic sample-and-hold
+/// (a meter reads just before the state change lands), and it is the
+/// same convention the batch converter uses for half-open intervals.
+pub struct CollectorComponent {
+    stepped: Option<SteppedCollector>,
+    source: SourceMode,
+}
+
+impl CollectorComponent {
+    /// Input port: [`UtilizationUpdate`]s (only meaningful in live mode).
+    pub const IN_UTILIZATION: usize = 0;
+
+    /// A collector sampling a fixed (trace-backed) utilisation source.
+    pub fn with_source(
+        cfg: SiteTelemetryConfig,
+        period: Period,
+        source: Box<dyn UtilizationSource>,
+    ) -> TelemetryResult<Self> {
+        Ok(CollectorComponent {
+            stepped: Some(SteppedCollector::new(cfg, period)?),
+            source: SourceMode::Static(source),
+        })
+    }
+
+    /// A collector sampling a live utilisation map fed over
+    /// [`CollectorComponent::IN_UTILIZATION`]. Starts all-idle.
+    pub fn live(cfg: SiteTelemetryConfig, period: Period) -> TelemetryResult<Self> {
+        let nodes = cfg.total_nodes();
+        Ok(CollectorComponent {
+            stepped: Some(SteppedCollector::new(cfg, period)?),
+            source: SourceMode::Live(LiveUtilization::idle(nodes)),
+        })
+    }
+
+    /// Typed handle to [`CollectorComponent::IN_UTILIZATION`] for wiring.
+    pub fn in_utilization(id: ComponentId) -> InPort<UtilizationUpdate> {
+        InPort::new(id, Self::IN_UTILIZATION)
+    }
+
+    /// Sample instants not yet collected.
+    pub fn remaining(&self) -> usize {
+        self.stepped.as_ref().map_or(0, |s| s.remaining())
+    }
+
+    /// True once every sample instant has been collected.
+    pub fn is_complete(&self) -> bool {
+        self.stepped.as_ref().is_none_or(|s| s.is_complete())
+    }
+
+    /// The live utilisation map, if this collector runs in live mode.
+    pub fn live_levels(&self) -> Option<&LiveUtilization> {
+        match &self.source {
+            SourceMode::Live(live) => Some(live),
+            SourceMode::Static(_) => None,
+        }
+    }
+
+    /// Finalises the sweep into a [`SiteTelemetryResult`]; a sweep cut
+    /// short (the engine stopped before the horizon) is the
+    /// `IncompleteSweep` typed error.
+    ///
+    /// # Panics
+    ///
+    /// If called twice.
+    pub fn finish(&mut self) -> TelemetryResult<SiteTelemetryResult> {
+        self.stepped
+            .take()
+            .expect("collector already finished")
+            .finish()
+    }
+}
+
+impl Component for CollectorComponent {
+    fn name(&self) -> &str {
+        "site-collector"
+    }
+
+    fn clock(&self) -> Option<Clock> {
+        let step = self
+            .stepped
+            .as_ref()
+            .expect("collector already finished")
+            .config()
+            .sample_step;
+        // Window-anchored, not epoch-aligned: the batch sampling grid
+        // starts at the period start.
+        Some(Clock::every(step))
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let period = self
+            .stepped
+            .as_ref()
+            .expect("collector already finished")
+            .period();
+        assert!(
+            ctx.window() == period,
+            "collector period {:?} must equal the engine window {:?} \
+             so clock ticks land exactly on the sampling grid",
+            period,
+            ctx.window(),
+        );
+    }
+
+    fn on_tick(&mut self, _ctx: &mut Ctx<'_>) {
+        let Some(stepped) = self.stepped.as_mut() else {
+            return;
+        };
+        match &self.source {
+            SourceMode::Static(src) => stepped.advance(&**src),
+            SourceMode::Live(live) => stepped.advance(live),
+        };
+    }
+
+    fn on_event(&mut self, port: usize, payload: &Payload, _ctx: &mut Ctx<'_>) {
+        assert_eq!(port, Self::IN_UTILIZATION, "collector has one input port");
+        if let SourceMode::Live(live) = &mut self.source {
+            live.apply(payload.expect::<UtilizationUpdate>());
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineBuilder;
+    use iriscast_telemetry::{
+        NodeGroupTelemetry, NodePowerModel, SiteCollector, SyntheticUtilization,
+    };
+    use iriscast_units::{Power, SimDuration};
+
+    fn config() -> SiteTelemetryConfig {
+        let mut cfg = SiteTelemetryConfig::new(
+            "SIM-01",
+            vec![
+                NodeGroupTelemetry {
+                    label: "compute".into(),
+                    count: 48,
+                    power_model: NodePowerModel::linear(
+                        Power::from_watts(140.0),
+                        Power::from_watts(620.0),
+                    ),
+                },
+                NodeGroupTelemetry {
+                    label: "gpu".into(),
+                    count: 70, // spills into a second 64-node chunk
+                    power_model: NodePowerModel::linear(
+                        Power::from_watts(250.0),
+                        Power::from_watts(900.0),
+                    ),
+                },
+            ],
+            0xC0_5157,
+        );
+        cfg.ipmi_node_coverage = 0.7;
+        cfg
+    }
+
+    #[test]
+    fn clocked_graph_reproduces_batch_collect_bit_for_bit() {
+        let period = Period::starting_at(Timestamp::EPOCH, SimDuration::from_hours(6.0));
+        let cfg = config();
+        let source = SyntheticUtilization::calibrated(0.6, 9);
+        let batch = SiteCollector::new(cfg.clone())
+            .collect(period, &source, 4)
+            .unwrap();
+
+        let mut b = EngineBuilder::new(period);
+        let c = b.add(Box::new(
+            CollectorComponent::with_source(cfg, period, Box::new(source)).unwrap(),
+        ));
+        let mut engine = b.build();
+        engine.run_to_horizon();
+        let collector = engine.get_mut::<CollectorComponent>(c).unwrap();
+        assert!(collector.is_complete());
+        let clocked = collector.finish().unwrap();
+        assert!(clocked == batch, "clocked sweep diverged from batch path");
+    }
+
+    #[test]
+    fn stopping_short_is_an_incomplete_sweep_error() {
+        let period = Period::starting_at(Timestamp::EPOCH, SimDuration::from_hours(6.0));
+        let mut b = EngineBuilder::new(period);
+        let c = b.add(Box::new(
+            CollectorComponent::with_source(
+                config(),
+                period,
+                Box::new(SyntheticUtilization::calibrated(0.6, 9)),
+            )
+            .unwrap(),
+        ));
+        let mut engine = b.build();
+        engine.run_until(Timestamp::from_hours(2.0));
+        let collector = engine.get_mut::<CollectorComponent>(c).unwrap();
+        assert!(!collector.is_complete());
+        let err = collector.finish().unwrap_err();
+        assert!(err.to_string().contains("finalised after"));
+    }
+}

@@ -1,0 +1,169 @@
+//! The grid carbon-intensity signal as a clocked publisher.
+
+use crate::component::{Component, ComponentId, OutPort};
+use crate::engine::Ctx;
+use crate::Clock;
+use iriscast_grid::IntensitySeries;
+use iriscast_units::CarbonIntensity;
+use std::any::Any;
+
+/// Publishes an [`IntensitySeries`] on a clocked port: one
+/// [`CarbonIntensity`] message per settlement slot, on the series' own
+/// epoch-aligned grid, plus one at window open so subscribers are never
+/// signal-less before the first slot boundary.
+///
+/// This is the dispatch stack's half-hourly output stream made
+/// push-based: subscribers (a carbon-aware cluster) react to the signal
+/// instead of indexing a precomputed series.
+pub struct GridSignal {
+    series: IntensitySeries,
+    published: u64,
+}
+
+impl GridSignal {
+    /// Output port: the intensity value of the slot just entered.
+    pub const OUT_INTENSITY: usize = 0;
+
+    /// Publishes `series` (its step becomes the clock step).
+    pub fn new(series: IntensitySeries) -> Self {
+        GridSignal {
+            series,
+            published: 0,
+        }
+    }
+
+    /// Typed handle to [`GridSignal::OUT_INTENSITY`] for wiring.
+    pub fn out_intensity(id: ComponentId) -> OutPort<CarbonIntensity> {
+        OutPort::new(id, Self::OUT_INTENSITY)
+    }
+
+    /// The series being published.
+    pub fn series(&self) -> &IntensitySeries {
+        &self.series
+    }
+
+    /// Messages published so far.
+    pub fn published(&self) -> u64 {
+        self.published
+    }
+
+    fn publish(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(ci) = self.series.at(ctx.now()) {
+            self.published += 1;
+            ctx.emit(Self::OUT_INTENSITY, ci);
+        }
+    }
+}
+
+impl Component for GridSignal {
+    fn name(&self) -> &str {
+        "grid-signal"
+    }
+
+    fn clock(&self) -> Option<Clock> {
+        Some(Clock::aligned(self.series.step()))
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // A window opening mid-slot still needs the current value; slot
+        // boundaries are covered by the first tick instead (the aligned
+        // clock ticks exactly at a boundary start, and publishing twice
+        // at one instant would double-count).
+        if ctx.now() != Clock::aligned(self.series.step()).first_tick(ctx.now()) {
+            self.publish(ctx);
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_>) {
+        self.publish(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{InPort, Payload};
+    use crate::engine::EngineBuilder;
+    use iriscast_units::{Period, SimDuration, Timestamp};
+
+    struct Recorder {
+        got: Vec<(Timestamp, f64)>,
+    }
+
+    impl Component for Recorder {
+        fn name(&self) -> &str {
+            "recorder"
+        }
+        fn on_event(&mut self, _port: usize, payload: &Payload, ctx: &mut Ctx<'_>) {
+            self.got.push((
+                ctx.now(),
+                payload.expect::<CarbonIntensity>().grams_per_kwh(),
+            ));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn series_over(period: Period) -> IntensitySeries {
+        let step = SimDuration::SETTLEMENT_PERIOD;
+        let values = (0..period.step_count(step))
+            .map(|i| CarbonIntensity::from_grams_per_kwh(100.0 + i as f64))
+            .collect();
+        IntensitySeries::new(period.start(), step, values)
+    }
+
+    #[test]
+    fn publishes_once_per_slot_boundary() {
+        let window = Period::starting_at(Timestamp::EPOCH, SimDuration::from_hours(2.0));
+        let mut b = EngineBuilder::new(window);
+        let g = b.add(Box::new(GridSignal::new(series_over(window))));
+        let r = b.add(Box::new(Recorder { got: Vec::new() }));
+        b.connect(GridSignal::out_intensity(g), InPort::new(r, 0));
+        let mut engine = b.build();
+        engine.run_to_horizon();
+        let got = &engine.get::<Recorder>(r).unwrap().got;
+        // 4 half-hour slots, one message each, starting at the (aligned)
+        // window open — no duplicate at t=0.
+        assert_eq!(
+            got.iter().map(|(t, _)| t.as_secs()).collect::<Vec<_>>(),
+            vec![0, 1_800, 3_600, 5_400]
+        );
+        assert_eq!(
+            got.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec![100.0, 101.0, 102.0, 103.0]
+        );
+    }
+
+    #[test]
+    fn mid_slot_window_open_gets_the_current_value() {
+        // Window opens 10 minutes into slot 0.
+        let window = Period::new(Timestamp::from_secs(600), Timestamp::from_secs(5_400));
+        let full = Period::starting_at(Timestamp::EPOCH, SimDuration::from_hours(2.0));
+        let mut b = EngineBuilder::new(window);
+        let g = b.add(Box::new(GridSignal::new(series_over(full))));
+        let r = b.add(Box::new(Recorder { got: Vec::new() }));
+        b.connect(GridSignal::out_intensity(g), InPort::new(r, 0));
+        let mut engine = b.build();
+        engine.run_to_horizon();
+        let got = &engine.get::<Recorder>(r).unwrap().got;
+        // Value at open (slot 0), then boundaries 1800 and 3600.
+        assert_eq!(
+            got.iter()
+                .map(|(t, v)| (t.as_secs(), *v))
+                .collect::<Vec<_>>(),
+            vec![(600, 100.0), (1_800, 101.0), (3_600, 102.0)]
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! The existing subsystems wrapped as engine components: workload
+//! arrivals, the grid intensity signal, the cluster/scheduler, and the
+//! telemetry collector.
+
+mod cluster;
+mod collector;
+mod grid;
+mod workload;
+
+pub use cluster::{ClusterComponent, UtilizationUpdate};
+pub use collector::{CollectorComponent, LiveUtilization};
+pub use grid::GridSignal;
+pub use workload::WorkloadSource;

@@ -1,0 +1,173 @@
+//! Job arrivals as events.
+
+use crate::component::{Component, ComponentId, OutPort};
+use crate::engine::Ctx;
+use iriscast_workload::{Job, WorkloadError, WorkloadResult};
+use std::any::Any;
+use std::collections::VecDeque;
+
+/// Replays a job stream as submission events: each [`Job`] is emitted on
+/// [`WorkloadSource::out_jobs`] at its submit instant (jobs submitted
+/// before the window are emitted when it opens). Purely event-driven —
+/// the source sleeps between submissions via self-scheduled wake-ups,
+/// one wake per distinct submit instant.
+pub struct WorkloadSource {
+    pending: VecDeque<Job>,
+    emitted: usize,
+}
+
+impl WorkloadSource {
+    /// Output port: the job stream, in submit order.
+    pub const OUT_JOBS: usize = 0;
+
+    /// Wraps a submit-sorted job stream; refuses an unsorted one with
+    /// [`WorkloadError::UnsortedJobs`].
+    pub fn new(jobs: Vec<Job>) -> WorkloadResult<Self> {
+        if let Some(i) = jobs.windows(2).position(|w| w[0].submit > w[1].submit) {
+            return Err(WorkloadError::UnsortedJobs { index: i + 1 });
+        }
+        Ok(WorkloadSource {
+            pending: jobs.into(),
+            emitted: 0,
+        })
+    }
+
+    /// Typed handle to [`WorkloadSource::OUT_JOBS`] for wiring.
+    pub fn out_jobs(id: ComponentId) -> OutPort<Job> {
+        OutPort::new(id, Self::OUT_JOBS)
+    }
+
+    /// Jobs emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Jobs not yet due.
+    pub fn remaining(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Emits every job due at or before now, then sleeps until the next
+    /// submission.
+    fn drain_due(&mut self, ctx: &mut Ctx<'_>) {
+        while self.pending.front().is_some_and(|j| j.submit <= ctx.now()) {
+            let job = self.pending.pop_front().expect("front checked");
+            self.emitted += 1;
+            ctx.emit(Self::OUT_JOBS, job);
+        }
+        if let Some(next) = self.pending.front() {
+            ctx.wake_at(next.submit);
+        }
+    }
+}
+
+impl Component for WorkloadSource {
+    fn name(&self) -> &str {
+        "workload-source"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.drain_due(ctx);
+    }
+
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>) {
+        self.drain_due(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{InPort, Payload};
+    use crate::engine::EngineBuilder;
+    use iriscast_units::{Period, SimDuration, Timestamp};
+
+    struct Recorder {
+        got: Vec<(Timestamp, u64)>,
+    }
+
+    impl Component for Recorder {
+        fn name(&self) -> &str {
+            "recorder"
+        }
+        fn on_event(&mut self, _port: usize, payload: &Payload, ctx: &mut Ctx<'_>) {
+            self.got.push((ctx.now(), payload.expect::<Job>().id));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn job(id: u64, submit_s: i64) -> Job {
+        Job::new(
+            id,
+            Timestamp::from_secs(submit_s),
+            SimDuration::from_secs(60),
+            1,
+        )
+    }
+
+    #[test]
+    fn jobs_arrive_at_their_submit_instants() {
+        let window = Period::starting_at(Timestamp::EPOCH, SimDuration::HOUR);
+        let mut b = EngineBuilder::new(window);
+        // Two jobs share t=300: both must arrive at 300, in id order.
+        let jobs = vec![job(0, 100), job(1, 300), job(2, 300), job(3, 2_000)];
+        let src = b.add(Box::new(WorkloadSource::new(jobs).unwrap()));
+        let rec = b.add(Box::new(Recorder { got: Vec::new() }));
+        b.connect(WorkloadSource::out_jobs(src), InPort::new(rec, 0));
+        let mut engine = b.build();
+        engine.run_to_horizon();
+        assert_eq!(
+            engine.get::<Recorder>(rec).unwrap().got,
+            vec![
+                (Timestamp::from_secs(100), 0),
+                (Timestamp::from_secs(300), 1),
+                (Timestamp::from_secs(300), 2),
+                (Timestamp::from_secs(2_000), 3),
+            ]
+        );
+        let src = engine.get::<WorkloadSource>(src).unwrap();
+        assert_eq!(src.emitted(), 4);
+        assert_eq!(src.remaining(), 0);
+    }
+
+    #[test]
+    fn pre_window_jobs_arrive_at_window_open() {
+        let window = Period::new(Timestamp::from_secs(1_000), Timestamp::from_secs(2_000));
+        let mut b = EngineBuilder::new(window);
+        let src = b.add(Box::new(
+            WorkloadSource::new(vec![job(0, 100), job(1, 1_500)]).unwrap(),
+        ));
+        let rec = b.add(Box::new(Recorder { got: Vec::new() }));
+        b.connect(WorkloadSource::out_jobs(src), InPort::new(rec, 0));
+        let mut engine = b.build();
+        engine.run_to_horizon();
+        assert_eq!(
+            engine.get::<Recorder>(rec).unwrap().got,
+            vec![
+                (Timestamp::from_secs(1_000), 0),
+                (Timestamp::from_secs(1_500), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn unsorted_stream_refused() {
+        let err = WorkloadSource::new(vec![job(0, 500), job(1, 100)])
+            .err()
+            .expect("unsorted stream must be refused");
+        assert_eq!(err, WorkloadError::UnsortedJobs { index: 1 });
+    }
+}

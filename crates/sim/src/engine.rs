@@ -1,0 +1,482 @@
+//! The engine: owns the component graph, the event queue, and the
+//! simulation clock.
+//!
+//! One totally ordered event stream drives everything. Each event is
+//! `(timestamp, sequence)`-keyed ([`crate::EventQueue`]), dispatch takes
+//! exactly one event at a time, and components communicate only through
+//! ports — so a run is a deterministic function of the graph and its
+//! inputs, and stopping at any instant and resuming is indistinguishable
+//! from running straight through (the property suite pins both).
+
+use crate::component::{Component, ComponentId, InPort, OutPort, Payload};
+use crate::event::EventQueue;
+use iriscast_units::{Period, SimDuration, Timestamp};
+use std::collections::BTreeMap;
+
+/// What a queued event does to its target component.
+enum EventKind {
+    /// A clock tick (engine-scheduled, auto-renewed from the clock).
+    Tick,
+    /// A self-requested wake-up ([`Ctx::wake_at`]).
+    Wake,
+    /// A message into input port `port`.
+    Deliver {
+        /// Target input port index.
+        port: usize,
+        /// The message.
+        payload: Payload,
+    },
+}
+
+/// One queued event.
+struct Event {
+    target: usize,
+    kind: EventKind,
+}
+
+/// Wire table: (source component, output port) → fan-out list of
+/// (target component, input port), in connect order.
+type Wires = BTreeMap<(usize, usize), Vec<(usize, usize)>>;
+
+/// What a component sees while handling an event: the current instant,
+/// the window, and the ability to emit messages and schedule wake-ups.
+pub struct Ctx<'a> {
+    now: Timestamp,
+    self_id: usize,
+    window: Period,
+    queue: &'a mut EventQueue<Event>,
+    wires: &'a Wires,
+}
+
+impl Ctx<'_> {
+    /// The instant being processed.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// The simulation window.
+    pub fn window(&self) -> Period {
+        self.window
+    }
+
+    /// Emits `value` on the calling component's output port
+    /// `out_index`: one delivery event per connected input port, at the
+    /// current instant, after everything already queued at it (FIFO).
+    /// An unconnected port drops the value — components never know who
+    /// listens.
+    pub fn emit<T: 'static>(&mut self, out_index: usize, value: T) {
+        let Some(dests) = self.wires.get(&(self.self_id, out_index)) else {
+            return;
+        };
+        let payload = Payload::new(value);
+        for &(target, port) in dests {
+            self.queue.push(
+                self.now,
+                Event {
+                    target,
+                    kind: EventKind::Deliver {
+                        port,
+                        payload: payload.clone(),
+                    },
+                },
+            );
+        }
+    }
+
+    /// Schedules [`Component::on_wake`] for the calling component at
+    /// `t` (clamped to the current instant — the past is immutable).
+    pub fn wake_at(&mut self, t: Timestamp) {
+        self.queue.push(
+            t.max(self.now),
+            Event {
+                target: self.self_id,
+                kind: EventKind::Wake,
+            },
+        );
+    }
+
+    /// [`Ctx::wake_at`] relative to now.
+    pub fn wake_after(&mut self, delay: SimDuration) {
+        self.wake_at(self.now + delay);
+    }
+}
+
+/// Assembles a component graph for a simulation window.
+pub struct EngineBuilder {
+    window: Period,
+    components: Vec<Box<dyn Component>>,
+    wires: Wires,
+}
+
+impl EngineBuilder {
+    /// An empty graph over `window`.
+    pub fn new(window: Period) -> Self {
+        EngineBuilder {
+            window,
+            components: Vec::new(),
+            wires: Wires::new(),
+        }
+    }
+
+    /// Adds a component; the returned id is its handle for wiring and
+    /// post-run extraction.
+    pub fn add(&mut self, component: Box<dyn Component>) -> ComponentId {
+        self.components.push(component);
+        ComponentId(self.components.len() - 1)
+    }
+
+    /// Wires an output port to an input port. The shared `T` is the
+    /// type-check: a wire only connects ports declared for the same
+    /// payload type. Fan-out (one output to many inputs) and fan-in
+    /// (many outputs to one input) are both legal.
+    ///
+    /// Panics if either endpoint's component id is not from this
+    /// builder.
+    pub fn connect<T: 'static>(&mut self, from: OutPort<T>, to: InPort<T>) {
+        assert!(
+            from.component.0 < self.components.len() && to.component.0 < self.components.len(),
+            "connect with a component id from a different builder"
+        );
+        self.wires
+            .entry((from.component.0, from.index))
+            .or_default()
+            .push((to.component.0, to.index));
+    }
+
+    /// Finishes assembly.
+    pub fn build(self) -> Engine {
+        Engine {
+            window: self.window,
+            components: self.components.into_iter().map(Some).collect(),
+            wires: self.wires,
+            queue: EventQueue::new(),
+            now: self.window.start(),
+            started: false,
+            events_processed: 0,
+        }
+    }
+}
+
+/// The assembled graph, ready to run.
+///
+/// `run_until(t)` processes every event strictly before
+/// `min(t, window end)` — windows are half-open, like every `Period` in
+/// the codebase — so `run_until(mid); run_until(end)` is event-for-event
+/// identical to `run_until(end)`.
+pub struct Engine {
+    window: Period,
+    components: Vec<Option<Box<dyn Component>>>,
+    wires: Wires,
+    queue: EventQueue<Event>,
+    now: Timestamp,
+    started: bool,
+    events_processed: u64,
+}
+
+impl Engine {
+    /// Opens the window on the first run call: `on_start` per component
+    /// in insertion order, then the first tick of every clocked
+    /// component (so start-up messages at the window start instant
+    /// dispatch before first ticks).
+    fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let start = self.window.start();
+        for i in 0..self.components.len() {
+            let mut c = self.components[i].take().expect("component present");
+            let mut ctx = Ctx {
+                now: start,
+                self_id: i,
+                window: self.window,
+                queue: &mut self.queue,
+                wires: &self.wires,
+            };
+            c.on_start(&mut ctx);
+            self.components[i] = Some(c);
+        }
+        for (i, c) in self.components.iter().enumerate() {
+            if let Some(clock) = c.as_ref().expect("component present").clock() {
+                let first = clock.first_tick(start);
+                if self.window.contains(first) {
+                    self.queue.push(
+                        first,
+                        Event {
+                            target: i,
+                            kind: EventKind::Tick,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Processes every event strictly before `min(until, window end)`,
+    /// in `(time, FIFO)` order. Returns the number of events processed
+    /// by this call. Re-callable: later calls continue where this one
+    /// stopped.
+    pub fn run_until(&mut self, until: Timestamp) -> u64 {
+        self.start();
+        let limit = until.min(self.window.end());
+        let before = self.events_processed;
+        while self.queue.peek_time().is_some_and(|t| t < limit) {
+            let (time, ev) = self.queue.pop().expect("peeked");
+            self.now = time;
+            let mut c = self.components[ev.target]
+                .take()
+                .expect("re-entrant dispatch");
+            let mut ctx = Ctx {
+                now: time,
+                self_id: ev.target,
+                window: self.window,
+                queue: &mut self.queue,
+                wires: &self.wires,
+            };
+            match ev.kind {
+                EventKind::Tick => {
+                    c.on_tick(&mut ctx);
+                    if let Some(clock) = c.clock() {
+                        let next = clock.next_tick(time);
+                        if next < self.window.end() {
+                            self.queue.push(
+                                next,
+                                Event {
+                                    target: ev.target,
+                                    kind: EventKind::Tick,
+                                },
+                            );
+                        }
+                    }
+                }
+                EventKind::Wake => c.on_wake(&mut ctx),
+                EventKind::Deliver { port, payload } => c.on_event(port, &payload, &mut ctx),
+            }
+            self.components[ev.target] = Some(c);
+            self.events_processed += 1;
+        }
+        if limit > self.now {
+            self.now = limit;
+        }
+        self.events_processed - before
+    }
+
+    /// Runs to quiescence or the window end, whichever comes first:
+    /// processes the whole window, leaving any events scheduled at or
+    /// beyond the horizon unprocessed. Returns the number of events
+    /// processed by this call.
+    pub fn run_to_horizon(&mut self) -> u64 {
+        self.run_until(self.window.end())
+    }
+
+    /// The current simulation instant: the last processed event's time,
+    /// or the limit of the last `run_until`.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// The simulation window.
+    pub fn window(&self) -> Period {
+        self.window
+    }
+
+    /// Events dispatched over the engine's lifetime.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Events still queued (including any at or beyond the horizon).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Borrows component `id` as its concrete type — how results come
+    /// back out of a finished graph. `None` on a type mismatch.
+    pub fn get<C: Component>(&self, id: ComponentId) -> Option<&C> {
+        self.components
+            .get(id.0)?
+            .as_ref()
+            .expect("component present")
+            .as_any()
+            .downcast_ref()
+    }
+
+    /// Mutable form of [`Engine::get`].
+    pub fn get_mut<C: Component>(&mut self, id: ComponentId) -> Option<&mut C> {
+        self.components
+            .get_mut(id.0)?
+            .as_mut()
+            .expect("component present")
+            .as_any_mut()
+            .downcast_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Clock;
+    use std::any::Any;
+
+    /// Counts its own ticks and emits each count on port 0.
+    struct Ticker {
+        step: SimDuration,
+        ticks: Vec<Timestamp>,
+    }
+
+    impl Ticker {
+        const OUT: usize = 0;
+        fn new(step: SimDuration) -> Self {
+            Ticker {
+                step,
+                ticks: Vec::new(),
+            }
+        }
+    }
+
+    impl Component for Ticker {
+        fn name(&self) -> &str {
+            "ticker"
+        }
+        fn clock(&self) -> Option<Clock> {
+            Some(Clock::every(self.step))
+        }
+        fn on_tick(&mut self, ctx: &mut Ctx<'_>) {
+            self.ticks.push(ctx.now());
+            ctx.emit(Self::OUT, self.ticks.len());
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Records `(now, value)` for every message on port 0.
+    struct Sink {
+        got: Vec<(Timestamp, usize)>,
+    }
+
+    impl Sink {
+        const IN: usize = 0;
+    }
+
+    impl Component for Sink {
+        fn name(&self) -> &str {
+            "sink"
+        }
+        fn on_event(&mut self, port: usize, payload: &Payload, ctx: &mut Ctx<'_>) {
+            assert_eq!(port, Self::IN);
+            self.got.push((ctx.now(), *payload.expect::<usize>()));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn hour_window() -> Period {
+        Period::starting_at(Timestamp::EPOCH, SimDuration::HOUR)
+    }
+
+    #[test]
+    fn clocked_component_ticks_across_the_window() {
+        let mut b = EngineBuilder::new(hour_window());
+        let t = b.add(Box::new(Ticker::new(SimDuration::from_secs(600))));
+        let mut engine = b.build();
+        engine.run_to_horizon();
+        let ticker = engine.get::<Ticker>(t).unwrap();
+        // Half-open window: ticks at 0, 10, …, 50 min — not 60.
+        assert_eq!(ticker.ticks.len(), 6);
+        assert_eq!(ticker.ticks[0], Timestamp::EPOCH);
+        assert_eq!(*ticker.ticks.last().unwrap(), Timestamp::from_secs(3_000));
+        assert_eq!(engine.now(), hour_window().end());
+    }
+
+    #[test]
+    fn messages_flow_between_components() {
+        let mut b = EngineBuilder::new(hour_window());
+        let t = b.add(Box::new(Ticker::new(SimDuration::from_secs(900))));
+        let s = b.add(Box::new(Sink { got: Vec::new() }));
+        b.connect(
+            OutPort::<usize>::new(t, Ticker::OUT),
+            InPort::<usize>::new(s, Sink::IN),
+        );
+        let mut engine = b.build();
+        engine.run_to_horizon();
+        let sink = engine.get::<Sink>(s).unwrap();
+        assert_eq!(
+            sink.got,
+            vec![
+                (Timestamp::EPOCH, 1),
+                (Timestamp::from_secs(900), 2),
+                (Timestamp::from_secs(1_800), 3),
+                (Timestamp::from_secs(2_700), 4),
+            ]
+        );
+        // 4 ticks + 4 deliveries.
+        assert_eq!(engine.events_processed(), 8);
+    }
+
+    #[test]
+    fn unconnected_port_drops_messages() {
+        let mut b = EngineBuilder::new(hour_window());
+        let t = b.add(Box::new(Ticker::new(SimDuration::from_secs(900))));
+        let mut engine = b.build();
+        assert_eq!(engine.run_to_horizon(), 4); // ticks only
+        assert_eq!(engine.get::<Ticker>(t).unwrap().ticks.len(), 4);
+        assert_eq!(engine.pending_events(), 0);
+    }
+
+    #[test]
+    fn stop_and_resume_equals_straight_run() {
+        let build = || {
+            let mut b = EngineBuilder::new(hour_window());
+            let t = b.add(Box::new(Ticker::new(SimDuration::from_secs(700))));
+            let s = b.add(Box::new(Sink { got: Vec::new() }));
+            b.connect(
+                OutPort::<usize>::new(t, Ticker::OUT),
+                InPort::<usize>::new(s, Sink::IN),
+            );
+            (b.build(), s)
+        };
+        let (mut straight, s1) = build();
+        straight.run_to_horizon();
+        let (mut halves, s2) = build();
+        // Stop mid-window — including exactly on a tick instant (2_100),
+        // which must then fire in the second half, not both.
+        halves.run_until(Timestamp::from_secs(2_100));
+        assert!(halves.now() == Timestamp::from_secs(2_100));
+        halves.run_to_horizon();
+        assert_eq!(
+            straight.get::<Sink>(s1).unwrap().got,
+            halves.get::<Sink>(s2).unwrap().got
+        );
+        assert_eq!(straight.events_processed(), halves.events_processed());
+    }
+
+    #[test]
+    fn wrong_type_get_is_none() {
+        let mut b = EngineBuilder::new(hour_window());
+        let t = b.add(Box::new(Ticker::new(SimDuration::HOUR)));
+        let engine = b.build();
+        assert!(engine.get::<Sink>(t).is_none());
+        assert!(engine.get::<Ticker>(t).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "different builder")]
+    fn foreign_component_id_rejected_at_connect() {
+        let mut b = EngineBuilder::new(hour_window());
+        let t = b.add(Box::new(Ticker::new(SimDuration::HOUR)));
+        let _ = t;
+        let mut other = EngineBuilder::new(hour_window());
+        other.connect(
+            OutPort::<usize>::new(ComponentId(5), 0),
+            InPort::<usize>::new(ComponentId(6), 0),
+        );
+    }
+}

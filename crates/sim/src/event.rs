@@ -1,0 +1,156 @@
+//! The event queue: a binary heap keyed by `(timestamp, sequence)`.
+//!
+//! Determinism is the whole design: events at equal timestamps pop in
+//! insertion order (each push takes a monotone sequence number that
+//! breaks heap ties), so a simulation's event trace is a pure function
+//! of its inputs — never of heap internals or iteration order.
+
+use iriscast_units::Timestamp;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One queued entry. Ordering ignores the payload entirely: time first,
+/// then insertion sequence.
+struct Entry<E> {
+    time: Timestamp,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A min-ordered event queue with stable FIFO tie-breaking at equal
+/// timestamps.
+///
+/// `pop` always yields the earliest pending event; among events sharing
+/// a timestamp, the one pushed first. The queue imposes no monotonicity
+/// of its own — schedulers built on it (the [`crate::Engine`]) enforce
+/// that they only push at or after the instant being processed.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Enqueues `payload` at `time`, after every event already queued at
+    /// that instant.
+    pub fn push(&mut self, time: Timestamp, payload: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, payload }));
+    }
+
+    /// Removes and returns the earliest event (FIFO among equal times).
+    pub fn pop(&mut self) -> Option<(Timestamp, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.payload))
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Timestamp> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Pending event count.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total pushes over the queue's lifetime (the sequence counter).
+    pub fn pushed(&self) -> u64 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: i64) -> Timestamp {
+        Timestamp::from_secs(secs)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), "c");
+        q.push(t(10), "a");
+        q.push(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_timestamps_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn fifo_survives_interleaved_earlier_pushes() {
+        let mut q = EventQueue::new();
+        q.push(t(10), "first@10");
+        q.push(t(5), "only@5");
+        q.push(t(10), "second@10");
+        assert_eq!(q.pop().unwrap().1, "only@5");
+        assert_eq!(q.pop().unwrap().1, "first@10");
+        assert_eq!(q.pop().unwrap().1, "second@10");
+    }
+
+    #[test]
+    fn counters() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(t(1), ());
+        q.push(t(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pushed(), 2);
+        assert_eq!(q.peek_time(), Some(t(1)));
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pushed(), 2);
+    }
+}

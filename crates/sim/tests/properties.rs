@@ -1,0 +1,222 @@
+//! Property-based tests for the discrete-event engine's invariants:
+//! FIFO determinism of the event queue, stop/resume equivalence of the
+//! engine, and bit-identity of the clocked telemetry collector against
+//! the batch sweep.
+
+use iriscast_grid::IntensitySeries;
+use iriscast_sim::{
+    ClusterComponent, CollectorComponent, EngineBuilder, EventQueue, GridSignal, WorkloadSource,
+};
+use iriscast_telemetry::{
+    NodeGroupTelemetry, NodePowerModel, SiteCollector, SiteTelemetryConfig, SyntheticUtilization,
+};
+use iriscast_units::{CarbonIntensity, Period, Power, SimDuration, Timestamp};
+use iriscast_workload::scheduler::{CarbonAwareScheduler, EasyBackfillScheduler};
+use iriscast_workload::{Job, SimOutcome};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary (unsorted, duplicate-heavy) event schedule.
+/// Few distinct timestamps on purpose — collisions are the interesting
+/// case for FIFO tie-breaking.
+fn event_schedule() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(0i64..6, 1..64)
+}
+
+/// Strategy: a plausible sorted job stream for an 8-node day, ~40% of it
+/// deferrable.
+fn job_stream() -> impl Strategy<Value = Vec<Job>> {
+    prop::collection::vec(
+        (
+            0i64..86_400,     // submit seconds
+            60i64..6 * 3_600, // runtime
+            1u32..=8,         // width
+            0u8..2,           // deferrable?
+        ),
+        1..40,
+    )
+    .prop_map(|mut raw| {
+        raw.sort_by_key(|r| r.0);
+        raw.iter()
+            .enumerate()
+            .map(|(i, &(submit, runtime, nodes, deferrable))| {
+                let job = Job::new(
+                    i as u64,
+                    Timestamp::from_secs(submit),
+                    SimDuration::from_secs(runtime),
+                    nodes,
+                );
+                if deferrable == 1 {
+                    job.deferrable_until(Timestamp::from_secs(submit + 12 * 3_600))
+                } else {
+                    job
+                }
+            })
+            .collect()
+    })
+}
+
+/// A zig-zag intensity week whose shape depends on `seed`, so the
+/// carbon-aware policy makes different deferral decisions per case.
+fn intensity_day(seed: u64) -> IntensitySeries {
+    let step = SimDuration::SETTLEMENT_PERIOD;
+    let values = (0..48)
+        .map(|i| {
+            let phase = (i as u64 + seed) % 7;
+            CarbonIntensity::from_grams_per_kwh(60.0 + 40.0 * phase as f64)
+        })
+        .collect();
+    IntensitySeries::new(Timestamp::EPOCH, step, values)
+}
+
+/// Builds the full co-simulation graph (workload → cluster ← grid) and
+/// returns the engine plus the cluster's component id.
+fn build_graph(jobs: Vec<Job>, seed: u64) -> (iriscast_sim::Engine, iriscast_sim::ComponentId) {
+    let window = Period::snapshot_24h();
+    let mut b = EngineBuilder::new(window);
+    let src = b.add(Box::new(WorkloadSource::new(jobs).expect("sorted")));
+    let grid = b.add(Box::new(GridSignal::new(intensity_day(seed))));
+    let cluster = b.add(Box::new(
+        ClusterComponent::new(
+            8,
+            Box::new(CarbonAwareScheduler::new(
+                EasyBackfillScheduler,
+                CarbonIntensity::from_grams_per_kwh(150.0),
+            )),
+        )
+        .expect("non-empty cluster"),
+    ));
+    b.connect(
+        WorkloadSource::out_jobs(src),
+        ClusterComponent::in_jobs(cluster),
+    );
+    b.connect(
+        GridSignal::out_intensity(grid),
+        ClusterComponent::in_intensity(cluster),
+    );
+    (b.build(), cluster)
+}
+
+fn outcome_of(engine: &iriscast_sim::Engine, cluster: iriscast_sim::ComponentId) -> SimOutcome {
+    engine
+        .get::<ClusterComponent>(cluster)
+        .expect("cluster in graph")
+        .outcome(Period::snapshot_24h())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The queue pops in timestamp order with strict FIFO tie-breaking:
+    /// however the pushes are interleaved, the pop order is the stable
+    /// sort of the push order by timestamp.
+    #[test]
+    fn event_queue_is_a_stable_sort(times in event_schedule()) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Timestamp::from_secs(t), i);
+        }
+        let mut expected: Vec<(i64, usize)> =
+            times.iter().map(|&t| (t, 0)).collect();
+        for (i, e) in expected.iter_mut().enumerate() {
+            e.1 = i;
+        }
+        expected.sort_by_key(|&(t, _)| t); // stable: preserves push order
+        let mut popped = Vec::new();
+        while let Some((t, payload)) = q.pop() {
+            popped.push((t.as_secs(), payload));
+        }
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Permuting how equal-timestamp events are *interleaved with other
+    /// timestamps* never reorders them relative to each other.
+    #[test]
+    fn fifo_survives_any_interleaving(times in event_schedule()) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Timestamp::from_secs(t), i);
+        }
+        let mut last_per_time = std::collections::HashMap::new();
+        while let Some((t, payload)) = q.pop() {
+            if let Some(&prev) = last_per_time.get(&t) {
+                prop_assert!(
+                    payload > prev,
+                    "t={} popped {} after {}",
+                    t.as_secs(),
+                    payload,
+                    prev
+                );
+            }
+            last_per_time.insert(t, payload);
+        }
+    }
+
+    /// Running to the horizon in one go equals stopping at an arbitrary
+    /// instant and resuming — same schedule, same event count. The graph
+    /// is the full co-simulation (arrivals, grid signal, carbon-aware
+    /// cluster), so the property covers ticks, wakes and deliveries.
+    #[test]
+    fn stop_resume_equals_straight_run(
+        jobs in job_stream(),
+        seed in 0u64..1_000,
+        split in 0i64..86_400,
+    ) {
+        let (mut straight, c1) = build_graph(jobs.clone(), seed);
+        let straight_events = straight.run_to_horizon();
+
+        let (mut halves, c2) = build_graph(jobs, seed);
+        let first = halves.run_until(Timestamp::from_secs(split));
+        let second = halves.run_to_horizon();
+
+        prop_assert_eq!(first + second, straight_events);
+        prop_assert_eq!(outcome_of(&halves, c2), outcome_of(&straight, c1));
+    }
+
+    /// A graph containing only the clocked collector reproduces the batch
+    /// `SiteCollector::collect` bit for bit, across fleet sizes (either
+    /// side of the 64-node chunk boundary), seeds, coverages and sample
+    /// steps.
+    #[test]
+    fn clocked_collector_matches_batch_bit_for_bit(
+        nodes in 1u32..150,
+        seed in 0u64..1_000,
+        coverage in 0.0f64..=1.0,
+        step_minutes in 1u32..=30,
+        util_seed in 0u64..1_000,
+    ) {
+        let mut cfg = SiteTelemetryConfig::new(
+            "PROP-01",
+            vec![NodeGroupTelemetry {
+                label: "compute".into(),
+                count: nodes,
+                power_model: NodePowerModel::linear(
+                    Power::from_watts(120.0),
+                    Power::from_watts(550.0),
+                ),
+            }],
+            seed,
+        );
+        cfg.ipmi_node_coverage = coverage;
+        cfg.sample_step = SimDuration::from_secs(i64::from(step_minutes) * 60);
+        let period = Period::starting_at(Timestamp::EPOCH, SimDuration::from_hours(2.0));
+        let util = SyntheticUtilization::calibrated(0.55, util_seed);
+
+        let batch = SiteCollector::new(cfg.clone())
+            .collect(period, &util, 4)
+            .expect("valid sweep");
+
+        let mut b = EngineBuilder::new(period);
+        let c = b.add(Box::new(
+            CollectorComponent::with_source(cfg, period, Box::new(util))
+                .expect("valid collector"),
+        ));
+        let mut engine = b.build();
+        engine.run_to_horizon();
+        let clocked = engine
+            .get_mut::<CollectorComponent>(c)
+            .expect("collector in graph")
+            .finish()
+            .expect("sweep complete");
+        prop_assert!(clocked == batch, "clocked sweep diverged from batch path");
+    }
+}

@@ -16,7 +16,7 @@ use crate::register::{decode_register_readings, CumulativeRegister};
 use crate::sources::{splitmix64, UtilizationSource};
 use crate::timeseries::{GapPolicy, PowerSeries};
 use crate::NodePowerModel;
-use iriscast_units::{Energy, Period, Power, SimDuration};
+use iriscast_units::{Energy, Period, Power, SimDuration, Timestamp};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -249,6 +249,114 @@ impl NodeLanes {
     }
 }
 
+/// The per-instrument constants of one sweep: which observation passes
+/// run and each pass's error model. Derived once per collect from the
+/// site config and shared between the batch and stepped paths.
+#[derive(Clone, Copy, Debug)]
+struct MeterPasses {
+    pdu_err: MeterErrorModel,
+    ipmi_err: MeterErrorModel,
+    turbo_err: MeterErrorModel,
+    do_pdu: bool,
+    do_ipmi: bool,
+    do_turbo: bool,
+}
+
+impl MeterPasses {
+    fn for_config(cfg: &SiteTelemetryConfig) -> Self {
+        let has = |k: MeterKind| cfg.methods.contains(&k);
+        MeterPasses {
+            pdu_err: PowerMeter::standard(MeterKind::Pdu).error,
+            ipmi_err: PowerMeter::standard(MeterKind::Ipmi).error,
+            turbo_err: PowerMeter::standard(MeterKind::Turbostat).error,
+            // The facility meter reads the PDU-level aggregate plus room
+            // overhead, so it needs the PDU pass even without PDUs.
+            do_pdu: has(MeterKind::Pdu) || has(MeterKind::Facility),
+            do_ipmi: has(MeterKind::Ipmi),
+            do_turbo: has(MeterKind::Turbostat),
+        }
+    }
+}
+
+/// One sample instant of one chunk's sweep: evaluate utilisation → true
+/// wall power for the chunk's nodes, then push it through each
+/// configured instrument pass, accumulating nodes in ascending id
+/// order.
+///
+/// This is the single shared kernel of the collector. The batch path
+/// iterates time *inside* a chunk, the stepped path iterates chunks
+/// inside a time step — both land here, so the arithmetic, the
+/// accumulation bracketing, and each node's RNG draw order (PDU, then
+/// IPMI, then Turbostat within a step, streams per node) are identical
+/// by construction, which is what makes the two paths bit-identical.
+fn sweep_chunk_step(
+    acc: &mut ChunkAcc,
+    passes: &MeterPasses,
+    s: usize,
+    t: Timestamp,
+    lo: u64,
+    utilization: &dyn UtilizationSource,
+) {
+    let ChunkAcc {
+        truth,
+        pdu,
+        ipmi,
+        turbo,
+        lanes,
+    } = acc;
+    let n = lanes.util.len();
+    utilization.fill_step(lo, t, &mut lanes.util);
+    let mut sum = 0.0;
+    for j in 0..n {
+        let w =
+            lanes.idle_w[j] + lanes.span_w[j] * lanes.curve[j].apply(lanes.util[j].clamp(0.0, 1.0));
+        lanes.wall[j] = w;
+        sum += w;
+    }
+    truth[s] = sum;
+    if passes.do_pdu {
+        let mut sum = 0.0;
+        for j in 0..n {
+            if let Some(r) = passes
+                .pdu_err
+                .observe_watts(lanes.wall[j], &mut lanes.rng[j])
+            {
+                lanes.held_pdu[j] = r;
+            }
+            sum += lanes.held_pdu[j];
+        }
+        pdu[s] = sum;
+    }
+    if passes.do_ipmi {
+        let mut sum = 0.0;
+        for j in 0..n {
+            if lanes.ipmi_on[j] {
+                if let Some(r) = passes
+                    .ipmi_err
+                    .observe_watts(lanes.wall[j] * lanes.ipmi_share[j], &mut lanes.rng[j])
+                {
+                    lanes.held_ipmi[j] = r;
+                }
+                sum += lanes.held_ipmi[j];
+            }
+        }
+        ipmi[s] = sum;
+    }
+    if passes.do_turbo {
+        let mut sum = 0.0;
+        for j in 0..n {
+            if let Some(r) = passes
+                .turbo_err
+                .observe_watts(lanes.wall[j] * lanes.rapl_share[j], &mut lanes.rng[j])
+            {
+                lanes.held_turbo[j] = r;
+            }
+            sum += lanes.held_turbo[j];
+        }
+        turbo[s] = sum;
+    }
+}
+
 /// Reusable buffers for [`SiteCollector::collect_with`]: the per-chunk
 /// accumulator arena and a pool of `f64` buffers for fold targets and
 /// output series.
@@ -463,29 +571,9 @@ impl SiteCollector {
         scratch: &mut CollectScratch,
         backend: FillBackend,
     ) -> TelemetryResult<SiteTelemetryResult> {
-        let steps = period.step_count(cfg.sample_step);
-        if steps == 0 {
-            return Err(TelemetryError::EmptyWindow {
-                site: cfg.site_code.clone(),
-                window_secs: period.duration().as_secs(),
-                step_secs: cfg.sample_step.as_secs(),
-            });
-        }
-        let nodes = cfg.total_nodes() as usize;
-        if nodes == 0 {
-            return Err(TelemetryError::NoNodes {
-                site: cfg.site_code.clone(),
-            });
-        }
-
-        let has = |k: MeterKind| cfg.methods.contains(&k);
-        let pdu_err = PowerMeter::standard(MeterKind::Pdu).error;
-        let ipmi_err = PowerMeter::standard(MeterKind::Ipmi).error;
-        let turbo_err = PowerMeter::standard(MeterKind::Turbostat).error;
+        let (steps, nodes) = Self::validate_sweep(cfg, period)?;
+        let passes = MeterPasses::for_config(cfg);
         let ipmi_limit = cfg.ipmi_reporting_nodes();
-        let do_pdu = has(MeterKind::Pdu) || has(MeterKind::Facility);
-        let do_ipmi = has(MeterKind::Ipmi);
-        let do_turbo = has(MeterKind::Turbostat);
 
         // Each chunk accumulates watts sums per (method, step) into its
         // arena slot, reused (zeroed) from the previous collect call.
@@ -500,71 +588,55 @@ impl SiteCollector {
         backend.fill_indexed(chunk_slots, workers, |chunk_idx, acc| {
             let lo = (chunk_idx * CHUNK_NODES) as u64;
             let hi = (((chunk_idx + 1) * CHUNK_NODES).min(nodes)) as u64;
-            let n = (hi - lo) as usize;
-            let ChunkAcc {
-                truth,
-                pdu,
-                ipmi,
-                turbo,
-                lanes,
-            } = acc;
-            lanes.prime(cfg, lo, hi, ipmi_limit);
+            acc.lanes.prime(cfg, lo, hi, ipmi_limit);
 
-            // Time-outer sweep over flat columns. Per sample instant the
-            // per-method passes accumulate nodes in ascending id order —
-            // the same bracketing as the old node-outer loop, so results
-            // stay invariant under worker count and backend. Each node's
-            // RNG stream also keeps its draw order (PDU, then IPMI, then
-            // Turbostat within a step) because streams are per node.
+            // Time-outer sweep over flat columns; the per-instant kernel
+            // is shared with the stepped path (see `sweep_chunk_step`),
+            // so results stay invariant under worker count, backend, and
+            // batch-vs-stepped driving.
             for (s, t) in period.iter_steps(cfg.sample_step).enumerate() {
-                utilization.fill_step(lo, t, &mut lanes.util);
-                let mut sum = 0.0;
-                for j in 0..n {
-                    let w = lanes.idle_w[j]
-                        + lanes.span_w[j] * lanes.curve[j].apply(lanes.util[j].clamp(0.0, 1.0));
-                    lanes.wall[j] = w;
-                    sum += w;
-                }
-                truth[s] = sum;
-                if do_pdu {
-                    let mut sum = 0.0;
-                    for j in 0..n {
-                        if let Some(r) = pdu_err.observe_watts(lanes.wall[j], &mut lanes.rng[j]) {
-                            lanes.held_pdu[j] = r;
-                        }
-                        sum += lanes.held_pdu[j];
-                    }
-                    pdu[s] = sum;
-                }
-                if do_ipmi {
-                    let mut sum = 0.0;
-                    for j in 0..n {
-                        if lanes.ipmi_on[j] {
-                            if let Some(r) = ipmi_err.observe_watts(
-                                lanes.wall[j] * lanes.ipmi_share[j],
-                                &mut lanes.rng[j],
-                            ) {
-                                lanes.held_ipmi[j] = r;
-                            }
-                            sum += lanes.held_ipmi[j];
-                        }
-                    }
-                    ipmi[s] = sum;
-                }
-                if do_turbo {
-                    let mut sum = 0.0;
-                    for j in 0..n {
-                        if let Some(r) = turbo_err
-                            .observe_watts(lanes.wall[j] * lanes.rapl_share[j], &mut lanes.rng[j])
-                        {
-                            lanes.held_turbo[j] = r;
-                        }
-                        sum += lanes.held_turbo[j];
-                    }
-                    turbo[s] = sum;
-                }
+                sweep_chunk_step(acc, &passes, s, t, lo, utilization);
             }
         });
+
+        Ok(Self::assemble(cfg, period, steps, n_chunks, scratch))
+    }
+
+    /// Window/fleet validation shared by the batch and stepped paths:
+    /// the sample-instant count and node count, or the typed refusal.
+    fn validate_sweep(
+        cfg: &SiteTelemetryConfig,
+        period: Period,
+    ) -> TelemetryResult<(usize, usize)> {
+        let steps = period.step_count(cfg.sample_step);
+        if steps == 0 {
+            return Err(TelemetryError::EmptyWindow {
+                site: cfg.site_code.clone(),
+                window_secs: period.duration().as_secs(),
+                step_secs: cfg.sample_step.as_secs(),
+            });
+        }
+        let nodes = cfg.total_nodes() as usize;
+        if nodes == 0 {
+            return Err(TelemetryError::NoNodes {
+                site: cfg.site_code.clone(),
+            });
+        }
+        Ok((steps, nodes))
+    }
+
+    /// Folds the first `n_chunks` chunk accumulators of `scratch` into
+    /// output series and decoded facility readings. Shared by the batch
+    /// and stepped paths; both arrive here with identical accumulator
+    /// contents, so everything downstream is identical too.
+    fn assemble(
+        cfg: &SiteTelemetryConfig,
+        period: Period,
+        steps: usize,
+        n_chunks: usize,
+        scratch: &mut CollectScratch,
+    ) -> SiteTelemetryResult {
+        let has = |k: MeterKind| cfg.methods.contains(&k);
 
         // Fold chunk partials in chunk order — the fixed bracketing that
         // keeps every worker count bit-identical (see `ChunkAcc`).
@@ -625,7 +697,7 @@ impl SiteCollector {
             (None, None)
         };
 
-        Ok(SiteTelemetryResult {
+        SiteTelemetryResult {
             site_code: cfg.site_code.clone(),
             nodes: cfg.total_nodes(),
             period,
@@ -633,7 +705,7 @@ impl SiteCollector {
             series,
             facility_register,
             facility_energy,
-        })
+        }
     }
 
     /// Simulates half-hourly reads of the facility's cumulative register
@@ -661,6 +733,131 @@ impl SiteCollector {
             }
         }
         readings
+    }
+}
+
+/// A site sweep driven one sample instant at a time — the incremental
+/// form of [`SiteCollector::collect`] for event-driven hosts (the
+/// simulation engine's clocked collector component ticks one
+/// [`SteppedCollector::advance`] per tick).
+///
+/// Bit-identity: a completed stepped sweep reproduces the batch
+/// collector's output exactly. Both paths run the same per-(chunk,
+/// instant) kernel; the batch path iterates instants inside each chunk,
+/// this one iterates chunks inside each instant — per-chunk state
+/// (lanes, per-node RNG streams, hold-last registers) is primed once
+/// here just as a batch collect primes it once per chunk, and the final
+/// fold is the same chunk-order bracketing. The property suite pins
+/// this.
+///
+/// Unlike the batch path the utilisation source is passed per
+/// [`SteppedCollector::advance`], so a host may sample a *live* signal
+/// that changes between ticks — the feedback loops batch collection
+/// cannot express.
+#[derive(Debug)]
+pub struct SteppedCollector {
+    cfg: SiteTelemetryConfig,
+    period: Period,
+    steps: usize,
+    n_chunks: usize,
+    passes: MeterPasses,
+    scratch: CollectScratch,
+    cursor: usize,
+    next_t: Timestamp,
+}
+
+impl SteppedCollector {
+    /// Validates `cfg` over `period` and primes the sweep state. Refuses
+    /// the same degenerate inputs as [`SiteCollector::collect`]
+    /// ([`TelemetryError::EmptyWindow`], [`TelemetryError::NoNodes`]).
+    pub fn new(cfg: SiteTelemetryConfig, period: Period) -> TelemetryResult<Self> {
+        let (steps, nodes) = SiteCollector::validate_sweep(&cfg, period)?;
+        let passes = MeterPasses::for_config(&cfg);
+        let ipmi_limit = cfg.ipmi_reporting_nodes();
+        let n_chunks = nodes.div_ceil(CHUNK_NODES);
+        let mut scratch = CollectScratch::new();
+        scratch.chunks.resize_with(n_chunks, ChunkAcc::default);
+        for (chunk_idx, acc) in scratch.chunks.iter_mut().enumerate() {
+            acc.reset(steps);
+            let lo = (chunk_idx * CHUNK_NODES) as u64;
+            let hi = (((chunk_idx + 1) * CHUNK_NODES).min(nodes)) as u64;
+            acc.lanes.prime(&cfg, lo, hi, ipmi_limit);
+        }
+        Ok(SteppedCollector {
+            next_t: period.start(),
+            cfg,
+            period,
+            steps,
+            n_chunks,
+            passes,
+            scratch,
+            cursor: 0,
+        })
+    }
+
+    /// The site config the sweep runs on.
+    pub fn config(&self) -> &SiteTelemetryConfig {
+        &self.cfg
+    }
+
+    /// The window being swept.
+    pub fn period(&self) -> Period {
+        self.period
+    }
+
+    /// The sample instant the next [`SteppedCollector::advance`] will
+    /// sweep, `None` once the window is exhausted.
+    pub fn next_instant(&self) -> Option<Timestamp> {
+        (self.cursor < self.steps).then_some(self.next_t)
+    }
+
+    /// Sample instants not yet swept.
+    pub fn remaining(&self) -> usize {
+        self.steps - self.cursor
+    }
+
+    /// Whether every sample instant has been swept.
+    pub fn is_complete(&self) -> bool {
+        self.cursor == self.steps
+    }
+
+    /// Sweeps one sample instant across every chunk (ascending chunk
+    /// order) against `utilization`'s view *at that instant*, and
+    /// advances the cursor. Returns the instant swept, `None` once the
+    /// window is exhausted.
+    pub fn advance(&mut self, utilization: &dyn UtilizationSource) -> Option<Timestamp> {
+        if self.cursor >= self.steps {
+            return None;
+        }
+        let t = self.next_t;
+        for (chunk_idx, acc) in self.scratch.chunks[..self.n_chunks].iter_mut().enumerate() {
+            let lo = (chunk_idx * CHUNK_NODES) as u64;
+            sweep_chunk_step(acc, &self.passes, self.cursor, t, lo, utilization);
+        }
+        self.cursor += 1;
+        self.next_t = t + self.cfg.sample_step;
+        Some(t)
+    }
+
+    /// Folds the completed sweep into a [`SiteTelemetryResult`] —
+    /// bit-identical to a batch [`SiteCollector::collect`] over the same
+    /// config, window, and per-instant utilisation. Refuses an
+    /// unfinished sweep with [`TelemetryError::IncompleteSweep`].
+    pub fn finish(mut self) -> TelemetryResult<SiteTelemetryResult> {
+        if self.cursor < self.steps {
+            return Err(TelemetryError::IncompleteSweep {
+                site: self.cfg.site_code.clone(),
+                done: self.cursor,
+                steps: self.steps,
+            });
+        }
+        Ok(SiteCollector::assemble(
+            &self.cfg,
+            self.period,
+            self.steps,
+            self.n_chunks,
+            &mut self.scratch,
+        ))
     }
 }
 
@@ -981,6 +1178,77 @@ mod tests {
             assert_eq!(warm, fresh, "{nodes} nodes");
             scratch.recycle(warm);
         }
+    }
+
+    #[test]
+    fn stepped_sweep_is_bit_identical_to_batch_collect() {
+        // Same config, window, and utilisation: advancing one instant at
+        // a time must reproduce the batch collector exactly, including
+        // the noisy instrument series (per-node RNG streams advance in
+        // the same draw order either way). Heterogeneous groups + partial
+        // IPMI coverage + >1 chunk to exercise every lane.
+        let mut cfg = small_config();
+        cfg.groups.push(NodeGroupTelemetry {
+            label: "gpu".into(),
+            count: 70, // spills into a second 64-node chunk
+            power_model: NodePowerModel::linear(Power::from_watts(250.0), Power::from_watts(900.0)),
+        });
+        cfg.ipmi_node_coverage = 0.7;
+        let util = SyntheticUtilization::calibrated(0.6, 9);
+        let batch = SiteCollector::new(cfg.clone())
+            .collect(window(), &util, 4)
+            .unwrap();
+        let mut stepped = SteppedCollector::new(cfg, window()).unwrap();
+        assert_eq!(stepped.remaining(), 288);
+        while stepped.advance(&util).is_some() {}
+        assert!(stepped.is_complete());
+        assert_eq!(stepped.next_instant(), None);
+        let r = stepped.finish().unwrap();
+        assert_eq!(r, batch);
+    }
+
+    #[test]
+    fn stepped_sweep_instants_match_batch_sampling_grid() {
+        let cfg = small_config();
+        let mut stepped = SteppedCollector::new(cfg.clone(), window()).unwrap();
+        let util = FlatUtilization(0.5);
+        let mut instants = Vec::new();
+        while let Some(t) = stepped.advance(&util) {
+            instants.push(t);
+        }
+        let grid: Vec<_> = window().iter_steps(cfg.sample_step).collect();
+        assert_eq!(instants, grid);
+    }
+
+    #[test]
+    fn unfinished_stepped_sweep_is_a_typed_error() {
+        let mut stepped = SteppedCollector::new(small_config(), window()).unwrap();
+        stepped.advance(&FlatUtilization(0.5));
+        let err = stepped.finish().unwrap_err();
+        assert_eq!(
+            err,
+            TelemetryError::IncompleteSweep {
+                site: "TST".into(),
+                done: 1,
+                steps: 288,
+            }
+        );
+        assert!(err.to_string().contains("1 of 288"));
+    }
+
+    #[test]
+    fn stepped_collector_refuses_degenerate_inputs() {
+        let empty = Period::starting_at(Timestamp::EPOCH, SimDuration::ZERO);
+        assert!(matches!(
+            SteppedCollector::new(small_config(), empty),
+            Err(TelemetryError::EmptyWindow { .. })
+        ));
+        let mut cfg = small_config();
+        cfg.groups[0].count = 0;
+        assert!(matches!(
+            SteppedCollector::new(cfg, window()),
+            Err(TelemetryError::NoNodes { .. })
+        ));
     }
 
     #[test]

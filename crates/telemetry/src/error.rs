@@ -30,6 +30,16 @@ pub enum TelemetryError {
         /// The site being collected.
         site: String,
     },
+    /// A stepped collection was finalised before sweeping every sample
+    /// instant of its window.
+    IncompleteSweep {
+        /// The site being collected.
+        site: String,
+        /// Sample instants swept so far.
+        done: usize,
+        /// Sample instants the window requires.
+        steps: usize,
+    },
 }
 
 impl fmt::Display for TelemetryError {
@@ -47,6 +57,11 @@ impl fmt::Display for TelemetryError {
             TelemetryError::NoNodes { site } => {
                 write!(f, "site {site}: no monitored nodes to collect from")
             }
+            TelemetryError::IncompleteSweep { site, done, steps } => write!(
+                f,
+                "site {site}: stepped collection finalised after {done} of \
+                 {steps} sample instants"
+            ),
         }
     }
 }

@@ -58,7 +58,7 @@ pub mod timeseries;
 pub use aggregate::{EnergyByMethod, SiteEnergyReport};
 pub use collector::{
     CollectScratch, NodeGroupTelemetry, NodeId, SiteCollector, SiteTelemetryConfig,
-    SiteTelemetryResult,
+    SiteTelemetryResult, SteppedCollector,
 };
 pub use error::{TelemetryError, TelemetryResult};
 pub use meter::{MeterErrorModel, MeterKind, MeterReading, PowerMeter};

@@ -243,6 +243,27 @@ impl Timestamp {
     pub const fn is_weekend(self) -> bool {
         self.day_of_week() >= 5
     }
+
+    /// Largest multiple of `step` (counted from the epoch) not after
+    /// `self` — the start of the sampling slot containing this instant.
+    ///
+    /// Clocked simulation components use this to align signal slots and
+    /// tick grids to the epoch regardless of when a window starts.
+    /// Panics if `step` is not positive.
+    pub fn floor_to(self, step: SimDuration) -> Timestamp {
+        assert!(step.as_secs() > 0, "step must be positive");
+        Timestamp(self.0.div_euclid(step.as_secs()) * step.as_secs())
+    }
+
+    /// Smallest multiple of `step` (counted from the epoch) not before
+    /// `self` — the next slot boundary at or after this instant.
+    ///
+    /// Panics if `step` is not positive.
+    pub fn ceil_to(self, step: SimDuration) -> Timestamp {
+        assert!(step.as_secs() > 0, "step must be positive");
+        let s = step.as_secs();
+        Timestamp(self.0.div_euclid(s) * s + if self.0.rem_euclid(s) == 0 { 0 } else { s })
+    }
 }
 
 impl Add<SimDuration> for Timestamp {
@@ -530,6 +551,28 @@ mod tests {
         assert!(Timestamp::from_days(4).is_weekend());
         assert!(Timestamp::from_days(5).is_weekend());
         assert!(!Timestamp::from_days(6).is_weekend());
+    }
+
+    #[test]
+    fn floor_and_ceil_to_slot_boundaries() {
+        let step = SimDuration::SETTLEMENT_PERIOD;
+        let t = Timestamp::from_secs(1_800 * 3 + 411);
+        assert_eq!(t.floor_to(step), Timestamp::from_secs(1_800 * 3));
+        assert_eq!(t.ceil_to(step), Timestamp::from_secs(1_800 * 4));
+        // Exact boundaries are fixed points of both.
+        let b = Timestamp::from_secs(1_800 * 7);
+        assert_eq!(b.floor_to(step), b);
+        assert_eq!(b.ceil_to(step), b);
+        // Negative instants floor towards negative infinity.
+        let n = Timestamp::from_secs(-1);
+        assert_eq!(n.floor_to(step), Timestamp::from_secs(-1_800));
+        assert_eq!(n.ceil_to(step), Timestamp::EPOCH);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn floor_to_rejects_zero_step() {
+        let _ = Timestamp::EPOCH.floor_to(SimDuration::ZERO);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Event-driven cluster simulation.
 
+use crate::error::{WorkloadError, WorkloadResult};
 use crate::scheduler::{Scheduler, SchedulerContext};
 use crate::Job;
 use iriscast_grid::IntensitySeries;
@@ -132,9 +133,19 @@ pub struct ClusterSim {
 
 impl ClusterSim {
     /// A cluster of `nodes` identical nodes.
+    ///
+    /// Panics on an empty cluster; see [`ClusterSim::try_new`].
     pub fn new(nodes: u32) -> Self {
-        assert!(nodes > 0, "a cluster needs at least one node");
-        ClusterSim { nodes }
+        Self::try_new(nodes).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`ClusterSim::new`]: refuses `nodes == 0` with
+    /// [`WorkloadError::EmptyCluster`].
+    pub fn try_new(nodes: u32) -> WorkloadResult<Self> {
+        if nodes == 0 {
+            return Err(WorkloadError::EmptyCluster);
+        }
+        Ok(ClusterSim { nodes })
     }
 
     /// Plays `jobs` through `policy` over `window` with no carbon signal.
@@ -145,18 +156,42 @@ impl ClusterSim {
     /// Plays `jobs` through `policy` over `window`, exposing `intensity`
     /// to the policy (for carbon-aware scheduling).
     ///
-    /// Jobs must be sorted by submit time (the generator guarantees it).
+    /// Jobs must be sorted by submit time (the generator guarantees it);
+    /// panics otherwise — see [`ClusterSim::try_run_with_intensity`].
     pub fn run_with_intensity(
+        &self,
+        jobs: Vec<Job>,
+        policy: &mut dyn Scheduler,
+        window: Period,
+        intensity: Option<&IntensitySeries>,
+    ) -> SimOutcome {
+        self.try_run_with_intensity(jobs, policy, window, intensity)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`ClusterSim::run`].
+    pub fn try_run(
+        &self,
+        jobs: Vec<Job>,
+        policy: &mut dyn Scheduler,
+        window: Period,
+    ) -> WorkloadResult<SimOutcome> {
+        self.try_run_with_intensity(jobs, policy, window, None)
+    }
+
+    /// Fallible form of [`ClusterSim::run_with_intensity`]: refuses an
+    /// unsorted job stream with [`WorkloadError::UnsortedJobs`] naming
+    /// the first out-of-order position.
+    pub fn try_run_with_intensity(
         &self,
         mut jobs: Vec<Job>,
         policy: &mut dyn Scheduler,
         window: Period,
         intensity: Option<&IntensitySeries>,
-    ) -> SimOutcome {
-        assert!(
-            jobs.windows(2).all(|w| w[0].submit <= w[1].submit),
-            "jobs must be sorted by submit time"
-        );
+    ) -> WorkloadResult<SimOutcome> {
+        if let Some(i) = jobs.windows(2).position(|w| w[0].submit > w[1].submit) {
+            return Err(WorkloadError::UnsortedJobs { index: i + 1 });
+        }
         // Free pool: lowest node id first for reproducible placement.
         let mut free: BTreeSet<u32> = (0..self.nodes).collect();
         let mut queue: Vec<Job> = Vec::new();
@@ -170,8 +205,8 @@ impl ClusterSim {
 
         loop {
             // Ingest arrivals due now.
-            while arrivals.peek().is_some_and(|j| j.submit <= now) {
-                queue.push(arrivals.next().expect("peeked"));
+            while let Some(j) = arrivals.next_if(|j| j.submit <= now) {
+                queue.push(j);
             }
             // Release completions due now.
             let mut i = 0;
@@ -244,9 +279,8 @@ impl ClusterSim {
                 consider(*end);
             }
             if intensity.is_some() && !queue.is_empty() {
-                let slot = SimDuration::SETTLEMENT_PERIOD.as_secs();
-                let boundary = ((now.as_secs() / slot) + 1) * slot;
-                consider(Timestamp::from_secs(boundary));
+                let slot = SimDuration::SETTLEMENT_PERIOD;
+                consider(now.floor_to(slot) + slot);
             }
             match next {
                 Some(t) => now = t,
@@ -254,12 +288,12 @@ impl ClusterSim {
             }
         }
 
-        SimOutcome {
+        Ok(SimOutcome {
             scheduled,
             unstarted: queue,
             total_nodes: self.nodes,
             period: window,
-        }
+        })
     }
 }
 
@@ -465,6 +499,45 @@ mod tests {
         let sim = ClusterSim::new(4);
         let jobs = vec![job(0, 2.0, 1.0, 1), job(1, 1.0, 1.0, 1)];
         let _ = sim.run(jobs, &mut FcfsScheduler, day());
+    }
+
+    #[test]
+    fn try_run_refuses_unsorted_jobs_with_index() {
+        let sim = ClusterSim::new(4);
+        let jobs = vec![
+            job(0, 1.0, 1.0, 1),
+            job(1, 3.0, 1.0, 1),
+            job(2, 2.0, 1.0, 1),
+        ];
+        assert_eq!(
+            sim.try_run(jobs, &mut FcfsScheduler, day()),
+            Err(WorkloadError::UnsortedJobs { index: 2 })
+        );
+    }
+
+    #[test]
+    fn try_new_refuses_empty_cluster() {
+        assert_eq!(
+            ClusterSim::try_new(0).err(),
+            Some(WorkloadError::EmptyCluster)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn new_still_panics_on_empty_cluster() {
+        let _ = ClusterSim::new(0);
+    }
+
+    #[test]
+    fn try_run_matches_run_on_valid_input() {
+        let jobs = generate(&WorkloadConfig::batch_hpc(), day(), 17);
+        let sim = ClusterSim::new(32);
+        let a = sim
+            .try_run(jobs.clone(), &mut EasyBackfillScheduler, day())
+            .unwrap();
+        let b = sim.run(jobs, &mut EasyBackfillScheduler, day());
+        assert_eq!(a, b);
     }
 
     #[test]

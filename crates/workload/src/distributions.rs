@@ -4,7 +4,12 @@
 //! standard workload shapes (Poisson arrivals → exponential gaps,
 //! lognormal runtimes) are implemented here directly, keeping the
 //! dependency set to the sanctioned list.
+//!
+//! Invalid parameters are refused as [`WorkloadError`] values rather
+//! than panics — config comes from users, and a bad spread or mean
+//! should surface as a matchable error at the workload boundary.
 
+use crate::error::{WorkloadError, WorkloadResult};
 use rand::Rng;
 
 /// Standard normal sample via the Box–Muller transform.
@@ -15,33 +20,53 @@ pub fn standard_normal(rng: &mut impl Rng) -> f64 {
 }
 
 /// Normal sample with the given mean and standard deviation.
-pub fn normal(rng: &mut impl Rng, mean: f64, sd: f64) -> f64 {
-    assert!(sd >= 0.0, "standard deviation must be non-negative");
-    mean + sd * standard_normal(rng)
+///
+/// Refuses a negative `sd` with [`WorkloadError::NegativeSpread`].
+pub fn normal(rng: &mut impl Rng, mean: f64, sd: f64) -> WorkloadResult<f64> {
+    if sd < 0.0 {
+        return Err(WorkloadError::NegativeSpread { spread: sd });
+    }
+    Ok(mean + sd * standard_normal(rng))
 }
 
 /// Lognormal sample parameterised by the *median* (`exp(μ)`) and shape
 /// `sigma` — the natural parameterisation for runtimes ("median job runs
 /// 20 minutes, spread over decades").
-pub fn lognormal_median(rng: &mut impl Rng, median: f64, sigma: f64) -> f64 {
-    assert!(median > 0.0, "median must be positive");
-    assert!(sigma >= 0.0, "sigma must be non-negative");
-    median * (sigma * standard_normal(rng)).exp()
+///
+/// Refuses a non-positive `median`
+/// ([`WorkloadError::NonPositiveMedian`]) and a negative `sigma`
+/// ([`WorkloadError::NegativeSpread`]).
+pub fn lognormal_median(rng: &mut impl Rng, median: f64, sigma: f64) -> WorkloadResult<f64> {
+    if median <= 0.0 {
+        return Err(WorkloadError::NonPositiveMedian { median });
+    }
+    if sigma < 0.0 {
+        return Err(WorkloadError::NegativeSpread { spread: sigma });
+    }
+    Ok(median * (sigma * standard_normal(rng)).exp())
 }
 
 /// Exponential sample with the given mean (inter-arrival gaps of a
 /// Poisson process).
-pub fn exponential(rng: &mut impl Rng, mean: f64) -> f64 {
-    assert!(mean > 0.0, "mean must be positive");
+///
+/// Refuses a non-positive `mean` with [`WorkloadError::NonPositiveMean`].
+pub fn exponential(rng: &mut impl Rng, mean: f64) -> WorkloadResult<f64> {
+    if mean <= 0.0 {
+        return Err(WorkloadError::NonPositiveMean { mean });
+    }
     let u: f64 = rng.gen_range(1e-12..1.0);
-    -mean * u.ln()
+    Ok(-mean * u.ln())
 }
 
 /// Geometric-ish power-of-two job width: 1, 2, 4, … `max`, with smaller
 /// widths exponentially more likely (the empirical shape of HPC job-size
 /// histograms).
-pub fn power_of_two_width(rng: &mut impl Rng, max: u32) -> u32 {
-    assert!(max >= 1, "max width must be at least 1");
+///
+/// Refuses `max == 0` with [`WorkloadError::ZeroMaxWidth`].
+pub fn power_of_two_width(rng: &mut impl Rng, max: u32) -> WorkloadResult<u32> {
+    if max < 1 {
+        return Err(WorkloadError::ZeroMaxWidth);
+    }
     let levels = 32 - max.leading_zeros(); // ⌊log2(max)⌋ + 1
     let mut width = 1u32;
     for _ in 1..levels {
@@ -53,7 +78,7 @@ pub fn power_of_two_width(rng: &mut impl Rng, max: u32) -> u32 {
             break;
         }
     }
-    width
+    Ok(width)
 }
 
 #[cfg(test)]
@@ -66,11 +91,15 @@ mod tests {
         StdRng::seed_from_u64(12345)
     }
 
+    fn ok<T>(r: WorkloadResult<T>) -> T {
+        r.expect("valid parameters")
+    }
+
     #[test]
     fn normal_moments() {
         let mut r = rng();
         let n = 50_000;
-        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 10.0, 3.0)).collect();
+        let samples: Vec<f64> = (0..n).map(|_| ok(normal(&mut r, 10.0, 3.0))).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
@@ -82,7 +111,7 @@ mod tests {
         let mut r = rng();
         let n = 50_001;
         let mut samples: Vec<f64> = (0..n)
-            .map(|_| lognormal_median(&mut r, 1_200.0, 1.0))
+            .map(|_| ok(lognormal_median(&mut r, 1_200.0, 1.0)))
             .collect();
         samples.sort_by(f64::total_cmp);
         let median = samples[n / 2];
@@ -101,7 +130,7 @@ mod tests {
     fn exponential_mean() {
         let mut r = rng();
         let n = 50_000;
-        let mean = (0..n).map(|_| exponential(&mut r, 90.0)).sum::<f64>() / n as f64;
+        let mean = (0..n).map(|_| ok(exponential(&mut r, 90.0))).sum::<f64>() / n as f64;
         assert!((mean - 90.0).abs() < 2.0, "mean {mean}");
     }
 
@@ -110,7 +139,7 @@ mod tests {
         let mut r = rng();
         let mut seen_large = false;
         for _ in 0..10_000 {
-            let w = power_of_two_width(&mut r, 64);
+            let w = ok(power_of_two_width(&mut r, 64));
             assert!(w.is_power_of_two());
             assert!(w <= 64);
             if w >= 16 {
@@ -124,7 +153,7 @@ mod tests {
     fn width_max_one_is_always_one() {
         let mut r = rng();
         for _ in 0..100 {
-            assert_eq!(power_of_two_width(&mut r, 1), 1);
+            assert_eq!(ok(power_of_two_width(&mut r, 1)), 1);
         }
     }
 
@@ -132,19 +161,57 @@ mod tests {
     fn width_respects_non_power_of_two_max() {
         let mut r = rng();
         for _ in 0..10_000 {
-            assert!(power_of_two_width(&mut r, 48) <= 48);
+            assert!(ok(power_of_two_width(&mut r, 48)) <= 48);
         }
     }
 
     #[test]
-    #[should_panic(expected = "median must be positive")]
-    fn lognormal_rejects_zero_median() {
-        let _ = lognormal_median(&mut rng(), 0.0, 1.0);
+    fn normal_refuses_negative_sd() {
+        assert_eq!(
+            normal(&mut rng(), 0.0, -1.0),
+            Err(WorkloadError::NegativeSpread { spread: -1.0 })
+        );
     }
 
     #[test]
-    #[should_panic(expected = "mean must be positive")]
-    fn exponential_rejects_zero_mean() {
-        let _ = exponential(&mut rng(), 0.0);
+    fn lognormal_refuses_zero_median() {
+        assert_eq!(
+            lognormal_median(&mut rng(), 0.0, 1.0),
+            Err(WorkloadError::NonPositiveMedian { median: 0.0 })
+        );
+    }
+
+    #[test]
+    fn lognormal_refuses_negative_sigma() {
+        assert_eq!(
+            lognormal_median(&mut rng(), 100.0, -0.5),
+            Err(WorkloadError::NegativeSpread { spread: -0.5 })
+        );
+    }
+
+    #[test]
+    fn exponential_refuses_zero_mean() {
+        assert_eq!(
+            exponential(&mut rng(), 0.0),
+            Err(WorkloadError::NonPositiveMean { mean: 0.0 })
+        );
+    }
+
+    #[test]
+    fn width_refuses_zero_max() {
+        assert_eq!(
+            power_of_two_width(&mut rng(), 0),
+            Err(WorkloadError::ZeroMaxWidth)
+        );
+    }
+
+    #[test]
+    fn valid_draws_unchanged_by_error_refactor() {
+        // The Ok path must sample bit-identically to the pre-error-type
+        // code: same RNG consumption, same arithmetic.
+        let mut a = rng();
+        let mut b = rng();
+        let direct = 1_200.0 * (1.3 * standard_normal(&mut a)).exp();
+        assert_eq!(ok(lognormal_median(&mut b, 1_200.0, 1.3)), direct);
     }
 }

@@ -1,0 +1,100 @@
+//! Typed errors for workload generation and simulation.
+//!
+//! Invalid sampler parameters and degenerate simulator inputs are
+//! *values* a caller can match on, not panics (the PR 4/6 convention:
+//! anything a user can construct from config must surface as a typed
+//! refusal). The legacy panicking entry points (`generate`,
+//! [`crate::ClusterSim::new`], [`crate::ClusterSim::run`]) remain as
+//! thin wrappers over the `try_*` forms for callers that treat bad
+//! config as a programming error.
+
+use std::fmt;
+
+/// Result alias for workload APIs.
+pub type WorkloadResult<T> = Result<T, WorkloadError>;
+
+/// A refused workload-generation or simulation input.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkloadError {
+    /// A spread parameter (normal `sd`, lognormal `sigma`) was negative.
+    NegativeSpread {
+        /// The offending spread value.
+        spread: f64,
+    },
+    /// A lognormal median was zero or negative.
+    NonPositiveMedian {
+        /// The offending median.
+        median: f64,
+    },
+    /// An exponential mean (inter-arrival gap) was zero or negative.
+    NonPositiveMean {
+        /// The offending mean.
+        mean: f64,
+    },
+    /// A maximum job width of zero nodes.
+    ZeroMaxWidth,
+    /// A cluster of zero nodes.
+    EmptyCluster,
+    /// The diurnal modulation fell outside `[0, 1)`.
+    InvalidModulation {
+        /// The offending modulation strength.
+        modulation: f64,
+    },
+    /// The job stream handed to the simulator was not sorted by submit
+    /// time; `index` is the first out-of-order position.
+    UnsortedJobs {
+        /// Index of the first job that precedes its predecessor.
+        index: usize,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::NegativeSpread { spread } => {
+                write!(f, "spread parameter must be non-negative, got {spread}")
+            }
+            WorkloadError::NonPositiveMedian { median } => {
+                write!(f, "median must be positive, got {median}")
+            }
+            WorkloadError::NonPositiveMean { mean } => {
+                write!(f, "mean must be positive, got {mean}")
+            }
+            WorkloadError::ZeroMaxWidth => {
+                write!(f, "max width must be at least 1")
+            }
+            WorkloadError::EmptyCluster => {
+                write!(f, "a cluster needs at least one node")
+            }
+            WorkloadError::InvalidModulation { modulation } => {
+                write!(f, "diurnal modulation must lie in [0, 1), got {modulation}")
+            }
+            WorkloadError::UnsortedJobs { index } => {
+                write!(
+                    f,
+                    "jobs must be sorted by submit time (job {index} precedes its predecessor)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offending_value() {
+        assert!(WorkloadError::NegativeSpread { spread: -0.5 }
+            .to_string()
+            .contains("-0.5"));
+        assert!(WorkloadError::UnsortedJobs { index: 3 }
+            .to_string()
+            .contains("job 3"));
+        assert!(WorkloadError::EmptyCluster
+            .to_string()
+            .contains("at least one node"));
+    }
+}

@@ -1,6 +1,7 @@
 //! Synthetic workload generation.
 
 use crate::distributions::{exponential, lognormal_median, power_of_two_width};
+use crate::error::{WorkloadError, WorkloadResult};
 use crate::Job;
 use iriscast_units::{Period, SimDuration};
 use rand::rngs::StdRng;
@@ -66,13 +67,51 @@ impl WorkloadConfig {
     }
 }
 
+impl WorkloadConfig {
+    /// Checks every sampler parameter up front, so generation refuses a
+    /// bad config before drawing a single sample.
+    pub fn validate(&self) -> WorkloadResult<()> {
+        if !(0.0..1.0).contains(&self.diurnal_modulation) {
+            return Err(WorkloadError::InvalidModulation {
+                modulation: self.diurnal_modulation,
+            });
+        }
+        if self.mean_interarrival.as_secs() <= 0 {
+            return Err(WorkloadError::NonPositiveMean {
+                mean: self.mean_interarrival.as_secs() as f64,
+            });
+        }
+        if self.runtime_median.as_secs() <= 0 {
+            return Err(WorkloadError::NonPositiveMedian {
+                median: self.runtime_median.as_secs() as f64,
+            });
+        }
+        if self.runtime_sigma < 0.0 {
+            return Err(WorkloadError::NegativeSpread {
+                spread: self.runtime_sigma,
+            });
+        }
+        if self.max_nodes < 1 {
+            return Err(WorkloadError::ZeroMaxWidth);
+        }
+        Ok(())
+    }
+}
+
 /// Generates jobs over `period` by thinning a diurnally modulated Poisson
 /// process. Deterministic per seed.
+///
+/// Panics on an invalid config; use [`try_generate`] to get the refusal
+/// as a [`WorkloadError`] instead.
 pub fn generate(cfg: &WorkloadConfig, period: Period, seed: u64) -> Vec<Job> {
-    assert!(
-        (0.0..1.0).contains(&cfg.diurnal_modulation),
-        "diurnal modulation must lie in [0, 1)"
-    );
+    try_generate(cfg, period, seed).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`generate`]: refuses an invalid config as a typed
+/// [`WorkloadError`] instead of panicking. Identical output on the Ok
+/// path.
+pub fn try_generate(cfg: &WorkloadConfig, period: Period, seed: u64) -> WorkloadResult<Vec<Job>> {
+    cfg.validate()?;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut jobs = Vec::new();
     // Thinning: draw candidate gaps at the *peak* rate, accept each
@@ -81,7 +120,7 @@ pub fn generate(cfg: &WorkloadConfig, period: Period, seed: u64) -> Vec<Job> {
     let mut t = period.start();
     let mut id = 0u64;
     loop {
-        let gap = exponential(&mut rng, peak_gap);
+        let gap = exponential(&mut rng, peak_gap)?;
         t += SimDuration::from_secs(gap.ceil().max(1.0) as i64);
         if t >= period.end() {
             break;
@@ -97,9 +136,9 @@ pub fn generate(cfg: &WorkloadConfig, period: Period, seed: u64) -> Vec<Job> {
             &mut rng,
             cfg.runtime_median.as_secs() as f64,
             cfg.runtime_sigma,
-        )
+        )?
         .clamp(60.0, 48.0 * 3_600.0);
-        let nodes = power_of_two_width(&mut rng, cfg.max_nodes);
+        let nodes = power_of_two_width(&mut rng, cfg.max_nodes)?;
         let utilization = (cfg.mean_utilization + 0.1 * (rng.gen::<f64>() - 0.5)).clamp(0.05, 1.0);
         let mut job = Job::new(id, t, SimDuration::from_secs(runtime_secs as i64), nodes)
             .with_utilization(utilization);
@@ -112,7 +151,7 @@ pub fn generate(cfg: &WorkloadConfig, period: Period, seed: u64) -> Vec<Job> {
         jobs.push(job);
         id += 1;
     }
-    jobs
+    Ok(jobs)
 }
 
 /// Zipf-ish user draw: rank r chosen with weight 1/(r+1); heavy users
@@ -232,6 +271,85 @@ mod tests {
         let load_1000 = offered_load(&jobs, 1_000, day());
         assert!(load_64 > load_1000);
         assert!(load_1000 > 0.0);
+    }
+
+    #[test]
+    fn try_generate_matches_generate_on_valid_config() {
+        let cfg = WorkloadConfig::batch_hpc();
+        assert_eq!(
+            try_generate(&cfg, day(), 7).unwrap(),
+            generate(&cfg, day(), 7)
+        );
+    }
+
+    #[test]
+    fn try_generate_refuses_bad_modulation() {
+        let cfg = WorkloadConfig {
+            diurnal_modulation: 1.0,
+            ..WorkloadConfig::batch_hpc()
+        };
+        assert_eq!(
+            try_generate(&cfg, day(), 1),
+            Err(WorkloadError::InvalidModulation { modulation: 1.0 })
+        );
+    }
+
+    #[test]
+    fn try_generate_refuses_zero_interarrival() {
+        let cfg = WorkloadConfig {
+            mean_interarrival: SimDuration::ZERO,
+            ..WorkloadConfig::batch_hpc()
+        };
+        assert_eq!(
+            try_generate(&cfg, day(), 1),
+            Err(WorkloadError::NonPositiveMean { mean: 0.0 })
+        );
+    }
+
+    #[test]
+    fn try_generate_refuses_zero_runtime_median() {
+        let cfg = WorkloadConfig {
+            runtime_median: SimDuration::ZERO,
+            ..WorkloadConfig::batch_hpc()
+        };
+        assert_eq!(
+            try_generate(&cfg, day(), 1),
+            Err(WorkloadError::NonPositiveMedian { median: 0.0 })
+        );
+    }
+
+    #[test]
+    fn try_generate_refuses_negative_sigma() {
+        let cfg = WorkloadConfig {
+            runtime_sigma: -0.1,
+            ..WorkloadConfig::batch_hpc()
+        };
+        assert_eq!(
+            try_generate(&cfg, day(), 1),
+            Err(WorkloadError::NegativeSpread { spread: -0.1 })
+        );
+    }
+
+    #[test]
+    fn try_generate_refuses_zero_width() {
+        let cfg = WorkloadConfig {
+            max_nodes: 0,
+            ..WorkloadConfig::batch_hpc()
+        };
+        assert_eq!(
+            try_generate(&cfg, day(), 1),
+            Err(WorkloadError::ZeroMaxWidth)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "diurnal modulation")]
+    fn generate_still_panics_on_bad_config() {
+        let cfg = WorkloadConfig {
+            diurnal_modulation: -0.2,
+            ..WorkloadConfig::batch_hpc()
+        };
+        let _ = generate(&cfg, day(), 1);
     }
 
     #[test]

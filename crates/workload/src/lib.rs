@@ -38,12 +38,14 @@
 
 pub mod cluster;
 pub mod distributions;
+pub mod error;
 mod generate;
 mod job;
 pub mod metrics;
 pub mod scheduler;
 
 pub use cluster::{ClusterSim, ScheduledJob, SimOutcome};
-pub use generate::{generate, offered_load, WorkloadConfig};
+pub use error::{WorkloadError, WorkloadResult};
+pub use generate::{generate, offered_load, try_generate, WorkloadConfig};
 pub use job::Job;
 pub use scheduler::{Scheduler, SchedulerContext};

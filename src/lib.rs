@@ -33,6 +33,7 @@
 //! | [`grid`] | `iriscast-grid` | GB grid generation/carbon-intensity simulator (Figure 1's substrate) |
 //! | [`telemetry`] | `iriscast-telemetry` | facility/PDU/IPMI/Turbostat measurement stack (Table 2's substrate) |
 //! | [`workload`] | `iriscast-workload` | job generator + FCFS/backfill/carbon-aware schedulers |
+//! | [`sim`] | `iriscast-sim` | deterministic discrete-event engine co-simulating workload × grid × telemetry |
 //! | [`model`] | `iriscast-model` | the carbon model: the scenario-space engine, table adapters, reports, paper constants |
 //!
 //! ## Quickstart
@@ -99,6 +100,7 @@
 pub use iriscast_grid as grid;
 pub use iriscast_inventory as inventory;
 pub use iriscast_model as model;
+pub use iriscast_sim as sim;
 pub use iriscast_telemetry as telemetry;
 pub use iriscast_units as units;
 pub use iriscast_workload as workload;
@@ -121,6 +123,7 @@ pub mod prelude {
         CarbonProfile, TimeResolvedAssessment, TimeResolvedBuilder,
     };
     pub use iriscast_model::{Error as ModelError, Result as ModelResult};
+    pub use iriscast_sim::{Component, Ctx, DeferralScenario, Engine, EngineBuilder, ScenarioRun};
     pub use iriscast_telemetry::timeseries::{EnergySeries, GapPolicy, PowerSeries};
     pub use iriscast_telemetry::{
         CollectScratch, MeterKind, NodePowerModel, SiteCollector, SiteTelemetryConfig,
