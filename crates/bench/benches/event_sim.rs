@@ -1,13 +1,17 @@
 //! Discrete-event engine throughput: raw event dispatch on a
-//! ~1,000-component graph, and the carbon-aware deferral co-simulation
-//! end to end.
+//! ~1,000-component graph, the carbon-aware deferral co-simulation end
+//! to end, and the faulted day (multi-site curtailment with meter
+//! outages in flight).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use iriscast_grid::scenario::uk_november_2022;
 use iriscast_sim::{
-    Component, ComponentId, Ctx, DeferralScenario, EngineBuilder, InPort, OutPort, Payload,
+    Component, ComponentId, Ctx, CurtailmentScenario, DeferralScenario, EngineBuilder, InPort,
+    MeterOutage, OutPort, Payload, SiteSpec,
 };
-use iriscast_telemetry::{NodeGroupTelemetry, NodePowerModel, SiteTelemetryConfig};
+use iriscast_telemetry::{
+    DropoutMode, MeterKind, NodeGroupTelemetry, NodePowerModel, SiteTelemetryConfig,
+};
 use iriscast_units::{Period, Power, SimDuration, Timestamp};
 use iriscast_workload::{generate, WorkloadConfig};
 use std::any::Any;
@@ -135,6 +139,75 @@ fn deferral_scenario() -> DeferralScenario {
     }
 }
 
+/// The faulted day: a 4-site fleet (32 nodes each) under one
+/// curtailment authority, generated workloads, live telemetry — and
+/// meter outages dropping into half the sites' sweeps mid-run. This is
+/// the scenario library's heaviest graph: grid fanout, per-site
+/// clusters and collectors, plus fault injectors.
+fn faulted_scenario() -> CurtailmentScenario {
+    let day = Period::snapshot_24h();
+    let grid = uk_november_2022(1).simulate();
+    let series = grid.intensity().slice(day).expect("month covers day");
+    let threshold = series.percentile(0.75);
+    let sites = (0..4u64)
+        .map(|i| {
+            let jobs = generate(
+                &WorkloadConfig {
+                    mean_interarrival: SimDuration::from_secs(480),
+                    ..WorkloadConfig::batch_hpc()
+                },
+                day,
+                42 + i,
+            );
+            let mut telemetry = SiteTelemetryConfig::new(
+                format!("BENCH-F{i}"),
+                vec![NodeGroupTelemetry {
+                    label: "compute".into(),
+                    count: 32,
+                    power_model: NodePowerModel::linear(
+                        Power::from_watts(120.0),
+                        Power::from_watts(550.0),
+                    ),
+                }],
+                42 + i,
+            );
+            telemetry.sample_step = SimDuration::SETTLEMENT_PERIOD;
+            let outages = if i % 2 == 0 {
+                vec![
+                    MeterOutage {
+                        method: MeterKind::Pdu,
+                        mode: DropoutMode::Gap,
+                        window: Period::new(Timestamp::from_hours(6.0), Timestamp::from_hours(9.0)),
+                    },
+                    MeterOutage {
+                        method: MeterKind::Ipmi,
+                        mode: DropoutMode::HoldLast,
+                        window: Period::new(
+                            Timestamp::from_hours(14.0),
+                            Timestamp::from_hours(18.0),
+                        ),
+                    },
+                ]
+            } else {
+                Vec::new()
+            };
+            SiteSpec {
+                nodes: 32,
+                jobs,
+                telemetry,
+                outages,
+            }
+        })
+        .collect();
+    CurtailmentScenario {
+        window: day,
+        intensity: series,
+        threshold,
+        level: 0.25,
+        sites,
+    }
+}
+
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("event_sim");
     g.sample_size(10);
@@ -151,6 +224,12 @@ fn bench(c: &mut Criterion) {
 
     g.bench_function("deferral_day_baseline", |b| {
         b.iter(|| black_box(scenario.run_baseline().expect("baseline runs")))
+    });
+
+    // Four curtailed sites, two of them with meter outages in flight.
+    let faulted = faulted_scenario();
+    g.bench_function("faulted_day", |b| {
+        b.iter(|| black_box(faulted.run().expect("faulted day runs")))
     });
 
     g.finish();

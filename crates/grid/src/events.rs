@@ -1,0 +1,124 @@
+//! Grid stress episodes read off an intensity series.
+//!
+//! Curtailment requests and demand-response windows in the scenario
+//! library are not scripted by hand — they are *derived* from the
+//! intensity trace: a stress episode is a maximal run of settlement
+//! slots whose carbon intensity exceeds a threshold, exactly the
+//! condition under which a grid operator asks large loads to shed. The
+//! property suites use the same derivation to state their invariants
+//! ("no job starts inside a stress episode"), so the scenario and its
+//! checks can never drift apart.
+
+use crate::IntensitySeries;
+use iriscast_units::{CarbonIntensity, Period};
+
+/// One contiguous run of above-threshold settlement slots.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct GridEvent {
+    /// The slots covered, `[first slot start, last slot end)`.
+    pub window: Period,
+    /// Highest slot intensity inside the episode.
+    pub peak: CarbonIntensity,
+    /// Mean slot intensity over the episode.
+    pub mean: CarbonIntensity,
+}
+
+impl GridEvent {
+    /// Whether `t` falls inside the episode's window.
+    pub fn contains(&self, t: iriscast_units::Timestamp) -> bool {
+        self.window.contains(t)
+    }
+}
+
+/// The maximal runs of slots in `series` with intensity strictly above
+/// `threshold`, in chronological order. An empty result means the grid
+/// never stressed; a single episode spanning the whole series means it
+/// never relaxed.
+pub fn stress_episodes(series: &IntensitySeries, threshold: CarbonIntensity) -> Vec<GridEvent> {
+    let mut episodes = Vec::new();
+    let mut run: Option<(usize, usize)> = None; // [first, last] slot index
+    for (i, &ci) in series.values().iter().enumerate() {
+        if ci > threshold {
+            run = Some(match run {
+                Some((first, _)) => (first, i),
+                None => (i, i),
+            });
+        } else if let Some((first, last)) = run.take() {
+            episodes.push(episode_from(series, first, last));
+        }
+    }
+    if let Some((first, last)) = run {
+        episodes.push(episode_from(series, first, last));
+    }
+    episodes
+}
+
+fn episode_from(series: &IntensitySeries, first: usize, last: usize) -> GridEvent {
+    let step = series.step();
+    let start = series.start() + step * first as i64;
+    let end = series.start() + step * (last + 1) as i64;
+    let slots = &series.values()[first..=last];
+    let peak = slots
+        .iter()
+        .copied()
+        .fold(CarbonIntensity::ZERO, |a, b| if b > a { b } else { a });
+    let mean = CarbonIntensity::from_grams_per_kwh(
+        slots.iter().map(|ci| ci.grams_per_kwh()).sum::<f64>() / slots.len() as f64,
+    );
+    GridEvent {
+        window: Period::new(start, end),
+        peak,
+        mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iriscast_units::{SimDuration, Timestamp};
+
+    fn series(values: &[f64]) -> IntensitySeries {
+        IntensitySeries::new(
+            Timestamp::EPOCH,
+            SimDuration::SETTLEMENT_PERIOD,
+            values
+                .iter()
+                .map(|&g| CarbonIntensity::from_grams_per_kwh(g))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn quiet_series_has_no_episodes() {
+        let s = series(&[100.0, 120.0, 90.0]);
+        assert!(stress_episodes(&s, CarbonIntensity::from_grams_per_kwh(200.0)).is_empty());
+    }
+
+    #[test]
+    fn maximal_runs_with_peaks_and_means() {
+        // Slots:        0      1      2      3      4      5
+        let s = series(&[100.0, 250.0, 300.0, 100.0, 260.0, 100.0]);
+        let eps = stress_episodes(&s, CarbonIntensity::from_grams_per_kwh(200.0));
+        assert_eq!(eps.len(), 2);
+        let half = SimDuration::SETTLEMENT_PERIOD;
+        assert_eq!(
+            eps[0].window,
+            Period::new(Timestamp::EPOCH + half, Timestamp::EPOCH + half * 3)
+        );
+        assert_eq!(eps[0].peak, CarbonIntensity::from_grams_per_kwh(300.0));
+        assert_eq!(eps[0].mean, CarbonIntensity::from_grams_per_kwh(275.0));
+        assert_eq!(eps[1].peak, CarbonIntensity::from_grams_per_kwh(260.0));
+        // Episode membership is half-open at the end.
+        assert!(eps[0].contains(Timestamp::EPOCH + half));
+        assert!(!eps[0].contains(Timestamp::EPOCH + half * 3));
+    }
+
+    #[test]
+    fn threshold_is_strict_and_tail_runs_close() {
+        let s = series(&[200.0, 201.0]);
+        let eps = stress_episodes(&s, CarbonIntensity::from_grams_per_kwh(200.0));
+        // 200.0 == threshold is not stress; the trailing run still closes.
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].peak, CarbonIntensity::from_grams_per_kwh(201.0));
+    }
+}

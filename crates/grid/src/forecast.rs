@@ -158,6 +158,25 @@ pub fn score(forecast: &IntensitySeries, actual: &IntensitySeries) -> ForecastSk
     }
 }
 
+/// A day-ahead forecast with a *known* error level: each slot of
+/// `actual` perturbed by Gaussian noise of standard deviation `rmse`
+/// (gCO₂/kWh), deterministically from `seed`. `rmse = 0.0` returns the
+/// outturn itself — the oracle forecast the forecast-vs-outturn
+/// scenario's properties pin against.
+///
+/// This is the series form of [`crate::api::to_records`]'s forecast
+/// column (same noise stream, same clamping at zero), for hosts that
+/// want a forecast [`IntensitySeries`] to publish rather than API
+/// records.
+pub fn synthetic_day_ahead(actual: &IntensitySeries, rmse: f64, seed: u64) -> IntensitySeries {
+    let records = crate::api::to_records(actual, rmse, seed);
+    IntensitySeries::new(
+        actual.start(),
+        actual.step(),
+        records.iter().map(|r| r.forecast).collect(),
+    )
+}
+
 /// Convenience: the greenest `k`-slot window inside `[from, from + horizon)`
 /// according to a forecast — what a day-ahead job placement would book.
 pub fn best_forecast_window(
@@ -228,6 +247,24 @@ mod tests {
         let h = history();
         let short = h.slice(iriscast_units::Period::day(1)).unwrap();
         let _ = score(&short, &h);
+    }
+
+    #[test]
+    fn synthetic_day_ahead_matches_api_records() {
+        let h = history();
+        let f = synthetic_day_ahead(&h, 25.0, 11);
+        assert_eq!(f.len(), h.len());
+        assert_eq!(f.start(), h.start());
+        assert_eq!(f.step(), h.step());
+        // Same noise stream as the API record synthesis.
+        let records = crate::api::to_records(&h, 25.0, 11);
+        for (v, r) in f.values().iter().zip(&records) {
+            assert_eq!(*v, r.forecast);
+        }
+        // Zero RMSE is the oracle: the forecast *is* the outturn.
+        assert_eq!(synthetic_day_ahead(&h, 0.0, 11), h);
+        let skill = score(&f, &h);
+        assert!(skill.rmse > 0.0);
     }
 
     #[test]

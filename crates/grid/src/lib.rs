@@ -39,6 +39,7 @@
 pub mod api;
 mod demand;
 mod dispatch;
+pub mod events;
 pub mod forecast;
 mod fuel;
 mod mix;
@@ -50,7 +51,8 @@ pub mod weather;
 
 pub use demand::DemandModel;
 pub use dispatch::{DispatchResult, Dispatcher, GenerationCapacity};
-pub use forecast::{DayAheadForecaster, ForecastSkill};
+pub use events::{stress_episodes, GridEvent};
+pub use forecast::{synthetic_day_ahead, DayAheadForecaster, ForecastSkill};
 pub use fuel::FuelType;
 pub use mix::GenerationMix;
 pub use regions::GbRegion;

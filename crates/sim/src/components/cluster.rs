@@ -1,6 +1,8 @@
 //! The cluster/scheduler as an event-driven component.
 
 use crate::component::{Component, ComponentId, InPort, OutPort, Payload};
+use crate::components::curtailment::CapacityOrder;
+use crate::components::demand_response::DemandResponseOrder;
 use crate::engine::Ctx;
 use iriscast_grid::IntensitySeries;
 use iriscast_units::{CarbonIntensity, Period, SimDuration, Timestamp};
@@ -22,6 +24,18 @@ pub struct UtilizationUpdate {
     pub node_ids: Vec<u32>,
     /// New driven utilisation on those nodes, `[0, 1]`.
     pub level: f64,
+}
+
+/// The deferrable work currently parked in a cluster's queue — the
+/// capacity a demand-response aggregator can bid back to the grid.
+/// Emitted on [`ClusterComponent::OUT_BACKLOG`] whenever the figure
+/// changes (only on change, so quiet clusters stay quiet on the wire).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DeferrableBacklog {
+    /// Deferrable jobs waiting in the queue.
+    pub jobs: u32,
+    /// Total nodes those jobs would occupy.
+    pub nodes: u32,
 }
 
 /// The cluster and its scheduling policy, driven by events instead of
@@ -57,6 +71,13 @@ pub struct ClusterComponent {
     /// held value never expires between messages, which matters when a
     /// job arrival and the new slot's intensity land at the same instant.
     signal: Option<CarbonIntensity>,
+    /// Capacity fraction in force (1.0 = uncurtailed), sample-and-hold
+    /// from [`ClusterComponent::IN_CURTAILMENT`].
+    capacity_fraction: f64,
+    /// Whether a demand-response hold is parked on the deferrable queue.
+    dr_hold: bool,
+    /// Last backlog figure emitted, to publish only on change.
+    last_backlog: Option<DeferrableBacklog>,
 }
 
 impl ClusterComponent {
@@ -64,8 +85,15 @@ impl ClusterComponent {
     pub const IN_JOBS: usize = 0;
     /// Input port: grid signal updates ([`CarbonIntensity`]).
     pub const IN_INTENSITY: usize = 1;
+    /// Input port: [`CapacityOrder`]s from a curtailment authority.
+    pub const IN_CURTAILMENT: usize = 2;
+    /// Input port: [`DemandResponseOrder`]s parking the deferrable queue.
+    pub const IN_DEMAND_RESPONSE: usize = 3;
     /// Output port: [`UtilizationUpdate`]s as jobs start and complete.
     pub const OUT_UTILIZATION: usize = 0;
+    /// Output port: [`DeferrableBacklog`] whenever the parked-work
+    /// figure changes.
+    pub const OUT_BACKLOG: usize = 1;
 
     /// A cluster of `nodes` identical nodes running `policy`. Refuses an
     /// empty cluster like [`ClusterSim::try_new`].
@@ -83,6 +111,9 @@ impl ClusterComponent {
             running: Vec::new(),
             scheduled: Vec::new(),
             signal: None,
+            capacity_fraction: 1.0,
+            dr_hold: false,
+            last_backlog: None,
         })
     }
 
@@ -105,9 +136,34 @@ impl ClusterComponent {
         InPort::new(id, Self::IN_INTENSITY)
     }
 
+    /// Typed handle to [`ClusterComponent::IN_CURTAILMENT`] for wiring.
+    pub fn in_curtailment(id: ComponentId) -> InPort<CapacityOrder> {
+        InPort::new(id, Self::IN_CURTAILMENT)
+    }
+
+    /// Typed handle to [`ClusterComponent::IN_DEMAND_RESPONSE`] for wiring.
+    pub fn in_demand_response(id: ComponentId) -> InPort<DemandResponseOrder> {
+        InPort::new(id, Self::IN_DEMAND_RESPONSE)
+    }
+
     /// Typed handle to [`ClusterComponent::OUT_UTILIZATION`] for wiring.
     pub fn out_utilization(id: ComponentId) -> OutPort<UtilizationUpdate> {
         OutPort::new(id, Self::OUT_UTILIZATION)
+    }
+
+    /// Typed handle to [`ClusterComponent::OUT_BACKLOG`] for wiring.
+    pub fn out_backlog(id: ComponentId) -> OutPort<DeferrableBacklog> {
+        OutPort::new(id, Self::OUT_BACKLOG)
+    }
+
+    /// The capacity fraction currently in force (1.0 = uncurtailed).
+    pub fn capacity_fraction(&self) -> f64 {
+        self.capacity_fraction
+    }
+
+    /// Whether a demand-response hold is parked on the deferrable queue.
+    pub fn dr_hold(&self) -> bool {
+        self.dr_hold
     }
 
     /// The schedule so far, packaged in the batch simulator's result
@@ -159,6 +215,16 @@ impl ClusterComponent {
     /// start as much as it wants at this instant — [`ClusterSim`]'s
     /// inner loop, verbatim, with completions becoming wake-ups and
     /// starts becoming utilisation messages.
+    ///
+    /// Curtailment caps the nodes the policy may *add*: with a capacity
+    /// order of fraction `f` in force, the policy is offered only
+    /// `⌊total·f⌋ − in-use` free nodes (never negative — running jobs
+    /// are not killed, the cap squeezes new starts). A demand-response
+    /// hold additionally parks deferrable jobs whose deadline has not
+    /// passed, exactly the jobs a
+    /// [`CarbonAwareScheduler`](iriscast_workload::scheduler::CarbonAwareScheduler)
+    /// would consider elastic. Uncurtailed and hold-free, the decision
+    /// point is byte-for-byte the original loop.
     fn dispatch(&mut self, ctx: &mut Ctx<'_>) {
         self.release_due(ctx);
         let now = ctx.now();
@@ -167,23 +233,42 @@ impl ClusterComponent {
         let held = self.signal.map(|ci| {
             IntensitySeries::new(now.floor_to(self.signal_step), self.signal_step, vec![ci])
         });
+        let cap = (f64::from(self.total_nodes) * self.capacity_fraction).floor() as u32;
         loop {
+            let in_use = self.total_nodes - self.free.len() as u32;
+            let admit_budget = cap.saturating_sub(in_use).min(self.free.len() as u32);
             let pick = {
                 let sched_ctx = SchedulerContext {
-                    free_nodes: self.free.len() as u32,
+                    free_nodes: admit_budget,
                     total_nodes: self.total_nodes,
                     now,
                     running: &self.running,
                     intensity: held.as_ref(),
                 };
-                self.policy.pick(&self.queue, &sched_ctx)
+                if self.dr_hold {
+                    // Offer only the un-parked view, mapping the pick
+                    // back to the true queue index (the same view/map
+                    // pattern CarbonAwareScheduler uses internally).
+                    let mut view = Vec::with_capacity(self.queue.len());
+                    let mut map = Vec::with_capacity(self.queue.len());
+                    for (i, job) in self.queue.iter().enumerate() {
+                        let parked = job.deferrable && job.latest_start.is_none_or(|d| d > now);
+                        if !parked {
+                            view.push(job.clone());
+                            map.push(i);
+                        }
+                    }
+                    self.policy.pick(&view, &sched_ctx).map(|i| map[i])
+                } else {
+                    self.policy.pick(&self.queue, &sched_ctx)
+                }
             };
             let Some(idx) = pick else {
                 break;
             };
             let job = self.queue.remove(idx);
             assert!(
-                job.nodes as usize <= self.free.len(),
+                job.nodes <= admit_budget,
                 "policy {} oversubscribed the cluster",
                 self.policy.name()
             );
@@ -210,6 +295,25 @@ impl ClusterComponent {
                 job,
             });
         }
+        self.publish_backlog(ctx);
+    }
+
+    /// Publishes the deferrable-backlog figure when it changed — the
+    /// feed a demand-response aggregator sizes its bids from.
+    fn publish_backlog(&mut self, ctx: &mut Ctx<'_>) {
+        let mut jobs = 0u32;
+        let mut nodes = 0u32;
+        for job in &self.queue {
+            if job.deferrable {
+                jobs += 1;
+                nodes += job.nodes;
+            }
+        }
+        let backlog = DeferrableBacklog { jobs, nodes };
+        if self.last_backlog != Some(backlog) {
+            self.last_backlog = Some(backlog);
+            ctx.emit(Self::OUT_BACKLOG, backlog);
+        }
     }
 }
 
@@ -225,6 +329,12 @@ impl Component for ClusterComponent {
             }
             Self::IN_INTENSITY => {
                 self.signal = Some(*payload.expect::<CarbonIntensity>());
+            }
+            Self::IN_CURTAILMENT => {
+                self.capacity_fraction = payload.expect::<CapacityOrder>().fraction.clamp(0.0, 1.0);
+            }
+            Self::IN_DEMAND_RESPONSE => {
+                self.dr_hold = payload.expect::<DemandResponseOrder>().hold;
             }
             other => panic!("cluster has no input port {other}"),
         }

@@ -2,10 +2,12 @@
 
 use crate::clock::Clock;
 use crate::component::{Component, ComponentId, InPort, Payload};
+use crate::components::fault::FaultCommand;
 use crate::components::UtilizationUpdate;
 use crate::engine::Ctx;
 use iriscast_telemetry::{
-    SiteTelemetryConfig, SiteTelemetryResult, SteppedCollector, TelemetryResult, UtilizationSource,
+    SiteTelemetryConfig, SiteTelemetryResult, StepFaults, SteppedCollector, TelemetryResult,
+    UtilizationSource,
 };
 use iriscast_units::{Period, Timestamp};
 use std::any::Any;
@@ -73,14 +75,23 @@ enum SourceMode {
 /// samples the pre-update level. This is deterministic sample-and-hold
 /// (a meter reads just before the state change lands), and it is the
 /// same convention the batch converter uses for half-open intervals.
+/// [`FaultCommand`]s obey it too: a fault landing exactly on a sample
+/// instant takes effect from the following sample.
 pub struct CollectorComponent {
     stepped: Option<SteppedCollector>,
     source: SourceMode,
+    /// Site-wide outages currently in force, driven over
+    /// [`CollectorComponent::IN_FAULTS`]. All-clear sweeps take the
+    /// fault-free kernel path, so an unwired faults port changes
+    /// nothing.
+    faults: StepFaults,
 }
 
 impl CollectorComponent {
     /// Input port: [`UtilizationUpdate`]s (only meaningful in live mode).
     pub const IN_UTILIZATION: usize = 0;
+    /// Input port: [`FaultCommand`]s from a [`crate::FaultInjector`].
+    pub const IN_FAULTS: usize = 1;
 
     /// A collector sampling a fixed (trace-backed) utilisation source.
     pub fn with_source(
@@ -91,6 +102,7 @@ impl CollectorComponent {
         Ok(CollectorComponent {
             stepped: Some(SteppedCollector::new(cfg, period)?),
             source: SourceMode::Static(source),
+            faults: StepFaults::clear(),
         })
     }
 
@@ -101,12 +113,23 @@ impl CollectorComponent {
         Ok(CollectorComponent {
             stepped: Some(SteppedCollector::new(cfg, period)?),
             source: SourceMode::Live(LiveUtilization::idle(nodes)),
+            faults: StepFaults::clear(),
         })
     }
 
     /// Typed handle to [`CollectorComponent::IN_UTILIZATION`] for wiring.
     pub fn in_utilization(id: ComponentId) -> InPort<UtilizationUpdate> {
         InPort::new(id, Self::IN_UTILIZATION)
+    }
+
+    /// Typed handle to [`CollectorComponent::IN_FAULTS`] for wiring.
+    pub fn in_faults(id: ComponentId) -> InPort<FaultCommand> {
+        InPort::new(id, Self::IN_FAULTS)
+    }
+
+    /// The outages currently in force on this collector's instruments.
+    pub fn active_faults(&self) -> StepFaults {
+        self.faults
     }
 
     /// Sample instants not yet collected.
@@ -179,15 +202,23 @@ impl Component for CollectorComponent {
             return;
         };
         match &self.source {
-            SourceMode::Static(src) => stepped.advance(&**src),
-            SourceMode::Live(live) => stepped.advance(live),
+            SourceMode::Static(src) => stepped.advance_faulted(&**src, self.faults),
+            SourceMode::Live(live) => stepped.advance_faulted(live, self.faults),
         };
     }
 
     fn on_event(&mut self, port: usize, payload: &Payload, _ctx: &mut Ctx<'_>) {
-        assert_eq!(port, Self::IN_UTILIZATION, "collector has one input port");
-        if let SourceMode::Live(live) = &mut self.source {
-            live.apply(payload.expect::<UtilizationUpdate>());
+        match port {
+            Self::IN_UTILIZATION => {
+                if let SourceMode::Live(live) = &mut self.source {
+                    live.apply(payload.expect::<UtilizationUpdate>());
+                }
+            }
+            Self::IN_FAULTS => match payload.expect::<FaultCommand>() {
+                FaultCommand::Down { method, mode } => self.faults.set(*method, Some(*mode)),
+                FaultCommand::Recover { method } => self.faults.set(*method, None),
+            },
+            other => panic!("collector has no input port {other}"),
         }
     }
 

@@ -1,0 +1,253 @@
+//! Grid-driven load curtailment as a signal-to-order translator.
+
+use crate::component::{Component, ComponentId, InPort, OutPort, Payload};
+use crate::engine::Ctx;
+use iriscast_units::{CarbonIntensity, Timestamp};
+use std::any::Any;
+
+/// A capacity order on the wire: the fraction of its nodes a cluster may
+/// keep scheduling onto. `1.0` lifts a curtailment, `0.0` is a full
+/// stop for *new* starts (running jobs are never killed — HPC
+/// curtailment sheds future load, it does not checkpoint-preempt).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct CapacityOrder {
+    /// Allowed capacity as a fraction of total nodes, `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// Translates a grid intensity signal into [`CapacityOrder`]s: while
+/// the published intensity exceeds `threshold` the connected clusters
+/// are ordered down to `level` of their capacity; when it relaxes they
+/// are ordered back to full. Orders are emitted only on state
+/// *transitions*, so a cluster fanned to several signals is not spammed
+/// every slot.
+///
+/// One `Curtailment` fans out to any number of clusters via the
+/// engine's ordinary port fanout — the multi-site scenario wires one
+/// grid signal through one curtailment authority into every site.
+pub struct Curtailment {
+    threshold: CarbonIntensity,
+    level: f64,
+    active: bool,
+    transitions: Vec<(Timestamp, bool)>,
+}
+
+impl Curtailment {
+    /// Input port: grid intensity updates ([`CarbonIntensity`]).
+    pub const IN_INTENSITY: usize = 0;
+    /// Output port: [`CapacityOrder`]s on curtail/release transitions.
+    pub const OUT_ORDERS: usize = 0;
+
+    /// Curtails to `level` (fraction of capacity) while intensity
+    /// exceeds `threshold`.
+    ///
+    /// # Panics
+    /// If `level` is outside `[0, 1]`.
+    pub fn new(threshold: CarbonIntensity, level: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&level),
+            "curtailment level must lie in [0, 1]"
+        );
+        Curtailment {
+            threshold,
+            level,
+            active: false,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Typed handle to [`Curtailment::IN_INTENSITY`] for wiring.
+    pub fn in_intensity(id: ComponentId) -> InPort<CarbonIntensity> {
+        InPort::new(id, Self::IN_INTENSITY)
+    }
+
+    /// Typed handle to [`Curtailment::OUT_ORDERS`] for wiring.
+    pub fn out_orders(id: ComponentId) -> OutPort<CapacityOrder> {
+        OutPort::new(id, Self::OUT_ORDERS)
+    }
+
+    /// Whether a curtailment is currently in force.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Every curtail (`true`) / release (`false`) transition so far, in
+    /// order — the audit log the property suite checks against the
+    /// intensity trace's stress episodes.
+    pub fn transitions(&self) -> &[(Timestamp, bool)] {
+        &self.transitions
+    }
+}
+
+impl Component for Curtailment {
+    fn name(&self) -> &str {
+        "curtailment"
+    }
+
+    fn on_event(&mut self, port: usize, payload: &Payload, ctx: &mut Ctx<'_>) {
+        assert_eq!(port, Self::IN_INTENSITY, "curtailment has one input port");
+        let stressed = *payload.expect::<CarbonIntensity>() > self.threshold;
+        if stressed != self.active {
+            self.active = stressed;
+            self.transitions.push((ctx.now(), stressed));
+            ctx.emit(
+                Self::OUT_ORDERS,
+                CapacityOrder {
+                    fraction: if stressed { self.level } else { 1.0 },
+                },
+            );
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::GridSignal;
+    use crate::engine::EngineBuilder;
+    use iriscast_grid::IntensitySeries;
+    use iriscast_units::{Period, SimDuration};
+
+    struct Recorder {
+        got: Vec<(Timestamp, f64)>,
+    }
+
+    impl Component for Recorder {
+        fn name(&self) -> &str {
+            "recorder"
+        }
+        fn on_event(&mut self, _port: usize, payload: &Payload, ctx: &mut Ctx<'_>) {
+            self.got
+                .push((ctx.now(), payload.expect::<CapacityOrder>().fraction));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn orders_fire_only_on_transitions() {
+        // Slots: clean, clean, dirty, dirty, clean — one curtail order at
+        // the first dirty slot, one release at the clean one after.
+        let window = Period::starting_at(Timestamp::EPOCH, SimDuration::from_hours(2.5));
+        let values = [100.0, 100.0, 300.0, 300.0, 100.0]
+            .iter()
+            .map(|&g| CarbonIntensity::from_grams_per_kwh(g))
+            .collect();
+        let series = IntensitySeries::new(window.start(), SimDuration::SETTLEMENT_PERIOD, values);
+        let mut b = EngineBuilder::new(window);
+        let g = b.add(Box::new(GridSignal::new(series)));
+        let c = b.add(Box::new(Curtailment::new(
+            CarbonIntensity::from_grams_per_kwh(200.0),
+            0.25,
+        )));
+        let r = b.add(Box::new(Recorder { got: Vec::new() }));
+        b.connect(GridSignal::out_intensity(g), Curtailment::in_intensity(c));
+        b.connect(Curtailment::out_orders(c), InPort::new(r, 0));
+        let mut engine = b.build();
+        engine.run_to_horizon();
+        assert_eq!(
+            engine.get::<Recorder>(r).unwrap().got,
+            vec![
+                (Timestamp::from_secs(3_600), 0.25),
+                (Timestamp::from_secs(7_200), 1.0),
+            ]
+        );
+        let c = engine.get::<Curtailment>(c).unwrap();
+        assert!(!c.is_active());
+        assert_eq!(
+            c.transitions(),
+            &[
+                (Timestamp::from_secs(3_600), true),
+                (Timestamp::from_secs(7_200), false),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn out_of_range_level_refused() {
+        let _ = Curtailment::new(CarbonIntensity::from_grams_per_kwh(200.0), 1.5);
+    }
+
+    /// Regression pin for the grid signal's mid-slot open guard: a
+    /// window opening *exactly* on a slot boundary, into an already
+    /// stressed slot, must publish that slot once (first tick only, no
+    /// on_start duplicate) — so the curtailment sees one message and
+    /// trips exactly one order at the open instant.
+    #[test]
+    fn slot_boundary_open_trips_exactly_one_order() {
+        struct IntensityCount {
+            got: Vec<Timestamp>,
+        }
+        impl Component for IntensityCount {
+            fn name(&self) -> &str {
+                "intensity-count"
+            }
+            fn on_event(&mut self, _port: usize, _payload: &Payload, ctx: &mut Ctx<'_>) {
+                self.got.push(ctx.now());
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        use crate::component::Payload;
+        use crate::engine::Ctx;
+        use std::any::Any;
+
+        // Slots from the epoch: clean, dirty, dirty, clean. The window
+        // opens at 1800 s — exactly the boundary of the first dirty slot.
+        let full = Period::starting_at(Timestamp::EPOCH, SimDuration::from_hours(2.0));
+        let values = [100.0, 320.0, 320.0, 100.0]
+            .iter()
+            .map(|&g| CarbonIntensity::from_grams_per_kwh(g))
+            .collect();
+        let series = IntensitySeries::new(full.start(), SimDuration::SETTLEMENT_PERIOD, values);
+        let window = Period::new(Timestamp::from_secs(1_800), Timestamp::from_secs(7_200));
+        let mut b = EngineBuilder::new(window);
+        let g = b.add(Box::new(GridSignal::new(series)));
+        let c = b.add(Box::new(Curtailment::new(
+            CarbonIntensity::from_grams_per_kwh(200.0),
+            0.5,
+        )));
+        let n = b.add(Box::new(IntensityCount { got: Vec::new() }));
+        let r = b.add(Box::new(Recorder { got: Vec::new() }));
+        b.connect(GridSignal::out_intensity(g), Curtailment::in_intensity(c));
+        b.connect(GridSignal::out_intensity(g), InPort::new(n, 0));
+        b.connect(Curtailment::out_orders(c), InPort::new(r, 0));
+        let mut engine = b.build();
+        engine.run_to_horizon();
+        // One publish per boundary — no on_start duplicate at 1800.
+        assert_eq!(
+            engine
+                .get::<IntensityCount>(n)
+                .unwrap()
+                .got
+                .iter()
+                .map(|t| t.as_secs())
+                .collect::<Vec<_>>(),
+            vec![1_800, 3_600, 5_400]
+        );
+        assert_eq!(
+            engine.get::<Recorder>(r).unwrap().got,
+            vec![
+                (Timestamp::from_secs(1_800), 0.5),
+                (Timestamp::from_secs(5_400), 1.0),
+            ]
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! Demand response: bidding deferred capacity back to the grid.
+
+use crate::component::{Component, ComponentId, InPort, OutPort, Payload};
+use crate::components::cluster::DeferrableBacklog;
+use crate::engine::Ctx;
+use iriscast_units::{CarbonIntensity, Timestamp};
+use std::any::Any;
+
+/// A demand-response order on the wire: while `hold` is set the cluster
+/// keeps its deferrable queue parked (deadline-expired jobs still run).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DemandResponseOrder {
+    /// Park deferrable work (`true`) or resume it (`false`).
+    pub hold: bool,
+}
+
+/// One capacity bid: the deferred headroom offered to the grid over an
+/// intensity spike. The `nodes` figure is the largest deferrable-backlog
+/// node count seen while the spike was in force — the demand reduction
+/// the site could firmly commit.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct DemandBid {
+    /// When the spike (and the hold) began.
+    pub from: Timestamp,
+    /// When the spike ended; `None` while still open.
+    pub until: Option<Timestamp>,
+    /// Peak node count of the deferrable backlog during the spike.
+    pub nodes: u32,
+}
+
+/// The demand-response aggregator: watches the intensity signal for
+/// spikes above `spike_threshold`, orders connected clusters to park
+/// deferrable work while one is in force, and converts the parked
+/// backlog into [`DemandBid`]s — the "negawatts" a site offers the grid
+/// in return for shedding at the right moment.
+///
+/// Wiring: intensity on [`DemandResponse::IN_INTENSITY`], the cluster's
+/// backlog feed on [`DemandResponse::IN_BACKLOG`], hold orders out on
+/// [`DemandResponse::OUT_ORDERS`]. Orders are emitted on spike
+/// transitions only.
+pub struct DemandResponse {
+    spike_threshold: CarbonIntensity,
+    in_spike: bool,
+    backlog: DeferrableBacklog,
+    bids: Vec<DemandBid>,
+}
+
+impl DemandResponse {
+    /// Input port: grid intensity updates ([`CarbonIntensity`]).
+    pub const IN_INTENSITY: usize = 0;
+    /// Input port: the cluster's [`DeferrableBacklog`] feed.
+    pub const IN_BACKLOG: usize = 1;
+    /// Output port: [`DemandResponseOrder`]s on spike transitions.
+    pub const OUT_ORDERS: usize = 0;
+
+    /// Responds to intensity spikes above `spike_threshold`.
+    pub fn new(spike_threshold: CarbonIntensity) -> Self {
+        DemandResponse {
+            spike_threshold,
+            in_spike: false,
+            backlog: DeferrableBacklog { jobs: 0, nodes: 0 },
+            bids: Vec::new(),
+        }
+    }
+
+    /// Typed handle to [`DemandResponse::IN_INTENSITY`] for wiring.
+    pub fn in_intensity(id: ComponentId) -> InPort<CarbonIntensity> {
+        InPort::new(id, Self::IN_INTENSITY)
+    }
+
+    /// Typed handle to [`DemandResponse::IN_BACKLOG`] for wiring.
+    pub fn in_backlog(id: ComponentId) -> InPort<DeferrableBacklog> {
+        InPort::new(id, Self::IN_BACKLOG)
+    }
+
+    /// Typed handle to [`DemandResponse::OUT_ORDERS`] for wiring.
+    pub fn out_orders(id: ComponentId) -> OutPort<DemandResponseOrder> {
+        OutPort::new(id, Self::OUT_ORDERS)
+    }
+
+    /// Whether a spike (and therefore a hold) is currently in force.
+    pub fn in_spike(&self) -> bool {
+        self.in_spike
+    }
+
+    /// Every bid so far, in spike order; the last one is open
+    /// (`until == None`) if the window closed mid-spike.
+    pub fn bids(&self) -> &[DemandBid] {
+        &self.bids
+    }
+}
+
+impl Component for DemandResponse {
+    fn name(&self) -> &str {
+        "demand-response"
+    }
+
+    fn on_event(&mut self, port: usize, payload: &Payload, ctx: &mut Ctx<'_>) {
+        match port {
+            Self::IN_INTENSITY => {
+                let spiking = *payload.expect::<CarbonIntensity>() > self.spike_threshold;
+                if spiking == self.in_spike {
+                    return;
+                }
+                self.in_spike = spiking;
+                if spiking {
+                    self.bids.push(DemandBid {
+                        from: ctx.now(),
+                        until: None,
+                        nodes: self.backlog.nodes,
+                    });
+                } else if let Some(bid) = self.bids.last_mut() {
+                    bid.until = Some(ctx.now());
+                }
+                ctx.emit(Self::OUT_ORDERS, DemandResponseOrder { hold: spiking });
+            }
+            Self::IN_BACKLOG => {
+                self.backlog = *payload.expect::<DeferrableBacklog>();
+                if self.in_spike {
+                    if let Some(bid) = self.bids.last_mut() {
+                        bid.nodes = bid.nodes.max(self.backlog.nodes);
+                    }
+                }
+            }
+            other => panic!("demand-response has no input port {other}"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Payload;
+    use crate::components::GridSignal;
+    use crate::engine::EngineBuilder;
+    use iriscast_grid::IntensitySeries;
+    use iriscast_units::{Period, SimDuration};
+
+    /// Feeds a scripted backlog at fixed instants.
+    struct BacklogScript {
+        script: Vec<(Timestamp, DeferrableBacklog)>,
+    }
+
+    impl Component for BacklogScript {
+        fn name(&self) -> &str {
+            "backlog-script"
+        }
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            if let Some((t, _)) = self.script.first() {
+                ctx.wake_at(*t);
+            }
+        }
+        fn on_wake(&mut self, ctx: &mut Ctx<'_>) {
+            while self.script.first().is_some_and(|(t, _)| *t <= ctx.now()) {
+                let (_, b) = self.script.remove(0);
+                ctx.emit(0, b);
+            }
+            if let Some((t, _)) = self.script.first() {
+                ctx.wake_at(*t);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    struct Recorder {
+        got: Vec<(Timestamp, bool)>,
+    }
+
+    impl Component for Recorder {
+        fn name(&self) -> &str {
+            "recorder"
+        }
+        fn on_event(&mut self, _port: usize, payload: &Payload, ctx: &mut Ctx<'_>) {
+            self.got
+                .push((ctx.now(), payload.expect::<DemandResponseOrder>().hold));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn spikes_open_and_close_bids_at_peak_backlog() {
+        // Slots: clean, spike, spike, clean.
+        let window = Period::starting_at(Timestamp::EPOCH, SimDuration::from_hours(2.0));
+        let values = [100.0, 320.0, 310.0, 90.0]
+            .iter()
+            .map(|&g| CarbonIntensity::from_grams_per_kwh(g))
+            .collect();
+        let series = IntensitySeries::new(window.start(), SimDuration::SETTLEMENT_PERIOD, values);
+        let mut b = EngineBuilder::new(window);
+        let g = b.add(Box::new(GridSignal::new(series)));
+        let dr = b.add(Box::new(DemandResponse::new(
+            CarbonIntensity::from_grams_per_kwh(300.0),
+        )));
+        let feed = b.add(Box::new(BacklogScript {
+            script: vec![
+                (
+                    Timestamp::from_secs(2_000),
+                    DeferrableBacklog { jobs: 2, nodes: 12 },
+                ),
+                (
+                    Timestamp::from_secs(2_500),
+                    DeferrableBacklog { jobs: 3, nodes: 20 },
+                ),
+                (
+                    Timestamp::from_secs(4_000),
+                    DeferrableBacklog { jobs: 1, nodes: 4 },
+                ),
+            ],
+        }));
+        let r = b.add(Box::new(Recorder { got: Vec::new() }));
+        b.connect(
+            GridSignal::out_intensity(g),
+            DemandResponse::in_intensity(dr),
+        );
+        b.connect(
+            crate::component::OutPort::<DeferrableBacklog>::new(feed, 0),
+            DemandResponse::in_backlog(dr),
+        );
+        b.connect(DemandResponse::out_orders(dr), InPort::new(r, 0));
+        let mut engine = b.build();
+        engine.run_to_horizon();
+        // Hold at the spike's first slot (1800 s), release at 5400 s.
+        assert_eq!(
+            engine.get::<Recorder>(r).unwrap().got,
+            vec![
+                (Timestamp::from_secs(1_800), true),
+                (Timestamp::from_secs(5_400), false),
+            ]
+        );
+        let dr = engine.get::<DemandResponse>(dr).unwrap();
+        assert!(!dr.in_spike());
+        // The bid covers the spike and carries its peak backlog (20
+        // nodes at 2500 s; the 4-node update landed after release).
+        assert_eq!(
+            dr.bids(),
+            &[DemandBid {
+                from: Timestamp::from_secs(1_800),
+                until: Some(Timestamp::from_secs(5_400)),
+                nodes: 20,
+            }]
+        );
+    }
+}

@@ -1,0 +1,354 @@
+//! Meter dropout/recovery injection as an event source.
+
+use crate::component::{Component, ComponentId, OutPort};
+use crate::engine::Ctx;
+use iriscast_telemetry::{DropoutMode, MeterKind};
+use iriscast_units::{Period, Timestamp};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One scripted site-wide meter outage: `method` is dark for
+/// `window` (half-open: dark at the start instant, reporting again at
+/// the end instant), reading as `mode` while down.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MeterOutage {
+    /// The on-line method that goes dark.
+    pub method: MeterKind,
+    /// How the outage reads (stale hold-last vs NaN gap).
+    pub mode: DropoutMode,
+    /// When the instrument is dark, `[start, end)`.
+    pub window: Period,
+}
+
+/// A fault transition on the wire: the injector's output message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultCommand {
+    /// `method` just went dark, reading as `mode` until recovery.
+    Down {
+        /// The method going dark.
+        method: MeterKind,
+        /// How it reads while dark.
+        mode: DropoutMode,
+    },
+    /// `method` is reporting again.
+    Recover {
+        /// The method recovering.
+        method: MeterKind,
+    },
+}
+
+/// Why a fault script was refused.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultError {
+    /// Two outages of the same method overlap — the down/recover state
+    /// machine would corrupt (back-to-back outages sharing a boundary
+    /// instant are fine: recovery is processed before the next down).
+    OverlappingOutages {
+        /// The doubly-faulted method.
+        method: MeterKind,
+        /// End of the earlier outage.
+        first_end: Timestamp,
+        /// Start of the later, overlapping outage.
+        second_start: Timestamp,
+    },
+    /// An outage window of zero (or negative) length.
+    EmptyOutage {
+        /// The method of the degenerate outage.
+        method: MeterKind,
+    },
+    /// The facility meter cannot be injected: its readings derive from
+    /// the PDU aggregate through a cumulative register, so facility
+    /// outages are modelled by faulting the PDU feed.
+    FacilityNotInjectable,
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::OverlappingOutages {
+                method,
+                first_end,
+                second_start,
+            } => write!(
+                f,
+                "{method} outages overlap: one runs until t={} s, the next \
+                 starts at t={} s",
+                first_end.as_secs(),
+                second_start.as_secs()
+            ),
+            FaultError::EmptyOutage { method } => {
+                write!(f, "{method} outage window is empty")
+            }
+            FaultError::FacilityNotInjectable => write!(
+                f,
+                "facility readings derive from the PDU aggregate; fault the \
+                 PDU feed instead"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// Replays a validated outage script as [`FaultCommand`] events on
+/// [`FaultInjector::out_faults`]: a `Down` at each outage's start, a
+/// `Recover` at its end, in chronological order (recoveries before
+/// downs at a shared instant, so back-to-back outages hand over
+/// cleanly). Purely event-driven, like [`crate::WorkloadSource`] — the
+/// injector sleeps between transitions via self-scheduled wake-ups.
+///
+/// Ordering note: the engine's sample-and-hold convention applies — a
+/// collector tick at instant `t` processes before messages emitted at
+/// `t`, so a fault landing exactly on a sample instant takes effect
+/// from the *following* sample (the meter reads just before the outage
+/// lands). Transitions before the window open are delivered at open.
+#[derive(Debug)]
+pub struct FaultInjector {
+    pending: VecDeque<(Timestamp, FaultCommand)>,
+    emitted: usize,
+}
+
+impl FaultInjector {
+    /// Output port: the fault transition stream ([`FaultCommand`]).
+    pub const OUT_FAULTS: usize = 0;
+
+    /// Validates and compiles an outage script. Refusals are typed:
+    /// overlapping same-method outages, empty windows, facility
+    /// injection (see [`FaultError`]). Outages may be given in any
+    /// order.
+    pub fn new(mut outages: Vec<MeterOutage>) -> Result<Self, FaultError> {
+        for o in &outages {
+            if o.method == MeterKind::Facility {
+                return Err(FaultError::FacilityNotInjectable);
+            }
+            if o.window.duration().as_secs() <= 0 {
+                return Err(FaultError::EmptyOutage { method: o.method });
+            }
+        }
+        outages.sort_by_key(|o| o.window.start());
+        for m in MeterKind::ALL {
+            let mut prev_end: Option<Timestamp> = None;
+            for o in outages.iter().filter(|o| o.method == m) {
+                if let Some(end) = prev_end {
+                    if o.window.start() < end {
+                        return Err(FaultError::OverlappingOutages {
+                            method: m,
+                            first_end: end,
+                            second_start: o.window.start(),
+                        });
+                    }
+                }
+                prev_end = Some(o.window.end());
+            }
+        }
+        let mut transitions: Vec<(Timestamp, u8, FaultCommand)> = Vec::new();
+        for o in &outages {
+            transitions.push((
+                o.window.start(),
+                1,
+                FaultCommand::Down {
+                    method: o.method,
+                    mode: o.mode,
+                },
+            ));
+            transitions.push((
+                o.window.end(),
+                0,
+                FaultCommand::Recover { method: o.method },
+            ));
+        }
+        // Recoveries (rank 0) before downs (rank 1) at a shared instant:
+        // a back-to-back pair hands the method over instead of the stale
+        // recover cancelling the fresh outage.
+        transitions.sort_by_key(|(t, rank, _)| (*t, *rank));
+        Ok(FaultInjector {
+            pending: transitions.into_iter().map(|(t, _, c)| (t, c)).collect(),
+            emitted: 0,
+        })
+    }
+
+    /// Typed handle to [`FaultInjector::OUT_FAULTS`] for wiring.
+    pub fn out_faults(id: ComponentId) -> OutPort<FaultCommand> {
+        OutPort::new(id, Self::OUT_FAULTS)
+    }
+
+    /// Transitions emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Transitions not yet due.
+    pub fn remaining(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn drain_due(&mut self, ctx: &mut Ctx<'_>) {
+        while self.pending.front().is_some_and(|(t, _)| *t <= ctx.now()) {
+            let (_, cmd) = self.pending.pop_front().expect("front checked");
+            self.emitted += 1;
+            ctx.emit(Self::OUT_FAULTS, cmd);
+        }
+        if let Some((next, _)) = self.pending.front() {
+            ctx.wake_at(*next);
+        }
+    }
+}
+
+impl Component for FaultInjector {
+    fn name(&self) -> &str {
+        "fault-injector"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.drain_due(ctx);
+    }
+
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>) {
+        self.drain_due(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{InPort, Payload};
+    use crate::engine::EngineBuilder;
+    use iriscast_units::SimDuration;
+
+    struct Recorder {
+        got: Vec<(Timestamp, FaultCommand)>,
+    }
+
+    impl Component for Recorder {
+        fn name(&self) -> &str {
+            "recorder"
+        }
+        fn on_event(&mut self, _port: usize, payload: &Payload, ctx: &mut Ctx<'_>) {
+            self.got
+                .push((ctx.now(), payload.expect::<FaultCommand>().clone()));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn outage(method: MeterKind, mode: DropoutMode, from_s: i64, to_s: i64) -> MeterOutage {
+        MeterOutage {
+            method,
+            mode,
+            window: Period::new(Timestamp::from_secs(from_s), Timestamp::from_secs(to_s)),
+        }
+    }
+
+    fn run_script(outages: Vec<MeterOutage>) -> Vec<(Timestamp, FaultCommand)> {
+        let window = Period::starting_at(Timestamp::EPOCH, SimDuration::HOUR);
+        let mut b = EngineBuilder::new(window);
+        let inj = b.add(Box::new(FaultInjector::new(outages).unwrap()));
+        let rec = b.add(Box::new(Recorder { got: Vec::new() }));
+        b.connect(FaultInjector::out_faults(inj), InPort::new(rec, 0));
+        let mut engine = b.build();
+        engine.run_to_horizon();
+        engine.get::<Recorder>(rec).unwrap().got.clone()
+    }
+
+    #[test]
+    fn transitions_fire_at_outage_boundaries() {
+        let got = run_script(vec![outage(MeterKind::Pdu, DropoutMode::Gap, 600, 1_200)]);
+        assert_eq!(
+            got,
+            vec![
+                (
+                    Timestamp::from_secs(600),
+                    FaultCommand::Down {
+                        method: MeterKind::Pdu,
+                        mode: DropoutMode::Gap,
+                    }
+                ),
+                (
+                    Timestamp::from_secs(1_200),
+                    FaultCommand::Recover {
+                        method: MeterKind::Pdu,
+                    }
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn back_to_back_outages_recover_before_the_next_down() {
+        let got = run_script(vec![
+            outage(MeterKind::Ipmi, DropoutMode::Gap, 1_200, 1_800),
+            outage(MeterKind::Ipmi, DropoutMode::HoldLast, 600, 1_200),
+        ]);
+        assert_eq!(got.len(), 4);
+        // At the shared instant t=1200 the recover lands first.
+        assert_eq!(got[1].0, Timestamp::from_secs(1_200));
+        assert!(matches!(got[1].1, FaultCommand::Recover { .. }));
+        assert_eq!(got[2].0, Timestamp::from_secs(1_200));
+        assert!(matches!(
+            got[2].1,
+            FaultCommand::Down {
+                mode: DropoutMode::Gap,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn overlapping_same_method_outages_are_refused() {
+        let err = FaultInjector::new(vec![
+            outage(MeterKind::Pdu, DropoutMode::Gap, 0, 1_000),
+            outage(MeterKind::Pdu, DropoutMode::Gap, 500, 1_500),
+        ])
+        .unwrap_err();
+        assert_eq!(
+            err,
+            FaultError::OverlappingOutages {
+                method: MeterKind::Pdu,
+                first_end: Timestamp::from_secs(1_000),
+                second_start: Timestamp::from_secs(500),
+            }
+        );
+        assert!(err.to_string().contains("overlap"));
+        // Different methods may overlap freely.
+        assert!(FaultInjector::new(vec![
+            outage(MeterKind::Pdu, DropoutMode::Gap, 0, 1_000),
+            outage(MeterKind::Ipmi, DropoutMode::Gap, 500, 1_500),
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn degenerate_scripts_are_refused() {
+        let err = FaultInjector::new(vec![outage(MeterKind::Pdu, DropoutMode::Gap, 600, 600)])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FaultError::EmptyOutage {
+                method: MeterKind::Pdu
+            }
+        );
+        let err = FaultInjector::new(vec![outage(MeterKind::Facility, DropoutMode::Gap, 0, 600)])
+            .unwrap_err();
+        assert_eq!(err, FaultError::FacilityNotInjectable);
+        assert!(err.to_string().contains("PDU"));
+    }
+
+    #[test]
+    fn empty_script_is_inert() {
+        let got = run_script(Vec::new());
+        assert!(got.is_empty());
+    }
+}

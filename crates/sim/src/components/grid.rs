@@ -17,17 +17,42 @@ use std::any::Any;
 /// instead of indexing a precomputed series.
 pub struct GridSignal {
     series: IntensitySeries,
+    forecast: Option<IntensitySeries>,
     published: u64,
 }
 
 impl GridSignal {
     /// Output port: the intensity value of the slot just entered.
     pub const OUT_INTENSITY: usize = 0;
+    /// Output port: the day-ahead forecast for the slot just entered
+    /// (only wired by [`GridSignal::with_forecast`] graphs).
+    pub const OUT_FORECAST: usize = 1;
 
     /// Publishes `series` (its step becomes the clock step).
     pub fn new(series: IntensitySeries) -> Self {
         GridSignal {
             series,
+            forecast: None,
+            published: 0,
+        }
+    }
+
+    /// Publishes `series` as the outturn and `forecast` as the
+    /// day-ahead view on [`GridSignal::OUT_FORECAST`], slot for slot.
+    /// Forecast-driven policies subscribe to the forecast port and are
+    /// settled against the outturn — the two streams share one clock,
+    /// so the comparison never skews.
+    ///
+    /// # Panics
+    /// If the two series do not share a step.
+    pub fn with_forecast(series: IntensitySeries, forecast: IntensitySeries) -> Self {
+        assert!(
+            series.step() == forecast.step(),
+            "outturn and forecast series must share a settlement step"
+        );
+        GridSignal {
+            series,
+            forecast: Some(forecast),
             published: 0,
         }
     }
@@ -37,9 +62,19 @@ impl GridSignal {
         OutPort::new(id, Self::OUT_INTENSITY)
     }
 
+    /// Typed handle to [`GridSignal::OUT_FORECAST`] for wiring.
+    pub fn out_forecast(id: ComponentId) -> OutPort<CarbonIntensity> {
+        OutPort::new(id, Self::OUT_FORECAST)
+    }
+
     /// The series being published.
     pub fn series(&self) -> &IntensitySeries {
         &self.series
+    }
+
+    /// The day-ahead series, if this signal publishes one.
+    pub fn forecast(&self) -> Option<&IntensitySeries> {
+        self.forecast.as_ref()
     }
 
     /// Messages published so far.
@@ -51,6 +86,9 @@ impl GridSignal {
         if let Some(ci) = self.series.at(ctx.now()) {
             self.published += 1;
             ctx.emit(Self::OUT_INTENSITY, ci);
+        }
+        if let Some(fc) = self.forecast.as_ref().and_then(|f| f.at(ctx.now())) {
+            ctx.emit(Self::OUT_FORECAST, fc);
         }
     }
 }
@@ -165,5 +203,56 @@ mod tests {
                 .collect::<Vec<_>>(),
             vec![(600, 100.0), (1_800, 101.0), (3_600, 102.0)]
         );
+    }
+
+    #[test]
+    fn forecast_port_publishes_in_lockstep_with_the_outturn() {
+        let window = Period::starting_at(Timestamp::EPOCH, SimDuration::from_hours(1.0));
+        let actual = series_over(window);
+        let forecast = IntensitySeries::new(
+            window.start(),
+            SimDuration::SETTLEMENT_PERIOD,
+            vec![
+                CarbonIntensity::from_grams_per_kwh(110.0),
+                CarbonIntensity::from_grams_per_kwh(95.0),
+            ],
+        );
+        let mut b = EngineBuilder::new(window);
+        let g = b.add(Box::new(GridSignal::with_forecast(actual, forecast)));
+        let ra = b.add(Box::new(Recorder { got: Vec::new() }));
+        let rf = b.add(Box::new(Recorder { got: Vec::new() }));
+        b.connect(GridSignal::out_intensity(g), InPort::new(ra, 0));
+        b.connect(GridSignal::out_forecast(g), InPort::new(rf, 0));
+        let mut engine = b.build();
+        engine.run_to_horizon();
+        let actual_got = engine.get::<Recorder>(ra).unwrap().got.clone();
+        let forecast_got = engine.get::<Recorder>(rf).unwrap().got.clone();
+        assert_eq!(
+            actual_got,
+            vec![
+                (Timestamp::EPOCH, 100.0),
+                (Timestamp::from_secs(1_800), 101.0)
+            ]
+        );
+        assert_eq!(
+            forecast_got,
+            vec![
+                (Timestamp::EPOCH, 110.0),
+                (Timestamp::from_secs(1_800), 95.0)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "share a settlement step")]
+    fn mismatched_forecast_step_is_refused() {
+        let window = Period::starting_at(Timestamp::EPOCH, SimDuration::from_hours(1.0));
+        let actual = series_over(window);
+        let forecast = IntensitySeries::new(
+            window.start(),
+            SimDuration::HOUR,
+            vec![CarbonIntensity::from_grams_per_kwh(110.0)],
+        );
+        let _ = GridSignal::with_forecast(actual, forecast);
     }
 }

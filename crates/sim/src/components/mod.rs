@@ -1,13 +1,20 @@
 //! The existing subsystems wrapped as engine components: workload
-//! arrivals, the grid intensity signal, the cluster/scheduler, and the
-//! telemetry collector.
+//! arrivals, the grid intensity signal, the cluster/scheduler, the
+//! telemetry collector, and the fault/curtailment/demand-response
+//! scenario layer on top of them.
 
 mod cluster;
 mod collector;
+mod curtailment;
+mod demand_response;
+mod fault;
 mod grid;
 mod workload;
 
-pub use cluster::{ClusterComponent, UtilizationUpdate};
+pub use cluster::{ClusterComponent, DeferrableBacklog, UtilizationUpdate};
 pub use collector::{CollectorComponent, LiveUtilization};
+pub use curtailment::{CapacityOrder, Curtailment};
+pub use demand_response::{DemandBid, DemandResponse, DemandResponseOrder};
+pub use fault::{FaultCommand, FaultError, FaultInjector, MeterOutage};
 pub use grid::GridSignal;
 pub use workload::WorkloadSource;

@@ -73,9 +73,14 @@ pub mod scenario;
 pub use clock::Clock;
 pub use component::{Component, ComponentId, InPort, OutPort, Payload};
 pub use components::{
-    ClusterComponent, CollectorComponent, GridSignal, LiveUtilization, UtilizationUpdate,
-    WorkloadSource,
+    CapacityOrder, ClusterComponent, CollectorComponent, Curtailment, DeferrableBacklog, DemandBid,
+    DemandResponse, DemandResponseOrder, FaultCommand, FaultError, FaultInjector, GridSignal,
+    LiveUtilization, MeterOutage, UtilizationUpdate, WorkloadSource,
 };
 pub use engine::{Ctx, Engine, EngineBuilder};
 pub use event::EventQueue;
-pub use scenario::{DeferralScenario, ScenarioError, ScenarioRun};
+pub use scenario::{
+    settle_emissions, CurtailmentRun, CurtailmentScenario, DeferralScenario, DemandResponseRun,
+    DemandResponseScenario, DropoutRun, DropoutScenario, ForecastRun, ForecastScenario,
+    ScenarioError, ScenarioRun, SiteRun, SiteSpec,
+};

@@ -2,58 +2,12 @@
 
 use crate::components::{ClusterComponent, CollectorComponent, GridSignal, WorkloadSource};
 use crate::engine::EngineBuilder;
+use crate::scenario::{ScenarioError, ScenarioRun};
 use iriscast_grid::IntensitySeries;
-use iriscast_telemetry::{
-    EnergySeries, GapPolicy, SiteTelemetryConfig, SiteTelemetryResult, TelemetryError,
-};
+use iriscast_telemetry::{GapPolicy, SiteTelemetryConfig};
 use iriscast_units::{CarbonIntensity, Period, SimDuration};
 use iriscast_workload::scheduler::{CarbonAwareScheduler, FcfsScheduler};
-use iriscast_workload::{Job, Scheduler, SimOutcome, WorkloadError};
-use std::fmt;
-
-/// What stopped a scenario from running.
-#[derive(Clone, Debug, PartialEq)]
-pub enum ScenarioError {
-    /// The workload side refused (unsorted jobs, empty cluster).
-    Workload(WorkloadError),
-    /// The telemetry side refused (empty window, no nodes, short sweep).
-    Telemetry(TelemetryError),
-    /// The telemetry config monitors a different node count than the
-    /// cluster schedules onto.
-    NodeCountMismatch {
-        /// Nodes the cluster schedules onto.
-        cluster: u32,
-        /// Nodes the telemetry config monitors.
-        telemetry: u32,
-    },
-}
-
-impl fmt::Display for ScenarioError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ScenarioError::Workload(e) => write!(f, "workload: {e}"),
-            ScenarioError::Telemetry(e) => write!(f, "telemetry: {e}"),
-            ScenarioError::NodeCountMismatch { cluster, telemetry } => write!(
-                f,
-                "cluster has {cluster} nodes but the telemetry config monitors {telemetry}"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for ScenarioError {}
-
-impl From<WorkloadError> for ScenarioError {
-    fn from(e: WorkloadError) -> Self {
-        ScenarioError::Workload(e)
-    }
-}
-
-impl From<TelemetryError> for ScenarioError {
-    fn from(e: TelemetryError) -> Self {
-        ScenarioError::Telemetry(e)
-    }
-}
+use iriscast_workload::{Job, Scheduler};
 
 /// The carbon-aware deferral feedback loop as one event graph:
 ///
@@ -85,20 +39,6 @@ pub struct DeferralScenario {
     /// Telemetry config for the monitored fleet; must cover exactly
     /// [`DeferralScenario::nodes`] nodes.
     pub telemetry: SiteTelemetryConfig,
-}
-
-/// One completed scenario run.
-#[derive(Clone, Debug)]
-pub struct ScenarioRun {
-    /// The schedule (starts, ends, node placements, unstarted jobs).
-    pub outcome: SimOutcome,
-    /// The full measured-telemetry result for the window.
-    pub telemetry: SiteTelemetryResult,
-    /// True site wall energy per settlement period — the series a
-    /// `TimeResolvedAssessment` takes as its `energy_series`.
-    pub energy: EnergySeries,
-    /// Events the engine processed.
-    pub events_processed: u64,
 }
 
 impl DeferralScenario {

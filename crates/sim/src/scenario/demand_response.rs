@@ -1,0 +1,257 @@
+//! Demand response: parked deferrable work bid back to the grid.
+
+use crate::components::{
+    ClusterComponent, CollectorComponent, DemandBid, DemandResponse, GridSignal, WorkloadSource,
+};
+use crate::engine::EngineBuilder;
+use crate::scenario::ScenarioError;
+use iriscast_grid::IntensitySeries;
+use iriscast_telemetry::{EnergySeries, GapPolicy, SiteTelemetryConfig, SiteTelemetryResult};
+use iriscast_units::{CarbonIntensity, Period, SimDuration};
+use iriscast_workload::scheduler::FcfsScheduler;
+use iriscast_workload::{Job, SimOutcome};
+
+/// The demand-response loop as one event graph:
+///
+/// ```text
+/// GridSignal ──intensity──► DemandResponse ──hold orders──► ClusterComponent ──► Collector
+///                                  ▲                              │
+///                                  └────────backlog feed──────────┘
+/// ```
+///
+/// When the published intensity spikes above the threshold the
+/// aggregator orders the cluster to park its deferrable queue; the
+/// cluster streams its parked backlog back, and the aggregator converts
+/// the peak parked node count into a [`DemandBid`] — the firm demand
+/// reduction the site offers the grid for the duration of the spike.
+/// Deferrable jobs whose deadline expires mid-spike still run: a bid
+/// never costs a deadline.
+#[derive(Clone, Debug)]
+pub struct DemandResponseScenario {
+    /// Simulated window (also the telemetry collection period).
+    pub window: Period,
+    /// Cluster size in nodes.
+    pub nodes: u32,
+    /// Job stream, sorted by submit instant.
+    pub jobs: Vec<Job>,
+    /// Grid carbon intensity over (at least) the window.
+    pub intensity: IntensitySeries,
+    /// Deferrable work parks while intensity exceeds this threshold.
+    pub spike_threshold: CarbonIntensity,
+    /// Telemetry config; must cover exactly
+    /// [`DemandResponseScenario::nodes`] nodes.
+    pub telemetry: SiteTelemetryConfig,
+}
+
+/// One completed demand-response run.
+#[derive(Clone, Debug)]
+pub struct DemandResponseRun {
+    /// The schedule.
+    pub outcome: SimOutcome,
+    /// The finished telemetry sweep.
+    pub telemetry: SiteTelemetryResult,
+    /// True site wall energy per settlement period.
+    pub energy: EnergySeries,
+    /// The capacity bids, one per spike, in spike order.
+    pub bids: Vec<DemandBid>,
+    /// Events the engine processed.
+    pub events_processed: u64,
+}
+
+impl DemandResponseScenario {
+    /// Runs the loop with the demand-response aggregator wired.
+    pub fn run(&self) -> Result<DemandResponseRun, ScenarioError> {
+        if self.telemetry.total_nodes() != self.nodes {
+            return Err(ScenarioError::NodeCountMismatch {
+                cluster: self.nodes,
+                telemetry: self.telemetry.total_nodes(),
+            });
+        }
+        let mut b = EngineBuilder::new(self.window);
+        let src = b.add(Box::new(WorkloadSource::new(self.jobs.clone())?));
+        let cluster = b.add(Box::new(ClusterComponent::new(
+            self.nodes,
+            Box::new(FcfsScheduler),
+        )?));
+        let grid = b.add(Box::new(GridSignal::new(self.intensity.clone())));
+        let dr = b.add(Box::new(DemandResponse::new(self.spike_threshold)));
+        let col = b.add(Box::new(CollectorComponent::live(
+            self.telemetry.clone(),
+            self.window,
+        )?));
+        b.connect(
+            WorkloadSource::out_jobs(src),
+            ClusterComponent::in_jobs(cluster),
+        );
+        b.connect(
+            GridSignal::out_intensity(grid),
+            DemandResponse::in_intensity(dr),
+        );
+        b.connect(
+            DemandResponse::out_orders(dr),
+            ClusterComponent::in_demand_response(cluster),
+        );
+        b.connect(
+            ClusterComponent::out_backlog(cluster),
+            DemandResponse::in_backlog(dr),
+        );
+        b.connect(
+            ClusterComponent::out_utilization(cluster),
+            CollectorComponent::in_utilization(col),
+        );
+
+        let mut engine = b.build();
+        engine.run_to_horizon();
+        let events_processed = engine.events_processed();
+        let outcome = engine
+            .get::<ClusterComponent>(cluster)
+            .expect("cluster still in graph")
+            .outcome(self.window);
+        let bids = engine
+            .get::<DemandResponse>(dr)
+            .expect("aggregator still in graph")
+            .bids()
+            .to_vec();
+        let telemetry = engine
+            .get_mut::<CollectorComponent>(col)
+            .expect("collector still in graph")
+            .finish()?;
+        let energy = telemetry
+            .true_wall_series()
+            .to_energy_series(SimDuration::SETTLEMENT_PERIOD, GapPolicy::HoldLast);
+        Ok(DemandResponseRun {
+            outcome,
+            telemetry,
+            energy,
+            bids,
+            events_processed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iriscast_grid::stress_episodes;
+    use iriscast_telemetry::{NodeGroupTelemetry, NodePowerModel};
+    use iriscast_units::{Power, Timestamp};
+
+    fn telemetry_for(nodes: u32) -> SiteTelemetryConfig {
+        let mut cfg = SiteTelemetryConfig::new(
+            "DR-01",
+            vec![NodeGroupTelemetry {
+                label: "compute".into(),
+                count: nodes,
+                power_model: NodePowerModel::linear(
+                    Power::from_watts(140.0),
+                    Power::from_watts(620.0),
+                ),
+            }],
+            5,
+        );
+        cfg.sample_step = SimDuration::SETTLEMENT_PERIOD;
+        cfg
+    }
+
+    /// A spike over hours [4, 8), clean elsewhere.
+    fn spiky_day(window: Period) -> IntensitySeries {
+        let step = SimDuration::SETTLEMENT_PERIOD;
+        let values = window
+            .iter_steps(step)
+            .map(|t| {
+                if (Timestamp::from_hours(4.0)..Timestamp::from_hours(8.0)).contains(&t) {
+                    CarbonIntensity::from_grams_per_kwh(420.0)
+                } else {
+                    CarbonIntensity::from_grams_per_kwh(100.0)
+                }
+            })
+            .collect();
+        IntensitySeries::new(window.start(), step, values)
+    }
+
+    fn scenario() -> DemandResponseScenario {
+        let window = Period::snapshot_24h();
+        DemandResponseScenario {
+            window,
+            nodes: 8,
+            jobs: vec![
+                // Deferrable, submitted mid-spike, generous deadline.
+                Job::new(
+                    0,
+                    Timestamp::from_hours(5.0),
+                    SimDuration::from_hours(1.0),
+                    4,
+                )
+                .deferrable_until(Timestamp::from_hours(20.0)),
+                // Firm job: runs through the spike regardless.
+                Job::new(
+                    2,
+                    Timestamp::from_hours(5.5),
+                    SimDuration::from_hours(1.0),
+                    2,
+                ),
+                Job::new(
+                    1,
+                    Timestamp::from_hours(6.0),
+                    SimDuration::from_hours(1.0),
+                    2,
+                )
+                .deferrable_until(Timestamp::from_hours(20.0)),
+            ],
+            intensity: spiky_day(window),
+            spike_threshold: CarbonIntensity::from_grams_per_kwh(300.0),
+            telemetry: telemetry_for(8),
+        }
+    }
+
+    #[test]
+    fn the_parked_backlog_becomes_a_bid_over_the_spike() {
+        let s = scenario();
+        let run = s.run().unwrap();
+        let episodes = stress_episodes(&s.intensity, s.spike_threshold);
+        assert_eq!(episodes.len(), 1);
+        // One bid, covering the spike, carrying the peak parked
+        // backlog: jobs 0 (4 nodes) and 1 (2 nodes) both parked.
+        assert_eq!(run.bids.len(), 1);
+        let bid = run.bids[0];
+        assert_eq!(bid.from, episodes[0].window.start());
+        assert_eq!(bid.until, Some(episodes[0].window.end()));
+        assert_eq!(bid.nodes, 6);
+        // Deferrable jobs started only after release; the firm job ran
+        // at submit.
+        let start = |id: u64| {
+            run.outcome
+                .scheduled
+                .iter()
+                .find(|sj| sj.job.id == id)
+                .map(|sj| sj.start)
+                .unwrap()
+        };
+        assert_eq!(start(0), Timestamp::from_hours(8.0));
+        assert_eq!(start(1), Timestamp::from_hours(8.0));
+        assert_eq!(start(2), Timestamp::from_hours(5.5));
+    }
+
+    #[test]
+    fn an_expiring_deadline_breaks_the_hold() {
+        let mut s = scenario();
+        // Job 0's deadline now lands mid-spike: it must start then,
+        // hold or no hold.
+        s.jobs[0] = Job::new(
+            0,
+            Timestamp::from_hours(5.0),
+            SimDuration::from_hours(1.0),
+            4,
+        )
+        .deferrable_until(Timestamp::from_hours(6.0));
+        let run = s.run().unwrap();
+        let start0 = run
+            .outcome
+            .scheduled
+            .iter()
+            .find(|sj| sj.job.id == 0)
+            .map(|sj| sj.start)
+            .unwrap();
+        assert_eq!(start0, Timestamp::from_hours(6.0));
+    }
+}

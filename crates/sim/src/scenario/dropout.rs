@@ -1,0 +1,190 @@
+//! Meter dropout and recovery driven into a live collection sweep.
+
+use crate::components::{CollectorComponent, FaultInjector, MeterOutage};
+use crate::engine::EngineBuilder;
+use crate::scenario::ScenarioError;
+use iriscast_telemetry::{
+    GapPolicy, MeterKind, SiteTelemetryConfig, SiteTelemetryResult, SyntheticUtilization,
+};
+use iriscast_units::{Energy, Period};
+
+/// Meter dropout as an event graph: a [`FaultInjector`] replays an
+/// outage script into a running [`CollectorComponent`], so each
+/// instrument goes dark and recovers mid-sweep exactly as a real
+/// monitoring stack would see it.
+///
+/// ```text
+/// FaultInjector ──faults──► CollectorComponent (trace-backed source)
+/// ```
+///
+/// The run finishes the sweep into the usual telemetry result, then
+/// applies the typed recovery path: hold-last outages simply carry
+/// stale readings, gap outages leave NaN holes that
+/// `recovered_series`/`recovered_energy` repair under the configured
+/// [`GapPolicy`] — or refuse with the `UnrecoverableGap` typed error
+/// when a method's series is gap from end to end.
+#[derive(Clone, Debug)]
+pub struct DropoutScenario {
+    /// Simulated window (also the telemetry collection period).
+    pub window: Period,
+    /// Telemetry config for the monitored fleet.
+    pub telemetry: SiteTelemetryConfig,
+    /// Mean utilisation of the synthetic trace the collector samples.
+    pub utilization: f64,
+    /// Seed of the synthetic utilisation trace.
+    pub utilization_seed: u64,
+    /// The outage script (validated by [`FaultInjector::new`]).
+    pub outages: Vec<MeterOutage>,
+    /// How gap outages are repaired after the sweep.
+    pub recovery: GapPolicy,
+}
+
+/// One completed dropout run.
+#[derive(Clone, Debug)]
+pub struct DropoutRun {
+    /// The finished sweep, gaps and all.
+    pub telemetry: SiteTelemetryResult,
+    /// Post-recovery energy per on-line method (PDU, IPMI, turbostat),
+    /// in Table 2 order. `None` for a method the config does not
+    /// monitor.
+    pub recovered: Vec<(MeterKind, Option<Energy>)>,
+    /// Events the engine processed.
+    pub events_processed: u64,
+}
+
+impl DropoutScenario {
+    /// Runs the sweep with the outage script in force and recovers the
+    /// gapped series.
+    ///
+    /// A whole-window gap surfaces as
+    /// `ScenarioError::Telemetry(UnrecoverableGap)` — the typed refusal
+    /// the property suite pins.
+    pub fn run(&self) -> Result<DropoutRun, ScenarioError> {
+        let mut b = EngineBuilder::new(self.window);
+        let inj = b.add(Box::new(FaultInjector::new(self.outages.clone())?));
+        let col = b.add(Box::new(CollectorComponent::with_source(
+            self.telemetry.clone(),
+            self.window,
+            Box::new(SyntheticUtilization::calibrated(
+                self.utilization,
+                self.utilization_seed,
+            )),
+        )?));
+        b.connect(
+            FaultInjector::out_faults(inj),
+            CollectorComponent::in_faults(col),
+        );
+
+        let mut engine = b.build();
+        engine.run_to_horizon();
+        let events_processed = engine.events_processed();
+        let telemetry = engine
+            .get_mut::<CollectorComponent>(col)
+            .expect("collector still in graph")
+            .finish()?;
+        let recovered = [MeterKind::Pdu, MeterKind::Ipmi, MeterKind::Turbostat]
+            .into_iter()
+            .map(|kind| Ok((kind, telemetry.recovered_energy(kind, self.recovery)?)))
+            .collect::<Result<Vec<_>, ScenarioError>>()?;
+        Ok(DropoutRun {
+            telemetry,
+            recovered,
+            events_processed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::FaultError;
+    use iriscast_telemetry::{DropoutMode, NodeGroupTelemetry, NodePowerModel, TelemetryError};
+    use iriscast_units::{Power, Timestamp};
+
+    fn telemetry() -> SiteTelemetryConfig {
+        SiteTelemetryConfig::new(
+            "DROP-01",
+            vec![NodeGroupTelemetry {
+                label: "compute".into(),
+                count: 16,
+                power_model: NodePowerModel::linear(
+                    Power::from_watts(140.0),
+                    Power::from_watts(620.0),
+                ),
+            }],
+            11,
+        )
+    }
+
+    fn scenario(outages: Vec<MeterOutage>) -> DropoutScenario {
+        DropoutScenario {
+            window: Period::snapshot_24h(),
+            telemetry: telemetry(),
+            utilization: 0.55,
+            utilization_seed: 3,
+            outages,
+            recovery: GapPolicy::HoldLast,
+        }
+    }
+
+    #[test]
+    fn gap_outage_is_recovered_and_brackets_the_clean_run() {
+        let clean = scenario(Vec::new()).run().unwrap();
+        let faulted = scenario(vec![MeterOutage {
+            method: MeterKind::Pdu,
+            mode: DropoutMode::Gap,
+            window: Period::new(Timestamp::from_hours(6.0), Timestamp::from_hours(12.0)),
+        }])
+        .run()
+        .unwrap();
+        // The gap is visible in the raw series...
+        let pdu = faulted.telemetry.series(MeterKind::Pdu).unwrap();
+        assert!(pdu.valid_fraction() < 1.0);
+        // ...and the recovered energy is within the outage's worth of
+        // the clean sweep (hold-last repair of a 6 h gap in 24 h).
+        let clean_pdu = clean.telemetry.energy(MeterKind::Pdu).unwrap();
+        let (kind, recovered) = faulted.recovered[0];
+        assert_eq!(kind, MeterKind::Pdu);
+        let recovered = recovered.unwrap();
+        let ratio = recovered.kilowatt_hours() / clean_pdu.kilowatt_hours();
+        assert!(
+            (0.6..=1.4).contains(&ratio),
+            "recovered PDU energy drifted: ratio {ratio}"
+        );
+        // Truth is identical either way: faults touch observation only.
+        assert!(clean.telemetry.true_energy() == faulted.telemetry.true_energy());
+    }
+
+    #[test]
+    fn whole_window_gap_is_the_typed_unrecoverable_error() {
+        let window = Period::snapshot_24h();
+        let err = scenario(vec![MeterOutage {
+            method: MeterKind::Ipmi,
+            mode: DropoutMode::Gap,
+            window,
+        }])
+        .run()
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::Telemetry(TelemetryError::UnrecoverableGap {
+                site: "DROP-01".into(),
+                method: MeterKind::Ipmi,
+            })
+        );
+        assert!(err.to_string().contains("cannot be recovered"));
+    }
+
+    #[test]
+    fn bad_fault_scripts_are_typed_refusals() {
+        let window = Period::snapshot_24h();
+        let err = scenario(vec![MeterOutage {
+            method: MeterKind::Facility,
+            mode: DropoutMode::Gap,
+            window,
+        }])
+        .run()
+        .unwrap_err();
+        assert_eq!(err, ScenarioError::Fault(FaultError::FacilityNotInjectable));
+    }
+}

@@ -1,0 +1,258 @@
+//! Scheduling against the day-ahead forecast, settling on the outturn.
+
+use crate::components::{ClusterComponent, CollectorComponent, GridSignal, WorkloadSource};
+use crate::engine::EngineBuilder;
+use crate::scenario::{settle_emissions, ScenarioError};
+use iriscast_grid::{synthetic_day_ahead, IntensitySeries};
+use iriscast_telemetry::{EnergySeries, GapPolicy, SiteTelemetryConfig, SiteTelemetryResult};
+use iriscast_units::{CarbonIntensity, Period, SimDuration};
+use iriscast_workload::scheduler::{CarbonAwareScheduler, FcfsScheduler};
+use iriscast_workload::{Job, SimOutcome};
+
+/// A forecast-driven carbon-aware run: the cluster schedules against
+/// the *day-ahead* intensity view while its emissions are settled
+/// against the *outturn* — exactly the information asymmetry a real
+/// operator faces.
+///
+/// ```text
+/// GridSignal (outturn + forecast) ──forecast──► ClusterComponent ──► Collector
+///                    │
+///                 outturn ──► settlement (after the run)
+/// ```
+///
+/// [`ForecastScenario::run`] wires the forecast port into the
+/// scheduler; [`ForecastScenario::run_oracle`] wires the outturn
+/// instead — the perfect-information bound. A zero-error forecast makes
+/// the two runs identical, which is the invariant the property suite
+/// pins; a wrong forecast is charged for its mistakes at settlement.
+#[derive(Clone, Debug)]
+pub struct ForecastScenario {
+    /// Simulated window (also the telemetry collection period).
+    pub window: Period,
+    /// Cluster size in nodes.
+    pub nodes: u32,
+    /// Job stream, sorted by submit instant.
+    pub jobs: Vec<Job>,
+    /// The intensity outturn over (at least) the window.
+    pub actual: IntensitySeries,
+    /// Explicit day-ahead series; `None` synthesises one from the
+    /// outturn with [`synthetic_day_ahead`] at
+    /// [`ForecastScenario::forecast_rmse`].
+    pub forecast: Option<IntensitySeries>,
+    /// RMSE of the synthesised forecast (ignored when
+    /// [`ForecastScenario::forecast`] is given). Zero is the oracle.
+    pub forecast_rmse: f64,
+    /// Seed of the synthesised forecast noise.
+    pub forecast_seed: u64,
+    /// Deferrable jobs wait while the *believed* intensity exceeds this.
+    pub threshold: CarbonIntensity,
+    /// Telemetry config; must cover exactly [`ForecastScenario::nodes`]
+    /// nodes.
+    pub telemetry: SiteTelemetryConfig,
+}
+
+/// One completed forecast run.
+#[derive(Clone, Debug)]
+pub struct ForecastRun {
+    /// The schedule.
+    pub outcome: SimOutcome,
+    /// The finished telemetry sweep.
+    pub telemetry: SiteTelemetryResult,
+    /// True site wall energy per settlement period.
+    pub energy: EnergySeries,
+    /// The day-ahead series the scheduler saw.
+    pub forecast: IntensitySeries,
+    /// Emissions settled against the outturn, grams CO₂e.
+    pub settled_grams: f64,
+    /// Events the engine processed.
+    pub events_processed: u64,
+}
+
+impl ForecastScenario {
+    /// The day-ahead series this scenario schedules against.
+    pub fn day_ahead(&self) -> IntensitySeries {
+        self.forecast.clone().unwrap_or_else(|| {
+            synthetic_day_ahead(&self.actual, self.forecast_rmse, self.forecast_seed)
+        })
+    }
+
+    /// Runs with the scheduler reading the day-ahead forecast.
+    pub fn run(&self) -> Result<ForecastRun, ScenarioError> {
+        self.run_graph(false)
+    }
+
+    /// Runs with the scheduler reading the outturn itself — the
+    /// perfect-information bound a forecast run is compared against.
+    pub fn run_oracle(&self) -> Result<ForecastRun, ScenarioError> {
+        self.run_graph(true)
+    }
+
+    fn run_graph(&self, oracle: bool) -> Result<ForecastRun, ScenarioError> {
+        if self.telemetry.total_nodes() != self.nodes {
+            return Err(ScenarioError::NodeCountMismatch {
+                cluster: self.nodes,
+                telemetry: self.telemetry.total_nodes(),
+            });
+        }
+        let forecast = self.day_ahead();
+        let mut b = EngineBuilder::new(self.window);
+        let src = b.add(Box::new(WorkloadSource::new(self.jobs.clone())?));
+        let cluster = b.add(Box::new(ClusterComponent::new(
+            self.nodes,
+            Box::new(CarbonAwareScheduler::new(FcfsScheduler, self.threshold)),
+        )?));
+        let grid = b.add(Box::new(GridSignal::with_forecast(
+            self.actual.clone(),
+            forecast.clone(),
+        )));
+        let col = b.add(Box::new(CollectorComponent::live(
+            self.telemetry.clone(),
+            self.window,
+        )?));
+        b.connect(
+            WorkloadSource::out_jobs(src),
+            ClusterComponent::in_jobs(cluster),
+        );
+        if oracle {
+            b.connect(
+                GridSignal::out_intensity(grid),
+                ClusterComponent::in_intensity(cluster),
+            );
+        } else {
+            b.connect(
+                GridSignal::out_forecast(grid),
+                ClusterComponent::in_intensity(cluster),
+            );
+        }
+        b.connect(
+            ClusterComponent::out_utilization(cluster),
+            CollectorComponent::in_utilization(col),
+        );
+
+        let mut engine = b.build();
+        engine.run_to_horizon();
+        let events_processed = engine.events_processed();
+        let outcome = engine
+            .get::<ClusterComponent>(cluster)
+            .expect("cluster still in graph")
+            .outcome(self.window);
+        let telemetry = engine
+            .get_mut::<CollectorComponent>(col)
+            .expect("collector still in graph")
+            .finish()?;
+        let energy = telemetry
+            .true_wall_series()
+            .to_energy_series(SimDuration::SETTLEMENT_PERIOD, GapPolicy::HoldLast);
+        let settled_grams = settle_emissions(&energy, &self.actual);
+        Ok(ForecastRun {
+            outcome,
+            telemetry,
+            energy,
+            forecast,
+            settled_grams,
+            events_processed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iriscast_telemetry::{NodeGroupTelemetry, NodePowerModel};
+    use iriscast_units::{Power, Timestamp};
+
+    fn telemetry_for(nodes: u32) -> SiteTelemetryConfig {
+        let mut cfg = SiteTelemetryConfig::new(
+            "FC-01",
+            vec![NodeGroupTelemetry {
+                label: "compute".into(),
+                count: nodes,
+                power_model: NodePowerModel::linear(
+                    Power::from_watts(140.0),
+                    Power::from_watts(620.0),
+                ),
+            }],
+            13,
+        );
+        cfg.sample_step = SimDuration::SETTLEMENT_PERIOD;
+        cfg
+    }
+
+    fn step_series(window: Period, before: f64, after: f64, split_h: f64) -> IntensitySeries {
+        let step = SimDuration::SETTLEMENT_PERIOD;
+        let values = window
+            .iter_steps(step)
+            .map(|t| {
+                if t < Timestamp::from_hours(split_h) {
+                    CarbonIntensity::from_grams_per_kwh(before)
+                } else {
+                    CarbonIntensity::from_grams_per_kwh(after)
+                }
+            })
+            .collect();
+        IntensitySeries::new(window.start(), step, values)
+    }
+
+    fn scenario() -> ForecastScenario {
+        let window = Period::snapshot_24h();
+        ForecastScenario {
+            window,
+            nodes: 8,
+            jobs: vec![Job::new(
+                0,
+                Timestamp::from_hours(1.0),
+                SimDuration::from_hours(2.0),
+                4,
+            )
+            .deferrable_until(Timestamp::from_hours(22.0))],
+            actual: step_series(window, 400.0, 80.0, 6.0),
+            forecast: None,
+            forecast_rmse: 0.0,
+            forecast_seed: 17,
+            threshold: CarbonIntensity::from_grams_per_kwh(200.0),
+            telemetry: telemetry_for(8),
+        }
+    }
+
+    #[test]
+    fn a_zero_error_forecast_is_the_oracle() {
+        let s = scenario();
+        let forecast_run = s.run().unwrap();
+        let oracle_run = s.run_oracle().unwrap();
+        assert_eq!(
+            forecast_run.outcome.scheduled.len(),
+            oracle_run.outcome.scheduled.len()
+        );
+        for (f, o) in forecast_run
+            .outcome
+            .scheduled
+            .iter()
+            .zip(&oracle_run.outcome.scheduled)
+        {
+            assert_eq!(f.job.id, o.job.id);
+            assert_eq!(f.start, o.start);
+        }
+        assert!(forecast_run.settled_grams == oracle_run.settled_grams);
+        assert!(forecast_run.telemetry == oracle_run.telemetry);
+    }
+
+    #[test]
+    fn a_wrong_forecast_is_charged_at_settlement() {
+        let mut s = scenario();
+        // The forecast swears the morning is clean and the midday dirty
+        // — exactly backwards. The policy trusts it, starts the job in
+        // the actually-dirty morning, and pays at settlement.
+        s.forecast = Some(step_series(s.window, 100.0, 400.0, 6.0));
+        let misled = s.run().unwrap();
+        let oracle = s.run_oracle().unwrap();
+        let start = |run: &ForecastRun| run.outcome.scheduled[0].start;
+        assert_eq!(start(&misled), Timestamp::from_hours(1.0));
+        assert_eq!(start(&oracle), Timestamp::from_hours(6.0));
+        assert!(
+            misled.settled_grams > oracle.settled_grams,
+            "misled {} should settle above oracle {}",
+            misled.settled_grams,
+            oracle.settled_grams
+        );
+    }
+}

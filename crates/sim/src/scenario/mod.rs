@@ -1,0 +1,124 @@
+//! Ready-made co-simulations — the scenario library.
+//!
+//! Each scenario composes the engine components into one named
+//! experiment the paper's assessment layer can consume directly:
+//!
+//! * [`DeferralScenario`] — carbon-aware deferral with live telemetry
+//!   (the PR 7 feedback loop).
+//! * [`DropoutScenario`] — meter dropout and recovery driven into a
+//!   running collector by a [`crate::FaultInjector`], with typed
+//!   recovery of the gapped series.
+//! * [`CurtailmentScenario`] — one grid signal fanned through a
+//!   curtailment authority into several sites, each shedding new starts
+//!   while the grid is stressed.
+//! * [`DemandResponseScenario`] — the deferred backlog bid back to the
+//!   grid as firm demand reduction over intensity spikes.
+//! * [`ForecastScenario`] — scheduling against the day-ahead forecast,
+//!   settling emissions against the outturn.
+//!
+//! The scenarios are engine graphs, not scripts: every invariant the
+//! property suite pins (curtailed slots see no starts, recovered energy
+//! brackets truth, zero-error forecasts match the oracle) is emergent
+//! from the same event ordering the production graph uses.
+
+mod curtailment;
+mod deferral;
+mod demand_response;
+mod dropout;
+mod forecast;
+
+pub use curtailment::{CurtailmentRun, CurtailmentScenario, SiteRun, SiteSpec};
+pub use deferral::DeferralScenario;
+pub use demand_response::{DemandResponseRun, DemandResponseScenario};
+pub use dropout::{DropoutRun, DropoutScenario};
+pub use forecast::{ForecastRun, ForecastScenario};
+
+use crate::components::FaultError;
+use iriscast_grid::IntensitySeries;
+use iriscast_telemetry::{EnergySeries, SiteTelemetryResult, TelemetryError};
+use iriscast_workload::{SimOutcome, WorkloadError};
+use std::fmt;
+
+/// What stopped a scenario from running.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScenarioError {
+    /// The workload side refused (unsorted jobs, empty cluster).
+    Workload(WorkloadError),
+    /// The telemetry side refused (empty window, no nodes, short sweep,
+    /// or a gap spanning the whole window).
+    Telemetry(TelemetryError),
+    /// The fault script was refused (overlapping outages, empty
+    /// windows, facility injection).
+    Fault(FaultError),
+    /// The telemetry config monitors a different node count than the
+    /// cluster schedules onto.
+    NodeCountMismatch {
+        /// Nodes the cluster schedules onto.
+        cluster: u32,
+        /// Nodes the telemetry config monitors.
+        telemetry: u32,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Workload(e) => write!(f, "workload: {e}"),
+            ScenarioError::Telemetry(e) => write!(f, "telemetry: {e}"),
+            ScenarioError::Fault(e) => write!(f, "fault script: {e}"),
+            ScenarioError::NodeCountMismatch { cluster, telemetry } => write!(
+                f,
+                "cluster has {cluster} nodes but the telemetry config monitors {telemetry}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<WorkloadError> for ScenarioError {
+    fn from(e: WorkloadError) -> Self {
+        ScenarioError::Workload(e)
+    }
+}
+
+impl From<TelemetryError> for ScenarioError {
+    fn from(e: TelemetryError) -> Self {
+        ScenarioError::Telemetry(e)
+    }
+}
+
+impl From<FaultError> for ScenarioError {
+    fn from(e: FaultError) -> Self {
+        ScenarioError::Fault(e)
+    }
+}
+
+/// One completed scenario run.
+#[derive(Clone, Debug)]
+pub struct ScenarioRun {
+    /// The schedule (starts, ends, node placements, unstarted jobs).
+    pub outcome: SimOutcome,
+    /// The full measured-telemetry result for the window.
+    pub telemetry: SiteTelemetryResult,
+    /// True site wall energy per settlement period — the series a
+    /// `TimeResolvedAssessment` takes as its `energy_series`.
+    pub energy: EnergySeries,
+    /// Events the engine processed.
+    pub events_processed: u64,
+}
+
+/// Settles an energy series against an intensity outturn: total grams
+/// of CO₂e, slot by slot, over the overlap of the two series. This is
+/// the figure a forecast-driven policy is ultimately judged on — what
+/// the grid actually was, not what it was predicted to be.
+pub fn settle_emissions(energy: &EnergySeries, outturn: &IntensitySeries) -> f64 {
+    energy
+        .iter()
+        .map(|(slot, e)| {
+            outturn
+                .at(slot.start())
+                .map_or(0.0, |ci| e.kilowatt_hours() * ci.grams_per_kwh())
+        })
+        .sum()
+}

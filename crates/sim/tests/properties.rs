@@ -1,14 +1,19 @@
 //! Property-based tests for the discrete-event engine's invariants:
 //! FIFO determinism of the event queue, stop/resume equivalence of the
-//! engine, and bit-identity of the clocked telemetry collector against
-//! the batch sweep.
+//! engine (with and without fault events in flight), bit-identity of
+//! the clocked telemetry collector against the batch sweep, and the
+//! scenario library's pinned invariants (curtailment, demand response,
+//! forecast-vs-outturn).
 
-use iriscast_grid::IntensitySeries;
+use iriscast_grid::{stress_episodes, IntensitySeries};
 use iriscast_sim::{
-    ClusterComponent, CollectorComponent, EngineBuilder, EventQueue, GridSignal, WorkloadSource,
+    ClusterComponent, CollectorComponent, Curtailment, CurtailmentScenario, DemandResponseScenario,
+    EngineBuilder, EventQueue, FaultInjector, ForecastScenario, GridSignal, MeterOutage, SiteSpec,
+    WorkloadSource,
 };
 use iriscast_telemetry::{
-    NodeGroupTelemetry, NodePowerModel, SiteCollector, SiteTelemetryConfig, SyntheticUtilization,
+    DropoutMode, MeterKind, NodeGroupTelemetry, NodePowerModel, SiteCollector, SiteTelemetryConfig,
+    SyntheticUtilization, TelemetryError,
 };
 use iriscast_units::{CarbonIntensity, Period, Power, SimDuration, Timestamp};
 use iriscast_workload::scheduler::{CarbonAwareScheduler, EasyBackfillScheduler};
@@ -101,6 +106,132 @@ fn outcome_of(engine: &iriscast_sim::Engine, cluster: iriscast_sim::ComponentId)
         .get::<ClusterComponent>(cluster)
         .expect("cluster in graph")
         .outcome(Period::snapshot_24h())
+}
+
+/// Telemetry config for the property graphs: one 8-node group, sampled
+/// at the settlement period so a 24 h sweep stays cheap under proptest.
+fn prop_telemetry(nodes: u32, seed: u64) -> SiteTelemetryConfig {
+    let mut cfg = SiteTelemetryConfig::new(
+        "PROP-02",
+        vec![NodeGroupTelemetry {
+            label: "compute".into(),
+            count: nodes,
+            power_model: NodePowerModel::linear(Power::from_watts(120.0), Power::from_watts(550.0)),
+        }],
+        seed,
+    );
+    cfg.sample_step = SimDuration::SETTLEMENT_PERIOD;
+    cfg
+}
+
+/// Strategy: a valid outage script — per-method windows kept disjoint
+/// by advancing a per-method cursor, so every generated script passes
+/// [`FaultInjector::new`] by construction.
+fn outage_script() -> impl Strategy<Value = Vec<MeterOutage>> {
+    prop::collection::vec(
+        (
+            0usize..3,        // method index (PDU / IPMI / turbostat)
+            0u8..2,           // hold-last vs gap
+            0i64..8 * 3_600,  // gap before the outage
+            60i64..6 * 3_600, // outage length
+        ),
+        0..5,
+    )
+    .prop_map(|raw| {
+        let methods = [MeterKind::Pdu, MeterKind::Ipmi, MeterKind::Turbostat];
+        let mut cursor = [0i64; 3];
+        raw.into_iter()
+            .map(|(mi, mode, gap, len)| {
+                let start = cursor[mi] + gap;
+                cursor[mi] = start + len;
+                MeterOutage {
+                    method: methods[mi],
+                    mode: if mode == 0 {
+                        DropoutMode::HoldLast
+                    } else {
+                        DropoutMode::Gap
+                    },
+                    window: Period::new(
+                        Timestamp::from_secs(start),
+                        Timestamp::from_secs(start + len),
+                    ),
+                }
+            })
+            .collect()
+    })
+}
+
+/// The full faulted co-simulation graph: arrivals → carbon-aware
+/// cluster ← grid signal, a curtailment authority capping the cluster,
+/// a live collector metering it, and a fault injector driving outages
+/// into the collector. Returns (engine, cluster id, collector id).
+fn build_faulted_graph(
+    jobs: Vec<Job>,
+    seed: u64,
+    outages: Vec<MeterOutage>,
+) -> (
+    iriscast_sim::Engine,
+    iriscast_sim::ComponentId,
+    iriscast_sim::ComponentId,
+) {
+    let window = Period::snapshot_24h();
+    let mut b = EngineBuilder::new(window);
+    let src = b.add(Box::new(WorkloadSource::new(jobs).expect("sorted")));
+    let grid = b.add(Box::new(GridSignal::new(intensity_day(seed))));
+    let cluster = b.add(Box::new(
+        ClusterComponent::new(
+            8,
+            Box::new(CarbonAwareScheduler::new(
+                EasyBackfillScheduler,
+                CarbonIntensity::from_grams_per_kwh(150.0),
+            )),
+        )
+        .expect("non-empty cluster"),
+    ));
+    let authority = b.add(Box::new(Curtailment::new(
+        CarbonIntensity::from_grams_per_kwh(250.0),
+        0.5,
+    )));
+    let col = b.add(Box::new(
+        CollectorComponent::live(prop_telemetry(8, seed), window).expect("valid collector"),
+    ));
+    let inj = b.add(Box::new(FaultInjector::new(outages).expect("valid script")));
+    b.connect(
+        WorkloadSource::out_jobs(src),
+        ClusterComponent::in_jobs(cluster),
+    );
+    b.connect(
+        GridSignal::out_intensity(grid),
+        ClusterComponent::in_intensity(cluster),
+    );
+    b.connect(
+        GridSignal::out_intensity(grid),
+        Curtailment::in_intensity(authority),
+    );
+    b.connect(
+        Curtailment::out_orders(authority),
+        ClusterComponent::in_curtailment(cluster),
+    );
+    b.connect(
+        ClusterComponent::out_utilization(cluster),
+        CollectorComponent::in_utilization(col),
+    );
+    b.connect(
+        FaultInjector::out_faults(inj),
+        CollectorComponent::in_faults(col),
+    );
+    (b.build(), cluster, col)
+}
+
+fn finish_collector(
+    engine: &mut iriscast_sim::Engine,
+    col: iriscast_sim::ComponentId,
+) -> iriscast_telemetry::SiteTelemetryResult {
+    engine
+        .get_mut::<CollectorComponent>(col)
+        .expect("collector in graph")
+        .finish()
+        .expect("sweep complete")
 }
 
 proptest! {
@@ -218,5 +349,250 @@ proptest! {
             .finish()
             .expect("sweep complete");
         prop_assert!(clocked == batch, "clocked sweep diverged from batch path");
+    }
+
+    /// Stop/resume equivalence holds with fault events in flight: the
+    /// full faulted graph (arrivals, grid, curtailment, live collector,
+    /// fault injector) split at an arbitrary instant produces the same
+    /// schedule, the same event count, and a bit-identical telemetry
+    /// sweep as the straight run — outage transitions crossing the
+    /// split included.
+    #[test]
+    fn stop_resume_survives_faults_in_flight(
+        jobs in job_stream(),
+        seed in 0u64..1_000,
+        outages in outage_script(),
+        split in 0i64..86_400,
+    ) {
+        let (mut straight, c1, t1) = build_faulted_graph(jobs.clone(), seed, outages.clone());
+        let straight_events = straight.run_to_horizon();
+        let straight_sweep = finish_collector(&mut straight, t1);
+
+        let (mut halves, c2, t2) = build_faulted_graph(jobs, seed, outages);
+        let first = halves.run_until(Timestamp::from_secs(split));
+        let second = halves.run_to_horizon();
+        let halves_sweep = finish_collector(&mut halves, t2);
+
+        prop_assert_eq!(first + second, straight_events);
+        prop_assert_eq!(outcome_of(&halves, c2), outcome_of(&straight, c1));
+        // bitwise_eq, not ==: gap outages leave NaN holes, and float
+        // equality would call an identical gapped sweep unequal.
+        prop_assert!(
+            halves_sweep.bitwise_eq(&straight_sweep),
+            "telemetry sweep diverged across the stop/resume split"
+        );
+    }
+
+    /// A wired fault injector whose script never fires inside the
+    /// window (empty, or an outage entirely beyond the horizon) changes
+    /// nothing: the faulted graph, the plain collector graph, and the
+    /// parallel batch sweep agree bit for bit at any worker count.
+    #[test]
+    fn dropout_free_injector_graph_is_bit_identical(
+        nodes in 1u32..100,
+        seed in 0u64..1_000,
+        util_seed in 0u64..1_000,
+        workers_idx in 0usize..3,
+        beyond_horizon in 0u8..2,
+    ) {
+        let workers = [1usize, 4, 16][workers_idx];
+        let cfg = prop_telemetry(nodes, seed);
+        let period = Period::snapshot_24h();
+        let util = SyntheticUtilization::calibrated(0.55, util_seed);
+        let batch = SiteCollector::new(cfg.clone())
+            .collect(period, &util, workers)
+            .expect("valid sweep");
+
+        let mut b = EngineBuilder::new(period);
+        let plain = b.add(Box::new(
+            CollectorComponent::with_source(cfg.clone(), period, Box::new(util))
+                .expect("valid collector"),
+        ));
+        let mut plain_engine = b.build();
+        plain_engine.run_to_horizon();
+        let plain_sweep = finish_collector(&mut plain_engine, plain);
+
+        let script = if beyond_horizon == 1 {
+            // Scheduled, validated, wired — but dark only after the
+            // window closes, so it must never be observed.
+            vec![MeterOutage {
+                method: MeterKind::Pdu,
+                mode: DropoutMode::Gap,
+                window: Period::new(Timestamp::from_hours(25.0), Timestamp::from_hours(26.0)),
+            }]
+        } else {
+            Vec::new()
+        };
+        let mut b = EngineBuilder::new(period);
+        let inj = b.add(Box::new(FaultInjector::new(script).expect("valid script")));
+        let col = b.add(Box::new(
+            CollectorComponent::with_source(cfg, period, Box::new(util))
+                .expect("valid collector"),
+        ));
+        b.connect(FaultInjector::out_faults(inj), CollectorComponent::in_faults(col));
+        let mut faulted_engine = b.build();
+        faulted_engine.run_to_horizon();
+        let faulted_sweep = finish_collector(&mut faulted_engine, col);
+
+        prop_assert!(plain_sweep == batch, "plain graph diverged from batch");
+        prop_assert!(faulted_sweep == batch, "dropout-free injector graph diverged from batch");
+    }
+
+    /// Full curtailment (level 0) admits no job start strictly inside a
+    /// stress episode, at every site of the fleet. The episodes come
+    /// from the same intensity trace the grid signal publishes — the
+    /// invariant is checked against the trace, not a hand-kept script.
+    /// (A start *at* an episode's onset instant is legal: the collector
+    /// ordering convention applies to orders too, so a dispatch at the
+    /// boundary may precede the order landing at that same instant.)
+    #[test]
+    fn full_curtailment_admits_no_starts_inside_stress_episodes(
+        jobs_a in job_stream(),
+        jobs_b in job_stream(),
+        seed in 0u64..1_000,
+    ) {
+        let window = Period::snapshot_24h();
+        let scenario = CurtailmentScenario {
+            window,
+            intensity: intensity_day(seed),
+            threshold: CarbonIntensity::from_grams_per_kwh(200.0),
+            level: 0.0,
+            sites: [jobs_a, jobs_b]
+                .into_iter()
+                .enumerate()
+                .map(|(i, jobs)| SiteSpec {
+                    nodes: 8,
+                    jobs,
+                    telemetry: prop_telemetry(8, seed + i as u64),
+                    outages: Vec::new(),
+                })
+                .collect(),
+        };
+        let run = scenario.run().expect("valid scenario");
+        let episodes = stress_episodes(&scenario.intensity, scenario.threshold);
+        for site in &run.sites {
+            for sj in &site.outcome.scheduled {
+                prop_assert!(
+                    !episodes
+                        .iter()
+                        .any(|e| e.contains(sj.start) && sj.start != e.window.start()),
+                    "job {} started at {} s inside a fully curtailed episode",
+                    sj.job.id,
+                    sj.start.as_secs()
+                );
+            }
+        }
+    }
+
+    /// Demand response never starts deferrable work whose deadline is
+    /// still in the future strictly inside an intensity spike — the
+    /// parked backlog is exactly the capacity bid to the grid. Jobs
+    /// whose deadline expires mid-spike are exempt: a bid never costs a
+    /// deadline.
+    #[test]
+    fn demand_response_parks_unexpired_deferrable_work_through_spikes(
+        jobs in job_stream(),
+        seed in 0u64..1_000,
+    ) {
+        let window = Period::snapshot_24h();
+        let scenario = DemandResponseScenario {
+            window,
+            nodes: 8,
+            jobs,
+            intensity: intensity_day(seed),
+            spike_threshold: CarbonIntensity::from_grams_per_kwh(250.0),
+            telemetry: prop_telemetry(8, seed),
+        };
+        let run = scenario.run().expect("valid scenario");
+        let episodes = stress_episodes(&scenario.intensity, scenario.spike_threshold);
+        for sj in &run.outcome.scheduled {
+            let unexpired = sj.job.deferrable
+                && sj.job.latest_start.is_none_or(|d| d > sj.start);
+            prop_assert!(
+                !(unexpired
+                    && episodes
+                        .iter()
+                        .any(|e| e.contains(sj.start) && sj.start != e.window.start())),
+                "deferrable job {} started at {} s inside a spike with its deadline open",
+                sj.job.id,
+                sj.start.as_secs()
+            );
+        }
+    }
+
+    /// A zero-error forecast is the oracle: scheduling against the
+    /// day-ahead port and scheduling against the outturn produce the
+    /// same schedule, the same settled emissions, and a bit-identical
+    /// telemetry sweep.
+    #[test]
+    fn zero_rmse_forecast_schedules_like_the_oracle(
+        jobs in job_stream(),
+        seed in 0u64..1_000,
+    ) {
+        let window = Period::snapshot_24h();
+        let scenario = ForecastScenario {
+            window,
+            nodes: 8,
+            jobs,
+            actual: intensity_day(seed),
+            forecast: None,
+            forecast_rmse: 0.0,
+            forecast_seed: seed,
+            threshold: CarbonIntensity::from_grams_per_kwh(150.0),
+            telemetry: prop_telemetry(8, seed),
+        };
+        let forecast_run = scenario.run().expect("valid scenario");
+        let oracle_run = scenario.run_oracle().expect("valid scenario");
+        prop_assert_eq!(
+            forecast_run.outcome.scheduled.len(),
+            oracle_run.outcome.scheduled.len()
+        );
+        for (f, o) in forecast_run
+            .outcome
+            .scheduled
+            .iter()
+            .zip(&oracle_run.outcome.scheduled)
+        {
+            prop_assert_eq!(f.job.id, o.job.id);
+            prop_assert_eq!(f.start, o.start);
+        }
+        prop_assert_eq!(forecast_run.settled_grams, oracle_run.settled_grams);
+        prop_assert!(
+            forecast_run.telemetry == oracle_run.telemetry,
+            "telemetry diverged between forecast and oracle runs"
+        );
+    }
+}
+
+/// Cutting a faulted run short surfaces as the `IncompleteSweep` typed
+/// error — the outage in flight does not mask the refusal or corrupt
+/// the step count.
+#[test]
+fn early_stop_with_an_outage_in_flight_is_an_incomplete_sweep() {
+    let jobs = vec![Job::new(
+        0,
+        Timestamp::from_hours(1.0),
+        SimDuration::from_hours(2.0),
+        4,
+    )];
+    let outages = vec![MeterOutage {
+        method: MeterKind::Pdu,
+        mode: DropoutMode::Gap,
+        window: Period::new(Timestamp::from_hours(2.0), Timestamp::from_hours(20.0)),
+    }];
+    let (mut engine, _cluster, col) = build_faulted_graph(jobs, 7, outages);
+    engine.run_until(Timestamp::from_hours(12.0));
+    let err = engine
+        .get_mut::<CollectorComponent>(col)
+        .expect("collector in graph")
+        .finish()
+        .unwrap_err();
+    match err {
+        TelemetryError::IncompleteSweep { site, done, steps } => {
+            assert_eq!(site, "PROP-02");
+            assert_eq!(steps, 48);
+            assert_eq!(done, 24);
+        }
+        other => panic!("expected IncompleteSweep, got {other}"),
     }
 }

@@ -278,6 +278,96 @@ impl MeterPasses {
     }
 }
 
+/// How a site-wide meter outage reads while the instrument is dark.
+///
+/// Per-sample dropouts (an instrument's own `dropout_prob`) are bridged
+/// by the hold-last registers inside the sweep; a [`DropoutMode`]
+/// describes the *site-level* failure a fault injector drives — the PDU
+/// head-end dies, the BMC network partition drops every node at once.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DropoutMode {
+    /// The aggregation layer keeps serving each node's last good reading
+    /// — the outage is invisible in the series but the numbers are stale.
+    HoldLast,
+    /// The samples are simply missing: the series carries NaN gaps for
+    /// the outage, to be reconstructed later under a [`GapPolicy`] (or
+    /// refused as [`TelemetryError::UnrecoverableGap`] when nothing
+    /// valid remains).
+    Gap,
+}
+
+/// The site-wide meter outages in force at one sample instant: per
+/// on-line method, dark (`Some(mode)`) or reporting (`None`).
+///
+/// The default is all-clear, and an all-clear sweep is bit-identical to
+/// one that never heard of faults — the kernel takes the unfaulted path
+/// (same arithmetic, same RNG draw order) whenever a method is up. While
+/// a method is dark it draws **nothing** from the node's RNG stream (a
+/// dead instrument measures nothing); the stream is shared across the
+/// node's instrument passes, so observations after the outage — on any
+/// method — differ from an unfaulted run's. Only the fault-free case is
+/// bit-pinned.
+///
+/// The facility meter cannot be injected here: its readings derive from
+/// the PDU-level aggregate through a cumulative register, so facility
+/// outages are modelled upstream (fault the PDU feed) and
+/// [`StepFaults::with`] refuses [`MeterKind::Facility`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct StepFaults {
+    pdu: Option<DropoutMode>,
+    ipmi: Option<DropoutMode>,
+    turbo: Option<DropoutMode>,
+}
+
+impl StepFaults {
+    /// No outage on any method — the default, and the mode every
+    /// non-fault-aware path sweeps under.
+    pub fn clear() -> Self {
+        StepFaults::default()
+    }
+
+    /// Whether no method is dark.
+    pub fn is_clear(&self) -> bool {
+        *self == StepFaults::default()
+    }
+
+    /// Builder: this sweep instant has `method` dark under `mode`.
+    ///
+    /// # Panics
+    /// On [`MeterKind::Facility`] — register-derived, not injectable.
+    pub fn with(mut self, method: MeterKind, mode: DropoutMode) -> Self {
+        self.set(method, Some(mode));
+        self
+    }
+
+    /// Marks `method` dark (`Some`) or reporting (`None`).
+    ///
+    /// # Panics
+    /// On [`MeterKind::Facility`] — register-derived, not injectable.
+    pub fn set(&mut self, method: MeterKind, mode: Option<DropoutMode>) {
+        match method {
+            MeterKind::Pdu => self.pdu = mode,
+            MeterKind::Ipmi => self.ipmi = mode,
+            MeterKind::Turbostat => self.turbo = mode,
+            MeterKind::Facility => panic!(
+                "facility readings derive from the PDU aggregate; \
+                 inject the PDU feed instead"
+            ),
+        }
+    }
+
+    /// The outage mode in force for `method` (`None` = reporting).
+    /// Facility always reports `None`.
+    pub fn get(&self, method: MeterKind) -> Option<DropoutMode> {
+        match method {
+            MeterKind::Pdu => self.pdu,
+            MeterKind::Ipmi => self.ipmi,
+            MeterKind::Turbostat => self.turbo,
+            MeterKind::Facility => None,
+        }
+    }
+}
+
 /// One sample instant of one chunk's sweep: evaluate utilisation → true
 /// wall power for the chunk's nodes, then push it through each
 /// configured instrument pass, accumulating nodes in ascending id
@@ -289,6 +379,12 @@ impl MeterPasses {
 /// accumulation bracketing, and each node's RNG draw order (PDU, then
 /// IPMI, then Turbostat within a step, streams per node) are identical
 /// by construction, which is what makes the two paths bit-identical.
+///
+/// `faults` carries site-wide outages in force at this instant. A dark
+/// method skips its observation pass entirely (no RNG draws — a dead
+/// instrument measures nothing): hold-last outages sum the per-node held
+/// registers, gap outages write NaN into the accumulator column. The
+/// all-clear case runs exactly the pre-fault code path.
 fn sweep_chunk_step(
     acc: &mut ChunkAcc,
     passes: &MeterPasses,
@@ -296,6 +392,7 @@ fn sweep_chunk_step(
     t: Timestamp,
     lo: u64,
     utilization: &dyn UtilizationSource,
+    faults: StepFaults,
 ) {
     let ChunkAcc {
         truth,
@@ -315,45 +412,83 @@ fn sweep_chunk_step(
     }
     truth[s] = sum;
     if passes.do_pdu {
-        let mut sum = 0.0;
-        for j in 0..n {
-            if let Some(r) = passes
-                .pdu_err
-                .observe_watts(lanes.wall[j], &mut lanes.rng[j])
-            {
-                lanes.held_pdu[j] = r;
+        match faults.get(MeterKind::Pdu) {
+            None => {
+                let mut sum = 0.0;
+                for j in 0..n {
+                    if let Some(r) = passes
+                        .pdu_err
+                        .observe_watts(lanes.wall[j], &mut lanes.rng[j])
+                    {
+                        lanes.held_pdu[j] = r;
+                    }
+                    sum += lanes.held_pdu[j];
+                }
+                pdu[s] = sum;
             }
-            sum += lanes.held_pdu[j];
+            Some(DropoutMode::HoldLast) => {
+                let mut sum = 0.0;
+                for j in 0..n {
+                    sum += lanes.held_pdu[j];
+                }
+                pdu[s] = sum;
+            }
+            Some(DropoutMode::Gap) => pdu[s] = f64::NAN,
         }
-        pdu[s] = sum;
     }
     if passes.do_ipmi {
-        let mut sum = 0.0;
-        for j in 0..n {
-            if lanes.ipmi_on[j] {
-                if let Some(r) = passes
-                    .ipmi_err
-                    .observe_watts(lanes.wall[j] * lanes.ipmi_share[j], &mut lanes.rng[j])
-                {
-                    lanes.held_ipmi[j] = r;
+        match faults.get(MeterKind::Ipmi) {
+            None => {
+                let mut sum = 0.0;
+                for j in 0..n {
+                    if lanes.ipmi_on[j] {
+                        if let Some(r) = passes
+                            .ipmi_err
+                            .observe_watts(lanes.wall[j] * lanes.ipmi_share[j], &mut lanes.rng[j])
+                        {
+                            lanes.held_ipmi[j] = r;
+                        }
+                        sum += lanes.held_ipmi[j];
+                    }
                 }
-                sum += lanes.held_ipmi[j];
+                ipmi[s] = sum;
             }
+            Some(DropoutMode::HoldLast) => {
+                let mut sum = 0.0;
+                for j in 0..n {
+                    if lanes.ipmi_on[j] {
+                        sum += lanes.held_ipmi[j];
+                    }
+                }
+                ipmi[s] = sum;
+            }
+            Some(DropoutMode::Gap) => ipmi[s] = f64::NAN,
         }
-        ipmi[s] = sum;
     }
     if passes.do_turbo {
-        let mut sum = 0.0;
-        for j in 0..n {
-            if let Some(r) = passes
-                .turbo_err
-                .observe_watts(lanes.wall[j] * lanes.rapl_share[j], &mut lanes.rng[j])
-            {
-                lanes.held_turbo[j] = r;
+        match faults.get(MeterKind::Turbostat) {
+            None => {
+                let mut sum = 0.0;
+                for j in 0..n {
+                    if let Some(r) = passes
+                        .turbo_err
+                        .observe_watts(lanes.wall[j] * lanes.rapl_share[j], &mut lanes.rng[j])
+                    {
+                        lanes.held_turbo[j] = r;
+                    }
+                    sum += lanes.held_turbo[j];
+                }
+                turbo[s] = sum;
             }
-            sum += lanes.held_turbo[j];
+            Some(DropoutMode::HoldLast) => {
+                let mut sum = 0.0;
+                for j in 0..n {
+                    sum += lanes.held_turbo[j];
+                }
+                turbo[s] = sum;
+            }
+            Some(DropoutMode::Gap) => turbo[s] = f64::NAN,
         }
-        turbo[s] = sum;
     }
 }
 
@@ -595,7 +730,7 @@ impl SiteCollector {
             // so results stay invariant under worker count, backend, and
             // batch-vs-stepped driving.
             for (s, t) in period.iter_steps(cfg.sample_step).enumerate() {
-                sweep_chunk_step(acc, &passes, s, t, lo, utilization);
+                sweep_chunk_step(acc, &passes, s, t, lo, utilization, StepFaults::clear());
             }
         });
 
@@ -722,12 +857,18 @@ impl SiteCollector {
             .max(1) as usize;
         readings.push(register.display());
         for (i, &w) in site_power.watts().iter().enumerate() {
-            // Apply the meter's (tiny) gain/noise to the power before it
-            // accumulates — a register integrates the instrument's view.
-            let observed = err
-                .observe(Power::from_watts(w), &mut rng)
-                .unwrap_or(Power::from_watts(w));
-            register.accumulate(observed * site_power.step());
+            // A gapped feed (NaN, from an upstream PDU outage) leaves the
+            // register holding its last total — no energy accumulates
+            // while the meter is dark, but the register stays readable.
+            if !w.is_nan() {
+                // Apply the meter's (tiny) gain/noise to the power before
+                // it accumulates — a register integrates the instrument's
+                // view.
+                let observed = err
+                    .observe(Power::from_watts(w), &mut rng)
+                    .unwrap_or(Power::from_watts(w));
+                register.accumulate(observed * site_power.step());
+            }
             if (i + 1) % read_every == 0 {
                 readings.push(register.display());
             }
@@ -826,13 +967,26 @@ impl SteppedCollector {
     /// advances the cursor. Returns the instant swept, `None` once the
     /// window is exhausted.
     pub fn advance(&mut self, utilization: &dyn UtilizationSource) -> Option<Timestamp> {
+        self.advance_faulted(utilization, StepFaults::clear())
+    }
+
+    /// [`SteppedCollector::advance`] under site-wide meter outages: the
+    /// methods `faults` marks dark skip their observation pass for this
+    /// instant (hold-last serves stale registers, gap leaves NaN). An
+    /// all-clear `faults` is exactly [`SteppedCollector::advance`] — the
+    /// fault-free sweep stays bit-identical to the batch path.
+    pub fn advance_faulted(
+        &mut self,
+        utilization: &dyn UtilizationSource,
+        faults: StepFaults,
+    ) -> Option<Timestamp> {
         if self.cursor >= self.steps {
             return None;
         }
         let t = self.next_t;
         for (chunk_idx, acc) in self.scratch.chunks[..self.n_chunks].iter_mut().enumerate() {
             let lo = (chunk_idx * CHUNK_NODES) as u64;
-            sweep_chunk_step(acc, &self.passes, self.cursor, t, lo, utilization);
+            sweep_chunk_step(acc, &self.passes, self.cursor, t, lo, utilization, faults);
         }
         self.cursor += 1;
         self.next_t = t + self.cfg.sample_step;
@@ -887,6 +1041,74 @@ impl SiteTelemetryResult {
     /// True total wall energy.
     pub fn true_energy(&self) -> Energy {
         self.truth.integrate(GapPolicy::Zero)
+    }
+
+    /// Bit-level equality: every sample compared by its IEEE-754 bit
+    /// pattern, so the NaN holes a gap-mode outage leaves compare equal
+    /// to themselves. The derived `PartialEq` follows float semantics
+    /// (`NaN != NaN`), which makes a gapped sweep unequal to its own
+    /// clone — reproducibility pins on faulted sweeps must use this.
+    pub fn bitwise_eq(&self, other: &SiteTelemetryResult) -> bool {
+        fn bits<'a>(s: &'a PowerSeries) -> impl Iterator<Item = u64> + 'a {
+            s.watts().iter().map(|w| w.to_bits())
+        }
+        self.site_code == other.site_code
+            && self.nodes == other.nodes
+            && self.period == other.period
+            && self.truth.start() == other.truth.start()
+            && self.truth.step() == other.truth.step()
+            && bits(&self.truth).eq(bits(&other.truth))
+            && self.series.len() == other.series.len()
+            && self
+                .series
+                .iter()
+                .zip(&other.series)
+                .all(|((ka, sa), (kb, sb))| ka == kb && bits(sa).eq(bits(sb)))
+            && match (&self.facility_register, &other.facility_register) {
+                (Some(a), Some(b)) => {
+                    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+                }
+                (None, None) => true,
+                _ => false,
+            }
+            && self.facility_energy.map(|e| e.kilowatt_hours().to_bits())
+                == other.facility_energy.map(|e| e.kilowatt_hours().to_bits())
+    }
+
+    /// The observed series for `kind` with its NaN gaps reconstructed
+    /// under `policy` — the recovery step a downstream assessment runs
+    /// after a gap-mode outage. `Ok(None)` when the site lacks the
+    /// method; [`TelemetryError::UnrecoverableGap`] when the series
+    /// holds no valid sample at all (the instrument was dark for the
+    /// whole window — no policy has anything to anchor on).
+    pub fn recovered_series(
+        &self,
+        kind: MeterKind,
+        policy: GapPolicy,
+    ) -> TelemetryResult<Option<PowerSeries>> {
+        let Some(s) = self.series.get(&kind) else {
+            return Ok(None);
+        };
+        if s.valid_fraction() == 0.0 {
+            return Err(TelemetryError::UnrecoverableGap {
+                site: self.site_code.clone(),
+                method: kind,
+            });
+        }
+        Ok(Some(s.fill_gaps(policy)))
+    }
+
+    /// Observed energy for `kind` with gaps reconstructed under
+    /// `policy` — [`SiteTelemetryResult::recovered_series`] integrated.
+    /// Same `Ok(None)` / [`TelemetryError::UnrecoverableGap`] contract.
+    pub fn recovered_energy(
+        &self,
+        kind: MeterKind,
+        policy: GapPolicy,
+    ) -> TelemetryResult<Option<Energy>> {
+        Ok(self
+            .recovered_series(kind, policy)?
+            .map(|s| s.integrate(policy)))
     }
 
     /// The paper's Table 2 convention for a site's headline energy: the
@@ -1261,5 +1483,221 @@ mod tests {
         assert_eq!(r.period.start(), Timestamp::EPOCH);
         assert_eq!(r.site_code, "TST");
         assert_eq!(r.true_wall_series().len(), 288);
+    }
+
+    /// Drives a full stepped sweep where `outage` decides the faults in
+    /// force at each instant.
+    fn sweep_with_faults(
+        cfg: SiteTelemetryConfig,
+        util: &dyn UtilizationSource,
+        outage: impl Fn(Timestamp) -> StepFaults,
+    ) -> SiteTelemetryResult {
+        let mut stepped = SteppedCollector::new(cfg, window()).unwrap();
+        while let Some(t) = stepped.next_instant() {
+            stepped.advance_faulted(util, outage(t));
+        }
+        stepped.finish().unwrap()
+    }
+
+    /// An outage over hours 6–12 of the 24 h window.
+    fn midday_outage(method: MeterKind, mode: DropoutMode) -> impl Fn(Timestamp) -> StepFaults {
+        move |t| {
+            if t >= Timestamp::from_hours(6.0) && t < Timestamp::from_hours(12.0) {
+                StepFaults::clear().with(method, mode)
+            } else {
+                StepFaults::clear()
+            }
+        }
+    }
+
+    #[test]
+    fn all_clear_faulted_sweep_is_bit_identical_to_batch() {
+        let cfg = small_config();
+        let util = SyntheticUtilization::calibrated(0.6, 9);
+        let batch = SiteCollector::new(cfg.clone())
+            .collect(window(), &util, 4)
+            .unwrap();
+        let faulted = sweep_with_faults(cfg, &util, |_| StepFaults::clear());
+        assert_eq!(faulted, batch);
+    }
+
+    #[test]
+    fn truth_is_unaffected_by_any_outage() {
+        // The truth pass is physics, not instrumentation: faulting every
+        // injectable method leaves it bit-identical to the clean run.
+        let cfg = small_config();
+        let util = SyntheticUtilization::calibrated(0.6, 9);
+        let clean = SiteCollector::new(cfg.clone())
+            .collect(window(), &util, 1)
+            .unwrap();
+        let faulted = sweep_with_faults(cfg, &util, |_| {
+            StepFaults::clear()
+                .with(MeterKind::Pdu, DropoutMode::Gap)
+                .with(MeterKind::Ipmi, DropoutMode::HoldLast)
+                .with(MeterKind::Turbostat, DropoutMode::Gap)
+        });
+        assert_eq!(faulted.true_wall_series(), clean.true_wall_series());
+    }
+
+    #[test]
+    fn hold_last_outage_serves_stale_readings_and_draws_no_rng() {
+        let cfg = small_config();
+        let util = SyntheticUtilization::calibrated(0.6, 9);
+        let r = sweep_with_faults(
+            cfg,
+            &util,
+            midday_outage(MeterKind::Pdu, DropoutMode::HoldLast),
+        );
+        let pdu = r.series(MeterKind::Pdu).unwrap();
+        // During the outage every sample repeats the same stale sum: the
+        // held registers never update while the meter is dark.
+        let grid: Vec<_> = window().iter_steps(SimDuration::from_secs(300)).collect();
+        let dark: Vec<f64> = grid
+            .iter()
+            .zip(pdu.watts())
+            .filter(|(t, _)| **t >= Timestamp::from_hours(6.0) && **t < Timestamp::from_hours(12.0))
+            .map(|(_, &w)| w)
+            .collect();
+        assert!(!dark.is_empty());
+        assert!(
+            dark.iter().all(|&w| w == dark[0]),
+            "hold-last outage must freeze the aggregate"
+        );
+        // No gaps anywhere: hold-last outages are invisible in coverage.
+        assert_eq!(pdu.valid_fraction(), 1.0);
+        // The truth pass never touches the instrument RNG streams.
+        let clean = SiteCollector::new(small_config())
+            .collect(window(), &util, 1)
+            .unwrap();
+        assert_eq!(r.true_wall_series(), clean.true_wall_series());
+    }
+
+    #[test]
+    fn gap_outage_leaves_nan_exactly_inside_the_outage() {
+        let cfg = small_config();
+        let util = SyntheticUtilization::calibrated(0.6, 9);
+        let r = sweep_with_faults(cfg, &util, midday_outage(MeterKind::Ipmi, DropoutMode::Gap));
+        let ipmi = r.series(MeterKind::Ipmi).unwrap();
+        for (t, &w) in window()
+            .iter_steps(SimDuration::from_secs(300))
+            .zip(ipmi.watts())
+        {
+            let in_outage = t >= Timestamp::from_hours(6.0) && t < Timestamp::from_hours(12.0);
+            assert_eq!(w.is_nan(), in_outage, "at {t:?}");
+        }
+        // 6 of 24 hours dark → 75% valid.
+        assert!((ipmi.valid_fraction() - 0.75).abs() < 1e-12);
+        // Recovery under a policy fills the gap and integrates.
+        let filled = r
+            .recovered_series(MeterKind::Ipmi, GapPolicy::HoldLast)
+            .unwrap()
+            .unwrap();
+        assert_eq!(filled.valid_fraction(), 1.0);
+        let e = r
+            .recovered_energy(MeterKind::Ipmi, GapPolicy::Interpolate)
+            .unwrap()
+            .unwrap();
+        assert!(e.kilowatt_hours() > 0.0);
+    }
+
+    #[test]
+    fn gapped_sweeps_compare_bitwise_not_by_float_equality() {
+        let cfg = small_config();
+        let util = SyntheticUtilization::calibrated(0.6, 9);
+        let r = sweep_with_faults(
+            cfg.clone(),
+            &util,
+            midday_outage(MeterKind::Ipmi, DropoutMode::Gap),
+        );
+        // Float equality disqualifies a gapped sweep from equalling its
+        // own clone (NaN != NaN) — bitwise_eq is the reproducibility pin.
+        assert!(r != r.clone());
+        assert!(r.bitwise_eq(&r.clone()));
+        // And it still distinguishes genuinely different sweeps.
+        let clean = sweep_with_faults(cfg, &util, |_| StepFaults::clear());
+        assert!(!r.bitwise_eq(&clean));
+    }
+
+    #[test]
+    fn whole_window_gap_is_an_unrecoverable_typed_error() {
+        let cfg = small_config();
+        let util = FlatUtilization(0.5);
+        let r = sweep_with_faults(cfg, &util, |_| {
+            StepFaults::clear().with(MeterKind::Turbostat, DropoutMode::Gap)
+        });
+        let err = r
+            .recovered_series(MeterKind::Turbostat, GapPolicy::HoldLast)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TelemetryError::UnrecoverableGap {
+                site: "TST".into(),
+                method: MeterKind::Turbostat,
+            }
+        );
+        assert!(err.to_string().contains("Turbostat"));
+        assert_eq!(
+            r.recovered_energy(MeterKind::Turbostat, GapPolicy::Zero)
+                .unwrap_err(),
+            err
+        );
+        // Methods the site lacks are None, not an error.
+        let mut cfg = small_config();
+        cfg.methods = vec![MeterKind::Pdu];
+        let r = SiteCollector::new(cfg).collect(window(), &util, 1).unwrap();
+        assert_eq!(
+            r.recovered_series(MeterKind::Ipmi, GapPolicy::HoldLast)
+                .unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn gapped_pdu_feed_holds_the_facility_register() {
+        let mut cfg = small_config();
+        cfg.facility_overhead_frac = 0.05;
+        let util = FlatUtilization(0.5);
+        let r = sweep_with_faults(cfg, &util, midday_outage(MeterKind::Pdu, DropoutMode::Gap));
+        // The facility series inherits the gap (it derives from the PDU
+        // aggregate)...
+        let fac = r.series(MeterKind::Facility).unwrap();
+        assert!(fac.valid_fraction() < 1.0);
+        // ...but the register stays readable and monotone: it simply
+        // holds while the feed is dark, so no reading is ever NaN.
+        let readings = r.facility_register.as_ref().unwrap();
+        assert_eq!(readings.len(), 49);
+        assert!(readings.iter().all(|v| !v.is_nan()));
+        for w in readings.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        // Six dark hours of 24 → roughly a quarter of the energy missing.
+        let clean = {
+            let mut cfg = small_config();
+            cfg.facility_overhead_frac = 0.05;
+            SiteCollector::new(cfg).collect(window(), &util, 1).unwrap()
+        };
+        let lost = r.energy(MeterKind::Facility).unwrap().kilowatt_hours()
+            / clean.energy(MeterKind::Facility).unwrap().kilowatt_hours();
+        assert!((lost - 0.75).abs() < 0.01, "register kept {lost} of clean");
+    }
+
+    #[test]
+    #[should_panic(expected = "derive from the PDU aggregate")]
+    fn facility_faults_are_refused() {
+        let _ = StepFaults::clear().with(MeterKind::Facility, DropoutMode::Gap);
+    }
+
+    #[test]
+    fn step_faults_accessors() {
+        let f = StepFaults::clear();
+        assert!(f.is_clear());
+        let f = f.with(MeterKind::Pdu, DropoutMode::HoldLast);
+        assert!(!f.is_clear());
+        assert_eq!(f.get(MeterKind::Pdu), Some(DropoutMode::HoldLast));
+        assert_eq!(f.get(MeterKind::Ipmi), None);
+        assert_eq!(f.get(MeterKind::Facility), None);
+        let mut f = f;
+        f.set(MeterKind::Pdu, None);
+        assert!(f.is_clear());
     }
 }

@@ -6,6 +6,7 @@
 //! are now values a caller can handle (a federation sweep should skip a
 //! misconfigured site, not abort the whole snapshot).
 
+use crate::meter::MeterKind;
 use std::fmt;
 
 /// Result alias for telemetry-layer operations.
@@ -40,6 +41,15 @@ pub enum TelemetryError {
         /// Sample instants the window requires.
         steps: usize,
     },
+    /// A method's series holds no valid samples at all — the instrument
+    /// was dark for the entire window, so no gap policy can reconstruct
+    /// it (hold-last has nothing to hold, interpolation has no anchors).
+    UnrecoverableGap {
+        /// The site being collected.
+        site: String,
+        /// The method whose series is all gap.
+        method: MeterKind,
+    },
 }
 
 impl fmt::Display for TelemetryError {
@@ -61,6 +71,11 @@ impl fmt::Display for TelemetryError {
                 f,
                 "site {site}: stepped collection finalised after {done} of \
                  {steps} sample instants"
+            ),
+            TelemetryError::UnrecoverableGap { site, method } => write!(
+                f,
+                "site {site}: the {method} series holds no valid samples — \
+                 the gap spans the whole window and cannot be recovered"
             ),
         }
     }

@@ -57,8 +57,8 @@ pub mod timeseries;
 
 pub use aggregate::{EnergyByMethod, SiteEnergyReport};
 pub use collector::{
-    CollectScratch, NodeGroupTelemetry, NodeId, SiteCollector, SiteTelemetryConfig,
-    SiteTelemetryResult, SteppedCollector,
+    CollectScratch, DropoutMode, NodeGroupTelemetry, NodeId, SiteCollector, SiteTelemetryConfig,
+    SiteTelemetryResult, StepFaults, SteppedCollector,
 };
 pub use error::{TelemetryError, TelemetryResult};
 pub use meter::{MeterErrorModel, MeterKind, MeterReading, PowerMeter};

@@ -1,0 +1,196 @@
+//! Fault injection on the event engine: meter dropout with typed
+//! recovery, and grid-driven curtailment fanned across a fleet.
+//!
+//! Real monitoring stacks lose instruments mid-sweep (Section 3's
+//! PDU/IPMI/turbostat methods all have documented outage modes), and
+//! real operators shed load when the grid is stressed. This example
+//! runs both as event graphs from the scenario library:
+//!
+//! 1. A `DropoutScenario` — a `FaultInjector` replays an outage script
+//!    into a live collector; gap outages are repaired after the sweep
+//!    under an explicit `GapPolicy`, and an unrecoverable gap is a
+//!    *typed* refusal, not a silent zero.
+//! 2. A `CurtailmentScenario` — one grid signal, one curtailment
+//!    authority, three sites; orders fan out over the engine's port
+//!    fanout while two of the sites also ride through meter outages.
+//!
+//! Run with: `cargo run --release --example fault_injection`
+
+use iriscast::grid::scenario::uk_november_2022;
+use iriscast::grid::stress_episodes;
+use iriscast::prelude::*;
+use iriscast::sim::{settle_emissions, MeterOutage, SiteSpec};
+use iriscast::telemetry::{DropoutMode, NodeGroupTelemetry, NodePowerModel};
+use iriscast::units::{SimDuration, Timestamp};
+use iriscast::workload::generate;
+
+fn hours(t: Timestamp) -> f64 {
+    t.as_secs() as f64 / 3_600.0
+}
+
+fn site_telemetry(code: &str, nodes: u32, seed: u64) -> SiteTelemetryConfig {
+    let mut cfg = SiteTelemetryConfig::new(
+        code,
+        vec![NodeGroupTelemetry {
+            label: "compute".into(),
+            count: nodes,
+            power_model: NodePowerModel::linear(Power::from_watts(140.0), Power::from_watts(620.0)),
+        }],
+        seed,
+    );
+    cfg.sample_step = SimDuration::SETTLEMENT_PERIOD;
+    cfg
+}
+
+fn main() {
+    let day = Period::snapshot_24h();
+
+    // ── 1. Meter dropout and recovery ────────────────────────────────
+    println!("Meter dropout: 16 nodes, 24 h, two instruments go dark\n");
+    let outages = vec![
+        MeterOutage {
+            method: MeterKind::Pdu,
+            mode: DropoutMode::Gap,
+            window: Period::new(Timestamp::from_hours(6.0), Timestamp::from_hours(9.0)),
+        },
+        MeterOutage {
+            method: MeterKind::Ipmi,
+            mode: DropoutMode::HoldLast,
+            window: Period::new(Timestamp::from_hours(14.0), Timestamp::from_hours(18.0)),
+        },
+    ];
+    let dropout = DropoutScenario {
+        window: day,
+        telemetry: site_telemetry("FAULT-16", 16, 11),
+        utilization: 0.55,
+        utilization_seed: 11,
+        outages,
+        recovery: GapPolicy::Interpolate,
+    };
+    let run = dropout.run().expect("gaps are recoverable");
+    let truth = run.telemetry.true_energy();
+    println!(
+        "  ground truth      {:>9.1} kWh   ({} events)",
+        truth.kilowatt_hours(),
+        run.events_processed
+    );
+    for (kind, energy) in &run.recovered {
+        if let Some(e) = energy {
+            println!(
+                "  {:<9} reads {:>9.1} kWh   ({:+.2}% vs truth, gaps interpolated)",
+                kind.to_string(),
+                e.kilowatt_hours(),
+                100.0 * (e.kilowatt_hours() - truth.kilowatt_hours()) / truth.kilowatt_hours()
+            );
+        }
+    }
+
+    // A method dark for the whole window has nothing to recover from —
+    // the library refuses with a typed error instead of inventing data.
+    let unrecoverable = DropoutScenario {
+        outages: vec![MeterOutage {
+            method: MeterKind::Turbostat,
+            mode: DropoutMode::Gap,
+            window: day,
+        }],
+        ..dropout
+    };
+    let err = unrecoverable.run().expect_err("whole-window gap");
+    println!("\n  whole-window gap: {err}\n");
+
+    // ── 2. Grid-driven curtailment across a fleet ────────────────────
+    let grid = uk_november_2022(1).simulate();
+    let series = grid.intensity().slice(day).expect("month covers the day");
+    let threshold = series.percentile(0.75);
+    let episodes = stress_episodes(&series, threshold);
+    println!("Curtailment: 3 × 32-node sites, curtail to 25% while grid > {threshold}");
+    for e in &episodes {
+        println!(
+            "  stress episode {:>5.1}–{:>4.1} h  peak {:>5.0}  mean {:>5.0} g/kWh",
+            hours(e.window.start()),
+            hours(e.window.end()),
+            e.peak.grams_per_kwh(),
+            e.mean.grams_per_kwh()
+        );
+    }
+
+    let sites = (0..3u64)
+        .map(|i| {
+            let jobs = generate(
+                &WorkloadConfig {
+                    mean_interarrival: SimDuration::from_secs(480),
+                    ..WorkloadConfig::batch_hpc()
+                },
+                day,
+                42 + i,
+            );
+            // Two of the three sites also lose meters mid-run: the same
+            // graph exercises curtailment and dropout together.
+            let outages = if i < 2 {
+                vec![MeterOutage {
+                    method: MeterKind::Pdu,
+                    mode: DropoutMode::HoldLast,
+                    window: Period::new(
+                        Timestamp::from_hours(7.0 + i as f64),
+                        Timestamp::from_hours(10.0 + i as f64),
+                    ),
+                }]
+            } else {
+                Vec::new()
+            };
+            SiteSpec {
+                nodes: 32,
+                jobs,
+                telemetry: site_telemetry(&format!("SITE-{i}"), 32, 42 + i),
+                outages,
+            }
+        })
+        .collect::<Vec<_>>();
+    let scenario = CurtailmentScenario {
+        window: day,
+        intensity: series.clone(),
+        threshold,
+        level: 0.25,
+        sites,
+    };
+
+    let curtailed = scenario.run().expect("fleet runs");
+    let free = scenario.run_unconstrained().expect("fleet runs");
+    println!("\n  authority transitions:");
+    for (t, on) in &curtailed.transitions {
+        println!(
+            "    {:>5.1} h  {}",
+            hours(*t),
+            if *on { "curtail to 25%" } else { "release" }
+        );
+    }
+
+    println!(
+        "\n  {:<8} {:>16} {:>16}",
+        "site", "unconstrained", "curtailed"
+    );
+    let mut total_free = 0.0;
+    let mut total_curtailed = 0.0;
+    for (i, (c, f)) in curtailed.sites.iter().zip(&free.sites).enumerate() {
+        let gf = settle_emissions(&f.energy, &series);
+        let gc = settle_emissions(&c.energy, &series);
+        total_free += gf;
+        total_curtailed += gc;
+        println!(
+            "  SITE-{i}   {:>12.1} kg {:>12.1} kg",
+            gf / 1_000.0,
+            gc / 1_000.0
+        );
+    }
+    println!(
+        "  {:<8} {:>12.1} kg {:>12.1} kg   ({:.1}% shifted out of the stressed block)",
+        "fleet",
+        total_free / 1_000.0,
+        total_curtailed / 1_000.0,
+        100.0 * (total_free - total_curtailed) / total_free
+    );
+    println!(
+        "\n  (events: curtailed {} / unconstrained {})",
+        curtailed.events_processed, free.events_processed
+    );
+}

@@ -123,7 +123,10 @@ pub mod prelude {
         CarbonProfile, TimeResolvedAssessment, TimeResolvedBuilder,
     };
     pub use iriscast_model::{Error as ModelError, Result as ModelResult};
-    pub use iriscast_sim::{Component, Ctx, DeferralScenario, Engine, EngineBuilder, ScenarioRun};
+    pub use iriscast_sim::{
+        Component, Ctx, CurtailmentScenario, DeferralScenario, DemandResponseScenario,
+        DropoutScenario, Engine, EngineBuilder, FaultInjector, ForecastScenario, ScenarioRun,
+    };
     pub use iriscast_telemetry::timeseries::{EnergySeries, GapPolicy, PowerSeries};
     pub use iriscast_telemetry::{
         CollectScratch, MeterKind, NodePowerModel, SiteCollector, SiteTelemetryConfig,
