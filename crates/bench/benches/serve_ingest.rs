@@ -1,0 +1,84 @@
+//! Serve-pipeline bench: snapshot fold throughput and warm query
+//! latency.
+//!
+//! Two sides of the PR 9 contract. `ingest_10k_snapshots` is the fold
+//! throughput sweep — 10,000 snapshot windows evaluated under the
+//! paper-shaped 81-point template and folded through the reorder
+//! buffer into one growing ensemble (810,000 scenario rows by the
+//! end), i.e. the full ingest → fold path a day of 10k-site traffic
+//! exercises. `warm_quantile` is the query side: with the ensemble
+//! grown and the cached sort warm, a percentile must stay an O(1)
+//! interpolation — the number to compare against the PR 4 cached-view
+//! latency (`scenario_space/percentile_cached`), with a 2× budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iriscast_serve::{AssessmentService, SiteModel, SnapshotRecord};
+use std::hint::black_box;
+
+fn model() -> SiteModel {
+    SiteModel {
+        servers: 2_398,
+        ci_grams_per_kwh: vec![34.0, 231.12, 280.0],
+        pue_values: vec![1.1, 1.3, 1.58],
+        embodied_kg: vec![399.0, 1_100.0, 1_300.0],
+        lifespans_years: vec![3, 5, 7],
+    }
+}
+
+fn records(n: u64) -> Vec<SnapshotRecord> {
+    (0..n)
+        .map(|seq| SnapshotRecord {
+            site: "CAM".into(),
+            seq,
+            window_start_s: seq as i64 * 21_600,
+            window_end_s: (seq as i64 + 1) * 21_600,
+            energy_kwh: 4_000.0 + (seq % 97) as f64 * 13.0,
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_ingest");
+    g.sample_size(10);
+
+    // Fold throughput: 10k snapshots through evaluate + reorder-buffer
+    // fold, ending in one warm quantile so the sweep includes the sort
+    // the queries will live on.
+    let recs_10k = records(10_000);
+    g.bench_function("ingest_10k_snapshots", |b| {
+        b.iter(|| {
+            let service = AssessmentService::new();
+            service.register_site("CAM", model()).unwrap();
+            service.ingest_batch(&recs_10k, 1).unwrap();
+            black_box(service.percentile("CAM", 0.5).unwrap())
+        })
+    });
+
+    // Warm query latency between folds: ensemble grown, cached sort
+    // live — each percentile is an O(1) interpolation and must stay
+    // within 2× of the PR 4 cached-view number.
+    let service = AssessmentService::new();
+    service.register_site("CAM", model()).unwrap();
+    service.ingest_batch(&recs_10k, 1).unwrap();
+    service.percentile("CAM", 0.5).unwrap();
+    g.bench_function("warm_quantile", |b| {
+        b.iter(|| black_box(service.percentile("CAM", 0.95).unwrap()))
+    });
+
+    // The wire path on top: answer one NDJSON percentile query from
+    // the warm view, framing included.
+    let query = "{\"site\":\"CAM\",\"ask\":\"percentile\",\"q\":0.95,\
+                 \"axis\":null,\"tenant\":null}";
+    let mut out = Vec::with_capacity(1024);
+    g.bench_function("ndjson_query", |b| {
+        b.iter(|| {
+            out.clear();
+            black_box(service.serve_ndjson(query, &mut out))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -9,7 +9,7 @@
 //! bench_check [--baseline <path>] [--fresh <path>] [--tolerance <factor>]
 //! ```
 //!
-//! Defaults: baseline `BENCH_PR8.json` at the workspace root, fresh from
+//! Defaults: baseline `BENCH_PR9.json` at the workspace root, fresh from
 //! the same resolution `cargo bench` writes to (`$BENCH_JSON`, else
 //! `BENCH.json` at the workspace root), tolerance `3.0` — wide enough to
 //! absorb runner-class noise between the machine that committed the
@@ -21,7 +21,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// The committed baseline CI gates against by default.
-const DEFAULT_BASELINE: &str = "BENCH_PR8.json";
+const DEFAULT_BASELINE: &str = "BENCH_PR9.json";
 
 struct Args {
     baseline: PathBuf,

@@ -34,7 +34,7 @@
 use crate::embodied::fleet_snapshot_daily;
 use crate::error::{Error, Result};
 use crate::space::{ScenarioAxis, ScenarioPoint, ScenarioSpace};
-use crate::stats_view::SortedTotals;
+use crate::stats_view::StatsAccumulator;
 use iriscast_units::{Bounds, CarbonIntensity, CarbonMass, Energy, Pue, SimDuration, TriEstimate};
 use std::sync::OnceLock;
 
@@ -872,9 +872,10 @@ pub struct SpaceResults {
     pub(crate) embodied: Vec<CarbonMass>,
     pub(crate) total: Vec<CarbonMass>,
     /// Lazily built ascending view of `total` in kilograms (see
-    /// [`crate::stats_view`]); dropped on re-fill by
+    /// [`crate::stats_view`]); folded into in place by
+    /// [`SpaceResults::extend_rows`], dropped on re-fill by
     /// [`Assessment::evaluate_space_into`].
-    pub(crate) sorted: OnceLock<SortedTotals>,
+    pub(crate) sorted: OnceLock<StatsAccumulator>,
 }
 
 /// Equality is over the space and the three result columns; the lazily

@@ -49,6 +49,15 @@ pub enum Error {
         /// The column the query targeted ("best estimate", …).
         column: &'static str,
     },
+    /// An incremental fold tried to append results whose fixed inner
+    /// axes did not match the accumulated space's — only the
+    /// carbon-intensity (outermost) axis may grow; PUE, embodied and
+    /// lifespan must be identical, or the appended rows would land at
+    /// the wrong coordinates.
+    ShapeMismatch {
+        /// The first mismatching axis ("pue", "embodied", "lifespan").
+        axis: &'static str,
+    },
     /// The embodied amortisation window was zero, negative, or
     /// non-finite.
     InvalidWindow {
@@ -87,6 +96,13 @@ impl fmt::Display for Error {
             }
             Error::EmptyColumn { column } => {
                 write!(f, "statistics query over an empty {column} column")
+            }
+            Error::ShapeMismatch { axis } => {
+                write!(
+                    f,
+                    "incremental fold over a mismatched {axis} axis (only the \
+                     carbon-intensity axis may grow)"
+                )
             }
             Error::InvalidWindow { days } => {
                 write!(f, "window must be positive and finite, got {days} days")
@@ -154,6 +170,9 @@ mod tests {
         assert!(Error::InvalidWindow { days: -1.0 }
             .to_string()
             .contains("-1 days"));
+        assert!(Error::ShapeMismatch { axis: "pue" }
+            .to_string()
+            .contains("mismatched pue axis"));
     }
 
     #[test]

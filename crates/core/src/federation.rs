@@ -220,11 +220,11 @@ impl FleetScenario {
             }));
         });
 
-        let mut rollup = FleetRollup::empty(self.region_codes.clone(), self.period);
+        let mut rollup = FleetRollup::new(self.region_codes.clone(), self.period);
         for slot in slots {
             // Not a data condition: `fill_indexed` writes every slot
             // exactly once by contract, so a `None` is a harness bug.
-            rollup.push(slot.expect("fill_indexed visits every slot")?);
+            rollup.fold_site(slot.expect("fill_indexed visits every slot")?);
         }
         Ok(rollup)
     }
@@ -306,7 +306,11 @@ pub struct FleetRollup {
 }
 
 impl FleetRollup {
-    fn empty(region_codes: Vec<String>, period: Period) -> Self {
+    /// An empty roll-up to fold sites into — the incremental
+    /// counterpart of [`FleetScenario::try_simulate`]'s batch path,
+    /// which itself is just `new` + [`FleetRollup::fold_site`] per
+    /// site. The serve layer grows one of these per live fleet.
+    pub fn new(region_codes: Vec<String>, period: Period) -> Self {
         FleetRollup {
             period,
             region_codes,
@@ -320,23 +324,41 @@ impl FleetRollup {
         }
     }
 
-    fn push(&mut self, site: SiteRollup) {
+    /// Folds one more site's roll-up into the columns, in place.
+    ///
+    /// A warm cached-sort view is **updated** — the new best estimate is
+    /// inserted at its `partition_point` rank — never left stale: the
+    /// private `push` this grew out of skipped the cache entirely, which
+    /// was sound only while every push happened before the first
+    /// quantile query. The incremental service folds *between* queries,
+    /// so the regression tests now pin fold-after-warm-query directly.
+    /// Sites without an estimate (and poisoned `NaN` estimates, which
+    /// flag the column for the quantile guards) stay out of the cached
+    /// view, exactly as the batch sort filters them.
+    pub fn fold_site(&mut self, site: SiteRollup) {
         self.region_of.push(site.region);
         self.nodes.push(site.nodes);
-        match site.energies.best_estimate() {
+        let kwh = match site.energies.best_estimate() {
             Some(e) => {
                 let kwh = e.kilowatt_hours();
                 if kwh.is_nan() {
                     self.nan_best = true;
                 }
-                self.best_kwh.push(kwh);
+                kwh
             }
             None => {
                 self.missing_best += 1;
-                self.best_kwh.push(f64::NAN);
+                f64::NAN
+            }
+        };
+        self.best_kwh.push(kwh);
+        self.truth_kwh.push(site.truth.kilowatt_hours());
+        if !kwh.is_nan() {
+            if let Some(sorted) = self.sorted_best.get_mut() {
+                let p = sorted.partition_point(|x| x.total_cmp(&kwh).is_le());
+                sorted.insert(p, kwh);
             }
         }
-        self.truth_kwh.push(site.truth.kilowatt_hours());
     }
 
     /// Snapshot window the fleet was simulated over.
@@ -635,6 +657,62 @@ mod tests {
             a.total_best_estimate().kilowatt_hours(),
             b.total_best_estimate().kilowatt_hours()
         );
+    }
+
+    fn hand_site(kwh: Option<f64>, truth: f64) -> SiteRollup {
+        SiteRollup {
+            region: 0,
+            nodes: 1,
+            energies: EnergyByMethod {
+                facility: None,
+                pdu: kwh.map(Energy::from_kilowatt_hours),
+                ipmi: None,
+                turbostat: None,
+            },
+            truth: Energy::from_kilowatt_hours(truth),
+        }
+    }
+
+    #[test]
+    fn fold_after_warm_query_never_serves_the_stale_sort() {
+        // The regression: the old private `push` never touched the
+        // cached sort, which was sound only because every push happened
+        // before the first quantile query. The public fold interleaves
+        // with queries, so a warm cache must absorb each new site.
+        let mut live = FleetRollup::new(vec!["R".into()], Period::snapshot_24h());
+        live.fold_site(hand_site(Some(10.0), 10.0));
+        live.fold_site(hand_site(Some(30.0), 30.0));
+        // Warm the cache, then fold an extremum past both ends.
+        assert_eq!(live.percentile(1.0).unwrap().kilowatt_hours(), 30.0);
+        live.fold_site(hand_site(Some(50.0), 50.0));
+        assert_eq!(live.percentile(1.0).unwrap().kilowatt_hours(), 50.0);
+        live.fold_site(hand_site(Some(1.0), 1.0));
+        assert_eq!(live.percentile(0.0).unwrap().kilowatt_hours(), 1.0);
+        // A methodless site folds into the columns but not the warm
+        // cache (mirroring the batch sort's NaN filter).
+        live.fold_site(hand_site(None, 2.0));
+        assert_eq!(live.sites_missing_estimate(), 1);
+        assert_eq!(live.percentile(0.0).unwrap().kilowatt_hours(), 1.0);
+        // Every quantile of the warm incremental view matches a cold
+        // roll-up of the same sites, interpolation and all.
+        let mut cold = FleetRollup::new(vec!["R".into()], Period::snapshot_24h());
+        for kwh in [Some(10.0), Some(30.0), Some(50.0), Some(1.0), None] {
+            cold.fold_site(hand_site(kwh, kwh.unwrap_or(2.0)));
+        }
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            assert_eq!(
+                live.percentile(q).unwrap().kilowatt_hours(),
+                cold.percentile(q).unwrap().kilowatt_hours(),
+                "q = {q}"
+            );
+        }
+        // A poisoned estimate folded after warming flips the typed
+        // refusal on, stale cache notwithstanding.
+        live.fold_site(hand_site(Some(f64::NAN), 0.0));
+        assert!(matches!(
+            live.percentile(0.5),
+            Err(Error::NonFiniteData { .. })
+        ));
     }
 
     #[test]

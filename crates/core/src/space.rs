@@ -87,6 +87,17 @@ impl<T> ScenarioAxis<T> {
         &self.samples
     }
 
+    /// Appends another axis's samples to this one (the incremental-fold
+    /// growth path; see [`ScenarioSpace::extend_ci`]). The name is
+    /// kept — growth changes *where* the axis has been sampled, not
+    /// what it is.
+    pub(crate) fn extend_from(&mut self, other: &Self)
+    where
+        T: Clone,
+    {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
     /// Borrowing iterator over the samples.
     pub fn iter(&self) -> std::slice::Iter<'_, T> {
         self.samples.iter()
@@ -331,6 +342,18 @@ impl ScenarioSpace {
             embodied_per_server: self.embodied.samples()[emb_i],
             lifespan_years: self.lifespan_years.samples()[life_i],
         })
+    }
+
+    /// Appends another CI axis's samples to this space's carbon-intensity
+    /// axis. CI is the **outermost** axis of the row-major point order,
+    /// so growing it appends whole blocks of `len() / ci.len()` points at
+    /// the end of the flat index — existing indices, coordinates and
+    /// every inner-axis stride are untouched. This is what makes
+    /// [`crate::engine::SpaceResults::extend_rows`] a plain column
+    /// append; growing any *inner* axis would interleave instead, which
+    /// is why no such path exists.
+    pub(crate) fn extend_ci(&mut self, other: &ScenarioAxis<CarbonIntensity>) {
+        self.ci.extend_from(other);
     }
 
     /// Iterates every scenario point in index order.

@@ -25,6 +25,18 @@
 //! constructor fills exactly `space.len() ≥ 1` rows (see the invariant
 //! note on [`SpaceResults`]) — the `expect("results are non-empty")`
 //! calls of the previous revision are gone, not hidden.
+//!
+//! # Incremental operation
+//!
+//! A result batch is no longer immutable: [`SpaceResults::extend_rows`]
+//! folds a second batch (same inner axes, new carbon-intensity samples)
+//! into this one in place, and a **warm** cached view is *updated* by
+//! `StatsAccumulator::fold`'s galloping merge — O(new·log old)
+//! comparisons, each old element moved at most once — instead of being
+//! dropped and re-sorted. Quantile queries between folds therefore stay
+//! O(1) and allocation-free, and every query answers bit-identically to
+//! a from-scratch batch evaluation over the concatenated CI axis (the
+//! property suites pin this at arbitrary split points).
 
 use crate::engine::SpaceResults;
 use crate::error::{Error, Result};
@@ -33,12 +45,14 @@ use crate::space::AxisId;
 use iriscast_grid::stats;
 use iriscast_units::{Bounds, CarbonMass};
 
-/// The cached sorted view of a result batch's total column: kilograms,
-/// ascending (`total_cmp` order). Built lazily by the quantile queries;
-/// dropped when the owning [`SpaceResults`] is re-filled through
+/// The updatable sorted view of a result batch's total column:
+/// kilograms, ascending (`total_cmp` order). Built lazily by the
+/// quantile queries; **folded into** (not rebuilt) when the owning
+/// [`SpaceResults`] grows through [`SpaceResults::extend_rows`]; dropped
+/// when the batch is re-filled wholesale through
 /// [`crate::engine::Assessment::evaluate_space_into`].
 #[derive(Clone, Debug)]
-pub(crate) struct SortedTotals {
+pub(crate) struct StatsAccumulator {
     /// Totals in kilograms, ascending.
     kg: Vec<f64>,
     /// Whether any total is NaN (poisons quantile queries with a typed
@@ -46,12 +60,50 @@ pub(crate) struct SortedTotals {
     has_nan: bool,
 }
 
-impl SortedTotals {
+impl StatsAccumulator {
     fn build(total: &[CarbonMass]) -> Self {
         let mut kg: Vec<f64> = total.iter().map(|t| t.kilograms()).collect();
         let has_nan = kg.iter().any(|v| v.is_nan());
         kg.sort_by(f64::total_cmp);
-        SortedTotals { kg, has_nan }
+        StatsAccumulator { kg, has_nan }
+    }
+
+    /// Folds a batch of new totals into the sorted view by galloping
+    /// merge: sort the (small) incoming batch, then walk it largest
+    /// first, locating each value's rank among the remaining old values
+    /// with one `partition_point` and sliding the old run above it into
+    /// place with one `copy_within`. O(new·log old) comparisons and
+    /// each old element moved at most once — not a full re-sort.
+    ///
+    /// Bit-identity: `total_cmp` is a total order in which equal values
+    /// have identical bit patterns, so wherever ties land, the merged
+    /// sequence is byte-for-byte the one a from-scratch
+    /// [`StatsAccumulator::build`] of the concatenated column produces.
+    fn fold(&mut self, new_total: &[CarbonMass]) {
+        if new_total.is_empty() {
+            return;
+        }
+        let mut incoming: Vec<f64> = new_total.iter().map(|t| t.kilograms()).collect();
+        self.has_nan |= incoming.iter().any(|v| v.is_nan());
+        incoming.sort_by(f64::total_cmp);
+        let old_len = self.kg.len();
+        self.kg.resize(old_len + incoming.len(), 0.0);
+        // Merge back to front. Old values live in kg[..old_end]; the
+        // next placed block ends (exclusively) at write_end. The loop
+        // keeps `write_end - old_end == number of unplaced new values`,
+        // so writes always land strictly above the unread old region.
+        let mut old_end = old_len;
+        let mut write_end = self.kg.len();
+        for &v in incoming.iter().rev() {
+            let p = self.kg[..old_end].partition_point(|x| x.total_cmp(&v).is_le());
+            let run = old_end - p;
+            self.kg.copy_within(p..old_end, write_end - run);
+            write_end -= run + 1;
+            self.kg[write_end] = v;
+            old_end = p;
+        }
+        // Everything below the smallest new value was already in place.
+        debug_assert_eq!(write_end, old_end);
     }
 
     /// O(1) linear-interpolated quantile on the sorted view, delegating
@@ -121,9 +173,50 @@ pub struct TotalsSummary {
 
 impl SpaceResults {
     /// The cached sorted totals, built on first use.
-    fn sorted_totals(&self) -> &SortedTotals {
+    fn sorted_totals(&self) -> &StatsAccumulator {
         self.debug_assert_invariant();
-        self.sorted.get_or_init(|| SortedTotals::build(&self.total))
+        self.sorted
+            .get_or_init(|| StatsAccumulator::build(&self.total))
+    }
+
+    /// Folds another result batch into this one in place: `other`'s
+    /// carbon-intensity samples are appended to this space's CI
+    /// (outermost) axis and its columns appended row for row, so the
+    /// grown batch is **bit-identical** — columns, envelope, quantiles,
+    /// marginals — to a from-scratch evaluation over the concatenated CI
+    /// axis. A warm cached-sort view is updated by galloping merge
+    /// (`StatsAccumulator::fold`) rather than dropped, so quantile
+    /// queries between folds stay O(1) and allocation-free; a cold view
+    /// stays cold (nothing to keep warm).
+    ///
+    /// Only the CI axis may grow because it is outermost in the
+    /// row-major point order: appending its samples appends whole
+    /// contiguous blocks of points, leaving every existing index,
+    /// coordinate and inner-axis stride untouched. The three inner axes
+    /// must therefore be identical (name and samples), or the appended
+    /// rows would land at the wrong coordinates —
+    /// [`Error::ShapeMismatch`] names the first offender.
+    pub fn extend_rows(&mut self, other: &SpaceResults) -> Result<()> {
+        self.debug_assert_invariant();
+        other.debug_assert_invariant();
+        if self.space.pue() != other.space.pue() {
+            return Err(Error::ShapeMismatch { axis: "pue" });
+        }
+        if self.space.embodied() != other.space.embodied() {
+            return Err(Error::ShapeMismatch { axis: "embodied" });
+        }
+        if self.space.lifespan_years() != other.space.lifespan_years() {
+            return Err(Error::ShapeMismatch { axis: "lifespan" });
+        }
+        self.active.extend_from_slice(&other.active);
+        self.embodied.extend_from_slice(&other.embodied);
+        self.total.extend_from_slice(&other.total);
+        self.space.extend_ci(other.space.ci());
+        if let Some(view) = self.sorted.get_mut() {
+            view.fold(&other.total);
+        }
+        self.debug_assert_invariant();
+        Ok(())
     }
 
     fn column_bounds(col: &[CarbonMass]) -> Bounds<CarbonMass> {
@@ -366,6 +459,146 @@ mod tests {
             results.percentile(2.0).unwrap_err(),
             Error::InvalidFraction { value: 2.0 }
         );
+    }
+
+    fn eval_ci(ci: &[f64]) -> SpaceResults {
+        Assessment::builder()
+            .energy(paper::effective_energy())
+            .ci_grams_per_kwh(ci)
+            .pue_values(&[1.1, 1.3, 1.58])
+            .embodied_bounds(paper::server_embodied_bounds())
+            .lifespans_years(&[3, 5, 7])
+            .servers(100)
+            .build()
+            .unwrap()
+            .evaluate_space()
+    }
+
+    #[test]
+    fn gallop_fold_equals_full_rebuild_on_awkward_values() {
+        let vals = |xs: &[f64]| -> Vec<CarbonMass> {
+            xs.iter().copied().map(CarbonMass::from_kilograms).collect()
+        };
+        let old = vals(&[5.0, 1.0, 3.0, 3.0, -0.0, 2.5]);
+        let cases: &[&[f64]] = &[
+            &[],
+            &[4.0],
+            &[-1.0, 10.0, 3.0, 3.0, 0.0],
+            &[f64::NAN, 2.0],
+            &[0.5, 0.5, 0.5, 0.5],
+            &[-2.0, -0.0, 0.0, 100.0, f64::INFINITY],
+        ];
+        for new in cases {
+            let mut acc = StatsAccumulator::build(&old);
+            acc.fold(&vals(new));
+            let mut all = old.clone();
+            all.extend(vals(new));
+            let rebuilt = StatsAccumulator::build(&all);
+            // Bitwise, not `==`: NaN and signed-zero placement are part
+            // of the total_cmp contract being pinned.
+            assert!(
+                acc.kg
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .eq(rebuilt.kg.iter().map(|v| v.to_bits())),
+                "fold of {new:?} diverged from rebuild"
+            );
+            assert_eq!(acc.has_nan, rebuilt.has_nan, "{new:?}");
+        }
+        // Folding into an empty view is the degenerate all-new merge.
+        let mut acc = StatsAccumulator::build(&[]);
+        acc.fold(&vals(&[2.0, 1.0]));
+        assert_eq!(acc.kg, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn extend_rows_matches_batch_bit_for_bit() {
+        let batch = eval_ci(&[50.0, 175.0, 900.0]);
+        let mut live = eval_ci(&[50.0]);
+        // Warm the cache before the first fold so the galloping-merge
+        // path (not a lazy rebuild) is what answers below.
+        assert!(live.percentile(0.95).unwrap().kilograms() > 0.0);
+        live.extend_rows(&eval_ci(&[175.0])).unwrap();
+        live.extend_rows(&eval_ci(&[900.0])).unwrap();
+        // Space and columns are the batch's, bit for bit …
+        assert_eq!(live, batch);
+        assert_eq!(live.space().shape(), batch.space().shape());
+        // … and so is every query surface: quantiles off the folded
+        // warm view, envelope, marginals, mean.
+        for q in [0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            assert_eq!(
+                live.percentile(q).unwrap(),
+                batch.percentile(q).unwrap(),
+                "q = {q}"
+            );
+        }
+        assert_eq!(live.envelope(), batch.envelope());
+        assert_eq!(live.mean_total(), batch.mean_total());
+        for axis in AxisId::ALL {
+            assert_eq!(live.marginals(axis), batch.marginals(axis), "{axis:?}");
+        }
+        assert_eq!(live.summary().unwrap(), batch.summary().unwrap());
+    }
+
+    #[test]
+    fn extend_rows_after_warm_query_never_serves_the_stale_sort() {
+        let mut live = eval_ci(&[175.0]);
+        let before_max = live.percentile(1.0).unwrap();
+        // Fold a block whose totals dwarf everything cached; a stale
+        // sort would keep reporting `before_max`.
+        live.extend_rows(&eval_ci(&[9_000.0])).unwrap();
+        let after_max = live.percentile(1.0).unwrap();
+        assert!(after_max > before_max);
+        assert_eq!(
+            after_max,
+            eval_ci(&[175.0, 9_000.0]).percentile(1.0).unwrap()
+        );
+        // The oneshot path reuses the same (updated) cache when warm.
+        assert_eq!(live.percentile_oneshot(1.0).unwrap(), after_max);
+        // A cold view stays cold across a fold and still answers right.
+        let mut cold = eval_ci(&[175.0]);
+        cold.extend_rows(&eval_ci(&[9_000.0])).unwrap();
+        assert_eq!(cold.percentile(1.0).unwrap(), after_max);
+    }
+
+    #[test]
+    fn extend_rows_rejects_mismatched_inner_axes() {
+        let base = || {
+            Assessment::builder()
+                .energy(paper::effective_energy())
+                .ci_grams_per_kwh(&[175.0])
+                .embodied_bounds(paper::server_embodied_bounds())
+                .servers(100)
+        };
+        let a = base()
+            .pue_values(&[1.3])
+            .lifespans_years(&[5])
+            .build()
+            .unwrap()
+            .evaluate_space();
+        let other_pue = base()
+            .pue_values(&[1.58])
+            .lifespans_years(&[5])
+            .build()
+            .unwrap()
+            .evaluate_space();
+        let other_life = base()
+            .pue_values(&[1.3])
+            .lifespans_years(&[3])
+            .build()
+            .unwrap()
+            .evaluate_space();
+        let mut live = a.clone();
+        assert_eq!(
+            live.extend_rows(&other_pue).unwrap_err(),
+            Error::ShapeMismatch { axis: "pue" }
+        );
+        assert_eq!(
+            live.extend_rows(&other_life).unwrap_err(),
+            Error::ShapeMismatch { axis: "lifespan" }
+        );
+        // A failed fold leaves the accumulator untouched.
+        assert_eq!(live, a);
     }
 
     #[test]

@@ -640,6 +640,90 @@ proptest! {
         prop_assert_eq!(&tr_reused, &tr_fresh);
     }
 
+    /// Incremental fold ≡ batch recompute, bit for bit, at arbitrary
+    /// CI-axis split points: growing a [`iriscast_model::engine::SpaceResults`]
+    /// through `extend_rows` segment by segment — with the cached sort
+    /// warmed (or not) between folds — answers every query surface
+    /// (columns, quantiles, envelope, marginals, summary) identically to
+    /// one evaluation over the whole axis.
+    #[test]
+    fn space_fold_equals_batch_at_any_split(
+        kwh in 100.0..1e6f64,
+        n_ci in 2usize..8,
+        n_pue in 1usize..4,
+        n_emb in 1usize..4,
+        n_life in 1usize..4,
+        cuts in prop::collection::vec(1usize..100, 0..4),
+        warm in 0u32..2,
+        servers in 1u32..5_000,
+    ) {
+        let full_axis = iriscast_model::ScenarioAxis::linspace(
+            "ci",
+            Bounds::new(
+                CarbonIntensity::from_grams_per_kwh(10.0),
+                CarbonIntensity::from_grams_per_kwh(500.0),
+            ),
+            n_ci,
+        ).unwrap();
+        let build = |samples: Vec<CarbonIntensity>| Assessment::builder()
+            .energy(Energy::from_kilowatt_hours(kwh))
+            .ci_axis(iriscast_model::ScenarioAxis::new("ci", samples).unwrap())
+            .pue_axis(iriscast_model::ScenarioAxis::linspace(
+                "pue",
+                Bounds::new(Pue::new(1.05).unwrap(), Pue::new(2.2).unwrap()),
+                n_pue,
+            ).unwrap())
+            .embodied_linspace(
+                Bounds::new(
+                    CarbonMass::from_kilograms(100.0),
+                    CarbonMass::from_kilograms(1_500.0),
+                ),
+                n_emb,
+            )
+            .lifespan_linspace(1.0, 12.0, n_life)
+            .servers(servers)
+            .build()
+            .unwrap();
+        let batch = build(full_axis.samples().to_vec()).evaluate_space();
+
+        // Arbitrary split points along the CI axis.
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| 1 + c % (n_ci - 1).max(1)).collect();
+        bounds.push(0);
+        bounds.push(n_ci);
+        bounds.sort_unstable();
+        bounds.dedup();
+        let segments: Vec<&[CarbonIntensity]> = bounds
+            .windows(2)
+            .map(|w| &full_axis.samples()[w[0]..w[1]])
+            .collect();
+
+        let mut live = build(segments[0].to_vec()).evaluate_space();
+        for seg in &segments[1..] {
+            if warm == 1 {
+                // Keep the cached sort warm between folds: the gallop
+                // path, not a lazy rebuild, must answer below.
+                let _ = live.percentile(0.5).unwrap();
+            }
+            live.extend_rows(&build(seg.to_vec()).evaluate_space()).unwrap();
+        }
+
+        prop_assert_eq!(&live, &batch);
+        prop_assert_eq!(live.totals(), batch.totals());
+        for q in [0.0, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            prop_assert_eq!(
+                live.percentile(q).unwrap(),
+                batch.percentile(q).unwrap(),
+                "q = {}", q
+            );
+        }
+        prop_assert_eq!(live.envelope(), batch.envelope());
+        prop_assert_eq!(live.mean_total(), batch.mean_total());
+        prop_assert_eq!(live.summary().unwrap(), batch.summary().unwrap());
+        for axis in iriscast_model::AxisId::ALL {
+            prop_assert_eq!(live.marginals(axis), batch.marginals(axis), "{:?}", axis);
+        }
+    }
+
     /// Net-zero projections: embodied share is monotone non-decreasing
     /// along any declining pathway, and intensity stays above the floor.
     #[test]
@@ -783,6 +867,53 @@ proptest! {
         prop_assert_eq!(a.region_rollups(), b.region_rollups());
         let q = 0.25;
         prop_assert_eq!(a.percentile(q).unwrap(), b.percentile(q).unwrap());
+    }
+
+    /// Folding per-site collects into a [`FleetRollup`] one at a time —
+    /// with quantile queries warming the cached sort *between* folds —
+    /// is bit-identical to the batch `try_simulate` roll-up: columns,
+    /// quantiles, totals and region tiers.
+    #[test]
+    fn fleet_fold_equals_batch_with_interleaved_queries(
+        regions in 1u32..3,
+        sites_per_region in 1u32..4,
+        nodes in 1u32..3,
+        seed in 0u64..1_000_000,
+        warm_every in 1usize..4,
+    ) {
+        let fleet = FleetScenario::synthetic(regions, sites_per_region, nodes, seed)
+            .with_sample_step(SimDuration::from_secs(21_600));
+        let batch = fleet.try_simulate(4).unwrap();
+        let mut live = iriscast_model::FleetRollup::new(
+            fleet.region_codes.clone(),
+            fleet.period,
+        );
+        for (i, site) in fleet.sites.iter().enumerate() {
+            let result = SiteCollector::new(site.config.clone())
+                .collect(fleet.period, &site.utilization, 1)
+                .unwrap();
+            live.fold_site(iriscast_model::SiteRollup::from_result(&result, site.region));
+            if i % warm_every == 0 {
+                // Warm (or re-warm) the cached sort mid-stream; the next
+                // fold must keep it honest, not serve it stale.
+                let _ = live.percentile(0.5).unwrap();
+            }
+        }
+        prop_assert_eq!(live.best_estimate_kwh(), batch.best_estimate_kwh());
+        prop_assert_eq!(live.truth_kwh(), batch.truth_kwh());
+        prop_assert_eq!(live.total_nodes(), batch.total_nodes());
+        for q in [0.0, 0.3, 0.5, 0.9, 1.0] {
+            prop_assert_eq!(
+                live.percentile(q).unwrap(),
+                batch.percentile(q).unwrap(),
+                "q = {}", q
+            );
+        }
+        prop_assert_eq!(live.region_rollups(), batch.region_rollups());
+        prop_assert_eq!(
+            live.total_best_estimate().kilowatt_hours(),
+            batch.total_best_estimate().kilowatt_hours()
+        );
     }
 
     /// A degenerate zero-rack/zero-node site surfaces as the typed

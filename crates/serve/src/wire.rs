@@ -1,0 +1,360 @@
+//! The query side of the wire: NDJSON requests in, NDJSON replies out.
+//!
+//! One [`QueryRequest`] per line, one [`QueryReply`] per line, in
+//! order. The reply schema is flat (kilogram-valued optional fields)
+//! so every ask shape shares one record type and a consumer can parse
+//! a mixed stream without dispatch. Failures are *replies*, not
+//! stream errors: a malformed line or an unknown site yields
+//! `ok: false` with the message inline, and the stream keeps going —
+//! one bad query must not sever a live connection.
+
+use crate::error::ServeError;
+use crate::service::AssessmentService;
+use iriscast_model::space::AxisId;
+use serde::{Deserialize, Serialize};
+
+/// One query line.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// Site to query.
+    pub site: String,
+    /// What to ask: `"envelope"`, `"percentile"`, `"summary"`,
+    /// `"marginal"`, `"tenant_share"` or `"watermark"`.
+    pub ask: String,
+    /// Quantile in `[0, 1]`, for `"percentile"`.
+    pub q: Option<f64>,
+    /// Axis name (`"ci"`, `"pue"`, `"embodied"`, `"lifespan"`), for
+    /// `"marginal"`.
+    pub axis: Option<String>,
+    /// Tenant name, for `"tenant_share"`.
+    pub tenant: Option<String>,
+}
+
+/// One marginal group on the wire.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MarginalWire {
+    /// Sample index along the conditioned axis.
+    pub sample_index: u64,
+    /// Total-carbon envelope low, kg.
+    pub lo_kg: f64,
+    /// Total-carbon envelope high, kg.
+    pub hi_kg: f64,
+    /// Mean total, kg.
+    pub mean_kg: f64,
+}
+
+/// One reply line. `ok` is the discriminant: when `false`, only
+/// `error` (and the echoed `site`/`ask`) are meaningful; when `true`,
+/// the fields for the asked shape are set and the rest stay `null`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QueryReply {
+    /// Echoed site.
+    pub site: String,
+    /// Echoed ask.
+    pub ask: String,
+    /// Whether the query was answered.
+    pub ok: bool,
+    /// The failure, when `ok` is false.
+    pub error: Option<String>,
+    /// Snapshots folded when the answer was computed — the staleness
+    /// observable every successful reply carries.
+    pub folded: Option<u64>,
+    /// Scenario points answering.
+    pub points: Option<u64>,
+    /// Percentile value, kg (`"percentile"`).
+    pub value_kg: Option<f64>,
+    /// Active envelope low/high, kg (`"envelope"`).
+    pub active_lo_kg: Option<f64>,
+    /// See `active_lo_kg`.
+    pub active_hi_kg: Option<f64>,
+    /// Embodied envelope low/high, kg (`"envelope"`).
+    pub embodied_lo_kg: Option<f64>,
+    /// See `embodied_lo_kg`.
+    pub embodied_hi_kg: Option<f64>,
+    /// Total envelope low/high, kg (`"envelope"`, `"tenant_share"`).
+    pub total_lo_kg: Option<f64>,
+    /// See `total_lo_kg`.
+    pub total_hi_kg: Option<f64>,
+    /// Mean total, kg (`"summary"`, `"tenant_share"`).
+    pub mean_kg: Option<f64>,
+    /// Median total, kg (`"summary"`).
+    pub median_kg: Option<f64>,
+    /// Normalized attribution share (`"tenant_share"`).
+    pub share: Option<f64>,
+    /// Marginal groups (`"marginal"`).
+    pub marginals: Option<Vec<MarginalWire>>,
+    /// Reorder-buffer depth (`"watermark"`).
+    pub pending: Option<u64>,
+    /// End of the latest folded window, epoch seconds (`"watermark"`).
+    pub window_end_s: Option<i64>,
+}
+
+impl QueryReply {
+    fn empty(site: &str, ask: &str) -> Self {
+        QueryReply {
+            site: site.into(),
+            ask: ask.into(),
+            ok: false,
+            error: None,
+            folded: None,
+            points: None,
+            value_kg: None,
+            active_lo_kg: None,
+            active_hi_kg: None,
+            embodied_lo_kg: None,
+            embodied_hi_kg: None,
+            total_lo_kg: None,
+            total_hi_kg: None,
+            mean_kg: None,
+            median_kg: None,
+            share: None,
+            marginals: None,
+            pending: None,
+            window_end_s: None,
+        }
+    }
+
+    fn fail(site: &str, ask: &str, error: impl ToString) -> Self {
+        let mut r = Self::empty(site, ask);
+        r.error = Some(error.to_string());
+        r
+    }
+}
+
+fn parse_axis(name: &str) -> Result<AxisId, ServeError> {
+    match name {
+        "ci" => Ok(AxisId::Ci),
+        "pue" => Ok(AxisId::Pue),
+        "embodied" => Ok(AxisId::Embodied),
+        "lifespan" => Ok(AxisId::Lifespan),
+        other => Err(ServeError::Wire {
+            line: 0,
+            detail: format!("unknown axis {other:?} (ci|pue|embodied|lifespan)"),
+        }),
+    }
+}
+
+impl AssessmentService {
+    /// Answers one request. Infallible by construction: every failure
+    /// becomes an `ok: false` reply carrying the message.
+    pub fn answer(&self, req: &QueryRequest) -> QueryReply {
+        match self.try_answer(req) {
+            Ok(reply) => reply,
+            Err(e) => QueryReply::fail(&req.site, &req.ask, e),
+        }
+    }
+
+    fn try_answer(&self, req: &QueryRequest) -> Result<QueryReply, ServeError> {
+        let mut reply = QueryReply::empty(&req.site, &req.ask);
+        let watermark = self.watermark(&req.site)?;
+        reply.folded = Some(watermark.folded);
+        reply.points = Some(watermark.points as u64);
+        match req.ask.as_str() {
+            "envelope" => {
+                let env = self.envelope(&req.site)?;
+                reply.active_lo_kg = Some(env.active.lo.kilograms());
+                reply.active_hi_kg = Some(env.active.hi.kilograms());
+                reply.embodied_lo_kg = Some(env.embodied.lo.kilograms());
+                reply.embodied_hi_kg = Some(env.embodied.hi.kilograms());
+                reply.total_lo_kg = Some(env.total.lo.kilograms());
+                reply.total_hi_kg = Some(env.total.hi.kilograms());
+            }
+            "percentile" => {
+                let q = req.q.ok_or_else(|| ServeError::Wire {
+                    line: 0,
+                    detail: "percentile ask requires q".into(),
+                })?;
+                reply.value_kg = Some(self.percentile(&req.site, q)?.kilograms());
+            }
+            "summary" => {
+                let s = self.summary(&req.site)?;
+                reply.total_lo_kg = Some(s.min.kilograms());
+                reply.total_hi_kg = Some(s.max.kilograms());
+                reply.median_kg = Some(s.median.kilograms());
+                reply.mean_kg = Some(s.mean.kilograms());
+            }
+            "marginal" => {
+                let axis = req.axis.as_deref().ok_or_else(|| ServeError::Wire {
+                    line: 0,
+                    detail: "marginal ask requires axis".into(),
+                })?;
+                let marginals = self.marginals(&req.site, parse_axis(axis)?)?;
+                reply.marginals = Some(
+                    marginals
+                        .iter()
+                        .map(|m| MarginalWire {
+                            sample_index: m.sample_index as u64,
+                            lo_kg: m.total.lo.kilograms(),
+                            hi_kg: m.total.hi.kilograms(),
+                            mean_kg: m.mean_total.kilograms(),
+                        })
+                        .collect(),
+                );
+            }
+            "tenant_share" => {
+                let tenant = req.tenant.as_deref().ok_or_else(|| ServeError::Wire {
+                    line: 0,
+                    detail: "tenant_share ask requires tenant".into(),
+                })?;
+                let s = self.tenant_share(&req.site, tenant)?;
+                reply.share = Some(s.share);
+                reply.total_lo_kg = Some(s.total.lo.kilograms());
+                reply.total_hi_kg = Some(s.total.hi.kilograms());
+                reply.mean_kg = Some(s.mean_total.kilograms());
+            }
+            "watermark" => {
+                reply.pending = Some(watermark.pending as u64);
+                reply.window_end_s = watermark.last_window_end_s;
+            }
+            other => {
+                return Err(ServeError::Wire {
+                    line: 0,
+                    detail: format!(
+                        "unknown ask {other:?} (envelope|percentile|summary|\
+                         marginal|tenant_share|watermark)"
+                    ),
+                })
+            }
+        }
+        reply.ok = true;
+        Ok(reply)
+    }
+
+    /// Serves an NDJSON request stream: one reply line per request
+    /// line, in order, written through the serde_json NDJSON framing.
+    /// Malformed request lines produce `ok: false` reply lines rather
+    /// than aborting the stream. Returns the number of lines served.
+    pub fn serve_ndjson(&self, input: &str, out: &mut impl std::io::Write) -> usize {
+        let mut served = 0;
+        for line in input.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let reply = match serde_json::from_str::<QueryRequest>(line) {
+                Ok(req) => self.answer(&req),
+                Err(e) => QueryReply::fail("", "", format!("unparseable request: {e}")),
+            };
+            serde_json::ndjson::to_writer(&mut *out, &reply).expect("replies serialize infallibly");
+            served += 1;
+        }
+        served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::SnapshotRecord;
+    use crate::service::SiteModel;
+
+    fn service_with_data() -> AssessmentService {
+        let service = AssessmentService::new();
+        service
+            .register_site(
+                "CAM",
+                SiteModel {
+                    servers: 100,
+                    ci_grams_per_kwh: vec![50.0, 150.0, 250.0],
+                    pue_values: vec![1.1, 1.3, 1.58],
+                    embodied_kg: vec![400.0, 900.0, 1_300.0],
+                    lifespans_years: vec![3, 5, 7],
+                },
+            )
+            .unwrap();
+        service.register_tenant("CAM", "lsst", 3.0).unwrap();
+        service.register_tenant("CAM", "gaia", 1.0).unwrap();
+        for seq in 0..3u64 {
+            service
+                .ingest(&SnapshotRecord {
+                    site: "CAM".into(),
+                    seq,
+                    window_start_s: (seq as i64) * 21_600,
+                    window_end_s: (seq as i64 + 1) * 21_600,
+                    energy_kwh: 4_800.0 + 100.0 * seq as f64,
+                })
+                .unwrap();
+        }
+        service
+    }
+
+    fn ask(site: &str, ask: &str) -> QueryRequest {
+        QueryRequest {
+            site: site.into(),
+            ask: ask.into(),
+            q: None,
+            axis: None,
+            tenant: None,
+        }
+    }
+
+    #[test]
+    fn replies_match_the_direct_query_surface() {
+        let service = service_with_data();
+        let env = service.envelope("CAM").unwrap();
+        let reply = service.answer(&ask("CAM", "envelope"));
+        assert!(reply.ok, "{:?}", reply.error);
+        assert_eq!(reply.total_hi_kg, Some(env.total.hi.kilograms()));
+        assert_eq!(reply.folded, Some(3));
+
+        let mut req = ask("CAM", "percentile");
+        req.q = Some(0.95);
+        let reply = service.answer(&req);
+        assert_eq!(
+            reply.value_kg,
+            Some(service.percentile("CAM", 0.95).unwrap().kilograms())
+        );
+
+        let mut req = ask("CAM", "marginal");
+        req.axis = Some("pue".into());
+        let reply = service.answer(&req);
+        assert_eq!(reply.marginals.as_ref().unwrap().len(), 3);
+
+        let mut req = ask("CAM", "tenant_share");
+        req.tenant = Some("lsst".into());
+        let reply = service.answer(&req);
+        assert_eq!(reply.share, Some(0.75));
+
+        let reply = service.answer(&ask("CAM", "watermark"));
+        assert_eq!(reply.pending, Some(0));
+        assert_eq!(reply.window_end_s, Some(3 * 21_600));
+    }
+
+    #[test]
+    fn failures_are_replies_not_stream_errors() {
+        let service = service_with_data();
+        let reply = service.answer(&ask("NOPE", "envelope"));
+        assert!(!reply.ok);
+        assert!(reply.error.unwrap().contains("NOPE"));
+        let reply = service.answer(&ask("CAM", "dance"));
+        assert!(!reply.ok);
+        assert!(reply.error.unwrap().contains("unknown ask"));
+        let reply = service.answer(&ask("CAM", "percentile"));
+        assert!(!reply.ok, "percentile without q must fail");
+    }
+
+    #[test]
+    fn ndjson_stream_round_trips() {
+        let service = service_with_data();
+        let mut requests = Vec::new();
+        let mut pct = ask("CAM", "percentile");
+        pct.q = Some(0.5);
+        for req in [ask("CAM", "envelope"), pct, ask("CAM", "summary")] {
+            requests.push(serde_json::to_string(&req).unwrap());
+        }
+        requests.push("garbage".into());
+        let input = requests.join("\n");
+        let mut out = Vec::new();
+        assert_eq!(service.serve_ndjson(&input, &mut out), 4);
+        let replies: Vec<QueryReply> =
+            serde_json::ndjson::from_str(std::str::from_utf8(&out).unwrap())
+                .collect::<Result<_, _>>()
+                .unwrap();
+        assert_eq!(replies.len(), 4);
+        assert!(replies[0].ok && replies[1].ok && replies[2].ok);
+        assert!(!replies[3].ok);
+        assert_eq!(
+            replies[1].value_kg,
+            Some(service.percentile("CAM", 0.5).unwrap().kilograms())
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Property suite for the serve pipeline: the incremental
+//! ingest → fold path must be bit-identical to a sequential batch
+//! recompute, whatever the worker count, arrival order, or query
+//! interleaving.
+
+use iriscast_model::engine::SpaceResults;
+use iriscast_model::space::AxisId;
+use iriscast_serve::{AssessmentService, ServeError, SiteModel, SnapshotRecord};
+use proptest::prelude::*;
+
+fn model() -> SiteModel {
+    SiteModel {
+        servers: 2_398,
+        ci_grams_per_kwh: vec![34.0, 231.12, 280.0],
+        pue_values: vec![1.1, 1.3, 1.58],
+        embodied_kg: vec![399.0, 1_100.0, 1_300.0],
+        lifespans_years: vec![3, 5, 7],
+    }
+}
+
+fn records(site: &str, energies: &[f64], window_hours: i64) -> Vec<SnapshotRecord> {
+    energies
+        .iter()
+        .enumerate()
+        .map(|(seq, &kwh)| SnapshotRecord {
+            site: site.into(),
+            seq: seq as u64,
+            window_start_s: seq as i64 * window_hours * 3_600,
+            window_end_s: (seq as i64 + 1) * window_hours * 3_600,
+            energy_kwh: kwh,
+        })
+        .collect()
+}
+
+/// The sequential reference: evaluate each snapshot under the model in
+/// seq order and `extend_rows` by hand — the "batch recompute" the
+/// pipeline must reproduce bit-for-bit.
+fn reference(m: &SiteModel, recs: &[SnapshotRecord]) -> SpaceResults {
+    let mut base: Option<SpaceResults> = None;
+    for r in recs {
+        let block = m.evaluate(r).unwrap();
+        match base.as_mut() {
+            None => base = Some(block),
+            Some(b) => b.extend_rows(&block).unwrap(),
+        }
+    }
+    base.unwrap()
+}
+
+fn assert_state_matches(service: &AssessmentService, site: &str, expected: &SpaceResults) {
+    for &q in &[0.0, 0.25, 0.5, 0.75, 0.95, 1.0] {
+        assert_eq!(
+            service.percentile(site, q).unwrap().kilograms().to_bits(),
+            expected.percentile(q).unwrap().kilograms().to_bits(),
+            "quantile q={q} diverged"
+        );
+    }
+    assert_eq!(service.envelope(site).unwrap(), expected.envelope());
+    assert_eq!(
+        service.summary(site).unwrap().mean.kilograms().to_bits(),
+        expected.summary().unwrap().mean.kilograms().to_bits()
+    );
+    for axis in [AxisId::Ci, AxisId::Pue, AxisId::Embodied, AxisId::Lifespan] {
+        assert_eq!(
+            service.marginals(site, axis).unwrap(),
+            expected.marginals(axis),
+            "marginals along {axis:?} diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Incremental ingest ≡ sequential batch recompute, bit for bit,
+    /// with 1 and 16 evaluation workers, under a shuffled arrival
+    /// order and warm queries interleaved between folds.
+    #[test]
+    fn worker_count_and_arrival_order_never_change_the_bits(
+        energies in prop::collection::vec(500.0f64..30_000.0, 2..10),
+        window_hours in 1i64..25,
+        rot in 0usize..16,
+        warm_every in 1usize..4,
+    ) {
+        let recs = records("CAM", &energies, window_hours);
+        let expected = reference(&model(), &recs);
+
+        // Workers = 1, records arriving rotated out of order, with a
+        // warm query poked between single-record folds so the cached
+        // sorted view is live across the fold path.
+        let service = AssessmentService::new();
+        service.register_site("CAM", model()).unwrap();
+        let mut rotated = recs.clone();
+        rotated.rotate_left(rot % recs.len());
+        for (i, r) in rotated.iter().enumerate() {
+            service.ingest(r).unwrap();
+            if i % warm_every == 0 && service.watermark("CAM").unwrap().folded > 0 {
+                let _ = service.percentile("CAM", 0.5).unwrap();
+            }
+        }
+        assert_state_matches(&service, "CAM", &expected);
+
+        // Workers = 16 over the same rotated feed, one parallel batch.
+        let service16 = AssessmentService::new();
+        service16.register_site("CAM", model()).unwrap();
+        prop_assert_eq!(service16.ingest_batch(&rotated, 16).unwrap(), recs.len());
+        assert_state_matches(&service16, "CAM", &expected);
+
+        // And the two services agree with each other exactly.
+        prop_assert_eq!(
+            service.summary("CAM").unwrap(),
+            service16.summary("CAM").unwrap()
+        );
+    }
+
+    /// Multi-site batches keep each site's fold stream independent: a
+    /// 16-worker ingest over interleaved sites equals each site's own
+    /// sequential reference.
+    #[test]
+    fn sites_fold_independently_under_shared_workers(
+        a in prop::collection::vec(500.0f64..30_000.0, 1..6),
+        b in prop::collection::vec(500.0f64..30_000.0, 1..6),
+    ) {
+        let rec_a = records("CAM", &a, 6);
+        let rec_b = records("EDI", &b, 8);
+        let service = AssessmentService::new();
+        service.register_site("CAM", model()).unwrap();
+        let mut edi = model();
+        edi.servers = 500;
+        service.register_site("EDI", edi.clone()).unwrap();
+
+        // Interleave the two sites' streams.
+        let mut mixed = Vec::new();
+        let mut ia = rec_a.iter();
+        let mut ib = rec_b.iter();
+        loop {
+            match (ia.next(), ib.next()) {
+                (None, None) => break,
+                (x, y) => {
+                    mixed.extend(x.cloned());
+                    mixed.extend(y.cloned());
+                }
+            }
+        }
+        prop_assert_eq!(
+            service.ingest_batch(&mixed, 16).unwrap(),
+            rec_a.len() + rec_b.len()
+        );
+        assert_state_matches(&service, "CAM", &reference(&model(), &rec_a));
+        assert_state_matches(&service, "EDI", &reference(&edi, &rec_b));
+    }
+
+    /// A replayed sequence number is refused without corrupting the
+    /// folded state.
+    #[test]
+    fn replay_is_rejected_and_state_unharmed(
+        energies in prop::collection::vec(500.0f64..30_000.0, 2..6),
+        dup in 0usize..6,
+    ) {
+        let recs = records("CAM", &energies, 6);
+        let service = AssessmentService::new();
+        service.register_site("CAM", model()).unwrap();
+        service.ingest_batch(&recs, 1).unwrap();
+        let replay = &recs[dup % recs.len()];
+        let err = service.ingest(replay).unwrap_err();
+        prop_assert!(matches!(err, ServeError::StaleSnapshot { .. }));
+        assert_state_matches(&service, "CAM", &reference(&model(), &recs));
+    }
+}

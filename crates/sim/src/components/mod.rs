@@ -9,6 +9,7 @@ mod curtailment;
 mod demand_response;
 mod fault;
 mod grid;
+mod sampler;
 mod workload;
 
 pub use cluster::{ClusterComponent, DeferrableBacklog, UtilizationUpdate};
@@ -17,4 +18,5 @@ pub use curtailment::{CapacityOrder, Curtailment};
 pub use demand_response::{DemandBid, DemandResponse, DemandResponseOrder};
 pub use fault::{FaultCommand, FaultError, FaultInjector, MeterOutage};
 pub use grid::GridSignal;
+pub use sampler::{snapshot_windows, SnapshotSampler, TelemetryDelta};
 pub use workload::WorkloadSource;

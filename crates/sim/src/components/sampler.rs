@@ -1,0 +1,418 @@
+//! Periodic telemetry snapshots streamed off the event engine.
+//!
+//! [`SnapshotSampler`] is the live-service face of the collector: where
+//! [`super::CollectorComponent`] sweeps one window and hands back one
+//! result at the end, the sampler cuts the engine window into
+//! snapshot-interval windows and pushes each completed window's
+//! [`SiteTelemetryResult`] over a crossbeam channel as a
+//! [`TelemetryDelta`] the moment it closes — the ingest side of an
+//! assessment service folds them without waiting for the run to end.
+//!
+//! The window cut follows the latte `Sampler` rule for the degenerate
+//! final sample: a tail shorter than half the interval is merged into
+//! the previous window instead of standing as its own snapshot (see
+//! [`snapshot_windows`]), so downstream consumers never see a window
+//! whose statistics are dominated by its own brevity.
+
+use crate::clock::Clock;
+use crate::component::Component;
+use crate::engine::Ctx;
+use crossbeam::channel::Sender;
+use iriscast_telemetry::{
+    SiteTelemetryConfig, SiteTelemetryResult, SteppedCollector, TelemetryError, TelemetryResult,
+    UtilizationSource,
+};
+use iriscast_units::{Period, SimDuration};
+use std::any::Any;
+
+/// One completed snapshot window, as streamed by a [`SnapshotSampler`]:
+/// the window's full per-method telemetry plus its position in the
+/// site's snapshot sequence.
+#[derive(Debug)]
+pub struct TelemetryDelta {
+    /// Snapshot sequence number, 0-based per sampler. Consecutive — the
+    /// ingest side uses it to apply folds in emission order even when
+    /// deltas arrive through a multi-worker pipeline.
+    pub seq: u64,
+    /// The closed window's telemetry (its `period` field is the
+    /// window; its `site_code` names the sampled site).
+    pub result: SiteTelemetryResult,
+}
+
+/// Cuts `period` into snapshot windows of `interval`, merging a
+/// degenerate tail into the final window.
+///
+/// Windows tile `period` exactly (half-open, adjacent). The tail rule:
+/// a final partial window shorter than half the interval merges into
+/// the previous window — the same guard the latte sampler applies to
+/// its last sample — while a tail of half the interval or more stands
+/// as its own (shorter) window. A period shorter than one interval is
+/// a single window.
+pub fn snapshot_windows(period: Period, interval: SimDuration) -> Vec<Period> {
+    assert!(
+        interval.as_secs() > 0,
+        "snapshot interval must be positive (validated by SnapshotSampler::new)"
+    );
+    let mut out = Vec::new();
+    let mut start = period.start();
+    while start + interval < period.end() {
+        out.push(Period::starting_at(start, interval));
+        start += interval;
+    }
+    let tail = period.end() - start;
+    if !out.is_empty() && tail.as_secs() * 2 < interval.as_secs() {
+        let last = out.pop().expect("checked non-empty");
+        out.push(Period::new(last.start(), period.end()));
+    } else {
+        out.push(Period::new(start, period.end()));
+    }
+    out
+}
+
+/// A clocked component emitting [`TelemetryDelta`]s: one
+/// [`SteppedCollector`] sweep per snapshot window, one channel send per
+/// closed window.
+///
+/// Per-window seeds are derived from the base config's seed and the
+/// window's sequence number (`seed ^ seq·φ64`, the splitmix constant),
+/// so every window's synthetic meter noise is an independent — but
+/// deterministic — draw. Window 0's derivation is the identity, which
+/// keeps a single-window sampler (interval ≥ engine window)
+/// bit-identical to a batch [`iriscast_telemetry::SiteCollector`]
+/// collect of the same period; the tests pin both facts.
+///
+/// A disconnected receiver (the serve loop shut down mid-run) is not an
+/// error here: the sampler keeps sweeping — simulation determinism must
+/// not depend on who is listening — and counts the unreceived deltas in
+/// [`SnapshotSampler::dropped`].
+pub struct SnapshotSampler {
+    cfg: SiteTelemetryConfig,
+    period: Period,
+    windows: Vec<Period>,
+    current: Option<SteppedCollector>,
+    window_idx: usize,
+    source: Box<dyn UtilizationSource>,
+    tx: Sender<TelemetryDelta>,
+    emitted: u64,
+    dropped: u64,
+}
+
+impl std::fmt::Debug for SnapshotSampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The utilisation source is an opaque trait object; show the
+        // sampling geometry and progress instead.
+        f.debug_struct("SnapshotSampler")
+            .field("site", &self.cfg.site_code)
+            .field("period", &self.period)
+            .field("windows", &self.windows.len())
+            .field("window_idx", &self.window_idx)
+            .field("emitted", &self.emitted)
+            .field("dropped", &self.dropped)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SnapshotSampler {
+    /// Validates the snapshot geometry and primes the first window's
+    /// sweep.
+    ///
+    /// `interval` must be a positive whole multiple of the config's
+    /// sample step ([`TelemetryError::InvalidInterval`] otherwise), so
+    /// every window opens and closes exactly on the sampling grid; the
+    /// degenerate-site refusals of [`SteppedCollector::new`]
+    /// (`NoNodes`, `EmptyWindow`) surface here too.
+    pub fn new(
+        cfg: SiteTelemetryConfig,
+        period: Period,
+        interval: SimDuration,
+        source: Box<dyn UtilizationSource>,
+        tx: Sender<TelemetryDelta>,
+    ) -> TelemetryResult<Self> {
+        let step = cfg.sample_step.as_secs();
+        if interval.as_secs() <= 0 || step <= 0 || interval.as_secs() % step != 0 {
+            return Err(TelemetryError::InvalidInterval {
+                site: cfg.site_code.clone(),
+                interval_secs: interval.as_secs(),
+                step_secs: step,
+            });
+        }
+        let windows = snapshot_windows(period, interval);
+        let first = SteppedCollector::new(Self::window_cfg(&cfg, 0), windows[0])?;
+        Ok(SnapshotSampler {
+            cfg,
+            period,
+            windows,
+            current: Some(first),
+            window_idx: 0,
+            source,
+            tx,
+            emitted: 0,
+            dropped: 0,
+        })
+    }
+
+    fn window_cfg(base: &SiteTelemetryConfig, seq: u64) -> SiteTelemetryConfig {
+        let mut cfg = base.clone();
+        cfg.seed ^= seq.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        cfg
+    }
+
+    /// The snapshot windows this sampler will sweep, in emission order.
+    pub fn windows(&self) -> &[Period] {
+        &self.windows
+    }
+
+    /// Deltas emitted so far (including any the receiver never saw).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Deltas emitted after the receiving side disconnected.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// True once every window has been swept and emitted.
+    pub fn is_complete(&self) -> bool {
+        self.window_idx == self.windows.len()
+    }
+}
+
+impl Component for SnapshotSampler {
+    fn name(&self) -> &str {
+        "snapshot-sampler"
+    }
+
+    fn clock(&self) -> Option<Clock> {
+        // Window-anchored like the collector component: snapshot
+        // windows are multiples of the step, so every tick lands in
+        // exactly one window's grid.
+        Some(Clock::every(self.cfg.sample_step))
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        assert!(
+            ctx.window() == self.period,
+            "sampler period {:?} must equal the engine window {:?} \
+             so clock ticks land exactly on the sampling grid",
+            self.period,
+            ctx.window(),
+        );
+    }
+
+    fn on_tick(&mut self, _ctx: &mut Ctx<'_>) {
+        let Some(stepped) = self.current.as_mut() else {
+            return;
+        };
+        stepped.advance(&*self.source);
+        if !stepped.is_complete() {
+            return;
+        }
+        let closed = self.current.take().expect("checked above");
+        let result = closed.finish().expect("window swept to completion");
+        let seq = self.emitted;
+        self.emitted += 1;
+        if self.tx.send(TelemetryDelta { seq, result }).is_err() {
+            self.dropped += 1;
+        }
+        self.window_idx += 1;
+        if let Some(&window) = self.windows.get(self.window_idx) {
+            let cfg = Self::window_cfg(&self.cfg, self.window_idx as u64);
+            self.current = Some(
+                SteppedCollector::new(cfg, window)
+                    .expect("per-window geometry was validated at construction"),
+            );
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineBuilder;
+    use crossbeam::channel::unbounded;
+    use iriscast_telemetry::{
+        NodeGroupTelemetry, NodePowerModel, SiteCollector, SyntheticUtilization,
+    };
+    use iriscast_units::{Power, Timestamp};
+
+    fn config(step_secs: i64) -> SiteTelemetryConfig {
+        let mut cfg = SiteTelemetryConfig::new(
+            "SAMP-01",
+            vec![NodeGroupTelemetry {
+                label: "compute".into(),
+                count: 24,
+                power_model: NodePowerModel::linear(
+                    Power::from_watts(140.0),
+                    Power::from_watts(620.0),
+                ),
+            }],
+            0x5A4D,
+        );
+        cfg.sample_step = SimDuration::from_secs(step_secs);
+        cfg
+    }
+
+    #[test]
+    fn windows_tile_and_merge_the_degenerate_tail() {
+        let period = Period::starting_at(Timestamp::EPOCH, SimDuration::from_hours(25.0));
+        let w = snapshot_windows(period, SimDuration::from_hours(6.0));
+        // 25 h at 6 h: four full windows, the 1 h tail (< 3 h) merges
+        // into the last, which becomes 7 h.
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0].duration(), SimDuration::from_hours(6.0));
+        assert_eq!(w[3].duration(), SimDuration::from_hours(7.0));
+        // Adjacent and exactly tiling.
+        assert_eq!(w[0].start(), period.start());
+        for pair in w.windows(2) {
+            assert_eq!(pair[0].end(), pair[1].start());
+        }
+        assert_eq!(w[3].end(), period.end());
+
+        // A 3 h tail (= half) stands as its own window.
+        let period = Period::starting_at(Timestamp::EPOCH, SimDuration::from_hours(27.0));
+        let w = snapshot_windows(period, SimDuration::from_hours(6.0));
+        assert_eq!(w.len(), 5);
+        assert_eq!(w[4].duration(), SimDuration::from_hours(3.0));
+
+        // A period shorter than the interval is one window.
+        let period = Period::starting_at(Timestamp::EPOCH, SimDuration::from_hours(2.0));
+        let w = snapshot_windows(period, SimDuration::from_hours(6.0));
+        assert_eq!(w, vec![period]);
+    }
+
+    #[test]
+    fn non_tiling_interval_is_a_typed_error() {
+        let (tx, _rx) = unbounded();
+        let err = SnapshotSampler::new(
+            config(1_800),
+            Period::snapshot_24h(),
+            SimDuration::from_secs(2_700), // 1.5 steps
+            Box::new(SyntheticUtilization::calibrated(0.5, 7)),
+            tx,
+        )
+        .unwrap_err();
+        assert!(matches!(err, TelemetryError::InvalidInterval { .. }));
+        assert!(err.to_string().contains("tile"));
+    }
+
+    #[test]
+    fn single_window_sampler_matches_batch_collect_bit_for_bit() {
+        let period = Period::starting_at(Timestamp::EPOCH, SimDuration::from_hours(6.0));
+        let cfg = config(1_800);
+        let source = SyntheticUtilization::calibrated(0.6, 9);
+        let batch = SiteCollector::new(cfg.clone())
+            .collect(period, &source, 4)
+            .unwrap();
+
+        let (tx, rx) = unbounded();
+        let mut b = EngineBuilder::new(period);
+        let id = b.add(Box::new(
+            // Interval ≥ window: one snapshot, seed derivation is the
+            // identity for seq 0.
+            SnapshotSampler::new(
+                cfg,
+                period,
+                SimDuration::from_hours(12.0),
+                Box::new(source),
+                tx,
+            )
+            .unwrap(),
+        ));
+        let mut engine = b.build();
+        engine.run_to_horizon();
+        let sampler = engine.get_mut::<SnapshotSampler>(id).unwrap();
+        assert!(sampler.is_complete());
+        assert_eq!(sampler.emitted(), 1);
+        assert_eq!(sampler.dropped(), 0);
+        let delta = rx.try_recv().unwrap();
+        assert_eq!(delta.seq, 0);
+        assert!(
+            delta.result.bitwise_eq(&batch),
+            "sampler diverged from batch"
+        );
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn each_window_matches_an_independent_collect_of_that_window() {
+        // 25 h run, 6 h snapshots: the tail merges, giving windows of
+        // 6, 6, 6, 7 hours — each delta must equal a from-scratch batch
+        // collect of its window under the derived seed.
+        let period = Period::starting_at(Timestamp::EPOCH, SimDuration::from_hours(25.0));
+        let cfg = config(3_600);
+        let source = SyntheticUtilization::calibrated(0.55, 11);
+        let (tx, rx) = unbounded();
+        let mut b = EngineBuilder::new(period);
+        let id = b.add(Box::new(
+            SnapshotSampler::new(
+                cfg.clone(),
+                period,
+                SimDuration::from_hours(6.0),
+                Box::new(source),
+                tx,
+            )
+            .unwrap(),
+        ));
+        let mut engine = b.build();
+        engine.run_to_horizon();
+        let sampler = engine.get_mut::<SnapshotSampler>(id).unwrap();
+        assert!(sampler.is_complete());
+        assert_eq!(sampler.emitted(), 4);
+        let windows = sampler.windows().to_vec();
+
+        let mut seen = 0u64;
+        while let Ok(delta) = rx.try_recv() {
+            assert_eq!(delta.seq, seen);
+            let window = windows[delta.seq as usize];
+            assert_eq!(delta.result.period, window);
+            let independent = SiteCollector::new(SnapshotSampler::window_cfg(&cfg, delta.seq))
+                .collect(window, &source, 1)
+                .unwrap();
+            assert!(
+                delta.result.bitwise_eq(&independent),
+                "window {} diverged from its batch collect",
+                delta.seq
+            );
+            seen += 1;
+        }
+        assert_eq!(seen, 4);
+        // Consecutive windows draw different noise (independent seeds).
+        assert_ne!(
+            SnapshotSampler::window_cfg(&cfg, 1).seed,
+            SnapshotSampler::window_cfg(&cfg, 2).seed
+        );
+    }
+
+    #[test]
+    fn disconnected_receiver_does_not_stop_the_sweep() {
+        let period = Period::starting_at(Timestamp::EPOCH, SimDuration::from_hours(12.0));
+        let (tx, rx) = unbounded();
+        let mut b = EngineBuilder::new(period);
+        let id = b.add(Box::new(
+            SnapshotSampler::new(
+                config(3_600),
+                period,
+                SimDuration::from_hours(4.0),
+                Box::new(SyntheticUtilization::calibrated(0.5, 3)),
+                tx,
+            )
+            .unwrap(),
+        ));
+        drop(rx);
+        let mut engine = b.build();
+        engine.run_to_horizon();
+        let sampler = engine.get_mut::<SnapshotSampler>(id).unwrap();
+        assert!(sampler.is_complete());
+        assert_eq!(sampler.emitted(), 3);
+        assert_eq!(sampler.dropped(), 3);
+    }
+}

@@ -73,9 +73,10 @@ pub mod scenario;
 pub use clock::Clock;
 pub use component::{Component, ComponentId, InPort, OutPort, Payload};
 pub use components::{
-    CapacityOrder, ClusterComponent, CollectorComponent, Curtailment, DeferrableBacklog, DemandBid,
-    DemandResponse, DemandResponseOrder, FaultCommand, FaultError, FaultInjector, GridSignal,
-    LiveUtilization, MeterOutage, UtilizationUpdate, WorkloadSource,
+    snapshot_windows, CapacityOrder, ClusterComponent, CollectorComponent, Curtailment,
+    DeferrableBacklog, DemandBid, DemandResponse, DemandResponseOrder, FaultCommand, FaultError,
+    FaultInjector, GridSignal, LiveUtilization, MeterOutage, SnapshotSampler, TelemetryDelta,
+    UtilizationUpdate, WorkloadSource,
 };
 pub use engine::{Ctx, Engine, EngineBuilder};
 pub use event::EventQueue;

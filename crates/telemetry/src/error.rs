@@ -41,6 +41,18 @@ pub enum TelemetryError {
         /// Sample instants the window requires.
         steps: usize,
     },
+    /// A snapshot interval that cannot tile the sampling grid: zero,
+    /// negative, or not a whole multiple of the sample step. Snapshot
+    /// windows must open and close exactly on sample instants, or the
+    /// per-window sweeps would drift off the batch grid.
+    InvalidInterval {
+        /// The site being sampled.
+        site: String,
+        /// The offending snapshot interval in seconds.
+        interval_secs: i64,
+        /// The configured sample step in seconds.
+        step_secs: i64,
+    },
     /// A method's series holds no valid samples at all — the instrument
     /// was dark for the entire window, so no gap policy can reconstruct
     /// it (hold-last has nothing to hold, interpolation has no anchors).
@@ -72,6 +84,15 @@ impl fmt::Display for TelemetryError {
                 "site {site}: stepped collection finalised after {done} of \
                  {steps} sample instants"
             ),
+            TelemetryError::InvalidInterval {
+                site,
+                interval_secs,
+                step_secs,
+            } => write!(
+                f,
+                "site {site}: snapshot interval of {interval_secs} s cannot \
+                 tile a {step_secs} s sampling grid"
+            ),
             TelemetryError::UnrecoverableGap { site, method } => write!(
                 f,
                 "site {site}: the {method} series holds no valid samples — \
@@ -99,6 +120,13 @@ mod tests {
         assert!(e.to_string().contains("30 s"));
         let e = TelemetryError::NoNodes { site: "TST".into() };
         assert!(e.to_string().contains("no monitored nodes"));
+        let e = TelemetryError::InvalidInterval {
+            site: "TST".into(),
+            interval_secs: 100,
+            step_secs: 30,
+        };
+        assert!(e.to_string().contains("100 s"));
+        assert!(e.to_string().contains("tile"));
         use std::error::Error as _;
         assert!(e.source().is_none());
     }

@@ -1,0 +1,161 @@
+//! The live assessment service end to end: a `SnapshotSampler` on the
+//! event engine streams telemetry windows over a channel, a background
+//! ingest thread folds each one into the warm per-site ensemble, and
+//! queries — direct and over the NDJSON wire — answer between folds.
+//!
+//! The pipeline under the hood:
+//!
+//! 1. **Sample** — the engine cuts a 48 h run into 6 h snapshot
+//!    windows (the degenerate-tail rule merges a short final window)
+//!    and emits one `TelemetryDelta` per closed window.
+//! 2. **Bridge** — each delta is reduced to its wire form
+//!    (`SnapshotRecord`: site, window, seq, best-estimate energy) and
+//!    forwarded, exactly what an NDJSON feed would carry.
+//! 3. **Fold** — the service evaluates each record under the site's
+//!    scenario template and folds it into the growing `SpaceResults`
+//!    by galloping merge, keeping the cached sort warm; folds apply in
+//!    sequence order whatever the arrival order.
+//! 4. **Query** — envelope, quantiles and Bergmark–Coroamă tenant
+//!    shares answer from the warm views, each reply carrying its fold
+//!    watermark (the bounded-staleness observable).
+//!
+//! Run with: `cargo run --release --example live_service`
+
+use crossbeam::channel::unbounded;
+use iriscast::prelude::*;
+use iriscast::serve::QueryRequest;
+use iriscast::telemetry::{NodeGroupTelemetry, NodePowerModel, SyntheticUtilization};
+use iriscast::units::{Period, Power, SimDuration, Timestamp};
+use std::time::Duration;
+
+fn main() {
+    // --- The monitored site: 96 compute nodes, 30 min sampling. ------
+    let mut cfg = SiteTelemetryConfig::new(
+        "CAM",
+        vec![NodeGroupTelemetry {
+            label: "compute".into(),
+            count: 96,
+            power_model: NodePowerModel::linear(Power::from_watts(140.0), Power::from_watts(620.0)),
+        }],
+        2_022,
+    );
+    cfg.sample_step = SimDuration::from_secs(1_800);
+    let period = Period::starting_at(Timestamp::EPOCH, SimDuration::from_hours(48.0));
+    let interval = SimDuration::from_hours(6.0);
+
+    // --- The service: scenario template, tenants, ingest thread. -----
+    let service = AssessmentService::new();
+    service
+        .register_site("CAM", SiteModel::paper(96))
+        .expect("first registration");
+    service.register_tenant("CAM", "lsst", 3.0).unwrap();
+    service.register_tenant("CAM", "euclid", 1.0).unwrap();
+
+    let (delta_tx, delta_rx) = unbounded();
+    let (record_tx, record_rx) = unbounded();
+    let ingest = service.spawn_ingest(record_rx, Duration::from_millis(25));
+
+    // Bridge thread: telemetry deltas → wire records, concurrently
+    // with the simulation.
+    let bridge = std::thread::spawn(move || {
+        let mut forwarded = 0u64;
+        while let Ok(delta) = delta_rx.recv() {
+            let delta: TelemetryDelta = delta;
+            let record = SnapshotRecord::from_telemetry(delta.seq, &delta.result)
+                .expect("synthetic meters never go fully dark");
+            record_tx.send(record).expect("ingest thread alive");
+            forwarded += 1;
+        }
+        forwarded
+    });
+
+    // --- The simulation: sampler on the engine clock. ----------------
+    let mut builder = EngineBuilder::new(period);
+    let sampler_id = builder.add(Box::new(
+        SnapshotSampler::new(
+            cfg,
+            period,
+            interval,
+            Box::new(SyntheticUtilization::calibrated(0.62, 7)),
+            delta_tx,
+        )
+        .expect("interval tiles the sampling grid"),
+    ));
+    let mut engine = builder.build();
+    engine.run_to_horizon();
+    let sampler = engine.get_mut::<SnapshotSampler>(sampler_id).unwrap();
+    println!(
+        "sampler: {} windows emitted over {} h ({} dropped)",
+        sampler.emitted(),
+        period.duration().as_secs() / 3_600,
+        sampler.dropped()
+    );
+    drop(engine); // drops the sampler's sender → bridge → ingest drain
+
+    let forwarded = bridge.join().expect("bridge thread");
+    let stats = ingest.join();
+    println!(
+        "ingest: {} folded, {} rejected, {} idle wakeups within the 25 ms staleness bound",
+        stats.folded, stats.rejected, stats.idle_wakeups
+    );
+    assert_eq!(stats.folded, forwarded);
+
+    // --- Queries from the warm views. --------------------------------
+    let watermark = service.watermark("CAM").unwrap();
+    println!(
+        "\nwatermark: {} snapshots folded, {} pending, {} scenario points",
+        watermark.folded, watermark.pending, watermark.points
+    );
+
+    let envelope = service.envelope("CAM").unwrap();
+    let summary = service.summary("CAM").unwrap();
+    println!(
+        "48 h footprint envelope: {:.1} – {:.1} kg CO2e (median {:.1}, mean {:.1})",
+        envelope.total.lo.kilograms(),
+        envelope.total.hi.kilograms(),
+        summary.median.kilograms(),
+        summary.mean.kilograms()
+    );
+
+    println!("\ntenant attribution (weights 3:1, shares sum to 1):");
+    for share in service.tenant_shares("CAM").unwrap() {
+        println!(
+            "  {:<7} share {:.2}  total {:.1} – {:.1} kg CO2e",
+            share.tenant,
+            share.share,
+            share.total.lo.kilograms(),
+            share.total.hi.kilograms()
+        );
+    }
+
+    // --- The same answers over the NDJSON wire. ----------------------
+    let requests = [
+        QueryRequest {
+            site: "CAM".into(),
+            ask: "percentile".into(),
+            q: Some(0.95),
+            axis: None,
+            tenant: None,
+        },
+        QueryRequest {
+            site: "CAM".into(),
+            ask: "tenant_share".into(),
+            q: None,
+            axis: None,
+            tenant: Some("lsst".into()),
+        },
+    ];
+    let input: Vec<String> = requests
+        .iter()
+        .map(|r| serde_json::to_string(r).expect("requests serialize"))
+        .collect();
+    let mut out = Vec::new();
+    let served = service.serve_ndjson(&input.join("\n"), &mut out);
+    println!("\nNDJSON wire ({served} replies):");
+    print!("{}", String::from_utf8(out).expect("replies are UTF-8"));
+
+    // The wire answer is the direct answer, bit for bit.
+    let p95 = service.percentile("CAM", 0.95).unwrap();
+    assert!(p95 <= envelope.total.hi && p95 >= envelope.total.lo);
+    println!("\nlive service OK: p95 = {:.1} kg CO2e", p95.kilograms());
+}

@@ -1,17 +1,20 @@
 //! Offline stand-in for `crossbeam-channel`'s unbounded MPMC queue.
 //!
-//! Implements the surface the telemetry worker pool needs: [`unbounded`],
-//! cloneable [`Sender`]/[`Receiver`], blocking [`Receiver::recv`],
-//! non-blocking [`Receiver::try_recv`], and disconnect semantics (a
-//! `recv` on an empty queue with no senders left returns [`RecvError`];
-//! a `send` with no receivers left returns the value in [`SendError`]).
-//! Backed by a `Mutex<VecDeque>` + `Condvar` — fairness and lock-free
-//! speed are non-goals; the pool sends a handful of wake tokens per
-//! dispatch.
+//! Implements the surface the telemetry worker pool and the assessment
+//! serve loop need: [`unbounded`], cloneable [`Sender`]/[`Receiver`],
+//! blocking [`Receiver::recv`], deadline-bounded
+//! [`Receiver::recv_timeout`], non-blocking [`Receiver::try_recv`], and
+//! disconnect semantics (a `recv` on an empty queue with no senders left
+//! returns [`RecvError`]; a `send` with no receivers left returns the
+//! value in [`SendError`]). Backed by a `Mutex<VecDeque>` + `Condvar` —
+//! fairness and lock-free speed are non-goals; the pool sends a handful
+//! of wake tokens per dispatch and the serve loop wakes at most once per
+//! staleness window.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// The send half could not deliver: every receiver is gone. Carries the
 /// rejected value back to the caller, as crossbeam does.
@@ -28,6 +31,17 @@ pub enum TryRecvError {
     /// The queue is momentarily empty but senders remain.
     Empty,
     /// The queue is empty and every sender is gone.
+    Disconnected,
+}
+
+/// Why a [`Receiver::recv_timeout`] returned nothing.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with the queue still empty (senders remain —
+    /// a later `recv` may still succeed).
+    Timeout,
+    /// The queue is empty and every sender is gone; no later call can
+    /// ever succeed.
     Disconnected,
 }
 
@@ -122,6 +136,45 @@ impl<T> Receiver<T> {
                 return Err(RecvError);
             }
             q = self.inner.ready.wait(q).expect("channel poisoned");
+        }
+    }
+
+    /// Blocks until a value arrives, every sender is gone, or `timeout`
+    /// elapses — the bounded wait a serve loop needs to enforce a
+    /// staleness budget without busy-polling.
+    ///
+    /// Ordering mirrors crossbeam: a value already queued (or arriving
+    /// within the window) wins over both error outcomes, and disconnect
+    /// is only reported on an *empty* queue. The wait is deadline-based
+    /// (`now + timeout` computed once), so spurious condvar wake-ups
+    /// never extend the total wait.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.inner.queue.lock().expect("channel poisoned");
+        loop {
+            if let Some(v) = q.pop_front() {
+                return Ok(v);
+            }
+            if self.inner.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()).filter(|d| {
+                // A zero remainder is already past the deadline; waiting
+                // on it would be an unbounded sleep on some platforms.
+                !d.is_zero()
+            }) else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, _timed_out) = self
+                .inner
+                .ready
+                .wait_timeout(q, remaining)
+                .expect("channel poisoned");
+            // Re-check the queue even on a timed-out wait: a send may
+            // have landed in the race window between the wake-up and
+            // re-acquiring the lock. The loop's deadline check decides
+            // whether to wait again.
+            q = guard;
         }
     }
 
@@ -232,6 +285,73 @@ mod tests {
                 let _ = h.join().unwrap();
             });
         }
+    }
+
+    #[test]
+    fn recv_timeout_returns_queued_value_immediately() {
+        let (tx, rx) = unbounded();
+        tx.send(42).unwrap();
+        let start = Instant::now();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(42));
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_on_an_empty_connected_channel() {
+        let (tx, rx) = unbounded::<u8>();
+        let start = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        // A zero timeout on an empty queue is an immediate Timeout, not
+        // an unbounded wait.
+        assert_eq!(
+            rx.recv_timeout(Duration::ZERO),
+            Err(RecvTimeoutError::Timeout)
+        );
+        // The channel is still usable afterwards.
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(7));
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_send_before_the_deadline() {
+        let (tx, rx) = unbounded::<&'static str>();
+        std::thread::scope(|s| {
+            let h = s.spawn(move || rx.recv_timeout(Duration::from_secs(30)));
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send("fresh").unwrap();
+            assert_eq!(h.join().unwrap(), Ok("fresh"));
+        });
+    }
+
+    #[test]
+    fn recv_timeout_observes_disconnect() {
+        // Disconnect before the call.
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+        // Disconnect during the wait: must wake promptly, not sleep out
+        // the full deadline. Queued values still drain first.
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(1).unwrap();
+        std::thread::scope(|s| {
+            let h = s.spawn(move || {
+                let first = rx.recv_timeout(Duration::from_secs(30));
+                let second = rx.recv_timeout(Duration::from_secs(30));
+                (first, second)
+            });
+            std::thread::sleep(Duration::from_millis(10));
+            drop(tx);
+            let (first, second) = h.join().unwrap();
+            assert_eq!(first, Ok(1));
+            assert_eq!(second, Err(RecvTimeoutError::Disconnected));
+        });
     }
 
     #[test]

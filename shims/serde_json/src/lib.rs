@@ -2,17 +2,20 @@
 //! tree to JSON text and parses it back.
 //!
 //! Covers the API surface iriscast uses: [`to_string`],
-//! [`to_string_pretty`], [`from_str`], [`Result`], [`Error`]. Non-finite
-//! floats serialize as `null` (as in real serde_json) and `null`
-//! deserializes back to `f64::NAN`, so gap-bearing power series
-//! round-trip.
+//! [`to_string_pretty`], [`from_str`], [`to_writer`], [`Result`],
+//! [`Error`], and the [`ndjson`] line-framing helpers the assessment
+//! service's wire format is built on. Non-finite floats serialize as
+//! `null` (as in real serde_json) and `null` deserializes back to
+//! `f64::NAN`, so gap-bearing power series round-trip.
 
 #![deny(missing_docs)]
 
 use serde::value::Value;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::io;
 
+pub mod ndjson;
 mod parser;
 mod writer;
 
@@ -57,6 +60,14 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
     let value: Value = parser::parse(s).map_err(Error::new)?;
     T::from_value(&value).map_err(Error::from)
+}
+
+/// Serializes `value` as compact JSON into `writer` (no trailing
+/// newline, matching real serde_json; the newline-framed form lives in
+/// [`ndjson::to_writer`]).
+pub fn to_writer<W: io::Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    let text = to_string(value)?;
+    writer.write_all(text.as_bytes()).map_err(Error::new)
 }
 
 #[cfg(test)]

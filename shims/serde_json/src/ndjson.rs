@@ -1,0 +1,134 @@
+//! Newline-delimited JSON (NDJSON) line framing.
+//!
+//! The assessment service's wire format is one JSON document per line:
+//! compact rendering (a shim invariant worth naming — [`super::to_string`]
+//! never emits raw newlines, and string escapes turn embedded `\n` into
+//! `\\n`), terminated by `\n`. [`to_writer`] frames one value;
+//! [`from_str`] walks a buffer of frames, yielding one parse result per
+//! non-empty line so a corrupt line surfaces as *that line's* error
+//! without poisoning the rest of the stream.
+
+use crate::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::marker::PhantomData;
+
+/// Serializes `value` as one NDJSON frame: compact JSON plus a trailing
+/// `\n`.
+pub fn to_writer<W: io::Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    let mut text = crate::to_string(value)?;
+    debug_assert!(
+        !text.contains('\n'),
+        "compact JSON must never span lines — the framing depends on it"
+    );
+    text.push('\n');
+    writer.write_all(text.as_bytes()).map_err(Error::new)
+}
+
+/// Iterator over the frames of an NDJSON buffer: one `Result<T>` per
+/// non-empty line, in order. See [`from_str`].
+pub struct Lines<'a, T> {
+    lines: std::str::Lines<'a>,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Deserialize> Iterator for Lines<'_, T> {
+    type Item = Result<T>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        for line in self.lines.by_ref() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                // Blank lines (including the virtual one a trailing `\n`
+                // leaves) are framing slack, not documents.
+                continue;
+            }
+            return Some(crate::from_str(trimmed));
+        }
+        None
+    }
+}
+
+/// Parses an NDJSON buffer into per-line values: each non-empty line is
+/// deserialized independently, so one malformed frame yields one `Err`
+/// and the iterator carries on with the next line.
+pub fn from_str<T: Deserialize>(s: &str) -> Lines<'_, T> {
+    Lines {
+        lines: s.lines(),
+        _marker: PhantomData,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Frame {
+        site: String,
+        seq: u64,
+        kwh: f64,
+    }
+
+    fn frames() -> Vec<Frame> {
+        vec![
+            Frame {
+                site: "QMUL".into(),
+                seq: 0,
+                kwh: 812.5,
+            },
+            Frame {
+                site: "with \"quotes\"\nand newline".into(),
+                seq: 1,
+                kwh: f64::NAN, // serializes as null, returns as NaN
+            },
+            Frame {
+                site: "DUR".into(),
+                seq: 2,
+                kwh: 0.125,
+            },
+        ]
+    }
+
+    #[test]
+    fn ndjson_round_trips_frame_for_frame() {
+        let mut buf = Vec::new();
+        for f in frames() {
+            super::to_writer(&mut buf, &f).unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        // Exactly one frame per line, each newline-terminated — embedded
+        // newlines in string fields must have been escaped away.
+        assert_eq!(text.matches('\n').count(), 3);
+        assert!(text.ends_with('\n'));
+
+        let back: Vec<Frame> = super::from_str(&text).map(|r| r.unwrap()).collect();
+        assert_eq!(back.len(), 3);
+        let original = frames();
+        assert_eq!(back[0], original[0]);
+        assert_eq!(back[2], original[2]);
+        assert_eq!(back[1].site, original[1].site);
+        assert!(back[1].kwh.is_nan());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_bad_frames_fail_alone() {
+        let text = "\n{\"site\":\"A\",\"seq\":0,\"kwh\":1.0}\n\n  \nnot json\n{\"site\":\"B\",\"seq\":1,\"kwh\":2.0}\n";
+        let parsed: Vec<super::super::Result<Frame>> = super::from_str(text).collect();
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].as_ref().unwrap().site, "A");
+        assert!(parsed[1].is_err());
+        assert_eq!(parsed[2].as_ref().unwrap().site, "B");
+    }
+
+    #[test]
+    fn unframed_to_writer_matches_to_string() {
+        let f = &frames()[0];
+        let mut buf = Vec::new();
+        crate::to_writer(&mut buf, f).unwrap();
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            crate::to_string(f).unwrap()
+        );
+    }
+}

@@ -35,6 +35,7 @@
 //! | [`workload`] | `iriscast-workload` | job generator + FCFS/backfill/carbon-aware schedulers |
 //! | [`sim`] | `iriscast-sim` | deterministic discrete-event engine co-simulating workload × grid × telemetry |
 //! | [`model`] | `iriscast-model` | the carbon model: the scenario-space engine, table adapters, reports, paper constants |
+//! | [`serve`] | `iriscast-serve` | live assessment service: incremental snapshot ingest, warm queries, tenant attribution, NDJSON wire |
 //!
 //! ## Quickstart
 //!
@@ -100,6 +101,7 @@
 pub use iriscast_grid as grid;
 pub use iriscast_inventory as inventory;
 pub use iriscast_model as model;
+pub use iriscast_serve as serve;
 pub use iriscast_sim as sim;
 pub use iriscast_telemetry as telemetry;
 pub use iriscast_units as units;
@@ -123,9 +125,13 @@ pub mod prelude {
         CarbonProfile, TimeResolvedAssessment, TimeResolvedBuilder,
     };
     pub use iriscast_model::{Error as ModelError, Result as ModelResult};
+    pub use iriscast_serve::{
+        AssessmentService, QueryReply, QueryRequest, ServeError, SiteModel, SnapshotRecord,
+    };
     pub use iriscast_sim::{
         Component, Ctx, CurtailmentScenario, DeferralScenario, DemandResponseScenario,
         DropoutScenario, Engine, EngineBuilder, FaultInjector, ForecastScenario, ScenarioRun,
+        SnapshotSampler, TelemetryDelta,
     };
     pub use iriscast_telemetry::timeseries::{EnergySeries, GapPolicy, PowerSeries};
     pub use iriscast_telemetry::{
