@@ -1,0 +1,84 @@
+//! Scale-out bench: the PR 10 transport and federation hot paths.
+//!
+//! `socket_round_trip` is the wire tax — one warm percentile query
+//! over a loopback TCP connection (serialize request, frame, fold
+//! nothing, answer from the cached sort, frame the reply back): the
+//! number to compare against the in-process `warm_quantile`
+//! (`serve_ingest`), which it should exceed by socket overhead only.
+//! `federated_fold` is the fleet tier — folding 1,000 exported sites
+//! into a `FleetRollup` and taking a quantile, the per-sweep cost a
+//! federator pays each time it refreshes the fleet view.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iriscast_model::federation::FleetRollup;
+use iriscast_serve::federator::site_rollup;
+use iriscast_serve::{AssessmentService, QueryRequest, SiteModel, SnapshotRecord, SocketClient};
+use iriscast_units::Period;
+use std::hint::black_box;
+
+fn model() -> SiteModel {
+    SiteModel {
+        servers: 2_398,
+        ci_grams_per_kwh: vec![34.0, 231.12, 280.0],
+        pue_values: vec![1.1, 1.3, 1.58],
+        embodied_kg: vec![399.0, 1_100.0, 1_300.0],
+        lifespans_years: vec![3, 5, 7],
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scale_out");
+    g.sample_size(10);
+
+    // Wire round trip: a served site with 100 folded windows, cached
+    // sort warm; each iteration is one percentile query frame out and
+    // one reply frame back over loopback TCP.
+    let service = AssessmentService::new();
+    service.register_site("CAM", model()).unwrap();
+    for seq in 0..100u64 {
+        service
+            .ingest(&SnapshotRecord {
+                site: "CAM".into(),
+                seq,
+                window_start_s: seq as i64 * 21_600,
+                window_end_s: (seq as i64 + 1) * 21_600,
+                energy_kwh: 4_000.0 + (seq % 97) as f64 * 13.0,
+            })
+            .unwrap();
+    }
+    let _ = service.percentile("CAM", 0.5).unwrap(); // warm the sort
+    let server = service.serve_tcp("127.0.0.1:0").unwrap();
+    let mut client = SocketClient::connect_tcp(server.addr()).unwrap();
+    let mut req = QueryRequest::bare("CAM", "percentile");
+    req.q = Some(0.95);
+    g.bench_function("socket_round_trip", |b| {
+        b.iter(|| {
+            let reply = client.query(black_box(&req)).unwrap();
+            assert!(reply.ok);
+            black_box(reply.value_kg)
+        })
+    });
+
+    // Fleet fold: 1,000 site exports into a fresh rollup plus one
+    // quantile — the cost of a full federation sweep, minus the wire.
+    let exports: Vec<(u32, u32, f64)> = (0..1_000u32)
+        .map(|i| (i % 8, 100 + i % 400, 5_000.0 + f64::from(i) * 11.5))
+        .collect();
+    let codes: Vec<String> = (0..8).map(|r| format!("R{r}")).collect();
+    g.bench_function("federated_fold", |b| {
+        b.iter(|| {
+            let mut rollup = FleetRollup::new(codes.clone(), Period::snapshot_24h());
+            for &(region, servers, kwh) in &exports {
+                rollup.fold_site(site_rollup(region, servers, kwh));
+            }
+            black_box(rollup.percentile(0.5).unwrap())
+        })
+    });
+
+    g.finish();
+    drop(client);
+    server.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

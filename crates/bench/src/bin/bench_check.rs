@@ -9,29 +9,55 @@
 //! bench_check [--baseline <path>] [--fresh <path>] [--tolerance <factor>]
 //! ```
 //!
-//! Defaults: baseline `BENCH_PR9.json` at the workspace root, fresh from
-//! the same resolution `cargo bench` writes to (`$BENCH_JSON`, else
-//! `BENCH.json` at the workspace root), tolerance `3.0` — wide enough to
-//! absorb runner-class noise between the machine that committed the
-//! baseline and the CI host, tight enough to catch real rot.
+//! Defaults: the baseline is whatever JSON the committed
+//! `BENCH_BASELINE` pointer file at the workspace root names — the
+//! single source of truth a baseline bump edits (CI deliberately
+//! passes no `--baseline`); fresh comes from the same resolution
+//! `cargo bench` writes to (`$BENCH_JSON`, else `BENCH.json` at the
+//! workspace root); tolerance `3.0` — wide enough to absorb
+//! runner-class noise between the machine that committed the baseline
+//! and the CI host, tight enough to catch real rot.
 
 use criterion::{bench_json_path, parse_bench_json, workspace_file, BenchRecord};
 use iriscast_bench::regression::compare;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-/// The committed baseline CI gates against by default.
-const DEFAULT_BASELINE: &str = "BENCH_PR9.json";
+/// The workspace pointer file naming the committed baseline JSON.
+/// Bumping the baseline means editing this one file; bench_check and
+/// CI both resolve through it, so they can never disagree.
+const BASELINE_POINTER: &str = "BENCH_BASELINE";
+
+/// Resolves the committed pointer file to the baseline path.
+fn pointed_baseline() -> Result<PathBuf, String> {
+    let pointer = workspace_file(BASELINE_POINTER);
+    let name = std::fs::read_to_string(&pointer).map_err(|e| {
+        format!(
+            "cannot read baseline pointer {}: {e} (commit a {BASELINE_POINTER} \
+             file naming the baseline JSON, or pass --baseline)",
+            pointer.display()
+        )
+    })?;
+    let name = name.trim();
+    if name.is_empty() {
+        return Err(format!(
+            "baseline pointer {} is empty — it must name a baseline JSON \
+             like BENCH_PR10.json",
+            pointer.display()
+        ));
+    }
+    Ok(workspace_file(name))
+}
 
 struct Args {
-    baseline: PathBuf,
+    baseline: Option<PathBuf>,
     fresh: PathBuf,
     tolerance: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        baseline: workspace_file(DEFAULT_BASELINE),
+        baseline: None,
         fresh: bench_json_path(),
         tolerance: 3.0,
     };
@@ -42,7 +68,7 @@ fn parse_args() -> Result<Args, String> {
                 .ok_or_else(|| format!("{what} expects a value (see --help)"))
         };
         match flag.as_str() {
-            "--baseline" => args.baseline = PathBuf::from(value("--baseline")?),
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
             "--fresh" => args.fresh = PathBuf::from(value("--fresh")?),
             "--tolerance" => {
                 let raw = value("--tolerance")?;
@@ -56,7 +82,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "bench_check [--baseline <path>] [--fresh <path>] [--tolerance <factor>]\n\
                      Fails on fresh minima > tolerance x baseline and on baseline entries\n\
-                     absent from the fresh run. Defaults: --baseline {DEFAULT_BASELINE},\n\
+                     absent from the fresh run. Defaults: --baseline from the\n\
+                     {BASELINE_POINTER} pointer file at the workspace root,\n\
                      --fresh $BENCH_JSON or BENCH.json, --tolerance 3.0."
                 );
                 std::process::exit(0);
@@ -83,11 +110,15 @@ fn load(path: &PathBuf, what: &str) -> Result<Vec<BenchRecord>, String> {
 fn main() -> ExitCode {
     let run = || -> Result<bool, String> {
         let args = parse_args()?;
-        let baseline = load(&args.baseline, "baseline")?;
+        let baseline_path = match args.baseline {
+            Some(path) => path,
+            None => pointed_baseline()?,
+        };
+        let baseline = load(&baseline_path, "baseline")?;
         let fresh = load(&args.fresh, "fresh trajectory")?;
         println!(
             "bench_check: {} (baseline, {} entries) vs {} (fresh, {} entries)",
-            args.baseline.display(),
+            baseline_path.display(),
             baseline.len(),
             args.fresh.display(),
             fresh.len()

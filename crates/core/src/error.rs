@@ -58,6 +58,16 @@ pub enum Error {
         /// The first mismatching axis ("pue", "embodied", "lifespan").
         axis: &'static str,
     },
+    /// A retraction asked to evict at least as many carbon-intensity
+    /// samples as the batch holds. Results are non-empty by invariant,
+    /// so at least one CI sample must survive every eviction — a full
+    /// drain would leave an unrepresentable empty batch.
+    RetractOutOfRange {
+        /// CI samples the caller asked to retract.
+        requested: usize,
+        /// CI samples currently in the batch.
+        available: usize,
+    },
     /// The embodied amortisation window was zero, negative, or
     /// non-finite.
     InvalidWindow {
@@ -102,6 +112,16 @@ impl fmt::Display for Error {
                     f,
                     "incremental fold over a mismatched {axis} axis (only the \
                      carbon-intensity axis may grow)"
+                )
+            }
+            Error::RetractOutOfRange {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "cannot retract {requested} of {available} carbon-intensity \
+                     samples (at least one must survive an eviction)"
                 )
             }
             Error::InvalidWindow { days } => {

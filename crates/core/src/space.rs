@@ -98,6 +98,16 @@ impl<T> ScenarioAxis<T> {
         self.samples.extend_from_slice(&other.samples);
     }
 
+    /// Removes the **oldest** `k` samples — the front of the list, the
+    /// exact inverse of `k` samples appended by
+    /// [`ScenarioAxis::extend_from`]. The caller
+    /// ([`ScenarioSpace::retract_ci`]) guarantees `k < len()`, so the
+    /// never-empty invariant survives.
+    pub(crate) fn retract_front(&mut self, k: usize) {
+        debug_assert!(k < self.samples.len(), "an axis must stay non-empty");
+        self.samples.drain(..k);
+    }
+
     /// Borrowing iterator over the samples.
     pub fn iter(&self) -> std::slice::Iter<'_, T> {
         self.samples.iter()
@@ -354,6 +364,20 @@ impl ScenarioSpace {
     /// is why no such path exists.
     pub(crate) fn extend_ci(&mut self, other: &ScenarioAxis<CarbonIntensity>) {
         self.ci.extend_from(other);
+    }
+
+    /// Removes the **oldest** `k` carbon-intensity samples — the front
+    /// of the CI axis, the inverse of [`ScenarioSpace::extend_ci`].
+    /// Because CI is outermost in the row-major point order, dropping
+    /// its leading samples drops whole leading blocks of
+    /// `len() / ci.len()` points; surviving points keep their relative
+    /// order and every inner-axis stride is untouched (indices shift
+    /// down by the evicted block count, exactly as if the evicted
+    /// samples had never been part of the space). The caller
+    /// ([`crate::engine::SpaceResults::retract_rows`]) validates
+    /// `k < ci.len()`.
+    pub(crate) fn retract_ci(&mut self, k: usize) {
+        self.ci.retract_front(k);
     }
 
     /// Iterates every scenario point in index order.

@@ -106,6 +106,48 @@ impl StatsAccumulator {
         debug_assert_eq!(write_end, old_end);
     }
 
+    /// Removes an exact multiset of totals from the sorted view — the
+    /// inverse of [`StatsAccumulator::fold`], used by
+    /// [`SpaceResults::retract_rows`] to evict the oldest
+    /// carbon-intensity blocks without dropping the warm cache.
+    ///
+    /// Why exact retraction is safe here (the design the retention
+    /// story rests on): the accumulator holds the **raw sorted
+    /// values**, not merged running aggregates — there is no
+    /// mean/variance to "un-merge" and therefore no numerical
+    /// fragility. Under `total_cmp`, values that compare equal have
+    /// identical bit patterns, so subtracting the retracted multiset by
+    /// one ascending two-pointer sweep leaves byte-for-byte the view a
+    /// from-scratch [`StatsAccumulator::build`] of the surviving column
+    /// produces. Every retracted value must be present in the view
+    /// (guaranteed by the caller, which retracts a prefix of its own
+    /// total column; debug-asserted here).
+    fn retract(&mut self, removed: &[CarbonMass]) {
+        if removed.is_empty() {
+            return;
+        }
+        let mut gone: Vec<f64> = removed.iter().map(|t| t.kilograms()).collect();
+        gone.sort_by(f64::total_cmp);
+        let mut write = 0usize;
+        let mut g = 0usize;
+        for read in 0..self.kg.len() {
+            let v = self.kg[read];
+            if g < gone.len() && v.total_cmp(&gone[g]).is_eq() {
+                g += 1;
+                continue;
+            }
+            self.kg[write] = v;
+            write += 1;
+        }
+        debug_assert_eq!(g, gone.len(), "retracted totals must exist in the view");
+        self.kg.truncate(write);
+        // Recheck the NaN flag: under `total_cmp` NaNs sort to the
+        // extremes (negative NaN below -inf, positive NaN above +inf),
+        // so the two ends decide the flag exactly.
+        self.has_nan = self.kg.first().is_some_and(|v| v.is_nan())
+            || self.kg.last().is_some_and(|v| v.is_nan());
+    }
+
     /// O(1) linear-interpolated quantile on the sorted view, delegating
     /// the interpolation rule to [`stats::percentile_sorted`] so every
     /// quantile path in the workspace shares one definition.
@@ -215,6 +257,49 @@ impl SpaceResults {
         if let Some(view) = self.sorted.get_mut() {
             view.fold(&other.total);
         }
+        self.debug_assert_invariant();
+        Ok(())
+    }
+
+    /// Evicts the **oldest** `ci_samples` carbon-intensity samples and
+    /// their rows — the exact inverse of [`SpaceResults::extend_rows`].
+    ///
+    /// CI is outermost in the row-major point order, so the oldest
+    /// samples own the leading `ci_samples · (len / ci_len)` rows of
+    /// every column: retraction is a plain front drain, and the
+    /// surviving batch is **bit-identical** — columns, envelope,
+    /// quantiles, marginals — to one into which the evicted blocks were
+    /// *never folded at all* (the retention property suites pin this).
+    /// A warm cached-sort view has the evicted totals subtracted in
+    /// place (`StatsAccumulator::retract`) rather than being dropped,
+    /// so quantile queries across an eviction stay O(1) and
+    /// allocation-free; a cold view stays cold.
+    ///
+    /// `ci_samples == 0` is a no-op. At least one CI sample must
+    /// survive (results are non-empty by invariant):
+    /// [`Error::RetractOutOfRange`] when `ci_samples ≥ ci_len`.
+    pub fn retract_rows(&mut self, ci_samples: usize) -> Result<()> {
+        self.debug_assert_invariant();
+        if ci_samples == 0 {
+            return Ok(());
+        }
+        let available = self.space.ci().len();
+        if ci_samples >= available {
+            return Err(Error::RetractOutOfRange {
+                requested: ci_samples,
+                available,
+            });
+        }
+        let rows = ci_samples * (self.total.len() / available);
+        // Subtract from the warm view first — it needs the evicted
+        // totals, which the drains below destroy.
+        if let Some(view) = self.sorted.get_mut() {
+            view.retract(&self.total[..rows]);
+        }
+        self.active.drain(..rows);
+        self.embodied.drain(..rows);
+        self.total.drain(..rows);
+        self.space.retract_ci(ci_samples);
         self.debug_assert_invariant();
         Ok(())
     }
@@ -559,6 +644,102 @@ mod tests {
         let mut cold = eval_ci(&[175.0]);
         cold.extend_rows(&eval_ci(&[9_000.0])).unwrap();
         assert_eq!(cold.percentile(1.0).unwrap(), after_max);
+    }
+
+    #[test]
+    fn retract_subtracts_an_exact_multiset_from_the_warm_view() {
+        let vals = |xs: &[f64]| -> Vec<CarbonMass> {
+            xs.iter().copied().map(CarbonMass::from_kilograms).collect()
+        };
+        // (survivors, retracted) pairs exercising duplicates, signed
+        // zero, NaN and infinities — the total_cmp corner cases.
+        let cases: &[(&[f64], &[f64])] = &[
+            (&[1.0, 2.0], &[3.0]),
+            (&[3.0, 3.0], &[3.0, 3.0]),
+            (&[-0.0, 0.0], &[-0.0, 0.0]),
+            (&[2.0], &[f64::NAN, f64::NAN]),
+            (&[f64::NAN], &[2.0, f64::INFINITY]),
+            (&[5.0, 1.0, 3.0], &[]),
+        ];
+        for (keep, gone) in cases {
+            let mut all = vals(gone);
+            all.extend(vals(keep));
+            let mut acc = StatsAccumulator::build(&all);
+            acc.retract(&vals(gone));
+            let survivors = StatsAccumulator::build(&vals(keep));
+            assert!(
+                acc.kg
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .eq(survivors.kg.iter().map(|v| v.to_bits())),
+                "retract of {gone:?} diverged from a rebuild of {keep:?}"
+            );
+            assert_eq!(acc.has_nan, survivors.has_nan, "{keep:?} - {gone:?}");
+        }
+    }
+
+    #[test]
+    fn retract_rows_is_the_exact_inverse_of_extend_rows() {
+        // Fold three CI blocks, evict the oldest two: the survivor must
+        // be bit-identical to a batch that never saw the evicted blocks
+        // — including the warm cached-sort view that answers quantiles.
+        let never_ingested = eval_ci(&[900.0]);
+        let mut live = eval_ci(&[50.0]);
+        assert!(live.percentile(0.5).unwrap().kilograms() > 0.0); // warm it
+        live.extend_rows(&eval_ci(&[175.0])).unwrap();
+        live.extend_rows(&eval_ci(&[900.0])).unwrap();
+        live.retract_rows(2).unwrap();
+        assert_eq!(live, never_ingested);
+        for q in [0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            assert_eq!(
+                live.percentile(q).unwrap().kilograms().to_bits(),
+                never_ingested.percentile(q).unwrap().kilograms().to_bits(),
+                "q = {q}"
+            );
+        }
+        assert_eq!(live.envelope(), never_ingested.envelope());
+        assert_eq!(live.mean_total(), never_ingested.mean_total());
+        for axis in AxisId::ALL {
+            assert_eq!(
+                live.marginals(axis),
+                never_ingested.marginals(axis),
+                "{axis:?}"
+            );
+        }
+        assert_eq!(live.summary().unwrap(), never_ingested.summary().unwrap());
+
+        // A cold view stays cold across a retraction and still answers.
+        let mut cold = eval_ci(&[50.0, 175.0]);
+        cold.retract_rows(1).unwrap();
+        assert_eq!(cold, eval_ci(&[175.0]));
+        assert_eq!(
+            cold.percentile(1.0).unwrap(),
+            eval_ci(&[175.0]).percentile(1.0).unwrap()
+        );
+    }
+
+    #[test]
+    fn retract_rows_must_leave_at_least_one_ci_sample() {
+        let mut live = eval_ci(&[50.0, 175.0, 900.0]);
+        assert_eq!(
+            live.retract_rows(3).unwrap_err(),
+            Error::RetractOutOfRange {
+                requested: 3,
+                available: 3
+            }
+        );
+        assert_eq!(
+            live.retract_rows(7).unwrap_err(),
+            Error::RetractOutOfRange {
+                requested: 7,
+                available: 3
+            }
+        );
+        // A refused retraction leaves the batch untouched; a zero
+        // retraction is a no-op.
+        assert_eq!(live, eval_ci(&[50.0, 175.0, 900.0]));
+        live.retract_rows(0).unwrap();
+        assert_eq!(live, eval_ci(&[50.0, 175.0, 900.0]));
     }
 
     #[test]

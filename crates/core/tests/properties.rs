@@ -724,6 +724,87 @@ proptest! {
         }
     }
 
+    /// `retract_rows` is the exact inverse of `extend_rows`: fold the
+    /// whole CI axis one sample at a time, evict the oldest `k`, and
+    /// the survivor answers every query surface bit-identically to a
+    /// batch into which those samples were **never ingested** — with
+    /// the cached sort warmed (or not) across folds and eviction.
+    #[test]
+    fn space_retract_equals_never_ingested(
+        kwh in 100.0..1e6f64,
+        n_ci in 2usize..8,
+        n_pue in 1usize..4,
+        n_emb in 1usize..4,
+        n_life in 1usize..4,
+        evict in 1usize..8,
+        warm in 0u32..2,
+        servers in 1u32..5_000,
+    ) {
+        let evict = evict.min(n_ci - 1);
+        let full_axis = iriscast_model::ScenarioAxis::linspace(
+            "ci",
+            Bounds::new(
+                CarbonIntensity::from_grams_per_kwh(10.0),
+                CarbonIntensity::from_grams_per_kwh(500.0),
+            ),
+            n_ci,
+        ).unwrap();
+        let build = |samples: Vec<CarbonIntensity>| Assessment::builder()
+            .energy(Energy::from_kilowatt_hours(kwh))
+            .ci_axis(iriscast_model::ScenarioAxis::new("ci", samples).unwrap())
+            .pue_axis(iriscast_model::ScenarioAxis::linspace(
+                "pue",
+                Bounds::new(Pue::new(1.05).unwrap(), Pue::new(2.2).unwrap()),
+                n_pue,
+            ).unwrap())
+            .embodied_linspace(
+                Bounds::new(
+                    CarbonMass::from_kilograms(100.0),
+                    CarbonMass::from_kilograms(1_500.0),
+                ),
+                n_emb,
+            )
+            .lifespan_linspace(1.0, 12.0, n_life)
+            .servers(servers)
+            .build()
+            .unwrap();
+
+        // The reference: only the surviving CI samples, folded in the
+        // same one-sample-at-a-time rhythm the live path uses.
+        let survivors = &full_axis.samples()[evict..];
+        let mut never = build(vec![survivors[0]]).evaluate_space();
+        for &ci in &survivors[1..] {
+            never.extend_rows(&build(vec![ci]).evaluate_space()).unwrap();
+        }
+
+        let mut live = build(vec![full_axis.samples()[0]]).evaluate_space();
+        for &ci in &full_axis.samples()[1..] {
+            if warm == 1 {
+                let _ = live.percentile(0.5).unwrap();
+            }
+            live.extend_rows(&build(vec![ci]).evaluate_space()).unwrap();
+        }
+        if warm == 1 {
+            let _ = live.percentile(0.5).unwrap();
+        }
+        live.retract_rows(evict).unwrap();
+
+        prop_assert_eq!(&live, &never);
+        for q in [0.0, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            prop_assert_eq!(
+                live.percentile(q).unwrap().kilograms().to_bits(),
+                never.percentile(q).unwrap().kilograms().to_bits(),
+                "q = {}", q
+            );
+        }
+        prop_assert_eq!(live.envelope(), never.envelope());
+        prop_assert_eq!(live.mean_total(), never.mean_total());
+        prop_assert_eq!(live.summary().unwrap(), never.summary().unwrap());
+        for axis in iriscast_model::AxisId::ALL {
+            prop_assert_eq!(live.marginals(axis), never.marginals(axis), "{:?}", axis);
+        }
+    }
+
     /// Net-zero projections: embodied share is monotone non-decreasing
     /// along any declining pathway, and intensity stays above the floor.
     #[test]

@@ -70,6 +70,13 @@ pub enum ServeError {
         /// The snapshot's sequence number.
         seq: u64,
     },
+    /// A retention bound of zero windows — the ensemble must always
+    /// keep at least its newest window, or every query surface would
+    /// collapse to [`ServeError::NoData`] the moment retention ran.
+    InvalidRetention {
+        /// The site the bound was set on.
+        site: String,
+    },
     /// The carbon model rejected the snapshot's assessment (bad axis,
     /// non-positive window, …).
     Model(ModelError),
@@ -78,6 +85,14 @@ pub enum ServeError {
         /// 1-based line number within the NDJSON input.
         line: usize,
         /// The parse failure.
+        detail: String,
+    },
+    /// A socket-transport failure: bind, accept, or connection I/O.
+    /// Per-connection I/O errors are isolated to their connection (the
+    /// listener keeps serving); this variant surfaces the ones that
+    /// stop a client call or the listener itself.
+    Transport {
+        /// What failed, including the OS error text.
         detail: String,
     },
 }
@@ -123,9 +138,15 @@ impl fmt::Display for ServeError {
                 "site {site}: snapshot seq {seq} carries no energy estimate \
                  from any measurement method"
             ),
+            ServeError::InvalidRetention { site } => {
+                write!(f, "site {site}: retention must keep at least one window")
+            }
             ServeError::Model(e) => write!(f, "carbon model rejected the snapshot: {e}"),
             ServeError::Wire { line, detail } => {
                 write!(f, "wire line {line}: {detail}")
+            }
+            ServeError::Transport { detail } => {
+                write!(f, "socket transport: {detail}")
             }
         }
     }

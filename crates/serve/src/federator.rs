@@ -1,0 +1,160 @@
+//! Regional federation: many assessment services roll up into one
+//! fleet view over the socket wire.
+//!
+//! Topology: one [`AssessmentService`] per region (its sites are that
+//! region's sites), each behind a [`SocketServer`]; a
+//! [`FleetFederator`] holds one [`RegionHandle`] per region and pulls
+//! every site's [`AssessmentService::export`] over the wire into a
+//! [`FleetRollup`] via [`FleetRollup::fold_site`] — the same fold the
+//! in-process fleet path uses.
+//!
+//! [`AssessmentService`]: crate::service::AssessmentService
+//! [`AssessmentService::export`]: crate::service::AssessmentService::export
+//!
+//! ## Bit-for-bit equivalence with a flat service
+//!
+//! The federated roll-up is bitwise equal to folding the same sites
+//! out of one flat service, because every link in the chain is exact:
+//!
+//! * each site's cumulative energy is summed strictly in `seq` order
+//!   inside its service, so it is independent of worker count and of
+//!   cross-region arrival interleaving;
+//! * the wire writes `f64` with shortest-round-trip formatting, so a
+//!   finite energy arrives with the same bits it left with;
+//! * sites are folded in canonical order — regions in handle order,
+//!   sites in the sorted order the `"sites"` ask returns — which is
+//!   the order a flat reference enumerates them in.
+//!
+//! The property suite pins federated ≡ flat at 1 and 16 ingest
+//! workers under shuffled cross-region arrival.
+
+use crate::error::{ServeError, ServeResult};
+use crate::transport::{SocketClient, SocketServer};
+use crate::wire::QueryRequest;
+use iriscast_model::federation::{FleetRollup, SiteRollup};
+use iriscast_telemetry::EnergyByMethod;
+use iriscast_units::{Energy, Period};
+use std::path::PathBuf;
+
+/// How a federator reaches one region's socket server.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Target {
+    Tcp(String),
+    Unix(PathBuf),
+}
+
+/// One region of the federation: its short code and its service's
+/// socket address.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionHandle {
+    /// Region short code, e.g. `"EU-W"`.
+    pub code: String,
+    target: Target,
+}
+
+impl RegionHandle {
+    /// A region served over TCP at `addr` (`ip:port`).
+    pub fn tcp(code: impl Into<String>, addr: impl Into<String>) -> Self {
+        RegionHandle {
+            code: code.into(),
+            target: Target::Tcp(addr.into()),
+        }
+    }
+
+    /// A region served over a Unix-domain socket at `path`.
+    pub fn unix(code: impl Into<String>, path: impl Into<PathBuf>) -> Self {
+        RegionHandle {
+            code: code.into(),
+            target: Target::Unix(path.into()),
+        }
+    }
+
+    /// A region served by a live [`SocketServer`] on this machine
+    /// (TCP or Unix, whichever it bound).
+    pub fn of(code: impl Into<String>, server: &SocketServer) -> Self {
+        let addr = server.addr();
+        if addr.contains(':') {
+            RegionHandle::tcp(code, addr)
+        } else {
+            RegionHandle::unix(code, addr)
+        }
+    }
+
+    fn connect(&self) -> ServeResult<SocketClient> {
+        match &self.target {
+            Target::Tcp(addr) => SocketClient::connect_tcp(addr),
+            Target::Unix(path) => SocketClient::connect_unix(path),
+        }
+    }
+}
+
+/// Builds the [`SiteRollup`] one exported site contributes to the
+/// fleet fold. Shared by the wire path ([`FleetFederator::federate`])
+/// and in-process references, so both construct identical rollups:
+/// the service's cumulative best-estimate energy stands in for both
+/// the measured (PDU slot — the serve tier has exactly one estimate,
+/// already method-prioritised at snapshot time) and truth columns.
+pub fn site_rollup(region: u32, servers: u32, energy_kwh: f64) -> SiteRollup {
+    let energy = Energy::from_kilowatt_hours(energy_kwh);
+    SiteRollup {
+        region,
+        nodes: servers,
+        energies: EnergyByMethod {
+            pdu: Some(energy),
+            ..EnergyByMethod::default()
+        },
+        truth: energy,
+    }
+}
+
+/// Pulls N regional assessment services into one [`FleetRollup`] over
+/// the socket wire.
+#[derive(Clone, Debug)]
+pub struct FleetFederator {
+    regions: Vec<RegionHandle>,
+}
+
+impl FleetFederator {
+    /// A federator over `regions`, folded in the given order.
+    pub fn new(regions: Vec<RegionHandle>) -> Self {
+        FleetFederator { regions }
+    }
+
+    /// The region codes, in fold order.
+    pub fn region_codes(&self) -> Vec<String> {
+        self.regions.iter().map(|r| r.code.clone()).collect()
+    }
+
+    /// One federation sweep: connects to every region, enumerates its
+    /// sites (sorted — the canonical order), pulls each site's export
+    /// and folds it. Any transport failure or `ok: false` reply aborts
+    /// the sweep with a typed error; a partial roll-up is never
+    /// returned.
+    pub fn federate(&self, period: Period) -> ServeResult<FleetRollup> {
+        let mut rollup = FleetRollup::new(self.region_codes(), period);
+        for (index, region) in self.regions.iter().enumerate() {
+            let mut client = region.connect()?;
+            let sites = client
+                .query(&QueryRequest::sites())?
+                .into_result("sites")?
+                .sites
+                .unwrap_or_default();
+            for site in sites {
+                let reply = client
+                    .query(&QueryRequest::export(&site))?
+                    .into_result("export")?;
+                let (Some(energy_kwh), Some(servers)) = (reply.energy_kwh, reply.servers) else {
+                    return Err(ServeError::Transport {
+                        detail: format!("export reply for {site} is missing fields"),
+                    });
+                };
+                rollup.fold_site(site_rollup(
+                    index as u32,
+                    u32::try_from(servers).unwrap_or(u32::MAX),
+                    energy_kwh,
+                ));
+            }
+        }
+        Ok(rollup)
+    }
+}

@@ -60,19 +60,44 @@
 //! collectively exhaustive (they sum to 1), so no emission is counted
 //! twice and none is orphaned.
 //!
+//! ## Scale-out
+//!
+//! Three further pieces take the single in-process service to a
+//! deployable topology:
+//!
+//! * **Retention** — [`AssessmentService::set_retention`] bounds the
+//!   queryable ensemble to a sliding window of the last *k* folded
+//!   windows, evicting via the exact `retract_rows` inverse of the
+//!   fold; the cumulative energy ledger is *not* rewound, so
+//!   federation exports are retention-independent.
+//! * **Transport** — [`transport`] frames the NDJSON codec over TCP
+//!   and Unix-domain sockets ([`AssessmentService::serve_tcp`] /
+//!   [`AssessmentService::serve_unix`]) with per-connection error
+//!   isolation and graceful drain; [`spawn_record_feed`] bridges a
+//!   socket to the [`AssessmentService::spawn_ingest`] channel.
+//! * **Federation** — a [`FleetFederator`] pulls per-site
+//!   [`SiteExport`]s from regional services over the wire and folds
+//!   them into a fleet-wide `FleetRollup`, bit-for-bit equal to one
+//!   flat service hosting every site (see [`federator`] for the
+//!   three-link chain that makes that exact).
+//!
 //! [`SpaceResults`]: iriscast_model::engine::SpaceResults
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod error;
+pub mod federator;
 pub mod record;
 pub mod service;
+pub mod transport;
 pub mod wire;
 
 pub use error::{ServeError, ServeResult};
+pub use federator::{FleetFederator, RegionHandle};
 pub use record::SnapshotRecord;
 pub use service::{
-    AssessmentService, IngestHandle, IngestStats, SiteModel, TenantShare, Watermark,
+    AssessmentService, IngestHandle, IngestStats, SiteExport, SiteModel, TenantShare, Watermark,
 };
+pub use transport::{spawn_record_feed, FeedStats, SocketClient, SocketServer, TransportStats};
 pub use wire::{MarginalWire, QueryReply, QueryRequest};

@@ -106,10 +106,21 @@ struct SiteState {
     /// Next sequence number to fold.
     next_seq: u64,
     /// Evaluated blocks that arrived ahead of `next_seq`, keyed by seq;
-    /// the value carries the block and its window end.
-    pending: BTreeMap<u64, (SpaceResults, i64)>,
+    /// the value carries the block, its window end, and its energy.
+    pending: BTreeMap<u64, (SpaceResults, i64, f64)>,
     /// End of the latest folded window, seconds since the epoch.
     last_window_end_s: Option<i64>,
+    /// Cumulative best-estimate energy across every folded window, kWh.
+    /// Summed strictly in `seq` order, so the figure is bit-identical
+    /// at any worker count — and it **survives eviction**: retention
+    /// bounds the queryable scenario ensemble, not the site's energy
+    /// ledger (the federation tier rolls this up fleet-wide).
+    energy_kwh: f64,
+    /// Sliding-window retention: keep at most this many folded windows
+    /// in the ensemble, evicting the oldest. `None` = keep forever.
+    retain_windows: Option<usize>,
+    /// Windows evicted by retention so far.
+    evicted: u64,
     tenants: Vec<Tenant>,
 }
 
@@ -119,15 +130,42 @@ impl SiteState {
     /// place rows enter `results`, which is what makes the pipeline
     /// bit-identical at any worker count — evaluation may happen in
     /// any order on any thread, but folds are applied in emission
-    /// order.
+    /// order. Retention runs here too, after every fold, so the
+    /// ensemble never holds more than `retain_windows` windows between
+    /// any two observable states.
     fn fold_ready(&mut self) -> ServeResult<()> {
-        while let Some((block, window_end_s)) = self.pending.remove(&self.next_seq) {
+        while let Some((block, window_end_s, energy_kwh)) = self.pending.remove(&self.next_seq) {
             match self.results.as_mut() {
                 None => self.results = Some(block),
                 Some(base) => base.extend_rows(&block)?,
             }
             self.last_window_end_s = Some(window_end_s);
+            self.energy_kwh += energy_kwh;
             self.next_seq += 1;
+            self.evict_to_retention()?;
+        }
+        Ok(())
+    }
+
+    /// Evicts the oldest windows until the ensemble fits the retention
+    /// bound. Each folded window owns one block of the model's CI
+    /// samples at the *front* of the ensemble (folds append at the
+    /// back, in seq order), so eviction is `retract_rows` of exactly
+    /// `ci` samples per window — the documented exact inverse of the
+    /// fold, leaving state bit-identical to never having ingested the
+    /// evicted windows.
+    fn evict_to_retention(&mut self) -> ServeResult<()> {
+        let Some(retain) = self.retain_windows else {
+            return Ok(());
+        };
+        let ci_per_window = self.model.ci_grams_per_kwh.len();
+        while (self.next_seq - self.evicted) as usize > retain {
+            let results = self
+                .results
+                .as_mut()
+                .expect("a site with folded windows has results");
+            results.retract_rows(ci_per_window)?;
+            self.evicted += 1;
         }
         Ok(())
     }
@@ -146,6 +184,27 @@ pub struct Watermark {
     pub last_window_end_s: Option<i64>,
     /// Scenario points currently answering queries.
     pub points: usize,
+    /// Windows evicted by sliding-window retention so far; `folded`
+    /// still counts every window ever folded, so the ensemble currently
+    /// holds `folded - evicted` windows.
+    pub evicted: u64,
+}
+
+/// What the federation tier pulls from a site: the inputs to
+/// [`iriscast_model::FleetRollup::fold_site`], plus the staleness
+/// counters a federator needs to decide the export is complete.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SiteExport {
+    /// Cumulative best-estimate energy across every folded window,
+    /// kWh. Summed in `seq` order (bit-identical at any worker count)
+    /// and unaffected by retention.
+    pub energy_kwh: f64,
+    /// Fleet size the site's model amortises over.
+    pub servers: u32,
+    /// Windows folded so far.
+    pub folded: u64,
+    /// Windows evicted by retention so far.
+    pub evicted: u64,
 }
 
 /// One tenant's allocated slice of a site's footprint, per the
@@ -245,6 +304,9 @@ impl AssessmentService {
                 next_seq: 0,
                 pending: BTreeMap::new(),
                 last_window_end_s: None,
+                energy_kwh: 0.0,
+                retain_windows: None,
+                evicted: 0,
                 tenants: Vec::new(),
             },
         );
@@ -312,7 +374,7 @@ impl AssessmentService {
         }
         state
             .pending
-            .insert(record.seq, (block, record.window_end_s));
+            .insert(record.seq, (block, record.window_end_s, record.energy_kwh));
         state.fold_ready()
     }
 
@@ -531,6 +593,62 @@ impl AssessmentService {
             pending: state.pending.len(),
             last_window_end_s: state.last_window_end_s,
             points: state.results.as_ref().map_or(0, SpaceResults::len),
+            evicted: state.evicted,
+        })
+    }
+
+    /// Bounds a site's ensemble to its most recent `windows` folded
+    /// windows, evicting the oldest as new ones fold in — the
+    /// sliding-window retention policy. Eviction is *exact*:
+    /// [`SpaceResults::retract_rows`] is the bitwise inverse of the
+    /// fold, so a service that kept windows `k..n` answers every query
+    /// with the same bits as one that only ever saw `k..n` (the
+    /// property suite pins this). `windows` must be at least 1;
+    /// tightening the bound below the current backlog evicts
+    /// immediately. Cumulative energy ([`Watermark::folded`] and the
+    /// federation export) is deliberately *not* rewound — retention
+    /// bounds the scenario ensemble, not the site's energy ledger.
+    pub fn set_retention(&self, site: &str, windows: usize) -> ServeResult<()> {
+        if windows == 0 {
+            return Err(ServeError::InvalidRetention { site: site.into() });
+        }
+        let mut inner = self.write();
+        let state = inner
+            .sites
+            .get_mut(site)
+            .ok_or_else(|| ServeError::UnknownSite { site: site.into() })?;
+        state.retain_windows = Some(windows);
+        state.evict_to_retention()
+    }
+
+    /// The site names registered so far, sorted — the canonical
+    /// enumeration order the federation tier folds sites in.
+    pub fn sites(&self) -> Vec<String> {
+        let inner = self.read();
+        let mut names: Vec<String> = inner.sites.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Cumulative best-estimate energy folded for a site, kWh — summed
+    /// strictly in `seq` order and unaffected by retention.
+    pub fn site_energy_kwh(&self, site: &str) -> ServeResult<f64> {
+        Ok(self.export(site)?.energy_kwh)
+    }
+
+    /// The site's federation export: everything the fleet tier needs
+    /// to fold this site into a [`iriscast_model::FleetRollup`].
+    pub fn export(&self, site: &str) -> ServeResult<SiteExport> {
+        let inner = self.read();
+        let state = inner
+            .sites
+            .get(site)
+            .ok_or_else(|| ServeError::UnknownSite { site: site.into() })?;
+        Ok(SiteExport {
+            energy_kwh: state.energy_kwh,
+            servers: state.model.servers,
+            folded: state.next_seq,
+            evicted: state.evicted,
         })
     }
 }
@@ -705,6 +823,77 @@ mod tests {
                 expected.marginals(AxisId::Pue)
             );
         }
+    }
+
+    #[test]
+    fn retention_evicts_to_exactly_the_never_ingested_bits() {
+        let records: Vec<SnapshotRecord> = (0..8)
+            .map(|i| record(i, 4_500.0 + 61.0 * i as f64))
+            .collect();
+        let retained = AssessmentService::new();
+        retained.register_site("CAM", model()).unwrap();
+        retained.set_retention("CAM", 3).unwrap();
+        for r in &records {
+            retained.ingest(r).unwrap();
+        }
+        let w = retained.watermark("CAM").unwrap();
+        assert_eq!((w.folded, w.evicted), (8, 5));
+        assert_eq!(w.points, 3 * model().points_per_snapshot());
+        // Bit-for-bit against a service that only ever saw the last 3.
+        let expected = reference(&records[5..]);
+        for &q in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(
+                retained.percentile("CAM", q).unwrap().kilograms().to_bits(),
+                expected.percentile(q).unwrap().kilograms().to_bits(),
+                "q={q}"
+            );
+        }
+        assert_eq!(retained.envelope("CAM").unwrap(), expected.envelope());
+        // Energy ledger is NOT rewound by eviction.
+        let all: f64 = records.iter().map(|r| r.energy_kwh).fold(0.0, |a, b| a + b);
+        assert_eq!(retained.site_energy_kwh("CAM").unwrap(), all);
+    }
+
+    #[test]
+    fn tightening_retention_evicts_immediately_and_zero_is_refused() {
+        let service = AssessmentService::new();
+        service.register_site("CAM", model()).unwrap();
+        for seq in 0..5u64 {
+            service.ingest(&record(seq, 4_800.0 + seq as f64)).unwrap();
+        }
+        assert!(matches!(
+            service.set_retention("CAM", 0).unwrap_err(),
+            ServeError::InvalidRetention { .. }
+        ));
+        assert!(matches!(
+            service.set_retention("NOPE", 2).unwrap_err(),
+            ServeError::UnknownSite { .. }
+        ));
+        service.set_retention("CAM", 2).unwrap();
+        let w = service.watermark("CAM").unwrap();
+        assert_eq!((w.folded, w.evicted), (5, 3));
+        assert_eq!(w.points, 2 * model().points_per_snapshot());
+    }
+
+    #[test]
+    fn export_carries_the_federation_inputs() {
+        let service = AssessmentService::new();
+        service.register_site("CAM", model()).unwrap();
+        service.register_site("RAL", model()).unwrap();
+        assert_eq!(service.sites(), vec!["CAM".to_string(), "RAL".into()]);
+        service.ingest(&record(0, 4_800.0)).unwrap();
+        service.ingest(&record(1, 5_100.0)).unwrap();
+        let export = service.export("CAM").unwrap();
+        assert_eq!(export.energy_kwh, 4_800.0 + 5_100.0);
+        assert_eq!(export.servers, 100);
+        assert_eq!((export.folded, export.evicted), (2, 0));
+        // A registered-but-empty site exports zero energy, not NoData:
+        // the fleet fold treats it as a present (zero) estimate.
+        assert_eq!(service.export("RAL").unwrap().energy_kwh, 0.0);
+        assert!(matches!(
+            service.export("NOPE").unwrap_err(),
+            ServeError::UnknownSite { .. }
+        ));
     }
 
     #[test]

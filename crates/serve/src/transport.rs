@@ -1,0 +1,546 @@
+//! Socket transport: the NDJSON protocols framed over `std::net` TCP
+//! and Unix-domain sockets.
+//!
+//! One listener serves both wire shapes on every connection: a line
+//! that parses as a [`QueryRequest`] (it has `"ask"`) is answered with
+//! a [`QueryReply`] line; a line that parses as a [`SnapshotRecord`]
+//! (it has `"seq"` and the window fields) is folded and acknowledged
+//! with an `ask: "ingest"` reply carrying the site's fold watermark.
+//! The two record types have disjoint required fields, so dispatch is
+//! unambiguous.
+//!
+//! ## Framing policy
+//!
+//! Frames are newline-delimited. The rules, in order:
+//!
+//! * A **complete frame** (up to `\n`) that parses as neither record
+//!   type is answered with an `ok: false` reply carrying the parse
+//!   failure — the connection keeps serving. One bad frame must not
+//!   sever a live connection, and must never crash the listener.
+//! * A **partial line** — bytes not yet terminated by `\n` — is
+//!   buffered until the rest arrives; clients may write a frame in as
+//!   many pieces as they like.
+//! * A partial line cut off by **disconnect or shutdown** is *dropped*,
+//!   not answered: without its newline the frame may be truncated
+//!   mid-number, and a reply could not reach the peer anyway. Drops
+//!   are counted in [`TransportStats::dropped_partial`].
+//! * A failed **ingest** (stale seq, unknown site, model refusal) is an
+//!   `ok: false` reply, mirroring [`AssessmentService::serve_ndjson`]:
+//!   failures are replies, not stream errors.
+//!
+//! ## Error isolation and shutdown
+//!
+//! Each connection runs on its own thread; an I/O error there closes
+//! that connection only — the accept loop keeps serving. Folds happen
+//! synchronously inside the connection thread *before* the ack is
+//! written, so [`SocketServer::shutdown`] — which stops the accept
+//! loop, then joins every connection thread — drains everything any
+//! client was ever acknowledged for: after shutdown returns, the
+//! service's reorder buffers hold exactly the acknowledged state and
+//! the service remains fully queryable in-process.
+//!
+//! ## Feeding a live ingest thread
+//!
+//! [`spawn_record_feed`] adapts a socket's record stream onto the
+//! channel consumed by [`AssessmentService::spawn_ingest`]. Its sender
+//! is dropped on *every* exit path — EOF, I/O error, unparseable-frame
+//! limit — so a disconnected socket propagates to the ingest loop as a
+//! clean channel disconnect (the loop folds what was queued, keeps the
+//! watermark, and exits) rather than leaving it waking on
+//! `recv_timeout` forever; the regression suite pins this.
+
+use crate::error::{ServeError, ServeResult};
+use crate::record::SnapshotRecord;
+use crate::service::AssessmentService;
+use crate::wire::{QueryReply, QueryRequest};
+use crossbeam::channel::Sender;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// How long a connection thread blocks in a read before re-checking
+/// the shutdown flag. Bounds shutdown latency, not throughput: traffic
+/// is served as it arrives.
+const POLL: Duration = Duration::from_millis(25);
+
+fn transport_err(what: &str, e: &std::io::Error) -> ServeError {
+    ServeError::Transport {
+        detail: format!("{what}: {e}"),
+    }
+}
+
+/// Counters a [`SocketServer`] hands back at shutdown.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Complete frames received (queries + records + malformed).
+    pub frames: u64,
+    /// Query frames answered.
+    pub queries: u64,
+    /// Record frames folded successfully.
+    pub ingested: u64,
+    /// Frames answered `ok: false` (malformed, unknown site, stale
+    /// seq, …).
+    pub rejected: u64,
+    /// Partial lines dropped at disconnect or shutdown.
+    pub dropped_partial: u64,
+}
+
+impl TransportStats {
+    fn absorb(&mut self, other: &TransportStats) {
+        self.connections += other.connections;
+        self.frames += other.frames;
+        self.queries += other.queries;
+        self.ingested += other.ingested;
+        self.rejected += other.rejected;
+        self.dropped_partial += other.dropped_partial;
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+        })
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(t),
+            Stream::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A running socket listener over an [`AssessmentService`]. Dropping
+/// the handle without calling [`SocketServer::shutdown`] leaks the
+/// accept thread for the process lifetime; shut it down.
+#[derive(Debug)]
+pub struct SocketServer {
+    addr: String,
+    shutdown: Arc<AtomicBool>,
+    join: JoinHandle<TransportStats>,
+}
+
+impl SocketServer {
+    /// The bound address: `ip:port` for TCP, the filesystem path for
+    /// Unix-domain.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Graceful shutdown: stops accepting, then joins every connection
+    /// thread — each notices the flag within one poll tick, drops any
+    /// partial line (counted), and exits after its in-flight frame's
+    /// fold completed. The service keeps all folded state and stays
+    /// queryable in-process.
+    pub fn shutdown(self) -> TransportStats {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.join.join().expect("accept thread never panics")
+    }
+}
+
+/// True for the error kinds a read timeout surfaces as (platform
+/// dependent: `WouldBlock` on Unix sockets, `TimedOut` elsewhere).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Serves one connection until EOF, I/O error, or shutdown. See the
+/// module docs for the framing policy this implements.
+fn serve_connection(
+    service: &AssessmentService,
+    stream: Stream,
+    shutdown: &AtomicBool,
+) -> TransportStats {
+    let mut stats = TransportStats::default();
+    let Ok(mut out) = stream.try_clone() else {
+        return stats;
+    };
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return stats;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut buf = String::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.read_line(&mut buf) {
+            // EOF. A leftover unterminated line is a truncated frame:
+            // dropped, per the framing policy.
+            Ok(0) => break,
+            Ok(_) => {
+                if !buf.ends_with('\n') {
+                    // read_line returns without the delimiter only at
+                    // EOF; the frame was cut mid-line.
+                    break;
+                }
+                let line = std::mem::take(&mut buf);
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                stats.frames += 1;
+                let reply = answer_frame(service, line, &mut stats);
+                if serde_json::ndjson::to_writer(&mut out, &reply).is_err() || out.flush().is_err()
+                {
+                    break;
+                }
+            }
+            // Timeout mid-wait: any bytes read so far stayed in `buf`
+            // (read_line appends before erroring); loop to keep
+            // accumulating the frame.
+            Err(e) if is_timeout(&e) => continue,
+            Err(_) => break,
+        }
+    }
+    if !buf.trim().is_empty() {
+        stats.dropped_partial += 1;
+    }
+    stats
+}
+
+/// Dispatches one complete frame: query, record, or malformed.
+fn answer_frame(service: &AssessmentService, line: &str, stats: &mut TransportStats) -> QueryReply {
+    if let Ok(req) = serde_json::from_str::<QueryRequest>(line) {
+        let reply = service.answer(&req);
+        if reply.ok {
+            stats.queries += 1;
+        } else {
+            stats.rejected += 1;
+        }
+        return reply;
+    }
+    match serde_json::from_str::<SnapshotRecord>(line) {
+        Ok(record) => match service.ingest(&record) {
+            Ok(()) => {
+                stats.ingested += 1;
+                let mut reply = QueryReply::empty(&record.site, "ingest");
+                reply.ok = true;
+                if let Ok(w) = service.watermark(&record.site) {
+                    reply.folded = Some(w.folded);
+                    reply.pending = Some(w.pending as u64);
+                    reply.evicted = Some(w.evicted);
+                }
+                reply
+            }
+            Err(e) => {
+                stats.rejected += 1;
+                QueryReply::fail(&record.site, "ingest", e)
+            }
+        },
+        Err(e) => {
+            stats.rejected += 1;
+            QueryReply::fail("", "", format!("unparseable frame: {e}"))
+        }
+    }
+}
+
+fn spawn_accept_loop(
+    service: AssessmentService,
+    listener: Listener,
+    addr: String,
+    label: &str,
+) -> ServeResult<SocketServer> {
+    match &listener {
+        Listener::Tcp(l) => l.set_nonblocking(true),
+        Listener::Unix(l) => l.set_nonblocking(true),
+    }
+    .map_err(|e| transport_err("set_nonblocking", &e))?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let join = thread::Builder::new()
+        .name(format!("iriscast-serve-{label}"))
+        .spawn(move || {
+            let mut stats = TransportStats::default();
+            let mut conns: Vec<JoinHandle<TransportStats>> = Vec::new();
+            while !flag.load(Ordering::SeqCst) {
+                let accepted = match &listener {
+                    Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+                    Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+                };
+                match accepted {
+                    Ok(stream) => {
+                        stats.connections += 1;
+                        let service = service.clone();
+                        let flag = Arc::clone(&flag);
+                        conns.push(
+                            thread::Builder::new()
+                                .name("iriscast-serve-conn".into())
+                                .spawn(move || serve_connection(&service, stream, &flag))
+                                .expect("spawn connection thread"),
+                        );
+                    }
+                    Err(e) if is_timeout(&e) => thread::sleep(POLL),
+                    // Accept errors are transient per-connection
+                    // failures (e.g. the peer reset before accept);
+                    // the listener keeps serving.
+                    Err(_) => thread::sleep(POLL),
+                }
+            }
+            for conn in conns {
+                if let Ok(s) = conn.join() {
+                    stats.absorb(&s);
+                }
+            }
+            stats
+        })
+        .expect("spawn accept thread");
+    Ok(SocketServer {
+        addr,
+        shutdown,
+        join,
+    })
+}
+
+impl AssessmentService {
+    /// Binds a TCP listener (e.g. `"127.0.0.1:0"` for an ephemeral
+    /// port) and serves the NDJSON protocols on every connection until
+    /// [`SocketServer::shutdown`].
+    pub fn serve_tcp(&self, bind: &str) -> ServeResult<SocketServer> {
+        let listener = TcpListener::bind(bind).map_err(|e| transport_err("tcp bind", &e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| transport_err("tcp local_addr", &e))?
+            .to_string();
+        spawn_accept_loop(self.clone(), Listener::Tcp(listener), addr, "tcp")
+    }
+
+    /// Binds a Unix-domain listener at `path` (which must not already
+    /// exist) and serves the NDJSON protocols on every connection
+    /// until [`SocketServer::shutdown`]. The socket file is left for
+    /// the caller to unlink.
+    pub fn serve_unix(&self, path: &Path) -> ServeResult<SocketServer> {
+        let listener = UnixListener::bind(path).map_err(|e| transport_err("unix bind", &e))?;
+        let addr = path.display().to_string();
+        spawn_accept_loop(self.clone(), Listener::Unix(listener), addr, "unix")
+    }
+}
+
+/// A blocking client for the socket protocol: one request line out,
+/// one reply line back, in order.
+#[derive(Debug)]
+pub struct SocketClient {
+    reader: BufReader<ClientReader>,
+    writer: ClientWriter,
+}
+
+#[derive(Debug)]
+enum ClientReader {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+#[derive(Debug)]
+enum ClientWriter {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for ClientReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ClientReader::Tcp(s) => s.read(buf),
+            ClientReader::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ClientWriter::Tcp(s) => s.write(buf),
+            ClientWriter::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ClientWriter::Tcp(s) => s.flush(),
+            ClientWriter::Unix(s) => s.flush(),
+        }
+    }
+}
+
+impl SocketClient {
+    /// Connects over TCP.
+    pub fn connect_tcp(addr: &str) -> ServeResult<Self> {
+        let stream = TcpStream::connect(addr).map_err(|e| transport_err("tcp connect", &e))?;
+        let read = stream
+            .try_clone()
+            .map_err(|e| transport_err("tcp clone", &e))?;
+        Ok(SocketClient {
+            reader: BufReader::new(ClientReader::Tcp(read)),
+            writer: ClientWriter::Tcp(stream),
+        })
+    }
+
+    /// Connects over a Unix-domain socket.
+    pub fn connect_unix(path: &Path) -> ServeResult<Self> {
+        let stream = UnixStream::connect(path).map_err(|e| transport_err("unix connect", &e))?;
+        let read = stream
+            .try_clone()
+            .map_err(|e| transport_err("unix clone", &e))?;
+        Ok(SocketClient {
+            reader: BufReader::new(ClientReader::Unix(read)),
+            writer: ClientWriter::Unix(stream),
+        })
+    }
+
+    /// Writes raw bytes without framing or flushing a newline — the
+    /// partial-write half of the test surface. Pair with
+    /// [`SocketClient::read_reply`] once a full frame (newline
+    /// included) has been sent.
+    pub fn send_bytes(&mut self, bytes: &[u8]) -> ServeResult<()> {
+        self.writer
+            .write_all(bytes)
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| transport_err("write", &e))
+    }
+
+    /// Reads one reply line.
+    pub fn read_reply(&mut self) -> ServeResult<QueryReply> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| transport_err("read", &e))?;
+        if n == 0 {
+            return Err(ServeError::Transport {
+                detail: "connection closed before reply".into(),
+            });
+        }
+        serde_json::from_str::<QueryReply>(line.trim()).map_err(|e| ServeError::Transport {
+            detail: format!("unparseable reply: {e}"),
+        })
+    }
+
+    /// One query round trip.
+    pub fn query(&mut self, req: &QueryRequest) -> ServeResult<QueryReply> {
+        let mut line = serde_json::to_string(req).map_err(|e| ServeError::Transport {
+            detail: format!("serialize request: {e}"),
+        })?;
+        line.push('\n');
+        self.send_bytes(line.as_bytes())?;
+        self.read_reply()
+    }
+
+    /// One ingest round trip: sends the record, returns the ack (an
+    /// `ask: "ingest"` reply carrying the post-fold watermark, or
+    /// `ok: false` with the rejection).
+    pub fn ingest(&mut self, record: &SnapshotRecord) -> ServeResult<QueryReply> {
+        let mut line = serde_json::to_string(record).map_err(|e| ServeError::Transport {
+            detail: format!("serialize record: {e}"),
+        })?;
+        line.push('\n');
+        self.send_bytes(line.as_bytes())?;
+        self.read_reply()
+    }
+}
+
+/// Counters a record feed hands back when its socket closes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FeedStats {
+    /// Records parsed and forwarded to the ingest channel.
+    pub forwarded: u64,
+    /// Complete frames that did not parse as records — dropped and
+    /// counted (a one-way feed has no reply path), never fatal.
+    pub malformed: u64,
+    /// Partial final line dropped at disconnect.
+    pub dropped_partial: u64,
+}
+
+/// Adapts a socket's NDJSON record stream onto the channel an
+/// [`AssessmentService::spawn_ingest`] thread consumes.
+///
+/// The sender is *moved in* and therefore dropped on every exit path —
+/// EOF, I/O error, or the receiver going away — so a disconnected
+/// socket reaches the ingest loop as a clean channel disconnect: it
+/// folds whatever was still queued, keeps the fold watermark, and
+/// exits instead of spinning on timeouts. Malformed frames are dropped
+/// and counted per the module framing policy (a one-way feed cannot
+/// reply).
+pub fn spawn_record_feed(stream: TcpStream, tx: Sender<SnapshotRecord>) -> JoinHandle<FeedStats> {
+    thread::Builder::new()
+        .name("iriscast-serve-feed".into())
+        .spawn(move || {
+            let mut stats = FeedStats::default();
+            let mut reader = BufReader::new(stream);
+            let mut buf = String::new();
+            loop {
+                buf.clear();
+                match reader.read_line(&mut buf) {
+                    Ok(0) => break,
+                    Ok(_) => {
+                        if !buf.ends_with('\n') {
+                            // Truncated by disconnect mid-frame.
+                            stats.dropped_partial += 1;
+                            break;
+                        }
+                        let line = buf.trim();
+                        if line.is_empty() {
+                            continue;
+                        }
+                        match serde_json::from_str::<SnapshotRecord>(line) {
+                            Ok(record) => {
+                                if tx.send(record).is_err() {
+                                    // Ingest side gone; stop reading.
+                                    break;
+                                }
+                                stats.forwarded += 1;
+                            }
+                            Err(_) => stats.malformed += 1,
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            // `tx` drops here on every path — the ingest loop's clean
+            // disconnect signal.
+            stats
+        })
+        .expect("spawn feed thread")
+}

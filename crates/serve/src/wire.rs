@@ -16,10 +16,12 @@ use serde::{Deserialize, Serialize};
 /// One query line.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct QueryRequest {
-    /// Site to query.
+    /// Site to query. Ignored by the service-wide `"sites"` ask
+    /// (conventionally sent as `""`).
     pub site: String,
     /// What to ask: `"envelope"`, `"percentile"`, `"summary"`,
-    /// `"marginal"`, `"tenant_share"` or `"watermark"`.
+    /// `"marginal"`, `"tenant_share"`, `"watermark"`, `"sites"` or
+    /// `"export"`.
     pub ask: String,
     /// Quantile in `[0, 1]`, for `"percentile"`.
     pub q: Option<f64>,
@@ -28,6 +30,29 @@ pub struct QueryRequest {
     pub axis: Option<String>,
     /// Tenant name, for `"tenant_share"`.
     pub tenant: Option<String>,
+}
+
+impl QueryRequest {
+    /// A bare request with every optional field unset.
+    pub fn bare(site: impl Into<String>, ask: impl Into<String>) -> Self {
+        QueryRequest {
+            site: site.into(),
+            ask: ask.into(),
+            q: None,
+            axis: None,
+            tenant: None,
+        }
+    }
+
+    /// The service-wide `"sites"` enumeration.
+    pub fn sites() -> Self {
+        Self::bare("", "sites")
+    }
+
+    /// One site's federation `"export"`.
+    pub fn export(site: impl Into<String>) -> Self {
+        Self::bare(site, "export")
+    }
 }
 
 /// One marginal group on the wire.
@@ -87,10 +112,20 @@ pub struct QueryReply {
     pub pending: Option<u64>,
     /// End of the latest folded window, epoch seconds (`"watermark"`).
     pub window_end_s: Option<i64>,
+    /// Windows evicted by retention (`"watermark"`, `"export"`).
+    pub evicted: Option<u64>,
+    /// Registered site names, sorted (`"sites"`).
+    pub sites: Option<Vec<String>>,
+    /// Cumulative folded energy, kWh (`"export"`). Written with
+    /// shortest-round-trip formatting, so finite values cross the wire
+    /// bit-exactly — the federation tier depends on this.
+    pub energy_kwh: Option<f64>,
+    /// Fleet size the site's model amortises over (`"export"`).
+    pub servers: Option<u64>,
 }
 
 impl QueryReply {
-    fn empty(site: &str, ask: &str) -> Self {
+    pub(crate) fn empty(site: &str, ask: &str) -> Self {
         QueryReply {
             site: site.into(),
             ask: ask.into(),
@@ -111,13 +146,32 @@ impl QueryReply {
             marginals: None,
             pending: None,
             window_end_s: None,
+            evicted: None,
+            sites: None,
+            energy_kwh: None,
+            servers: None,
         }
     }
 
-    fn fail(site: &str, ask: &str, error: impl ToString) -> Self {
+    pub(crate) fn fail(site: &str, ask: &str, error: impl ToString) -> Self {
         let mut r = Self::empty(site, ask);
         r.error = Some(error.to_string());
         r
+    }
+
+    /// Turns an `ok: false` reply into a typed error — for callers
+    /// (like the federator) that need the answer, not the envelope.
+    pub fn into_result(self, what: &str) -> Result<Self, ServeError> {
+        if self.ok {
+            Ok(self)
+        } else {
+            Err(ServeError::Transport {
+                detail: format!(
+                    "{what} refused: {}",
+                    self.error.as_deref().unwrap_or("no detail")
+                ),
+            })
+        }
     }
 }
 
@@ -146,6 +200,12 @@ impl AssessmentService {
 
     fn try_answer(&self, req: &QueryRequest) -> Result<QueryReply, ServeError> {
         let mut reply = QueryReply::empty(&req.site, &req.ask);
+        // The one service-wide ask: no site lookup, cannot fail.
+        if req.ask == "sites" {
+            reply.sites = Some(self.sites());
+            reply.ok = true;
+            return Ok(reply);
+        }
         let watermark = self.watermark(&req.site)?;
         reply.folded = Some(watermark.folded);
         reply.points = Some(watermark.points as u64);
@@ -205,13 +265,20 @@ impl AssessmentService {
             "watermark" => {
                 reply.pending = Some(watermark.pending as u64);
                 reply.window_end_s = watermark.last_window_end_s;
+                reply.evicted = Some(watermark.evicted);
+            }
+            "export" => {
+                let export = self.export(&req.site)?;
+                reply.energy_kwh = Some(export.energy_kwh);
+                reply.servers = Some(u64::from(export.servers));
+                reply.evicted = Some(export.evicted);
             }
             other => {
                 return Err(ServeError::Wire {
                     line: 0,
                     detail: format!(
                         "unknown ask {other:?} (envelope|percentile|summary|\
-                         marginal|tenant_share|watermark)"
+                         marginal|tenant_share|watermark|sites|export)"
                     ),
                 })
             }
@@ -317,6 +384,32 @@ mod tests {
         let reply = service.answer(&ask("CAM", "watermark"));
         assert_eq!(reply.pending, Some(0));
         assert_eq!(reply.window_end_s, Some(3 * 21_600));
+        assert_eq!(reply.evicted, Some(0));
+    }
+
+    #[test]
+    fn sites_and_export_serve_the_federation_tier() {
+        let service = service_with_data();
+        let reply = service.answer(&QueryRequest::sites());
+        assert!(reply.ok);
+        assert_eq!(reply.sites, Some(vec!["CAM".to_string()]));
+
+        let reply = service.answer(&QueryRequest::export("CAM"));
+        assert!(reply.ok, "{:?}", reply.error);
+        let expected = service.export("CAM").unwrap();
+        // The export energy must cross the wire bit-exactly: the
+        // federation equivalence property depends on it.
+        let line = serde_json::to_string(&reply).unwrap();
+        let back: QueryReply = serde_json::from_str(&line).unwrap();
+        assert_eq!(
+            back.energy_kwh.unwrap().to_bits(),
+            expected.energy_kwh.to_bits()
+        );
+        assert_eq!(back.servers, Some(100));
+        assert_eq!(back.evicted, Some(0));
+
+        let reply = service.answer(&QueryRequest::export("NOPE"));
+        assert!(reply.into_result("export").is_err());
     }
 
     #[test]

@@ -4,8 +4,11 @@
 //! interleaving.
 
 use iriscast_model::engine::SpaceResults;
+use iriscast_model::federation::FleetRollup;
 use iriscast_model::space::AxisId;
+use iriscast_serve::federator::{site_rollup, FleetFederator, RegionHandle};
 use iriscast_serve::{AssessmentService, ServeError, SiteModel, SnapshotRecord};
+use iriscast_units::Period;
 use proptest::prelude::*;
 
 fn model() -> SiteModel {
@@ -150,6 +153,52 @@ proptest! {
         assert_state_matches(&service, "EDI", &reference(&edi, &rec_b));
     }
 
+    /// Sliding-window retention is *exact*: a service that ingested
+    /// everything and evicted down to the last `keep` windows answers
+    /// every query with the same bits as a service that only ever
+    /// ingested those windows — at 1 and 16 evaluation workers, under
+    /// rotated arrival, whether the bound was set before ingest
+    /// (steady-state eviction) or tightened afterwards.
+    #[test]
+    fn retention_equals_never_ingested(
+        energies in prop::collection::vec(500.0f64..30_000.0, 3..12),
+        keep in 1usize..6,
+        rot in 0usize..16,
+    ) {
+        let recs = records("CAM", &energies, 6);
+        let keep = keep.min(recs.len());
+        let survivors = &recs[recs.len() - keep..];
+        let expected = reference(&model(), survivors);
+        let mut rotated = recs.clone();
+        rotated.rotate_left(rot % recs.len());
+
+        for workers in [1usize, 16] {
+            // Bound set up front: evictions interleave with folds.
+            let service = AssessmentService::new();
+            service.register_site("CAM", model()).unwrap();
+            service.set_retention("CAM", keep).unwrap();
+            prop_assert_eq!(service.ingest_batch(&rotated, workers).unwrap(), recs.len());
+            let w = service.watermark("CAM").unwrap();
+            prop_assert_eq!(w.folded as usize, recs.len());
+            prop_assert_eq!(w.evicted as usize, recs.len() - keep);
+            assert_state_matches(&service, "CAM", &expected);
+
+            // Bound tightened after the fact: one catch-up eviction.
+            let late = AssessmentService::new();
+            late.register_site("CAM", model()).unwrap();
+            prop_assert_eq!(late.ingest_batch(&rotated, workers).unwrap(), recs.len());
+            late.set_retention("CAM", keep).unwrap();
+            assert_state_matches(&late, "CAM", &expected);
+
+            // Retention never rewinds the energy ledger.
+            let all: f64 = recs.iter().map(|r| r.energy_kwh).fold(0.0, |a, b| a + b);
+            prop_assert_eq!(
+                service.site_energy_kwh("CAM").unwrap().to_bits(),
+                all.to_bits()
+            );
+        }
+    }
+
     /// A replayed sequence number is refused without corrupting the
     /// folded state.
     #[test]
@@ -165,5 +214,148 @@ proptest! {
         let err = service.ingest(replay).unwrap_err();
         prop_assert!(matches!(err, ServeError::StaleSnapshot { .. }));
         assert_state_matches(&service, "CAM", &reference(&model(), &recs));
+    }
+}
+
+/// Folds every site of `service` into a fresh rollup in the canonical
+/// order — regions in code order, sites sorted within each region —
+/// using the same [`site_rollup`] construction the wire path uses.
+/// This is the in-process flat reference the federated sweep must
+/// reproduce bit-for-bit.
+fn flat_reference(
+    service: &AssessmentService,
+    codes: &[String],
+    region_of: impl Fn(&str) -> u32,
+    period: Period,
+) -> FleetRollup {
+    let mut rollup = FleetRollup::new(codes.to_vec(), period);
+    let sites = service.sites();
+    for (index, _) in codes.iter().enumerate() {
+        for site in sites.iter().filter(|s| region_of(s) == index as u32) {
+            let export = service.export(site).unwrap();
+            rollup.fold_site(site_rollup(index as u32, export.servers, export.energy_kwh));
+        }
+    }
+    rollup
+}
+
+fn assert_rollups_match(got: &FleetRollup, expected: &FleetRollup) {
+    assert_eq!(got.site_count(), expected.site_count());
+    assert_eq!(got.total_nodes(), expected.total_nodes());
+    let got_bits: Vec<u64> = got
+        .best_estimate_kwh()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let want_bits: Vec<u64> = expected
+        .best_estimate_kwh()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert_eq!(
+        got_bits, want_bits,
+        "per-site best-estimate columns diverged"
+    );
+    for &q in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+        assert_eq!(
+            got.percentile(q).unwrap().kilowatt_hours().to_bits(),
+            expected.percentile(q).unwrap().kilowatt_hours().to_bits(),
+            "fleet quantile q={q} diverged"
+        );
+    }
+    assert_eq!(got.region_rollups(), expected.region_rollups());
+    assert_eq!(got.hottest_site(), expected.hottest_site());
+}
+
+proptest! {
+    // Each case spins up real listeners; fewer, heavier cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The scale-out tentpole: N regional services behind TCP sockets,
+    /// federated over the wire, equal one flat service hosting every
+    /// site — bit for bit, at 1 and 16 ingest workers, with arrivals
+    /// shuffled across regions, and with aggressive retention active
+    /// on the regional side only (exports must not depend on it).
+    #[test]
+    fn regional_federation_over_sockets_equals_flat_service(
+        site_energies in prop::collection::vec(
+            prop::collection::vec(500.0f64..30_000.0, 1..5), 2..7),
+        regions in 2usize..4,
+        rot in 0usize..16,
+    ) {
+        let period = Period::snapshot_24h();
+        let codes: Vec<String> = (0..regions).map(|r| format!("R{r}")).collect();
+        let site_name = |i: usize| format!("S{i:02}");
+        let region_of_index = |i: usize| (i % regions) as u32;
+
+        for workers in [1usize, 16] {
+            // The flat service hosts every site; regional services
+            // host their region's slice.
+            let flat = AssessmentService::new();
+            let regional: Vec<AssessmentService> =
+                (0..regions).map(|_| AssessmentService::new()).collect();
+            let mut all_records = Vec::new();
+            let mut per_region: Vec<Vec<SnapshotRecord>> = vec![Vec::new(); regions];
+            for (i, energies) in site_energies.iter().enumerate() {
+                let mut m = model();
+                m.servers = 100 + 37 * i as u32;
+                let name = site_name(i);
+                flat.register_site(&name, m.clone()).unwrap();
+                let r = region_of_index(i) as usize;
+                regional[r].register_site(&name, m).unwrap();
+                // Retention on the regional side only: the export
+                // energy ledger must be unaffected.
+                regional[r].set_retention(&name, 1).unwrap();
+                let recs = records(&name, energies, 6);
+                all_records.extend(recs.iter().cloned());
+                per_region[r].extend(recs);
+            }
+            // Shuffle arrivals across regions and sites.
+            let rot_all = rot % all_records.len();
+            all_records.rotate_left(rot_all);
+            prop_assert_eq!(
+                flat.ingest_batch(&all_records, workers).unwrap(),
+                all_records.len()
+            );
+            for (r, recs) in per_region.iter_mut().enumerate() {
+                if recs.is_empty() {
+                    continue;
+                }
+                let rot_r = rot % recs.len();
+                recs.rotate_left(rot_r);
+                prop_assert_eq!(
+                    regional[r].ingest_batch(recs, workers).unwrap(),
+                    recs.len()
+                );
+            }
+
+            // Serve each region over a loopback socket and federate.
+            let servers: Vec<_> = regional
+                .iter()
+                .map(|s| s.serve_tcp("127.0.0.1:0").unwrap())
+                .collect();
+            let federator = FleetFederator::new(
+                codes
+                    .iter()
+                    .zip(&servers)
+                    .map(|(code, srv)| RegionHandle::of(code.clone(), srv))
+                    .collect(),
+            );
+            let federated = federator.federate(period).unwrap();
+            for server in servers {
+                server.shutdown();
+            }
+
+            let expected = flat_reference(
+                &flat,
+                &codes,
+                |site| {
+                    let i: usize = site[1..].parse().unwrap();
+                    region_of_index(i)
+                },
+                period,
+            );
+            assert_rollups_match(&federated, &expected);
+        }
     }
 }

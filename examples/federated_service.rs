@@ -1,0 +1,164 @@
+//! Scale-out topology end to end: three regional assessment services,
+//! each behind its own loopback TCP socket, federated into one fleet
+//! roll-up over the wire — and shown bit-identical to a single flat
+//! service that ingested every site directly.
+//!
+//! The moving parts:
+//!
+//! 1. **Regions** — each region runs its own `AssessmentService`
+//!    hosting that region's sites, with sliding-window retention
+//!    bounding the queryable scenario ensemble (the energy ledger the
+//!    federation reads is deliberately unaffected).
+//! 2. **Transport** — every region serves the NDJSON protocols over a
+//!    `SocketServer`; ingest and queries arrive as newline-delimited
+//!    frames, failures come back as `ok: false` replies, and malformed
+//!    frames never sever a connection.
+//! 3. **Federation** — a `FleetFederator` connects to each region,
+//!    enumerates its sites (`"sites"` ask, sorted), pulls each site's
+//!    `"export"` (cumulative seq-ordered energy + fleet size) and
+//!    folds it into a `FleetRollup` — the same fold the in-process
+//!    fleet path uses, so quantiles, totals and region roll-ups are
+//!    bit-identical to a flat deployment.
+//!
+//! Run with: `cargo run --release --example federated_service`
+
+use iriscast::model::federation::FleetRollup;
+use iriscast::prelude::*;
+use iriscast::serve::federator::site_rollup;
+
+fn records(site: &str, energies: &[f64]) -> Vec<SnapshotRecord> {
+    energies
+        .iter()
+        .enumerate()
+        .map(|(seq, &kwh)| SnapshotRecord {
+            site: site.into(),
+            seq: seq as u64,
+            window_start_s: seq as i64 * 21_600,
+            window_end_s: (seq as i64 + 1) * 21_600,
+            energy_kwh: kwh,
+        })
+        .collect()
+}
+
+fn main() {
+    // --- The fleet: 3 regions × 2 sites, IRIS-like site codes. -------
+    let regions = [
+        ("EAST", vec![("CAM", 2_398u32), ("RAL", 1_560)]),
+        ("NORTH", vec![("EDI", 900), ("DUR", 640)]),
+        ("WEST", vec![("MAN", 1_100), ("LIV", 480)]),
+    ];
+    // Six windows of 6 h telemetry per site, energies scaled by size.
+    let energies = |servers: u32| -> Vec<f64> {
+        (0..6)
+            .map(|w| f64::from(servers) * (1.6 + 0.21 * f64::from(w)))
+            .collect()
+    };
+
+    // --- Regional services, each behind its own socket. --------------
+    let mut services = Vec::new();
+    let mut servers = Vec::new();
+    let flat = AssessmentService::new(); // the reference deployment
+    for (_code, sites) in &regions {
+        let service = AssessmentService::new();
+        for &(site, fleet) in sites {
+            service
+                .register_site(site, SiteModel::paper(fleet))
+                .expect("register regional site");
+            flat.register_site(site, SiteModel::paper(fleet))
+                .expect("register flat site");
+            // Keep only the last 2 windows queryable per site: the
+            // scenario ensemble slides, the energy ledger does not.
+            service.set_retention(site, 2).unwrap();
+            for r in &records(site, &energies(fleet)) {
+                service.ingest(r).expect("regional ingest");
+                flat.ingest(r).expect("flat ingest");
+            }
+        }
+        servers.push(service.serve_tcp("127.0.0.1:0").expect("bind region"));
+        services.push(service);
+    }
+    println!("regional services online:");
+    for ((code, sites), server) in regions.iter().zip(&servers) {
+        println!(
+            "  {code:<5} {addr:<21} sites {names}",
+            addr = server.addr(),
+            names = sites.iter().map(|(s, _)| *s).collect::<Vec<_>>().join(", ")
+        );
+    }
+
+    // --- A wire client pokes one region directly. ---------------------
+    let mut client = SocketClient::connect_tcp(servers[0].addr()).expect("connect EAST");
+    let reply = client
+        .query(&QueryRequest::bare("CAM", "watermark"))
+        .expect("watermark round trip");
+    println!(
+        "\nCAM watermark over the wire: folded {} evicted {} (retention keeps 2)",
+        reply.folded.unwrap(),
+        reply.evicted.unwrap()
+    );
+    let mut req = QueryRequest::bare("CAM", "percentile");
+    req.q = Some(0.95);
+    let p95 = client.query(&req).expect("p95 round trip");
+    println!(
+        "CAM p95 total over the wire: {:.1} kg CO2e ({} scenario points)",
+        p95.value_kg.unwrap(),
+        p95.points.unwrap()
+    );
+
+    // --- Federate the three regions over their sockets. ---------------
+    let federator = FleetFederator::new(
+        regions
+            .iter()
+            .zip(&servers)
+            .map(|((code, _), server)| RegionHandle::of(*code, server))
+            .collect(),
+    );
+    let period = Period::snapshot_24h();
+    let fleet = federator.federate(period).expect("federation sweep");
+
+    println!("\nfederated fleet roll-up:");
+    println!(
+        "  {} sites, {} nodes, total best estimate {:.1} kWh",
+        fleet.site_count(),
+        fleet.total_nodes(),
+        fleet.total_best_estimate().kilowatt_hours()
+    );
+    for region in fleet.region_rollups() {
+        println!(
+            "  {code:<5} {sites} sites {nodes:>5} nodes {kwh:>12.1} kWh",
+            code = region.code,
+            sites = region.sites,
+            nodes = region.nodes,
+            kwh = region.best_estimate.kilowatt_hours()
+        );
+    }
+    println!(
+        "  per-site median {:.1} kWh, hottest site {:.1} kWh",
+        fleet.percentile(0.5).unwrap().kilowatt_hours(),
+        fleet.hottest_site().unwrap().1.kilowatt_hours()
+    );
+
+    // --- Prove it equals the flat deployment, bit for bit. ------------
+    let mut reference =
+        FleetRollup::new(regions.iter().map(|(c, _)| (*c).into()).collect(), period);
+    for (index, (_code, sites)) in regions.iter().enumerate() {
+        let mut names: Vec<&str> = sites.iter().map(|(s, _)| *s).collect();
+        names.sort_unstable();
+        for site in names {
+            let export = flat.export(site).expect("flat export");
+            reference.fold_site(site_rollup(index as u32, export.servers, export.energy_kwh));
+        }
+    }
+    let same = fleet
+        .best_estimate_kwh()
+        .iter()
+        .zip(reference.best_estimate_kwh())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(same, "federated and flat columns must match bit for bit");
+    assert_eq!(fleet.region_rollups(), reference.region_rollups());
+    println!("\nfederated ≡ flat service: every per-site energy bit-identical");
+
+    for server in servers {
+        server.shutdown();
+    }
+}

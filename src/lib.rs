@@ -126,7 +126,8 @@ pub mod prelude {
     };
     pub use iriscast_model::{Error as ModelError, Result as ModelResult};
     pub use iriscast_serve::{
-        AssessmentService, QueryReply, QueryRequest, ServeError, SiteModel, SnapshotRecord,
+        AssessmentService, FleetFederator, QueryReply, QueryRequest, RegionHandle, ServeError,
+        SiteModel, SnapshotRecord, SocketClient, SocketServer,
     };
     pub use iriscast_sim::{
         Component, Ctx, CurtailmentScenario, DeferralScenario, DemandResponseScenario,
